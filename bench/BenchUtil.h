@@ -1,0 +1,52 @@
+//===- bench/BenchUtil.h - Shared benchmark harness helpers -----*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure benchmark binaries: compiling an
+/// application bundle and printing a banner identifying which paper
+/// artifact a binary regenerates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_BENCH_BENCHUTIL_H
+#define EVENTNET_BENCH_BENCHUTIL_H
+
+#include "apps/Programs.h"
+#include "nes/Pipeline.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace eventnet {
+namespace bench {
+
+/// Compiles an App (source- or AST-based); exits the process with a
+/// message on failure (benchmarks have no recovery path).
+inline nes::CompiledProgram compileApp(const apps::App &A) {
+  nes::CompiledProgram C = A.Source.empty()
+                               ? nes::compileAst(A.Ast, A.Topo)
+                               : nes::compileSource(A.Source, A.Topo);
+  if (!C.Ok) {
+    fprintf(stderr, "failed to compile %s: %s\n", A.Name.c_str(),
+            C.Error.c_str());
+    exit(1);
+  }
+  return C;
+}
+
+/// Prints the harness banner.
+inline void banner(const char *Artifact, const char *What) {
+  printf("==============================================================\n");
+  printf("%s — %s\n", Artifact, What);
+  printf("==============================================================\n");
+}
+
+} // namespace bench
+} // namespace eventnet
+
+#endif // EVENTNET_BENCH_BENCHUTIL_H

@@ -1,0 +1,84 @@
+//===- bench/ablation_trie_pairing.cpp - Design-choice ablation -----------===//
+//
+// Ablation for the Section 5.3 design choice DESIGN.md calls out: how
+// much of the rule-sharing win comes from the *greedy pairing* itself,
+// versus (a) an arbitrary (identity) leaf order and (b) the exhaustive
+// optimum (computable only for small families)? Also sweeps the family
+// size to show where the heuristic's gap to naive matters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "opt/RuleSharing.h"
+#include "support/Rng.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace eventnet;
+using namespace eventnet::bench;
+using namespace eventnet::opt;
+
+namespace {
+
+std::vector<RuleSet> randomFamily(Rng &R, size_t Count, unsigned Size,
+                                  unsigned Pool) {
+  std::vector<RuleSet> Out;
+  for (size_t C = 0; C != Count; ++C) {
+    RuleSet S;
+    while (S.size() < Size)
+      S.insert(static_cast<unsigned>(R.below(Pool)));
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  banner("Ablation", "trie pairing strategy: identity vs greedy vs optimal");
+
+  // Small families where the optimum is computable.
+  {
+    TextTable T({"trial", "naive", "identity_order", "greedy", "optimal"});
+    Rng R(99);
+    for (int Trial = 1; Trial <= 10; ++Trial) {
+      std::vector<RuleSet> F = randomFamily(R, 4, 6, 10);
+      size_t Naive = 0;
+      for (const RuleSet &S : F)
+        Naive += S.size();
+      T.addRow({std::to_string(Trial), std::to_string(Naive),
+                std::to_string(trieCost(F)),
+                std::to_string(shareRulesHeuristic(F).OptimizedRules),
+                std::to_string(shareRulesOptimal(F))});
+    }
+    T.print(std::cout);
+    printf("\nGreedy pairing closes most of the identity-to-optimal gap;\n"
+           "on 4-leaf families it usually *is* optimal.\n\n");
+  }
+
+  // Larger families: identity order vs greedy (optimum intractable).
+  {
+    TextTable T({"configs", "naive", "identity_order", "greedy",
+                 "greedy_savings_pct"});
+    Rng R(7);
+    for (size_t Count : {8, 16, 32, 64}) {
+      std::vector<RuleSet> F = randomFamily(R, Count, 20, 48);
+      size_t Naive = 0;
+      for (const RuleSet &S : F)
+        Naive += S.size();
+      size_t Identity = trieCost(F);
+      size_t Greedy = shareRulesHeuristic(F).OptimizedRules;
+      T.addRow({std::to_string(Count), std::to_string(Naive),
+                std::to_string(Identity), std::to_string(Greedy),
+                formatDouble((1.0 - double(Greedy) / Naive) * 100, 1)});
+    }
+    T.print(std::cout);
+    printf("\nTakeaway: random ID assignment (identity order) already\n"
+           "shares a little by accident; the greedy pairing is what\n"
+           "delivers the paper's ~32%% (it decides which configurations\n"
+           "become trie siblings).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- bench/fig10_firewall_delay.cpp - Figure 10 ------------------------===//
+//
+// Figure 10: "Stateful Firewall: impact of delay." The uncoordinated
+// update strategy's controller delay is swept from 0 to 5000 ms in 100 ms
+// increments, 10 runs each; the series reports the total number of
+// incorrectly-dropped packets (replies to allowed outbound traffic that
+// the stale tables discard). The correct (event-driven consistent)
+// strategy is the flat zero line.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "sim/Simulation.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace eventnet;
+using namespace eventnet::bench;
+
+namespace {
+
+/// One firewall run: H1 pings H4 every 100 ms for 4 s starting at 0.5 s
+/// (the first ping triggers the event). Returns the number of pings
+/// whose replies were incorrectly dropped.
+size_t incorrectlyDropped(const nes::CompiledProgram &C,
+                          const topo::Topology &Topo,
+                          sim::Simulation::Mode Mode, double DelaySec,
+                          uint64_t Seed) {
+  sim::SimParams P;
+  P.UncoordDelaySec = DelaySec;
+  P.Seed = Seed;
+  sim::Simulation S(*C.N, Topo, Mode, P);
+  for (int I = 0; I != 40; ++I)
+    S.schedulePing(0.5 + 0.1 * I, topo::HostH1, topo::HostH4);
+  S.run(0.5 + 0.1 * 40 + DelaySec + 2.0);
+
+  size_t Dropped = 0;
+  for (const auto &Ping : S.pings())
+    Dropped += !Ping.Succeeded;
+  return Dropped;
+}
+
+} // namespace
+
+int main() {
+  banner("Figure 10", "stateful firewall: incorrectly-dropped packets vs "
+                      "uncoordinated controller delay (10 runs per point)");
+
+  apps::App A = apps::firewallApp();
+  nes::CompiledProgram C = compileApp(A);
+
+  TextTable T({"delay_ms", "incorrect_dropped", "correct_dropped"});
+  for (int DelayMs = 0; DelayMs <= 5000; DelayMs += 100) {
+    size_t Uncoord = 0, Correct = 0;
+    for (uint64_t Run = 0; Run != 10; ++Run) {
+      Uncoord += incorrectlyDropped(C, A.Topo,
+                                    sim::Simulation::Mode::Uncoordinated,
+                                    DelayMs / 1000.0, Run + 1);
+      Correct += incorrectlyDropped(C, A.Topo, sim::Simulation::Mode::Nes,
+                                    DelayMs / 1000.0, Run + 1);
+    }
+    T.addRow({std::to_string(DelayMs), std::to_string(Uncoord),
+              std::to_string(Correct)});
+  }
+  T.print(std::cout);
+
+  printf("\nShape check vs the paper: the uncoordinated strategy drops at\n"
+         "least one packet even at delay 0 (controller round trip), grows\n"
+         "roughly linearly with the delay, and the correct strategy drops\n"
+         "none.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+//===- bench/fig12_learning_switch.cpp - Figure 12 -----------------------===//
+//
+// Figure 12: "Learning Switch: (a) correct vs. (b) incorrect." H4 sends
+// a packet stream toward H1; per second we count packets delivered to H1
+// and flooded copies delivered to H2. Correct behavior floods exactly
+// until H4 hears back from H1; the uncoordinated baseline keeps flooding
+// for the length of the update window.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "sim/Simulation.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace eventnet;
+using namespace eventnet::bench;
+
+namespace {
+
+void run(const nes::CompiledProgram &C, const topo::Topology &Topo,
+         sim::Simulation::Mode Mode, const char *Label) {
+  sim::SimParams P;
+  P.UncoordDelaySec = 3.0;
+  sim::Simulation S(*C.N, Topo, Mode, P);
+  // Ten packets per second toward H1 for nine seconds.
+  for (int I = 0; I != 90; ++I)
+    S.schedulePing(0.05 + 0.1 * I, topo::HostH4, topo::HostH1);
+  S.run(12.0);
+
+  printf("\n--- %s ---\n", Label);
+  TextTable T({"second", "pkts_to_H1", "pkts_to_H2"});
+  for (int Sec = 0; Sec != 9; ++Sec) {
+    auto Count = [&](HostId H) {
+      size_t N = 0;
+      for (const auto &[At, Pkt] : S.deliveriesTo(H))
+        if (At >= Sec && At < Sec + 1 &&
+            Pkt.getOr(apps::ipDstField(), -1) == 1)
+          ++N;
+      return N;
+    };
+    T.addRow({std::to_string(Sec + 1), std::to_string(Count(topo::HostH1)),
+              std::to_string(Count(topo::HostH2))});
+  }
+  T.print(std::cout);
+}
+
+} // namespace
+
+int main() {
+  banner("Figure 12", "learning switch: packets to H1 vs flooded to H2");
+  apps::App A = apps::learningSwitchApp();
+  nes::CompiledProgram C = compileApp(A);
+  run(C, A.Topo, sim::Simulation::Mode::Nes, "(a) correct");
+  run(C, A.Topo, sim::Simulation::Mode::Uncoordinated,
+      "(b) uncoordinated (3 s delay)");
+  printf("\nShape check: in (a) H2 receives only the first flooded packet\n"
+         "(learning takes effect with the first reply); in (b) flooding\n"
+         "persists across the update window.\n");
+  return 0;
+}

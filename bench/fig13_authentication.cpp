@@ -1,0 +1,63 @@
+//===- bench/fig13_authentication.cpp - Figure 13 ------------------------===//
+//
+// Figure 13: "Authentication: (a) correct vs. (b) incorrect." H4 probes
+// H3/H2/H1 per the figure's script; access to H3 opens only after the
+// knocks H1-then-H2 land. The uncoordinated baseline exhibits the
+// figure's anomaly: both knocks delivered but H3 still (temporarily)
+// unreachable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "sim/Simulation.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace eventnet;
+using namespace eventnet::bench;
+
+namespace {
+
+void run(const nes::CompiledProgram &C, const topo::Topology &Topo,
+         sim::Simulation::Mode Mode, const char *Label) {
+  sim::SimParams P;
+  P.UncoordDelaySec = 2.0;
+  sim::Simulation S(*C.N, Topo, Mode, P);
+  struct Probe {
+    double At;
+    HostId To;
+  };
+  // The figure's order: H3 x, H2 x, H1 ok, H3 x, H1 x, H2 ok, H3 ok.
+  std::vector<Probe> Script = {{1, topo::HostH3},  {4, topo::HostH2},
+                               {7, topo::HostH1},  {10, topo::HostH3},
+                               {13, topo::HostH1}, {16, topo::HostH2},
+                               {17, topo::HostH3}, {21, topo::HostH3}};
+  for (const Probe &Pr : Script)
+    S.schedulePing(Pr.At, topo::HostH4, Pr.To);
+  S.run(30.0);
+
+  printf("\n--- %s ---\n", Label);
+  TextTable T({"t_s", "ping", "reply"});
+  for (const auto &Ping : S.pings())
+    T.addRow({formatDouble(Ping.SentAt, 0),
+              "H4-H" + std::to_string(Ping.To),
+              Ping.Succeeded ? "yes" : "no"});
+  T.print(std::cout);
+}
+
+} // namespace
+
+int main() {
+  banner("Figure 13", "authentication: knock sequence H1 then H2 gates H3");
+  apps::App A = apps::authenticationApp();
+  nes::CompiledProgram C = compileApp(A);
+  run(C, A.Topo, sim::Simulation::Mode::Nes, "(a) correct");
+  run(C, A.Topo, sim::Simulation::Mode::Uncoordinated,
+      "(b) uncoordinated (2 s delay)");
+  printf("\nShape check: (a) H3 answers only the probe after both knocks;\n"
+         "(b) shows the paper's anomaly - knocks succeed but H3 remains\n"
+         "blocked until the delayed update lands.\n");
+  return 0;
+}

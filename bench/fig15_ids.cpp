@@ -1,0 +1,59 @@
+//===- bench/fig15_ids.cpp - Figure 15 -----------------------------------===//
+//
+// Figure 15: "Intrusion Detection System: (a) correct vs. (b)
+// incorrect." H4 pings H3, H2, H1, H3, H2, H1, H3 per the figure; after
+// H1-then-H2 completes the scan signature, H4 -> H3 must be blocked.
+// The uncoordinated baseline leaves H3 temporarily reachable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "sim/Simulation.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace eventnet;
+using namespace eventnet::bench;
+
+namespace {
+
+void run(const nes::CompiledProgram &C, const topo::Topology &Topo,
+         sim::Simulation::Mode Mode, const char *Label) {
+  sim::SimParams P;
+  P.UncoordDelaySec = 2.0;
+  sim::Simulation S(*C.N, Topo, Mode, P);
+  // The figure's probe order; the H1-then-H2 pair in the middle is the
+  // scan signature.
+  std::vector<HostId> Script = {topo::HostH3, topo::HostH2, topo::HostH1,
+                                topo::HostH3, topo::HostH2, topo::HostH1,
+                                topo::HostH3, topo::HostH3};
+  for (size_t I = 0; I != Script.size(); ++I)
+    S.schedulePing(1.0 + 3.0 * static_cast<double>(I), topo::HostH4,
+                   Script[I]);
+  S.run(32.0);
+
+  printf("\n--- %s ---\n", Label);
+  TextTable T({"t_s", "ping", "reply"});
+  for (const auto &Ping : S.pings())
+    T.addRow({formatDouble(Ping.SentAt, 0),
+              "H4-H" + std::to_string(Ping.To),
+              Ping.Succeeded ? "yes" : "no"});
+  T.print(std::cout);
+}
+
+} // namespace
+
+int main() {
+  banner("Figure 15", "intrusion detection: scan signature cuts off H3");
+  apps::App A = apps::idsApp();
+  nes::CompiledProgram C = compileApp(A);
+  run(C, A.Topo, sim::Simulation::Mode::Nes, "(a) correct");
+  run(C, A.Topo, sim::Simulation::Mode::Uncoordinated,
+      "(b) uncoordinated (2 s delay)");
+  printf("\nShape check: traffic flows freely until H1 then H2 are\n"
+         "contacted in order; afterwards H4-H3 is blocked in (a), while\n"
+         "(b) still answers H3 probes during the update window.\n");
+  return 0;
+}

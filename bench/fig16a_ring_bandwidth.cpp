@@ -1,0 +1,95 @@
+//===- bench/fig16a_ring_bandwidth.cpp - Figure 16(a) --------------------===//
+//
+// Figure 16(a): "Circular Example: bandwidth." H1 and H2 sit on opposite
+// sides of a ring whose diameter grows from 2 to 8. A TCP-like and a
+// UDP-like flow measure achieved throughput under (i) the event-driven
+// runtime, which charges tag + digest header bytes to every packet, and
+// (ii) an unmodified reference configuration. The paper reports ~6%
+// average degradation; the shape to check is that the two lines nearly
+// coincide with a small constant gap.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "sim/Simulation.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace eventnet;
+using namespace eventnet::bench;
+
+namespace {
+
+struct Measured {
+  double TcpMbps = 0;
+  double UdpMbps = 0;
+  double UdpLossPct = 0;
+};
+
+/// Simulation parameters modeling the paper's testbed: Mininet with the
+/// *userspace* OpenFlow 1.0 reference switch, whose per-packet software
+/// path is comparable to the wire time; the modified switch additionally
+/// parses/stamps the tag and merges digests (NesTagProcessingSec).
+sim::SimParams testbedParams() {
+  sim::SimParams P;
+  P.SwitchDelaySec = 110e-6;      // userspace switch forwarding path
+  P.NesTagProcessingSec = 7e-6;   // tag + digest handling
+  return P;
+}
+
+Measured measure(const nes::CompiledProgram &C, const topo::Topology &Topo,
+                 sim::Simulation::Mode Mode) {
+  Measured Out;
+  {
+    sim::Simulation S(*C.N, Topo, Mode, testbedParams());
+    S.scheduleTcpFlow(0.0, 2.0, topo::HostH1, topo::HostH2);
+    S.run(3.0);
+    Out.TcpMbps = S.flowStats().goodputBps() / 1e6;
+  }
+  {
+    sim::Simulation S(*C.N, Topo, Mode, testbedParams());
+    // Offered load slightly above the 100 Mbit/s links so the path is
+    // saturated (iperf-style).
+    S.scheduleUdpFlow(0.0, 2.0, topo::HostH1, topo::HostH2, 110e6);
+    S.run(3.0);
+    Out.UdpMbps = S.flowStats().goodputBps() / 1e6;
+    Out.UdpLossPct = S.flowStats().lossRate() * 100;
+  }
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  banner("Figure 16(a)",
+         "ring bandwidth vs diameter: event-driven runtime vs reference");
+
+  TextTable T({"diameter", "tcp_ours_mbps", "tcp_ref_mbps", "udp_ours_mbps",
+               "udp_ref_mbps", "udp_loss_ours_pct", "overhead_pct"});
+  double TotalOverhead = 0;
+  int Points = 0;
+  for (unsigned D = 2; D <= 8; ++D) {
+    apps::App A = apps::ringApp(2 * D, D);
+    nes::CompiledProgram C = compileApp(A);
+    Measured Ours = measure(C, A.Topo, sim::Simulation::Mode::Nes);
+    Measured Ref = measure(C, A.Topo, sim::Simulation::Mode::StaticReference);
+    double Overhead = Ref.UdpMbps > 0
+                          ? (1.0 - Ours.UdpMbps / Ref.UdpMbps) * 100
+                          : 0;
+    TotalOverhead += Overhead;
+    ++Points;
+    T.addRow({std::to_string(D), formatDouble(Ours.TcpMbps, 1),
+              formatDouble(Ref.TcpMbps, 1), formatDouble(Ours.UdpMbps, 1),
+              formatDouble(Ref.UdpMbps, 1),
+              formatDouble(Ours.UdpLossPct, 1), formatDouble(Overhead, 2)});
+  }
+  T.print(std::cout);
+  printf("\naverage bandwidth overhead of tagging/digests: %.2f%%\n",
+         TotalOverhead / Points);
+  printf("Shape check vs the paper: the two lines nearly coincide; the\n"
+         "paper reports ~6%% average degradation (their overhead includes\n"
+         "the modified OpenFlow slow path; ours is pure header bytes).\n");
+  return 0;
+}

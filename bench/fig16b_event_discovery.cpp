@@ -1,0 +1,84 @@
+//===- bench/fig16b_event_discovery.cpp - Figure 16(b) -------------------===//
+//
+// Figure 16(b): "Circular Example: convergence." After the probe event
+// flips the ring configuration, how long until each switch learns about
+// the event? Digest-only dissemination rides on data packets and grows
+// with the ring diameter; controller broadcast flattens the curve. The
+// series reports max and average discovery times, with and without the
+// controller assist (the figure's four bar groups).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "sim/Simulation.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <iostream>
+
+using namespace eventnet;
+using namespace eventnet::bench;
+
+namespace {
+
+struct Discovery {
+  double MaxMs = 0;
+  double AvgMs = 0;
+  unsigned Learned = 0;
+};
+
+Discovery measure(const nes::CompiledProgram &C, const topo::Topology &Topo,
+                  bool Broadcast) {
+  sim::SimParams P;
+  P.CtrlBroadcast = Broadcast;
+  sim::Simulation S(*C.N, Topo, sim::Simulation::Mode::Nes, P);
+  // Bidirectional background pings carry the digests around the ring.
+  for (int I = 0; I != 400; ++I) {
+    S.schedulePing(0.05 + 0.01 * I, topo::HostH1, topo::HostH2);
+    S.schedulePing(0.055 + 0.01 * I, topo::HostH2, topo::HostH1);
+  }
+  S.scheduleProbe(0.5, topo::HostH1, topo::HostH2);
+  S.run(6.0);
+
+  double T0 = S.eventTime(0);
+  Discovery Out;
+  double Sum = 0;
+  for (const auto &[Key, At] : S.learnTimes()) {
+    if (Key.second != 0)
+      continue;
+    double Ms = (At - T0) * 1e3;
+    Out.MaxMs = std::max(Out.MaxMs, Ms);
+    Sum += Ms;
+    ++Out.Learned;
+  }
+  Out.AvgMs = Out.Learned ? Sum / Out.Learned : 0;
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  banner("Figure 16(b)",
+         "ring event discovery time vs diameter, with/without controller");
+
+  TextTable T({"diameter", "max_ms", "avg_ms", "max_ctrl_ms", "avg_ctrl_ms",
+               "switches_learned"});
+  for (unsigned D = 3; D <= 8; ++D) {
+    apps::App A = apps::ringApp(2 * D, D);
+    nes::CompiledProgram C = compileApp(A);
+    Discovery NoCtrl = measure(C, A.Topo, /*Broadcast=*/false);
+    Discovery Ctrl = measure(C, A.Topo, /*Broadcast=*/true);
+    T.addRow({std::to_string(D), formatDouble(NoCtrl.MaxMs, 2),
+              formatDouble(NoCtrl.AvgMs, 2), formatDouble(Ctrl.MaxMs, 2),
+              formatDouble(Ctrl.AvgMs, 2),
+              std::to_string(NoCtrl.Learned) + "/" +
+                  std::to_string(A.Topo.switches().size())});
+  }
+  T.print(std::cout);
+  printf("\nShape check vs the paper: digest-only discovery time grows\n"
+         "with the diameter (their y axis is seconds on Mininet; ours is\n"
+         "milliseconds in the simulator); the controller broadcast caps\n"
+         "it at roughly two controller latencies regardless of size.\n");
+  return 0;
+}

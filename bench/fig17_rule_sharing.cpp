@@ -1,0 +1,75 @@
+//===- bench/fig17_rule_sharing.cpp - Figure 17 --------------------------===//
+//
+// Figure 17: "Heuristic: reducing the number of rules." Randomly
+// generated configuration families (the paper uses 64 configurations of
+// 20 rules each) are fed to the Section 5.3 trie heuristic; the scatter
+// compares the naive rule count against the count after wildcarded-guard
+// sharing. The paper reports ~32% average savings; also reproduced here
+// are the per-application reductions (18->16, 43->27, 72->46, 158->101,
+// 152->133 in the paper).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "opt/RuleSharing.h"
+#include "support/Rng.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace eventnet;
+using namespace eventnet::bench;
+using namespace eventnet::opt;
+
+int main() {
+  banner("Figure 17", "trie heuristic: rules with vs without sharing");
+
+  // Scatter: 64 random configurations of 20 rules drawn from pools of
+  // varying size (smaller pool = more overlap = more sharing).
+  TextTable Scatter({"trial", "pool", "naive_rules", "heuristic_rules",
+                     "savings_pct"});
+  double TotalSavings = 0;
+  int Points = 0;
+  Rng R(2016);
+  for (unsigned Pool = 40; Pool <= 80; Pool += 8) {
+    for (int Trial = 0; Trial != 5; ++Trial) {
+      std::vector<RuleSet> Configs;
+      for (int C = 0; C != 64; ++C) {
+        RuleSet S;
+        while (S.size() < 20)
+          S.insert(static_cast<unsigned>(R.below(Pool)));
+        Configs.push_back(std::move(S));
+      }
+      TrieResult Res = shareRulesHeuristic(Configs);
+      double Savings =
+          (1.0 - static_cast<double>(Res.OptimizedRules) /
+                     static_cast<double>(Res.OriginalRules)) *
+          100;
+      TotalSavings += Savings;
+      ++Points;
+      Scatter.addRow({std::to_string(Points), std::to_string(Pool),
+                      std::to_string(Res.OriginalRules),
+                      std::to_string(Res.OptimizedRules),
+                      formatDouble(Savings, 1)});
+    }
+  }
+  Scatter.print(std::cout);
+  printf("\naverage savings on random configurations: %.1f%% "
+         "(paper: ~32%%)\n\n",
+         TotalSavings / Points);
+
+  // Per-application reductions.
+  TextTable Apps({"application", "rules", "rules_shared", "savings_pct"});
+  for (const apps::App &A : apps::caseStudyApps()) {
+    nes::CompiledProgram C = compileApp(A);
+    NesShareStats S = shareRulesForNes(*C.N, A.Topo);
+    Apps.addRow({A.Name, std::to_string(S.Before), std::to_string(S.After),
+                 formatDouble(S.savings() * 100, 1)});
+  }
+  Apps.print(std::cout);
+  printf("\nShape check vs the paper: savings grow with the number of\n"
+         "configurations sharing structure (their per-app reductions:\n"
+         "18->16, 43->27, 72->46, 158->101, 152->133).\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+//===- bench/micro_compiler.cpp - Compiler micro-benchmarks --------------===//
+//
+// google-benchmark timings for the compiler's internals: FDD
+// construction and algebra, per-switch table extraction, the full
+// source-to-NES pipeline on programs of growing size (bandwidth caps of
+// increasing n drive the number of configurations), the event-structure
+// queries the runtime calls per packet, and the trie-sharing heuristic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Programs.h"
+#include "fdd/Fdd.h"
+#include "nes/Pipeline.h"
+#include "netkat/PathSplit.h"
+#include "opt/RuleSharing.h"
+#include "runtime/Guarded.h"
+#include "stateful/Parser.h"
+#include "stateful/Project.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace eventnet;
+
+namespace {
+
+stateful::SPolRef parsedBandwidthCap(unsigned N) {
+  auto R = stateful::parseProgram(apps::bandwidthCapSource(N));
+  assert(R.Ok);
+  return R.Program;
+}
+
+void BM_ParseBandwidthCap(benchmark::State &State) {
+  std::string Src = apps::bandwidthCapSource(
+      static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    auto R = stateful::parseProgram(Src);
+    benchmark::DoNotOptimize(R.Ok);
+  }
+}
+BENCHMARK(BM_ParseBandwidthCap)->Arg(5)->Arg(20)->Arg(80);
+
+void BM_ProjectAndSplit(benchmark::State &State) {
+  stateful::SPolRef P = parsedBandwidthCap(10);
+  for (auto _ : State) {
+    netkat::PolicyRef Proj = stateful::project(P, {3});
+    auto Split = netkat::splitAtLinks(Proj);
+    benchmark::DoNotOptimize(Split.Ok);
+  }
+}
+BENCHMARK(BM_ProjectAndSplit);
+
+void BM_FddCompileFirewallState(benchmark::State &State) {
+  auto R = stateful::parseProgram(apps::firewallSource());
+  netkat::PolicyRef Proj = stateful::project(R.Program, {1});
+  auto Split = netkat::splitAtLinks(Proj);
+  for (auto _ : State) {
+    fdd::FddManager M;
+    fdd::NodeId D = M.compile(Split.Local);
+    benchmark::DoNotOptimize(D);
+  }
+}
+BENCHMARK(BM_FddCompileFirewallState);
+
+void BM_FddUnionChain(benchmark::State &State) {
+  // Union of n disjoint forwarding clauses (a growing flow table).
+  unsigned N = static_cast<unsigned>(State.range(0));
+  FieldId Dst = apps::ipDstField();
+  for (auto _ : State) {
+    fdd::FddManager M;
+    fdd::NodeId Acc = M.dropLeaf();
+    for (unsigned I = 0; I != N; ++I) {
+      netkat::PolicyRef P = netkat::seq(
+          netkat::filter(netkat::pTest(Dst, static_cast<Value>(I))),
+          netkat::modPt(I % 8 + 1));
+      Acc = M.unionFdd(Acc, M.compile(P));
+    }
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+BENCHMARK(BM_FddUnionChain)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_TableExtraction(benchmark::State &State) {
+  apps::App A = apps::bandwidthCapApp(10);
+  auto R = stateful::parseProgram(A.Source);
+  netkat::PolicyRef Proj = stateful::project(R.Program, {5});
+  auto Split = netkat::splitAtLinks(Proj);
+  fdd::FddManager M;
+  fdd::NodeId D = M.compile(Split.Local);
+  for (auto _ : State) {
+    flowtable::Table T = M.toSwitchTable(D, 4);
+    benchmark::DoNotOptimize(T.size());
+  }
+}
+BENCHMARK(BM_TableExtraction);
+
+void BM_FullPipelineBandwidthCap(benchmark::State &State) {
+  apps::App A = apps::bandwidthCapApp(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    nes::CompiledProgram C = nes::compileSource(A.Source, A.Topo);
+    benchmark::DoNotOptimize(C.Ok);
+  }
+}
+BENCHMARK(BM_FullPipelineBandwidthCap)->Arg(2)->Arg(10)->Arg(40);
+
+void BM_FullPipelineRing(benchmark::State &State) {
+  unsigned D = static_cast<unsigned>(State.range(0));
+  apps::App A = apps::ringApp(2 * D, D);
+  for (auto _ : State) {
+    nes::CompiledProgram C = nes::compileAst(A.Ast, A.Topo);
+    benchmark::DoNotOptimize(C.Ok);
+  }
+}
+BENCHMARK(BM_FullPipelineRing)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_NesEnabledEvents(benchmark::State &State) {
+  apps::App A = apps::bandwidthCapApp(10);
+  nes::CompiledProgram C = nes::compileSource(A.Source, A.Topo);
+  DenseBitSet Half;
+  for (unsigned I = 0; I != 5; ++I)
+    Half.set(I);
+  for (auto _ : State) {
+    auto E = C.N->enabledEvents(Half);
+    benchmark::DoNotOptimize(E.size());
+  }
+}
+BENCHMARK(BM_NesEnabledEvents);
+
+void BM_GuardedTableBuild(benchmark::State &State) {
+  apps::App A = apps::bandwidthCapApp(10);
+  nes::CompiledProgram C = nes::compileSource(A.Source, A.Topo);
+  for (auto _ : State) {
+    topo::Configuration G = runtime::buildGuardedConfig(*C.N, A.Topo);
+    benchmark::DoNotOptimize(G.totalRules());
+  }
+}
+BENCHMARK(BM_GuardedTableBuild);
+
+void BM_TrieHeuristic(benchmark::State &State) {
+  Rng R(7);
+  std::vector<opt::RuleSet> Configs;
+  for (int I = 0; I != 64; ++I) {
+    opt::RuleSet S;
+    while (S.size() < 20)
+      S.insert(static_cast<unsigned>(R.below(32)));
+    Configs.push_back(std::move(S));
+  }
+  for (auto _ : State) {
+    opt::TrieResult Res = opt::shareRulesHeuristic(Configs);
+    benchmark::DoNotOptimize(Res.OptimizedRules);
+  }
+}
+BENCHMARK(BM_TrieHeuristic);
+
+} // namespace
+
+BENCHMARK_MAIN();

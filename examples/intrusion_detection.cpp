@@ -1,0 +1,61 @@
+//===- examples/intrusion_detection.cpp - IDS case study ------------------===//
+//
+// The paper's intrusion detection system (Figures 8(e)/9(e)): all
+// traffic flows until H4 exhibits a scan signature (contacting H1 and
+// then H2 in order), after which H4 -> H3 is cut off. Shows both the
+// benign interleaving (H2 before H1: nothing happens) and the scan.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Programs.h"
+#include "consistency/Check.h"
+#include "nes/Pipeline.h"
+#include "sim/Simulation.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace eventnet;
+
+namespace {
+
+void scenario(const nes::CompiledProgram &C, const topo::Topology &Topo,
+              const std::vector<HostId> &Contacts, const char *Label) {
+  sim::Simulation S(*C.N, Topo, sim::Simulation::Mode::Nes);
+  double At = 0.5;
+  for (HostId To : Contacts) {
+    S.schedulePing(At, topo::HostH4, To);
+    At += 0.5;
+  }
+  S.run(At + 2.0);
+
+  printf("--- %s ---\n", Label);
+  for (size_t I = 0; I != Contacts.size(); ++I)
+    printf("H4 -> H%u : %s\n", Contacts[I],
+           S.pings()[I].Succeeded ? "ok" : "blocked");
+  auto Check = consistency::checkAgainstNes(S.trace(), Topo, *C.N);
+  printf("checker: %s\n\n",
+         Check.Correct ? "correct" : Check.Reason.c_str());
+}
+
+} // namespace
+
+int main() {
+  apps::App A = apps::idsApp();
+  nes::CompiledProgram C = nes::compileSource(A.Source, A.Topo);
+  if (!C.Ok) {
+    std::cerr << "compile error: " << C.Error << '\n';
+    return 1;
+  }
+
+  // Benign order: H2 first does not arm the detector.
+  scenario(C, A.Topo,
+           {topo::HostH2, topo::HostH1, topo::HostH3, topo::HostH3},
+           "benign: H2, H1, H3, H3 (H3 stays reachable)");
+
+  // Scan signature: H1 then H2 cuts H3 off.
+  scenario(C, A.Topo,
+           {topo::HostH3, topo::HostH1, topo::HostH2, topo::HostH3},
+           "scan: H3, H1, H2, H3 (last contact blocked)");
+  return 0;
+}

@@ -1,0 +1,58 @@
+//===- examples/port_knocking.cpp - Authentication case study -------------===//
+//
+// The paper's authentication application (Figures 8(c)/9(c)): the
+// untrusted host H4 must contact H1 and then H2, in that order, before
+// it is allowed to reach H3 — a port-knocking scheme expressed as a
+// two-event causal chain in the NES. Demonstrates that out-of-order
+// knocks do not advance the state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Programs.h"
+#include "consistency/Check.h"
+#include "nes/Pipeline.h"
+#include "sim/Simulation.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace eventnet;
+
+int main() {
+  apps::App A = apps::authenticationApp();
+  nes::CompiledProgram C = nes::compileSource(A.Source, A.Topo);
+  if (!C.Ok) {
+    std::cerr << "compile error: " << C.Error << '\n';
+    return 1;
+  }
+
+  std::cout << "NES (note the enabling chain e0 -> e1):\n"
+            << C.N->str() << '\n';
+
+  sim::Simulation S(*C.N, A.Topo, sim::Simulation::Mode::Nes);
+  struct Try {
+    double At;
+    HostId To;
+    const char *Note;
+  };
+  std::vector<Try> Script = {
+      {0.5, topo::HostH3, "direct attempt (blocked)"},
+      {1.0, topo::HostH2, "knock 2 first (ignored: wrong order)"},
+      {1.5, topo::HostH1, "knock 1"},
+      {2.0, topo::HostH3, "still blocked (one knock missing)"},
+      {2.5, topo::HostH2, "knock 2"},
+      {3.0, topo::HostH3, "access granted"},
+  };
+  for (const Try &T : Script)
+    S.schedulePing(T.At, topo::HostH4, T.To);
+  S.run(5.0);
+
+  for (size_t I = 0; I != Script.size(); ++I)
+    printf("t=%.1fs  H4 -> H%u : %-4s  (%s)\n", Script[I].At, Script[I].To,
+           S.pings()[I].Succeeded ? "ok" : "----", Script[I].Note);
+
+  auto Check = consistency::checkAgainstNes(S.trace(), A.Topo, *C.N);
+  printf("\nconsistency check: %s\n",
+         Check.Correct ? "correct" : Check.Reason.c_str());
+  return Check.Correct ? 0 : 1;
+}

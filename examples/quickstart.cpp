@@ -1,0 +1,73 @@
+//===- examples/quickstart.cpp - First steps with the library -------------===//
+//
+// Compiles a Stateful NetKAT program (the paper's stateful firewall),
+// inspects every compiler artifact along the way (ETS, NES, flow tables,
+// guarded tables), runs it in the simulator, and verifies the recorded
+// network trace against the event-driven consistency definition.
+//
+// Build:   cmake -B build -G Ninja && cmake --build build
+// Run:     ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Programs.h"
+#include "consistency/Check.h"
+#include "nes/Pipeline.h"
+#include "runtime/Guarded.h"
+#include "sim/Simulation.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace eventnet;
+
+int main() {
+  // 1. A Stateful NetKAT program: NetKAT plus a global `state` vector.
+  //    Links may assign a state component when a packet crosses them —
+  //    that is the event that drives reconfiguration.
+  std::string Source = apps::firewallSource();
+  std::cout << "=== Stateful NetKAT source ===\n" << Source << '\n';
+
+  // 2. Compile: parse -> per-state NetKAT projections -> FDD -> flow
+  //    tables; extract event-edges -> ETS -> network event structure.
+  topo::Topology Topo = topo::firewallTopology();
+  nes::CompiledProgram C = nes::compileSource(Source, Topo);
+  if (!C.Ok) {
+    std::cerr << "compile error: " << C.Error << '\n';
+    return 1;
+  }
+  printf("compiled in %.3f ms\n\n", C.CompileSeconds * 1e3);
+
+  std::cout << "=== Event-driven transition system ===\n" << C.Ets.str();
+  std::cout << "\n=== Network event structure ===\n" << C.N->str();
+
+  std::cout << "\n=== Per-state flow tables (state [0]) ===\n"
+            << C.Ets.vertices()[0].Config.str();
+
+  // 3. The Section 4 implementation: one physical table per switch with
+  //    every configuration's rules guarded by its event-set tag.
+  topo::Configuration Guarded = runtime::buildGuardedConfig(*C.N, Topo);
+  printf("\nguarded tables install %zu rules across %zu switches\n",
+         Guarded.totalRules(), Topo.switches().size());
+
+  // 4. Simulate: H4 cannot reach H1 until H1 has contacted H4; the reply
+  //    to H1's very first packet already makes it back (no dropped
+  //    SYN-ACKs — the situation Section 1 motivates).
+  sim::Simulation S(*C.N, Topo, sim::Simulation::Mode::Nes);
+  S.schedulePing(0.5, topo::HostH4, topo::HostH1); // blocked
+  S.schedulePing(1.0, topo::HostH1, topo::HostH4); // opens the firewall
+  S.schedulePing(1.5, topo::HostH4, topo::HostH1); // now allowed
+  S.run(3.0);
+
+  std::cout << "\n=== Ping timeline ===\n";
+  for (const auto &P : S.pings())
+    printf("t=%.1fs  H%u -> H%u : %s\n", P.SentAt, P.From, P.To,
+           P.Succeeded ? "reply received" : "no reply");
+
+  // 5. Verify the whole run against Definition 6.
+  auto Check = consistency::checkAgainstNes(S.trace(), Topo, *C.N);
+  printf("\nconsistency check: %s\n",
+         Check.Correct ? "CORRECT (event-driven consistent update)"
+                       : Check.Reason.c_str());
+  return Check.Correct ? 0 : 1;
+}

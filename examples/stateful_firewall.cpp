@@ -1,0 +1,76 @@
+//===- examples/stateful_firewall.cpp - Correct vs uncoordinated ----------===//
+//
+// The paper's headline comparison (Section 5.1, Figure 11): the same
+// stateful-firewall program run under the event-driven consistent
+// runtime and under an uncoordinated controller that pushes updates
+// after a delay. The uncoordinated run drops replies during the window
+// between the event and the table pushes, and the consistency checker
+// pinpoints the violation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Programs.h"
+#include "consistency/Check.h"
+#include "nes/Pipeline.h"
+#include "sim/Simulation.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace eventnet;
+
+namespace {
+
+void runMode(const nes::CompiledProgram &C, const topo::Topology &Topo,
+             sim::Simulation::Mode Mode, const char *Label) {
+  sim::SimParams P;
+  P.UncoordDelaySec = 1.5;
+  sim::Simulation S(*C.N, Topo, Mode, P);
+
+  // H4 probes first (should fail), then H1 opens the connection and
+  // keeps pinging; finally H4 tries again (should succeed).
+  S.schedulePing(0.5, topo::HostH4, topo::HostH1);
+  for (int I = 0; I != 10; ++I)
+    S.schedulePing(1.0 + 0.2 * I, topo::HostH1, topo::HostH4);
+  S.schedulePing(3.5, topo::HostH4, topo::HostH1);
+  S.run(6.0);
+
+  printf("--- %s ---\n", Label);
+  size_t Dropped = 0;
+  for (const auto &Ping : S.pings()) {
+    if (!Ping.Succeeded)
+      ++Dropped;
+    printf("t=%.1fs  H%u -> H%u : %s\n", Ping.SentAt, Ping.From, Ping.To,
+           Ping.Succeeded ? "ok" : "LOST");
+  }
+  printf("lost pings: %zu\n", Dropped);
+
+  auto Check = consistency::checkAgainstNes(S.trace(), Topo, *C.N);
+  if (Check.Correct)
+    printf("checker: trace is an event-driven consistent update\n\n");
+  else
+    printf("checker: VIOLATION - %s\n\n", Check.Reason.c_str());
+}
+
+} // namespace
+
+int main() {
+  apps::App A = apps::firewallApp();
+  nes::CompiledProgram C = nes::compileSource(A.Source, A.Topo);
+  if (!C.Ok) {
+    std::cerr << "compile error: " << C.Error << '\n';
+    return 1;
+  }
+
+  runMode(C, A.Topo, sim::Simulation::Mode::Nes,
+          "event-driven consistent runtime (this paper)");
+  runMode(C, A.Topo, sim::Simulation::Mode::Uncoordinated,
+          "uncoordinated baseline (delay 1.5 s)");
+
+  printf("The uncoordinated run loses replies in the window between the\n"
+         "event at s4 and the controller's table pushes; the consistent\n"
+         "runtime never does, because s4's very own event detection\n"
+         "retags packets immediately and other switches follow the\n"
+         "happens-before order carried by packet digests.\n");
+  return 0;
+}

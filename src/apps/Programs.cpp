@@ -1,0 +1,253 @@
+//===- apps/Programs.cpp - The paper's applications ------------------------===//
+
+#include "apps/Programs.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace eventnet;
+using namespace eventnet::apps;
+using namespace eventnet::stateful;
+
+FieldId apps::ipDstField() {
+  static FieldId F = fieldOf("ip_dst");
+  return F;
+}
+
+FieldId apps::probeField() {
+  static FieldId F = fieldOf("probe");
+  return F;
+}
+
+std::string apps::firewallSource() {
+  // Figure 9(a).
+  return R"(
+let H1 = 1;
+let H4 = 4;
+
+// Outgoing H1 -> H4 traffic, always allowed; the first packet seen at s4
+// triggers the state change.
+pt=2 and ip_dst=H4; pt<-1;
+  ( state=[0]; (1:1)->(4:1)<state<-[1]>
+  + state!=[0]; (1:1)->(4:1) );
+pt<-2
+
+// Incoming H4 -> H1 traffic, only after the outside world was contacted.
++ pt=2 and ip_dst=H1; state=[1]; pt<-1; (4:1)->(1:1); pt<-2
+)";
+}
+
+std::string apps::learningSwitchSource() {
+  // Figure 9(b).
+  return R"(
+let H1 = 1;
+let H4 = 4;
+
+// Traffic to H1 from H4's side: always to H1; additionally flooded to H2
+// until H1's address is learned.
+pt=2 and ip_dst=H1;
+  ( pt<-1; (4:1)->(1:1)
+  + state=[0]; pt<-3; (4:3)->(2:1) );
+pt<-2
+
+// H1's traffic to H4; seeing it at s4 learns H1's address.
++ pt=2 and ip_dst=H4; pt<-1; (1:1)->(4:1)<state<-[1]>; pt<-2
+
+// H2's traffic heads back to H4.
++ pt=2; pt<-1; (2:1)->(4:3); pt<-2
+)";
+}
+
+std::string apps::authenticationSource() {
+  // Figure 9(c).
+  return R"(
+let H1 = 1;
+let H2 = 2;
+let H3 = 3;
+
+// The untrusted host H4 must knock on H1 then H2, in that order, before
+// H4 -> H3 traffic is enabled.
+state=[0] and pt=2 and ip_dst=H1; pt<-1; (4:1)->(1:1)<state<-[1]>; pt<-2
++ state=[1] and pt=2 and ip_dst=H2; pt<-3; (4:3)->(2:1)<state<-[2]>; pt<-2
++ state=[2] and pt=2 and ip_dst=H3; pt<-4; (4:4)->(3:1); pt<-2
+
+// Replies from the internal hosts flow back to H4.
++ pt=2; pt<-1; ((1:1)->(4:1) + (2:1)->(4:3) + (3:1)->(4:4)); pt<-2
+)";
+}
+
+std::string apps::bandwidthCapSource(unsigned N) {
+  // Figure 9(d), parameterized by the cap.
+  std::ostringstream OS;
+  OS << "let H1 = 1;\nlet H4 = 4;\n\n";
+  OS << "pt=2 and ip_dst=H4;\npt<-1; (\n";
+  for (unsigned I = 0; I <= N; ++I)
+    OS << (I ? "  + " : "    ") << "state=[" << I << "]; (1:1)->(4:1)<state<-["
+       << (I + 1) << "]>\n";
+  OS << "  + state=[" << (N + 1) << "]; (1:1)->(4:1)\n";
+  OS << "); pt<-2\n";
+  OS << "+ pt=2 and ip_dst=H1; state!=[" << (N + 1)
+     << "]; pt<-1; (4:1)->(1:1); pt<-2\n";
+  return OS.str();
+}
+
+std::string apps::idsSource() {
+  // Figure 9(e).
+  return R"(
+let H1 = 1;
+let H2 = 2;
+let H3 = 3;
+
+// All traffic flows, but contacting H1 and then H2 (a scan signature)
+// cuts off access to H3.
+pt=2 and ip_dst=H1; pt<-1;
+  ( state=[0]; (4:1)->(1:1)<state<-[1]>
+  + state!=[0]; (4:1)->(1:1) );
+pt<-2
++ pt=2 and ip_dst=H2; pt<-3;
+  ( state=[1]; (4:3)->(2:1)<state<-[2]>
+  + state!=[1]; (4:3)->(2:1) );
+pt<-2
++ pt=2 and ip_dst=H3; pt<-4; state!=[2]; (4:4)->(3:1); pt<-2
+
+// Replies from the internal hosts flow back to H4.
++ pt=2; pt<-1; ((1:1)->(4:1) + (2:1)->(4:3) + (3:1)->(4:4)); pt<-2
+)";
+}
+
+//===----------------------------------------------------------------------===//
+// Ring program (AST-built; parameterized)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// pt<-OutPort; (link) for each hop in \p Hops, then egress to port 3.
+SPolRef pathPolicy(const std::vector<std::pair<Location, Location>> &Hops) {
+  std::vector<SPolRef> Parts;
+  for (const auto &[Src, Dst] : Hops) {
+    Parts.push_back(sMod(FieldPt, static_cast<Value>(Src.Pt)));
+    Parts.push_back(sLink(Src, Dst));
+  }
+  Parts.push_back(sMod(FieldPt, 3));
+  return sSeqAll(Parts);
+}
+
+/// Clockwise hop sequence a -> a+1 -> ... -> b (mod N).
+std::vector<std::pair<Location, Location>> cwHops(unsigned A, unsigned B,
+                                                  unsigned N) {
+  std::vector<std::pair<Location, Location>> Out;
+  for (unsigned I = A; I != B; I = (I % N) + 1) {
+    unsigned Next = (I % N) + 1;
+    Out.push_back({Location{I, 1}, Location{Next, 2}});
+  }
+  return Out;
+}
+
+/// Counterclockwise hop sequence a -> a-1 -> ... -> b (mod N).
+std::vector<std::pair<Location, Location>> ccwHops(unsigned A, unsigned B,
+                                                   unsigned N) {
+  std::vector<std::pair<Location, Location>> Out;
+  for (unsigned I = A; I != B; I = (I == 1 ? N : I - 1)) {
+    unsigned Prev = (I == 1 ? N : I - 1);
+    Out.push_back({Location{I, 2}, Location{Prev, 1}});
+  }
+  return Out;
+}
+
+SPredRef ingressTo(Value Dst) {
+  return sAnd(sFieldTest(FieldPt, true, 3),
+              sFieldTest(apps::ipDstField(), true, Dst));
+}
+
+} // namespace
+
+SPolRef apps::ringProgram(unsigned NumSwitches, unsigned Diameter) {
+  assert(NumSwitches >= 3 && Diameter >= 1 && Diameter < NumSwitches);
+  unsigned H2Sw = 1 + Diameter;
+
+  // State 0, H1 -> H2 clockwise, regular traffic.
+  auto CW = cwHops(1, H2Sw, NumSwitches);
+  SPolRef Fwd0 =
+      sSeqAll({sFilter(sAnd(ingressTo(2),
+                            sFieldTest(probeField(), false, 1))),
+               sFilter(sStateTest(0, true, 0)), pathPolicy(CW)});
+
+  // State 0, the probe packet: same path, but the final link flips the
+  // state when the probe reaches H2's switch.
+  std::vector<SPolRef> ProbeParts;
+  ProbeParts.push_back(sFilter(
+      sAnd(ingressTo(2), sFieldTest(probeField(), true, 1))));
+  ProbeParts.push_back(sFilter(sStateTest(0, true, 0)));
+  for (size_t I = 0; I != CW.size(); ++I) {
+    ProbeParts.push_back(sMod(FieldPt, static_cast<Value>(CW[I].first.Pt)));
+    if (I + 1 == CW.size())
+      ProbeParts.push_back(
+          sLinkAssign(CW[I].first, CW[I].second, /*Index=*/0, /*V=*/1));
+    else
+      ProbeParts.push_back(sLink(CW[I].first, CW[I].second));
+  }
+  ProbeParts.push_back(sMod(FieldPt, 3));
+  SPolRef Probe0 = sSeqAll(ProbeParts);
+
+  // State 0, H2 -> H1 continues clockwise around the far side of the
+  // ring, so every switch carries traffic in state 0 (and can therefore
+  // pick up event digests; cf. the Figure 16(b) discovery experiment).
+  SPolRef Rev0 = sSeqAll({sFilter(ingressTo(1)),
+                          sFilter(sStateTest(0, true, 0)),
+                          pathPolicy(cwHops(H2Sw, 1, NumSwitches))});
+
+  // State 1 reverses the circulation: H1 -> H2 counterclockwise through
+  // N, H2 -> H1 counterclockwise through the near side.
+  SPolRef Fwd1 = sSeqAll({sFilter(ingressTo(2)),
+                          sFilter(sStateTest(0, true, 1)),
+                          pathPolicy(ccwHops(1, H2Sw, NumSwitches))});
+  SPolRef Rev1 = sSeqAll({sFilter(ingressTo(1)),
+                          sFilter(sStateTest(0, true, 1)),
+                          pathPolicy(ccwHops(H2Sw, 1, NumSwitches))});
+
+  return sUnionAll({Fwd0, Probe0, Rev0, Fwd1, Rev1});
+}
+
+//===----------------------------------------------------------------------===//
+// App bundles
+//===----------------------------------------------------------------------===//
+
+App apps::firewallApp() {
+  return App{"stateful-firewall", firewallSource(), nullptr,
+             topo::firewallTopology()};
+}
+
+App apps::learningSwitchApp() {
+  return App{"learning-switch", learningSwitchSource(), nullptr,
+             topo::starTopology()};
+}
+
+App apps::authenticationApp() {
+  return App{"authentication", authenticationSource(), nullptr,
+             topo::starTopology()};
+}
+
+App apps::bandwidthCapApp(unsigned N) {
+  return App{"bandwidth-cap", bandwidthCapSource(N), nullptr,
+             topo::firewallTopology()};
+}
+
+App apps::idsApp() {
+  return App{"intrusion-detection", idsSource(), nullptr,
+             topo::starTopology()};
+}
+
+App apps::ringApp(unsigned NumSwitches, unsigned Diameter) {
+  return App{"ring-update", "", ringProgram(NumSwitches, Diameter),
+             topo::ringTopology(NumSwitches, Diameter)};
+}
+
+std::vector<App> apps::caseStudyApps() {
+  std::vector<App> Out;
+  Out.push_back(firewallApp());
+  Out.push_back(learningSwitchApp());
+  Out.push_back(authenticationApp());
+  Out.push_back(bandwidthCapApp());
+  Out.push_back(idsApp());
+  return Out;
+}

@@ -1,0 +1,84 @@
+//===- apps/Programs.h - The paper's applications ---------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source text for the paper's case-study applications (Figure 9, in
+/// this repository's ASCII concrete syntax) plus the synthetic ring
+/// program of Section 5.2, and the matching topologies. The header field
+/// "ip_dst" carries the destination host number, matching the ip_dst
+/// tests of Figure 9; the ring's event-triggering packets additionally
+/// carry "probe" = 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_APPS_PROGRAMS_H
+#define EVENTNET_APPS_PROGRAMS_H
+
+#include "stateful/Ast.h"
+#include "topo/Builders.h"
+
+#include <string>
+
+namespace eventnet {
+namespace apps {
+
+/// The ip_dst header field used by every example.
+FieldId ipDstField();
+/// The probe header field used by the ring program's event packets.
+FieldId probeField();
+
+/// Figure 9(a): stateful firewall on the Figure 1 topology. H1 can
+/// always reach H4; H4 can reach H1 only after H1's traffic has been
+/// seen at s4.
+std::string firewallSource();
+
+/// Figure 9(b): learning switch on the star. Traffic to H1 is flooded
+/// (to H1 and H2) until H4's traffic has been observed, then unicast.
+std::string learningSwitchSource();
+
+/// Figure 9(c): authentication on the star. H4 must probe H1 then H2 (in
+/// that order) before it may contact H3.
+std::string authenticationSource();
+
+/// Figure 9(d): bandwidth cap on the Figure 1 topology. Outgoing H1->H4
+/// traffic is always allowed; after \p N outgoing packets the incoming
+/// path is cut off.
+std::string bandwidthCapSource(unsigned N = 10);
+
+/// Figure 9(e): intrusion detection on the star. All traffic flows until
+/// H4 contacts H1 and then H2 (a scan), after which H4->H3 is blocked.
+std::string idsSource();
+
+/// Section 5.2 ring program (built as an AST since it is parameterized):
+/// H1->H2 traffic flows clockwise; a probe packet arriving at H2's
+/// switch flips the configuration to counterclockwise. Replies H2->H1
+/// retrace the respective path. \p NumSwitches and \p Diameter mirror
+/// topo::ringTopology.
+stateful::SPolRef ringProgram(unsigned NumSwitches, unsigned Diameter);
+
+/// Convenience bundle: program source/AST plus matching topology.
+struct App {
+  std::string Name;
+  std::string Source;               // empty for AST-built apps
+  stateful::SPolRef Ast;            // null for source-built apps
+  topo::Topology Topo;
+};
+
+App firewallApp();
+App learningSwitchApp();
+App authenticationApp();
+App bandwidthCapApp(unsigned N = 10);
+App idsApp();
+App ringApp(unsigned NumSwitches, unsigned Diameter);
+
+/// All five case-study apps (firewall, learning, auth, bwcap, ids).
+std::vector<App> caseStudyApps();
+
+} // namespace apps
+} // namespace eventnet
+
+#endif // EVENTNET_APPS_PROGRAMS_H

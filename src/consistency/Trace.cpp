@@ -1,0 +1,100 @@
+//===- consistency/Trace.cpp - Network traces ------------------------------===//
+
+#include "consistency/Trace.h"
+
+#include <cassert>
+#include <map>
+#include <sstream>
+
+using namespace eventnet;
+using namespace eventnet::consistency;
+
+int NetworkTrace::append(TraceEntry E) {
+  assert(E.Parent < static_cast<int>(Entries.size()) &&
+         "parent must precede child");
+  Entries.push_back(std::move(E));
+  ClosureValid = false;
+  return static_cast<int>(Entries.size()) - 1;
+}
+
+std::vector<std::vector<int>> NetworkTrace::packetTraces() const {
+  // Children lists.
+  std::vector<std::vector<int>> Children(Entries.size());
+  std::vector<int> Roots;
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    if (Entries[I].Parent < 0)
+      Roots.push_back(static_cast<int>(I));
+    else
+      Children[Entries[I].Parent].push_back(static_cast<int>(I));
+  }
+
+  std::vector<std::vector<int>> Out;
+  std::vector<int> Chain;
+  struct Rec {
+    const std::vector<std::vector<int>> &Children;
+    std::vector<std::vector<int>> &Out;
+    void go(int Node, std::vector<int> &Chain) {
+      Chain.push_back(Node);
+      if (Children[Node].empty())
+        Out.push_back(Chain);
+      for (int C : Children[Node])
+        go(C, Chain);
+      Chain.pop_back();
+    }
+  };
+  Rec R{Children, Out};
+  for (int Root : Roots)
+    R.go(Root, Chain);
+  return Out;
+}
+
+void NetworkTrace::buildClosure() const {
+  size_t N = Entries.size();
+  size_t Words = (N + 63) / 64;
+  Closure.assign(N, std::vector<uint64_t>(Words, 0));
+
+  // Direct edges: parent -> child, and per-switch consecutive order.
+  std::vector<std::vector<int>> Succ(N);
+  std::map<SwitchId, int> LastAtSwitch;
+  for (size_t I = 0; I != N; ++I) {
+    if (Entries[I].Parent >= 0)
+      Succ[Entries[I].Parent].push_back(static_cast<int>(I));
+    SwitchId Sw = Entries[I].Lp.sw();
+    auto It = LastAtSwitch.find(Sw);
+    if (It != LastAtSwitch.end())
+      Succ[It->second].push_back(static_cast<int>(I));
+    LastAtSwitch[Sw] = static_cast<int>(I);
+  }
+
+  // Both orders respect log order, so a single reverse sweep closes the
+  // relation: Closure[I] = union of {J} ∪ Closure[J] over successors J.
+  for (size_t I = N; I-- > 0;) {
+    for (int J : Succ[I]) {
+      Closure[I][J / 64] |= uint64_t(1) << (J % 64);
+      for (size_t W = 0; W != Words; ++W)
+        Closure[I][W] |= Closure[J][W];
+    }
+  }
+  ClosureValid = true;
+}
+
+bool NetworkTrace::happensBefore(int A, int B) const {
+  assert(A >= 0 && B >= 0 && A < static_cast<int>(Entries.size()) &&
+         B < static_cast<int>(Entries.size()) && "entry index out of range");
+  if (!ClosureValid)
+    buildClosure();
+  return (Closure[A][B / 64] >> (B % 64)) & 1;
+}
+
+std::string NetworkTrace::str() const {
+  std::ostringstream OS;
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    OS << I << ": " << Entries[I].Lp.str();
+    if (Entries[I].Parent >= 0)
+      OS << " <- " << Entries[I].Parent;
+    if (Entries[I].IsDelivery)
+      OS << " (delivered)";
+    OS << '\n';
+  }
+  return OS.str();
+}

@@ -1,0 +1,81 @@
+//===- consistency/Trace.h - Network traces ---------------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Network traces (paper Section 2): a global interleaving of located
+/// packets together with the tree structure that groups them into packet
+/// traces (multicast forks a packet trace into a tree; each root-to-leaf
+/// chain is one packet trace). The happens-before relation of Definition
+/// 1 is derived from (a) the per-switch total processing order and (b)
+/// the per-packet-trace order.
+///
+/// Entries are appended by the runtime/simulator at every located-packet
+/// occurrence: host emission (at the ingress port), switch egress (at the
+/// output port), link arrival (at the destination port), and delivery
+/// (an egress at a host-facing port).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_CONSISTENCY_TRACE_H
+#define EVENTNET_CONSISTENCY_TRACE_H
+
+#include "netkat/Packet.h"
+#include "support/Ids.h"
+
+#include <string>
+#include <vector>
+
+namespace eventnet {
+namespace consistency {
+
+/// One located-packet occurrence in the global interleaving.
+struct TraceEntry {
+  /// The located packet (its sw/pt fields are the location).
+  netkat::Packet Lp;
+  /// Index of the occurrence this one directly follows in its packet
+  /// trace, or -1 for a root (host emission).
+  int Parent = -1;
+  /// True for an egress at a host-facing port (the packet left the
+  /// network).
+  bool IsDelivery = false;
+};
+
+/// The recorded network trace.
+class NetworkTrace {
+public:
+  /// Appends an entry; returns its index.
+  int append(TraceEntry E);
+
+  const std::vector<TraceEntry> &entries() const { return Entries; }
+  size_t size() const { return Entries.size(); }
+
+  /// All packet traces: root-to-leaf index chains of the parent forest.
+  /// A root with no children is a single-entry trace.
+  std::vector<std::vector<int>> packetTraces() const;
+
+  /// happens-before: Definition 1's least partial order. True if entry
+  /// \p A must precede entry \p B. Computed lazily; the first query
+  /// builds a reachability closure over the per-switch and per-trace
+  /// orders.
+  bool happensBefore(int A, int B) const;
+
+  std::string str() const;
+
+private:
+  void buildClosure() const;
+
+  std::vector<TraceEntry> Entries;
+  /// Reachability bitsets: Closure[I] has bit J set iff I happens-before
+  /// J (strictly). Rebuilt when entries change.
+  mutable std::vector<std::vector<uint64_t>> Closure;
+  mutable bool ClosureValid = false;
+};
+
+} // namespace consistency
+} // namespace eventnet
+
+#endif // EVENTNET_CONSISTENCY_TRACE_H

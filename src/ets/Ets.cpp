@@ -1,0 +1,145 @@
+//===- ets/Ets.cpp - Event-driven transition systems ----------------------===//
+
+#include "ets/Ets.h"
+
+#include "netkat/PathSplit.h"
+#include "stateful/Project.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace eventnet;
+using namespace eventnet::ets;
+using eventnet::stateful::StateVec;
+
+std::vector<const Edge *> Ets::edgesFrom(unsigned V) const {
+  std::vector<const Edge *> Out;
+  for (const Edge &E : EdgeList)
+    if (E.From == V)
+      Out.push_back(&E);
+  return Out;
+}
+
+std::string Ets::str() const {
+  std::ostringstream OS;
+  for (unsigned I = 0; I != Verts.size(); ++I)
+    OS << 'v' << I << " = " << stateful::stateVecStr(Verts[I].K)
+       << (I == initial() ? " (initial)" : "") << '\n';
+  for (const Edge &E : EdgeList)
+    OS << 'v' << E.From << " --(" << E.Guard.str() << ", " << E.Loc.Sw << ':'
+       << E.Loc.Pt << ")--> v" << E.To << '\n';
+  return OS.str();
+}
+
+namespace {
+
+/// Returns true if the directed graph on \p NumVerts vertices with edges
+/// \p Edges contains a cycle.
+bool hasCycle(unsigned NumVerts, const std::vector<Edge> &Edges) {
+  // Kahn's algorithm: a cycle exists iff not all vertices drain.
+  std::vector<unsigned> InDeg(NumVerts, 0);
+  for (const Edge &E : Edges)
+    ++InDeg[E.To];
+  std::deque<unsigned> Queue;
+  for (unsigned V = 0; V != NumVerts; ++V)
+    if (InDeg[V] == 0)
+      Queue.push_back(V);
+  unsigned Drained = 0;
+  while (!Queue.empty()) {
+    unsigned V = Queue.front();
+    Queue.pop_front();
+    ++Drained;
+    for (const Edge &E : Edges)
+      if (E.From == V && --InDeg[E.To] == 0)
+        Queue.push_back(E.To);
+  }
+  return Drained != NumVerts;
+}
+
+} // namespace
+
+BuildResult ets::buildEts(const stateful::SPolRef &Program,
+                          const topo::Topology &Topo, StateVec K0) {
+  BuildResult Res;
+  unsigned Size = stateful::stateSize(Program);
+  K0.resize(Size, 0);
+
+  // Shared FDD manager: hash consing makes the per-state configurations
+  // share structure, exactly the commonality the Section 5.3 optimization
+  // later exploits.
+  fdd::FddManager Fdd;
+
+  std::map<StateVec, unsigned> Index;
+  std::deque<StateVec> Work{K0};
+  Index[K0] = 0;
+  std::set<std::tuple<unsigned, std::string, unsigned>> SeenEdges;
+
+  while (!Work.empty()) {
+    StateVec K = Work.front();
+    Work.pop_front();
+    unsigned VIdx = Index[K];
+
+    // Compile the state's configuration.
+    netkat::PolicyRef Proj = stateful::project(Program, K);
+    netkat::PathSplitResult Split = netkat::splitAtLinks(Proj);
+    if (!Split.Ok) {
+      Res.Error = "state " + stateful::stateVecStr(K) + ": " + Split.Error;
+      return Res;
+    }
+    for (const auto &[Src, Dst] : Split.Links) {
+      auto To = Topo.linkFrom(Src);
+      if (!To || !(*To == Dst)) {
+        std::ostringstream OS;
+        OS << "program link (" << Src.Sw << ':' << Src.Pt << ")->(" << Dst.Sw
+           << ':' << Dst.Pt << ") does not exist in the topology";
+        Res.Error = OS.str();
+        return Res;
+      }
+    }
+    fdd::NodeId Local = Fdd.compile(Split.Local);
+    topo::Configuration Config;
+    for (SwitchId Sw : Topo.switches())
+      Config.setTable(Sw, Fdd.toSwitchTable(Local, Sw));
+
+    if (Res.T.Verts.size() <= VIdx)
+      Res.T.Verts.resize(VIdx + 1);
+    Res.T.Verts[VIdx] = Vertex{K, Proj, std::move(Config)};
+
+    // Explore event-edges.
+    stateful::ExtractResult Ext = stateful::extractEdges(Program, K);
+    for (const stateful::EventEdge &E : Ext.Edges) {
+      assert(E.From == K && "extraction produced a foreign edge");
+      auto It = Index.find(E.To);
+      if (It == Index.end()) {
+        unsigned NewIdx = static_cast<unsigned>(Index.size());
+        Index[E.To] = NewIdx;
+        It = Index.find(E.To);
+        Work.push_back(E.To);
+      }
+      // Dedup structurally identical edges.
+      std::ostringstream GuardLoc;
+      GuardLoc << E.Guard.str() << '@' << E.Loc.Sw << ':' << E.Loc.Pt;
+      if (!SeenEdges.insert({VIdx, GuardLoc.str(), It->second}).second)
+        continue;
+      Edge Out;
+      Out.From = VIdx;
+      Out.To = It->second;
+      Out.Guard = E.Guard;
+      Out.Loc = E.Loc;
+      Res.T.EdgeList.push_back(std::move(Out));
+    }
+  }
+
+  if (hasCycle(static_cast<unsigned>(Res.T.Verts.size()), Res.T.EdgeList)) {
+    Res.Error = "the program's transition system has a loop; only loop-free "
+                "ETSs are supported (paper Section 3.1)";
+    return Res;
+  }
+
+  Res.Ok = true;
+  return Res;
+}

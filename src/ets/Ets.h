@@ -1,0 +1,91 @@
+//===- ets/Ets.h - Event-driven transition systems --------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Event-driven transition systems (Definition 7): a graph whose vertices
+/// are labeled with network configurations and whose edges are labeled
+/// with events. The builder explores the reachable state vectors of a
+/// Stateful NetKAT program: each vertex is a state ~k with the compiled
+/// configuration C(⟦p⟧~k), and the edges come from the Figure 6
+/// extraction.
+///
+/// Per the paper's presentation (Section 3.1 "Loops in ETSs") only
+/// loop-free ETSs are supported; the builder reports cycles as errors.
+/// Repetition of the *same phenomenon* along a chain (the bandwidth cap's
+/// repeated packet arrivals) is fine — those become renamed events during
+/// NES conversion, not loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_ETS_ETS_H
+#define EVENTNET_ETS_ETS_H
+
+#include "fdd/Fdd.h"
+#include "stateful/Ast.h"
+#include "stateful/Extract.h"
+#include "topo/Configuration.h"
+#include "topo/Topology.h"
+
+#include <string>
+#include <vector>
+
+namespace eventnet {
+namespace ets {
+
+/// A vertex: a reachable state vector and its compiled configuration.
+struct Vertex {
+  stateful::StateVec K;
+  /// ⟦p⟧~k, the per-state NetKAT projection (kept for debugging and for
+  /// re-compilation in optimization passes).
+  netkat::PolicyRef Projected;
+  /// C(⟦p⟧~k): per-switch flow tables.
+  topo::Configuration Config;
+};
+
+/// An edge: in vertex From, event (Guard, Loc) moves the system to To.
+struct Edge {
+  unsigned From = 0;
+  unsigned To = 0;
+  stateful::LitConj Guard;
+  Location Loc;
+};
+
+/// A built, validated-loop-free ETS.
+class Ets {
+public:
+  const std::vector<Vertex> &vertices() const { return Verts; }
+  const std::vector<Edge> &edges() const { return EdgeList; }
+  unsigned initial() const { return 0; }
+
+  /// Outgoing edges of a vertex.
+  std::vector<const Edge *> edgesFrom(unsigned V) const;
+
+  std::string str() const;
+
+  std::vector<Vertex> Verts;
+  std::vector<Edge> EdgeList;
+};
+
+/// Result of building an ETS from a program.
+struct BuildResult {
+  bool Ok = false;
+  std::string Error;
+  Ets T;
+};
+
+/// Builds the ETS of \p Program starting from state \p K0 (zero-extended
+/// to the program's state size), compiling each reachable state's
+/// configuration against \p Topo. Fails on: link-cut errors, program
+/// links absent from the topology, or cycles in the transition graph.
+BuildResult buildEts(const stateful::SPolRef &Program,
+                     const topo::Topology &Topo,
+                     stateful::StateVec K0 = {});
+
+} // namespace ets
+} // namespace eventnet
+
+#endif // EVENTNET_ETS_ETS_H

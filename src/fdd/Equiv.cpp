@@ -1,0 +1,31 @@
+//===- fdd/Equiv.cpp    - NetKAT equivalence decision procedure -----------===//
+
+#include "fdd/Equiv.h"
+
+#include "fdd/Fdd.h"
+
+using namespace eventnet;
+using namespace eventnet::netkat;
+
+bool netkat::equivalent(const PolicyRef &P, const PolicyRef &Q) {
+  fdd::FddManager M;
+  return M.canonicalizeWrites(M.compile(P)) ==
+         M.canonicalizeWrites(M.compile(Q));
+}
+
+bool netkat::lessOrEqual(const PolicyRef &P, const PolicyRef &Q) {
+  fdd::FddManager M;
+  fdd::NodeId Dp = M.canonicalizeWrites(M.compile(P));
+  fdd::NodeId Dq = M.canonicalizeWrites(M.compile(Q));
+  return M.canonicalizeWrites(M.unionFdd(Dp, Dq)) == Dq;
+}
+
+bool netkat::isEmpty(const PolicyRef &P) {
+  fdd::FddManager M;
+  return M.compile(P) == M.dropLeaf();
+}
+
+bool netkat::equivalentPred(const PredRef &A, const PredRef &B) {
+  fdd::FddManager M;
+  return M.fromPred(A) == M.fromPred(B);
+}

@@ -1,0 +1,51 @@
+//===- fdd/Equiv.h    - NetKAT equivalence decision procedure ---*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A decision procedure for equivalence of link-free NetKAT policies,
+/// via canonical FDDs: two policies are equivalent iff they compile to
+/// the same hash-consed diagram. This is the fragment of NetKAT's sound
+/// and complete equational theory (Anderson et al., POPL 2014) that the
+/// paper's per-state configurations live in, and is what "Stateful
+/// NetKAT preserves the existing equational theory of the individual
+/// static configurations" (Section 3.2) refers to.
+///
+/// Policies containing links are handled by rewriting each link into
+/// its located-transfer form (filter at source; write destination), so
+/// whole-configuration relations can also be compared.
+///
+/// The functions live in namespace netkat (they are operations on the
+/// NetKAT algebra) but are housed in the fdd library, whose diagrams
+/// implement them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_FDD_EQUIV_H
+#define EVENTNET_FDD_EQUIV_H
+
+#include "netkat/Ast.h"
+
+namespace eventnet {
+namespace netkat {
+
+/// Decides p ≡ q (equal packet-set semantics on every input).
+bool equivalent(const PolicyRef &P, const PolicyRef &Q);
+
+/// Decides p ≤ q (p's outputs are always a subset of q's), i.e.
+/// p + q ≡ q.
+bool lessOrEqual(const PolicyRef &P, const PolicyRef &Q);
+
+/// Decides whether p drops every packet (p ≡ drop).
+bool isEmpty(const PolicyRef &P);
+
+/// Decides a ≡ b for predicates.
+bool equivalentPred(const PredRef &A, const PredRef &B);
+
+} // namespace netkat
+} // namespace eventnet
+
+#endif // EVENTNET_FDD_EQUIV_H

@@ -1,0 +1,552 @@
+//===- fdd/Fdd.cpp - Forwarding decision diagrams -------------------------===//
+
+#include "fdd/Fdd.h"
+
+#include "netkat/Eval.h"
+
+#include <cassert>
+#include <optional>
+#include <sstream>
+
+using namespace eventnet;
+using namespace eventnet::fdd;
+using eventnet::flowtable::ActionSeq;
+using eventnet::flowtable::Match;
+using eventnet::flowtable::Rule;
+using eventnet::flowtable::Table;
+using eventnet::netkat::Packet;
+using eventnet::netkat::Policy;
+using eventnet::netkat::Pred;
+
+FddManager::FddManager() {
+  Drop = makeLeaf(ActionSet{});
+  Id = makeLeaf(ActionSet{ActionSeq{}});
+}
+
+//===----------------------------------------------------------------------===//
+// Node construction and accessors
+//===----------------------------------------------------------------------===//
+
+NodeId FddManager::makeLeaf(ActionSet Acts) {
+  auto It = LeafIntern.find(Acts);
+  if (It != LeafIntern.end())
+    return It->second;
+  Node N;
+  N.IsLeaf = true;
+  N.Acts = Acts;
+  Nodes.push_back(std::move(N));
+  NodeId Id = static_cast<NodeId>(Nodes.size() - 1);
+  LeafIntern.emplace(std::move(Acts), Id);
+  return Id;
+}
+
+NodeId FddManager::canonicalizeWrites(NodeId N) {
+  if (isLeaf(N))
+    return N;
+  TestKey K = testKey(N);
+  NodeId Hi = canonicalizeWrites(stripRedundantWrite(hi(N), K));
+  NodeId Lo = canonicalizeWrites(lo(N));
+  return makeTest(K, Hi, Lo);
+}
+
+NodeId FddManager::stripRedundantWrite(NodeId N, TestKey K) {
+  // Under the path constraint K.F == K.V, an action write K.F := K.V is
+  // the identity; removing it makes e.g. `f=1; f<-1` and `f=1` compile
+  // to the same diagram (completeness of the equivalence procedure).
+  if (isLeaf(N)) {
+    ActionSet Acts = leafActions(N);
+    ActionSet Stripped;
+    bool Changed = false;
+    for (const flowtable::ActionSeq &A : Acts) {
+      flowtable::ActionSeq Out;
+      for (const auto &[F, V] : A) {
+        if (F == K.F && V == K.V) {
+          Changed = true;
+          continue;
+        }
+        Out.push_back({F, V});
+      }
+      Stripped.insert(std::move(Out));
+    }
+    return Changed ? makeLeaf(std::move(Stripped)) : N;
+  }
+  TestKey NK = testKey(N);
+  NodeId Hi = stripRedundantWrite(hi(N), K);
+  NodeId Lo = stripRedundantWrite(lo(N), K);
+  return makeTest(NK, Hi, Lo);
+}
+
+NodeId FddManager::makeTest(TestKey K, NodeId Hi, NodeId Lo) {
+  if (Hi == Lo)
+    return Hi;
+#ifndef NDEBUG
+  // Canonical ordering invariants (see the file header).
+  auto ChildOk = [&](NodeId C, bool IsHi) {
+    if (isLeaf(C))
+      return true;
+    TestKey CK = testKey(C);
+    if (CK.F > K.F)
+      return true;
+    if (CK.F < K.F)
+      return false;
+    return !IsHi && CK.V > K.V;
+  };
+  assert(ChildOk(Hi, true) && "hi child violates FDD ordering");
+  assert(ChildOk(Lo, false) && "lo child violates FDD ordering");
+#endif
+  TestInternKey IK{K, Hi, Lo};
+  auto It = TestIntern.find(IK);
+  if (It != TestIntern.end())
+    return It->second;
+  Node N;
+  N.IsLeaf = false;
+  N.K = K;
+  N.Hi = Hi;
+  N.Lo = Lo;
+  Nodes.push_back(std::move(N));
+  NodeId Id = static_cast<NodeId>(Nodes.size() - 1);
+  TestIntern.emplace(IK, Id);
+  return Id;
+}
+
+const ActionSet &FddManager::leafActions(NodeId N) const {
+  assert(Nodes[N].IsLeaf && "leafActions on internal node");
+  return Nodes[N].Acts;
+}
+
+TestKey FddManager::testKey(NodeId N) const {
+  assert(!Nodes[N].IsLeaf && "testKey on leaf");
+  return Nodes[N].K;
+}
+
+NodeId FddManager::hi(NodeId N) const {
+  assert(!Nodes[N].IsLeaf);
+  return Nodes[N].Hi;
+}
+
+NodeId FddManager::lo(NodeId N) const {
+  assert(!Nodes[N].IsLeaf);
+  return Nodes[N].Lo;
+}
+
+TestKey FddManager::rootKey(NodeId N) const {
+  assert(!Nodes[N].IsLeaf && "rootKey on leaf");
+  return Nodes[N].K;
+}
+
+//===----------------------------------------------------------------------===//
+// Cofactors and binary merge
+//===----------------------------------------------------------------------===//
+
+NodeId FddManager::cofactorPos(NodeId N, TestKey K) {
+  if (isLeaf(N))
+    return N;
+  TestKey NK = testKey(N);
+  if (NK.F > K.F)
+    return N;
+  assert(NK.F == K.F && "merge key was not minimal");
+  if (NK.V == K.V)
+    return hi(N);
+  assert(NK.V > K.V && "merge key was not minimal");
+  // Under F == K.V this test (F == NK.V) is false.
+  return cofactorPos(lo(N), K);
+}
+
+NodeId FddManager::cofactorNeg(NodeId N, TestKey K) {
+  if (isLeaf(N))
+    return N;
+  if (testKey(N) == K)
+    return lo(N);
+  // K is minimal among root keys, so no (K.F, K.V) test occurs below.
+  return N;
+}
+
+ActionSet FddManager::applyOp(const ActionSet &A, const ActionSet &B,
+                              BinOp Op) const {
+  switch (Op) {
+  case BinOp::Union: {
+    ActionSet Out = A;
+    Out.insert(B.begin(), B.end());
+    return Out;
+  }
+  case BinOp::Intersect: {
+    ActionSet Out;
+    for (const ActionSeq &S : A)
+      if (B.count(S))
+        Out.insert(S);
+    return Out;
+  }
+  case BinOp::Gate:
+    return A.empty() ? ActionSet{} : B;
+  }
+  return {};
+}
+
+NodeId FddManager::mergeApply(NodeId A, NodeId B, BinOp Op) {
+  // Cheap algebraic fast paths.
+  if (Op == BinOp::Union) {
+    if (A == B)
+      return A;
+    if (A == Drop)
+      return B;
+    if (B == Drop)
+      return A;
+  } else if (Op == BinOp::Intersect) {
+    if (A == B)
+      return A;
+    if (A == Drop || B == Drop)
+      return Drop;
+  } else if (Op == BinOp::Gate) {
+    if (A == Drop || B == Drop)
+      return Drop;
+    if (A == Id)
+      return B;
+  }
+
+  if (isLeaf(A) && isLeaf(B))
+    return makeLeaf(applyOp(leafActions(A), leafActions(B), Op));
+
+  MergeKey CK{static_cast<uint8_t>(Op), A, B};
+  auto It = MergeCache.find(CK);
+  if (It != MergeCache.end())
+    return It->second;
+
+  TestKey K;
+  bool HasK = false;
+  if (!isLeaf(A)) {
+    K = testKey(A);
+    HasK = true;
+  }
+  if (!isLeaf(B)) {
+    TestKey BK = testKey(B);
+    if (!HasK || BK < K)
+      K = BK;
+  }
+
+  NodeId Hi = mergeApply(cofactorPos(A, K), cofactorPos(B, K), Op);
+  NodeId Lo = mergeApply(cofactorNeg(A, K), cofactorNeg(B, K), Op);
+  NodeId R = makeTest(K, Hi, Lo);
+  MergeCache.emplace(CK, R);
+  return R;
+}
+
+NodeId FddManager::unionFdd(NodeId A, NodeId B) {
+  // Union is commutative; normalize the cache key.
+  if (B < A)
+    std::swap(A, B);
+  return mergeApply(A, B, BinOp::Union);
+}
+
+NodeId FddManager::ite(TestKey K, NodeId Hi, NodeId Lo) {
+  if (Hi == Lo)
+    return Hi;
+  NodeId Pos = makeTest(K, Id, Drop);
+  NodeId Neg = makeTest(K, Drop, Id);
+  return unionFdd(mergeApply(Pos, Hi, BinOp::Gate),
+                  mergeApply(Neg, Lo, BinOp::Gate));
+}
+
+//===----------------------------------------------------------------------===//
+// Predicates
+//===----------------------------------------------------------------------===//
+
+NodeId FddManager::fromPred(const netkat::PredRef &P) {
+  switch (P->kind()) {
+  case Pred::Kind::True:
+    return Id;
+  case Pred::Kind::False:
+    return Drop;
+  case Pred::Kind::Test:
+    return makeTest(TestKey{P->testField(), P->testValue()}, Id, Drop);
+  case Pred::Kind::And:
+    return mergeApply(fromPred(P->lhs()), fromPred(P->rhs()),
+                      BinOp::Intersect);
+  case Pred::Kind::Or:
+    return unionFdd(fromPred(P->lhs()), fromPred(P->rhs()));
+  case Pred::Kind::Not:
+    return notFdd(fromPred(P->negand()));
+  }
+  return Drop;
+}
+
+NodeId FddManager::notFdd(NodeId A) {
+  if (isLeaf(A)) {
+    const ActionSet &Acts = leafActions(A);
+    assert((Acts.empty() || (Acts.size() == 1 && Acts.begin()->empty())) &&
+           "complement of a non-predicate diagram");
+    return Acts.empty() ? Id : Drop;
+  }
+  TestKey K = testKey(A);
+  NodeId Hi = notFdd(hi(A));
+  NodeId Lo = notFdd(lo(A));
+  return makeTest(K, Hi, Lo);
+}
+
+//===----------------------------------------------------------------------===//
+// Sequencing
+//===----------------------------------------------------------------------===//
+
+NodeId FddManager::applySeqAction(const ActionSeq &Alpha, NodeId B,
+                                  const SeqCtx &Ctx) {
+  if (isLeaf(B)) {
+    ActionSet Out;
+    // Copy out: makeLeaf below may reallocate the node pool.
+    ActionSet Betas = leafActions(B);
+    for (const ActionSeq &Beta : Betas) {
+      std::vector<std::pair<FieldId, Value>> Writes(Alpha.begin(),
+                                                    Alpha.end());
+      Writes.insert(Writes.end(), Beta.begin(), Beta.end());
+      Out.insert(flowtable::normalizeActionSeq(Writes));
+    }
+    return makeLeaf(std::move(Out));
+  }
+
+  TestKey K = testKey(B);
+  // Resolve the test against pending writes first, then path context.
+  for (const auto &[F, V] : Alpha)
+    if (F == K.F)
+      return applySeqAction(Alpha, V == K.V ? hi(B) : lo(B), Ctx);
+  auto EqIt = Ctx.Eq.find(K.F);
+  if (EqIt != Ctx.Eq.end())
+    return applySeqAction(Alpha, EqIt->second == K.V ? hi(B) : lo(B), Ctx);
+  if (Ctx.Neq.count({K.F, K.V}))
+    return applySeqAction(Alpha, lo(B), Ctx);
+
+  NodeId Hi = applySeqAction(Alpha, hi(B), Ctx);
+  NodeId Lo = applySeqAction(Alpha, lo(B), Ctx);
+  return makeTest(K, Hi, Lo);
+}
+
+NodeId FddManager::seqRec(NodeId A, NodeId B, SeqCtx &Ctx) {
+  if (isLeaf(A)) {
+    // Copy out: applySeqAction below may reallocate the node pool.
+    ActionSet Alphas = leafActions(A);
+    if (Alphas.empty())
+      return Drop;
+    NodeId Acc = Drop;
+    for (const ActionSeq &Alpha : Alphas)
+      Acc = unionFdd(Acc, applySeqAction(Alpha, B, Ctx));
+    return Acc;
+  }
+
+  TestKey K = testKey(A);
+
+  // hi branch: the path pins K.F == K.V.
+  auto SavedEq = Ctx.Eq.find(K.F) != Ctx.Eq.end()
+                     ? std::optional<Value>(Ctx.Eq[K.F])
+                     : std::nullopt;
+  Ctx.Eq[K.F] = K.V;
+  NodeId Hi = seqRec(hi(A), B, Ctx);
+  if (SavedEq)
+    Ctx.Eq[K.F] = *SavedEq;
+  else
+    Ctx.Eq.erase(K.F);
+
+  // lo branch: the path pins K.F != K.V.
+  Ctx.Neq.insert({K.F, K.V});
+  NodeId Lo = seqRec(lo(A), B, Ctx);
+  Ctx.Neq.erase({K.F, K.V});
+
+  return ite(K, Hi, Lo);
+}
+
+NodeId FddManager::seqFdd(NodeId A, NodeId B) {
+  SeqCtx Ctx;
+  return seqRec(A, B, Ctx);
+}
+
+//===----------------------------------------------------------------------===//
+// Star
+//===----------------------------------------------------------------------===//
+
+NodeId FddManager::starFdd(NodeId A) {
+  // Least fixpoint of X = 1 + A;X. Hash consing makes the convergence
+  // check O(1). The iteration count is bounded by the length of the
+  // longest simple chain of distinct packet rewrites, which is tiny for
+  // any real policy; the cap guards against a non-converging diagram bug.
+  NodeId Acc = Id;
+  for (unsigned Iter = 0; Iter != 10000; ++Iter) {
+    NodeId Next = unionFdd(Id, seqFdd(A, Acc));
+    if (Next == Acc)
+      return Acc;
+    Acc = Next;
+  }
+  assert(false && "FDD star failed to converge");
+  return Acc;
+}
+
+//===----------------------------------------------------------------------===//
+// Policy compilation
+//===----------------------------------------------------------------------===//
+
+NodeId FddManager::compile(const netkat::PolicyRef &P) {
+  switch (P->kind()) {
+  case Policy::Kind::Filter:
+    return fromPred(P->pred());
+  case Policy::Kind::Mod:
+    return makeLeaf(ActionSet{ActionSeq{{P->modField(), P->modValue()}}});
+  case Policy::Kind::Union:
+    return unionFdd(compile(P->lhs()), compile(P->rhs()));
+  case Policy::Kind::Seq:
+    return seqFdd(compile(P->lhs()), compile(P->rhs()));
+  case Policy::Kind::Star:
+    return starFdd(compile(P->body()));
+  case Policy::Kind::Link: {
+    Location Src = P->linkSrc(), Dst = P->linkDst();
+    NodeId At = fromPred(netkat::pAt(Src));
+    ActionSeq Writes = flowtable::normalizeActionSeq(
+        {{FieldSw, static_cast<Value>(Dst.Sw)},
+         {FieldPt, static_cast<Value>(Dst.Pt)}});
+    return seqFdd(At, makeLeaf(ActionSet{Writes}));
+  }
+  }
+  return Drop;
+}
+
+//===----------------------------------------------------------------------===//
+// Restriction
+//===----------------------------------------------------------------------===//
+
+NodeId FddManager::restrictEq(NodeId N, FieldId F, Value V) {
+  if (isLeaf(N))
+    return N;
+  TestKey K = testKey(N);
+  if (K.F > F)
+    return N; // fields ascend: no F tests below
+  if (K.F == F) {
+    if (K.V == V)
+      return hi(N); // hi contains no further F tests
+    return restrictEq(lo(N), F, V);
+  }
+  NodeId Hi = restrictEq(hi(N), F, V);
+  NodeId Lo = restrictEq(lo(N), F, V);
+  return makeTest(K, Hi, Lo);
+}
+
+NodeId FddManager::restrictNeq(NodeId N, FieldId F, Value V) {
+  if (isLeaf(N))
+    return N;
+  TestKey K = testKey(N);
+  if (K.F > F)
+    return N;
+  if (K.F == F) {
+    if (K.V == V)
+      return lo(N);
+    NodeId Lo = restrictNeq(lo(N), F, V);
+    return makeTest(K, hi(N), Lo);
+  }
+  NodeId Hi = restrictNeq(hi(N), F, V);
+  NodeId Lo = restrictNeq(lo(N), F, V);
+  return makeTest(K, Hi, Lo);
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation and table extraction
+//===----------------------------------------------------------------------===//
+
+ActionSet FddManager::evaluate(NodeId N, const Packet &Pkt) const {
+  while (!Nodes[N].IsLeaf) {
+    const Node &Nd = Nodes[N];
+    bool Pass = Pkt.has(Nd.K.F) && Pkt.get(Nd.K.F) == Nd.K.V;
+    N = Pass ? Nd.Hi : Nd.Lo;
+  }
+  return Nodes[N].Acts;
+}
+
+void FddManager::tableRec(NodeId N, Match &M, int &Priority,
+                          std::vector<Rule> &Out) const {
+  if (Nodes[N].IsLeaf) {
+    Rule R;
+    R.Priority = Priority--;
+    R.Pattern = M;
+    for (const ActionSeq &A : Nodes[N].Acts)
+      R.Actions.push_back(A);
+    Out.push_back(std::move(R));
+    return;
+  }
+  const Node &Nd = Nodes[N];
+  // Hi side first with the positive constraint: first-match priority then
+  // correctly shadows the unconstrained lo-side rules (see header).
+  Match HiM = M;
+  HiM.require(Nd.K.F, Nd.K.V);
+  // Copy K/children out before recursion (no mutation happens, but keep
+  // the pattern uniform with the mutating paths elsewhere).
+  NodeId HiN = Nd.Hi, LoN = Nd.Lo;
+  tableRec(HiN, HiM, Priority, Out);
+  tableRec(LoN, M, Priority, Out);
+}
+
+Table FddManager::toTable(NodeId N) const {
+  std::vector<Rule> Rules;
+  Match M;
+  int Priority = 1000000;
+  tableRec(N, M, Priority, Rules);
+  Table T;
+  for (Rule &R : Rules)
+    T.add(std::move(R));
+  return T;
+}
+
+Table FddManager::toSwitchTable(NodeId N, SwitchId Sw) {
+  NodeId S = restrictEq(N, FieldSw, static_cast<Value>(Sw));
+  Table T = toTable(S);
+#ifndef NDEBUG
+  for (const Rule &R : T.rules()) {
+    for (const auto &[F, V] : R.Pattern.constraints())
+      assert(F != FieldSw && "sw test survived specialization");
+    for (const ActionSeq &A : R.Actions)
+      for (const auto &[F, V] : A)
+        assert(F != FieldSw && "per-switch policy writes sw (missing path "
+                               "split?)");
+  }
+#endif
+  T.removeShadowed();
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Debug printing
+//===----------------------------------------------------------------------===//
+
+std::string FddManager::str(NodeId N) const {
+  std::ostringstream OS;
+  // Indented DFS dump.
+  struct Frame {
+    NodeId N;
+    unsigned Depth;
+    char Tag;
+  };
+  std::vector<Frame> Stack{{N, 0, 'r'}};
+  while (!Stack.empty()) {
+    Frame F = Stack.back();
+    Stack.pop_back();
+    OS << std::string(F.Depth * 2, ' ') << F.Tag << ": ";
+    const Node &Nd = Nodes[F.N];
+    if (Nd.IsLeaf) {
+      if (Nd.Acts.empty()) {
+        OS << "drop\n";
+        continue;
+      }
+      OS << '{';
+      bool First = true;
+      for (const ActionSeq &A : Nd.Acts) {
+        if (!First)
+          OS << " | ";
+        First = false;
+        if (A.empty())
+          OS << "id";
+        for (size_t I = 0; I != A.size(); ++I) {
+          if (I)
+            OS << ',';
+          OS << fieldName(A[I].first) << ":=" << A[I].second;
+        }
+      }
+      OS << "}\n";
+      continue;
+    }
+    OS << fieldName(Nd.K.F) << '=' << Nd.K.V << '\n';
+    Stack.push_back({Nd.Lo, F.Depth + 1, '-'});
+    Stack.push_back({Nd.Hi, F.Depth + 1, '+'});
+  }
+  return OS.str();
+}

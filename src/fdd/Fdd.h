@@ -1,0 +1,224 @@
+//===- fdd/Fdd.h - Forwarding decision diagrams -----------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forwarding decision diagrams (FDDs), the core data structure of the
+/// NetKAT local compiler (Smolka et al., "A Fast Compiler for NetKAT",
+/// ICFP 2015), which is the compiler the paper's prototype interfaces
+/// with to turn per-state configurations into flow tables.
+///
+/// An FDD is a rooted DAG whose internal nodes test `field = value` (hi =
+/// test passed, lo = failed) and whose leaves are *action sets*: sets of
+/// field-write sequences (the empty set is drop; the set containing the
+/// empty sequence is the identity). Nodes are hash-consed, so structural
+/// equality is pointer (NodeId) equality — this is what makes the Kleene
+/// star fixpoint detectable in O(1) per iteration.
+///
+/// Canonical ordering invariants (checked in debug builds):
+///  - fields never decrease from parent to child;
+///  - the hi child of a test on field f contains no further f tests;
+///  - along a lo chain, tests on the same field have increasing values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_FDD_FDD_H
+#define EVENTNET_FDD_FDD_H
+
+#include "flowtable/FlowTable.h"
+#include "netkat/Ast.h"
+#include "support/Ids.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace eventnet {
+namespace fdd {
+
+/// Index of a node inside an FddManager. Ids are stable for the lifetime
+/// of the manager.
+using NodeId = uint32_t;
+
+/// A set of action sequences (leaf payload). Empty = drop; {[]} = skip.
+using ActionSet = std::set<flowtable::ActionSeq>;
+
+/// The (field, value) key of an internal test node.
+struct TestKey {
+  FieldId F = 0;
+  Value V = 0;
+  friend bool operator==(const TestKey &A, const TestKey &B) {
+    return A.F == B.F && A.V == B.V;
+  }
+  friend bool operator<(const TestKey &A, const TestKey &B) {
+    if (A.F != B.F)
+      return A.F < B.F;
+    return A.V < B.V;
+  }
+};
+
+/// Owner of all FDD nodes plus the compiler from NetKAT policies.
+///
+/// All NodeIds returned by any method belong to this manager and remain
+/// valid until it is destroyed.
+class FddManager {
+public:
+  FddManager();
+
+  /// The drop leaf (empty action set).
+  NodeId dropLeaf() const { return Drop; }
+  /// The identity leaf ({[]}).
+  NodeId idLeaf() const { return Id; }
+
+  /// Interns a leaf with the given action set.
+  NodeId makeLeaf(ActionSet Acts);
+
+  /// Interns a test node, collapsing hi == lo. Checks ordering invariants
+  /// in debug builds.
+  NodeId makeTest(TestKey K, NodeId Hi, NodeId Lo);
+
+  /// Structure accessors.
+  bool isLeaf(NodeId N) const { return Nodes[N].IsLeaf; }
+  const ActionSet &leafActions(NodeId N) const;
+  TestKey testKey(NodeId N) const;
+  NodeId hi(NodeId N) const;
+  NodeId lo(NodeId N) const;
+
+  /// p + q on diagrams.
+  NodeId unionFdd(NodeId A, NodeId B);
+
+  /// p ; q on diagrams.
+  NodeId seqFdd(NodeId A, NodeId B);
+
+  /// p* on diagrams (least fixpoint of x = 1 + p;x).
+  NodeId starFdd(NodeId A);
+
+  /// Compiles predicate \p P to a 0/1 diagram (leaves drop / id).
+  NodeId fromPred(const netkat::PredRef &P);
+
+  /// Complement of a 0/1 predicate diagram.
+  NodeId notFdd(NodeId A);
+
+  /// Canonicalization pass for the equivalence procedure: removes
+  /// action writes that are the identity under their path constraints
+  /// (e.g. `f=1; f<-1` normalizes to `f=1`). Not applied during
+  /// compilation — table extraction keeps the writes, which is harmless
+  /// — but applied to both sides before comparing diagrams.
+  NodeId canonicalizeWrites(NodeId N);
+
+  /// Compiles a policy to a diagram. Links compile to
+  /// `filter(at src); sw:=dst.sw; pt:=dst.pt` so whole-network relations
+  /// can be represented; per-switch compilation should run the path
+  /// splitter first so no sw writes reach switch tables.
+  NodeId compile(const netkat::PolicyRef &P);
+
+  /// Specializes \p N under the assumption field \p F == \p V, removing
+  /// all tests on F.
+  NodeId restrictEq(NodeId N, FieldId F, Value V);
+
+  /// Specializes \p N under the assumption field \p F != \p V, removing
+  /// tests on exactly (F, V).
+  NodeId restrictNeq(NodeId N, FieldId F, Value V);
+
+  /// Evaluates the diagram on a packet (reference semantics for tests).
+  ActionSet evaluate(NodeId N, const netkat::Packet &Pkt) const;
+
+  /// Extracts a prioritized flow table. Every root-to-leaf path emits one
+  /// rule (including explicit drops, which are required for the
+  /// first-match shadowing argument); hi-first emission order makes
+  /// first-match semantics coincide with the diagram.
+  flowtable::Table toTable(NodeId N) const;
+
+  /// Per-switch table: specializes on sw == \p Sw, then extracts a table
+  /// over the remaining fields. Asserts that no sw writes remain.
+  flowtable::Table toSwitchTable(NodeId N, SwitchId Sw);
+
+  /// Number of distinct nodes allocated (for benchmarks).
+  size_t numNodes() const { return Nodes.size(); }
+
+  /// Multi-line dump for debugging.
+  std::string str(NodeId N) const;
+
+private:
+  struct Node {
+    bool IsLeaf = false;
+    TestKey K{};
+    NodeId Hi = 0, Lo = 0;
+    ActionSet Acts; // only for leaves
+  };
+
+  enum class BinOp { Union, Intersect, Gate };
+
+  /// Key of a test node used by the smallest test appearing in either
+  /// operand of a binary merge (+infinity for leaves).
+  TestKey rootKey(NodeId N) const;
+  bool hasRootKey(NodeId N) const { return !Nodes[N].IsLeaf; }
+
+  NodeId cofactorPos(NodeId N, TestKey K);
+  NodeId cofactorNeg(NodeId N, TestKey K);
+
+  /// Removes writes K.F := K.V from every leaf of \p N (used on hi
+  /// children, where the path already guarantees K.F == K.V).
+  NodeId stripRedundantWrite(NodeId N, TestKey K);
+
+  NodeId mergeApply(NodeId A, NodeId B, BinOp Op);
+  ActionSet applyOp(const ActionSet &A, const ActionSet &B, BinOp Op) const;
+
+  /// Ordered if-then-else: union of (test K gating Hi) and (not-test K
+  /// gating Lo); restores canonical ordering when Hi/Lo were built from
+  /// diagrams with smaller keys.
+  NodeId ite(TestKey K, NodeId Hi, NodeId Lo);
+
+  /// Sequencing helpers.
+  struct SeqCtx {
+    std::map<FieldId, Value> Eq;
+    std::set<std::pair<FieldId, Value>> Neq;
+  };
+  NodeId seqRec(NodeId A, NodeId B, SeqCtx &Ctx);
+  NodeId applySeqAction(const flowtable::ActionSeq &Alpha, NodeId B,
+                        const SeqCtx &Ctx);
+
+  void tableRec(NodeId N, flowtable::Match &M, int &Priority,
+                std::vector<flowtable::Rule> &Out) const;
+
+  std::vector<Node> Nodes;
+  NodeId Drop = 0, Id = 0;
+
+  std::map<ActionSet, NodeId> LeafIntern;
+
+  struct TestInternKey {
+    TestKey K;
+    NodeId Hi, Lo;
+    friend bool operator<(const TestInternKey &A, const TestInternKey &B) {
+      if (!(A.K == B.K))
+        return A.K < B.K;
+      if (A.Hi != B.Hi)
+        return A.Hi < B.Hi;
+      return A.Lo < B.Lo;
+    }
+  };
+  std::map<TestInternKey, NodeId> TestIntern;
+
+  struct MergeKey {
+    uint8_t Op;
+    NodeId A, B;
+    friend bool operator<(const MergeKey &X, const MergeKey &Y) {
+      if (X.Op != Y.Op)
+        return X.Op < Y.Op;
+      if (X.A != Y.A)
+        return X.A < Y.A;
+      return X.B < Y.B;
+    }
+  };
+  std::map<MergeKey, NodeId> MergeCache;
+};
+
+} // namespace fdd
+} // namespace eventnet
+
+#endif // EVENTNET_FDD_FDD_H

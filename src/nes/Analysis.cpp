@@ -1,0 +1,121 @@
+//===- nes/Analysis.cpp - Reachability analysis over NESs -----------------===//
+
+#include "nes/Analysis.h"
+
+#include "netkat/Packet.h"
+
+#include <deque>
+#include <sstream>
+
+using namespace eventnet;
+using namespace eventnet::nes;
+using eventnet::netkat::Packet;
+
+namespace {
+
+/// Enumerates header assignments from the template (cartesian product).
+void enumerateHeaders(
+    const std::map<FieldId, std::vector<Value>> &Template,
+    std::map<FieldId, std::vector<Value>>::const_iterator It,
+    Packet &Partial, std::vector<Packet> &Out) {
+  if (It == Template.end()) {
+    Out.push_back(Partial);
+    return;
+  }
+  auto Next = std::next(It);
+  for (Value V : It->second) {
+    Partial.set(It->first, V);
+    enumerateHeaders(Template, Next, Partial, Out);
+  }
+  Partial.erase(It->first);
+}
+
+/// BFS of the configuration relation from \p Start; returns every
+/// located packet reached (bounded by the finite header/location space).
+std::set<Packet> closure(const topo::Configuration &C,
+                         const topo::Topology &Topo, const Packet &Start) {
+  std::set<Packet> Seen{Start};
+  std::deque<Packet> Work{Start};
+  while (!Work.empty()) {
+    Packet Cur = Work.front();
+    Work.pop_front();
+    for (const Packet &Next : C.step(Topo, Cur)) {
+      if (!Seen.insert(Next).second)
+        continue;
+      // Host-facing egress points are sinks: the packet left the
+      // network; stepping again would wrongly re-process it.
+      if (Topo.isHostPort(Next.loc()) && !(Next == Start))
+        continue;
+      Work.push_back(Next);
+    }
+  }
+  return Seen;
+}
+
+} // namespace
+
+ReachabilityAnalysis::ReachabilityAnalysis(
+    const Nes &N, const topo::Topology &Topo,
+    const std::map<FieldId, std::vector<Value>> &HeaderTemplate)
+    : N(N), Topo(Topo) {
+  std::vector<Packet> Headers;
+  Packet Partial;
+  enumerateHeaders(HeaderTemplate, HeaderTemplate.begin(), Partial, Headers);
+
+  Reach.resize(N.numSets());
+  for (SetId S = 0; S != N.numSets(); ++S) {
+    const topo::Configuration &C = N.configOf(S);
+    for (const auto &[From, FromLoc] : Topo.hosts()) {
+      for (const Packet &Hdr : Headers) {
+        Packet Start = Hdr;
+        Start.setLoc(FromLoc);
+        for (const Packet &Lp : closure(C, Topo, Start)) {
+          if (Lp == Start)
+            continue;
+          auto To = Topo.hostAt(Lp.loc());
+          if (To)
+            Reach[S].insert({From, *To});
+        }
+      }
+    }
+  }
+}
+
+bool ReachabilityAnalysis::canReach(SetId S, HostId From, HostId To) const {
+  return Reach[S].count({From, To}) != 0;
+}
+
+bool ReachabilityAnalysis::alwaysReaches(HostId From, HostId To) const {
+  for (SetId S = 0; S != N.numSets(); ++S)
+    if (!canReach(S, From, To))
+      return false;
+  return true;
+}
+
+bool ReachabilityAnalysis::neverReaches(HostId From, HostId To) const {
+  for (SetId S = 0; S != N.numSets(); ++S)
+    if (canReach(S, From, To))
+      return false;
+  return true;
+}
+
+std::vector<SetId> ReachabilityAnalysis::reachableSets(HostId From,
+                                                       HostId To) const {
+  std::vector<SetId> Out;
+  for (SetId S = 0; S != N.numSets(); ++S)
+    if (canReach(S, From, To))
+      Out.push_back(S);
+  return Out;
+}
+
+std::string ReachabilityAnalysis::str() const {
+  std::ostringstream OS;
+  for (SetId S = 0; S != N.numSets(); ++S) {
+    OS << 'E' << S << " (state "
+       << stateful::stateVecStr(N.stateOf(S)) << "):";
+    for (const auto &[From, To] : Reach[S])
+      OS << " H" << From << "->H" << To;
+    OS << '\n';
+  }
+  return OS.str();
+}

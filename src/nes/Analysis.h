@@ -1,0 +1,70 @@
+//===- nes/Analysis.h - Reachability analysis over NESs ---------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static analysis over compiled NESs, in the spirit of the paper's
+/// future-work item 3 ("formal reasoning and automated verification for
+/// Stateful NetKAT"): per-event-set host-to-host reachability, and
+/// invariants quantified over all event-sets ("H4 can never reach H1
+/// before e occurs", "H1 can always reach H4"). Reachability is computed
+/// by iterating the configuration relation C (tables + links) from each
+/// host's ingress over the finite header space the program mentions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_NES_ANALYSIS_H
+#define EVENTNET_NES_ANALYSIS_H
+
+#include "nes/Nes.h"
+#include "topo/Topology.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eventnet {
+namespace nes {
+
+/// Host-to-host reachability analysis over every event-set of an NES.
+class ReachabilityAnalysis {
+public:
+  /// Analyzes \p N on \p Topo. \p HeaderTemplate lists the header fields
+  /// (beyond sw/pt) and candidate values to quantify packets over —
+  /// typically {ip_dst -> {1..4}}. The analysis injects, for every
+  /// ordered host pair (A, B), a packet with ip_dst = B (and every
+  /// combination of the other template fields) at A's ingress and asks
+  /// whether some complete trace of g(E) delivers it at B.
+  ReachabilityAnalysis(
+      const Nes &N, const topo::Topology &Topo,
+      const std::map<FieldId, std::vector<Value>> &HeaderTemplate);
+
+  /// Can \p From reach \p To under event-set \p S?
+  bool canReach(SetId S, HostId From, HostId To) const;
+
+  /// Does \p From reach \p To under *every* event-set?
+  bool alwaysReaches(HostId From, HostId To) const;
+
+  /// Does \p From reach \p To under *no* event-set?
+  bool neverReaches(HostId From, HostId To) const;
+
+  /// The event-sets (tags) under which \p From reaches \p To.
+  std::vector<SetId> reachableSets(HostId From, HostId To) const;
+
+  /// A matrix dump ("E0: H1->H4 H4->H1 ...") for documentation/tests.
+  std::string str() const;
+
+private:
+  const Nes &N;
+  const topo::Topology &Topo;
+  /// Reach[S] holds the set of (From, To) pairs deliverable under S.
+  std::vector<std::set<std::pair<HostId, HostId>>> Reach;
+};
+
+} // namespace nes
+} // namespace eventnet
+
+#endif // EVENTNET_NES_ANALYSIS_H

@@ -1,0 +1,147 @@
+//===- nes/FromEts.cpp - ETS to NES conversion -----------------------------===//
+
+#include "nes/FromEts.h"
+
+#include <cassert>
+#include <map>
+#include <sstream>
+
+using namespace eventnet;
+using namespace eventnet::nes;
+using eventnet::ets::Edge;
+using eventnet::ets::Ets;
+
+namespace {
+
+/// Identity of a (possibly renamed) event: the phenomenon plus the
+/// occurrence index along a path.
+struct EventKey {
+  std::string Guard;
+  Location Loc;
+  unsigned Occurrence;
+
+  friend bool operator<(const EventKey &A, const EventKey &B) {
+    if (A.Guard != B.Guard)
+      return A.Guard < B.Guard;
+    if (!(A.Loc == B.Loc))
+      return A.Loc < B.Loc;
+    return A.Occurrence < B.Occurrence;
+  }
+};
+
+struct Builder {
+  const Ets &T;
+  std::map<EventKey, EventId> EventIds;
+  std::vector<netkat::Event> Events;
+  /// Event-set -> end vertex of the first path that produced it.
+  std::map<DenseBitSet, unsigned> SetToVertex;
+  std::string Error;
+
+  EventId eventFor(const Edge &E, unsigned Occurrence) {
+    EventKey Key{E.Guard.str(), E.Loc, Occurrence};
+    auto It = EventIds.find(Key);
+    if (It != EventIds.end())
+      return It->second;
+    EventId Id = static_cast<EventId>(Events.size());
+    netkat::Event Ev;
+    Ev.Guard = E.Guard.toPred();
+    Ev.Loc = E.Loc;
+    Ev.Eid = Occurrence;
+    Events.push_back(std::move(Ev));
+    EventIds.emplace(Key, Id);
+    return Id;
+  }
+
+  /// DFS over paths. \p Occurrences counts (guard, loc) phenomena already
+  /// seen on the current path for renaming.
+  bool walk(unsigned V, DenseBitSet Set,
+            std::map<std::pair<std::string, std::string>, unsigned>
+                &Occurrences) {
+    auto [It, Inserted] = SetToVertex.emplace(Set, V);
+    if (!Inserted && It->second != V) {
+      // Two paths, same event-set, different vertices: legal only if the
+      // configurations coincide (condition 1).
+      if (!(T.vertices()[It->second].Config == T.vertices()[V].Config)) {
+        std::ostringstream OS;
+        OS << "ETS is not convertible: the event-set reached at states "
+           << stateful::stateVecStr(T.vertices()[It->second].K) << " and "
+           << stateful::stateVecStr(T.vertices()[V].K)
+           << " maps to two different configurations";
+        Error = OS.str();
+        return false;
+      }
+    }
+
+    for (const Edge *E : T.edgesFrom(V)) {
+      std::ostringstream LocOS;
+      LocOS << E->Loc.Sw << ':' << E->Loc.Pt;
+      auto Phenomenon = std::make_pair(E->Guard.str(), LocOS.str());
+      unsigned Occ = Occurrences[Phenomenon];
+      EventId Id = eventFor(*E, Occ);
+
+      DenseBitSet Ext = Set;
+      Ext.set(Id);
+      ++Occurrences[Phenomenon];
+      bool Ok = walk(E->To, Ext, Occurrences);
+      --Occurrences[Phenomenon];
+      if (!Ok)
+        return false;
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+ConvertResult nes::fromEts(const Ets &T) {
+  ConvertResult Res;
+  if (T.vertices().empty()) {
+    Res.Error = "empty ETS";
+    return Res;
+  }
+
+  Builder B{T, {}, {}, {}, {}};
+  std::map<std::pair<std::string, std::string>, unsigned> Occurrences;
+  if (!B.walk(T.initial(), DenseBitSet(), Occurrences)) {
+    Res.Error = B.Error;
+    return Res;
+  }
+
+  // Condition 2: finite-completeness via pairwise unions (pairwise
+  // closure implies the general condition by induction on set count).
+  std::vector<DenseBitSet> Family;
+  for (const auto &[Set, V] : B.SetToVertex)
+    Family.push_back(Set);
+  for (size_t I = 0; I != Family.size(); ++I)
+    for (size_t J = I + 1; J != Family.size(); ++J) {
+      DenseBitSet U = Family[I] | Family[J];
+      bool Bounded = false;
+      for (const DenseBitSet &Bound : Family)
+        if (U.isSubsetOf(Bound)) {
+          Bounded = true;
+          break;
+        }
+      if (!Bounded)
+        continue;
+      if (!B.SetToVertex.count(U)) {
+        Res.Error =
+            "ETS is not convertible: the family of event-sets is not "
+            "finite-complete (two compatible event-sets whose union is "
+            "not an event-set; cf. Figure 3(c))";
+        return Res;
+      }
+    }
+
+  std::vector<topo::Configuration> Configs;
+  std::vector<stateful::StateVec> States;
+  for (const DenseBitSet &Set : Family) {
+    unsigned V = B.SetToVertex[Set];
+    Configs.push_back(T.vertices()[V].Config);
+    States.push_back(T.vertices()[V].K);
+  }
+
+  Res.N.emplace(std::move(B.Events), std::move(Family), std::move(Configs),
+                std::move(States));
+  Res.Ok = true;
+  return Res;
+}

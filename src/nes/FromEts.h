@@ -1,0 +1,51 @@
+//===- nes/FromEts.h - ETS to NES conversion --------------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 3.1 conversion from an ETS to an NES. For each path from
+/// the initial vertex, the set of traversed events (with the i-th
+/// occurrence of the same (ϕ, sw:pt) phenomenon renamed to a fresh event,
+/// as the paper's subscripted events do) is collected into the candidate
+/// family F(T). The conversion validates the two conditions under which
+/// F(T) is a legal family of configurations:
+///
+///  1. unique configuration: all paths reaching the same event-set end in
+///     vertices carrying the same configuration;
+///  2. finite-completeness: any union of family members that is bounded
+///     by a family member is itself in the family (the Figure 3(c)
+///     counterexample fails here).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_NES_FROMETS_H
+#define EVENTNET_NES_FROMETS_H
+
+#include "ets/Ets.h"
+#include "nes/Nes.h"
+
+#include <optional>
+#include <string>
+
+namespace eventnet {
+namespace nes {
+
+/// Result of a conversion.
+struct ConvertResult {
+  bool Ok = false;
+  std::string Error;
+  std::optional<Nes> N;
+};
+
+/// Converts \p T, validating the family conditions. Does *not* enforce
+/// the locally-determined restriction — callers decide whether to treat
+/// a non-local NES as an error (the compiler pipeline does).
+ConvertResult fromEts(const ets::Ets &T);
+
+} // namespace nes
+} // namespace eventnet
+
+#endif // EVENTNET_NES_FROMETS_H

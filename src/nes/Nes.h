@@ -1,0 +1,131 @@
+//===- nes/Nes.h - Network event structures ---------------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Event structures (Winskel) and their network extension (paper
+/// Definitions 3-5). An event structure endows a finite set of events
+/// with a consistency predicate `con` and an enabling relation `⊢`; an
+/// NES additionally maps each *event-set* (a consistent, enabling-
+/// reachable subset, Definition 4) to a network configuration via `g`.
+///
+/// This implementation represents the structure by its *family of
+/// event-sets* F (Winskel's "family of configurations"), from which con
+/// and ⊢ are derived exactly as Theorem 1.1.12 of Winskel's notes
+/// prescribes:
+///
+///   con(X)  iff  X ⊆ F for some F in the family
+///   X ⊢ e   iff  con(X) and some family member S with e ∈ S satisfies
+///                S \ {e} ⊆ X
+///
+/// Events are packet-arrival events (ϕ, sw:pt) with a renaming index for
+/// repeated occurrences along a chain (Section 3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_NES_NES_H
+#define EVENTNET_NES_NES_H
+
+#include "netkat/Event.h"
+#include "stateful/Ast.h"
+#include "support/BitSet.h"
+#include "topo/Configuration.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace eventnet {
+namespace nes {
+
+/// Identifies an event within an Nes (dense, 0-based).
+using EventId = unsigned;
+/// Identifies an event-set within an Nes (dense, 0-based; set 0 is ∅).
+/// This is also the *tag* the runtime stamps onto packets (Section 4.1
+/// encodes event-sets as flat integers).
+using SetId = unsigned;
+
+/// A network event structure.
+class Nes {
+public:
+  /// Builds an NES from an explicit family. \p Family must contain the
+  /// empty set; \p G maps each family index to its configuration and
+  /// state vector. Used by the ETS conversion and by tests that construct
+  /// structures directly.
+  Nes(std::vector<netkat::Event> Events, std::vector<DenseBitSet> Family,
+      std::vector<topo::Configuration> Configs,
+      std::vector<stateful::StateVec> States);
+
+  //===--------------------------------------------------------------------===//
+  // Events
+  //===--------------------------------------------------------------------===//
+
+  const std::vector<netkat::Event> &events() const { return Events; }
+  unsigned numEvents() const { return static_cast<unsigned>(Events.size()); }
+  const netkat::Event &event(EventId E) const { return Events[E]; }
+
+  //===--------------------------------------------------------------------===//
+  // Family / con / enabling
+  //===--------------------------------------------------------------------===//
+
+  const std::vector<DenseBitSet> &family() const { return Family; }
+
+  /// con(X): is X consistent?
+  bool con(const DenseBitSet &X) const;
+
+  /// X ⊢ e (Definition 3, derived per Winskel Thm 1.1.12).
+  bool enables(const DenseBitSet &X, EventId E) const;
+
+  /// The events not in X that are enabled by X and keep it consistent —
+  /// exactly the candidate set E' of the Figure 7 SWITCH rule.
+  std::vector<EventId> enabledEvents(const DenseBitSet &X) const;
+
+  /// Index of event-set \p X in the family, if it is one.
+  std::optional<SetId> setIndex(const DenseBitSet &X) const;
+
+  SetId emptySet() const { return EmptyIdx; }
+  const DenseBitSet &setBits(SetId S) const { return Family[S]; }
+  unsigned numSets() const { return static_cast<unsigned>(Family.size()); }
+
+  //===--------------------------------------------------------------------===//
+  // g: event-sets to configurations
+  //===--------------------------------------------------------------------===//
+
+  const topo::Configuration &configOf(SetId S) const { return Configs[S]; }
+  const stateful::StateVec &stateOf(SetId S) const { return States[S]; }
+
+  //===--------------------------------------------------------------------===//
+  // Sequences and locality
+  //===--------------------------------------------------------------------===//
+
+  /// All sequences e0 e1 ... allowed by the structure (every prefix
+  /// consistent and enabled), including the empty sequence. Exponential
+  /// in the worst case; NESs compiled from programs are tiny.
+  std::vector<std::vector<EventId>> allowedSequences() const;
+
+  /// All minimally-inconsistent sets (every proper subset consistent).
+  std::vector<DenseBitSet> minimallyInconsistentSets() const;
+
+  /// The locality restriction of Section 2: every minimally-inconsistent
+  /// set's events occur at a single switch.
+  bool isLocallyDetermined() const;
+
+  std::string str() const;
+
+private:
+  std::vector<netkat::Event> Events;
+  std::vector<DenseBitSet> Family;
+  std::vector<topo::Configuration> Configs;
+  std::vector<stateful::StateVec> States;
+  std::map<DenseBitSet, SetId> Index;
+  SetId EmptyIdx = 0;
+};
+
+} // namespace nes
+} // namespace eventnet
+
+#endif // EVENTNET_NES_NES_H

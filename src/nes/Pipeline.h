@@ -1,0 +1,65 @@
+//===- nes/Pipeline.h - Source-to-NES compiler driver -----------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end compiler pipeline of Section 3/4: Stateful NetKAT
+/// source -> AST -> ETS (per-state configurations via the Figure 5
+/// projection and the FDD compiler) -> NES (with the family and locality
+/// checks). This is the front half of the paper's toolchain; the back
+/// half (installing the NES into switches) lives in runtime/.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_NES_PIPELINE_H
+#define EVENTNET_NES_PIPELINE_H
+
+#include "ets/Ets.h"
+#include "nes/FromEts.h"
+#include "nes/Nes.h"
+#include "stateful/Parser.h"
+#include "topo/Topology.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace eventnet {
+namespace nes {
+
+/// A fully-compiled program.
+struct CompiledProgram {
+  bool Ok = false;
+  /// Diagnostic when !Ok.
+  std::string Error;
+  /// The parsed program.
+  stateful::SPolRef Ast;
+  /// let-bindings from the source (empty when compiled from an AST).
+  std::map<std::string, Value> Bindings;
+  /// The transition system (reachable states + configurations).
+  ets::Ets Ets;
+  /// The event structure driving the runtime.
+  std::optional<Nes> N;
+  /// Wall-clock compile time in seconds (parse through NES checks).
+  double CompileSeconds = 0;
+};
+
+/// Compiles Stateful NetKAT source against \p Topo. \p RequireLocal
+/// controls whether a locality violation (Section 2's restriction) is a
+/// hard error; the paper's compiler enforces it, so that is the default.
+CompiledProgram compileSource(const std::string &Source,
+                              const topo::Topology &Topo,
+                              bool RequireLocal = true);
+
+/// Same, starting from an already-built AST.
+CompiledProgram compileAst(const stateful::SPolRef &Program,
+                           const topo::Topology &Topo,
+                           bool RequireLocal = true);
+
+} // namespace nes
+} // namespace eventnet
+
+#endif // EVENTNET_NES_PIPELINE_H

@@ -1,0 +1,269 @@
+//===- netkat/Ast.cpp - NetKAT predicates and policies --------------------===//
+
+#include "netkat/Ast.h"
+
+#include <sstream>
+
+using namespace eventnet;
+using namespace eventnet::netkat;
+
+//===----------------------------------------------------------------------===//
+// Predicate smart constructors
+//===----------------------------------------------------------------------===//
+
+PredRef netkat::pTrue() {
+  static PredRef T = std::make_shared<Pred>(Pred::Kind::True, 0, 0, nullptr,
+                                            nullptr);
+  return T;
+}
+
+PredRef netkat::pFalse() {
+  static PredRef F = std::make_shared<Pred>(Pred::Kind::False, 0, 0, nullptr,
+                                            nullptr);
+  return F;
+}
+
+PredRef netkat::pTest(FieldId F, Value V) {
+  return std::make_shared<Pred>(Pred::Kind::Test, F, V, nullptr, nullptr);
+}
+
+bool netkat::isTriviallyTrue(const PredRef &P) {
+  return P->kind() == Pred::Kind::True;
+}
+
+bool netkat::isTriviallyFalse(const PredRef &P) {
+  return P->kind() == Pred::Kind::False;
+}
+
+PredRef netkat::pAnd(PredRef A, PredRef B) {
+  if (isTriviallyFalse(A) || isTriviallyFalse(B))
+    return pFalse();
+  if (isTriviallyTrue(A))
+    return B;
+  if (isTriviallyTrue(B))
+    return A;
+  return std::make_shared<Pred>(Pred::Kind::And, 0, 0, std::move(A),
+                                std::move(B));
+}
+
+PredRef netkat::pOr(PredRef A, PredRef B) {
+  if (isTriviallyTrue(A) || isTriviallyTrue(B))
+    return pTrue();
+  if (isTriviallyFalse(A))
+    return B;
+  if (isTriviallyFalse(B))
+    return A;
+  return std::make_shared<Pred>(Pred::Kind::Or, 0, 0, std::move(A),
+                                std::move(B));
+}
+
+PredRef netkat::pNot(PredRef A) {
+  if (isTriviallyTrue(A))
+    return pFalse();
+  if (isTriviallyFalse(A))
+    return pTrue();
+  if (A->kind() == Pred::Kind::Not)
+    return A->negand();
+  return std::make_shared<Pred>(Pred::Kind::Not, 0, 0, std::move(A), nullptr);
+}
+
+PredRef netkat::pAndAll(const std::vector<PredRef> &Ps) {
+  PredRef Acc = pTrue();
+  for (const PredRef &P : Ps)
+    Acc = pAnd(Acc, P);
+  return Acc;
+}
+
+PredRef netkat::pSw(SwitchId Sw) {
+  return pTest(FieldSw, static_cast<Value>(Sw));
+}
+
+PredRef netkat::pPt(PortId Pt) {
+  return pTest(FieldPt, static_cast<Value>(Pt));
+}
+
+PredRef netkat::pAt(Location L) { return pAnd(pSw(L.Sw), pPt(L.Pt)); }
+
+//===----------------------------------------------------------------------===//
+// Policy smart constructors
+//===----------------------------------------------------------------------===//
+
+PolicyRef netkat::filter(PredRef P) {
+  return std::make_shared<Policy>(Policy::Kind::Filter, std::move(P), 0, 0,
+                                  nullptr, nullptr, Location{}, Location{});
+}
+
+PolicyRef netkat::drop() {
+  static PolicyRef D = filter(pFalse());
+  return D;
+}
+
+PolicyRef netkat::skip() {
+  static PolicyRef S = filter(pTrue());
+  return S;
+}
+
+PolicyRef netkat::mod(FieldId F, Value V) {
+  return std::make_shared<Policy>(Policy::Kind::Mod, nullptr, F, V, nullptr,
+                                  nullptr, Location{}, Location{});
+}
+
+PolicyRef netkat::modPt(PortId Pt) {
+  return mod(FieldPt, static_cast<Value>(Pt));
+}
+
+bool netkat::isDrop(const PolicyRef &P) {
+  return P->kind() == Policy::Kind::Filter && isTriviallyFalse(P->pred());
+}
+
+bool netkat::isSkip(const PolicyRef &P) {
+  return P->kind() == Policy::Kind::Filter && isTriviallyTrue(P->pred());
+}
+
+PolicyRef netkat::unite(PolicyRef A, PolicyRef B) {
+  if (isDrop(A))
+    return B;
+  if (isDrop(B))
+    return A;
+  return std::make_shared<Policy>(Policy::Kind::Union, nullptr, 0, 0,
+                                  std::move(A), std::move(B), Location{},
+                                  Location{});
+}
+
+PolicyRef netkat::uniteAll(const std::vector<PolicyRef> &Ps) {
+  PolicyRef Acc = drop();
+  for (const PolicyRef &P : Ps)
+    Acc = unite(Acc, P);
+  return Acc;
+}
+
+PolicyRef netkat::seq(PolicyRef A, PolicyRef B) {
+  if (isDrop(A) || isDrop(B))
+    return drop();
+  if (isSkip(A))
+    return B;
+  if (isSkip(B))
+    return A;
+  return std::make_shared<Policy>(Policy::Kind::Seq, nullptr, 0, 0,
+                                  std::move(A), std::move(B), Location{},
+                                  Location{});
+}
+
+PolicyRef netkat::seqAll(const std::vector<PolicyRef> &Ps) {
+  PolicyRef Acc = skip();
+  for (const PolicyRef &P : Ps)
+    Acc = seq(Acc, P);
+  return Acc;
+}
+
+PolicyRef netkat::star(PolicyRef A) {
+  // drop* == skip* == skip.
+  if (isDrop(A) || isSkip(A))
+    return skip();
+  return std::make_shared<Policy>(Policy::Kind::Star, nullptr, 0, 0,
+                                  std::move(A), nullptr, Location{},
+                                  Location{});
+}
+
+PolicyRef netkat::link(Location Src, Location Dst) {
+  return std::make_shared<Policy>(Policy::Kind::Link, nullptr, 0, 0, nullptr,
+                                  nullptr, Src, Dst);
+}
+
+//===----------------------------------------------------------------------===//
+// Structural queries
+//===----------------------------------------------------------------------===//
+
+bool netkat::containsLink(const PolicyRef &P) {
+  switch (P->kind()) {
+  case Policy::Kind::Filter:
+  case Policy::Kind::Mod:
+    return false;
+  case Policy::Kind::Link:
+    return true;
+  case Policy::Kind::Union:
+  case Policy::Kind::Seq:
+    return containsLink(P->lhs()) || containsLink(P->rhs());
+  case Policy::Kind::Star:
+    return containsLink(P->body());
+  }
+  return false;
+}
+
+bool netkat::modifiesSwitch(const PolicyRef &P) {
+  switch (P->kind()) {
+  case Policy::Kind::Filter:
+  case Policy::Kind::Link:
+    return false;
+  case Policy::Kind::Mod:
+    return P->modField() == FieldSw;
+  case Policy::Kind::Union:
+  case Policy::Kind::Seq:
+    return modifiesSwitch(P->lhs()) || modifiesSwitch(P->rhs());
+  case Policy::Kind::Star:
+    return modifiesSwitch(P->body());
+  }
+  return false;
+}
+
+size_t netkat::policySize(const PolicyRef &P) {
+  switch (P->kind()) {
+  case Policy::Kind::Filter:
+  case Policy::Kind::Mod:
+  case Policy::Kind::Link:
+    return 1;
+  case Policy::Kind::Union:
+  case Policy::Kind::Seq:
+    return 1 + policySize(P->lhs()) + policySize(P->rhs());
+  case Policy::Kind::Star:
+    return 1 + policySize(P->body());
+  }
+  return 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+std::string Pred::str() const {
+  switch (K) {
+  case Kind::True:
+    return "true";
+  case Kind::False:
+    return "false";
+  case Kind::Test: {
+    std::ostringstream OS;
+    OS << fieldName(F) << '=' << V;
+    return OS.str();
+  }
+  case Kind::And:
+    return "(" + L->str() + " and " + R->str() + ")";
+  case Kind::Or:
+    return "(" + L->str() + " or " + R->str() + ")";
+  case Kind::Not:
+    return "not " + L->str();
+  }
+  return "?";
+}
+
+std::string Policy::str() const {
+  std::ostringstream OS;
+  switch (K) {
+  case Kind::Filter:
+    return P->str();
+  case Kind::Mod:
+    OS << fieldName(F) << ":=" << V;
+    return OS.str();
+  case Kind::Union:
+    return "(" + L->str() + " + " + R->str() + ")";
+  case Kind::Seq:
+    return "(" + L->str() + "; " + R->str() + ")";
+  case Kind::Star:
+    return "(" + L->str() + ")*";
+  case Kind::Link:
+    OS << '(' << Src.Sw << ':' << Src.Pt << ")->(" << Dst.Sw << ':' << Dst.Pt
+       << ')';
+    return OS.str();
+  }
+  return "?";
+}

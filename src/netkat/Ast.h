@@ -1,0 +1,228 @@
+//===- netkat/Ast.h - NetKAT predicates and policies ------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The NetKAT abstract syntax (Anderson et al., POPL 2014), which Stateful
+/// NetKAT programs project onto (Figure 5 of the paper):
+///
+///   a, b ::= true | false | f = n | a ∨ b | a ∧ b | ¬a           (tests)
+///   p, q ::= a | f <- n | p + q | p ; q | p* | (n:m) -> (n:m)    (policies)
+///
+/// Tests on the switch (sw=n) and port (pt=n) locations are ordinary field
+/// tests on the reserved sw/pt fields. Nodes are immutable and shared via
+/// PredRef / PolicyRef; the smart constructors in this header perform the
+/// standard KAT simplifications (identity/annihilator absorption) so that
+/// the Figure 5 projection of a Stateful NetKAT program collapses the
+/// branches disabled in a given state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_NETKAT_AST_H
+#define EVENTNET_NETKAT_AST_H
+
+#include "support/Ids.h"
+#include "support/Symbols.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eventnet {
+namespace netkat {
+
+class Pred;
+class Policy;
+using PredRef = std::shared_ptr<const Pred>;
+using PolicyRef = std::shared_ptr<const Policy>;
+
+/// A NetKAT predicate (the Boolean-algebra fragment).
+class Pred {
+public:
+  enum class Kind { True, False, Test, And, Or, Not };
+
+  Kind kind() const { return K; }
+
+  /// Test accessors; only valid when kind()==Test.
+  FieldId testField() const {
+    assert(K == Kind::Test);
+    return F;
+  }
+  Value testValue() const {
+    assert(K == Kind::Test);
+    return V;
+  }
+
+  /// Binary accessors; only valid for And/Or.
+  const PredRef &lhs() const {
+    assert(K == Kind::And || K == Kind::Or);
+    return L;
+  }
+  const PredRef &rhs() const {
+    assert(K == Kind::And || K == Kind::Or);
+    return R;
+  }
+
+  /// Negand; only valid for Not.
+  const PredRef &negand() const {
+    assert(K == Kind::Not);
+    return L;
+  }
+
+  /// Renders concrete syntax, e.g. "(pt=2 and ip_dst=4)".
+  std::string str() const;
+
+  // Node construction is funneled through the smart constructors below.
+  Pred(Kind K, FieldId F, Value V, PredRef L, PredRef R)
+      : K(K), F(F), V(V), L(std::move(L)), R(std::move(R)) {}
+
+private:
+  Kind K;
+  FieldId F = 0;
+  Value V = 0;
+  PredRef L, R;
+};
+
+/// A NetKAT policy (the KAT layer plus links).
+class Policy {
+public:
+  enum class Kind { Filter, Mod, Union, Seq, Star, Link };
+
+  Kind kind() const { return K; }
+
+  /// Filter accessor.
+  const PredRef &pred() const {
+    assert(K == Kind::Filter);
+    return P;
+  }
+
+  /// Mod accessors (f <- n).
+  FieldId modField() const {
+    assert(K == Kind::Mod);
+    return F;
+  }
+  Value modValue() const {
+    assert(K == Kind::Mod);
+    return V;
+  }
+
+  /// Binary accessors for Union/Seq.
+  const PolicyRef &lhs() const {
+    assert(K == Kind::Union || K == Kind::Seq);
+    return L;
+  }
+  const PolicyRef &rhs() const {
+    assert(K == Kind::Union || K == Kind::Seq);
+    return R;
+  }
+
+  /// Star body.
+  const PolicyRef &body() const {
+    assert(K == Kind::Star);
+    return L;
+  }
+
+  /// Link endpoints ((n1:m1) -> (n2:m2)).
+  Location linkSrc() const {
+    assert(K == Kind::Link);
+    return Src;
+  }
+  Location linkDst() const {
+    assert(K == Kind::Link);
+    return Dst;
+  }
+
+  /// Renders concrete syntax.
+  std::string str() const;
+
+  Policy(Kind K, PredRef P, FieldId F, Value V, PolicyRef L, PolicyRef R,
+         Location Src, Location Dst)
+      : K(K), P(std::move(P)), F(F), V(V), L(std::move(L)), R(std::move(R)),
+        Src(Src), Dst(Dst) {}
+
+private:
+  Kind K;
+  PredRef P;
+  FieldId F = 0;
+  Value V = 0;
+  PolicyRef L, R;
+  Location Src{}, Dst{};
+};
+
+//===----------------------------------------------------------------------===//
+// Smart constructors
+//===----------------------------------------------------------------------===//
+
+/// The constant `true` predicate (shared singleton).
+PredRef pTrue();
+/// The constant `false` predicate (shared singleton).
+PredRef pFalse();
+/// Field test f = n.
+PredRef pTest(FieldId F, Value V);
+/// Conjunction with true/false absorption.
+PredRef pAnd(PredRef A, PredRef B);
+/// Disjunction with true/false absorption.
+PredRef pOr(PredRef A, PredRef B);
+/// Negation with double-negation and constant elimination.
+PredRef pNot(PredRef A);
+/// Conjunction of a list (empty list yields true).
+PredRef pAndAll(const std::vector<PredRef> &Ps);
+
+/// Returns true for structurally constant-true / constant-false predicates.
+bool isTriviallyTrue(const PredRef &P);
+bool isTriviallyFalse(const PredRef &P);
+
+/// Test on the switch location, sw = n.
+PredRef pSw(SwitchId Sw);
+/// Test on the port location, pt = m.
+PredRef pPt(PortId Pt);
+/// Test on a full location, sw = n and pt = m.
+PredRef pAt(Location L);
+
+/// Filter policy (a predicate used as a policy).
+PolicyRef filter(PredRef P);
+/// The drop policy (filter false).
+PolicyRef drop();
+/// The identity policy (filter true).
+PolicyRef skip();
+/// Field assignment f <- n.
+PolicyRef mod(FieldId F, Value V);
+/// Port assignment pt <- m.
+PolicyRef modPt(PortId Pt);
+/// Union p + q with drop absorption.
+PolicyRef unite(PolicyRef A, PolicyRef B);
+/// Union of a list (empty list yields drop).
+PolicyRef uniteAll(const std::vector<PolicyRef> &Ps);
+/// Sequence p ; q with skip/drop absorption.
+PolicyRef seq(PolicyRef A, PolicyRef B);
+/// Sequence of a list (empty list yields skip).
+PolicyRef seqAll(const std::vector<PolicyRef> &Ps);
+/// Iteration p*.
+PolicyRef star(PolicyRef A);
+/// Physical link (n1:m1) -> (n2:m2).
+PolicyRef link(Location Src, Location Dst);
+
+/// Returns true for the structurally-drop policy (filter false).
+bool isDrop(const PolicyRef &P);
+/// Returns true for the structurally-skip policy (filter true).
+bool isSkip(const PolicyRef &P);
+
+/// Returns true if \p P syntactically contains a Link node.
+bool containsLink(const PolicyRef &P);
+
+/// Returns true if \p P modifies the reserved sw field. Stateful NetKAT's
+/// grammar (Figure 4) excludes sw from the modifiable fields; the path
+/// splitter relies on this invariant.
+bool modifiesSwitch(const PolicyRef &P);
+
+/// Structural size (node count) of a policy; used by tests and benches.
+size_t policySize(const PolicyRef &P);
+
+} // namespace netkat
+} // namespace eventnet
+
+#endif // EVENTNET_NETKAT_AST_H

@@ -1,0 +1,81 @@
+//===- netkat/Eval.cpp - NetKAT denotational evaluator --------------------===//
+
+#include "netkat/Eval.h"
+
+using namespace eventnet;
+using namespace eventnet::netkat;
+
+bool netkat::evalPred(const PredRef &P, const Packet &Pkt) {
+  switch (P->kind()) {
+  case Pred::Kind::True:
+    return true;
+  case Pred::Kind::False:
+    return false;
+  case Pred::Kind::Test:
+    return Pkt.has(P->testField()) &&
+           Pkt.get(P->testField()) == P->testValue();
+  case Pred::Kind::And:
+    return evalPred(P->lhs(), Pkt) && evalPred(P->rhs(), Pkt);
+  case Pred::Kind::Or:
+    return evalPred(P->lhs(), Pkt) || evalPred(P->rhs(), Pkt);
+  case Pred::Kind::Not:
+    return !evalPred(P->negand(), Pkt);
+  }
+  return false;
+}
+
+PacketSet netkat::evalPolicy(const PolicyRef &P, const Packet &Pkt) {
+  switch (P->kind()) {
+  case Policy::Kind::Filter:
+    if (evalPred(P->pred(), Pkt))
+      return {Pkt};
+    return {};
+  case Policy::Kind::Mod: {
+    Packet Out = Pkt;
+    Out.set(P->modField(), P->modValue());
+    return {Out};
+  }
+  case Policy::Kind::Union: {
+    PacketSet Out = evalPolicy(P->lhs(), Pkt);
+    PacketSet R = evalPolicy(P->rhs(), Pkt);
+    Out.insert(R.begin(), R.end());
+    return Out;
+  }
+  case Policy::Kind::Seq:
+    return evalPolicy(P->rhs(), evalPolicy(P->lhs(), Pkt));
+  case Policy::Kind::Star: {
+    // Least fixpoint of S = {Pkt} ∪ body(S); terminates because the set
+    // of reachable packets under finitely many writes is finite.
+    PacketSet Acc = {Pkt};
+    PacketSet Frontier = Acc;
+    while (!Frontier.empty()) {
+      PacketSet Next;
+      for (const Packet &Q : Frontier)
+        for (const Packet &R : evalPolicy(P->body(), Q))
+          if (!Acc.count(R))
+            Next.insert(R);
+      Acc.insert(Next.begin(), Next.end());
+      Frontier = std::move(Next);
+    }
+    return Acc;
+  }
+  case Policy::Kind::Link: {
+    Location Src = P->linkSrc();
+    if (Pkt.sw() != Src.Sw || Pkt.pt() != Src.Pt)
+      return {};
+    Packet Out = Pkt;
+    Out.setLoc(P->linkDst());
+    return {Out};
+  }
+  }
+  return {};
+}
+
+PacketSet netkat::evalPolicy(const PolicyRef &P, const PacketSet &Pkts) {
+  PacketSet Out;
+  for (const Packet &Pkt : Pkts) {
+    PacketSet R = evalPolicy(P, Pkt);
+    Out.insert(R.begin(), R.end());
+  }
+  return Out;
+}

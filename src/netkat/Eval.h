@@ -1,0 +1,48 @@
+//===- netkat/Eval.h - NetKAT denotational evaluator ------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard packet-set semantics of NetKAT: a policy denotes a
+/// function from a (located) packet to a set of (located) packets.
+/// This evaluator is the semantic reference against which the FDD
+/// compiler and the flow-table evaluator are validated by property tests,
+/// exactly mirroring how the paper leans on NetKAT's established
+/// equational theory for the per-state configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_NETKAT_EVAL_H
+#define EVENTNET_NETKAT_EVAL_H
+
+#include "netkat/Ast.h"
+#include "netkat/Packet.h"
+
+#include <set>
+
+namespace eventnet {
+namespace netkat {
+
+/// Set of packets, ordered structurally (deterministic iteration).
+using PacketSet = std::set<Packet>;
+
+/// Evaluates predicate \p P on packet \p Pkt. Tests on fields the packet
+/// does not carry are false (the paper's packets carry every field the
+/// program mentions; absence can only arise in hand-built tests).
+bool evalPred(const PredRef &P, const Packet &Pkt);
+
+/// Evaluates policy \p P on packet \p Pkt, producing the set of output
+/// packets. Star is computed as the reflexive-transitive closure; it
+/// terminates because each program only ever writes finitely many values.
+PacketSet evalPolicy(const PolicyRef &P, const Packet &Pkt);
+
+/// Evaluates policy \p P pointwise on a set of packets.
+PacketSet evalPolicy(const PolicyRef &P, const PacketSet &Pkts);
+
+} // namespace netkat
+} // namespace eventnet
+
+#endif // EVENTNET_NETKAT_EVAL_H

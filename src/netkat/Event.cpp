@@ -1,0 +1,26 @@
+//===- netkat/Event.cpp - Packet-arrival events ---------------------------===//
+
+#include "netkat/Event.h"
+
+#include "netkat/Eval.h"
+
+#include <sstream>
+
+using namespace eventnet;
+using namespace eventnet::netkat;
+
+bool Event::matches(const Packet &Lp) const {
+  return Lp.sw() == Loc.Sw && Lp.pt() == Loc.Pt && evalPred(Guard, Lp);
+}
+
+std::string Event::str() const {
+  std::ostringstream OS;
+  OS << '(' << Guard->str() << ", " << Loc.Sw << ':' << Loc.Pt << ")#" << Eid;
+  return OS.str();
+}
+
+bool netkat::operator==(const Event &A, const Event &B) {
+  return A.Loc == B.Loc && A.Eid == B.Eid && A.Guard->str() == B.Guard->str();
+}
+
+bool netkat::operator!=(const Event &A, const Event &B) { return !(A == B); }

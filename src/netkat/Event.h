@@ -1,0 +1,57 @@
+//===- netkat/Event.h - Packet-arrival events -------------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An event e = (ϕ, sw, pt)_eid (paper Section 2): the arrival of a packet
+/// satisfying ϕ at location sw:pt. The optional event identifier eid
+/// distinguishes "renamed" copies of the same event, which arise when an
+/// ETS chain triggers the same phenomenon repeatedly (e.g. each packet
+/// counted by the bandwidth cap; see Section 3.1 "Loops in ETSs").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_NETKAT_EVENT_H
+#define EVENTNET_NETKAT_EVENT_H
+
+#include "netkat/Ast.h"
+#include "netkat/Packet.h"
+
+#include <string>
+
+namespace eventnet {
+namespace netkat {
+
+/// A packet-arrival event.
+struct Event {
+  /// First-order formula over packet fields; the located packet's header
+  /// must satisfy it for the event to match.
+  PredRef Guard;
+  /// The location sw:pt where the event is detected.
+  Location Loc;
+  /// Renaming index: 0 for the first occurrence of a phenomenon, >0 for
+  /// renamed copies along an ETS chain.
+  unsigned Eid = 0;
+
+  /// lp |= e from the paper: location matches and the header satisfies ϕ.
+  /// The Eid does not participate in matching; it only distinguishes event
+  /// identities within an NES.
+  bool matches(const Packet &Lp) const;
+
+  /// Renders e.g. "(ip_dst=4, 4:1)#0".
+  std::string str() const;
+};
+
+/// Structural equality: same guard text, location, and eid. Guards are
+/// compared by their printed form, which is canonical enough for the
+/// conjunctions produced by the Figure 6 extraction.
+bool operator==(const Event &A, const Event &B);
+bool operator!=(const Event &A, const Event &B);
+
+} // namespace netkat
+} // namespace eventnet
+
+#endif // EVENTNET_NETKAT_EVENT_H

@@ -1,0 +1,102 @@
+//===- netkat/Packet.h - Packet and located-packet model --------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The packet model from Section 2 of the paper: a packet is a record of
+/// numeric fields {f1; ...; fn}, and a located packet is a packet paired
+/// with a location sw:pt. Following the standard NetKAT treatment, the
+/// location is stored as two reserved fields ("sw" and "pt", see
+/// support/Symbols.h), which lets the evaluator and the FDD compiler treat
+/// location tests/updates uniformly with header fields.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_NETKAT_PACKET_H
+#define EVENTNET_NETKAT_PACKET_H
+
+#include "support/Ids.h"
+#include "support/Symbols.h"
+
+#include <string>
+#include <vector>
+
+namespace eventnet {
+namespace netkat {
+
+/// A packet: a record of numeric fields, stored as a sorted (by FieldId)
+/// vector of (field, value) pairs. Sortedness makes equality, ordering,
+/// and hashing structural, which the evaluator's packet sets rely on.
+class Packet {
+public:
+  Packet() = default;
+
+  /// Builds a packet from unsorted (field, value) pairs. Later duplicates
+  /// overwrite earlier ones.
+  explicit Packet(const std::vector<std::pair<FieldId, Value>> &Fields);
+
+  /// Returns true if field \p F is present.
+  bool has(FieldId F) const;
+
+  /// Returns the value of field \p F; asserts that it is present.
+  Value get(FieldId F) const;
+
+  /// Returns the value of field \p F, or \p Default if absent.
+  Value getOr(FieldId F, Value Default) const;
+
+  /// Sets field \p F to \p V (pkt[f <- n] in the paper).
+  void set(FieldId F, Value V);
+
+  /// Removes field \p F if present.
+  void erase(FieldId F);
+
+  /// Location accessors (reserved sw/pt fields).
+  SwitchId sw() const { return static_cast<SwitchId>(get(FieldSw)); }
+  PortId pt() const { return static_cast<PortId>(get(FieldPt)); }
+  Location loc() const { return Location{sw(), pt()}; }
+  void setLoc(Location L) {
+    set(FieldSw, static_cast<Value>(L.Sw));
+    set(FieldPt, static_cast<Value>(L.Pt));
+  }
+
+  /// All fields, sorted by FieldId.
+  const std::vector<std::pair<FieldId, Value>> &fields() const {
+    return Fields;
+  }
+
+  /// Renders e.g. "{sw=1, pt=2, ip_dst=4}".
+  std::string str() const;
+
+  friend bool operator==(const Packet &A, const Packet &B) {
+    return A.Fields == B.Fields;
+  }
+  friend bool operator!=(const Packet &A, const Packet &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const Packet &A, const Packet &B) {
+    return A.Fields < B.Fields;
+  }
+
+  size_t hash() const;
+
+private:
+  std::vector<std::pair<FieldId, Value>> Fields;
+};
+
+/// Builds a located packet: header fields plus a location.
+Packet makePacket(Location L,
+                  const std::vector<std::pair<FieldId, Value>> &Hdr);
+
+} // namespace netkat
+} // namespace eventnet
+
+template <> struct std::hash<eventnet::netkat::Packet> {
+  size_t operator()(const eventnet::netkat::Packet &P) const {
+    return P.hash();
+  }
+};
+
+#endif // EVENTNET_NETKAT_PACKET_H

@@ -1,0 +1,242 @@
+//===- netkat/PathSplit.cpp - Split global programs at links --------------===//
+
+#include "netkat/PathSplit.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace eventnet;
+using namespace eventnet::netkat;
+
+namespace {
+
+/// One clause atom: either a link-free policy fragment or a link.
+struct Atom {
+  bool IsLink = false;
+  PolicyRef Local;  // valid when !IsLink
+  Location Src, Dst; // valid when IsLink
+};
+
+/// A clause is a sequence of atoms; a normalized program is a union of
+/// clauses.
+using Clause = std::vector<Atom>;
+
+Atom localAtom(PolicyRef P) {
+  Atom A;
+  A.IsLink = false;
+  A.Local = std::move(P);
+  return A;
+}
+
+Atom linkAtom(Location Src, Location Dst) {
+  Atom A;
+  A.IsLink = true;
+  A.Src = Src;
+  A.Dst = Dst;
+  return A;
+}
+
+/// Appends clause \p B to clause \p A, merging adjacent local atoms.
+Clause concatClauses(const Clause &A, const Clause &B) {
+  Clause Out = A;
+  for (const Atom &At : B) {
+    if (!At.IsLink && !Out.empty() && !Out.back().IsLink) {
+      Out.back().Local = seq(Out.back().Local, At.Local);
+      continue;
+    }
+    Out.push_back(At);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Prefix field knowledge
+//===----------------------------------------------------------------------===//
+//
+// A continuation hop must not fire for packets that arrived at the same
+// link destination via a *different* clause. Tests and writes along the
+// clause prefix pin field values ("knowledge"); guarding the hop with
+// that knowledge is a semantic no-op for the clause's own packets and
+// excludes foreign ones. The analysis is a simple strongest-postcondition
+// approximation: equality tests in pure conjunctions and top-level writes
+// yield facts; unions and stars kill facts about any field they write
+// (their internal tests are ignored).
+
+/// Collects every field written anywhere inside \p P.
+void collectModified(const PolicyRef &P, std::set<FieldId> &Out) {
+  switch (P->kind()) {
+  case Policy::Kind::Filter:
+  case Policy::Kind::Link:
+    return;
+  case Policy::Kind::Mod:
+    Out.insert(P->modField());
+    return;
+  case Policy::Kind::Union:
+  case Policy::Kind::Seq:
+    collectModified(P->lhs(), Out);
+    collectModified(P->rhs(), Out);
+    return;
+  case Policy::Kind::Star:
+    collectModified(P->body(), Out);
+    return;
+  }
+}
+
+/// Adds facts from a predicate that is a pure conjunction of tests.
+void absorbPred(const PredRef &P, std::map<FieldId, Value> &Known) {
+  switch (P->kind()) {
+  case Pred::Kind::Test:
+    Known[P->testField()] = P->testValue();
+    return;
+  case Pred::Kind::And:
+    absorbPred(P->lhs(), Known);
+    absorbPred(P->rhs(), Known);
+    return;
+  default:
+    return; // Or / Not / constants contribute no definite facts
+  }
+}
+
+/// Updates \p Known across a link-free policy fragment.
+void absorbPolicy(const PolicyRef &P, std::map<FieldId, Value> &Known) {
+  switch (P->kind()) {
+  case Policy::Kind::Filter:
+    absorbPred(P->pred(), Known);
+    return;
+  case Policy::Kind::Mod:
+    Known[P->modField()] = P->modValue();
+    return;
+  case Policy::Kind::Seq:
+    absorbPolicy(P->lhs(), Known);
+    absorbPolicy(P->rhs(), Known);
+    return;
+  case Policy::Kind::Union:
+  case Policy::Kind::Star: {
+    std::set<FieldId> Killed;
+    collectModified(P, Killed);
+    for (FieldId F : Killed)
+      Known.erase(F);
+    return;
+  }
+  case Policy::Kind::Link:
+    assert(false && "link inside a local fragment");
+    return;
+  }
+}
+
+/// The knowledge conjunction as a predicate, excluding the location
+/// fields (the hop's at() filter covers those).
+PredRef knowledgePred(const std::map<FieldId, Value> &Known) {
+  PredRef Acc = pTrue();
+  for (const auto &[F, V] : Known) {
+    if (F == FieldSw || F == FieldPt)
+      continue;
+    Acc = pAnd(Acc, pTest(F, V));
+  }
+  return Acc;
+}
+
+/// Normalizes \p P into a union of clauses. Returns false (setting
+/// \p Error) when a star contains a link.
+bool normalize(const PolicyRef &P, std::vector<Clause> &Out,
+               std::string &Error) {
+  if (!containsLink(P)) {
+    Out.push_back({localAtom(P)});
+    return true;
+  }
+  switch (P->kind()) {
+  case Policy::Kind::Filter:
+  case Policy::Kind::Mod:
+    // Handled by the link-free fast path above.
+    assert(false && "link-free node reached link normalization");
+    return false;
+  case Policy::Kind::Link:
+    Out.push_back({linkAtom(P->linkSrc(), P->linkDst())});
+    return true;
+  case Policy::Kind::Union: {
+    // Union of clause sets.
+    if (!normalize(P->lhs(), Out, Error))
+      return false;
+    return normalize(P->rhs(), Out, Error);
+  }
+  case Policy::Kind::Seq: {
+    std::vector<Clause> Ls, Rs;
+    if (!normalize(P->lhs(), Ls, Error) || !normalize(P->rhs(), Rs, Error))
+      return false;
+    for (const Clause &L : Ls)
+      for (const Clause &R : Rs)
+        Out.push_back(concatClauses(L, R));
+    return true;
+  }
+  case Policy::Kind::Star:
+    Error = "unsupported program: iteration (p*) over a policy containing a "
+            "link cannot be cut into per-switch hops";
+    return false;
+  }
+  return false;
+}
+
+} // namespace
+
+PathSplitResult netkat::splitAtLinks(const PolicyRef &P) {
+  PathSplitResult Res;
+  if (modifiesSwitch(P)) {
+    Res.Error = "unsupported program: assignment to the reserved sw field";
+    return Res;
+  }
+
+  std::vector<Clause> Clauses;
+  if (!normalize(P, Clauses, Res.Error))
+    return Res;
+
+  std::vector<PolicyRef> Hops;
+  for (const Clause &C : Clauses) {
+    // Collect atoms into alternating locals/links with explicit skips so
+    // clause shape is l0 L1 l1 ... Lm lm.
+    std::vector<PolicyRef> Locals;
+    std::vector<std::pair<Location, Location>> Links;
+    Locals.push_back(skip());
+    for (const Atom &A : C) {
+      if (A.IsLink) {
+        Links.push_back({A.Src, A.Dst});
+        Res.Links.push_back({A.Src, A.Dst});
+        Locals.push_back(skip());
+        continue;
+      }
+      Locals.back() = seq(Locals.back(), A.Local);
+    }
+    assert(Locals.size() == Links.size() + 1 && "clause shape violated");
+
+    size_t M = Links.size();
+    if (M == 0) {
+      // Single-switch clause: usable as-is.
+      Hops.push_back(Locals[0]);
+      continue;
+    }
+    std::map<FieldId, Value> Known;
+    for (size_t I = 0; I <= M; ++I) {
+      PolicyRef Hop = Locals[I];
+      // Entry constraint: first hop runs at the first link's source
+      // switch (sw is immutable within a hop); later hops run exactly at
+      // the previous link's destination, additionally guarded by the
+      // clause prefix's field knowledge to prevent cross-clause pickup.
+      if (I == 0)
+        Hop = seq(filter(pSw(Links[0].first.Sw)), Hop);
+      else
+        Hop = seq(filter(pAnd(pAt(Links[I - 1].second),
+                              knowledgePred(Known))),
+                  Hop);
+      // Exit constraint: non-final hops must leave the packet at the next
+      // link's source location.
+      if (I < M)
+        Hop = seq(Hop, filter(pAt(Links[I].first)));
+      Hops.push_back(Hop);
+      absorbPolicy(Locals[I], Known);
+    }
+  }
+
+  Res.Local = uniteAll(Hops);
+  Res.Ok = true;
+  return Res;
+}

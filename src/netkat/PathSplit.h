@@ -1,0 +1,79 @@
+//===- netkat/PathSplit.h - Split global programs at links ------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// NetKAT programs in this paper are *global*: links appear inline, so a
+/// single policy describes an end-to-end path through several switches
+/// (see the programs in Figure 9). A physical switch, however, executes a
+/// *local* policy: it processes a packet at an input port and emits it at
+/// output ports; the topology then moves it across links.
+///
+/// This pass performs the link-cut decomposition that bridges the two
+/// views. A policy is first normalized into a union of clauses
+///
+///   l0 ; L1 ; l1 ; L2 ; ... ; Lm ; lm
+///
+/// where each li is link-free and each Li is a link, and then each clause
+/// is cut at its links into per-hop fragments:
+///
+///   hop_0 = sw=src(L1).sw ; l0 ; filter(at src(L1))
+///   hop_i = filter(at dst(Li)) ; li ; filter(at src(L(i+1)))
+///   hop_m = filter(at dst(Lm)) ; lm
+///
+/// The union of all hops is a link-free policy whose per-switch
+/// specialization compiles to flow tables (see fdd/Compile.h). The
+/// soundness of prefixing hop_0 with a switch filter relies on Stateful
+/// NetKAT's grammar: sw is not a modifiable field (Figure 4), so a
+/// link-free fragment can never move a packet between switches.
+///
+/// Continuation hops are additionally guarded by the *field knowledge*
+/// accumulated along their clause prefix (equality tests on and writes
+/// to header fields), so packets mid-path through one clause do not get
+/// picked up by another clause's continuation at a shared link
+/// destination. The supported fragment therefore asks that clauses
+/// sharing a link destination be distinguishable by fields that are not
+/// overwritten mid-path — precisely the discipline of the paper's
+/// programs, whose clauses are keyed by ip_dst throughout. Clauses that
+/// erase all distinctions mid-path are physically ambiguous for any
+/// tag-free per-switch implementation.
+///
+/// Programs where a star contains a link are outside the supported
+/// fragment (the paper's programs never iterate over links) and are
+/// rejected with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_NETKAT_PATHSPLIT_H
+#define EVENTNET_NETKAT_PATHSPLIT_H
+
+#include "netkat/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace eventnet {
+namespace netkat {
+
+/// Result of the link-cut decomposition.
+struct PathSplitResult {
+  /// True if the decomposition succeeded.
+  bool Ok = false;
+  /// Diagnostic when !Ok.
+  std::string Error;
+  /// The link-free local policy (union of all hop fragments).
+  PolicyRef Local;
+  /// All links mentioned by the program, for topology cross-checking.
+  std::vector<std::pair<Location, Location>> Links;
+};
+
+/// Decomposes global policy \p P into a local (link-free) policy.
+PathSplitResult splitAtLinks(const PolicyRef &P);
+
+} // namespace netkat
+} // namespace eventnet
+
+#endif // EVENTNET_NETKAT_PATHSPLIT_H

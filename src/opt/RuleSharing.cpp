@@ -1,0 +1,219 @@
+//===- opt/RuleSharing.cpp - Section 5.3 rule-sharing trie ----------------===//
+
+#include "opt/RuleSharing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+
+using namespace eventnet;
+using namespace eventnet::opt;
+
+namespace {
+
+RuleSet intersect(const RuleSet &A, const RuleSet &B) {
+  RuleSet Out;
+  std::set_intersection(A.begin(), A.end(), B.begin(), B.end(),
+                        std::inserter(Out, Out.begin()));
+  return Out;
+}
+
+size_t intersectionSize(const RuleSet &A, const RuleSet &B) {
+  size_t N = 0;
+  auto I = A.begin();
+  auto J = B.begin();
+  while (I != A.end() && J != B.end()) {
+    if (*I < *J)
+      ++I;
+    else if (*J < *I)
+      ++J;
+    else {
+      ++N;
+      ++I;
+      ++J;
+    }
+  }
+  return N;
+}
+
+/// Cost of a complete trie whose leaf sets (in order) are \p Level0:
+/// every node installs the rules it has beyond its parent.
+size_t costOfOrder(const std::vector<RuleSet> &Level0) {
+  assert((Level0.size() & (Level0.size() - 1)) == 0 &&
+         "leaf count must be a power of two");
+  // Build levels bottom-up; track each node's set.
+  std::vector<std::vector<RuleSet>> Levels{Level0};
+  while (Levels.back().size() > 1) {
+    const std::vector<RuleSet> &Prev = Levels.back();
+    std::vector<RuleSet> Next;
+    for (size_t I = 0; I + 1 < Prev.size(); I += 2)
+      Next.push_back(intersect(Prev[I], Prev[I + 1]));
+    Levels.push_back(std::move(Next));
+  }
+  // Root's parent is the empty set; each node pays |set \ parent-set|.
+  size_t Cost = 0;
+  for (size_t L = Levels.size(); L-- > 0;) {
+    for (size_t I = 0; I != Levels[L].size(); ++I) {
+      const RuleSet &Mine = Levels[L][I];
+      if (L + 1 == Levels.size()) {
+        Cost += Mine.size();
+        continue;
+      }
+      const RuleSet &Parent = Levels[L + 1][I / 2];
+      for (unsigned R : Mine)
+        Cost += !Parent.count(R);
+    }
+  }
+  return Cost;
+}
+
+/// Pads \p Configs to a power of two by duplicating existing
+/// configurations. A duplicate leaf pairs with its twin at zero extra
+/// cost (the twin's rules are already fully shared), so padding never
+/// inflates the installed-rule count — unlike the paper's all-rules
+/// dummies, which are fine for the formal development but would be
+/// counted as real rules here.
+std::vector<RuleSet> padded(const std::vector<RuleSet> &Configs,
+                            std::vector<unsigned> *Order) {
+  assert(!Configs.empty() && "no configurations to share");
+  std::vector<RuleSet> Out = Configs;
+  size_t Target = 1;
+  while (Target < Out.size())
+    Target <<= 1;
+  // Duplicate the configurations that currently have odd multiplicity,
+  // largest first: an even multiplicity lets the heuristic pair every
+  // copy with a free twin instead of stranding one next to a dissimilar
+  // sibling.
+  while (Out.size() < Target) {
+    std::map<RuleSet, size_t> Mult;
+    for (const RuleSet &C : Out)
+      ++Mult[C];
+    const RuleSet *Pick = nullptr;
+    for (const auto &[Set, Count] : Mult)
+      if (Count % 2 == 1 &&
+          (!Pick || Set.size() > Pick->size()))
+        Pick = &Set;
+    Out.push_back(Pick ? *Pick : Configs[0]);
+  }
+  if (Order) {
+    Order->clear();
+    for (unsigned I = 0; I != Out.size(); ++I)
+      Order->push_back(I);
+  }
+  return Out;
+}
+
+} // namespace
+
+size_t opt::trieCost(const std::vector<RuleSet> &Configs) {
+  std::vector<RuleSet> Leaves = padded(Configs, nullptr);
+  return costOfOrder(Leaves);
+}
+
+TrieResult opt::shareRulesHeuristic(const std::vector<RuleSet> &Configs) {
+  TrieResult Res;
+  for (const RuleSet &C : Configs)
+    Res.OriginalRules += C.size();
+
+  std::vector<unsigned> Order;
+  std::vector<RuleSet> Leaves = padded(Configs, &Order);
+
+  // Level-by-level greedy pairing: repeatedly join the two unpaired
+  // nodes with the largest intersection.
+  struct Node {
+    RuleSet Set;
+    std::vector<unsigned> Leaves; // original leaf indices, in order
+  };
+  std::vector<Node> Level;
+  for (unsigned I = 0; I != Leaves.size(); ++I)
+    Level.push_back(Node{Leaves[I], {I}});
+
+  while (Level.size() > 1) {
+    std::vector<bool> Used(Level.size(), false);
+    std::vector<Node> Next;
+    for (size_t Pair = 0; Pair != Level.size() / 2; ++Pair) {
+      // Find the best unused pair.
+      size_t BestA = 0, BestB = 0;
+      long BestScore = -1;
+      for (size_t A = 0; A != Level.size(); ++A) {
+        if (Used[A])
+          continue;
+        for (size_t B = A + 1; B != Level.size(); ++B) {
+          if (Used[B])
+            continue;
+          long Score =
+              static_cast<long>(intersectionSize(Level[A].Set, Level[B].Set));
+          if (Score > BestScore) {
+            BestScore = Score;
+            BestA = A;
+            BestB = B;
+          }
+        }
+      }
+      Used[BestA] = Used[BestB] = true;
+      Node Joined;
+      Joined.Set = intersect(Level[BestA].Set, Level[BestB].Set);
+      Joined.Leaves = Level[BestA].Leaves;
+      Joined.Leaves.insert(Joined.Leaves.end(), Level[BestB].Leaves.begin(),
+                           Level[BestB].Leaves.end());
+      Next.push_back(std::move(Joined));
+    }
+    Level = std::move(Next);
+  }
+
+  Res.LeafOrder = Level[0].Leaves;
+  std::vector<RuleSet> Ordered;
+  for (unsigned Leaf : Res.LeafOrder)
+    Ordered.push_back(Leaves[Leaf]);
+  Res.OptimizedRules = costOfOrder(Ordered);
+  return Res;
+}
+
+size_t opt::shareRulesOptimal(const std::vector<RuleSet> &Configs) {
+  assert(Configs.size() <= 8 && "exhaustive search is exponential");
+  std::vector<RuleSet> Leaves = padded(Configs, nullptr);
+  std::vector<unsigned> Perm;
+  for (unsigned I = 0; I != Leaves.size(); ++I)
+    Perm.push_back(I);
+  size_t Best = static_cast<size_t>(-1);
+  do {
+    std::vector<RuleSet> Ordered;
+    for (unsigned I : Perm)
+      Ordered.push_back(Leaves[I]);
+    Best = std::min(Best, costOfOrder(Ordered));
+  } while (std::next_permutation(Perm.begin(), Perm.end()));
+  return Best;
+}
+
+NesShareStats opt::shareRulesForNes(const nes::Nes &N,
+                                    const topo::Topology &Topo) {
+  NesShareStats Stats;
+  for (SwitchId Sw : Topo.switches()) {
+    // Intern each switch's rules across configurations: a rule is the
+    // (priority, pattern, actions) triple; the tag guard is what the trie
+    // assignment wildcard-compresses.
+    std::map<std::string, unsigned> RuleIds;
+    std::vector<RuleSet> Configs;
+    for (nes::SetId S = 0; S != N.numSets(); ++S) {
+      RuleSet Set;
+      for (const flowtable::Rule &R : N.configOf(S).tableFor(Sw).rules()) {
+        std::ostringstream Key;
+        Key << R.Priority << '|' << R.Pattern.str() << '|';
+        for (const auto &A : R.Actions) {
+          for (const auto &[F, V] : A)
+            Key << fieldName(F) << V << ',';
+          Key << ';';
+        }
+        auto [It, Inserted] =
+            RuleIds.emplace(Key.str(), static_cast<unsigned>(RuleIds.size()));
+        Set.insert(It->second);
+      }
+      Configs.push_back(std::move(Set));
+    }
+    TrieResult R = shareRulesHeuristic(Configs);
+    Stats.Before += R.OriginalRules;
+    Stats.After += R.OptimizedRules;
+  }
+  return Stats;
+}

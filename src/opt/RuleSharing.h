@@ -1,0 +1,83 @@
+//===- opt/RuleSharing.h - Section 5.3 rule-sharing trie --------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 5.3 optimization: configurations whose guarded rules are
+/// installed side by side often share rules. If two configurations with
+/// binary IDs differing only in low-order bits share a rule, one copy
+/// guarded by a wildcarded ID mask ("1*") replaces both. Assigning IDs so
+/// that similar configurations become trie siblings maximizes sharing.
+///
+/// The cost model: build a complete binary trie over the 2^k
+/// configuration IDs; annotate each node with the intersection of its
+/// children's rule sets; a rule is installed once per node where it first
+/// appears (i.e. it is in the node's set but not its parent's). The
+/// paper's polynomial heuristic pairs nodes level by level, greedily
+/// maximizing the cardinality of sibling intersections.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_OPT_RULESHARING_H
+#define EVENTNET_OPT_RULESHARING_H
+
+#include "nes/Nes.h"
+#include "topo/Topology.h"
+
+#include <set>
+#include <vector>
+
+namespace eventnet {
+namespace opt {
+
+/// A configuration abstracted to a set of rule ids.
+using RuleSet = std::set<unsigned>;
+
+/// Result of a trie assignment.
+struct TrieResult {
+  /// Sum of per-configuration sizes: the rule count with naive (exact,
+  /// per-ID) guards.
+  size_t OriginalRules = 0;
+  /// Rule count with wildcarded guards under the computed assignment.
+  size_t OptimizedRules = 0;
+  /// Leaf order: position i holds the index (into the input vector) of
+  /// the configuration assigned ID i. Indices >= the input size denote
+  /// padding configurations (see below).
+  std::vector<unsigned> LeafOrder;
+};
+
+/// Cost of the complete trie whose leaves are \p Configs in the given
+/// order (pairing adjacent leaves level by level).
+size_t trieCost(const std::vector<RuleSet> &Configs);
+
+/// The paper's bottom-up pairing heuristic. The input is padded to a
+/// power of two with configurations containing every rule that occurs
+/// (the paper's "dummy configurations containing all rules in R"), which
+/// never increases sharing cost.
+TrieResult shareRulesHeuristic(const std::vector<RuleSet> &Configs);
+
+/// Exhaustive minimum over all leaf orders; exponential, for testing
+/// the heuristic on small inputs (at most 8 configurations).
+size_t shareRulesOptimal(const std::vector<RuleSet> &Configs);
+
+/// Applies the optimization to a compiled NES: per switch, the guarded
+/// rules of every event-set tag are shared across tags. Returns total
+/// rule counts before/after, the paper's per-application metric
+/// (18 -> 16 for the firewall, etc.).
+struct NesShareStats {
+  size_t Before = 0;
+  size_t After = 0;
+  double savings() const {
+    return Before == 0 ? 0 : 1.0 - static_cast<double>(After) / Before;
+  }
+};
+NesShareStats shareRulesForNes(const nes::Nes &N,
+                               const topo::Topology &Topo);
+
+} // namespace opt
+} // namespace eventnet
+
+#endif // EVENTNET_OPT_RULESHARING_H

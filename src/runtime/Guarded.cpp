@@ -1,0 +1,33 @@
+//===- runtime/Guarded.cpp - Tag-guarded flow tables ----------------------===//
+
+#include "runtime/Guarded.h"
+
+using namespace eventnet;
+using namespace eventnet::runtime;
+
+FieldId runtime::tagField() {
+  static FieldId F = fieldOf("__tag");
+  return F;
+}
+
+topo::Configuration runtime::buildGuardedConfig(const nes::Nes &N,
+                                                const topo::Topology &Topo) {
+  topo::Configuration Out;
+  for (SwitchId Sw : Topo.switches()) {
+    flowtable::Table Merged;
+    for (nes::SetId S = 0; S != N.numSets(); ++S) {
+      const flowtable::Table &Base = N.configOf(S).tableFor(Sw);
+      for (flowtable::Rule R : Base.rules()) {
+        R.Pattern.require(tagField(), static_cast<Value>(S));
+        Merged.add(std::move(R));
+      }
+    }
+    Out.setTable(Sw, std::move(Merged));
+  }
+  return Out;
+}
+
+size_t runtime::guardedRuleCount(const nes::Nes &N,
+                                 const topo::Topology &Topo) {
+  return buildGuardedConfig(N, Topo).totalRules();
+}

@@ -1,0 +1,48 @@
+//===- runtime/Guarded.h - Tag-guarded flow tables --------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Steps 1-3 of the Section 4 implementation strategy: encode each NES
+/// event-set as a flat integer tag, compile every configuration's rules
+/// proactively, and guard each rule with its configuration's tag so a
+/// single physical table per switch serves all configurations. The tag
+/// travels in a reserved packet header field ("__tag"); stamping
+/// (step 4) and digest learning (step 5) are switch-logic operations
+/// implemented by the Figure 7 machine and the simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_RUNTIME_GUARDED_H
+#define EVENTNET_RUNTIME_GUARDED_H
+
+#include "nes/Nes.h"
+#include "topo/Configuration.h"
+#include "topo/Topology.h"
+
+namespace eventnet {
+namespace runtime {
+
+/// The reserved field carrying the configuration tag (the packet's
+/// version number; Section 4.1).
+FieldId tagField();
+
+/// Builds the guarded physical tables: for every switch, the union over
+/// event-set tags t of configuration g(t)'s rules with the additional
+/// match __tag == t. Rules keep their per-configuration priorities; the
+/// tag matches make bands for different tags disjoint.
+topo::Configuration buildGuardedConfig(const nes::Nes &N,
+                                       const topo::Topology &Topo);
+
+/// Rule-count of the guarded tables before any sharing optimization —
+/// the "number of rules installed on switches" the paper reports per
+/// application.
+size_t guardedRuleCount(const nes::Nes &N, const topo::Topology &Topo);
+
+} // namespace runtime
+} // namespace eventnet
+
+#endif // EVENTNET_RUNTIME_GUARDED_H

@@ -1,0 +1,244 @@
+//===- runtime/Machine.cpp - The Figure 7 operational semantics -----------===//
+
+#include "runtime/Machine.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace eventnet;
+using namespace eventnet::runtime;
+using eventnet::consistency::TraceEntry;
+using eventnet::netkat::Packet;
+
+Machine::Machine(const nes::Nes &N, const topo::Topology &Topo)
+    : N(N), Topo(Topo) {
+  for (SwitchId Sw : Topo.switches())
+    Switches[Sw]; // default-construct: empty queues, E = ∅
+}
+
+void Machine::inject(HostId From, const Packet &Header) {
+  Pending.push_back(Emission{From, Header});
+}
+
+std::string Machine::Step::str() const {
+  std::ostringstream OS;
+  switch (Kind) {
+  case RuleKind::In:
+    OS << "IN #" << EmissionIdx;
+    break;
+  case RuleKind::Switch:
+    OS << "SWITCH " << Sw << ':' << Pt;
+    break;
+  case RuleKind::Link:
+    OS << "LINK " << Sw << ':' << Pt;
+    break;
+  case RuleKind::Out:
+    OS << "OUT " << Sw << ':' << Pt;
+    break;
+  case RuleKind::CtrlRecv:
+    OS << "CTRLRECV e" << Ev;
+    break;
+  case RuleKind::CtrlSend:
+    OS << "CTRLSEND " << Sw;
+    break;
+  }
+  return OS.str();
+}
+
+nes::SetId Machine::tagForLocalSet(const DenseBitSet &E) const {
+  auto S = N.setIndex(E);
+  assert(S && "switch register left the NES family (finite-completeness or "
+              "Lemma 3 violated)");
+  return *S;
+}
+
+const DenseBitSet &Machine::switchEvents(SwitchId Sw) const {
+  auto It = Switches.find(Sw);
+  assert(It != Switches.end() && "unknown switch");
+  return It->second.E;
+}
+
+std::vector<Machine::Step> Machine::possibleSteps() const {
+  std::vector<Step> Out;
+
+  // IN: the oldest pending emission of each host (per-host FIFO).
+  {
+    std::set<HostId> Seen;
+    for (size_t I = 0; I != Pending.size(); ++I) {
+      if (!Seen.insert(Pending[I].From).second)
+        continue;
+      Step S;
+      S.Kind = RuleKind::In;
+      S.EmissionIdx = I;
+      Out.push_back(S);
+    }
+  }
+
+  for (const auto &[Sw, St] : Switches) {
+    for (const auto &[Pt, Queue] : St.QmIn)
+      if (!Queue.empty()) {
+        Step S;
+        S.Kind = RuleKind::Switch;
+        S.Sw = Sw;
+        S.Pt = Pt;
+        Out.push_back(S);
+      }
+    for (const auto &[Pt, Queue] : St.QmOut)
+      if (!Queue.empty()) {
+        Step S;
+        S.Kind = Topo.isHostPort({Sw, Pt}) || !Topo.linkFrom({Sw, Pt})
+                     ? RuleKind::Out
+                     : RuleKind::Link;
+        S.Sw = Sw;
+        S.Pt = Pt;
+        Out.push_back(S);
+      }
+  }
+
+  Q.forEach([&Out](unsigned E) {
+    Step S;
+    S.Kind = RuleKind::CtrlRecv;
+    S.Ev = E;
+    Out.push_back(S);
+  });
+
+  for (const auto &[Sw, St] : Switches)
+    if (!R.isSubsetOf(St.E)) {
+      Step S;
+      S.Kind = RuleKind::CtrlSend;
+      S.Sw = Sw;
+      Out.push_back(S);
+    }
+
+  return Out;
+}
+
+void Machine::apply(const Step &S) {
+  switch (S.Kind) {
+  case RuleKind::In: {
+    assert(S.EmissionIdx < Pending.size());
+    Emission E = Pending[S.EmissionIdx];
+    Pending.erase(Pending.begin() +
+                  static_cast<ptrdiff_t>(S.EmissionIdx));
+    Location At = Topo.hostLoc(E.From);
+    MPacket P;
+    P.Pkt = E.Header;
+    P.Pkt.setLoc(At);
+    P.Tag = tagForLocalSet(Switches[At.Sw].E); // pkt[C <- g(E)]
+    TraceEntry Entry;
+    Entry.Lp = P.Pkt;
+    Entry.Parent = -1;
+    P.TraceParent = Trace.append(std::move(Entry));
+    P.IngressLogged = true;
+    Switches[At.Sw].QmIn[At.Pt].push_back(std::move(P));
+    return;
+  }
+
+  case RuleKind::Switch: {
+    SwitchState &St = Switches[S.Sw];
+    auto &Queue = St.QmIn[S.Pt];
+    assert(!Queue.empty() && "SWITCH on empty queue");
+    MPacket P = Queue.front();
+    Queue.pop_front();
+
+    // Log the ingress located packet now: the switch's per-location
+    // order in the trace must match the order its state (E) interacts
+    // with packets, so link arrivals are logged at processing time.
+    if (!P.IngressLogged) {
+      TraceEntry Entry;
+      Entry.Lp = P.Pkt;
+      Entry.Parent = P.TraceParent;
+      P.TraceParent = Trace.append(std::move(Entry));
+      P.IngressLogged = true;
+    }
+
+    DenseBitSet Known = St.E | P.Digest;
+
+    // E' — fresh events this arrival triggers, greedily kept consistent.
+    DenseBitSet Fresh;
+    for (nes::EventId E = 0; E != N.numEvents(); ++E) {
+      if (Known.test(E) || Fresh.test(E))
+        continue;
+      if (!N.event(E).matches(P.Pkt))
+        continue;
+      DenseBitSet Ext = Known | Fresh;
+      Ext.set(E);
+      if (N.enables(Known, E) && N.con(Ext))
+        Fresh.set(E);
+    }
+
+    // Forward using the packet's stamped configuration (pkt.C).
+    const flowtable::Table &T = N.configOf(P.Tag).tableFor(S.Sw);
+    std::vector<Packet> Outs = T.apply(P.Pkt);
+
+    DenseBitSet OutDigest = P.Digest | St.E | Fresh;
+    for (Packet &OutPkt : Outs) {
+      MPacket Child;
+      Child.Tag = P.Tag;
+      Child.Digest = OutDigest;
+      TraceEntry Entry;
+      Entry.Lp = OutPkt;
+      Entry.Parent = P.TraceParent;
+      Entry.IsDelivery = Topo.isHostPort(OutPkt.loc());
+      Child.TraceParent = Trace.append(std::move(Entry));
+      Child.Pkt = std::move(OutPkt);
+      St.QmOut[Child.Pkt.pt()].push_back(std::move(Child));
+    }
+
+    St.E = Known | Fresh;
+    Q |= Fresh;
+    return;
+  }
+
+  case RuleKind::Link: {
+    SwitchState &St = Switches[S.Sw];
+    auto &Queue = St.QmOut[S.Pt];
+    assert(!Queue.empty() && "LINK on empty queue");
+    MPacket P = Queue.front();
+    Queue.pop_front();
+    auto Dst = Topo.linkFrom({S.Sw, S.Pt});
+    assert(Dst && "LINK step on a port without a link");
+    P.Pkt.setLoc(*Dst);
+    P.IngressLogged = false; // logged when the destination processes it
+    Switches[Dst->Sw].QmIn[Dst->Pt].push_back(std::move(P));
+    return;
+  }
+
+  case RuleKind::Out: {
+    SwitchState &St = Switches[S.Sw];
+    auto &Queue = St.QmOut[S.Pt];
+    assert(!Queue.empty() && "OUT on empty queue");
+    MPacket P = Queue.front();
+    Queue.pop_front();
+    if (auto H = Topo.hostAt({S.Sw, S.Pt}))
+      Delivered.push_back({*H, P.Pkt});
+    // A port with neither link nor host silently discards.
+    return;
+  }
+
+  case RuleKind::CtrlRecv:
+    assert(Q.test(S.Ev) && "CTRLRECV of an event not in Q");
+    Q.reset(S.Ev);
+    R.set(S.Ev);
+    return;
+
+  case RuleKind::CtrlSend:
+    Switches[S.Sw].E |= R;
+    return;
+  }
+}
+
+size_t Machine::runToQuiescence(Rng &Rand, size_t MaxSteps) {
+  size_t Taken = 0;
+  while (Taken < MaxSteps) {
+    std::vector<Step> Steps = possibleSteps();
+    if (Steps.empty())
+      break;
+    apply(Steps[Rand.below(Steps.size())]);
+    ++Taken;
+  }
+  assert(Taken < MaxSteps && "machine failed to quiesce");
+  return Taken;
+}
+
+bool Machine::globalSetConsistent() const { return N.con(Q | R); }

@@ -1,0 +1,141 @@
+//===- runtime/Machine.h - The Figure 7 operational semantics ---*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An executable rendering of Figure 7's small-step operational
+/// semantics. The global state (Q, R, S) consists of the controller
+/// queue Q, the controller R, and the switches S, each a tuple
+/// (n, qm_in, E, qm_out) of input/output port queues and the local
+/// event-set register.
+///
+/// The machine is *nondeterministic*: at every point the set of
+/// applicable rules (IN / SWITCH / LINK-or-OUT / CTRLRECV / CTRLSEND) is
+/// enumerable, and the driver picks one — property tests drive it with a
+/// seeded Rng to explore interleavings and replay the resulting network
+/// traces through the Definition 6 checker (Theorem 1), and to check
+/// Lemma 3's global-consistency invariant after every step.
+///
+/// One sharpening relative to the figure, documented in DESIGN.md: the
+/// SWITCH rule's candidate set E' is constructed greedily in event-id
+/// order so that E ∪ E' remains consistent even when one packet matches
+/// several mutually-inconsistent events at the same switch (the figure's
+/// set comprehension leaves that corner unconstrained; greediness is one
+/// legal resolution and keeps Lemma 3's invariant checkable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_RUNTIME_MACHINE_H
+#define EVENTNET_RUNTIME_MACHINE_H
+
+#include "consistency/Trace.h"
+#include "nes/Nes.h"
+#include "support/BitSet.h"
+#include "support/Rng.h"
+#include "topo/Topology.h"
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eventnet {
+namespace runtime {
+
+/// A packet in flight: header fields plus the Section 4 metadata (tag =
+/// configuration version, digest = events heard about) and the trace
+/// bookkeeping linking it to its parent occurrence.
+struct MPacket {
+  netkat::Packet Pkt;
+  nes::SetId Tag = 0;
+  DenseBitSet Digest;
+  /// Trace-entry index of the occurrence that produced this packet.
+  int TraceParent = -1;
+  /// True if the packet's current located occurrence is already in the
+  /// trace (host emissions are logged at IN time, when the tag is
+  /// stamped; link arrivals are logged when the switch processes them).
+  bool IngressLogged = false;
+};
+
+/// A pending host emission.
+struct Emission {
+  HostId From;
+  netkat::Packet Header; // location fields are filled in by IN
+};
+
+/// The Figure 7 machine.
+class Machine {
+public:
+  Machine(const nes::Nes &N, const topo::Topology &Topo);
+
+  /// Queues a packet for host \p From to emit (IN becomes applicable).
+  void inject(HostId From, const netkat::Packet &Header);
+
+  /// A step the machine can take.
+  enum class RuleKind { In, Switch, Link, Out, CtrlRecv, CtrlSend };
+  struct Step {
+    RuleKind Kind;
+    /// Rule-specific operand: emission index for In; (switch, port) for
+    /// Switch/Link/Out; event for CtrlRecv; switch for CtrlSend.
+    SwitchId Sw = 0;
+    PortId Pt = 0;
+    nes::EventId Ev = 0;
+    size_t EmissionIdx = 0;
+
+    std::string str() const;
+  };
+
+  /// All steps applicable in the current state.
+  std::vector<Step> possibleSteps() const;
+
+  /// Applies \p S; asserts it is applicable.
+  void apply(const Step &S);
+
+  /// Runs until quiescence, choosing uniformly among applicable steps
+  /// with \p R. Returns the number of steps taken.
+  size_t runToQuiescence(Rng &R, size_t MaxSteps = 100000);
+
+  /// Lemma 3's invariant: Q ∪ R is consistent. Checked by tests after
+  /// every step.
+  bool globalSetConsistent() const;
+
+  /// The recorded network trace (grows as the machine runs).
+  const consistency::NetworkTrace &trace() const { return Trace; }
+
+  /// Per-switch view of the event-set register.
+  const DenseBitSet &switchEvents(SwitchId Sw) const;
+
+  /// Packets delivered to each host, in delivery order.
+  const std::vector<std::pair<HostId, netkat::Packet>> &deliveries() const {
+    return Delivered;
+  }
+
+  /// Controller state accessors (Q and R of the figure).
+  const DenseBitSet &controllerQueue() const { return Q; }
+  const DenseBitSet &controller() const { return R; }
+
+private:
+  struct SwitchState {
+    std::map<PortId, std::deque<MPacket>> QmIn;
+    std::map<PortId, std::deque<MPacket>> QmOut;
+    DenseBitSet E;
+  };
+
+  nes::SetId tagForLocalSet(const DenseBitSet &E) const;
+
+  const nes::Nes &N;
+  const topo::Topology &Topo;
+  std::map<SwitchId, SwitchState> Switches;
+  DenseBitSet Q, R;
+  std::vector<Emission> Pending;
+  consistency::NetworkTrace Trace;
+  std::vector<std::pair<HostId, netkat::Packet>> Delivered;
+};
+
+} // namespace runtime
+} // namespace eventnet
+
+#endif // EVENTNET_RUNTIME_MACHINE_H

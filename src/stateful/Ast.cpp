@@ -1,0 +1,219 @@
+//===- stateful/Ast.cpp - Stateful NetKAT abstract syntax -----------------===//
+
+#include "stateful/Ast.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace eventnet;
+using namespace eventnet::stateful;
+
+std::string stateful::stateVecStr(const StateVec &K) {
+  std::ostringstream OS;
+  OS << '[';
+  for (size_t I = 0; I != K.size(); ++I) {
+    if (I)
+      OS << ',';
+    OS << K[I];
+  }
+  OS << ']';
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Constructors
+//===----------------------------------------------------------------------===//
+
+SPredRef stateful::sTrue() {
+  static SPredRef T = std::make_shared<SPred>(SPred::Kind::True, 0, 0, true,
+                                              0, nullptr, nullptr);
+  return T;
+}
+
+SPredRef stateful::sFalse() {
+  static SPredRef F = std::make_shared<SPred>(SPred::Kind::False, 0, 0, true,
+                                              0, nullptr, nullptr);
+  return F;
+}
+
+SPredRef stateful::sFieldTest(FieldId F, bool Eq, Value V) {
+  return std::make_shared<SPred>(SPred::Kind::FieldTest, F, 0, Eq, V,
+                                 nullptr, nullptr);
+}
+
+SPredRef stateful::sStateTest(unsigned Index, bool Eq, Value V) {
+  return std::make_shared<SPred>(SPred::Kind::StateTest, 0, Index, Eq, V,
+                                 nullptr, nullptr);
+}
+
+SPredRef stateful::sAnd(SPredRef A, SPredRef B) {
+  return std::make_shared<SPred>(SPred::Kind::And, 0, 0, true, 0,
+                                 std::move(A), std::move(B));
+}
+
+SPredRef stateful::sOr(SPredRef A, SPredRef B) {
+  return std::make_shared<SPred>(SPred::Kind::Or, 0, 0, true, 0,
+                                 std::move(A), std::move(B));
+}
+
+SPredRef stateful::sNot(SPredRef A) {
+  return std::make_shared<SPred>(SPred::Kind::Not, 0, 0, true, 0,
+                                 std::move(A), nullptr);
+}
+
+SPolRef stateful::sFilter(SPredRef P) {
+  return std::make_shared<SPol>(SPol::Kind::Filter, std::move(P), 0, 0,
+                                nullptr, nullptr, Location{}, Location{}, 0);
+}
+
+SPolRef stateful::sMod(FieldId F, Value V) {
+  assert(F != FieldSw && "sw is not a modifiable field (Figure 4)");
+  return std::make_shared<SPol>(SPol::Kind::Mod, nullptr, F, V, nullptr,
+                                nullptr, Location{}, Location{}, 0);
+}
+
+SPolRef stateful::sUnion(SPolRef A, SPolRef B) {
+  return std::make_shared<SPol>(SPol::Kind::Union, nullptr, 0, 0,
+                                std::move(A), std::move(B), Location{},
+                                Location{}, 0);
+}
+
+SPolRef stateful::sSeq(SPolRef A, SPolRef B) {
+  return std::make_shared<SPol>(SPol::Kind::Seq, nullptr, 0, 0, std::move(A),
+                                std::move(B), Location{}, Location{}, 0);
+}
+
+SPolRef stateful::sStar(SPolRef A) {
+  return std::make_shared<SPol>(SPol::Kind::Star, nullptr, 0, 0,
+                                std::move(A), nullptr, Location{}, Location{},
+                                0);
+}
+
+SPolRef stateful::sLink(Location Src, Location Dst) {
+  return std::make_shared<SPol>(SPol::Kind::Link, nullptr, 0, 0, nullptr,
+                                nullptr, Src, Dst, 0);
+}
+
+SPolRef stateful::sLinkAssign(Location Src, Location Dst, unsigned Index,
+                              Value V) {
+  return std::make_shared<SPol>(SPol::Kind::LinkAssign, nullptr, 0, V,
+                                nullptr, nullptr, Src, Dst, Index);
+}
+
+SPolRef stateful::sUnionAll(const std::vector<SPolRef> &Ps) {
+  assert(!Ps.empty() && "empty union has no stateful encoding");
+  SPolRef Acc = Ps.front();
+  for (size_t I = 1; I != Ps.size(); ++I)
+    Acc = sUnion(Acc, Ps[I]);
+  return Acc;
+}
+
+SPolRef stateful::sSeqAll(const std::vector<SPolRef> &Ps) {
+  assert(!Ps.empty() && "empty sequence has no stateful encoding");
+  SPolRef Acc = Ps.front();
+  for (size_t I = 1; I != Ps.size(); ++I)
+    Acc = sSeq(Acc, Ps[I]);
+  return Acc;
+}
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+unsigned predStateSize(const SPredRef &P) {
+  switch (P->kind()) {
+  case SPred::Kind::True:
+  case SPred::Kind::False:
+  case SPred::Kind::FieldTest:
+    return 0;
+  case SPred::Kind::StateTest:
+    return P->stateIndex() + 1;
+  case SPred::Kind::And:
+  case SPred::Kind::Or:
+    return std::max(predStateSize(P->lhs()), predStateSize(P->rhs()));
+  case SPred::Kind::Not:
+    return predStateSize(P->negand());
+  }
+  return 0;
+}
+
+} // namespace
+
+unsigned stateful::stateSize(const SPolRef &P) {
+  unsigned N = 0;
+  switch (P->kind()) {
+  case SPol::Kind::Filter:
+    N = predStateSize(P->pred());
+    break;
+  case SPol::Kind::Mod:
+  case SPol::Kind::Link:
+    N = 0;
+    break;
+  case SPol::Kind::Union:
+  case SPol::Kind::Seq:
+    N = std::max(stateSize(P->lhs()), stateSize(P->rhs()));
+    break;
+  case SPol::Kind::Star:
+    N = stateSize(P->body());
+    break;
+  case SPol::Kind::LinkAssign:
+    N = P->stateIndex() + 1;
+    break;
+  }
+  return std::max(N, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+std::string SPred::str() const {
+  std::ostringstream OS;
+  switch (K) {
+  case Kind::True:
+    return "true";
+  case Kind::False:
+    return "false";
+  case Kind::FieldTest:
+    OS << fieldName(F) << (Eq ? "=" : "!=") << V;
+    return OS.str();
+  case Kind::StateTest:
+    OS << "state(" << Index << ')' << (Eq ? "=" : "!=") << V;
+    return OS.str();
+  case Kind::And:
+    return "(" + L->str() + " and " + R->str() + ")";
+  case Kind::Or:
+    return "(" + L->str() + " or " + R->str() + ")";
+  case Kind::Not:
+    return "not " + L->str();
+  }
+  return "?";
+}
+
+std::string SPol::str() const {
+  std::ostringstream OS;
+  switch (K) {
+  case Kind::Filter:
+    return P->str();
+  case Kind::Mod:
+    OS << fieldName(F) << "<-" << V;
+    return OS.str();
+  case Kind::Union:
+    return "(" + L->str() + " + " + R->str() + ")";
+  case Kind::Seq:
+    return "(" + L->str() + "; " + R->str() + ")";
+  case Kind::Star:
+    return "(" + L->str() + ")*";
+  case Kind::Link:
+    OS << '(' << Src.Sw << ':' << Src.Pt << ")->(" << Dst.Sw << ':' << Dst.Pt
+       << ')';
+    return OS.str();
+  case Kind::LinkAssign:
+    OS << '(' << Src.Sw << ':' << Src.Pt << ")->(" << Dst.Sw << ':' << Dst.Pt
+       << ")<state(" << Index << ")<-" << V << '>';
+    return OS.str();
+  }
+  return "?";
+}

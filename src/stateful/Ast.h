@@ -1,0 +1,200 @@
+//===- stateful/Ast.h - Stateful NetKAT abstract syntax ---------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stateful NetKAT (paper Figure 4): NetKAT extended with a global
+/// vector-valued `state` variable. Tests may inspect state components
+/// (state(m) = n), and links may atomically assign a component when a
+/// packet traverses them ((a:b) -> (c:d) <state(m) <- n>), which is the
+/// language's only state mutation and is what generates ETS event-edges.
+///
+/// Tests carry an equality *or* inequality sense directly (the paper's
+/// =© symbol), which keeps the Figure 6 extraction rules one-to-one with
+/// the figure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_STATEFUL_AST_H
+#define EVENTNET_STATEFUL_AST_H
+
+#include "support/Ids.h"
+#include "support/Symbols.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eventnet {
+namespace stateful {
+
+/// A value ~k of the global state vector.
+using StateVec = std::vector<Value>;
+
+/// Renders e.g. "[0,2]".
+std::string stateVecStr(const StateVec &K);
+
+class SPred;
+class SPol;
+using SPredRef = std::shared_ptr<const SPred>;
+using SPolRef = std::shared_ptr<const SPol>;
+
+/// A Stateful NetKAT test (Figure 4's a, b).
+class SPred {
+public:
+  enum class Kind { True, False, FieldTest, StateTest, And, Or, Not };
+
+  Kind kind() const { return K; }
+
+  /// FieldTest accessors: f =© n where Eq selects = vs !=.
+  FieldId field() const {
+    assert(K == Kind::FieldTest);
+    return F;
+  }
+  bool isEq() const {
+    assert(K == Kind::FieldTest || K == Kind::StateTest);
+    return Eq;
+  }
+  Value value() const {
+    assert(K == Kind::FieldTest || K == Kind::StateTest);
+    return V;
+  }
+
+  /// StateTest accessor: state(m) =© n.
+  unsigned stateIndex() const {
+    assert(K == Kind::StateTest);
+    return Index;
+  }
+
+  const SPredRef &lhs() const {
+    assert(K == Kind::And || K == Kind::Or);
+    return L;
+  }
+  const SPredRef &rhs() const {
+    assert(K == Kind::And || K == Kind::Or);
+    return R;
+  }
+  const SPredRef &negand() const {
+    assert(K == Kind::Not);
+    return L;
+  }
+
+  std::string str() const;
+
+  SPred(Kind K, FieldId F, unsigned Index, bool Eq, Value V, SPredRef L,
+        SPredRef R)
+      : K(K), F(F), Index(Index), Eq(Eq), V(V), L(std::move(L)),
+        R(std::move(R)) {}
+
+private:
+  Kind K;
+  FieldId F = 0;
+  unsigned Index = 0;
+  bool Eq = true;
+  Value V = 0;
+  SPredRef L, R;
+};
+
+/// A Stateful NetKAT command (Figure 4's p, q).
+class SPol {
+public:
+  enum class Kind { Filter, Mod, Union, Seq, Star, Link, LinkAssign };
+
+  Kind kind() const { return K; }
+
+  const SPredRef &pred() const {
+    assert(K == Kind::Filter);
+    return P;
+  }
+  FieldId modField() const {
+    assert(K == Kind::Mod);
+    return F;
+  }
+  Value modValue() const {
+    assert(K == Kind::Mod);
+    return V;
+  }
+  const SPolRef &lhs() const {
+    assert(K == Kind::Union || K == Kind::Seq);
+    return L;
+  }
+  const SPolRef &rhs() const {
+    assert(K == Kind::Union || K == Kind::Seq);
+    return R;
+  }
+  const SPolRef &body() const {
+    assert(K == Kind::Star);
+    return L;
+  }
+  Location linkSrc() const {
+    assert(K == Kind::Link || K == Kind::LinkAssign);
+    return Src;
+  }
+  Location linkDst() const {
+    assert(K == Kind::Link || K == Kind::LinkAssign);
+    return Dst;
+  }
+  unsigned stateIndex() const {
+    assert(K == Kind::LinkAssign);
+    return Index;
+  }
+  Value stateValue() const {
+    assert(K == Kind::LinkAssign);
+    return V;
+  }
+
+  std::string str() const;
+
+  SPol(Kind K, SPredRef P, FieldId F, Value V, SPolRef L, SPolRef R,
+       Location Src, Location Dst, unsigned Index)
+      : K(K), P(std::move(P)), F(F), V(V), L(std::move(L)), R(std::move(R)),
+        Src(Src), Dst(Dst), Index(Index) {}
+
+private:
+  Kind K;
+  SPredRef P;
+  FieldId F = 0;
+  Value V = 0;
+  SPolRef L, R;
+  Location Src{}, Dst{};
+  unsigned Index = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Constructors
+//===----------------------------------------------------------------------===//
+
+SPredRef sTrue();
+SPredRef sFalse();
+/// f =© n; \p Eq false encodes the inequality test f != n.
+SPredRef sFieldTest(FieldId F, bool Eq, Value V);
+/// state(m) =© n.
+SPredRef sStateTest(unsigned Index, bool Eq, Value V);
+SPredRef sAnd(SPredRef A, SPredRef B);
+SPredRef sOr(SPredRef A, SPredRef B);
+SPredRef sNot(SPredRef A);
+
+SPolRef sFilter(SPredRef P);
+SPolRef sMod(FieldId F, Value V);
+SPolRef sUnion(SPolRef A, SPolRef B);
+SPolRef sSeq(SPolRef A, SPolRef B);
+SPolRef sStar(SPolRef A);
+SPolRef sLink(Location Src, Location Dst);
+SPolRef sLinkAssign(Location Src, Location Dst, unsigned Index, Value V);
+
+/// Convenience list forms.
+SPolRef sUnionAll(const std::vector<SPolRef> &Ps);
+SPolRef sSeqAll(const std::vector<SPolRef> &Ps);
+
+/// Number of state-vector components the program requires (one past the
+/// largest state index mentioned; at least 1).
+unsigned stateSize(const SPolRef &P);
+
+} // namespace stateful
+} // namespace eventnet
+
+#endif // EVENTNET_STATEFUL_AST_H

@@ -1,0 +1,256 @@
+//===- stateful/Extract.cpp - Figure 6 event-edge extraction --------------===//
+
+#include "stateful/Extract.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+using namespace eventnet;
+using namespace eventnet::stateful;
+
+//===----------------------------------------------------------------------===//
+// LitConj
+//===----------------------------------------------------------------------===//
+
+std::optional<LitConj> LitConj::conjoin(Lit L) const {
+  LitConj Out;
+  bool HaveEqOnField = false;
+  Value EqVal = 0;
+  // Find an existing equality on L.F.
+  for (const Lit &X : Lits)
+    if (X.F == L.F && X.Eq) {
+      HaveEqOnField = true;
+      EqVal = X.V;
+    }
+
+  if (L.Eq) {
+    for (const Lit &X : Lits) {
+      if (X.F != L.F) {
+        Out.Lits.push_back(X);
+        continue;
+      }
+      if (X.Eq && X.V != L.V)
+        return std::nullopt; // f=a ∧ f=b, a != b
+      if (!X.Eq && X.V == L.V)
+        return std::nullopt; // f!=n ∧ f=n
+      // Equalities with the same value dedup; inequalities on other
+      // values become redundant under the equality and are dropped.
+    }
+    Out.Lits.push_back(L);
+  } else {
+    if (HaveEqOnField) {
+      if (EqVal == L.V)
+        return std::nullopt; // f=n ∧ f!=n
+      // f=a makes f!=b (b != a) redundant.
+      return *this;
+    }
+    Out.Lits = Lits;
+    if (std::find(Out.Lits.begin(), Out.Lits.end(), L) == Out.Lits.end())
+      Out.Lits.push_back(L);
+  }
+  std::sort(Out.Lits.begin(), Out.Lits.end());
+  return Out;
+}
+
+LitConj LitConj::exists(FieldId F) const {
+  LitConj Out;
+  for (const Lit &X : Lits)
+    if (X.F != F)
+      Out.Lits.push_back(X);
+  return Out;
+}
+
+netkat::PredRef LitConj::toPred() const {
+  netkat::PredRef Acc = netkat::pTrue();
+  for (const Lit &X : Lits) {
+    netkat::PredRef T = netkat::pTest(X.F, X.V);
+    Acc = netkat::pAnd(Acc, X.Eq ? T : netkat::pNot(T));
+  }
+  return Acc;
+}
+
+std::string LitConj::str() const {
+  if (Lits.empty())
+    return "true";
+  std::ostringstream OS;
+  for (size_t I = 0; I != Lits.size(); ++I) {
+    if (I)
+      OS << " and ";
+    OS << fieldName(Lits[I].F) << (Lits[I].Eq ? "=" : "!=") << Lits[I].V;
+  }
+  return OS.str();
+}
+
+std::string EventEdge::str() const {
+  std::ostringstream OS;
+  OS << stateVecStr(From) << " --(" << Guard.str() << ", " << Loc.Sw << ':'
+     << Loc.Pt << ")--> " << stateVecStr(To);
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Extraction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Internal (D, P) accumulator with set-based dedup.
+struct Acc {
+  std::set<EventEdge> Edges;
+  std::set<LitConj> Formulas;
+
+  void merge(const Acc &O) {
+    Edges.insert(O.Edges.begin(), O.Edges.end());
+    Formulas.insert(O.Formulas.begin(), O.Formulas.end());
+  }
+
+  friend bool operator==(const Acc &A, const Acc &B) {
+    return A.Edges == B.Edges && A.Formulas == B.Formulas;
+  }
+};
+
+Acc extractPol(const SPolRef &P, const StateVec &K, const LitConj &Phi);
+
+/// ⟨a⟩~k ϕ for predicates (the test rows of Figure 6, including the
+/// negation-pushing rows).
+Acc extractPred(const SPredRef &P, const StateVec &K, const LitConj &Phi,
+                bool Negated) {
+  Acc Out;
+  switch (P->kind()) {
+  case SPred::Kind::True:
+    if (!Negated)
+      Out.Formulas.insert(Phi);
+    return Out;
+  case SPred::Kind::False:
+    if (Negated)
+      Out.Formulas.insert(Phi);
+    return Out;
+  case SPred::Kind::FieldTest: {
+    // sw / pt location tests do not constrain the event's packet guard
+    // (⟨sw =© n⟩ = ⟨pt =© n⟩ = ⟨true⟩ in the figure).
+    if (P->field() == FieldSw || P->field() == FieldPt) {
+      Out.Formulas.insert(Phi);
+      return Out;
+    }
+    bool Eq = Negated ? !P->isEq() : P->isEq();
+    if (auto Next = Phi.conjoin(Lit{P->field(), Eq, P->value()}))
+      Out.Formulas.insert(*Next);
+    return Out;
+  }
+  case SPred::Kind::StateTest: {
+    assert(P->stateIndex() < K.size() && "state index out of bounds");
+    bool Eq = Negated ? !P->isEq() : P->isEq();
+    bool Holds = (K[P->stateIndex()] == P->value()) == Eq;
+    if (Holds)
+      Out.Formulas.insert(Phi);
+    return Out;
+  }
+  case SPred::Kind::And:
+  case SPred::Kind::Or: {
+    // a ∧ b behaves as a; b and a ∨ b as a + b (figure); under negation
+    // De Morgan swaps the connective.
+    bool IsSeq = (P->kind() == SPred::Kind::And) != Negated;
+    if (IsSeq) {
+      Acc L = extractPred(P->lhs(), K, Phi, Negated);
+      Out.Edges = L.Edges;
+      for (const LitConj &Mid : L.Formulas) {
+        Acc R = extractPred(P->rhs(), K, Mid, Negated);
+        Out.merge(R);
+      }
+      return Out;
+    }
+    Out = extractPred(P->lhs(), K, Phi, Negated);
+    Out.merge(extractPred(P->rhs(), K, Phi, Negated));
+    return Out;
+  }
+  case SPred::Kind::Not:
+    return extractPred(P->negand(), K, Phi, !Negated);
+  }
+  return Out;
+}
+
+Acc extractPol(const SPolRef &P, const StateVec &K, const LitConj &Phi) {
+  Acc Out;
+  switch (P->kind()) {
+  case SPol::Kind::Filter:
+    return extractPred(P->pred(), K, Phi, /*Negated=*/false);
+  case SPol::Kind::Mod: {
+    // ⟨f <- n⟩ ϕ = ({}, {(∃f:ϕ) ∧ f=n}); pt is tracked by link
+    // destinations instead (see header).
+    LitConj Stripped = Phi.exists(P->modField());
+    if (P->modField() == FieldPt) {
+      Out.Formulas.insert(Stripped);
+      return Out;
+    }
+    if (auto Next = Stripped.conjoin(Lit{P->modField(), true, P->modValue()}))
+      Out.Formulas.insert(*Next);
+    return Out;
+  }
+  case SPol::Kind::Union:
+    Out = extractPol(P->lhs(), K, Phi);
+    Out.merge(extractPol(P->rhs(), K, Phi));
+    return Out;
+  case SPol::Kind::Seq: {
+    Acc L = extractPol(P->lhs(), K, Phi);
+    Out.Edges = L.Edges;
+    for (const LitConj &Mid : L.Formulas)
+      Out.merge(extractPol(P->rhs(), K, Mid));
+    return Out;
+  }
+  case SPol::Kind::Star: {
+    // ⊔_j F^j_p(ϕ, ~k): iterate the Kleisli power until the accumulated
+    // (D, P) stops growing. Literal alphabets are finite so this
+    // converges; the cap guards against bugs.
+    Acc Total;
+    Total.Formulas.insert(Phi); // F^0
+    std::set<LitConj> Frontier{Phi};
+    for (unsigned Iter = 0; Iter != 1000 && !Frontier.empty(); ++Iter) {
+      std::set<LitConj> NextFrontier;
+      for (const LitConj &F : Frontier) {
+        Acc Step = extractPol(P->body(), K, F);
+        Total.Edges.insert(Step.Edges.begin(), Step.Edges.end());
+        for (const LitConj &G : Step.Formulas)
+          if (Total.Formulas.insert(G).second)
+            NextFrontier.insert(G);
+      }
+      Frontier = std::move(NextFrontier);
+    }
+    assert(Frontier.empty() && "event extraction of star did not converge");
+    return Total;
+  }
+  case SPol::Kind::Link:
+    Out.Formulas.insert(Phi);
+    return Out;
+  case SPol::Kind::LinkAssign: {
+    assert(P->stateIndex() < K.size() && "state index out of bounds");
+    StateVec To = K;
+    To[P->stateIndex()] = P->stateValue();
+    // A state self-assignment produces no transition (and therefore no
+    // event-edge): the ETS stays loop-free.
+    if (To != K) {
+      EventEdge E;
+      E.From = K;
+      E.Guard = Phi;
+      E.Loc = Location{P->linkDst().Sw, P->linkDst().Pt};
+      E.To = std::move(To);
+      Out.Edges.insert(std::move(E));
+    }
+    Out.Formulas.insert(Phi);
+    return Out;
+  }
+  }
+  return Out;
+}
+
+} // namespace
+
+ExtractResult stateful::extractEdges(const SPolRef &P, const StateVec &K) {
+  assert(K.size() >= stateSize(P) && "state vector too small for program");
+  Acc A = extractPol(P, K, LitConj());
+  ExtractResult R;
+  R.Edges.assign(A.Edges.begin(), A.Edges.end());
+  R.Formulas.assign(A.Formulas.begin(), A.Formulas.end());
+  return R;
+}

@@ -1,0 +1,131 @@
+//===- stateful/Extract.h - Figure 6 event-edge extraction ------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ⟨p⟩~k ϕ function of Figure 6: walking a Stateful NetKAT program in
+/// a fixed state ~k, collect the conjunction ϕ of field tests seen along
+/// each path, and emit an *event-edge* (~k, (ϕ, s2, p2), ~k[m -> n]) at
+/// every state-assigning link. Event-edges are the edges of the
+/// event-driven transition system (Section 3.3).
+///
+/// ϕ is kept in literal-conjunction form (LitConj): a set of (field, =©,
+/// value) literals, which supports exactly the operations the figure
+/// needs — conjoining a literal, the ∃f:ϕ quantifier that strips a
+/// field's literals on assignment, and contradiction pruning (a path with
+/// an unsatisfiable ϕ produces no events; this is a sound refinement of
+/// the figure, which carries unsatisfiable formulas along).
+///
+/// One deliberate deviation, documented in DESIGN.md: assignments to pt
+/// strip stale pt literals but do not record pt=n, because the event's
+/// port is tracked precisely by the link destination (s2:p2) and a
+/// recorded pt literal would be stale whenever the link's destination
+/// port differs from its source port.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_STATEFUL_EXTRACT_H
+#define EVENTNET_STATEFUL_EXTRACT_H
+
+#include "netkat/Event.h"
+#include "stateful/Ast.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace eventnet {
+namespace stateful {
+
+/// A single literal f =© n.
+struct Lit {
+  FieldId F = 0;
+  bool Eq = true;
+  Value V = 0;
+
+  friend bool operator==(const Lit &A, const Lit &B) {
+    return A.F == B.F && A.Eq == B.Eq && A.V == B.V;
+  }
+  friend bool operator<(const Lit &A, const Lit &B) {
+    if (A.F != B.F)
+      return A.F < B.F;
+    if (A.Eq != B.Eq)
+      return A.Eq < B.Eq;
+    return A.V < B.V;
+  }
+};
+
+/// A satisfiable conjunction of literals, kept sorted and deduplicated.
+class LitConj {
+public:
+  /// The empty conjunction (true).
+  LitConj() = default;
+
+  /// ϕ ∧ lit; nullopt if the result is unsatisfiable. Redundant
+  /// inequality literals subsumed by an equality on the same field are
+  /// dropped.
+  std::optional<LitConj> conjoin(Lit L) const;
+
+  /// ∃f:ϕ — strips every literal on \p F.
+  LitConj exists(FieldId F) const;
+
+  /// The corresponding NetKAT predicate.
+  netkat::PredRef toPred() const;
+
+  const std::vector<Lit> &literals() const { return Lits; }
+
+  std::string str() const;
+
+  friend bool operator==(const LitConj &A, const LitConj &B) {
+    return A.Lits == B.Lits;
+  }
+  friend bool operator<(const LitConj &A, const LitConj &B) {
+    return A.Lits < B.Lits;
+  }
+
+private:
+  std::vector<Lit> Lits;
+};
+
+/// An ETS edge produced by extraction: in state From, the arrival of a
+/// packet satisfying Guard at Loc moves the system to state To.
+struct EventEdge {
+  StateVec From;
+  LitConj Guard;
+  Location Loc;
+  StateVec To;
+
+  std::string str() const;
+
+  friend bool operator==(const EventEdge &A, const EventEdge &B) {
+    return A.From == B.From && A.Guard == B.Guard && A.Loc == B.Loc &&
+           A.To == B.To;
+  }
+  friend bool operator<(const EventEdge &A, const EventEdge &B) {
+    if (A.From != B.From)
+      return A.From < B.From;
+    if (!(A.Guard == B.Guard))
+      return A.Guard < B.Guard;
+    if (!(A.Loc == B.Loc))
+      return A.Loc < B.Loc;
+    return A.To < B.To;
+  }
+};
+
+/// The (D, P) pair of Figure 6: event-edges plus the set of updated test
+/// conjunctions.
+struct ExtractResult {
+  std::vector<EventEdge> Edges;
+  std::vector<LitConj> Formulas;
+};
+
+/// ⟨p⟩~k ϕ with ϕ = true: all event-edges leaving state ~k.
+ExtractResult extractEdges(const SPolRef &P, const StateVec &K);
+
+} // namespace stateful
+} // namespace eventnet
+
+#endif // EVENTNET_STATEFUL_EXTRACT_H

@@ -1,0 +1,231 @@
+//===- stateful/Lexer.cpp - Stateful NetKAT lexer -------------------------===//
+
+#include "stateful/Lexer.h"
+
+#include <cctype>
+
+using namespace eventnet;
+using namespace eventnet::stateful;
+
+std::string stateful::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::Number:
+    return "number";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Eq:
+    return "'='";
+  case TokKind::Neq:
+    return "'!='";
+  case TokKind::Assign:
+    return "'<-'";
+  case TokKind::Arrow:
+    return "'->'";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::KwAnd:
+    return "'and'";
+  case TokKind::KwOr:
+    return "'or'";
+  case TokKind::KwNot:
+    return "'not'";
+  case TokKind::KwState:
+    return "'state'";
+  case TokKind::KwLet:
+    return "'let'";
+  case TokKind::KwDrop:
+    return "'drop'";
+  case TokKind::KwSkip:
+    return "'skip'";
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Error:
+    return "error";
+  }
+  return "?";
+}
+
+std::vector<Token> stateful::lex(const std::string &Source) {
+  std::vector<Token> Out;
+  unsigned Line = 1, Col = 1;
+  size_t I = 0;
+  const size_t N = Source.size();
+
+  auto Push = [&](TokKind K, std::string Text, Value Num = 0) {
+    Token T;
+    T.Kind = K;
+    T.Text = std::move(Text);
+    T.Num = Num;
+    T.Line = Line;
+    T.Col = Col;
+    Out.push_back(std::move(T));
+  };
+
+  auto Advance = [&](size_t By) {
+    for (size_t J = 0; J != By; ++J) {
+      if (I < N && Source[I] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+      ++I;
+    }
+  };
+
+  while (I < N) {
+    char C = Source[I];
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Advance(1);
+      continue;
+    }
+    // Comments: '#' or '//' to end of line.
+    if (C == '#' || (C == '/' && I + 1 < N && Source[I + 1] == '/')) {
+      while (I < N && Source[I] != '\n')
+        Advance(1);
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = I;
+      unsigned StartCol = Col;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Source[I])))
+        Advance(1);
+      std::string Text = Source.substr(Start, I - Start);
+      Token T;
+      T.Kind = TokKind::Number;
+      T.Text = Text;
+      T.Num = std::stoll(Text);
+      T.Line = Line;
+      T.Col = StartCol;
+      Out.push_back(std::move(T));
+      continue;
+    }
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      unsigned StartCol = Col;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_'))
+        Advance(1);
+      std::string Text = Source.substr(Start, I - Start);
+      TokKind K = TokKind::Ident;
+      if (Text == "true")
+        K = TokKind::KwTrue;
+      else if (Text == "false")
+        K = TokKind::KwFalse;
+      else if (Text == "and")
+        K = TokKind::KwAnd;
+      else if (Text == "or")
+        K = TokKind::KwOr;
+      else if (Text == "not")
+        K = TokKind::KwNot;
+      else if (Text == "state")
+        K = TokKind::KwState;
+      else if (Text == "let")
+        K = TokKind::KwLet;
+      else if (Text == "drop")
+        K = TokKind::KwDrop;
+      else if (Text == "skip" || Text == "id")
+        K = TokKind::KwSkip;
+      Token T;
+      T.Kind = K;
+      T.Text = std::move(Text);
+      T.Line = Line;
+      T.Col = StartCol;
+      Out.push_back(std::move(T));
+      continue;
+    }
+    // Multi-char operators.
+    if (C == '<' && I + 1 < N && Source[I + 1] == '-') {
+      Push(TokKind::Assign, "<-");
+      Advance(2);
+      continue;
+    }
+    if (C == '-' && I + 1 < N && Source[I + 1] == '>') {
+      Push(TokKind::Arrow, "->");
+      Advance(2);
+      continue;
+    }
+    if (C == '!' && I + 1 < N && Source[I + 1] == '=') {
+      Push(TokKind::Neq, "!=");
+      Advance(2);
+      continue;
+    }
+    // Single-char tokens.
+    TokKind K;
+    switch (C) {
+    case '(':
+      K = TokKind::LParen;
+      break;
+    case ')':
+      K = TokKind::RParen;
+      break;
+    case '[':
+      K = TokKind::LBracket;
+      break;
+    case ']':
+      K = TokKind::RBracket;
+      break;
+    case ';':
+      K = TokKind::Semi;
+      break;
+    case '+':
+      K = TokKind::Plus;
+      break;
+    case '*':
+      K = TokKind::Star;
+      break;
+    case ':':
+      K = TokKind::Colon;
+      break;
+    case ',':
+      K = TokKind::Comma;
+      break;
+    case '=':
+      K = TokKind::Eq;
+      break;
+    case '<':
+      K = TokKind::Lt;
+      break;
+    case '>':
+      K = TokKind::Gt;
+      break;
+    default: {
+      Push(TokKind::Error,
+           std::string("unexpected character '") + C + "'");
+      return Out;
+    }
+    }
+    Push(K, std::string(1, C));
+    Advance(1);
+  }
+
+  Push(TokKind::Eof, "");
+  return Out;
+}

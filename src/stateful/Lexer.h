@@ -1,0 +1,84 @@
+//===- stateful/Lexer.h - Stateful NetKAT lexer -----------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the concrete Stateful NetKAT syntax (an ASCII rendering
+/// of Figure 4 / Figure 9):
+///
+///   let H4 = 4;
+///   pt=2 and ip_dst=H4; pt<-1;
+///     ( state=[0]; (1:1)->(4:1)<state<-[1]>
+///     + state!=[0]; (1:1)->(4:1) );
+///   pt<-2
+///
+/// Comments run from '#' or '//' to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_STATEFUL_LEXER_H
+#define EVENTNET_STATEFUL_LEXER_H
+
+#include "support/Ids.h"
+
+#include <string>
+#include <vector>
+
+namespace eventnet {
+namespace stateful {
+
+/// Token kinds.
+enum class TokKind {
+  Ident,
+  Number,
+  LParen,   // (
+  RParen,   // )
+  LBracket, // [
+  RBracket, // ]
+  Semi,     // ;
+  Plus,     // +
+  Star,     // *
+  Colon,    // :
+  Comma,    // ,
+  Eq,       // =
+  Neq,      // !=
+  Assign,   // <-
+  Arrow,    // ->
+  Lt,       // <
+  Gt,       // >
+  KwTrue,
+  KwFalse,
+  KwAnd,
+  KwOr,
+  KwNot,
+  KwState,
+  KwLet,
+  KwDrop,
+  KwSkip,
+  Eof,
+  Error,
+};
+
+/// A lexed token with source position (1-based line/column).
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  Value Num = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+/// Printable name of a token kind, for diagnostics.
+std::string tokKindName(TokKind K);
+
+/// Tokenizes \p Source. On a lexical error the final token has kind
+/// Error and Text holds the message; otherwise the stream ends with Eof.
+std::vector<Token> lex(const std::string &Source);
+
+} // namespace stateful
+} // namespace eventnet
+
+#endif // EVENTNET_STATEFUL_LEXER_H

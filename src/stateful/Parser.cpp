@@ -1,0 +1,391 @@
+//===- stateful/Parser.cpp - Stateful NetKAT parser -----------------------===//
+
+#include "stateful/Parser.h"
+
+#include "stateful/Lexer.h"
+
+#include <cassert>
+#include <optional>
+#include <sstream>
+
+using namespace eventnet;
+using namespace eventnet::stateful;
+
+namespace {
+
+/// Converts a policy back into a predicate when it denotes one (filters,
+/// and sequences/unions of predicates). Used by 'and', 'or', and 'not'.
+std::optional<SPredRef> polToPred(const SPolRef &P) {
+  switch (P->kind()) {
+  case SPol::Kind::Filter:
+    return P->pred();
+  case SPol::Kind::Seq: {
+    auto L = polToPred(P->lhs());
+    auto R = polToPred(P->rhs());
+    if (!L || !R)
+      return std::nullopt;
+    return sAnd(*L, *R);
+  }
+  case SPol::Kind::Union: {
+    auto L = polToPred(P->lhs());
+    auto R = polToPred(P->rhs());
+    if (!L || !R)
+      return std::nullopt;
+    return sOr(*L, *R);
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+class Parser {
+public:
+  explicit Parser(const std::string &Source) : Toks(lex(Source)) {}
+
+  ParseResult run() {
+    ParseResult R;
+    if (Toks.back().Kind == TokKind::Error) {
+      const Token &T = Toks.back();
+      R.Error = position(T) + ": " + T.Text;
+      return R;
+    }
+    parseLets();
+    if (Failed) {
+      R.Error = ErrorMsg;
+      return R;
+    }
+    SPolRef P = parsePolicy();
+    if (!Failed && cur().Kind != TokKind::Eof)
+      fail("expected end of input, found " + tokKindName(cur().Kind));
+    if (Failed) {
+      R.Error = ErrorMsg;
+      return R;
+    }
+    R.Ok = true;
+    R.Program = std::move(P);
+    R.Bindings = Bindings;
+    return R;
+  }
+
+private:
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  bool Failed = false;
+  std::string ErrorMsg;
+  std::map<std::string, Value> Bindings;
+
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &peek(size_t Ahead = 1) const {
+    size_t I = Pos + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+
+  static std::string position(const Token &T) {
+    std::ostringstream OS;
+    OS << T.Line << ':' << T.Col;
+    return OS.str();
+  }
+
+  void fail(const std::string &Msg) {
+    if (Failed)
+      return;
+    Failed = true;
+    ErrorMsg = position(cur()) + ": " + Msg;
+  }
+
+  bool accept(TokKind K) {
+    if (Failed || cur().Kind != K)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  Token expect(TokKind K, const std::string &What) {
+    if (Failed)
+      return Token{};
+    if (cur().Kind != K) {
+      fail("expected " + tokKindName(K) + " " + What + ", found " +
+           tokKindName(cur().Kind));
+      return Token{};
+    }
+    Token T = cur();
+    ++Pos;
+    return T;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // lets and values
+  //===--------------------------------------------------------------------===//
+
+  void parseLets() {
+    while (!Failed && cur().Kind == TokKind::KwLet) {
+      ++Pos;
+      Token Name = expect(TokKind::Ident, "after 'let'");
+      expect(TokKind::Eq, "in let binding");
+      Token Num = expect(TokKind::Number, "as let value");
+      expect(TokKind::Semi, "after let binding");
+      if (Failed)
+        return;
+      if (Bindings.count(Name.Text)) {
+        fail("duplicate let binding for '" + Name.Text + "'");
+        return;
+      }
+      Bindings[Name.Text] = Num.Num;
+    }
+  }
+
+  /// value := NUM | let-bound IDENT.
+  Value parseValue() {
+    if (cur().Kind == TokKind::Number) {
+      Value V = cur().Num;
+      ++Pos;
+      return V;
+    }
+    if (cur().Kind == TokKind::Ident) {
+      auto It = Bindings.find(cur().Text);
+      if (It == Bindings.end()) {
+        fail("unbound identifier '" + cur().Text +
+             "' used as a value (missing let?)");
+        return 0;
+      }
+      ++Pos;
+      return It->second;
+    }
+    fail("expected a number or let-bound name, found " +
+         tokKindName(cur().Kind));
+    return 0;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // policy precedence chain
+  //===--------------------------------------------------------------------===//
+
+  SPolRef parsePolicy() {
+    SPolRef L = parseSeqExp();
+    while (!Failed &&
+           (cur().Kind == TokKind::Plus || cur().Kind == TokKind::KwOr)) {
+      bool IsOr = cur().Kind == TokKind::KwOr;
+      ++Pos;
+      SPolRef R = parseSeqExp();
+      if (Failed)
+        return sFilter(sFalse());
+      if (IsOr) {
+        auto LP = polToPred(L);
+        auto RP = polToPred(R);
+        if (!LP || !RP) {
+          fail("'or' requires test operands; use '+' for policy union");
+          return sFilter(sFalse());
+        }
+        L = sFilter(sOr(*LP, *RP));
+        continue;
+      }
+      L = sUnion(std::move(L), std::move(R));
+    }
+    return L;
+  }
+
+  SPolRef parseSeqExp() {
+    SPolRef L = parseAndExp();
+    while (!Failed && accept(TokKind::Semi)) {
+      SPolRef R = parseAndExp();
+      if (Failed)
+        return sFilter(sFalse());
+      L = sSeq(std::move(L), std::move(R));
+    }
+    return L;
+  }
+
+  SPolRef parseAndExp() {
+    SPolRef L = parseUnary();
+    while (!Failed && accept(TokKind::KwAnd)) {
+      SPolRef R = parseUnary();
+      if (Failed)
+        return sFilter(sFalse());
+      auto LP = polToPred(L);
+      auto RP = polToPred(R);
+      if (!LP || !RP) {
+        fail("'and' requires test operands; use ';' for sequencing");
+        return sFilter(sFalse());
+      }
+      L = sFilter(sAnd(*LP, *RP));
+    }
+    return L;
+  }
+
+  SPolRef parseUnary() {
+    if (accept(TokKind::KwNot)) {
+      SPolRef Inner = parseUnary();
+      if (Failed)
+        return sFilter(sFalse());
+      auto P = polToPred(Inner);
+      if (!P) {
+        fail("'not' requires a test operand");
+        return sFilter(sFalse());
+      }
+      return sFilter(sNot(*P));
+    }
+    return parsePostfix();
+  }
+
+  SPolRef parsePostfix() {
+    SPolRef P = parsePrimary();
+    while (!Failed && accept(TokKind::Star))
+      P = sStar(std::move(P));
+    return P;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // primaries
+  //===--------------------------------------------------------------------===//
+
+  SPolRef parsePrimary() {
+    switch (cur().Kind) {
+    case TokKind::KwTrue:
+    case TokKind::KwSkip:
+      ++Pos;
+      return sFilter(sTrue());
+    case TokKind::KwFalse:
+    case TokKind::KwDrop:
+      ++Pos;
+      return sFilter(sFalse());
+    case TokKind::KwState:
+      return parseStateTest();
+    case TokKind::Ident:
+      return parseIdentPrimary();
+    case TokKind::LParen:
+      // '(' NUM ':' is unambiguously a link endpoint.
+      if (peek().Kind == TokKind::Number && peek(2).Kind == TokKind::Colon)
+        return parseLink();
+      return parseParenPolicy();
+    default:
+      fail("expected a test, assignment, link, or '(', found " +
+           tokKindName(cur().Kind));
+      return sFilter(sFalse());
+    }
+  }
+
+  SPolRef parseParenPolicy() {
+    expect(TokKind::LParen, "");
+    SPolRef P = parsePolicy();
+    expect(TokKind::RParen, "to close '('");
+    return Failed ? sFilter(sFalse()) : P;
+  }
+
+  SPolRef parseIdentPrimary() {
+    Token Name = cur();
+    ++Pos;
+    if (accept(TokKind::Eq)) {
+      Value V = parseValue();
+      return sFilter(sFieldTest(fieldOf(Name.Text), /*Eq=*/true, V));
+    }
+    if (accept(TokKind::Neq)) {
+      Value V = parseValue();
+      return sFilter(sFieldTest(fieldOf(Name.Text), /*Eq=*/false, V));
+    }
+    if (accept(TokKind::Assign)) {
+      if (Name.Text == "sw") {
+        fail("sw is not a modifiable field (Figure 4)");
+        return sFilter(sFalse());
+      }
+      Value V = parseValue();
+      return Failed ? sFilter(sFalse()) : sMod(fieldOf(Name.Text), V);
+    }
+    fail("expected '=', '!=', or '<-' after identifier '" + Name.Text + "'");
+    return sFilter(sFalse());
+  }
+
+  /// 'state' '(' i ')' =©  v  |  'state' =© '[' v0 (',' vj)* ']'.
+  SPolRef parseStateTest() {
+    expect(TokKind::KwState, "");
+    if (accept(TokKind::LParen)) {
+      Token Idx = expect(TokKind::Number, "as state index");
+      expect(TokKind::RParen, "after state index");
+      bool Eq = parseEqNeq();
+      Value V = parseValue();
+      if (Failed)
+        return sFilter(sFalse());
+      return sFilter(sStateTest(static_cast<unsigned>(Idx.Num), Eq, V));
+    }
+    bool Eq = parseEqNeq();
+    expect(TokKind::LBracket, "to open a state vector literal");
+    std::vector<Value> Vals;
+    Vals.push_back(parseValue());
+    while (!Failed && accept(TokKind::Comma))
+      Vals.push_back(parseValue());
+    expect(TokKind::RBracket, "to close the state vector literal");
+    if (Failed)
+      return sFilter(sFalse());
+    SPredRef Conj = sStateTest(0, /*Eq=*/true, Vals[0]);
+    for (size_t I = 1; I != Vals.size(); ++I)
+      Conj = sAnd(Conj, sStateTest(static_cast<unsigned>(I), true, Vals[I]));
+    return sFilter(Eq ? Conj : sNot(Conj));
+  }
+
+  bool parseEqNeq() {
+    if (accept(TokKind::Eq))
+      return true;
+    if (accept(TokKind::Neq))
+      return false;
+    fail("expected '=' or '!=' in state test");
+    return true;
+  }
+
+  /// '(' n ':' m ')' '->' '(' n ':' m ')' [ '<' state-assign '>' ].
+  SPolRef parseLink() {
+    Location Src = parseEndpoint();
+    expect(TokKind::Arrow, "between link endpoints");
+    Location Dst = parseEndpoint();
+    if (Failed)
+      return sFilter(sFalse());
+    if (!accept(TokKind::Lt))
+      return sLink(Src, Dst);
+
+    expect(TokKind::KwState, "in link state assignment");
+    unsigned Index = 0;
+    bool HaveIndex = false;
+    if (accept(TokKind::LParen)) {
+      Token Idx = expect(TokKind::Number, "as state index");
+      expect(TokKind::RParen, "after state index");
+      Index = static_cast<unsigned>(Idx.Num);
+      HaveIndex = true;
+    }
+    expect(TokKind::Assign, "in link state assignment");
+    Value V = 0;
+    if (accept(TokKind::LBracket)) {
+      if (HaveIndex) {
+        fail("state(i) assignment takes a scalar, not a vector literal");
+        return sFilter(sFalse());
+      }
+      V = parseValue();
+      if (!Failed && cur().Kind == TokKind::Comma) {
+        fail("a link assigns exactly one state component (Figure 4); use "
+             "state(i) indices across separate links for vector updates");
+        return sFilter(sFalse());
+      }
+      expect(TokKind::RBracket, "to close the state literal");
+    } else {
+      V = parseValue();
+    }
+    expect(TokKind::Gt, "to close the link state assignment");
+    if (Failed)
+      return sFilter(sFalse());
+    return sLinkAssign(Src, Dst, Index, V);
+  }
+
+  Location parseEndpoint() {
+    expect(TokKind::LParen, "to open a link endpoint");
+    Token Sw = expect(TokKind::Number, "as a switch id");
+    expect(TokKind::Colon, "in a link endpoint");
+    Token Pt = expect(TokKind::Number, "as a port id");
+    expect(TokKind::RParen, "to close a link endpoint");
+    return Location{static_cast<SwitchId>(Sw.Num),
+                    static_cast<PortId>(Pt.Num)};
+  }
+};
+
+} // namespace
+
+ParseResult stateful::parseProgram(const std::string &Source) {
+  Parser P(Source);
+  return P.run();
+}

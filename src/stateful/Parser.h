@@ -1,0 +1,67 @@
+//===- stateful/Parser.h - Stateful NetKAT parser ---------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the Stateful NetKAT concrete syntax.
+/// Grammar (loosest to tightest precedence):
+///
+///   program  := let* policy
+///   let      := 'let' IDENT '=' NUM ';'
+///   policy   := seqexp (('+' | 'or') seqexp)*
+///   seqexp   := andexp (';' andexp)*
+///   andexp   := unary ('and' unary)*
+///   unary    := 'not' unary | postfix
+///   postfix  := primary '*'*
+///   primary  := 'true' | 'false' | 'drop' | 'skip'
+///             | 'state' stateref ('=' | '!=') value
+///             | 'state' ('=' | '!=') '[' value (',' value)* ']'
+///             | IDENT ('=' | '!=') value            -- field test
+///             | IDENT '<-' value                    -- field assignment
+///             | '(' NUM ':' NUM ')' '->' '(' NUM ':' NUM ')' [stateassign]
+///             | '(' policy ')'
+///   stateref := '(' NUM ')'
+///   stateassign := '<' 'state' [stateref] '<-' (value | '[' value ']') '>'
+///   value    := NUM | IDENT                          -- let-bound name
+///
+/// 'or', 'and' and 'not' require their operands to denote predicates
+/// (tests); the parser checks this and reports an error otherwise. The
+/// `state=[v0,...]` sugar expands to a conjunction of component tests
+/// (negated as a whole for '!='), matching the vector notation the
+/// paper's Figure 9 programs use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_STATEFUL_PARSER_H
+#define EVENTNET_STATEFUL_PARSER_H
+
+#include "stateful/Ast.h"
+
+#include <map>
+#include <string>
+
+namespace eventnet {
+namespace stateful {
+
+/// Result of a parse.
+struct ParseResult {
+  bool Ok = false;
+  /// Diagnostic "line:col: message" when !Ok.
+  std::string Error;
+  /// The parsed program when Ok.
+  SPolRef Program;
+  /// let-bound names, e.g. {"H4" -> 4}; useful to callers that want to
+  /// build packets with symbolic host names.
+  std::map<std::string, Value> Bindings;
+};
+
+/// Parses a whole program.
+ParseResult parseProgram(const std::string &Source);
+
+} // namespace stateful
+} // namespace eventnet
+
+#endif // EVENTNET_STATEFUL_PARSER_H

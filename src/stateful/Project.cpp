@@ -1,0 +1,55 @@
+//===- stateful/Project.cpp - Figure 5 projection -------------------------===//
+
+#include "stateful/Project.h"
+
+#include <cassert>
+
+using namespace eventnet;
+using namespace eventnet::stateful;
+using namespace eventnet::netkat;
+
+PredRef stateful::projectPred(const SPredRef &P, const StateVec &K) {
+  switch (P->kind()) {
+  case SPred::Kind::True:
+    return pTrue();
+  case SPred::Kind::False:
+    return pFalse();
+  case SPred::Kind::FieldTest: {
+    PredRef T = pTest(P->field(), P->value());
+    return P->isEq() ? T : pNot(T);
+  }
+  case SPred::Kind::StateTest: {
+    assert(P->stateIndex() < K.size() && "state index out of bounds");
+    bool Holds = (K[P->stateIndex()] == P->value()) == P->isEq();
+    return Holds ? pTrue() : pFalse();
+  }
+  case SPred::Kind::And:
+    return pAnd(projectPred(P->lhs(), K), projectPred(P->rhs(), K));
+  case SPred::Kind::Or:
+    return pOr(projectPred(P->lhs(), K), projectPred(P->rhs(), K));
+  case SPred::Kind::Not:
+    return pNot(projectPred(P->negand(), K));
+  }
+  return pFalse();
+}
+
+PolicyRef stateful::project(const SPolRef &P, const StateVec &K) {
+  switch (P->kind()) {
+  case SPol::Kind::Filter:
+    return filter(projectPred(P->pred(), K));
+  case SPol::Kind::Mod:
+    return mod(P->modField(), P->modValue());
+  case SPol::Kind::Union:
+    return unite(project(P->lhs(), K), project(P->rhs(), K));
+  case SPol::Kind::Seq:
+    return seq(project(P->lhs(), K), project(P->rhs(), K));
+  case SPol::Kind::Star:
+    return star(project(P->body(), K));
+  case SPol::Kind::Link:
+  case SPol::Kind::LinkAssign:
+    // Figure 5: the state assignment is invisible to the per-state
+    // forwarding behavior.
+    return link(P->linkSrc(), P->linkDst());
+  }
+  return drop();
+}

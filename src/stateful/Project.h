@@ -1,0 +1,35 @@
+//===- stateful/Project.h - Figure 5 projection -----------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ⟦p⟧~k function of Figure 5: for a fixed value ~k of the state
+/// vector, a Stateful NetKAT program projects to a *standard* NetKAT
+/// program by resolving every state test against ~k and erasing the state
+/// assignment from links. Projections are what the FDD compiler turns
+/// into per-state configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_STATEFUL_PROJECT_H
+#define EVENTNET_STATEFUL_PROJECT_H
+
+#include "netkat/Ast.h"
+#include "stateful/Ast.h"
+
+namespace eventnet {
+namespace stateful {
+
+/// ⟦p⟧~k for a predicate.
+netkat::PredRef projectPred(const SPredRef &P, const StateVec &K);
+
+/// ⟦p⟧~k for a command.
+netkat::PolicyRef project(const SPolRef &P, const StateVec &K);
+
+} // namespace stateful
+} // namespace eventnet
+
+#endif // EVENTNET_STATEFUL_PROJECT_H

@@ -1,0 +1,72 @@
+//===- support/Ids.h - Basic identifier types -----------------*- C++ -*-===//
+//
+// Part of the eventnet project: a reproduction of "Event-Driven Network
+// Programming" (McClurg, Hojjat, Foster, Cerny; PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small, trivially-copyable identifier types shared by every module:
+/// switches, ports, hosts, packet fields, and numeric field values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_SUPPORT_IDS_H
+#define EVENTNET_SUPPORT_IDS_H
+
+#include <cstdint>
+#include <functional>
+
+namespace eventnet {
+
+/// Identifies a switch in the topology. Hosts are modeled as switches that
+/// source and sink packets (see the paper, Section 2 "Preliminaries"), but
+/// we keep a separate HostId type for clarity at API boundaries.
+using SwitchId = uint32_t;
+
+/// Identifies a port on a switch. Ports are switch-local.
+using PortId = uint32_t;
+
+/// Identifies a host. Host ids live in a separate namespace from switches.
+using HostId = uint32_t;
+
+/// Identifies an interned packet header field (see support/Symbols.h).
+using FieldId = uint16_t;
+
+/// A numeric field value. The paper's packet model is a record of numeric
+/// fields; 64 bits is enough for any encoding we use (IPs, tags, ports).
+using Value = int64_t;
+
+/// A location is a switch-port pair `sw:pt` (paper Section 2).
+struct Location {
+  SwitchId Sw = 0;
+  PortId Pt = 0;
+
+  friend bool operator==(const Location &A, const Location &B) {
+    return A.Sw == B.Sw && A.Pt == B.Pt;
+  }
+  friend bool operator!=(const Location &A, const Location &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const Location &A, const Location &B) {
+    if (A.Sw != B.Sw)
+      return A.Sw < B.Sw;
+    return A.Pt < B.Pt;
+  }
+};
+
+/// Combines a hash seed with a new value (boost::hash_combine flavor).
+inline size_t hashCombine(size_t Seed, size_t V) {
+  return Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+} // namespace eventnet
+
+template <> struct std::hash<eventnet::Location> {
+  size_t operator()(const eventnet::Location &L) const {
+    return eventnet::hashCombine(std::hash<uint32_t>()(L.Sw),
+                                 std::hash<uint32_t>()(L.Pt));
+  }
+};
+
+#endif // EVENTNET_SUPPORT_IDS_H

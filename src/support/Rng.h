@@ -1,0 +1,75 @@
+//===- support/Rng.h - Deterministic PRNG -----------------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based deterministic PRNG. Every randomized component of the
+/// repository (workload generators, the uncoordinated baseline's update
+/// shuffling, property tests) takes an explicit Rng so that experiments
+/// are reproducible run to run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_SUPPORT_RNG_H
+#define EVENTNET_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace eventnet {
+
+/// Deterministic 64-bit PRNG (SplitMix64 core).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    // Rejection-free modulo is fine here: Bound is tiny in practice and
+    // determinism matters more than the negligible modulo bias.
+    return next() % Bound;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability \p P.
+  bool chance(double P) { return unit() < P; }
+
+  /// Fisher-Yates shuffle of \p V.
+  template <typename T> void shuffle(std::vector<T> &V) {
+    for (size_t I = V.size(); I > 1; --I)
+      std::swap(V[I - 1], V[below(I)]);
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace eventnet
+
+#endif // EVENTNET_SUPPORT_RNG_H

@@ -1,0 +1,46 @@
+//===- support/Symbols.cpp - Interned field names -------------------------===//
+
+#include "support/Symbols.h"
+
+#include <cassert>
+
+using namespace eventnet;
+
+FieldTable::FieldTable() {
+  // Reserved location fields must occupy ids 0 and 1 (see Symbols.h).
+  Names.push_back("sw");
+  Names.push_back("pt");
+}
+
+FieldTable &FieldTable::get() {
+  static FieldTable Table;
+  return Table;
+}
+
+FieldId FieldTable::intern(const std::string &Name) {
+  for (size_t I = 0; I != Names.size(); ++I)
+    if (Names[I] == Name)
+      return static_cast<FieldId>(I);
+  Names.push_back(Name);
+  return static_cast<FieldId>(Names.size() - 1);
+}
+
+FieldId FieldTable::lookup(const std::string &Name) const {
+  for (size_t I = 0; I != Names.size(); ++I)
+    if (Names[I] == Name)
+      return static_cast<FieldId>(I);
+  return static_cast<FieldId>(-1);
+}
+
+const std::string &FieldTable::name(FieldId Id) const {
+  assert(Id < Names.size() && "field id was never interned");
+  return Names[Id];
+}
+
+FieldId eventnet::fieldOf(const std::string &Name) {
+  return FieldTable::get().intern(Name);
+}
+
+const std::string &eventnet::fieldName(FieldId Id) {
+  return FieldTable::get().name(Id);
+}

@@ -1,0 +1,75 @@
+//===- support/Symbols.h - Interned field names ----------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide interner for packet header field names. NetKAT policies,
+/// flow tables, and the simulator all refer to fields by small dense
+/// FieldId integers; this table maps names to ids and back.
+///
+/// Two field names are reserved and always interned first so that FDD
+/// variable ordering places them at the root of every diagram:
+///   - "sw" (FieldSw = 0): the switch location of a packet,
+///   - "pt" (FieldPt = 1): the port location of a packet.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_SUPPORT_SYMBOLS_H
+#define EVENTNET_SUPPORT_SYMBOLS_H
+
+#include "support/Ids.h"
+
+#include <string>
+#include <vector>
+
+namespace eventnet {
+
+/// FieldId of the reserved switch-location pseudo field.
+inline constexpr FieldId FieldSw = 0;
+/// FieldId of the reserved port-location pseudo field.
+inline constexpr FieldId FieldPt = 1;
+/// First FieldId available for user-defined header fields.
+inline constexpr FieldId FirstUserField = 2;
+
+/// Process-wide field-name interner.
+///
+/// The table is intentionally a global: FieldIds flow through every layer
+/// of the system (ASTs, FDDs, flow tables, simulated packets) and carrying
+/// an explicit context through all of them would add noise without any
+/// benefit for a single-network-program process. All methods are cheap;
+/// the table is not thread-safe (the whole library is single-threaded by
+/// design, like the simulator it feeds).
+class FieldTable {
+public:
+  /// Returns the singleton table.
+  static FieldTable &get();
+
+  /// Interns \p Name, returning its id. Idempotent.
+  FieldId intern(const std::string &Name);
+
+  /// Returns the id of \p Name, or FieldId(-1) if it was never interned.
+  FieldId lookup(const std::string &Name) const;
+
+  /// Returns the name of \p Id. \p Id must have been interned.
+  const std::string &name(FieldId Id) const;
+
+  /// Number of interned fields (including the reserved sw/pt fields).
+  size_t size() const { return Names.size(); }
+
+private:
+  FieldTable();
+  std::vector<std::string> Names;
+};
+
+/// Convenience shorthand: interns \p Name in the global table.
+FieldId fieldOf(const std::string &Name);
+
+/// Convenience shorthand: name of \p Id in the global table.
+const std::string &fieldName(FieldId Id);
+
+} // namespace eventnet
+
+#endif // EVENTNET_SUPPORT_SYMBOLS_H

@@ -1,0 +1,68 @@
+//===- support/Table.cpp - Plain-text table/CSV output --------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+using namespace eventnet;
+
+TextTable::TextTable(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void TextTable::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row arity mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+void TextTable::addRow(std::initializer_list<std::string> Row) {
+  addRow(std::vector<std::string>(Row));
+}
+
+void TextTable::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t C = 0; C != Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      if (Row[C].size() > Widths[C])
+        Widths[C] = Row[C].size();
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      OS << Row[C];
+      if (C + 1 != Row.size())
+        OS << std::string(Widths[C] - Row[C].size() + 2, ' ');
+    }
+    OS << '\n';
+  };
+
+  PrintRow(Header);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  OS << std::string(Total > 2 ? Total - 2 : Total, '-') << '\n';
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+void TextTable::printCsv(std::ostream &OS) const {
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      OS << Row[C];
+      if (C + 1 != Row.size())
+        OS << ',';
+    }
+    OS << '\n';
+  };
+  PrintRow(Header);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+std::string eventnet::formatDouble(double V, int Digits) {
+  char Buf[64];
+  snprintf(Buf, sizeof(Buf), "%.*f", Digits, V);
+  return Buf;
+}

@@ -1,0 +1,53 @@
+//===- support/Table.h - Plain-text table/CSV output ------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TextTable: tiny column-aligned table printer used by the benchmark
+/// harnesses to emit the rows/series corresponding to the paper's tables
+/// and figures. Also emits CSV for downstream plotting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_SUPPORT_TABLE_H
+#define EVENTNET_SUPPORT_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace eventnet {
+
+/// Column-aligned plain-text table with an optional CSV rendering.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header);
+
+  /// Appends a row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Convenience: formats each cell with to-string-like semantics.
+  void addRow(std::initializer_list<std::string> Row);
+
+  /// Renders the table with aligned columns to \p OS.
+  void print(std::ostream &OS) const;
+
+  /// Renders the table as CSV to \p OS.
+  void printCsv(std::ostream &OS) const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats a double with \p Digits fractional digits.
+std::string formatDouble(double V, int Digits = 2);
+
+} // namespace eventnet
+
+#endif // EVENTNET_SUPPORT_TABLE_H

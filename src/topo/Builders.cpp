@@ -1,0 +1,59 @@
+//===- topo/Builders.cpp - The paper's topologies -------------------------===//
+
+#include "topo/Builders.h"
+
+#include <cassert>
+
+using namespace eventnet;
+using namespace eventnet::topo;
+
+Topology topo::firewallTopology() {
+  Topology T;
+  T.addBiLink({1, 1}, {4, 1});
+  T.attachHost(HostH1, {1, 2});
+  T.attachHost(HostH4, {4, 2});
+  return T;
+}
+
+Topology topo::fig2Topology() {
+  // Figure 2: s1 and s2 each reach s4 (and each other) through s3's row:
+  // concretely we wire s1-s2, s1-s3, s2-s4, s3-s4 which matches the
+  // picture's 2x2 mesh. H1@s1, H2@s2.
+  Topology T;
+  T.addBiLink({1, 1}, {2, 1});
+  T.addBiLink({1, 3}, {3, 1});
+  T.addBiLink({2, 3}, {4, 1});
+  T.addBiLink({3, 3}, {4, 3});
+  T.attachHost(HostH1, {1, 2});
+  T.attachHost(HostH2, {2, 2});
+  return T;
+}
+
+Topology topo::starTopology() {
+  Topology T;
+  T.addBiLink({1, 1}, {4, 1});
+  T.addBiLink({2, 1}, {4, 3});
+  T.addBiLink({3, 1}, {4, 4});
+  T.attachHost(HostH1, {1, 2});
+  T.attachHost(HostH2, {2, 2});
+  T.attachHost(HostH3, {3, 2});
+  T.attachHost(HostH4, {4, 2});
+  return T;
+}
+
+Topology topo::ringTopology(unsigned NumSwitches, unsigned Diameter) {
+  assert(NumSwitches >= 3 && "ring needs at least three switches");
+  assert(Diameter >= 1 && Diameter < NumSwitches &&
+         "diameter must be between 1 and NumSwitches-1");
+  Topology T;
+  for (unsigned I = 1; I <= NumSwitches; ++I) {
+    unsigned Next = (I % NumSwitches) + 1;
+    // Port 1: clockwise out; port 2: counterclockwise out (= clockwise in
+    // on the neighbor).
+    T.addLink({I, 1}, {Next, 2});
+    T.addLink({Next, 2}, {I, 1});
+  }
+  T.attachHost(HostH1, {1, 3});
+  T.attachHost(HostH2, {1 + Diameter, 3});
+  return T;
+}

@@ -1,0 +1,57 @@
+//===- topo/Builders.h - The paper's topologies -----------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for the topologies used in the paper's examples and
+/// evaluation (Figures 1, 2, 8, and the ring of Section 5.2). Port
+/// conventions follow the Figure 9 programs:
+///
+///   - Star (Figure 8): switch 4 is the hub. Links (1:1)<->(4:1),
+///     (2:1)<->(4:3), (3:1)<->(4:4). Hosts H1@1:2, H2@2:2, H3@3:2,
+///     H4@4:2.
+///   - Firewall (Figures 1, 8a/8d): the 2-switch slice of the star:
+///     switches 1 and 4, link (1:1)<->(4:1), hosts H1@1:2, H4@4:2.
+///   - Ring (Section 5.2): N switches 1..N in a cycle; port 1 is the
+///     clockwise neighbor, port 2 the counterclockwise one, port 3 a
+///     host-facing port. H1 sits at switch 1 and H2 at switch 1 +
+///     diameter, so the clockwise distance between the hosts is the
+///     requested diameter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_TOPO_BUILDERS_H
+#define EVENTNET_TOPO_BUILDERS_H
+
+#include "topo/Topology.h"
+
+namespace eventnet {
+namespace topo {
+
+/// Canonical host numbers used by the examples.
+inline constexpr HostId HostH1 = 1;
+inline constexpr HostId HostH2 = 2;
+inline constexpr HostId HostH3 = 3;
+inline constexpr HostId HostH4 = 4;
+
+/// Figure 1 / Figure 8(a,d): H1 - s1 - s4 - H4.
+Topology firewallTopology();
+
+/// Figure 2: four switches s1..s4 (s1-s2, s1-s4 ... see paper) with hosts
+/// H1@s1 and H2@s2; used by the Section 2 worked example.
+Topology fig2Topology();
+
+/// Figure 8(b,c,e): the star with hub s4 and spokes s1..s3.
+Topology starTopology();
+
+/// Section 5.2 ring with \p NumSwitches >= 3 switches; hosts H1 and H2
+/// sit \p Diameter hops apart clockwise (1 <= Diameter < NumSwitches).
+Topology ringTopology(unsigned NumSwitches, unsigned Diameter);
+
+} // namespace topo
+} // namespace eventnet
+
+#endif // EVENTNET_TOPO_BUILDERS_H

@@ -1,0 +1,88 @@
+//===- topo/Configuration.cpp - Network configurations --------------------===//
+
+#include "topo/Configuration.h"
+
+#include <sstream>
+
+using namespace eventnet;
+using namespace eventnet::topo;
+using eventnet::netkat::Packet;
+
+const flowtable::Table &Configuration::tableFor(SwitchId Sw) const {
+  static const flowtable::Table Empty;
+  auto It = Tables.find(Sw);
+  if (It == Tables.end())
+    return Empty;
+  return It->second;
+}
+
+size_t Configuration::totalRules() const {
+  size_t N = 0;
+  for (const auto &[Sw, T] : Tables)
+    N += T.size();
+  return N;
+}
+
+std::vector<Packet> Configuration::step(const Topology &Topo,
+                                        const Packet &Lp) const {
+  // The paper's C is the union of switch processing and link behavior,
+  // so a located packet at a port that is *both* an arrival point and a
+  // link source (every port of a bidirectional link) relates to the
+  // table outputs and to the link target. Traces choose the applicable
+  // branch; reachability closures must follow both.
+  std::vector<Packet> Out = tableFor(Lp.sw()).apply(Lp);
+  if (auto Dst = Topo.linkFrom(Lp.loc())) {
+    Packet Moved = Lp;
+    Moved.setLoc(*Dst);
+    Out.push_back(std::move(Moved));
+  }
+  return Out;
+}
+
+bool Configuration::related(const Topology &Topo, const Packet &From,
+                            const Packet &To) const {
+  // Link step.
+  if (auto Dst = Topo.linkFrom(From.loc())) {
+    Packet Moved = From;
+    Moved.setLoc(*Dst);
+    if (Moved == To)
+      return true;
+  }
+  // Table step.
+  for (const Packet &Q : tableFor(From.sw()).apply(From))
+    if (Q == To)
+      return true;
+  return false;
+}
+
+bool Configuration::isCompleteTrace(
+    const Topology &Topo, const std::vector<Packet> &Trace) const {
+  if (Trace.empty())
+    return false;
+  for (size_t I = 0; I + 1 < Trace.size(); ++I)
+    if (!related(Topo, Trace[I], Trace[I + 1]))
+      return false;
+
+  // Maximality. A packet delivered to a host has reached a host-facing
+  // port *as an egress* (i.e. the previous step was a table step, not the
+  // host's own injection). The first trace entry is the host injection at
+  // the same kind of port, so a single-entry trace at a host port is
+  // complete only if the table drops it.
+  const Packet &Last = Trace.back();
+  bool Delivered =
+      Trace.size() > 1 && Topo.isHostPort(Last.loc()) &&
+      !Topo.linkFrom(Last.loc()); // host ports have no outgoing link
+  if (Delivered)
+    return true;
+  return step(Topo, Last).empty();
+}
+
+std::string Configuration::str() const {
+  std::ostringstream OS;
+  for (const auto &[Sw, T] : Tables) {
+    OS << "switch " << Sw << ":\n";
+    for (const auto &R : T.rules())
+      OS << "  " << R.str() << '\n';
+  }
+  return OS.str();
+}

@@ -1,0 +1,96 @@
+//===- topo/Parse.cpp - Topology description files ------------------------===//
+
+#include "topo/Parse.h"
+
+#include <sstream>
+
+using namespace eventnet;
+using namespace eventnet::topo;
+
+namespace {
+
+/// Parses "n:m" into a Location.
+bool parseLoc(const std::string &Tok, Location &Out) {
+  size_t Colon = Tok.find(':');
+  if (Colon == std::string::npos || Colon == 0 || Colon + 1 == Tok.size())
+    return false;
+  for (size_t I = 0; I != Tok.size(); ++I)
+    if (I != Colon && !isdigit(static_cast<unsigned char>(Tok[I])))
+      return false;
+  Out.Sw = static_cast<SwitchId>(std::stoul(Tok.substr(0, Colon)));
+  Out.Pt = static_cast<PortId>(std::stoul(Tok.substr(Colon + 1)));
+  return true;
+}
+
+bool parseNum(const std::string &Tok, uint32_t &Out) {
+  if (Tok.empty())
+    return false;
+  for (char C : Tok)
+    if (!isdigit(static_cast<unsigned char>(C)))
+      return false;
+  Out = static_cast<uint32_t>(std::stoul(Tok));
+  return true;
+}
+
+} // namespace
+
+TopoParseResult topo::parseTopology(const std::string &Source) {
+  TopoParseResult Res;
+  std::istringstream In(Source);
+  std::string Line;
+  unsigned LineNo = 0;
+
+  auto Fail = [&](const std::string &Msg) {
+    Res.Ok = false;
+    Res.Error = "line " + std::to_string(LineNo) + ": " + Msg;
+    return Res;
+  };
+
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    // Strip comments and tokenize.
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line = Line.substr(0, Hash);
+    std::istringstream LS(Line);
+    std::vector<std::string> Toks;
+    std::string Tok;
+    while (LS >> Tok)
+      Toks.push_back(Tok);
+    if (Toks.empty())
+      continue;
+
+    if (Toks[0] == "switch") {
+      uint32_t Sw;
+      if (Toks.size() != 2 || !parseNum(Toks[1], Sw))
+        return Fail("expected: switch <id>");
+      Res.Topo.addSwitch(Sw);
+      continue;
+    }
+    if (Toks[0] == "host") {
+      uint32_t H;
+      Location At;
+      if (Toks.size() != 4 || !parseNum(Toks[1], H) || Toks[2] != "at" ||
+          !parseLoc(Toks[3], At))
+        return Fail("expected: host <id> at <sw>:<pt>");
+      Res.Topo.attachHost(H, At);
+      continue;
+    }
+    if (Toks[0] == "link") {
+      Location A, B;
+      if (Toks.size() != 4 || !parseLoc(Toks[1], A) || !parseLoc(Toks[3], B))
+        return Fail("expected: link <sw>:<pt> (- | ->) <sw>:<pt>");
+      if (Toks[2] == "-")
+        Res.Topo.addBiLink(A, B);
+      else if (Toks[2] == "->")
+        Res.Topo.addLink(A, B);
+      else
+        return Fail("expected '-' (bidirectional) or '->' (unidirectional)");
+      continue;
+    }
+    return Fail("unknown directive '" + Toks[0] + "'");
+  }
+
+  Res.Ok = true;
+  return Res;
+}

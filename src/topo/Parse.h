@@ -1,0 +1,44 @@
+//===- topo/Parse.h - Topology description files ----------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small text format for describing topologies, used by the eventnetc
+/// command-line compiler (the stand-in for the paper's Mininet script
+/// generator):
+///
+///   # comments run to end of line
+///   switch 1            # optional: switches are implied by links/hosts
+///   host 1 at 1:2       # host 1 attached at switch 1 port 2
+///   link 1:1 - 4:1      # bidirectional link
+///   link 2:1 -> 3:2     # unidirectional link
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_TOPO_PARSE_H
+#define EVENTNET_TOPO_PARSE_H
+
+#include "topo/Topology.h"
+
+#include <string>
+
+namespace eventnet {
+namespace topo {
+
+/// Result of parsing a topology description.
+struct TopoParseResult {
+  bool Ok = false;
+  std::string Error; // "line N: message" when !Ok
+  Topology Topo;
+};
+
+/// Parses the textual topology format described in the file header.
+TopoParseResult parseTopology(const std::string &Source);
+
+} // namespace topo
+} // namespace eventnet
+
+#endif // EVENTNET_TOPO_PARSE_H

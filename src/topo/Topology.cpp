@@ -1,0 +1,89 @@
+//===- topo/Topology.cpp - Switches, hosts, ports, links ------------------===//
+
+#include "topo/Topology.h"
+
+#include <cassert>
+#include <deque>
+#include <sstream>
+
+using namespace eventnet;
+using namespace eventnet::topo;
+
+void Topology::addSwitch(SwitchId Sw) { Switches.insert(Sw); }
+
+void Topology::addLink(Location Src, Location Dst) {
+  assert(!LinkMap.count(Src) && "port already has an outgoing link");
+  Switches.insert(Src.Sw);
+  Switches.insert(Dst.Sw);
+  Links.push_back({Src, Dst});
+  LinkMap[Src] = Dst;
+}
+
+void Topology::addBiLink(Location A, Location B) {
+  addLink(A, B);
+  addLink(B, A);
+}
+
+void Topology::attachHost(HostId H, Location At) {
+  assert(!Hosts.count(H) && "host already attached");
+  assert(!HostPorts.count(At) && "port already hosts a host");
+  Switches.insert(At.Sw);
+  Hosts[H] = At;
+  HostPorts[At] = H;
+}
+
+std::optional<Location> Topology::linkFrom(Location From) const {
+  auto It = LinkMap.find(From);
+  if (It == LinkMap.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<HostId> Topology::hostAt(Location At) const {
+  auto It = HostPorts.find(At);
+  if (It == HostPorts.end())
+    return std::nullopt;
+  return It->second;
+}
+
+Location Topology::hostLoc(HostId H) const {
+  auto It = Hosts.find(H);
+  assert(It != Hosts.end() && "unknown host");
+  return It->second;
+}
+
+int Topology::switchDistance(SwitchId A, SwitchId B) const {
+  if (A == B)
+    return 0;
+  std::map<SwitchId, int> Dist{{A, 0}};
+  std::deque<SwitchId> Queue{A};
+  while (!Queue.empty()) {
+    SwitchId Cur = Queue.front();
+    Queue.pop_front();
+    for (const auto &[Src, Dst] : Links) {
+      if (Src.Sw != Cur || Dist.count(Dst.Sw))
+        continue;
+      Dist[Dst.Sw] = Dist[Cur] + 1;
+      if (Dst.Sw == B)
+        return Dist[Dst.Sw];
+      Queue.push_back(Dst.Sw);
+    }
+  }
+  return -1;
+}
+
+std::string Topology::str() const {
+  std::ostringstream OS;
+  OS << "switches:";
+  for (SwitchId Sw : Switches)
+    OS << ' ' << Sw;
+  OS << "\nhosts:";
+  for (const auto &[H, L] : Hosts)
+    OS << " H" << H << "@" << L.Sw << ':' << L.Pt;
+  OS << "\nlinks:";
+  for (const auto &[Src, Dst] : Links)
+    OS << " (" << Src.Sw << ':' << Src.Pt << ")->(" << Dst.Sw << ':' << Dst.Pt
+       << ')';
+  OS << '\n';
+  return OS.str();
+}

@@ -1,0 +1,82 @@
+//===- topo/Topology.h - Switches, hosts, ports, links ----------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The physical network: switches with ports, unidirectional links
+/// between switch ports (paper Section 2), and hosts attached to
+/// host-facing ports. Hosts are packet sources/sinks; a packet emitted at
+/// a host enters the network at the attachment port, and a packet
+/// forwarded out of an attachment port is delivered to the host.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_TOPO_TOPOLOGY_H
+#define EVENTNET_TOPO_TOPOLOGY_H
+
+#include "support/Ids.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace eventnet {
+namespace topo {
+
+/// A physical network topology.
+class Topology {
+public:
+  /// Registers a switch. Idempotent.
+  void addSwitch(SwitchId Sw);
+
+  /// Adds the unidirectional link \p Src -> \p Dst. Both endpoint
+  /// switches are registered implicitly.
+  void addLink(Location Src, Location Dst);
+
+  /// Adds links in both directions between \p A and \p B.
+  void addBiLink(Location A, Location B);
+
+  /// Attaches host \p H at switch port \p At (registers the switch too).
+  void attachHost(HostId H, Location At);
+
+  /// Where does the link leaving \p From lead, if anywhere?
+  std::optional<Location> linkFrom(Location From) const;
+
+  /// The host attached at \p At, if any.
+  std::optional<HostId> hostAt(Location At) const;
+
+  /// Attachment location of host \p H; asserts the host exists.
+  Location hostLoc(HostId H) const;
+
+  /// True if \p At is a host-facing port.
+  bool isHostPort(Location At) const { return hostAt(At).has_value(); }
+
+  const std::set<SwitchId> &switches() const { return Switches; }
+  const std::map<HostId, Location> &hosts() const { return Hosts; }
+  const std::vector<std::pair<Location, Location>> &links() const {
+    return Links;
+  }
+
+  /// Minimum number of links between two switches (BFS), or -1 if
+  /// unreachable. Used by the ring experiments to report diameters.
+  int switchDistance(SwitchId A, SwitchId B) const;
+
+  std::string str() const;
+
+private:
+  std::set<SwitchId> Switches;
+  std::vector<std::pair<Location, Location>> Links;
+  std::map<Location, Location> LinkMap;
+  std::map<HostId, Location> Hosts;
+  std::map<Location, HostId> HostPorts;
+};
+
+} // namespace topo
+} // namespace eventnet
+
+#endif // EVENTNET_TOPO_TOPOLOGY_H

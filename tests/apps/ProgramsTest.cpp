@@ -1,0 +1,47 @@
+//===- tests/apps/ProgramsTest.cpp - Application catalog tests ------------===//
+
+#include "apps/Programs.h"
+
+#include "stateful/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+
+TEST(Programs, AllSourcesParse) {
+  for (const apps::App &A : apps::caseStudyApps()) {
+    auto R = stateful::parseProgram(A.Source);
+    EXPECT_TRUE(R.Ok) << A.Name << ": " << R.Error;
+  }
+}
+
+TEST(Programs, BandwidthCapParameterized) {
+  for (unsigned N : {1u, 5u, 20u}) {
+    auto R = stateful::parseProgram(apps::bandwidthCapSource(N));
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(stateful::stateSize(R.Program), 1u);
+  }
+}
+
+TEST(Programs, CatalogNamesAndTopologies) {
+  auto Apps = apps::caseStudyApps();
+  ASSERT_EQ(Apps.size(), 5u);
+  EXPECT_EQ(Apps[0].Name, "stateful-firewall");
+  EXPECT_EQ(Apps[0].Topo.switches().size(), 2u);
+  EXPECT_EQ(Apps[1].Name, "learning-switch");
+  EXPECT_EQ(Apps[1].Topo.switches().size(), 4u);
+}
+
+TEST(Programs, RingProgramShape) {
+  for (unsigned D = 1; D <= 4; ++D) {
+    stateful::SPolRef P = apps::ringProgram(8, D);
+    ASSERT_NE(P, nullptr);
+    EXPECT_EQ(stateful::stateSize(P), 1u);
+  }
+}
+
+TEST(Programs, FieldsAreStable) {
+  EXPECT_EQ(fieldName(apps::ipDstField()), "ip_dst");
+  EXPECT_EQ(fieldName(apps::probeField()), "probe");
+  EXPECT_EQ(apps::ipDstField(), apps::ipDstField());
+}

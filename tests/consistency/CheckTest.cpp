@@ -1,0 +1,167 @@
+//===- tests/consistency/CheckTest.cpp - Definition 2/6 checker tests -----===//
+//
+// Hand-built firewall traces exercising each clause of the definitions:
+// single-configuration processing, "not too early", "not too late", and
+// the Definition 6 existential over allowed sequences.
+//
+//===----------------------------------------------------------------------===//
+
+#include "consistency/Check.h"
+
+#include "apps/Programs.h"
+#include "nes/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::consistency;
+using eventnet::netkat::Packet;
+using eventnet::netkat::makePacket;
+
+namespace {
+
+struct Fixture {
+  apps::App A = apps::firewallApp();
+  nes::CompiledProgram C;
+  FieldId Dst = apps::ipDstField();
+
+  Fixture() { C = nes::compileSource(A.Source, A.Topo); }
+
+  Packet out(SwitchId Sw, PortId Pt) { // H1 -> H4 packet
+    return makePacket({Sw, Pt}, {{Dst, 4}});
+  }
+  Packet in(SwitchId Sw, PortId Pt) { // H4 -> H1 packet
+    return makePacket({Sw, Pt}, {{Dst, 1}});
+  }
+
+  /// Appends a full outbound delivery chain; returns the arrival index
+  /// at 4:1 (the event occurrence).
+  int appendOutbound(NetworkTrace &T) {
+    int E0 = T.append({out(1, 2), -1, false});
+    int E1 = T.append({out(1, 1), E0, false});
+    int E2 = T.append({out(4, 1), E1, false});
+    TraceEntry Del{out(4, 2), E2, true};
+    T.append(Del);
+    return E2;
+  }
+
+  /// Appends a delivered inbound chain (valid only in C1).
+  void appendInboundDelivered(NetworkTrace &T) {
+    int E0 = T.append({in(4, 2), -1, false});
+    int E1 = T.append({in(4, 1), E0, false});
+    int E2 = T.append({in(1, 1), E1, false});
+    T.append({in(1, 2), E2, true});
+  }
+
+  /// Appends an inbound packet dropped at s4 (valid only in C0).
+  void appendInboundDropped(NetworkTrace &T) {
+    T.append({in(4, 2), -1, false});
+  }
+};
+
+} // namespace
+
+TEST(CheckNes, EmptyTraceIsCorrect) {
+  Fixture F;
+  NetworkTrace T;
+  auto R = checkAgainstNes(T, F.A.Topo, *F.C.N);
+  EXPECT_TRUE(R.Correct) << R.Reason;
+}
+
+TEST(CheckNes, QuiescentC0BehaviorIsCorrect) {
+  Fixture F;
+  NetworkTrace T;
+  F.appendInboundDropped(T); // dropped by C0, no event ever
+  auto R = checkAgainstNes(T, F.A.Topo, *F.C.N);
+  EXPECT_TRUE(R.Correct) << R.Reason;
+}
+
+TEST(CheckNes, CanonicalFirewallRunIsCorrect) {
+  Fixture F;
+  NetworkTrace T;
+  F.appendInboundDropped(T);  // before the event: dropped
+  F.appendOutbound(T);        // triggers the event at 4:1
+  F.appendInboundDelivered(T); // after: delivered
+  auto R = checkAgainstNes(T, F.A.Topo, *F.C.N);
+  EXPECT_TRUE(R.Correct) << R.Reason;
+}
+
+TEST(CheckNes, TooEarlyDetected) {
+  Fixture F;
+  NetworkTrace T;
+  // Inbound delivered although no event has occurred: the only allowed
+  // sequence covering no events requires Traces(g(∅)).
+  F.appendInboundDelivered(T);
+  auto R = checkAgainstNes(T, F.A.Topo, *F.C.N);
+  EXPECT_FALSE(R.Correct);
+}
+
+TEST(CheckNes, TooLateDetected) {
+  Fixture F;
+  NetworkTrace T;
+  F.appendOutbound(T);
+  // This inbound packet enters at s4 *after* the event occurrence at the
+  // same switch, so it must be processed by C1 — but it is dropped.
+  F.appendInboundDropped(T);
+  auto R = checkAgainstNes(T, F.A.Topo, *F.C.N);
+  EXPECT_FALSE(R.Correct);
+  EXPECT_NE(R.Reason.find("too late"), std::string::npos);
+}
+
+TEST(CheckNes, MixedConfigurationPacketDetected) {
+  Fixture F;
+  NetworkTrace T;
+  F.appendOutbound(T);
+  // An inbound packet forwarded by s4 (C1 behavior) but then dropped at
+  // s1 (C0 behavior): not a complete trace of any single configuration.
+  int E0 = T.append({F.in(4, 2), -1, false});
+  T.append({F.in(4, 1), E0, false});
+  auto R = checkAgainstNes(T, F.A.Topo, *F.C.N);
+  EXPECT_FALSE(R.Correct);
+  EXPECT_NE(R.Reason.find("single configuration"), std::string::npos);
+}
+
+TEST(CheckNes, ConcurrentInboundMayUseEitherConfig) {
+  Fixture F;
+  NetworkTrace T;
+  // The inbound emission is logged before the event at s4, so it is not
+  // "entirely after" the event: C0 processing (drop) is allowed.
+  F.appendInboundDropped(T);
+  F.appendOutbound(T);
+  auto R = checkAgainstNes(T, F.A.Topo, *F.C.N);
+  EXPECT_TRUE(R.Correct) << R.Reason;
+}
+
+TEST(CheckUpdate, ExplicitSequenceApi) {
+  Fixture F;
+  NetworkTrace T;
+  F.appendOutbound(T);
+  F.appendInboundDelivered(T);
+
+  UpdateSequence U;
+  U.Configs = {&F.C.N->configOf(0), &F.C.N->configOf(1)};
+  U.EventIds = {0};
+  auto R = checkUpdateSequence(T, F.A.Topo, U, F.C.N->events(), &*F.C.N);
+  EXPECT_TRUE(R.Correct) << R.Reason;
+
+  // The empty sequence fails: the trace contains a fresh enabled match.
+  UpdateSequence Empty;
+  Empty.Configs = {&F.C.N->configOf(0)};
+  auto R2 =
+      checkUpdateSequence(T, F.A.Topo, Empty, F.C.N->events(), &*F.C.N);
+  EXPECT_FALSE(R2.Correct);
+  EXPECT_NE(R2.Reason.find("freshly matches"), std::string::npos);
+}
+
+TEST(CheckUpdate, MissingEventOccurrenceFailsFO) {
+  Fixture F;
+  NetworkTrace T;
+  F.appendInboundDropped(T); // no outbound packet: the event never fires
+
+  UpdateSequence U;
+  U.Configs = {&F.C.N->configOf(0), &F.C.N->configOf(1)};
+  U.EventIds = {0};
+  auto R = checkUpdateSequence(T, F.A.Topo, U, F.C.N->events(), &*F.C.N);
+  EXPECT_FALSE(R.Correct);
+  EXPECT_NE(R.Reason.find("FO does not exist"), std::string::npos);
+}

@@ -1,0 +1,100 @@
+//===- tests/ets/EtsTest.cpp - ETS construction tests ---------------------===//
+
+#include "ets/Ets.h"
+
+#include "apps/Programs.h"
+#include "stateful/Parser.h"
+#include "topo/Builders.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::ets;
+using namespace eventnet::stateful;
+
+namespace {
+SPolRef parse(const std::string &Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.Program;
+}
+} // namespace
+
+TEST(Ets, FirewallTwoStates) {
+  BuildResult R =
+      buildEts(parse(apps::firewallSource()), topo::firewallTopology());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.T.vertices().size(), 2u);
+  ASSERT_EQ(R.T.edges().size(), 1u);
+  EXPECT_EQ(R.T.edges()[0].From, 0u);
+  EXPECT_EQ(R.T.edges()[0].To, 1u);
+  EXPECT_EQ(R.T.edges()[0].Loc, (Location{4, 1}));
+  EXPECT_EQ(R.T.vertices()[0].K, (StateVec{0}));
+  EXPECT_EQ(R.T.vertices()[1].K, (StateVec{1}));
+}
+
+TEST(Ets, FirewallConfigsCompiled) {
+  BuildResult R =
+      buildEts(parse(apps::firewallSource()), topo::firewallTopology());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // State 0 drops incoming at s4; state 1 forwards it.
+  FieldId Dst = apps::ipDstField();
+  netkat::Packet In = netkat::makePacket({4, 2}, {{Dst, 1}});
+  EXPECT_TRUE(R.T.vertices()[0].Config.tableFor(4).apply(In).empty());
+  EXPECT_EQ(R.T.vertices()[1].Config.tableFor(4).apply(In).size(), 1u);
+}
+
+TEST(Ets, AuthenticationChainOfThree) {
+  BuildResult R =
+      buildEts(parse(apps::authenticationSource()), topo::starTopology());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.T.vertices().size(), 3u);
+  EXPECT_EQ(R.T.edges().size(), 2u);
+}
+
+TEST(Ets, BandwidthCapChainLength) {
+  BuildResult R =
+      buildEts(parse(apps::bandwidthCapSource(10)), topo::firewallTopology());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.T.vertices().size(), 12u);
+  EXPECT_EQ(R.T.edges().size(), 11u);
+}
+
+TEST(Ets, RingProgramBuilds) {
+  BuildResult R = buildEts(apps::ringProgram(6, 3), topo::ringTopology(6, 3));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.T.vertices().size(), 2u);
+  ASSERT_EQ(R.T.edges().size(), 1u);
+  EXPECT_EQ(R.T.edges()[0].Loc, (Location{4, 2}));
+}
+
+TEST(Ets, MissingTopologyLinkRejected) {
+  // The program uses a link the firewall topology does not have.
+  BuildResult R = buildEts(parse("pt=2; pt<-1; (1:1)->(9:1)"),
+                           topo::firewallTopology());
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("does not exist"), std::string::npos);
+}
+
+TEST(Ets, CycleRejected) {
+  // 0 -> 1 -> 0 via two events.
+  std::string Src = "state=[0]; (1:1)->(4:1)<state<-[1]> "
+                    "+ state=[1]; (1:1)->(4:1)<state<-[0]>";
+  BuildResult R = buildEts(parse(Src), topo::firewallTopology());
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("loop"), std::string::npos);
+}
+
+TEST(Ets, StarOverLinkRejectedThroughPipeline) {
+  BuildResult R =
+      buildEts(parse("((1:1)->(4:1))*"), topo::firewallTopology());
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Ets, EdgesFromFiltersBySource) {
+  BuildResult R =
+      buildEts(parse(apps::authenticationSource()), topo::starTopology());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.T.edgesFrom(0).size(), 1u);
+  EXPECT_EQ(R.T.edgesFrom(2).size(), 0u);
+}

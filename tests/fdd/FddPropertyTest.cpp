@@ -1,0 +1,154 @@
+//===- tests/fdd/FddPropertyTest.cpp - FDD vs reference semantics ---------===//
+//
+// The central compiler-correctness property: for random link-free NetKAT
+// policies, the FDD's action sets applied to a packet must produce exactly
+// the packet set computed by the denotational evaluator, and the extracted
+// flow table (first-match semantics) must agree as well. This is the
+// repository's stand-in for NetKAT's equational soundness argument.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fdd/Fdd.h"
+
+#include "netkat/Eval.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::fdd;
+using namespace eventnet::netkat;
+
+namespace {
+
+struct Gen {
+  Rng R;
+  std::vector<FieldId> Fields;
+  Value MaxV = 3;
+
+  explicit Gen(uint64_t Seed) : R(Seed) {
+    Fields = {fieldOf("prop_a"), fieldOf("prop_b"), fieldOf("prop_c")};
+  }
+
+  FieldId field() { return Fields[R.below(Fields.size())]; }
+  Value value() { return R.range(0, MaxV); }
+
+  PredRef pred(unsigned Depth) {
+    if (Depth == 0 || R.chance(0.4)) {
+      switch (R.below(4)) {
+      case 0:
+        return pTrue();
+      case 1:
+        return pFalse();
+      default:
+        return pTest(field(), value());
+      }
+    }
+    switch (R.below(3)) {
+    case 0:
+      return pAnd(pred(Depth - 1), pred(Depth - 1));
+    case 1:
+      return pOr(pred(Depth - 1), pred(Depth - 1));
+    default:
+      return pNot(pred(Depth - 1));
+    }
+  }
+
+  PolicyRef policy(unsigned Depth) {
+    if (Depth == 0 || R.chance(0.3)) {
+      if (R.chance(0.5))
+        return filter(pred(1));
+      return mod(field(), value());
+    }
+    switch (R.below(7)) {
+    case 0:
+    case 1:
+      return unite(policy(Depth - 1), policy(Depth - 1));
+    case 2:
+    case 3:
+    case 4:
+      return seq(policy(Depth - 1), policy(Depth - 1));
+    case 5:
+      return star(policy(Depth > 2 ? 1 : Depth - 1));
+    default:
+      return filter(pred(Depth));
+    }
+  }
+
+  Packet packet() {
+    Packet P = makePacket({1, static_cast<PortId>(R.range(1, 3))}, {});
+    for (FieldId F : Fields)
+      P.set(F, value());
+    return P;
+  }
+};
+
+PacketSet applyActionSet(const ActionSet &Acts, const Packet &P) {
+  PacketSet Out;
+  for (const flowtable::ActionSeq &A : Acts)
+    Out.insert(flowtable::applyActionSeq(A, P));
+  return Out;
+}
+
+} // namespace
+
+class FddEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FddEquivalence, FddMatchesDenotationalSemantics) {
+  Gen G(GetParam());
+  FddManager M;
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    PolicyRef P = G.policy(4);
+    NodeId D = M.compile(P);
+    for (int PktTrial = 0; PktTrial != 10; ++PktTrial) {
+      Packet Pkt = G.packet();
+      PacketSet Want = evalPolicy(P, Pkt);
+      PacketSet Got = applyActionSet(M.evaluate(D, Pkt), Pkt);
+      ASSERT_EQ(Got, Want) << "policy: " << P->str()
+                           << "\npacket: " << Pkt.str();
+    }
+  }
+}
+
+TEST_P(FddEquivalence, TableMatchesFdd) {
+  Gen G(GetParam() ^ 0xabcdef);
+  FddManager M;
+  for (int Trial = 0; Trial != 10; ++Trial) {
+    PolicyRef P = G.policy(4);
+    NodeId D = M.compile(P);
+    flowtable::Table T = M.toTable(D);
+    for (int PktTrial = 0; PktTrial != 10; ++PktTrial) {
+      Packet Pkt = G.packet();
+      PacketSet FromFdd = applyActionSet(M.evaluate(D, Pkt), Pkt);
+      auto Applied = T.apply(Pkt);
+      PacketSet FromTable(Applied.begin(), Applied.end());
+      ASSERT_EQ(FromTable, FromFdd)
+          << "policy: " << P->str() << "\npacket: " << Pkt.str()
+          << "\ntable:\n"
+          << T.str();
+    }
+  }
+}
+
+TEST_P(FddEquivalence, UnionSeqAlgebraicLaws) {
+  Gen G(GetParam() ^ 0x5eed);
+  FddManager M;
+  for (int Trial = 0; Trial != 10; ++Trial) {
+    NodeId A = M.compile(G.policy(3));
+    NodeId B = M.compile(G.policy(3));
+    NodeId C = M.compile(G.policy(3));
+    // + is associative/commutative/idempotent on hash-consed diagrams.
+    EXPECT_EQ(M.unionFdd(A, B), M.unionFdd(B, A));
+    EXPECT_EQ(M.unionFdd(M.unionFdd(A, B), C),
+              M.unionFdd(A, M.unionFdd(B, C)));
+    EXPECT_EQ(M.unionFdd(A, A), A);
+    // ; distributes over + on the left and right.
+    EXPECT_EQ(M.seqFdd(M.unionFdd(A, B), C),
+              M.unionFdd(M.seqFdd(A, C), M.seqFdd(B, C)));
+    EXPECT_EQ(M.seqFdd(A, M.unionFdd(B, C)),
+              M.unionFdd(M.seqFdd(A, B), M.seqFdd(A, C)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FddEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));

@@ -1,0 +1,161 @@
+//===- tests/fdd/FddTest.cpp - FDD compiler unit tests --------------------===//
+
+#include "fdd/Fdd.h"
+
+#include "netkat/Eval.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::fdd;
+using namespace eventnet::netkat;
+
+namespace {
+
+FieldId fA() { return fieldOf("fdd_a"); }
+FieldId fB() { return fieldOf("fdd_b"); }
+
+Packet pktAB(Value A, Value B) {
+  return makePacket({1, 1}, {{fA(), A}, {fB(), B}});
+}
+
+} // namespace
+
+TEST(Fdd, LeavesAreInterned) {
+  FddManager M;
+  EXPECT_EQ(M.makeLeaf({}), M.dropLeaf());
+  EXPECT_EQ(M.makeLeaf({flowtable::ActionSeq{}}), M.idLeaf());
+}
+
+TEST(Fdd, TestCollapsesEqualChildren) {
+  FddManager M;
+  NodeId N = M.makeTest(TestKey{fA(), 1}, M.idLeaf(), M.idLeaf());
+  EXPECT_EQ(N, M.idLeaf());
+}
+
+TEST(Fdd, HashConsingSharesNodes) {
+  FddManager M;
+  NodeId A = M.makeTest(TestKey{fA(), 1}, M.idLeaf(), M.dropLeaf());
+  NodeId B = M.makeTest(TestKey{fA(), 1}, M.idLeaf(), M.dropLeaf());
+  EXPECT_EQ(A, B);
+}
+
+TEST(Fdd, FromPredMatchesEval) {
+  FddManager M;
+  PredRef P = pOr(pAnd(pTest(fA(), 1), pNot(pTest(fB(), 2))),
+                  pTest(fB(), 3));
+  NodeId D = M.fromPred(P);
+  for (Value A = 0; A != 4; ++A)
+    for (Value B = 0; B != 4; ++B) {
+      Packet Pkt = pktAB(A, B);
+      bool Expect = evalPred(P, Pkt);
+      ActionSet Got = M.evaluate(D, Pkt);
+      EXPECT_EQ(!Got.empty(), Expect) << Pkt.str();
+    }
+}
+
+TEST(Fdd, NotIsComplement) {
+  FddManager M;
+  PredRef P = pAnd(pTest(fA(), 1), pTest(fB(), 2));
+  NodeId D = M.fromPred(P);
+  NodeId ND = M.notFdd(D);
+  for (Value A = 0; A != 3; ++A)
+    for (Value B = 0; B != 3; ++B) {
+      Packet Pkt = pktAB(A, B);
+      EXPECT_NE(M.evaluate(D, Pkt).empty(), M.evaluate(ND, Pkt).empty());
+    }
+}
+
+TEST(Fdd, UnionIsIdempotentCommutative) {
+  FddManager M;
+  NodeId A = M.compile(seq(filter(pTest(fA(), 1)), mod(fB(), 5)));
+  NodeId B = M.compile(seq(filter(pTest(fA(), 2)), mod(fB(), 6)));
+  EXPECT_EQ(M.unionFdd(A, A), A);
+  EXPECT_EQ(M.unionFdd(A, B), M.unionFdd(B, A));
+  EXPECT_EQ(M.unionFdd(A, M.dropLeaf()), A);
+}
+
+TEST(Fdd, SeqWithDropAndId) {
+  FddManager M;
+  NodeId A = M.compile(mod(fB(), 5));
+  EXPECT_EQ(M.seqFdd(A, M.dropLeaf()), M.dropLeaf());
+  EXPECT_EQ(M.seqFdd(M.dropLeaf(), A), M.dropLeaf());
+  EXPECT_EQ(M.seqFdd(M.idLeaf(), A), A);
+  EXPECT_EQ(M.seqFdd(A, M.idLeaf()), A);
+}
+
+TEST(Fdd, SeqResolvesTestsAgainstWrites) {
+  FddManager M;
+  // (fA<-1); (fA=1; fB<-7): the test must be resolved true.
+  NodeId D = M.compile(
+      seq(mod(fA(), 1), seq(filter(pTest(fA(), 1)), mod(fB(), 7))));
+  ActionSet Acts = M.evaluate(D, pktAB(0, 0));
+  ASSERT_EQ(Acts.size(), 1u);
+  // The composed write set is {fA:=1, fB:=7}.
+  flowtable::ActionSeq Want =
+      flowtable::normalizeActionSeq({{fA(), 1}, {fB(), 7}});
+  EXPECT_EQ(*Acts.begin(), Want);
+
+  // (fA<-2); (fA=1; fB<-7) must drop.
+  NodeId D2 = M.compile(
+      seq(mod(fA(), 2), seq(filter(pTest(fA(), 1)), mod(fB(), 7))));
+  EXPECT_EQ(D2, M.dropLeaf());
+}
+
+TEST(Fdd, SeqResolvesTestsAgainstPathContext) {
+  FddManager M;
+  // fA=1; fA=1 collapses to fA=1 (positive context).
+  NodeId D = M.compile(seq(filter(pTest(fA(), 1)), filter(pTest(fA(), 1))));
+  EXPECT_EQ(D, M.fromPred(pTest(fA(), 1)));
+  // fA=1; fA=2 is drop (contradiction).
+  NodeId D2 = M.compile(seq(filter(pTest(fA(), 1)), filter(pTest(fA(), 2))));
+  EXPECT_EQ(D2, M.dropLeaf());
+  // not(fA=1); fA=1 is drop (negative context).
+  NodeId D3 =
+      M.compile(seq(filter(pNot(pTest(fA(), 1))), filter(pTest(fA(), 1))));
+  EXPECT_EQ(D3, M.dropLeaf());
+}
+
+TEST(Fdd, StarConverges) {
+  FddManager M;
+  PolicyRef Bump = unite(seq(filter(pTest(fA(), 0)), mod(fA(), 1)),
+                         seq(filter(pTest(fA(), 1)), mod(fA(), 2)));
+  NodeId D = M.starFdd(M.compile(Bump));
+  ActionSet Acts = M.evaluate(D, pktAB(0, 0));
+  // id, fA:=1, fA:=2.
+  EXPECT_EQ(Acts.size(), 3u);
+}
+
+TEST(Fdd, StarOfDropIsId) {
+  FddManager M;
+  EXPECT_EQ(M.starFdd(M.dropLeaf()), M.idLeaf());
+  EXPECT_EQ(M.starFdd(M.idLeaf()), M.idLeaf());
+}
+
+TEST(Fdd, RestrictEqRemovesTests) {
+  FddManager M;
+  NodeId D = M.compile(seq(filter(pSw(3)), modPt(1)));
+  NodeId At3 = M.restrictEq(D, FieldSw, 3);
+  NodeId At4 = M.restrictEq(D, FieldSw, 4);
+  EXPECT_EQ(At4, M.dropLeaf());
+  Packet P = makePacket({3, 2}, {});
+  EXPECT_EQ(M.evaluate(At3, P).size(), 1u);
+}
+
+TEST(Fdd, RestrictNeqRemovesExactTest) {
+  FddManager M;
+  NodeId D = M.fromPred(pTest(fA(), 1));
+  EXPECT_EQ(M.restrictNeq(D, fA(), 1), M.dropLeaf());
+  EXPECT_EQ(M.restrictNeq(D, fA(), 2), D);
+}
+
+TEST(Fdd, CompileLinkIsLocatedTeleport) {
+  FddManager M;
+  NodeId D = M.compile(link({1, 1}, {4, 2}));
+  Packet AtSrc = makePacket({1, 1}, {});
+  ActionSet Acts = M.evaluate(D, AtSrc);
+  ASSERT_EQ(Acts.size(), 1u);
+  Packet Out = flowtable::applyActionSeq(*Acts.begin(), AtSrc);
+  EXPECT_EQ(Out.loc(), (Location{4, 2}));
+  EXPECT_TRUE(M.evaluate(D, makePacket({1, 2}, {})).empty());
+}

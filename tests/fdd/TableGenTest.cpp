@@ -1,0 +1,102 @@
+//===- tests/fdd/TableGenTest.cpp - Table extraction unit tests -----------===//
+
+#include "fdd/Fdd.h"
+
+#include "netkat/Eval.h"
+#include "netkat/PathSplit.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::fdd;
+using namespace eventnet::netkat;
+
+namespace {
+FieldId fDst() { return fieldOf("tbl_dst"); }
+} // namespace
+
+TEST(TableGen, DropPolicyYieldsDropTable) {
+  FddManager M;
+  flowtable::Table T = M.toTable(M.dropLeaf());
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.rules()[0].Actions.empty());
+  EXPECT_TRUE(T.rules()[0].Pattern.isWildcard());
+}
+
+TEST(TableGen, HiRulesShadowLoRules) {
+  FddManager M;
+  // if dst=4 then drop else forward to pt 1.
+  PolicyRef P = unite(seq(filter(pTest(fDst(), 4)), drop()),
+                      seq(filter(pNot(pTest(fDst(), 4))), modPt(1)));
+  flowtable::Table T = M.toTable(M.compile(P));
+  // First rule must be the specific dst=4 drop; later the wildcard fwd.
+  const flowtable::Rule *R =
+      T.lookup(makePacket({1, 2}, {{fDst(), 4}}));
+  ASSERT_NE(R, nullptr);
+  EXPECT_TRUE(R->Actions.empty());
+  R = T.lookup(makePacket({1, 2}, {{fDst(), 5}}));
+  ASSERT_NE(R, nullptr);
+  EXPECT_FALSE(R->Actions.empty());
+}
+
+TEST(TableGen, PrioritiesStrictlyDescending) {
+  FddManager M;
+  PolicyRef P = unite(seq(filter(pTest(fDst(), 1)), modPt(1)),
+                      seq(filter(pTest(fDst(), 2)), modPt(2)));
+  flowtable::Table T = M.toTable(M.compile(P));
+  for (size_t I = 1; I < T.rules().size(); ++I)
+    EXPECT_GT(T.rules()[I - 1].Priority, T.rules()[I].Priority);
+}
+
+TEST(TableGen, SwitchTableSpecializes) {
+  FddManager M;
+  // Firewall outbound hop at switch 1 from the path splitter.
+  PolicyRef Global = seqAll({filter(pAnd(pPt(2), pTest(fDst(), 4))),
+                             modPt(1), link({1, 1}, {4, 1}), modPt(2)});
+  PathSplitResult R = splitAtLinks(Global);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  NodeId Local = M.compile(R.Local);
+
+  flowtable::Table T1 = M.toSwitchTable(Local, 1);
+  flowtable::Table T4 = M.toSwitchTable(Local, 4);
+  flowtable::Table T9 = M.toSwitchTable(Local, 9);
+
+  // Switch 1 forwards dst=4 packets from port 2 out port 1.
+  Packet P = makePacket({1, 2}, {{fDst(), 4}});
+  auto Out = T1.apply(P);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].pt(), 1u);
+
+  // Switch 4 receives at port 1 and egresses at port 2.
+  Packet Q = makePacket({4, 1}, {{fDst(), 4}});
+  Out = T4.apply(Q);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].pt(), 2u);
+
+  // An uninvolved switch drops everything.
+  EXPECT_TRUE(T9.apply(makePacket({9, 1}, {{fDst(), 4}})).empty());
+}
+
+TEST(TableGen, NoSwMatchesInSwitchTables) {
+  FddManager M;
+  PolicyRef Global = seqAll({filter(pPt(2)), modPt(1),
+                             link({1, 1}, {4, 1}), modPt(2)});
+  PathSplitResult R = splitAtLinks(Global);
+  ASSERT_TRUE(R.Ok);
+  flowtable::Table T = M.toSwitchTable(M.compile(R.Local), 1);
+  for (const flowtable::Rule &Rule : T.rules())
+    for (const auto &[F, V] : Rule.Pattern.constraints())
+      EXPECT_NE(F, FieldSw);
+}
+
+TEST(TableGen, TotalityEveryPacketHitsSomeRuleOrMissDrops) {
+  FddManager M;
+  PolicyRef P = seq(filter(pTest(fDst(), 4)), modPt(1));
+  flowtable::Table T = M.toTable(M.compile(P));
+  // Diagram paths cover the whole packet space: dst=4 forwards,
+  // everything else hits an explicit or implicit drop.
+  Packet Hit = makePacket({1, 2}, {{fDst(), 4}});
+  Packet Miss = makePacket({1, 2}, {{fDst(), 5}});
+  EXPECT_EQ(T.apply(Hit).size(), 1u);
+  EXPECT_TRUE(T.apply(Miss).empty());
+}

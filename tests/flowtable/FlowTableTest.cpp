@@ -1,0 +1,164 @@
+//===- tests/flowtable/FlowTableTest.cpp - Flow table unit tests ----------===//
+
+#include "flowtable/FlowTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::flowtable;
+using eventnet::netkat::Packet;
+using eventnet::netkat::makePacket;
+
+namespace {
+FieldId fDst() { return fieldOf("ip_dst"); }
+} // namespace
+
+TEST(Match, WildcardMatchesEverything) {
+  Match M;
+  EXPECT_TRUE(M.isWildcard());
+  EXPECT_TRUE(M.matches(makePacket({1, 1}, {})));
+  EXPECT_EQ(M.str(), "*");
+}
+
+TEST(Match, ExactConstraints) {
+  Match M;
+  M.require(fDst(), 4);
+  M.require(FieldPt, 2);
+  EXPECT_TRUE(M.matches(makePacket({1, 2}, {{fDst(), 4}})));
+  EXPECT_FALSE(M.matches(makePacket({1, 3}, {{fDst(), 4}})));
+  EXPECT_FALSE(M.matches(makePacket({1, 2}, {{fDst(), 5}})));
+  // Missing field never matches.
+  EXPECT_FALSE(M.matches(makePacket({1, 2}, {})));
+}
+
+TEST(Match, RequireOverwrites) {
+  Match M;
+  M.require(fDst(), 4);
+  M.require(fDst(), 5);
+  EXPECT_EQ(M.constraints().size(), 1u);
+  EXPECT_EQ(M.constraints()[0].second, 5);
+}
+
+TEST(Match, Subsumption) {
+  Match General;
+  General.require(fDst(), 4);
+  Match Specific = General;
+  Specific.require(FieldPt, 2);
+  EXPECT_TRUE(General.subsumes(Specific));
+  EXPECT_FALSE(Specific.subsumes(General));
+  EXPECT_TRUE(General.subsumes(General));
+  EXPECT_TRUE(Match().subsumes(General));
+}
+
+TEST(Match, Overlap) {
+  Match A, B, C;
+  A.require(fDst(), 4);
+  B.require(FieldPt, 2);
+  C.require(fDst(), 5);
+  EXPECT_TRUE(A.overlaps(B));
+  EXPECT_FALSE(A.overlaps(C));
+  EXPECT_TRUE(A.overlaps(Match()));
+}
+
+TEST(Actions, NormalizeCollapsesLastWrite) {
+  ActionSeq A = normalizeActionSeq({{fDst(), 1}, {FieldPt, 2}, {fDst(), 3}});
+  ASSERT_EQ(A.size(), 2u);
+  // Sorted by field: pt (1) before ip_dst.
+  EXPECT_EQ(A[0].first, FieldPt);
+  EXPECT_EQ(A[1].second, 3);
+}
+
+TEST(Actions, ApplyWritesFields) {
+  Packet P = makePacket({1, 2}, {{fDst(), 4}});
+  Packet Q = applyActionSeq(normalizeActionSeq({{FieldPt, 9}}), P);
+  EXPECT_EQ(Q.pt(), 9u);
+  EXPECT_EQ(Q.get(fDst()), 4);
+}
+
+TEST(Table, FirstMatchWins) {
+  Table T;
+  Rule Hi;
+  Hi.Priority = 10;
+  Hi.Pattern.require(fDst(), 4);
+  Hi.Actions = {normalizeActionSeq({{FieldPt, 1}})};
+  Rule Lo;
+  Lo.Priority = 1;
+  Lo.Actions = {normalizeActionSeq({{FieldPt, 3}})};
+  T.add(Lo);
+  T.add(Hi);
+
+  Packet P = makePacket({1, 2}, {{fDst(), 4}});
+  auto Out = T.apply(P);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].pt(), 1u);
+
+  Packet Q = makePacket({1, 2}, {{fDst(), 5}});
+  Out = T.apply(Q);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].pt(), 3u);
+}
+
+TEST(Table, MissDrops) {
+  Table T;
+  Rule R;
+  R.Priority = 5;
+  R.Pattern.require(fDst(), 4);
+  R.Actions = {ActionSeq{}};
+  T.add(R);
+  EXPECT_TRUE(T.apply(makePacket({1, 1}, {{fDst(), 9}})).empty());
+  EXPECT_EQ(T.lookup(makePacket({1, 1}, {{fDst(), 9}})), nullptr);
+}
+
+TEST(Table, ExplicitDropRule) {
+  Table T;
+  Rule DropR;
+  DropR.Priority = 10;
+  DropR.Pattern.require(fDst(), 4);
+  Rule Fwd;
+  Fwd.Priority = 1;
+  Fwd.Actions = {normalizeActionSeq({{FieldPt, 1}})};
+  T.add(DropR);
+  T.add(Fwd);
+  EXPECT_TRUE(T.apply(makePacket({1, 2}, {{fDst(), 4}})).empty());
+  EXPECT_EQ(T.apply(makePacket({1, 2}, {{fDst(), 5}})).size(), 1u);
+}
+
+TEST(Table, MulticastActions) {
+  Table T;
+  Rule R;
+  R.Priority = 1;
+  R.Actions = {normalizeActionSeq({{FieldPt, 1}}),
+               normalizeActionSeq({{FieldPt, 3}})};
+  T.add(R);
+  auto Out = T.apply(makePacket({1, 2}, {}));
+  EXPECT_EQ(Out.size(), 2u);
+}
+
+TEST(Table, StablePriorityOrder) {
+  Table T;
+  Rule A, B;
+  A.Priority = B.Priority = 5;
+  A.Pattern.require(fDst(), 4);
+  A.Actions = {normalizeActionSeq({{FieldPt, 1}})};
+  B.Actions = {normalizeActionSeq({{FieldPt, 2}})};
+  T.add(A);
+  T.add(B); // equal priority: insertion order preserved
+  auto Out = T.apply(makePacket({1, 2}, {{fDst(), 4}}));
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].pt(), 1u);
+}
+
+TEST(Table, RemoveShadowed) {
+  Table T;
+  Rule General;
+  General.Priority = 10;
+  General.Actions = {ActionSeq{}};
+  Rule Specific;
+  Specific.Priority = 5;
+  Specific.Pattern.require(fDst(), 4);
+  Specific.Actions = {normalizeActionSeq({{FieldPt, 1}})};
+  T.add(General);
+  T.add(Specific);
+  EXPECT_EQ(T.removeShadowed(), 1u);
+  EXPECT_EQ(T.size(), 1u);
+}

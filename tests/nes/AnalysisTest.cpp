@@ -1,0 +1,86 @@
+//===- tests/nes/AnalysisTest.cpp - NES reachability analysis tests -------===//
+
+#include "nes/Analysis.h"
+
+#include "apps/Programs.h"
+#include "nes/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::nes;
+
+namespace {
+
+std::map<FieldId, std::vector<Value>> dstTemplate() {
+  return {{apps::ipDstField(), {1, 2, 3, 4}}};
+}
+
+CompiledProgram compileApp(const apps::App &A) {
+  CompiledProgram C = A.Source.empty() ? compileAst(A.Ast, A.Topo)
+                                       : compileSource(A.Source, A.Topo);
+  EXPECT_TRUE(C.Ok) << A.Name << ": " << C.Error;
+  return C;
+}
+
+} // namespace
+
+TEST(Analysis, FirewallInvariants) {
+  apps::App A = apps::firewallApp();
+  CompiledProgram C = compileApp(A);
+  ReachabilityAnalysis R(*C.N, A.Topo, dstTemplate());
+
+  // Outgoing traffic always works; incoming only after the event.
+  EXPECT_TRUE(R.alwaysReaches(topo::HostH1, topo::HostH4));
+  EXPECT_FALSE(R.canReach(C.N->emptySet(), topo::HostH4, topo::HostH1));
+  EXPECT_FALSE(R.neverReaches(topo::HostH4, topo::HostH1));
+  EXPECT_EQ(R.reachableSets(topo::HostH4, topo::HostH1).size(), 1u);
+}
+
+TEST(Analysis, AuthenticationStagesAreExclusive) {
+  apps::App A = apps::authenticationApp();
+  CompiledProgram C = compileApp(A);
+  ReachabilityAnalysis R(*C.N, A.Topo, dstTemplate());
+
+  // Exactly one knock target reachable per stage.
+  EXPECT_TRUE(R.canReach(0, topo::HostH4, topo::HostH1));
+  EXPECT_FALSE(R.canReach(0, topo::HostH4, topo::HostH2));
+  EXPECT_FALSE(R.canReach(0, topo::HostH4, topo::HostH3));
+  // H3 is reachable only in the final event-set.
+  auto Sets = R.reachableSets(topo::HostH4, topo::HostH3);
+  ASSERT_EQ(Sets.size(), 1u);
+  EXPECT_EQ(C.N->setBits(Sets[0]).count(), 2u);
+}
+
+TEST(Analysis, IdsCutsOffH3Eventually) {
+  apps::App A = apps::idsApp();
+  CompiledProgram C = compileApp(A);
+  ReachabilityAnalysis R(*C.N, A.Topo, dstTemplate());
+
+  // H3 reachable in every event-set except the final one.
+  auto Sets = R.reachableSets(topo::HostH4, topo::HostH3);
+  EXPECT_EQ(Sets.size(), C.N->numSets() - 1);
+  // Internal hosts can always answer H4.
+  EXPECT_TRUE(R.alwaysReaches(topo::HostH1, topo::HostH4));
+}
+
+TEST(Analysis, BandwidthCapMonotone) {
+  apps::App A = apps::bandwidthCapApp(4);
+  CompiledProgram C = compileApp(A);
+  ReachabilityAnalysis R(*C.N, A.Topo, dstTemplate());
+
+  EXPECT_TRUE(R.alwaysReaches(topo::HostH1, topo::HostH4));
+  // Incoming reachable in all but the final (cap) event-set.
+  auto Sets = R.reachableSets(topo::HostH4, topo::HostH1);
+  EXPECT_EQ(Sets.size(), C.N->numSets() - 1);
+}
+
+TEST(Analysis, StrDumpMentionsEverySet) {
+  apps::App A = apps::firewallApp();
+  CompiledProgram C = compileApp(A);
+  ReachabilityAnalysis R(*C.N, A.Topo, dstTemplate());
+  std::string S = R.str();
+  EXPECT_NE(S.find("E0"), std::string::npos);
+  EXPECT_NE(S.find("E1"), std::string::npos);
+  EXPECT_NE(S.find("H1->H4"), std::string::npos);
+}

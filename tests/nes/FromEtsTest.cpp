@@ -1,0 +1,160 @@
+//===- tests/nes/FromEtsTest.cpp - ETS to NES conversion tests ------------===//
+
+#include "nes/FromEts.h"
+
+#include "apps/Programs.h"
+#include "ets/Ets.h"
+#include "stateful/Parser.h"
+#include "topo/Builders.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::nes;
+using eventnet::ets::Edge;
+using eventnet::ets::Ets;
+using eventnet::stateful::LitConj;
+using eventnet::stateful::StateVec;
+
+namespace {
+
+stateful::SPolRef parse(const std::string &Src) {
+  auto R = stateful::parseProgram(Src);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.Program;
+}
+
+/// Hand-builds an ETS with trivial configurations. \p Edges are (from,
+/// to, switch) triples; guards are distinct per switch/port so events
+/// stay distinguishable.
+Ets makeEts(unsigned NumVerts,
+            std::vector<std::tuple<unsigned, unsigned, SwitchId, PortId>>
+                EdgeSpecs,
+            std::vector<int> ConfigClass = {}) {
+  Ets T;
+  T.Verts.resize(NumVerts);
+  for (unsigned I = 0; I != NumVerts; ++I) {
+    T.Verts[I].K = {static_cast<Value>(
+        ConfigClass.empty() ? I : ConfigClass[I])};
+    // Distinguish configurations via a dummy table keyed by the class.
+    flowtable::Table Tab;
+    flowtable::Rule R;
+    R.Priority = static_cast<int>(
+        ConfigClass.empty() ? I + 1 : ConfigClass[I] + 1);
+    Tab.add(R);
+    T.Verts[I].Config.setTable(1, Tab);
+  }
+  for (auto [From, To, Sw, Pt] : EdgeSpecs) {
+    Edge E;
+    E.From = From;
+    E.To = To;
+    E.Loc = {Sw, Pt};
+    T.EdgeList.push_back(E);
+  }
+  return T;
+}
+
+} // namespace
+
+TEST(FromEts, FirewallOneEventTwoSets) {
+  auto Built = ets::buildEts(parse(apps::firewallSource()),
+                             topo::firewallTopology());
+  ASSERT_TRUE(Built.Ok) << Built.Error;
+  ConvertResult R = fromEts(Built.T);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.N->numEvents(), 1u);
+  EXPECT_EQ(R.N->numSets(), 2u);
+  EXPECT_TRUE(R.N->isLocallyDetermined());
+  EXPECT_EQ(R.N->event(0).Loc, (Location{4, 1}));
+}
+
+TEST(FromEts, BandwidthCapRenamesEvents) {
+  auto Built = ets::buildEts(parse(apps::bandwidthCapSource(10)),
+                             topo::firewallTopology());
+  ASSERT_TRUE(Built.Ok) << Built.Error;
+  ConvertResult R = fromEts(Built.T);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // Eleven renamed copies of the same phenomenon, twelve event-sets.
+  EXPECT_EQ(R.N->numEvents(), 11u);
+  EXPECT_EQ(R.N->numSets(), 12u);
+  // Renaming indices are the paper's subscripts.
+  EXPECT_EQ(R.N->event(0).Eid, 0u);
+  EXPECT_EQ(R.N->event(10).Eid, 10u);
+  // The chain is causal: e5 is not enabled from scratch.
+  EXPECT_FALSE(R.N->enables(DenseBitSet(), 5));
+  EXPECT_TRUE(R.N->isLocallyDetermined());
+}
+
+TEST(FromEts, DiamondSharedLabelIsOneEvent) {
+  // Figure 3(a): v0 -e1-> v1 -e2-> v3 and v0 -e2-> v2 -e1-> v3. The two
+  // e1 edges are the same event (same guard/loc, first occurrence).
+  Ets T = makeEts(4,
+                  {{0, 1, 1, 1}, {1, 3, 2, 1}, {0, 2, 2, 1}, {2, 3, 1, 1}},
+                  /*ConfigClass=*/{0, 1, 2, 3});
+  ConvertResult R = fromEts(T);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.N->numEvents(), 2u);
+  EXPECT_EQ(R.N->numSets(), 4u);
+}
+
+TEST(FromEts, ConflictKeepsBranchesApart) {
+  // Figure 3(b): v0 -e1-> v1, v0 -e2-> v2, nothing joins them.
+  Ets T = makeEts(3, {{0, 1, 7, 1}, {0, 2, 7, 2}});
+  ConvertResult R = fromEts(T);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.N->numSets(), 3u);
+  DenseBitSet Both;
+  Both.set(0);
+  Both.set(1);
+  EXPECT_FALSE(R.N->con(Both));
+}
+
+TEST(FromEts, Figure3cViolatesFiniteCompleteness) {
+  // Figure 3(c): v0 -e1-> v1 -e4-> v2 -e3-> v3 and v0 -e3-> v4,
+  // v0 -e1-> ... The family contains {e1} and {e3} and an upper bound
+  // {e1,e4,e3} but not {e1,e3}.
+  Ets T = makeEts(5, {{0, 1, 1, 1},   // e1
+                      {1, 2, 2, 1},   // e4
+                      {2, 3, 3, 1},   // e3
+                      {0, 4, 3, 1}}); // e3 (same label as edge 2->3)
+  ConvertResult R = fromEts(T);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("finite-complete"), std::string::npos);
+}
+
+TEST(FromEts, UniqueConfigurationViolationDetected) {
+  // Diamond whose two e1/e2 orders end in vertices with *different*
+  // configurations: same event-set, conflicting g.
+  Ets T = makeEts(5,
+                  {{0, 1, 1, 1},  // e1
+                   {1, 3, 2, 1},  // e2
+                   {0, 2, 2, 1},  // e2
+                   {2, 4, 1, 1}}, // e1 -> different final vertex
+                  /*ConfigClass=*/{0, 1, 2, 3, 4});
+  ConvertResult R = fromEts(T);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("two different configurations"), std::string::npos);
+}
+
+TEST(FromEts, UniqueConfigurationAllowsEqualConfigs) {
+  // Same diamond, but the two final vertices carry equal configurations.
+  Ets T = makeEts(5,
+                  {{0, 1, 1, 1},
+                   {1, 3, 2, 1},
+                   {0, 2, 2, 1},
+                   {2, 4, 1, 1}},
+                  /*ConfigClass=*/{0, 1, 2, 3, 3});
+  ConvertResult R = fromEts(T);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.N->numSets(), 4u);
+}
+
+TEST(FromEts, PipelineLocalityRejection) {
+  // Program P1 (Section 2): packets from H1 race to s2 and s4; only the
+  // first receiver may respond. The two events conflict across switches.
+  // ETS: v0 -e1-> v1, v0 -e2-> v2 with e1@2:1, e2@4:1.
+  Ets T = makeEts(3, {{0, 1, 2, 1}, {0, 2, 4, 1}});
+  ConvertResult R = fromEts(T);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(R.N->isLocallyDetermined());
+}

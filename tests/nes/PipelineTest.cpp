@@ -1,0 +1,105 @@
+//===- tests/nes/PipelineTest.cpp - End-to-end compiler tests -------------===//
+
+#include "nes/Pipeline.h"
+
+#include "apps/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::nes;
+
+TEST(Pipeline, FirewallCompiles) {
+  CompiledProgram C =
+      compileSource(apps::firewallSource(), topo::firewallTopology());
+  ASSERT_TRUE(C.Ok) << C.Error;
+  EXPECT_EQ(C.N->numEvents(), 1u);
+  EXPECT_EQ(C.N->numSets(), 2u);
+  EXPECT_GT(C.CompileSeconds, 0);
+  EXPECT_EQ(C.Bindings.at("H4"), 4);
+}
+
+TEST(Pipeline, AllCaseStudiesCompile) {
+  struct Expect {
+    unsigned Events, Sets;
+  };
+  std::vector<apps::App> Apps = apps::caseStudyApps();
+  std::vector<Expect> Want = {
+      {1, 2},   // firewall
+      {1, 2},   // learning switch
+      {2, 3},   // authentication
+      {11, 12}, // bandwidth cap (n = 10)
+      {2, 3},   // ids
+  };
+  ASSERT_EQ(Apps.size(), Want.size());
+  for (size_t I = 0; I != Apps.size(); ++I) {
+    CompiledProgram C = compileSource(Apps[I].Source, Apps[I].Topo);
+    ASSERT_TRUE(C.Ok) << Apps[I].Name << ": " << C.Error;
+    EXPECT_EQ(C.N->numEvents(), Want[I].Events) << Apps[I].Name;
+    EXPECT_EQ(C.N->numSets(), Want[I].Sets) << Apps[I].Name;
+    EXPECT_TRUE(C.N->isLocallyDetermined()) << Apps[I].Name;
+    EXPECT_GT(C.Ets.vertices()[0].Config.totalRules(), 0u) << Apps[I].Name;
+  }
+}
+
+TEST(Pipeline, RingCompilesAcrossDiameters) {
+  for (unsigned D = 1; D <= 4; ++D) {
+    apps::App A = apps::ringApp(2 * D >= 3 ? 2 * D : 3, D);
+    CompiledProgram C = compileAst(A.Ast, A.Topo);
+    ASSERT_TRUE(C.Ok) << "diameter " << D << ": " << C.Error;
+    EXPECT_EQ(C.N->numEvents(), 1u);
+    EXPECT_EQ(C.N->numSets(), 2u);
+  }
+}
+
+TEST(Pipeline, ParseErrorSurfaces) {
+  CompiledProgram C = compileSource("pt=@", topo::firewallTopology());
+  EXPECT_FALSE(C.Ok);
+  EXPECT_NE(C.Error.find("parse error"), std::string::npos);
+}
+
+TEST(Pipeline, SameSwitchConflictIsLocal) {
+  // Program P2's shape (Section 2): two conflicting events, both
+  // *detected at the same switch* (both links end at s4), so the program
+  // is locally determined and compiles.
+  std::string Src = R"(
+let H2 = 2;
+let H4 = 4;
+state=[0] and pt=2 and ip_dst=H2; pt<-1; (1:1)->(4:1)<state<-[1]>; pt<-2
++ state=[0] and pt=2 and ip_dst=H4; pt<-3; (2:1)->(4:3)<state<-[2]>; pt<-2
+)";
+  topo::Topology T;
+  T.addBiLink({1, 1}, {4, 1});
+  T.addBiLink({2, 1}, {4, 3});
+  T.attachHost(1, {1, 2});
+  T.attachHost(2, {2, 2});
+  T.attachHost(4, {4, 2});
+
+  CompiledProgram C = compileSource(Src, T, /*RequireLocal=*/true);
+  ASSERT_TRUE(C.Ok) << C.Error;
+  EXPECT_EQ(C.N->numEvents(), 2u);
+  EXPECT_FALSE(C.N->minimallyInconsistentSets().empty());
+  EXPECT_TRUE(C.N->isLocallyDetermined());
+}
+
+TEST(Pipeline, GenuinelyNonLocalProgramRejected) {
+  // Events detected at switches 2 and 3 respectively, conflicting.
+  std::string Src = R"(
+state=[0]; pt=2; pt<-1; (1:1)->(2:1)<state<-[1]>; pt<-2
++ state=[0]; pt=3; pt<-4; (1:4)->(3:1)<state<-[2]>; pt<-2
+)";
+  topo::Topology T;
+  T.addBiLink({1, 1}, {2, 1});
+  T.addBiLink({1, 4}, {3, 1});
+  T.attachHost(1, {1, 2});
+  T.attachHost(2, {2, 2});
+  T.attachHost(3, {3, 2});
+
+  CompiledProgram Strict = compileSource(Src, T, /*RequireLocal=*/true);
+  EXPECT_FALSE(Strict.Ok);
+  EXPECT_NE(Strict.Error.find("locally determined"), std::string::npos);
+
+  CompiledProgram Lax = compileSource(Src, T, /*RequireLocal=*/false);
+  ASSERT_TRUE(Lax.Ok) << Lax.Error;
+  EXPECT_FALSE(Lax.N->isLocallyDetermined());
+}

@@ -1,0 +1,95 @@
+//===- tests/netkat/AstTest.cpp - Smart constructor unit tests ------------===//
+
+#include "netkat/Ast.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::netkat;
+
+namespace {
+FieldId fA() { return fieldOf("ast_a"); }
+} // namespace
+
+TEST(PredCtors, ConstantsAreShared) {
+  EXPECT_EQ(pTrue().get(), pTrue().get());
+  EXPECT_EQ(pFalse().get(), pFalse().get());
+}
+
+TEST(PredCtors, AndAbsorption) {
+  PredRef T = pTest(fA(), 1);
+  EXPECT_TRUE(isTriviallyFalse(pAnd(T, pFalse())));
+  EXPECT_TRUE(isTriviallyFalse(pAnd(pFalse(), T)));
+  EXPECT_EQ(pAnd(pTrue(), T).get(), T.get());
+  EXPECT_EQ(pAnd(T, pTrue()).get(), T.get());
+}
+
+TEST(PredCtors, OrAbsorption) {
+  PredRef T = pTest(fA(), 1);
+  EXPECT_TRUE(isTriviallyTrue(pOr(T, pTrue())));
+  EXPECT_EQ(pOr(pFalse(), T).get(), T.get());
+}
+
+TEST(PredCtors, NotSimplifications) {
+  EXPECT_TRUE(isTriviallyFalse(pNot(pTrue())));
+  EXPECT_TRUE(isTriviallyTrue(pNot(pFalse())));
+  PredRef T = pTest(fA(), 1);
+  // Double negation cancels.
+  EXPECT_EQ(pNot(pNot(T)).get(), T.get());
+}
+
+TEST(PredCtors, AndAllEmptyIsTrue) {
+  EXPECT_TRUE(isTriviallyTrue(pAndAll({})));
+}
+
+TEST(PolicyCtors, SeqAbsorption) {
+  PolicyRef M = mod(fA(), 1);
+  EXPECT_TRUE(isDrop(seq(drop(), M)));
+  EXPECT_TRUE(isDrop(seq(M, drop())));
+  EXPECT_EQ(seq(skip(), M).get(), M.get());
+  EXPECT_EQ(seq(M, skip()).get(), M.get());
+}
+
+TEST(PolicyCtors, UnionDropIdentity) {
+  PolicyRef M = mod(fA(), 1);
+  EXPECT_EQ(unite(drop(), M).get(), M.get());
+  EXPECT_EQ(unite(M, drop()).get(), M.get());
+}
+
+TEST(PolicyCtors, StarOfTrivial) {
+  EXPECT_TRUE(isSkip(star(drop())));
+  EXPECT_TRUE(isSkip(star(skip())));
+}
+
+TEST(PolicyCtors, UniteAllEmptyIsDrop) {
+  EXPECT_TRUE(isDrop(uniteAll({})));
+  EXPECT_TRUE(isSkip(seqAll({})));
+}
+
+TEST(PolicyQueries, ContainsLink) {
+  PolicyRef L = link({1, 1}, {2, 1});
+  EXPECT_TRUE(containsLink(L));
+  EXPECT_TRUE(containsLink(seq(mod(fA(), 1), L)));
+  EXPECT_FALSE(containsLink(seq(mod(fA(), 1), filter(pTest(fA(), 2)))));
+  EXPECT_TRUE(containsLink(star(L)));
+}
+
+TEST(PolicyQueries, ModifiesSwitch) {
+  EXPECT_TRUE(modifiesSwitch(mod(FieldSw, 3)));
+  EXPECT_FALSE(modifiesSwitch(mod(FieldPt, 3)));
+  EXPECT_TRUE(modifiesSwitch(unite(skip(), mod(FieldSw, 1))));
+}
+
+TEST(PolicyQueries, PolicySizeCountsNodes) {
+  PolicyRef P = seq(filter(pTest(fA(), 1)), mod(fA(), 2));
+  EXPECT_EQ(policySize(P), 3u);
+}
+
+TEST(Printing, RoundTripMentionsStructure) {
+  PolicyRef P = unite(seq(filter(pTest(fA(), 1)), modPt(2)),
+                      link({1, 1}, {4, 1}));
+  std::string S = P->str();
+  EXPECT_NE(S.find("ast_a=1"), std::string::npos);
+  EXPECT_NE(S.find("pt:=2"), std::string::npos);
+  EXPECT_NE(S.find("(1:1)->(4:1)"), std::string::npos);
+}

@@ -1,0 +1,121 @@
+//===- tests/netkat/EquivTest.cpp - Equivalence decision procedure --------===//
+//
+// The KAT axioms the paper's Section 3.2 relies on ("preserves the
+// existing equational theory of the individual static configurations"),
+// decided by canonical FDDs, plus randomized soundness against the
+// denotational evaluator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fdd/Equiv.h"
+
+#include "netkat/Eval.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::netkat;
+
+namespace {
+FieldId fA() { return fieldOf("eq_a"); }
+FieldId fB() { return fieldOf("eq_b"); }
+} // namespace
+
+TEST(Equiv, KatAxioms) {
+  PolicyRef P = seq(filter(pTest(fA(), 1)), mod(fB(), 2));
+  PolicyRef Q = mod(fA(), 3);
+  PolicyRef R = filter(pTest(fB(), 2));
+
+  // + is ACI with identity drop.
+  EXPECT_TRUE(equivalent(unite(P, Q), unite(Q, P)));
+  EXPECT_TRUE(equivalent(unite(P, unite(Q, R)), unite(unite(P, Q), R)));
+  EXPECT_TRUE(equivalent(unite(P, P), P));
+  EXPECT_TRUE(equivalent(unite(P, drop()), P));
+  // ; is associative with identity skip and annihilator drop.
+  EXPECT_TRUE(equivalent(seq(P, seq(Q, R)), seq(seq(P, Q), R)));
+  EXPECT_TRUE(equivalent(seq(P, skip()), P));
+  EXPECT_TRUE(equivalent(seq(skip(), P), P));
+  EXPECT_TRUE(equivalent(seq(P, drop()), drop()));
+  // Distributivity.
+  EXPECT_TRUE(equivalent(seq(P, unite(Q, R)),
+                         unite(seq(P, Q), seq(P, R))));
+  EXPECT_TRUE(equivalent(seq(unite(P, Q), R),
+                         unite(seq(P, R), seq(Q, R))));
+  // Star unrolling: p* = 1 + p;p*.
+  EXPECT_TRUE(equivalent(star(P), unite(skip(), seq(P, star(P)))));
+}
+
+TEST(Equiv, PacketAlgebraAxioms) {
+  // f<-n; f=n ≡ f<-n   and   f=n; f<-n ≡ f=n.
+  EXPECT_TRUE(equivalent(seq(mod(fA(), 1), filter(pTest(fA(), 1))),
+                         mod(fA(), 1)));
+  EXPECT_TRUE(equivalent(seq(filter(pTest(fA(), 1)), mod(fA(), 1)),
+                         filter(pTest(fA(), 1))));
+  // f<-n; f<-m ≡ f<-m.
+  EXPECT_TRUE(equivalent(seq(mod(fA(), 1), mod(fA(), 2)), mod(fA(), 2)));
+  // Writes to distinct fields commute.
+  EXPECT_TRUE(equivalent(seq(mod(fA(), 1), mod(fB(), 2)),
+                         seq(mod(fB(), 2), mod(fA(), 1))));
+  // f=n; f=m ≡ drop for n != m.
+  EXPECT_TRUE(equivalent(seq(filter(pTest(fA(), 1)), filter(pTest(fA(), 2))),
+                         drop()));
+}
+
+TEST(Equiv, PredicateEquivalence) {
+  // De Morgan.
+  PredRef A = pTest(fA(), 1), B = pTest(fB(), 2);
+  EXPECT_TRUE(equivalentPred(pNot(pAnd(A, B)), pOr(pNot(A), pNot(B))));
+  EXPECT_TRUE(equivalentPred(pNot(pOr(A, B)), pAnd(pNot(A), pNot(B))));
+  // Excluded middle collapses to true.
+  EXPECT_TRUE(equivalentPred(pOr(A, pNot(A)), pTrue()));
+  EXPECT_FALSE(equivalentPred(A, B));
+}
+
+TEST(Equiv, OrderingAndEmptiness) {
+  PolicyRef Narrow = seq(filter(pTest(fA(), 1)), modPt(1));
+  PolicyRef Wide = modPt(1);
+  EXPECT_TRUE(lessOrEqual(Narrow, Wide));
+  EXPECT_FALSE(lessOrEqual(Wide, Narrow));
+  EXPECT_TRUE(lessOrEqual(drop(), Narrow));
+  EXPECT_TRUE(isEmpty(seq(filter(pTest(fA(), 1)), filter(pTest(fA(), 2)))));
+  EXPECT_FALSE(isEmpty(Narrow));
+}
+
+TEST(Equiv, LinkAwareEquivalence) {
+  // A link equals its located-transfer expansion.
+  PolicyRef L = link({1, 1}, {4, 2});
+  PolicyRef Expanded = seqAll({filter(pAt({1, 1})), mod(FieldSw, 4),
+                               mod(FieldPt, 2)});
+  EXPECT_TRUE(equivalent(L, Expanded));
+}
+
+class EquivProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EquivProperty, AgreesWithDenotationalSemantics) {
+  // equivalent(P, Q) implies equal outputs on sampled packets; and
+  // structurally-perturbed policies that differ on some packet are not
+  // declared equivalent.
+  Rng R(GetParam());
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    PolicyRef P = unite(seq(filter(pTest(fA(), R.range(0, 2))),
+                            mod(fB(), R.range(0, 2))),
+                        filter(pTest(fB(), R.range(0, 2))));
+    PolicyRef Q = unite(seq(filter(pTest(fA(), R.range(0, 2))),
+                            mod(fB(), R.range(0, 2))),
+                        filter(pTest(fB(), R.range(0, 2))));
+    bool Eq = equivalent(P, Q);
+    bool SameOnSamples = true;
+    for (Value A = 0; A != 3 && SameOnSamples; ++A)
+      for (Value B = 0; B != 3 && SameOnSamples; ++B) {
+        Packet Pkt = makePacket({1, 1}, {{fA(), A}, {fB(), B}});
+        SameOnSamples = evalPolicy(P, Pkt) == evalPolicy(Q, Pkt);
+      }
+    // The sample grid covers the full value alphabet these policies
+    // mention, so sampling equality coincides with equivalence.
+    EXPECT_EQ(Eq, SameOnSamples) << P->str() << "\nvs\n" << Q->str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivProperty,
+                         ::testing::Values(2, 4, 6));

@@ -1,0 +1,110 @@
+//===- tests/netkat/EvalTest.cpp - NetKAT denotational semantics tests ----===//
+
+#include "netkat/Eval.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::netkat;
+
+namespace {
+
+FieldId fDst() { return fieldOf("ip_dst"); }
+
+Packet at(SwitchId Sw, PortId Pt, Value Dst) {
+  return makePacket({Sw, Pt}, {{fDst(), Dst}});
+}
+
+} // namespace
+
+TEST(EvalPred, TestsAndConnectives) {
+  Packet P = at(1, 2, 4);
+  EXPECT_TRUE(evalPred(pTest(fDst(), 4), P));
+  EXPECT_FALSE(evalPred(pTest(fDst(), 5), P));
+  EXPECT_TRUE(evalPred(pAnd(pSw(1), pPt(2)), P));
+  EXPECT_FALSE(evalPred(pAnd(pSw(1), pPt(3)), P));
+  EXPECT_TRUE(evalPred(pOr(pSw(9), pPt(2)), P));
+  EXPECT_TRUE(evalPred(pNot(pTest(fDst(), 5)), P));
+}
+
+TEST(EvalPred, MissingFieldTestIsFalse) {
+  Packet P = makePacket({1, 1}, {});
+  EXPECT_FALSE(evalPred(pTest(fDst(), 0), P));
+  EXPECT_TRUE(evalPred(pNot(pTest(fDst(), 0)), P));
+}
+
+TEST(EvalPolicy, FilterKeepsOrDrops) {
+  Packet P = at(1, 2, 4);
+  EXPECT_EQ(evalPolicy(filter(pTest(fDst(), 4)), P), PacketSet{P});
+  EXPECT_TRUE(evalPolicy(filter(pTest(fDst(), 5)), P).empty());
+  EXPECT_TRUE(evalPolicy(drop(), P).empty());
+  EXPECT_EQ(evalPolicy(skip(), P), PacketSet{P});
+}
+
+TEST(EvalPolicy, ModWrites) {
+  Packet P = at(1, 2, 4);
+  PacketSet Out = evalPolicy(mod(fDst(), 9), P);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out.begin()->get(fDst()), 9);
+}
+
+TEST(EvalPolicy, UnionProducesBothOutputs) {
+  Packet P = at(1, 2, 4);
+  PacketSet Out = evalPolicy(unite(modPt(1), modPt(3)), P);
+  EXPECT_EQ(Out.size(), 2u);
+}
+
+TEST(EvalPolicy, SeqComposes) {
+  Packet P = at(1, 2, 4);
+  PolicyRef Pol = seq(filter(pTest(fDst(), 4)), modPt(1));
+  PacketSet Out = evalPolicy(Pol, P);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out.begin()->pt(), 1u);
+
+  // The filter gates the mod.
+  Packet Q = at(1, 2, 5);
+  EXPECT_TRUE(evalPolicy(Pol, Q).empty());
+}
+
+TEST(EvalPolicy, SeqLastWriteWins) {
+  Packet P = at(1, 2, 4);
+  PacketSet Out = evalPolicy(seq(mod(fDst(), 7), mod(fDst(), 8)), P);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out.begin()->get(fDst()), 8);
+}
+
+TEST(EvalPolicy, LinkMovesMatchingPacket) {
+  Packet P = at(1, 1, 4);
+  PolicyRef L = link({1, 1}, {4, 1});
+  PacketSet Out = evalPolicy(L, P);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out.begin()->loc(), (Location{4, 1}));
+
+  // A packet not at the link source is dropped by the link.
+  EXPECT_TRUE(evalPolicy(L, at(1, 2, 4)).empty());
+  EXPECT_TRUE(evalPolicy(L, at(2, 1, 4)).empty());
+}
+
+TEST(EvalPolicy, StarIsReflexiveTransitiveClosure) {
+  // (dst<-dst+1 capped): model with chain of filters/mods:
+  // p = (dst=0; dst<-1) + (dst=1; dst<-2)
+  PolicyRef Step = unite(seq(filter(pTest(fDst(), 0)), mod(fDst(), 1)),
+                         seq(filter(pTest(fDst(), 1)), mod(fDst(), 2)));
+  Packet P = at(1, 1, 0);
+  PacketSet Out = evalPolicy(star(Step), P);
+  // Reflexive: dst=0 stays; one step: dst=1; two steps: dst=2.
+  EXPECT_EQ(Out.size(), 3u);
+}
+
+TEST(EvalPolicy, StarOfModConverges) {
+  PacketSet Out = evalPolicy(star(mod(fDst(), 5)), at(1, 1, 0));
+  // {original, modified}.
+  EXPECT_EQ(Out.size(), 2u);
+}
+
+TEST(EvalPolicy, SetOverload) {
+  PacketSet In{at(1, 1, 0), at(1, 1, 1)};
+  PacketSet Out = evalPolicy(mod(fDst(), 9), In);
+  // Both inputs collapse to the same output packet.
+  EXPECT_EQ(Out.size(), 1u);
+}

@@ -1,0 +1,146 @@
+//===- tests/netkat/PathSplitTest.cpp - Link-cut decomposition tests ------===//
+//
+// Validates the global-to-local decomposition: evaluating the *global*
+// program end-to-end must coincide with iterating the *local* policy and
+// the physical links hop by hop.
+//
+//===----------------------------------------------------------------------===//
+
+#include "netkat/PathSplit.h"
+
+#include "netkat/Eval.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::netkat;
+
+namespace {
+
+FieldId fDst() { return fieldOf("ip_dst"); }
+
+/// Applies local policy then physical links until quiescence, collecting
+/// every packet that has no further move. Mirrors what the network does.
+PacketSet runLocal(const PolicyRef &Local,
+                   const std::vector<std::pair<Location, Location>> &Links,
+                   const Packet &In, unsigned MaxHops = 16) {
+  PacketSet Done;
+  PacketSet Frontier{In};
+  for (unsigned Hop = 0; Hop != MaxHops && !Frontier.empty(); ++Hop) {
+    PacketSet Next;
+    for (const Packet &P : Frontier) {
+      PacketSet Out = evalPolicy(Local, P);
+      for (const Packet &Q : Out) {
+        bool Moved = false;
+        for (const auto &[Src, Dst] : Links)
+          if (Q.loc() == Src) {
+            Packet R = Q;
+            R.setLoc(Dst);
+            Next.insert(R);
+            Moved = true;
+          }
+        if (!Moved)
+          Done.insert(Q);
+      }
+    }
+    Frontier = std::move(Next);
+  }
+  return Done;
+}
+
+} // namespace
+
+TEST(PathSplit, LinkFreePolicyPassesThrough) {
+  PolicyRef P = seq(filter(pTest(fDst(), 4)), modPt(1));
+  PathSplitResult R = splitAtLinks(P);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.Links.empty());
+  Packet In = makePacket({1, 2}, {{fDst(), 4}});
+  EXPECT_EQ(evalPolicy(R.Local, In), evalPolicy(P, In));
+}
+
+TEST(PathSplit, SingleLinkPath) {
+  // The firewall's outbound clause: pt=2 and dst=4; pt<-1; (1:1)->(4:1);
+  // pt<-2.
+  PolicyRef P = seqAll({filter(pAnd(pPt(2), pTest(fDst(), 4))), modPt(1),
+                        link({1, 1}, {4, 1}), modPt(2)});
+  PathSplitResult R = splitAtLinks(P);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Links.size(), 1u);
+
+  Packet In = makePacket({1, 2}, {{fDst(), 4}});
+  PacketSet Global = evalPolicy(P, In);
+  PacketSet Local = runLocal(R.Local, R.Links, In);
+  EXPECT_EQ(Global, Local);
+  ASSERT_EQ(Local.size(), 1u);
+  EXPECT_EQ(Local.begin()->loc(), (Location{4, 2}));
+}
+
+TEST(PathSplit, WrongIngressSwitchDropsAtFirstHop) {
+  PolicyRef P = seqAll({filter(pPt(2)), modPt(1), link({1, 1}, {4, 1})});
+  PathSplitResult R = splitAtLinks(P);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // Same test (pt=2) but at switch 2: the hop prefix filter sw=1 must
+  // reject it; the global program rejects it too (link source mismatch).
+  Packet In = makePacket({2, 2}, {});
+  EXPECT_TRUE(runLocal(R.Local, R.Links, In).empty());
+  EXPECT_TRUE(evalPolicy(P, In).empty());
+}
+
+TEST(PathSplit, TwoHopChain) {
+  // 1 -> 2 -> 3 with a header rewrite mid-path.
+  PolicyRef P =
+      seqAll({filter(pPt(2)), modPt(1), link({1, 1}, {2, 1}), mod(fDst(), 9),
+              modPt(2), link({2, 2}, {3, 1}), modPt(5)});
+  PathSplitResult R = splitAtLinks(P);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Links.size(), 2u);
+
+  Packet In = makePacket({1, 2}, {{fDst(), 4}});
+  PacketSet Global = evalPolicy(P, In);
+  PacketSet Local = runLocal(R.Local, R.Links, In);
+  EXPECT_EQ(Global, Local);
+  ASSERT_EQ(Local.size(), 1u);
+  EXPECT_EQ(Local.begin()->loc(), (Location{3, 5}));
+  EXPECT_EQ(Local.begin()->get(fDst()), 9);
+}
+
+TEST(PathSplit, UnionOfPathsMulticasts) {
+  // Flood: one input copied over two links (learning-switch shape).
+  PolicyRef Path1 = seqAll({modPt(1), link({4, 1}, {1, 1}), modPt(2)});
+  PolicyRef Path2 = seqAll({modPt(3), link({4, 3}, {2, 1}), modPt(2)});
+  PolicyRef P = seq(filter(pPt(2)), unite(Path1, Path2));
+  PathSplitResult R = splitAtLinks(P);
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  Packet In = makePacket({4, 2}, {});
+  PacketSet Global = evalPolicy(P, In);
+  PacketSet Local = runLocal(R.Local, R.Links, In);
+  EXPECT_EQ(Global, Local);
+  EXPECT_EQ(Local.size(), 2u);
+}
+
+TEST(PathSplit, StarOverLinkRejected) {
+  PolicyRef P = star(link({1, 1}, {2, 1}));
+  PathSplitResult R = splitAtLinks(P);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("iteration"), std::string::npos);
+}
+
+TEST(PathSplit, SwAssignmentRejected) {
+  PolicyRef P = mod(FieldSw, 2);
+  PathSplitResult R = splitAtLinks(P);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("sw"), std::string::npos);
+}
+
+TEST(PathSplit, LinkFreeStarInsideClauseIsAllowed) {
+  PolicyRef Bump = unite(seq(filter(pTest(fDst(), 0)), mod(fDst(), 1)),
+                         seq(filter(pTest(fDst(), 1)), mod(fDst(), 2)));
+  PolicyRef P = seqAll({filter(pPt(2)), star(Bump), modPt(1),
+                        link({1, 1}, {2, 1})});
+  PathSplitResult R = splitAtLinks(P);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  Packet In = makePacket({1, 2}, {{fDst(), 0}});
+  EXPECT_EQ(evalPolicy(P, In), runLocal(R.Local, R.Links, In));
+}

@@ -1,0 +1,85 @@
+//===- tests/runtime/GuardedTest.cpp - Guarded table tests ----------------===//
+
+#include "runtime/Guarded.h"
+
+#include "apps/Programs.h"
+#include "nes/Pipeline.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::runtime;
+
+namespace {
+nes::CompiledProgram compileApp(const apps::App &A) {
+  nes::CompiledProgram C = A.Source.empty()
+                               ? nes::compileAst(A.Ast, A.Topo)
+                               : nes::compileSource(A.Source, A.Topo);
+  EXPECT_TRUE(C.Ok) << A.Name << ": " << C.Error;
+  return C;
+}
+} // namespace
+
+TEST(Guarded, TagFieldIsReserved) {
+  EXPECT_EQ(fieldName(tagField()), "__tag");
+}
+
+TEST(Guarded, EveryRuleCarriesATagGuard) {
+  apps::App A = apps::firewallApp();
+  nes::CompiledProgram C = compileApp(A);
+  topo::Configuration G = buildGuardedConfig(*C.N, A.Topo);
+  for (const auto &[Sw, T] : G.tables())
+    for (const flowtable::Rule &R : T.rules()) {
+      bool HasTag = false;
+      for (const auto &[F, V] : R.Pattern.constraints())
+        if (F == tagField()) {
+          HasTag = true;
+          EXPECT_GE(V, 0);
+          EXPECT_LT(V, static_cast<Value>(C.N->numSets()));
+        }
+      EXPECT_TRUE(HasTag) << "switch " << Sw << " rule " << R.str();
+    }
+}
+
+TEST(Guarded, GuardedLookupEqualsPerConfigLookup) {
+  // The semantic core of steps 1-3: for a packet stamped with tag t, the
+  // merged guarded table behaves exactly like configuration g(t).
+  Rng R(42);
+  for (const apps::App &A : apps::caseStudyApps()) {
+    nes::CompiledProgram C = compileApp(A);
+    topo::Configuration G = buildGuardedConfig(*C.N, A.Topo);
+    for (nes::SetId S = 0; S != C.N->numSets(); ++S) {
+      for (int Trial = 0; Trial != 40; ++Trial) {
+        // Random located packet over the app's field alphabet.
+        SwitchId Sw = 0;
+        {
+          auto It = A.Topo.switches().begin();
+          std::advance(It, R.below(A.Topo.switches().size()));
+          Sw = *It;
+        }
+        netkat::Packet P = netkat::makePacket(
+            {Sw, static_cast<PortId>(R.range(1, 4))},
+            {{apps::ipDstField(), R.range(1, 4)},
+             {apps::probeField(), R.range(0, 1)}});
+        netkat::Packet Tagged = P;
+        Tagged.set(tagField(), static_cast<Value>(S));
+
+        auto FromGuarded = G.tableFor(Sw).apply(Tagged);
+        auto FromConfig = C.N->configOf(S).tableFor(Sw).apply(Tagged);
+        ASSERT_EQ(FromGuarded, FromConfig)
+            << A.Name << " switch " << Sw << " set " << S << " pkt "
+            << P.str();
+      }
+    }
+  }
+}
+
+TEST(Guarded, RuleCountIsSumOfConfigs) {
+  apps::App A = apps::bandwidthCapApp(4);
+  nes::CompiledProgram C = compileApp(A);
+  size_t Sum = 0;
+  for (nes::SetId S = 0; S != C.N->numSets(); ++S)
+    Sum += C.N->configOf(S).totalRules();
+  EXPECT_EQ(guardedRuleCount(*C.N, A.Topo), Sum);
+}

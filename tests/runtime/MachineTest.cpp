@@ -1,0 +1,190 @@
+//===- tests/runtime/MachineTest.cpp - Figure 7 machine tests -------------===//
+//
+// Deterministic scenarios for the firewall plus the randomized
+// interleaving properties standing in for Lemma 3 (global consistency)
+// and Theorem 1 (implementation correctness).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Machine.h"
+
+#include "apps/Programs.h"
+#include "consistency/Check.h"
+#include "nes/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::runtime;
+
+namespace {
+
+struct Compiled {
+  apps::App A;
+  nes::CompiledProgram C;
+};
+
+Compiled firewall() {
+  Compiled Out{apps::firewallApp(), {}};
+  Out.C = nes::compileSource(Out.A.Source, Out.A.Topo);
+  EXPECT_TRUE(Out.C.Ok) << Out.C.Error;
+  return Out;
+}
+
+netkat::Packet toHost(HostId Dst) {
+  netkat::Packet P;
+  P.set(apps::ipDstField(), static_cast<Value>(Dst));
+  return P;
+}
+
+size_t deliveriesTo(const Machine &M, HostId H) {
+  size_t N = 0;
+  for (const auto &[Host, Pkt] : M.deliveries())
+    N += (Host == H);
+  return N;
+}
+
+} // namespace
+
+TEST(Machine, FirewallBlocksBeforeEvent) {
+  Compiled F = firewall();
+  Machine M(*F.C.N, F.A.Topo);
+  Rng R(1);
+  M.inject(topo::HostH4, toHost(1));
+  M.runToQuiescence(R);
+  EXPECT_EQ(deliveriesTo(M, topo::HostH1), 0u);
+  EXPECT_TRUE(M.switchEvents(4).empty());
+  auto Check = consistency::checkAgainstNes(M.trace(), F.A.Topo, *F.C.N);
+  EXPECT_TRUE(Check.Correct) << Check.Reason;
+}
+
+TEST(Machine, FirewallOpensAfterEvent) {
+  Compiled F = firewall();
+  Machine M(*F.C.N, F.A.Topo);
+  Rng R(2);
+  // Outbound first: triggers the event at s4.
+  M.inject(topo::HostH1, toHost(4));
+  M.runToQuiescence(R);
+  EXPECT_EQ(deliveriesTo(M, topo::HostH4), 1u);
+  EXPECT_TRUE(M.switchEvents(4).test(0));
+
+  // Inbound afterwards: the switch's IN rule stamps the new tag.
+  M.inject(topo::HostH4, toHost(1));
+  M.runToQuiescence(R);
+  EXPECT_EQ(deliveriesTo(M, topo::HostH1), 1u);
+
+  auto Check = consistency::checkAgainstNes(M.trace(), F.A.Topo, *F.C.N);
+  EXPECT_TRUE(Check.Correct) << Check.Reason << "\n" << M.trace().str();
+}
+
+TEST(Machine, EventPropagatesToOtherSwitchViaDigest) {
+  Compiled F = firewall();
+  Machine M(*F.C.N, F.A.Topo);
+  Rng R(3);
+  M.inject(topo::HostH1, toHost(4));
+  M.runToQuiescence(R);
+  // s4 heard the event; s1 has not necessarily (no reverse traffic yet).
+  EXPECT_TRUE(M.switchEvents(4).test(0));
+  M.inject(topo::HostH4, toHost(1));
+  M.runToQuiescence(R);
+  // The inbound packet's digest teaches s1.
+  EXPECT_TRUE(M.switchEvents(1).test(0));
+}
+
+TEST(Machine, ControllerRelayDeliversEvents) {
+  Compiled F = firewall();
+  Machine M(*F.C.N, F.A.Topo);
+  Rng R(4);
+  M.inject(topo::HostH1, toHost(4));
+  // Drive to quiescence; CTRLRECV/CTRLSEND steps are part of the step
+  // space, so by quiescence every switch has heard about the event.
+  M.runToQuiescence(R);
+  EXPECT_TRUE(M.controllerQueue().empty());
+  EXPECT_TRUE(M.controller().test(0));
+  EXPECT_TRUE(M.switchEvents(1).test(0));
+  EXPECT_TRUE(M.switchEvents(4).test(0));
+}
+
+TEST(Machine, StepStringsAreInformative) {
+  Compiled F = firewall();
+  Machine M(*F.C.N, F.A.Topo);
+  M.inject(topo::HostH1, toHost(4));
+  auto Steps = M.possibleSteps();
+  ASSERT_EQ(Steps.size(), 1u);
+  EXPECT_NE(Steps[0].str().find("IN"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Properties (Lemma 3 / Theorem 1)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Drives the machine step by step, asserting Lemma 3 after every step.
+void runCheckingConsistency(Machine &M, Rng &R, size_t MaxSteps = 100000) {
+  size_t Taken = 0;
+  while (Taken < MaxSteps) {
+    auto Steps = M.possibleSteps();
+    if (Steps.empty())
+      return;
+    M.apply(Steps[R.below(Steps.size())]);
+    ASSERT_TRUE(M.globalSetConsistent()) << "Lemma 3 violated";
+    ++Taken;
+  }
+  FAIL() << "machine failed to quiesce";
+}
+
+} // namespace
+
+class MachineInterleavings : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MachineInterleavings, FirewallTracesAreCorrect) {
+  Compiled F = firewall();
+  Machine M(*F.C.N, F.A.Topo);
+  Rng R(GetParam());
+  // A mix of inbound and outbound packets injected up front; the driver
+  // interleaves IN/SWITCH/LINK/controller steps randomly.
+  M.inject(topo::HostH4, toHost(1));
+  M.inject(topo::HostH1, toHost(4));
+  M.inject(topo::HostH4, toHost(1));
+  M.inject(topo::HostH1, toHost(4));
+  M.inject(topo::HostH4, toHost(1));
+  runCheckingConsistency(M, R);
+
+  auto Check = consistency::checkAgainstNes(M.trace(), F.A.Topo, *F.C.N);
+  EXPECT_TRUE(Check.Correct) << Check.Reason << "\n" << M.trace().str();
+}
+
+TEST_P(MachineInterleavings, AuthenticationTracesAreCorrect) {
+  apps::App A = apps::authenticationApp();
+  nes::CompiledProgram C = nes::compileSource(A.Source, A.Topo);
+  ASSERT_TRUE(C.Ok) << C.Error;
+  Machine M(*C.N, A.Topo);
+  Rng R(GetParam() ^ 0x9999);
+  // Knock out of order and in order.
+  M.inject(topo::HostH4, toHost(3));
+  M.inject(topo::HostH4, toHost(1));
+  M.inject(topo::HostH4, toHost(2));
+  M.inject(topo::HostH4, toHost(3));
+  runCheckingConsistency(M, R);
+  auto Check = consistency::checkAgainstNes(M.trace(), A.Topo, *C.N);
+  EXPECT_TRUE(Check.Correct) << Check.Reason << "\n" << M.trace().str();
+}
+
+TEST_P(MachineInterleavings, BandwidthCapTracesAreCorrect) {
+  apps::App A = apps::bandwidthCapApp(3);
+  nes::CompiledProgram C = nes::compileSource(A.Source, A.Topo);
+  ASSERT_TRUE(C.Ok) << C.Error;
+  Machine M(*C.N, A.Topo);
+  Rng R(GetParam() ^ 0xbc);
+  for (int I = 0; I != 6; ++I)
+    M.inject(topo::HostH1, toHost(4));
+  runCheckingConsistency(M, R);
+  auto Check = consistency::checkAgainstNes(M.trace(), A.Topo, *C.N);
+  EXPECT_TRUE(Check.Correct) << Check.Reason << "\n" << M.trace().str();
+  // The cap must have engaged: all renamed events fired in causal order.
+  EXPECT_TRUE(M.switchEvents(4).test(3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MachineInterleavings,
+                         ::testing::Range<uint64_t>(1, 21));

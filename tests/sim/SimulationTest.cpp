@@ -1,0 +1,272 @@
+//===- tests/sim/SimulationTest.cpp - Simulator behavior tests ------------===//
+
+#include "sim/Simulation.h"
+
+#include "apps/Programs.h"
+#include "consistency/Check.h"
+#include "nes/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::sim;
+
+namespace {
+
+nes::CompiledProgram compileApp(const apps::App &A) {
+  nes::CompiledProgram C = A.Source.empty()
+                               ? nes::compileAst(A.Ast, A.Topo)
+                               : nes::compileSource(A.Source, A.Topo);
+  EXPECT_TRUE(C.Ok) << A.Name << ": " << C.Error;
+  return C;
+}
+
+size_t successes(const Simulation &S) {
+  size_t N = 0;
+  for (const auto &P : S.pings())
+    N += P.Succeeded;
+  return N;
+}
+
+} // namespace
+
+TEST(Simulation, FirewallNesPingPattern) {
+  apps::App A = apps::firewallApp();
+  nes::CompiledProgram C = compileApp(A);
+  Simulation S(*C.N, A.Topo, Simulation::Mode::Nes);
+  // H4 -> H1 before the event: fails. H1 -> H4: succeeds and opens the
+  // firewall. H4 -> H1 afterwards: succeeds.
+  S.schedulePing(0.1, topo::HostH4, topo::HostH1);
+  S.schedulePing(1.0, topo::HostH1, topo::HostH4);
+  S.schedulePing(2.0, topo::HostH4, topo::HostH1);
+  S.run(4.0);
+
+  ASSERT_EQ(S.pings().size(), 3u);
+  EXPECT_FALSE(S.pings()[0].Succeeded);
+  EXPECT_TRUE(S.pings()[1].Succeeded);
+  EXPECT_TRUE(S.pings()[2].Succeeded);
+  EXPECT_GT(S.eventTime(0), 0);
+
+  auto Check = consistency::checkAgainstNes(S.trace(), A.Topo, *C.N);
+  EXPECT_TRUE(Check.Correct) << Check.Reason;
+}
+
+TEST(Simulation, FirewallNesImmediateReplyWorks) {
+  // The crucial property the paper motivates with TCP handshakes: the
+  // *reply to the very first outgoing packet* must get back in.
+  apps::App A = apps::firewallApp();
+  nes::CompiledProgram C = compileApp(A);
+  Simulation S(*C.N, A.Topo, Simulation::Mode::Nes);
+  S.schedulePing(0.1, topo::HostH1, topo::HostH4);
+  S.run(2.0);
+  ASSERT_EQ(S.pings().size(), 1u);
+  EXPECT_TRUE(S.pings()[0].Succeeded);
+}
+
+TEST(Simulation, FirewallUncoordinatedDropsDuringWindow) {
+  apps::App A = apps::firewallApp();
+  nes::CompiledProgram C = compileApp(A);
+  SimParams P;
+  P.UncoordDelaySec = 1.0;
+  Simulation S(*C.N, A.Topo, Simulation::Mode::Uncoordinated, P);
+  // Pings H1 -> H4 every 100 ms: replies are dropped until the
+  // controller finally installs the new tables.
+  for (int I = 0; I != 20; ++I)
+    S.schedulePing(0.1 + 0.1 * I, topo::HostH1, topo::HostH4);
+  S.run(5.0);
+
+  size_t Ok = successes(S);
+  EXPECT_LT(Ok, S.pings().size()); // some pings lost their replies
+  EXPECT_GT(Ok, 0u);               // but the update eventually landed
+
+  auto Check = consistency::checkAgainstNes(S.trace(), A.Topo, *C.N);
+  EXPECT_FALSE(Check.Correct);
+}
+
+TEST(Simulation, FirewallUncoordinatedZeroDelayStillDrops) {
+  // Figure 10's inset point: even at delay 0 the controller round trip
+  // loses at least the first reply.
+  apps::App A = apps::firewallApp();
+  nes::CompiledProgram C = compileApp(A);
+  SimParams P;
+  P.UncoordDelaySec = 0.0;
+  Simulation S(*C.N, A.Topo, Simulation::Mode::Uncoordinated, P);
+  S.schedulePing(0.1, topo::HostH1, topo::HostH4);
+  S.run(2.0);
+  EXPECT_EQ(successes(S), 0u);
+}
+
+TEST(Simulation, LearningSwitchFloodStopsAfterEvent) {
+  apps::App A = apps::learningSwitchApp();
+  nes::CompiledProgram C = compileApp(A);
+  Simulation S(*C.N, A.Topo, Simulation::Mode::Nes);
+  for (int I = 0; I != 10; ++I)
+    S.schedulePing(0.1 + 0.2 * I, topo::HostH4, topo::HostH1);
+  S.run(5.0);
+
+  // Every ping reaches H1; only the first is flooded to H2 (the reply
+  // to ping 1 triggers learning before ping 2 is sent).
+  EXPECT_EQ(successes(S), 10u);
+  size_t FloodedToH2 = S.deliveriesTo(topo::HostH2).size();
+  EXPECT_EQ(FloodedToH2, 1u);
+
+  auto Check = consistency::checkAgainstNes(S.trace(), A.Topo, *C.N);
+  EXPECT_TRUE(Check.Correct) << Check.Reason;
+}
+
+TEST(Simulation, LearningSwitchUncoordinatedKeepsFlooding) {
+  apps::App A = apps::learningSwitchApp();
+  nes::CompiledProgram C = compileApp(A);
+  SimParams P;
+  P.UncoordDelaySec = 1.0;
+  Simulation S(*C.N, A.Topo, Simulation::Mode::Uncoordinated, P);
+  for (int I = 0; I != 10; ++I)
+    S.schedulePing(0.1 + 0.2 * I, topo::HostH4, topo::HostH1);
+  S.run(5.0);
+  // Flooding persists through the update window.
+  EXPECT_GT(S.deliveriesTo(topo::HostH2).size(), 1u);
+}
+
+TEST(Simulation, AuthenticationSequenceEnforced) {
+  apps::App A = apps::authenticationApp();
+  nes::CompiledProgram C = compileApp(A);
+  Simulation S(*C.N, A.Topo, Simulation::Mode::Nes);
+  S.schedulePing(0.1, topo::HostH4, topo::HostH3); // blocked
+  S.schedulePing(0.6, topo::HostH4, topo::HostH2); // blocked (wrong order)
+  S.schedulePing(1.1, topo::HostH4, topo::HostH1); // knock 1
+  S.schedulePing(1.6, topo::HostH4, topo::HostH3); // still blocked
+  S.schedulePing(2.1, topo::HostH4, topo::HostH2); // knock 2
+  S.schedulePing(2.6, topo::HostH4, topo::HostH3); // open
+  S.run(5.0);
+
+  std::vector<bool> Want = {false, false, true, false, true, true};
+  ASSERT_EQ(S.pings().size(), Want.size());
+  for (size_t I = 0; I != Want.size(); ++I)
+    EXPECT_EQ(S.pings()[I].Succeeded, Want[I]) << "ping " << I;
+
+  auto Check = consistency::checkAgainstNes(S.trace(), A.Topo, *C.N);
+  EXPECT_TRUE(Check.Correct) << Check.Reason;
+}
+
+TEST(Simulation, BandwidthCapExactlyN) {
+  apps::App A = apps::bandwidthCapApp(10);
+  nes::CompiledProgram C = compileApp(A);
+  Simulation S(*C.N, A.Topo, Simulation::Mode::Nes);
+  for (int I = 0; I != 15; ++I)
+    S.schedulePing(0.1 + 0.2 * I, topo::HostH1, topo::HostH4);
+  S.run(6.0);
+  // Exactly the cap: 10 replies make it back.
+  EXPECT_EQ(successes(S), 10u);
+
+  auto Check = consistency::checkAgainstNes(S.trace(), A.Topo, *C.N);
+  EXPECT_TRUE(Check.Correct) << Check.Reason;
+}
+
+TEST(Simulation, BandwidthCapUncoordinatedOvershoots) {
+  apps::App A = apps::bandwidthCapApp(10);
+  nes::CompiledProgram C = compileApp(A);
+  SimParams P;
+  P.UncoordDelaySec = 1.0;
+  Simulation S(*C.N, A.Topo, Simulation::Mode::Uncoordinated, P);
+  for (int I = 0; I != 15; ++I)
+    S.schedulePing(0.1 + 0.2 * I, topo::HostH1, topo::HostH4);
+  S.run(6.0);
+  EXPECT_GT(successes(S), 10u);
+}
+
+TEST(Simulation, IdsBlocksAfterScan) {
+  apps::App A = apps::idsApp();
+  nes::CompiledProgram C = compileApp(A);
+  Simulation S(*C.N, A.Topo, Simulation::Mode::Nes);
+  S.schedulePing(0.1, topo::HostH4, topo::HostH3); // allowed
+  S.schedulePing(0.6, topo::HostH4, topo::HostH1); // allowed, stage 1
+  S.schedulePing(1.1, topo::HostH4, topo::HostH2); // allowed, stage 2
+  S.schedulePing(1.6, topo::HostH4, topo::HostH3); // now blocked
+  S.run(4.0);
+
+  std::vector<bool> Want = {true, true, true, false};
+  ASSERT_EQ(S.pings().size(), Want.size());
+  for (size_t I = 0; I != Want.size(); ++I)
+    EXPECT_EQ(S.pings()[I].Succeeded, Want[I]) << "ping " << I;
+
+  auto Check = consistency::checkAgainstNes(S.trace(), A.Topo, *C.N);
+  EXPECT_TRUE(Check.Correct) << Check.Reason;
+}
+
+TEST(Simulation, RingUpdateFlipsPath) {
+  apps::App A = apps::ringApp(6, 3);
+  nes::CompiledProgram C = compileApp(A);
+  Simulation S(*C.N, A.Topo, Simulation::Mode::Nes);
+  S.schedulePing(0.1, topo::HostH1, topo::HostH2);
+  S.scheduleProbe(1.0, topo::HostH1, topo::HostH2);
+  S.schedulePing(2.0, topo::HostH1, topo::HostH2);
+  S.run(4.0);
+  EXPECT_EQ(successes(S), 2u);
+  EXPECT_GT(S.eventTime(0), 0);
+  auto Check = consistency::checkAgainstNes(S.trace(), A.Topo, *C.N);
+  EXPECT_TRUE(Check.Correct) << Check.Reason;
+}
+
+TEST(Simulation, RingOverheadSmallButNonzero) {
+  apps::App A = apps::ringApp(6, 3);
+  nes::CompiledProgram C = compileApp(A);
+
+  auto Goodput = [&](Simulation::Mode M) {
+    Simulation S(*C.N, A.Topo, M);
+    S.scheduleUdpFlow(0.0, 2.0, topo::HostH1, topo::HostH2, 120e6);
+    S.run(3.0);
+    return S.flowStats().goodputBps();
+  };
+
+  double Ref = Goodput(Simulation::Mode::StaticReference);
+  double Nes = Goodput(Simulation::Mode::Nes);
+  EXPECT_GT(Ref, 0);
+  EXPECT_GT(Nes, 0);
+  EXPECT_LT(Nes, Ref); // tags cost something
+  EXPECT_GT(Nes, 0.9 * Ref); // ... but only a few percent
+}
+
+TEST(Simulation, RingEventDiscoveryFasterWithController) {
+  apps::App A = apps::ringApp(8, 4);
+  nes::CompiledProgram C = compileApp(A);
+
+  auto MaxLearn = [&](bool Broadcast) {
+    SimParams P;
+    P.CtrlBroadcast = Broadcast;
+    Simulation S(*C.N, A.Topo, Simulation::Mode::Nes, P);
+    // Continuous bidirectional pings carry digests around the ring.
+    for (int I = 0; I != 300; ++I) {
+      S.schedulePing(0.05 + 0.01 * I, topo::HostH1, topo::HostH2);
+      S.schedulePing(0.055 + 0.01 * I, topo::HostH2, topo::HostH1);
+    }
+    S.scheduleProbe(0.5, topo::HostH1, topo::HostH2);
+    S.run(5.0);
+    double T0 = S.eventTime(0);
+    EXPECT_GT(T0, 0);
+    double Max = 0;
+    unsigned Learned = 0;
+    for (const auto &[Key, At] : S.learnTimes())
+      if (Key.second == 0) {
+        Max = std::max(Max, At - T0);
+        ++Learned;
+      }
+    EXPECT_EQ(Learned, A.Topo.switches().size());
+    return Max;
+  };
+
+  double NoCtrl = MaxLearn(false);
+  double WithCtrl = MaxLearn(true);
+  EXPECT_LT(WithCtrl, NoCtrl);
+}
+
+TEST(Simulation, TcpFlowRampsUp) {
+  apps::App A = apps::ringApp(6, 3);
+  nes::CompiledProgram C = compileApp(A);
+  Simulation S(*C.N, A.Topo, Simulation::Mode::StaticReference);
+  S.scheduleTcpFlow(0.0, 2.0, topo::HostH1, topo::HostH2);
+  S.run(3.0);
+  // The window-based flow should achieve a respectable fraction of the
+  // 100 Mbit/s links.
+  EXPECT_GT(S.flowStats().goodputBps(), 10e6);
+  EXPECT_GT(S.flowStats().PktsDelivered, 100u);
+}

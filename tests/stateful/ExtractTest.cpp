@@ -1,0 +1,133 @@
+//===- tests/stateful/ExtractTest.cpp - Figure 6 extraction tests ---------===//
+
+#include "stateful/Extract.h"
+
+#include "apps/Programs.h"
+#include "stateful/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::stateful;
+
+namespace {
+SPolRef parse(const std::string &Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.Program;
+}
+} // namespace
+
+TEST(LitConj, ConjoinContradictionsPrune) {
+  LitConj C;
+  auto A = C.conjoin({10, true, 1});
+  ASSERT_TRUE(A.has_value());
+  EXPECT_FALSE(A->conjoin({10, true, 2}).has_value()); // f=1 ∧ f=2
+  EXPECT_FALSE(A->conjoin({10, false, 1}).has_value()); // f=1 ∧ f!=1
+  // f=1 ∧ f!=2 simplifies to f=1.
+  auto B = A->conjoin({10, false, 2});
+  ASSERT_TRUE(B.has_value());
+  EXPECT_EQ(*B, *A);
+}
+
+TEST(LitConj, NeqThenEq) {
+  LitConj C;
+  auto A = C.conjoin({10, false, 2});
+  ASSERT_TRUE(A.has_value());
+  EXPECT_FALSE(A->conjoin({10, true, 2}).has_value());
+  auto B = A->conjoin({10, true, 3});
+  ASSERT_TRUE(B.has_value());
+  // The equality subsumes the inequality.
+  EXPECT_EQ(B->literals().size(), 1u);
+  EXPECT_TRUE(B->literals()[0].Eq);
+}
+
+TEST(LitConj, ExistsStripsField) {
+  LitConj C;
+  auto A = C.conjoin({10, true, 1});
+  auto B = A->conjoin({11, true, 2});
+  LitConj S = B->exists(10);
+  ASSERT_EQ(S.literals().size(), 1u);
+  EXPECT_EQ(S.literals()[0].F, 11);
+}
+
+TEST(Extract, FirewallEdgeAtStateZero) {
+  SPolRef P = parse(apps::firewallSource());
+  ExtractResult R = extractEdges(P, {0});
+  ASSERT_EQ(R.Edges.size(), 1u);
+  const EventEdge &E = R.Edges[0];
+  EXPECT_EQ(E.From, (StateVec{0}));
+  EXPECT_EQ(E.To, (StateVec{1}));
+  EXPECT_EQ(E.Loc, (Location{4, 1}));
+  // Guard is the collected ip_dst test (pt tests/mods are location-
+  // tracked, not guard literals).
+  ASSERT_EQ(E.Guard.literals().size(), 1u);
+  EXPECT_EQ(E.Guard.literals()[0].F, apps::ipDstField());
+  EXPECT_EQ(E.Guard.literals()[0].V, 4);
+}
+
+TEST(Extract, FirewallNoEdgesAtStateOne) {
+  SPolRef P = parse(apps::firewallSource());
+  // state=[1]: the assigning branch is guarded by state=[0], and the
+  // assignment to [1] from [1] would be a self-loop anyway.
+  EXPECT_TRUE(extractEdges(P, {1}).Edges.empty());
+}
+
+TEST(Extract, DisabledStateTestKillsPath) {
+  SPolRef P = parse("state(0)=5; (1:1)->(2:1)<state<-[1]>");
+  EXPECT_TRUE(extractEdges(P, {0}).Edges.empty());
+  EXPECT_EQ(extractEdges(P, {5}).Edges.size(), 1u);
+}
+
+TEST(Extract, SelfAssignmentProducesNoEdge) {
+  SPolRef P = parse("(1:1)->(2:1)<state<-[0]>");
+  EXPECT_TRUE(extractEdges(P, {0}).Edges.empty());
+}
+
+TEST(Extract, NegationPushesThroughDeMorgan) {
+  // not(a and b) == not a or not b: two paths, two formulas.
+  SPolRef P = parse("not (ip_dst=1 and kind=2); (1:1)->(2:1)<state<-[1]>");
+  ExtractResult R = extractEdges(P, {0});
+  // Two edges with different guards (ip_dst!=1, kind!=2).
+  EXPECT_EQ(R.Edges.size(), 2u);
+}
+
+TEST(Extract, FieldAssignStripsAndAdds) {
+  // The test on f is overwritten by the assignment f<-7.
+  SPolRef P = parse("ip_dst=1; ip_dst<-7; (1:1)->(2:1)<state<-[1]>");
+  ExtractResult R = extractEdges(P, {0});
+  ASSERT_EQ(R.Edges.size(), 1u);
+  ASSERT_EQ(R.Edges[0].Guard.literals().size(), 1u);
+  EXPECT_EQ(R.Edges[0].Guard.literals()[0].V, 7);
+}
+
+TEST(Extract, ContradictoryPathPruned) {
+  SPolRef P = parse("ip_dst=1 and ip_dst=2; (1:1)->(2:1)<state<-[1]>");
+  EXPECT_TRUE(extractEdges(P, {0}).Edges.empty());
+}
+
+TEST(Extract, UnionCollectsBothBranches) {
+  SPolRef P = parse("ip_dst=1; (1:1)->(2:1)<state<-[1]> "
+                    "+ ip_dst=2; (3:1)->(4:1)<state<-[2]>");
+  ExtractResult R = extractEdges(P, {0, 0});
+  // state size is 1 here (indices are both 0)... both assign component 0.
+  ASSERT_EQ(R.Edges.size(), 2u);
+  EXPECT_NE(R.Edges[0].To, R.Edges[1].To);
+}
+
+TEST(Extract, StarExtractsThroughIteration) {
+  SPolRef P = parse("(ip_dst=1)*; (1:1)->(2:1)<state<-[1]>");
+  ExtractResult R = extractEdges(P, {0});
+  // Paths through 0 and >=1 iterations: guards true and ip_dst=1.
+  EXPECT_EQ(R.Edges.size(), 2u);
+}
+
+TEST(Extract, BandwidthCapChain) {
+  SPolRef P = parse(apps::bandwidthCapSource(3));
+  for (Value K = 0; K <= 3; ++K) {
+    ExtractResult R = extractEdges(P, {K});
+    ASSERT_EQ(R.Edges.size(), 1u) << "state " << K;
+    EXPECT_EQ(R.Edges[0].To, (StateVec{K + 1}));
+  }
+  EXPECT_TRUE(extractEdges(P, {4}).Edges.empty());
+}

@@ -1,0 +1,86 @@
+//===- tests/stateful/LexerTest.cpp - Lexer unit tests --------------------===//
+
+#include "stateful/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::stateful;
+
+namespace {
+std::vector<TokKind> kindsOf(const std::string &Src) {
+  std::vector<TokKind> Out;
+  for (const Token &T : lex(Src))
+    Out.push_back(T.Kind);
+  return Out;
+}
+} // namespace
+
+TEST(Lexer, EmptyInputIsEof) {
+  EXPECT_EQ(kindsOf(""), (std::vector<TokKind>{TokKind::Eof}));
+  EXPECT_EQ(kindsOf("   \n\t "), (std::vector<TokKind>{TokKind::Eof}));
+}
+
+TEST(Lexer, NumbersAndIdents) {
+  auto Toks = lex("ip_dst 42");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Kind, TokKind::Ident);
+  EXPECT_EQ(Toks[0].Text, "ip_dst");
+  EXPECT_EQ(Toks[1].Kind, TokKind::Number);
+  EXPECT_EQ(Toks[1].Num, 42);
+}
+
+TEST(Lexer, Keywords) {
+  EXPECT_EQ(kindsOf("true false and or not state let drop skip id"),
+            (std::vector<TokKind>{TokKind::KwTrue, TokKind::KwFalse,
+                                  TokKind::KwAnd, TokKind::KwOr,
+                                  TokKind::KwNot, TokKind::KwState,
+                                  TokKind::KwLet, TokKind::KwDrop,
+                                  TokKind::KwSkip, TokKind::KwSkip,
+                                  TokKind::Eof}));
+}
+
+TEST(Lexer, MultiCharOperators) {
+  EXPECT_EQ(kindsOf("<- -> != < > ="),
+            (std::vector<TokKind>{TokKind::Assign, TokKind::Arrow,
+                                  TokKind::Neq, TokKind::Lt, TokKind::Gt,
+                                  TokKind::Eq, TokKind::Eof}));
+}
+
+TEST(Lexer, LinkTokens) {
+  EXPECT_EQ(kindsOf("(1:1)->(4:1)"),
+            (std::vector<TokKind>{TokKind::LParen, TokKind::Number,
+                                  TokKind::Colon, TokKind::Number,
+                                  TokKind::RParen, TokKind::Arrow,
+                                  TokKind::LParen, TokKind::Number,
+                                  TokKind::Colon, TokKind::Number,
+                                  TokKind::RParen, TokKind::Eof}));
+}
+
+TEST(Lexer, AssignVsLessThan) {
+  // '<-' must win over '<' followed by '-'; '<s' stays '<'.
+  auto Toks = lex("pt<-1 <state");
+  EXPECT_EQ(Toks[1].Kind, TokKind::Assign);
+  EXPECT_EQ(Toks[3].Kind, TokKind::Lt);
+  EXPECT_EQ(Toks[4].Kind, TokKind::KwState);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  EXPECT_EQ(kindsOf("# whole line\n42 // trailing\n7"),
+            (std::vector<TokKind>{TokKind::Number, TokKind::Number,
+                                  TokKind::Eof}));
+}
+
+TEST(Lexer, PositionsTracked) {
+  auto Toks = lex("a\n  b");
+  EXPECT_EQ(Toks[0].Line, 1u);
+  EXPECT_EQ(Toks[0].Col, 1u);
+  EXPECT_EQ(Toks[1].Line, 2u);
+  EXPECT_EQ(Toks[1].Col, 3u);
+}
+
+TEST(Lexer, ErrorTokenOnGarbage) {
+  auto Toks = lex("pt @");
+  EXPECT_EQ(Toks.back().Kind, TokKind::Error);
+  EXPECT_NE(Toks.back().Text.find("unexpected"), std::string::npos);
+}

@@ -1,0 +1,175 @@
+//===- tests/stateful/ParserTest.cpp - Parser unit tests ------------------===//
+
+#include "stateful/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::stateful;
+
+namespace {
+SPolRef parseOk(const std::string &Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.Program;
+}
+
+std::string parseErr(const std::string &Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_FALSE(R.Ok) << "unexpected success: " << R.Program->str();
+  return R.Error;
+}
+} // namespace
+
+TEST(Parser, FieldTest) {
+  SPolRef P = parseOk("ip_dst=4");
+  ASSERT_EQ(P->kind(), SPol::Kind::Filter);
+  EXPECT_EQ(P->pred()->kind(), SPred::Kind::FieldTest);
+  EXPECT_TRUE(P->pred()->isEq());
+  EXPECT_EQ(P->pred()->value(), 4);
+}
+
+TEST(Parser, NeqTest) {
+  SPolRef P = parseOk("ip_dst!=4");
+  EXPECT_FALSE(P->pred()->isEq());
+}
+
+TEST(Parser, LetBindingsResolve) {
+  ParseResult R = parseProgram("let H4 = 4;\nip_dst=H4");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Program->pred()->value(), 4);
+  EXPECT_EQ(R.Bindings.at("H4"), 4);
+}
+
+TEST(Parser, UnboundValueIdentFails) {
+  std::string E = parseErr("ip_dst=H9");
+  EXPECT_NE(E.find("unbound"), std::string::npos);
+}
+
+TEST(Parser, DuplicateLetFails) {
+  std::string E = parseErr("let A = 1;\nlet A = 2;\ntrue");
+  EXPECT_NE(E.find("duplicate"), std::string::npos);
+}
+
+TEST(Parser, Assignment) {
+  SPolRef P = parseOk("pt<-2");
+  ASSERT_EQ(P->kind(), SPol::Kind::Mod);
+  EXPECT_EQ(P->modField(), FieldPt);
+  EXPECT_EQ(P->modValue(), 2);
+}
+
+TEST(Parser, SwAssignmentRejected) {
+  std::string E = parseErr("sw<-2");
+  EXPECT_NE(E.find("sw"), std::string::npos);
+}
+
+TEST(Parser, PrecedenceSeqOverUnion) {
+  // a; b + c; d == (a;b) + (c;d)
+  SPolRef P = parseOk("pt=1; pt<-2 + pt=3; pt<-4");
+  ASSERT_EQ(P->kind(), SPol::Kind::Union);
+  EXPECT_EQ(P->lhs()->kind(), SPol::Kind::Seq);
+  EXPECT_EQ(P->rhs()->kind(), SPol::Kind::Seq);
+}
+
+TEST(Parser, AndBindsTighterThanSeq) {
+  // a and b; p == (a and b); p
+  SPolRef P = parseOk("pt=2 and ip_dst=4; pt<-1");
+  ASSERT_EQ(P->kind(), SPol::Kind::Seq);
+  EXPECT_EQ(P->lhs()->kind(), SPol::Kind::Filter);
+  EXPECT_EQ(P->lhs()->pred()->kind(), SPred::Kind::And);
+}
+
+TEST(Parser, AndOnNonTestFails) {
+  std::string E = parseErr("pt<-1 and pt=2");
+  EXPECT_NE(E.find("'and'"), std::string::npos);
+}
+
+TEST(Parser, OrBuildsPredicate) {
+  SPolRef P = parseOk("pt=1 or pt=2");
+  ASSERT_EQ(P->kind(), SPol::Kind::Filter);
+  EXPECT_EQ(P->pred()->kind(), SPred::Kind::Or);
+}
+
+TEST(Parser, NotRequiresTest) {
+  SPolRef P = parseOk("not pt=1");
+  EXPECT_EQ(P->pred()->kind(), SPred::Kind::Not);
+  std::string E = parseErr("not pt<-1");
+  EXPECT_NE(E.find("'not'"), std::string::npos);
+}
+
+TEST(Parser, StarPostfix) {
+  SPolRef P = parseOk("(pt<-1)*");
+  EXPECT_EQ(P->kind(), SPol::Kind::Star);
+}
+
+TEST(Parser, PlainLink) {
+  SPolRef P = parseOk("(1:1)->(4:1)");
+  ASSERT_EQ(P->kind(), SPol::Kind::Link);
+  EXPECT_EQ(P->linkSrc(), (Location{1, 1}));
+  EXPECT_EQ(P->linkDst(), (Location{4, 1}));
+}
+
+TEST(Parser, LinkWithScalarStateAssign) {
+  SPolRef P = parseOk("(1:1)->(4:1)<state(2)<-7>");
+  ASSERT_EQ(P->kind(), SPol::Kind::LinkAssign);
+  EXPECT_EQ(P->stateIndex(), 2u);
+  EXPECT_EQ(P->stateValue(), 7);
+}
+
+TEST(Parser, LinkWithVectorStateAssign) {
+  SPolRef P = parseOk("(1:1)->(4:1)<state<-[1]>");
+  ASSERT_EQ(P->kind(), SPol::Kind::LinkAssign);
+  EXPECT_EQ(P->stateIndex(), 0u);
+  EXPECT_EQ(P->stateValue(), 1);
+}
+
+TEST(Parser, MultiComponentLinkAssignRejected) {
+  std::string E = parseErr("(1:1)->(4:1)<state<-[1,2]>");
+  EXPECT_NE(E.find("exactly one state component"), std::string::npos);
+}
+
+TEST(Parser, StateScalarTest) {
+  SPolRef P = parseOk("state(1)=3");
+  ASSERT_EQ(P->kind(), SPol::Kind::Filter);
+  EXPECT_EQ(P->pred()->kind(), SPred::Kind::StateTest);
+  EXPECT_EQ(P->pred()->stateIndex(), 1u);
+  EXPECT_EQ(P->pred()->value(), 3);
+}
+
+TEST(Parser, StateVectorTestDesugarsToConjunction) {
+  SPolRef P = parseOk("state=[1,2]");
+  ASSERT_EQ(P->kind(), SPol::Kind::Filter);
+  ASSERT_EQ(P->pred()->kind(), SPred::Kind::And);
+  EXPECT_EQ(P->pred()->lhs()->stateIndex(), 0u);
+  EXPECT_EQ(P->pred()->rhs()->stateIndex(), 1u);
+}
+
+TEST(Parser, StateVectorNeqIsNegatedConjunction) {
+  SPolRef P = parseOk("state!=[0]");
+  ASSERT_EQ(P->kind(), SPol::Kind::Filter);
+  // Single-component vectors still negate the (singleton) conjunction.
+  EXPECT_EQ(P->pred()->kind(), SPred::Kind::Not);
+}
+
+TEST(Parser, ParenthesizedPolicyVsLink) {
+  // '(' policy ')' and '(' n ':' must disambiguate by lookahead.
+  SPolRef P = parseOk("(pt=1 + pt=2); (1:1)->(2:1)");
+  ASSERT_EQ(P->kind(), SPol::Kind::Seq);
+  EXPECT_EQ(P->lhs()->kind(), SPol::Kind::Union);
+  EXPECT_EQ(P->rhs()->kind(), SPol::Kind::Link);
+}
+
+TEST(Parser, TrailingGarbageFails) {
+  std::string E = parseErr("pt=1 pt=2");
+  EXPECT_NE(E.find("expected"), std::string::npos);
+}
+
+TEST(Parser, ErrorsCarryPositions) {
+  std::string E = parseErr("pt=1;\n  @");
+  EXPECT_NE(E.find("2:"), std::string::npos);
+}
+
+TEST(Parser, DropSkipKeywords) {
+  EXPECT_EQ(parseOk("drop")->pred()->kind(), SPred::Kind::False);
+  EXPECT_EQ(parseOk("skip")->pred()->kind(), SPred::Kind::True);
+}

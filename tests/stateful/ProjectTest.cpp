@@ -1,0 +1,141 @@
+//===- tests/stateful/ProjectTest.cpp - Figure 5 projection tests ---------===//
+
+#include "stateful/Project.h"
+
+#include "apps/Programs.h"
+#include "netkat/Eval.h"
+#include "stateful/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::stateful;
+using namespace eventnet::netkat;
+
+namespace {
+SPolRef parse(const std::string &Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.Program;
+}
+} // namespace
+
+TEST(Project, StateTestResolvesAgainstK) {
+  SPolRef P = parse("state(0)=1");
+  EXPECT_TRUE(isTriviallyTrue(project(P, {1})->pred()));
+  EXPECT_TRUE(isTriviallyFalse(project(P, {0})->pred()));
+
+  SPolRef Q = parse("state(0)!=1");
+  EXPECT_TRUE(isTriviallyFalse(project(Q, {1})->pred()));
+  EXPECT_TRUE(isTriviallyTrue(project(Q, {0})->pred()));
+}
+
+TEST(Project, LinkAssignErasesAssignment) {
+  SPolRef P = parse("(1:1)->(4:1)<state<-[1]>");
+  PolicyRef N = project(P, {0});
+  ASSERT_EQ(N->kind(), Policy::Kind::Link);
+  EXPECT_EQ(N->linkSrc(), (Location{1, 1}));
+}
+
+TEST(Project, FieldNeqBecomesNegation) {
+  SPolRef P = parse("ip_dst!=4");
+  PolicyRef N = project(P, {0});
+  EXPECT_EQ(N->pred()->kind(), Pred::Kind::Not);
+}
+
+TEST(Project, FirewallStateZeroBlocksIncoming) {
+  SPolRef P = parse(apps::firewallSource());
+  FieldId Dst = apps::ipDstField();
+
+  // k = [0]: outgoing works end to end, incoming is dropped.
+  PolicyRef C0 = project(P, {0});
+  Packet Out = makePacket({1, 2}, {{Dst, 4}});
+  Packet In = makePacket({4, 2}, {{Dst, 1}});
+  PacketSet R = evalPolicy(C0, Out);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R.begin()->loc(), (Location{4, 2}));
+  EXPECT_TRUE(evalPolicy(C0, In).empty());
+
+  // k = [1]: both directions work.
+  PolicyRef C1 = project(P, {1});
+  EXPECT_EQ(evalPolicy(C1, Out).size(), 1u);
+  R = evalPolicy(C1, In);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R.begin()->loc(), (Location{1, 2}));
+}
+
+TEST(Project, LearningSwitchFloodsThenUnicasts) {
+  SPolRef P = parse(apps::learningSwitchSource());
+  FieldId Dst = apps::ipDstField();
+  Packet ToH1 = makePacket({4, 2}, {{Dst, 1}});
+
+  // Unlearned: two copies (H1 and the flood to H2).
+  EXPECT_EQ(evalPolicy(project(P, {0}), ToH1).size(), 2u);
+  // Learned: only H1's copy.
+  PacketSet R = evalPolicy(project(P, {1}), ToH1);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R.begin()->loc(), (Location{1, 2}));
+}
+
+TEST(Project, AuthenticationStages) {
+  SPolRef P = parse(apps::authenticationSource());
+  FieldId Dst = apps::ipDstField();
+  Packet ToH1 = makePacket({4, 2}, {{Dst, 1}});
+  Packet ToH2 = makePacket({4, 2}, {{Dst, 2}});
+  Packet ToH3 = makePacket({4, 2}, {{Dst, 3}});
+
+  EXPECT_EQ(evalPolicy(project(P, {0}), ToH1).size(), 1u);
+  EXPECT_TRUE(evalPolicy(project(P, {0}), ToH2).empty());
+  EXPECT_TRUE(evalPolicy(project(P, {0}), ToH3).empty());
+
+  EXPECT_TRUE(evalPolicy(project(P, {1}), ToH1).empty());
+  EXPECT_EQ(evalPolicy(project(P, {1}), ToH2).size(), 1u);
+  EXPECT_TRUE(evalPolicy(project(P, {1}), ToH3).empty());
+
+  EXPECT_TRUE(evalPolicy(project(P, {2}), ToH2).empty());
+  EXPECT_EQ(evalPolicy(project(P, {2}), ToH3).size(), 1u);
+}
+
+TEST(Project, BandwidthCapCutsIncomingAtLimit) {
+  SPolRef P = parse(apps::bandwidthCapSource(3));
+  FieldId Dst = apps::ipDstField();
+  Packet Out = makePacket({1, 2}, {{Dst, 4}});
+  Packet In = makePacket({4, 2}, {{Dst, 1}});
+
+  for (Value K = 0; K <= 3; ++K) {
+    EXPECT_EQ(evalPolicy(project(P, {K}), Out).size(), 1u) << K;
+    EXPECT_EQ(evalPolicy(project(P, {K}), In).size(), 1u) << K;
+  }
+  // Cap state: outgoing still works, incoming cut.
+  EXPECT_EQ(evalPolicy(project(P, {4}), Out).size(), 1u);
+  EXPECT_TRUE(evalPolicy(project(P, {4}), In).empty());
+}
+
+TEST(Project, IdsBlocksH3AfterScan) {
+  SPolRef P = parse(apps::idsSource());
+  FieldId Dst = apps::ipDstField();
+  Packet ToH3 = makePacket({4, 2}, {{Dst, 3}});
+  EXPECT_EQ(evalPolicy(project(P, {0}), ToH3).size(), 1u);
+  EXPECT_EQ(evalPolicy(project(P, {1}), ToH3).size(), 1u);
+  EXPECT_TRUE(evalPolicy(project(P, {2}), ToH3).empty());
+}
+
+TEST(Project, RingProgramRoutesBothStates) {
+  SPolRef P = apps::ringProgram(6, 3);
+  FieldId Dst = apps::ipDstField();
+  FieldId Probe = apps::probeField();
+  Packet H1ToH2 = makePacket({1, 3}, {{Dst, 2}, {Probe, 0}});
+
+  PacketSet R0 = evalPolicy(project(P, {0}), H1ToH2);
+  ASSERT_EQ(R0.size(), 1u);
+  EXPECT_EQ(R0.begin()->loc(), (Location{4, 3}));
+
+  PacketSet R1 = evalPolicy(project(P, {1}), H1ToH2);
+  ASSERT_EQ(R1.size(), 1u);
+  EXPECT_EQ(R1.begin()->loc(), (Location{4, 3}));
+
+  // Replies work in both states too.
+  Packet H2ToH1 = makePacket({4, 3}, {{Dst, 1}, {Probe, 0}});
+  EXPECT_EQ(evalPolicy(project(P, {0}), H2ToH1).size(), 1u);
+  EXPECT_EQ(evalPolicy(project(P, {1}), H2ToH1).size(), 1u);
+}

@@ -1,0 +1,98 @@
+//===- tests/stateful/RoundTripTest.cpp - Print/parse round trips ---------===//
+//
+// Property: the printer emits valid concrete syntax, and printing is a
+// fixpoint (parse(print(p)) prints identically). Exercised both on the
+// shipped applications and on random ASTs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Programs.h"
+#include "stateful/Parser.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+using namespace eventnet::stateful;
+
+namespace {
+
+SPredRef randomPred(Rng &R, unsigned Depth) {
+  if (Depth == 0 || R.chance(0.4)) {
+    switch (R.below(4)) {
+    case 0:
+      return sTrue();
+    case 1:
+      return sFalse();
+    case 2:
+      return sFieldTest(fieldOf("rt_f"), R.chance(0.5), R.range(0, 3));
+    default:
+      return sStateTest(static_cast<unsigned>(R.below(2)), R.chance(0.5),
+                        R.range(0, 3));
+    }
+  }
+  switch (R.below(3)) {
+  case 0:
+    return sAnd(randomPred(R, Depth - 1), randomPred(R, Depth - 1));
+  case 1:
+    return sOr(randomPred(R, Depth - 1), randomPred(R, Depth - 1));
+  default:
+    return sNot(randomPred(R, Depth - 1));
+  }
+}
+
+SPolRef randomPol(Rng &R, unsigned Depth) {
+  if (Depth == 0 || R.chance(0.35)) {
+    switch (R.below(4)) {
+    case 0:
+      return sFilter(randomPred(R, 2));
+    case 1:
+      return sMod(fieldOf("rt_f"), R.range(0, 3));
+    case 2:
+      return sLink({static_cast<SwitchId>(R.range(1, 4)), 1},
+                   {static_cast<SwitchId>(R.range(1, 4)), 2});
+    default:
+      return sLinkAssign({1, 1}, {2, 1},
+                         static_cast<unsigned>(R.below(2)), R.range(0, 3));
+    }
+  }
+  switch (R.below(3)) {
+  case 0:
+    return sUnion(randomPol(R, Depth - 1), randomPol(R, Depth - 1));
+  case 1:
+    return sSeq(randomPol(R, Depth - 1), randomPol(R, Depth - 1));
+  default:
+    return sStar(randomPol(R, Depth - 1));
+  }
+}
+
+} // namespace
+
+TEST(RoundTrip, ShippedApplications) {
+  for (const apps::App &A : apps::caseStudyApps()) {
+    ParseResult First = parseProgram(A.Source);
+    ASSERT_TRUE(First.Ok) << A.Name << ": " << First.Error;
+    std::string Printed = First.Program->str();
+    ParseResult Second = parseProgram(Printed);
+    ASSERT_TRUE(Second.Ok) << A.Name << " reprint failed: " << Second.Error
+                           << "\nprinted:\n"
+                           << Printed;
+    EXPECT_EQ(Second.Program->str(), Printed) << A.Name;
+  }
+}
+
+class RoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripProperty, RandomAstsRoundTrip) {
+  Rng R(GetParam());
+  for (int Trial = 0; Trial != 40; ++Trial) {
+    SPolRef P = randomPol(R, 4);
+    std::string Printed = P->str();
+    ParseResult Re = parseProgram(Printed);
+    ASSERT_TRUE(Re.Ok) << Re.Error << "\nprinted:\n" << Printed;
+    EXPECT_EQ(Re.Program->str(), Printed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty,
+                         ::testing::Values(3, 5, 8, 13));

@@ -1,0 +1,61 @@
+//===- tests/support/RngTest.cpp - Deterministic PRNG unit tests ----------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using eventnet::Rng;
+
+TEST(Rng, DeterministicForSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  bool AnyDiff = false;
+  for (int I = 0; I != 16 && !AnyDiff; ++I)
+    AnyDiff = A.next() != B.next();
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(Rng, BelowInRange) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.range(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= (V == -3);
+    SawHi |= (V == 3);
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng R(11);
+  for (int I = 0; I != 1000; ++I) {
+    double U = R.unit();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng R(5);
+  std::vector<int> V{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}

@@ -1,0 +1,33 @@
+//===- tests/support/SymbolsTest.cpp - Field interner unit tests ----------===//
+
+#include "support/Symbols.h"
+
+#include <gtest/gtest.h>
+
+using namespace eventnet;
+
+TEST(Symbols, ReservedFieldsHaveFixedIds) {
+  EXPECT_EQ(fieldOf("sw"), FieldSw);
+  EXPECT_EQ(fieldOf("pt"), FieldPt);
+  EXPECT_EQ(fieldName(FieldSw), "sw");
+  EXPECT_EQ(fieldName(FieldPt), "pt");
+}
+
+TEST(Symbols, InternIsIdempotent) {
+  FieldId A = fieldOf("symtest_a");
+  FieldId B = fieldOf("symtest_a");
+  EXPECT_EQ(A, B);
+  EXPECT_GE(A, FirstUserField);
+  EXPECT_EQ(fieldName(A), "symtest_a");
+}
+
+TEST(Symbols, DistinctNamesDistinctIds) {
+  FieldId A = fieldOf("symtest_x");
+  FieldId B = fieldOf("symtest_y");
+  EXPECT_NE(A, B);
+}
+
+TEST(Symbols, LookupMissingReturnsSentinel) {
+  EXPECT_EQ(FieldTable::get().lookup("definitely_never_interned_field"),
+            static_cast<FieldId>(-1));
+}

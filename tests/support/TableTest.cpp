@@ -1,0 +1,34 @@
+//===- tests/support/TableTest.cpp - TextTable unit tests -----------------===//
+
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace eventnet;
+
+TEST(TextTable, AlignsColumns) {
+  TextTable T({"name", "v"});
+  T.addRow({"short", "1"});
+  T.addRow({"a-much-longer-name", "22"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string S = OS.str();
+  EXPECT_NE(S.find("name"), std::string::npos);
+  EXPECT_NE(S.find("a-much-longer-name"), std::string::npos);
+  EXPECT_EQ(T.numRows(), 2u);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable T({"a", "b"});
+  T.addRow({"1", "2"});
+  std::ostringstream OS;
+  T.printCsv(OS);
+  EXPECT_EQ(OS.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, FormatDouble) {
+  EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
