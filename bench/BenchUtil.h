@@ -17,9 +17,11 @@
 
 #include "apps/Programs.h"
 #include "nes/Pipeline.h"
+#include "support/Table.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <string>
 
 namespace eventnet {
@@ -44,6 +46,14 @@ inline void banner(const char *Artifact, const char *What) {
   printf("==============================================================\n");
   printf("%s — %s\n", Artifact, What);
   printf("==============================================================\n");
+}
+
+/// Emits a benchmark's result table as a named JSON object (the shared
+/// machine-readable shape: {"bench": <name>, "rows": [...]}).
+inline void printResultJson(const char *Bench, const TextTable &T) {
+  std::cout << "{\"bench\": \"" << Bench << "\", \"rows\": ";
+  T.printJson(std::cout);
+  std::cout << "}\n";
 }
 
 } // namespace bench

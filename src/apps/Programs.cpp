@@ -2,22 +2,22 @@
 
 #include "apps/Programs.h"
 
+#include "sim/Wire.h"
+
+#include <algorithm>
 #include <cassert>
+#include <deque>
 #include <sstream>
 
 using namespace eventnet;
 using namespace eventnet::apps;
 using namespace eventnet::stateful;
 
-FieldId apps::ipDstField() {
-  static FieldId F = fieldOf("ip_dst");
-  return F;
-}
+// Delegate to the shared wire format so the engine, the simulator, and
+// the programs agree on field identity by construction, not by literal.
+FieldId apps::ipDstField() { return sim::ipDstField(); }
 
-FieldId apps::probeField() {
-  static FieldId F = fieldOf("probe");
-  return F;
-}
+FieldId apps::probeField() { return sim::probeField(); }
 
 std::string apps::firewallSource() {
   // Figure 9(a).
@@ -250,4 +250,54 @@ std::vector<App> apps::caseStudyApps() {
   Out.push_back(bandwidthCapApp());
   Out.push_back(idsApp());
   return Out;
+}
+
+nes::Nes apps::staticRoutingNes(const topo::Topology &Topo) {
+  // Forwarding adjacency: switch -> (port, neighbor switch).
+  std::map<SwitchId, std::vector<std::pair<PortId, SwitchId>>> Adj;
+  for (const auto &[Src, Dst] : Topo.links())
+    Adj[Src.Sw].push_back({Src.Pt, Dst.Sw});
+  for (auto &[Sw, Nbrs] : Adj)
+    std::sort(Nbrs.begin(), Nbrs.end());
+
+  std::map<SwitchId, flowtable::Table> Tables;
+  for (const auto &[Host, At] : Topo.hosts()) {
+    // BFS from the host's switch; links are bidirectional in all builder
+    // topologies, so forward distance doubles as reverse distance.
+    std::map<SwitchId, int> Dist;
+    Dist[At.Sw] = 0;
+    std::deque<SwitchId> Work{At.Sw};
+    while (!Work.empty()) {
+      SwitchId Sw = Work.front();
+      Work.pop_front();
+      for (const auto &[Pt, Nbr] : Adj[Sw])
+        if (!Dist.count(Nbr)) {
+          Dist[Nbr] = Dist[Sw] + 1;
+          Work.push_back(Nbr);
+        }
+    }
+    for (SwitchId Sw : Topo.switches()) {
+      auto It = Dist.find(Sw);
+      if (It == Dist.end())
+        continue; // unreachable: table-miss drop
+      flowtable::Rule R;
+      R.Priority = 1;
+      R.Pattern.require(ipDstField(), static_cast<Value>(Host));
+      PortId Out = At.Pt; // at the attachment switch: the host port
+      if (It->second != 0) {
+        for (const auto &[Pt, Nbr] : Adj[Sw])
+          if (Dist.count(Nbr) && Dist[Nbr] == It->second - 1) {
+            Out = Pt;
+            break;
+          }
+      }
+      R.Actions = {flowtable::normalizeActionSeq(
+          {{FieldPt, static_cast<Value>(Out)}})};
+      Tables[Sw].add(std::move(R));
+    }
+  }
+
+  topo::Configuration C{std::move(Tables)};
+  return nes::Nes({}, {DenseBitSet()}, {std::move(C)},
+                  {stateful::StateVec{}});
 }

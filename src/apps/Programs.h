@@ -18,6 +18,7 @@
 #ifndef EVENTNET_APPS_PROGRAMS_H
 #define EVENTNET_APPS_PROGRAMS_H
 
+#include "nes/Nes.h"
 #include "stateful/Ast.h"
 #include "topo/Builders.h"
 
@@ -77,6 +78,13 @@ App ringApp(unsigned NumSwitches, unsigned Diameter);
 
 /// All five case-study apps (firewall, learning, auth, bwcap, ids).
 std::vector<App> caseStudyApps();
+
+/// A zero-event NES whose single configuration g(∅) shortest-path routes
+/// on ip_dst to every host of \p Topo (lowest-port tie-break, BFS). The
+/// engine's scale benchmarks use it on topologies — e.g. fat-trees —
+/// that have no Figure 9 program; the consistency checker degenerates to
+/// "every packet trace is a trace of g(∅)".
+nes::Nes staticRoutingNes(const topo::Topology &Topo);
 
 } // namespace apps
 } // namespace eventnet

@@ -1,0 +1,474 @@
+//===- engine/Engine.cpp - Sharded concurrent data-plane engine -----------===//
+
+#include "engine/Engine.h"
+
+#include "sim/Wire.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace eventnet;
+using namespace eventnet::engine;
+using eventnet::netkat::Packet;
+
+Engine::Engine(const nes::Nes &N, const topo::Topology &Topo,
+               EngineConfig Cfg)
+    : N(N), Topo(Topo), C(Cfg), Idx(Topo), Compiled(N, Idx), Epochs(8) {
+  if (C.NumShards == 0)
+    C.NumShards = 1;
+
+  Slots = std::make_unique<SwitchSlot[]>(Idx.numSwitches());
+  for (uint32_t D = 0; D != Idx.numSwitches(); ++D) {
+    SwitchSlot &Sl = Slots[D];
+    Sl.Id = Idx.idOf(D);
+    Sl.Shard = D % C.NumShards;
+    Sl.Tag = N.emptySet();
+    Sl.E = DenseBitSet();
+    Sl.Published.store(new SwitchView{Sl.Tag, Sl.E, 0});
+  }
+
+  for (unsigned I = 0; I != C.NumShards; ++I) {
+    auto S = std::make_unique<Shard>();
+    S->Q = std::make_unique<BoundedMpscQueue<Msg>>(C.QueueCapacity);
+    Shards.push_back(std::move(S));
+  }
+  CtrlQ = std::make_unique<BoundedMpscQueue<uint32_t>>(4096);
+
+  DetectNs.reserve(N.numEvents());
+  for (unsigned E = 0; E != N.numEvents(); ++E)
+    DetectNs.push_back(std::make_unique<std::atomic<int64_t>>(-1));
+
+  // A sane clock base for stats() calls that precede run().
+  StartNs.store(monotonicNs());
+
+  // Intern the wire-format fields on this thread so workers never hit a
+  // first-use interning path.
+  sim::ipSrcField();
+  sim::ipDstField();
+  sim::kindField();
+  sim::seqField();
+  sim::probeField();
+}
+
+Engine::~Engine() {
+  for (uint32_t D = 0; D != Idx.numSwitches(); ++D)
+    delete Slots[D].Published.load();
+}
+
+//===----------------------------------------------------------------------===//
+// Trace recording
+//===----------------------------------------------------------------------===//
+
+int64_t Engine::logEntry(Shard &S, const Packet &Lp, int64_t Parent,
+                         bool IsDelivery, nes::SetId Tag) {
+  if (!C.RecordTrace)
+    return -1;
+  uint64_t Ticket = Tickets.fetch_add(1);
+  S.Trace.push_back({Ticket, Parent, Lp, IsDelivery, Tag});
+  return static_cast<int64_t>(Ticket);
+}
+
+//===----------------------------------------------------------------------===//
+// The data path (owner-thread only)
+//===----------------------------------------------------------------------===//
+
+void Engine::applyRegister(Shard &S, SwitchSlot &Sl, const DenseBitSet &NewE) {
+  auto TagOpt = N.setIndex(NewE);
+  assert(TagOpt && "switch register left the NES family (Lemma 3)");
+  if (!TagOpt)
+    return;
+
+  double Now = nowSec();
+  NewE.forEach([&](unsigned E) {
+    if (!Sl.E.test(E))
+      S.LearnTimes.try_emplace({Sl.Id, static_cast<nes::EventId>(E)}, Now);
+  });
+
+  Sl.E = NewE;
+  Sl.Tag = *TagOpt;
+
+  // The atomic transition: swap the published view, retire the old one.
+  const SwitchView *Old = Sl.Published.load();
+  Sl.Published.store(new SwitchView{Sl.Tag, Sl.E, Old->Version + 1});
+  S.Retired.retire(Old, Epochs.retireEpoch());
+  S.Transitions.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Engine::sendToShard(uint32_t Target, Msg &&M) {
+  // Never block: a cycle of full bounded queues with blocking producers
+  // (who are also the consumers) would deadlock. The ring is the
+  // lock-free common case; the overflow deque bounds nothing but keeps
+  // every producer wait-free, and total in-flight traffic is bounded by
+  // the phase protocol.
+  Pending.fetch_add(1);
+  Shard &Sh = *Shards[Target];
+  if (Sh.Q->tryPush(std::move(M)))
+    return;
+  std::lock_guard<std::mutex> Lock(Sh.OverflowMu);
+  Sh.Overflow.push_back(std::move(M));
+}
+
+void Engine::forwardOut(Shard &S, const EnginePacket &P, Packet &&Out,
+                        const DenseBitSet &OutDigest) {
+  Location At = Out.loc();
+  const Egress *Eg = Idx.egressAt(Idx.denseOf(At.Sw), At.Pt);
+  if (!Eg) {
+    // Dangling port: discarded, no occurrence logged (as in the
+    // simulator).
+    Dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  if (Eg->IsHost) {
+    logEntry(S, Out, P.Parent, /*IsDelivery=*/true, P.Tag);
+    Delivered.fetch_add(1, std::memory_order_relaxed);
+    HostId H = Eg->Host;
+    S.Delivered.push_back({H, Out});
+
+    // Host application: answer echo requests addressed to us.
+    if (C.EchoReplies &&
+        Out.getOr(sim::kindField(), -1) == sim::KindRequest &&
+        Out.getOr(sim::ipDstField(), -1) == static_cast<Value>(H)) {
+      Value Src = Out.getOr(sim::ipSrcField(), -1);
+      if (Src >= 0) {
+        uint64_t Seq = static_cast<uint64_t>(Out.getOr(sim::seqField(), 0));
+        Msg R;
+        R.K = Msg::Inject;
+        R.From = H;
+        R.Header = sim::makeWireHeader(H, static_cast<HostId>(Src),
+                                       sim::KindReply, Seq);
+        // The replying host sits at this switch, i.e. on this shard.
+        sendToShard(Slots[Idx.denseOf(At.Sw)].Shard, std::move(R));
+      }
+    }
+    return;
+  }
+
+  int64_t EgressTicket = logEntry(S, Out, P.Parent, false, P.Tag);
+  Msg M;
+  M.K = Msg::PacketIn;
+  M.P.Pkt = std::move(Out);
+  M.P.Pkt.setLoc(Eg->Dst);
+  M.P.Tag = P.Tag;
+  M.P.Digest = OutDigest;
+  M.P.Parent = EgressTicket;
+  M.P.IngressLogged = false;
+  Forwarded.fetch_add(1, std::memory_order_relaxed);
+  sendToShard(Slots[Eg->DstDense].Shard, std::move(M));
+}
+
+void Engine::processPacket(Shard &S, EnginePacket &P) {
+  uint32_t D = Idx.denseOf(P.Pkt.sw());
+  SwitchSlot &Sl = Slots[D];
+
+  if (!P.IngressLogged) {
+    P.Parent = logEntry(S, P.Pkt, P.Parent, false, P.Tag);
+    P.IngressLogged = true;
+  }
+
+  // SWITCH rule: learn the digest, then greedily-consistent fresh events
+  // (the same sharpening as runtime::Machine and sim::Simulation).
+  DenseBitSet Known = Sl.E | P.Digest;
+  DenseBitSet Fresh;
+  for (nes::EventId E : Compiled.eventsAt(D)) {
+    if (Known.test(E) || Fresh.test(E))
+      continue;
+    if (!N.event(E).matches(P.Pkt))
+      continue;
+    DenseBitSet Ext = Known | Fresh;
+    Ext.set(E);
+    if (N.enables(Known, E) && N.con(Ext)) {
+      Fresh.set(E);
+      // First (and only) detection: the event's location is this switch.
+      int64_t Expected = -1;
+      DetectNs[E]->compare_exchange_strong(
+          Expected, static_cast<int64_t>(nowSec() * 1e9));
+      Pending.fetch_add(1);
+      // CtrlQ is sized far beyond the event count (each event is
+      // detected once) and the controller always drains, so a plain
+      // yield on the full path cannot deadlock.
+      CtrlQ->pushBlocking(static_cast<uint32_t>(E));
+    }
+  }
+
+  // Forward with the *stamped* configuration (per-packet consistency).
+  // The scratch vector is taken by move so this function stays correct
+  // even if a callee ever processes messages re-entrantly.
+  std::vector<Packet> Outs = std::move(S.Outs);
+  Outs.clear();
+  Compiled.pipe(P.Tag, D).apply(P.Pkt, Outs);
+
+  // Merge from the *current* register, not the Known snapshot:
+  // registers must only grow, whatever happened in between.
+  DenseBitSet NewE = Sl.E | Known | Fresh;
+  if (NewE != Sl.E)
+    applyRegister(S, Sl, NewE);
+  DenseBitSet OutDigest = P.Digest | NewE;
+
+  S.Processed.fetch_add(1, std::memory_order_relaxed);
+  if (Outs.empty()) {
+    Dropped.fetch_add(1, std::memory_order_relaxed);
+    S.Outs = std::move(Outs);
+    return;
+  }
+  for (Packet &Out : Outs)
+    forwardOut(S, P, std::move(Out), OutDigest);
+  S.Outs = std::move(Outs); // return the capacity for reuse
+}
+
+void Engine::handleInject(Shard &S, HostId From, Packet Header) {
+  Location At = Topo.hostLoc(From);
+  uint32_t D = Idx.denseOf(At.Sw);
+  SwitchSlot &Sl = Slots[D];
+
+  EnginePacket P;
+  P.Pkt = std::move(Header);
+  P.Pkt.setLoc(At);
+  // IN rule: stamp the ingress switch's current tag. The emission is
+  // logged now, at stamping time, so the trace's per-switch order places
+  // it against the register state it observed.
+  P.Tag = Sl.Tag;
+  P.Parent = logEntry(S, P.Pkt, -1, false, P.Tag);
+  P.IngressLogged = true;
+  Injected.fetch_add(1, std::memory_order_relaxed);
+  processPacket(S, P);
+}
+
+//===----------------------------------------------------------------------===//
+// Threads
+//===----------------------------------------------------------------------===//
+
+void Engine::processMsg(Shard &S, Msg &M) {
+  switch (M.K) {
+  case Msg::PacketIn:
+    processPacket(S, M.P);
+    break;
+  case Msg::Inject:
+    handleInject(S, M.From, std::move(M.Header));
+    break;
+  case Msg::CtrlMerge:
+    // CTRLSEND: merge the controller's set into every owned register.
+    for (uint32_t D = 0; D != Idx.numSwitches(); ++D) {
+      SwitchSlot &Sl = Slots[D];
+      if (&S != Shards[Sl.Shard].get())
+        continue;
+      DenseBitSet NewE = Sl.E | M.Merge;
+      if (NewE != Sl.E)
+        applyRegister(S, Sl, NewE);
+    }
+    break;
+  }
+  Pending.fetch_sub(1);
+}
+
+bool Engine::drainOne(Shard &S) {
+  Msg M;
+  if (!S.Q->tryPop(M)) {
+    // Ring empty: check the overflow (rare; only populated while the
+    // ring was full).
+    std::unique_lock<std::mutex> Lock(S.OverflowMu);
+    if (S.Overflow.empty())
+      return false;
+    M = std::move(S.Overflow.front());
+    S.Overflow.pop_front();
+    Lock.unlock();
+  }
+  processMsg(S, M);
+  return true;
+}
+
+void Engine::workerLoop(unsigned ShardIdx) {
+  Shard &S = *Shards[ShardIdx];
+  uint64_t Spins = 0;
+  while (true) {
+    if (drainOne(S)) {
+      Spins = 0;
+      if ((S.Processed.load(std::memory_order_relaxed) & 1023) == 0)
+        S.Retired.tryReclaim(Epochs.minActiveEpoch());
+      continue;
+    }
+    if (StopFlag.load())
+      break;
+    if (++Spins > 64)
+      std::this_thread::yield();
+  }
+}
+
+void Engine::controllerLoop() {
+  uint64_t Spins = 0;
+  while (true) {
+    uint32_t E;
+    if (CtrlQ->tryPop(E)) {
+      Spins = 0;
+      // CTRLRECV: fold the event into R once.
+      if (!Occurred.test(E)) {
+        Occurred.set(E);
+        Events.fetch_add(1, std::memory_order_relaxed);
+        if (C.CtrlBroadcast)
+          for (uint32_t I = 0; I != C.NumShards; ++I) {
+            Msg M;
+            M.K = Msg::CtrlMerge;
+            M.Merge = Occurred;
+            sendToShard(I, std::move(M));
+          }
+      }
+      Pending.fetch_sub(1);
+      continue;
+    }
+    if (StopFlag.load())
+      break;
+    if (++Spins > 64)
+      std::this_thread::yield();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Orchestration
+//===----------------------------------------------------------------------===//
+
+void Engine::run(const Workload &W) {
+  assert(!Ran.load() && "an Engine runs one workload");
+  StartNs.store(monotonicNs());
+  StopFlag.store(false);
+
+  CtrlThread = std::thread([this] { controllerLoop(); });
+  for (unsigned I = 0; I != C.NumShards; ++I)
+    Shards[I]->Thread = std::thread([this, I] { workerLoop(I); });
+
+  for (const Phase &Ph : W.Phases) {
+    for (const Injection &In : Ph.Injections) {
+      Location At = Topo.hostLoc(In.From);
+      Msg M;
+      M.K = Msg::Inject;
+      M.From = In.From;
+      M.Header = In.Header;
+      sendToShard(Slots[Idx.denseOf(At.Sw)].Shard, std::move(M));
+    }
+    // Quiesce: every message (packets, replies, controller work) drains.
+    while (Pending.load() != 0)
+      std::this_thread::yield();
+  }
+
+  ElapsedSec = nowSec();
+  StopFlag.store(true);
+  for (auto &S : Shards)
+    S->Thread.join();
+  CtrlThread.join();
+
+  for (auto &S : Shards)
+    S->Retired.tryReclaim(Epochs.minActiveEpoch());
+
+  mergeResults();
+  Ran.store(true);
+}
+
+void Engine::mergeResults() {
+  // Global trace: sort shard-local records by ticket. Per-switch order
+  // equals each owner's processing order (a switch's entries all come
+  // from one thread, ticketed in program order) and a parent's ticket
+  // precedes its children's (children are ticketed after the parent's
+  // enqueue), so the merged log is a legal interleaving for the
+  // happens-before derivation.
+  std::vector<const TraceRec *> All;
+  for (auto &S : Shards)
+    for (const TraceRec &R : S->Trace)
+      All.push_back(&R);
+  std::sort(All.begin(), All.end(),
+            [](const TraceRec *A, const TraceRec *B) {
+              return A->Ticket < B->Ticket;
+            });
+
+  std::unordered_map<uint64_t, int> IndexOf;
+  IndexOf.reserve(All.size());
+  for (const TraceRec *R : All) {
+    consistency::TraceEntry E;
+    E.Lp = R->Lp;
+    E.IsDelivery = R->IsDelivery;
+    E.Parent =
+        R->Parent < 0 ? -1 : IndexOf.at(static_cast<uint64_t>(R->Parent));
+    IndexOf.emplace(R->Ticket, MergedTrace.append(std::move(E)));
+    MergedTags.push_back(R->Tag);
+  }
+
+  for (auto &S : Shards) {
+    MergedDeliveries.insert(MergedDeliveries.end(), S->Delivered.begin(),
+                            S->Delivered.end());
+    MergedLearnTimes.insert(S->LearnTimes.begin(), S->LearnTimes.end());
+  }
+
+  // Final stats, including the transition-latency aggregates.
+  FinalStats = Stats();
+  FinalStats.ElapsedSec = ElapsedSec;
+  FinalStats.PacketsInjected = Injected.load();
+  FinalStats.PacketsDelivered = Delivered.load();
+  FinalStats.PacketsDropped = Dropped.load();
+  FinalStats.PacketsForwarded = Forwarded.load();
+  FinalStats.EventsDetected = Events.load();
+  for (auto &S : Shards) {
+    ShardStats SS;
+    SS.PacketsProcessed = S->Processed.load();
+    SS.QueueDepth = 0;
+    SS.Transitions = S->Transitions.load();
+    FinalStats.PacketsProcessed += SS.PacketsProcessed;
+    FinalStats.ConfigTransitions += SS.Transitions;
+    FinalStats.Shards.push_back(SS);
+  }
+  if (ElapsedSec > 0) {
+    FinalStats.PacketsPerSec = FinalStats.PacketsProcessed / ElapsedSec;
+    FinalStats.DeliveredPerSec = FinalStats.PacketsDelivered / ElapsedSec;
+  }
+  double Sum = 0, Max = 0;
+  uint64_t Samples = 0;
+  for (const auto &[Key, LearnAt] : MergedLearnTimes) {
+    int64_t Ns = DetectNs[Key.second]->load();
+    if (Ns < 0)
+      continue;
+    double Lat = LearnAt - static_cast<double>(Ns) * 1e-9;
+    if (Lat < 0)
+      Lat = 0;
+    Sum += Lat;
+    if (Lat > Max)
+      Max = Lat;
+    ++Samples;
+  }
+  FinalStats.Transition.Samples = Samples;
+  FinalStats.Transition.MaxSec = Max;
+  FinalStats.Transition.MeanSec = Samples ? Sum / Samples : 0;
+}
+
+Stats Engine::stats() const {
+  if (Ran.load())
+    return FinalStats;
+  Stats S;
+  S.ElapsedSec = nowSec();
+  S.PacketsInjected = Injected.load();
+  S.PacketsDelivered = Delivered.load();
+  S.PacketsDropped = Dropped.load();
+  S.PacketsForwarded = Forwarded.load();
+  S.EventsDetected = Events.load();
+  for (const auto &Sh : Shards) {
+    ShardStats SS;
+    SS.PacketsProcessed = Sh->Processed.load();
+    SS.QueueDepth = Sh->Q->sizeApprox();
+    {
+      std::lock_guard<std::mutex> Lock(Sh->OverflowMu);
+      SS.QueueDepth += Sh->Overflow.size();
+    }
+    SS.Transitions = Sh->Transitions.load();
+    S.PacketsProcessed += SS.PacketsProcessed;
+    S.ConfigTransitions += SS.Transitions;
+    S.Shards.push_back(SS);
+  }
+  if (S.ElapsedSec > 0) {
+    S.PacketsPerSec = S.PacketsProcessed / S.ElapsedSec;
+    S.DeliveredPerSec = S.PacketsDelivered / S.ElapsedSec;
+  }
+  return S;
+}
+
+Engine::ViewSnapshot Engine::readView(SwitchId Sw) const {
+  EpochDomain::ReadGuard Guard(Epochs);
+  const SwitchView *V = Slots[Idx.denseOf(Sw)].Published.load();
+  return ViewSnapshot{V->Tag, V->E, V->Version};
+}

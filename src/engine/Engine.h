@@ -1,0 +1,250 @@
+//===- engine/Engine.h - Sharded concurrent data-plane engine ---*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concurrent execution substrate for compiled NESes: N worker
+/// threads each own a shard of the topology's switches and exchange
+/// packets over lock-free MPSC queues; a controller thread plays the
+/// Figure 7 CTRLRECV/CTRLSEND roles. Per-switch event registers are
+/// single-writer (the owning shard), so the Section 4 tag/digest
+/// protocol runs without locks:
+///
+///  - IN: an injected packet is stamped with the ingress switch's
+///    current event-set tag by the owner, exactly the Figure 7 IN rule.
+///  - SWITCH: the owner learns digest events and greedily-consistent
+///    fresh events, forwards with the *stamped* tag's pipeline (packets
+///    in flight never see a mixed configuration — the table a packet is
+///    matched against is chosen by its immutable tag, and all lowered
+///    pipelines are immutable), then extends the outgoing digest.
+///  - Configuration transitions are atomic pointer swaps of the
+///    switch's published view (tag + register); readers (stats, test
+///    monitors) are RCU-style lock-free, and old views are retired
+///    through an epoch domain (engine/Rcu.h).
+///
+/// Shard-local trace entries carry tickets from a global atomic counter;
+/// run() merges them into a consistency::NetworkTrace whose log order is
+/// a legal global interleaving (per-switch order is the owner's real
+/// processing order; a parent's ticket always precedes its children's),
+/// so the Definition 6 checker applies to concurrent executions exactly
+/// as it does to the sequential Machine and Simulation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_ENGINE_ENGINE_H
+#define EVENTNET_ENGINE_ENGINE_H
+
+#include "consistency/Trace.h"
+#include "engine/Compiled.h"
+#include "engine/Queue.h"
+#include "engine/Rcu.h"
+#include "engine/Stats.h"
+#include "engine/TrafficGen.h"
+#include "nes/Nes.h"
+#include "support/BitSet.h"
+#include "topo/Topology.h"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eventnet {
+namespace engine {
+
+/// Engine construction parameters.
+struct EngineConfig {
+  /// Worker threads; switches are assigned round-robin by dense index.
+  unsigned NumShards = 1;
+  /// Per-shard queue capacity (rounded up to a power of two).
+  size_t QueueCapacity = 1 << 15;
+  /// Controller re-broadcasts its event set to every switch (CTRLSEND),
+  /// accelerating discovery beyond digest gossip. Off by default, like
+  /// the simulator.
+  bool CtrlBroadcast = false;
+  /// Hosts answer echo requests in-engine (KindRequest -> KindReply).
+  bool EchoReplies = true;
+  /// Record the network trace for the consistency checkers. Turn off
+  /// for pure-throughput benchmarking.
+  bool RecordTrace = true;
+};
+
+/// A sharded multi-threaded data-plane engine executing one NES.
+class Engine {
+public:
+  Engine(const nes::Nes &N, const topo::Topology &Topo,
+         EngineConfig C = EngineConfig());
+  ~Engine();
+
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  /// Executes \p W phase by phase (quiescing between phases) and shuts
+  /// the threads down. One workload per Engine.
+  void run(const Workload &W);
+
+  /// Counter snapshot; callable concurrently with run() from another
+  /// thread (latency aggregates are only populated once run returned).
+  Stats stats() const;
+
+  /// The merged network trace (valid after run; empty if RecordTrace
+  /// was off).
+  const consistency::NetworkTrace &trace() const { return MergedTrace; }
+
+  /// The configuration tag each trace entry's packet carried, parallel
+  /// to trace().entries().
+  const std::vector<nes::SetId> &traceTags() const { return MergedTags; }
+
+  /// Packets handed to hosts, in per-shard processing order (merged).
+  const std::vector<std::pair<HostId, netkat::Packet>> &deliveries() const {
+    return MergedDeliveries;
+  }
+
+  /// Seconds after run() start at which each switch first learned each
+  /// event (valid after run) — the Figure 16(b) measurement.
+  const std::map<std::pair<SwitchId, nes::EventId>, double> &
+  learnTimes() const {
+    return MergedLearnTimes;
+  }
+
+  /// An RCU read of a switch's published view: tag, register, and the
+  /// monotonic version stamped at each transition. Lock-free; callable
+  /// from any thread at any time.
+  struct ViewSnapshot {
+    nes::SetId Tag = 0;
+    DenseBitSet E;
+    uint64_t Version = 0;
+  };
+  ViewSnapshot readView(SwitchId Sw) const;
+
+  const nes::Nes &structure() const { return N; }
+  const topo::Topology &topology() const { return Topo; }
+
+private:
+  /// The immutable state a switch publishes at every transition.
+  struct SwitchView {
+    nes::SetId Tag = 0;
+    DenseBitSet E;
+    uint64_t Version = 0;
+  };
+
+  /// Owner-private plus published per-switch state.
+  struct SwitchSlot {
+    SwitchId Id = 0;
+    uint32_t Shard = 0;
+    nes::SetId Tag = 0; ///< owner's working tag (== setIndex(E))
+    DenseBitSet E;      ///< owner's working register
+    std::atomic<const SwitchView *> Published{nullptr};
+  };
+
+  /// A packet in flight with its Section 4 metadata.
+  struct EnginePacket {
+    netkat::Packet Pkt;
+    nes::SetId Tag = 0;
+    DenseBitSet Digest;
+    int64_t Parent = -1; ///< trace ticket of the producing occurrence
+    bool IngressLogged = false;
+  };
+
+  struct Msg {
+    enum Kind : uint8_t { PacketIn, Inject, CtrlMerge } K = PacketIn;
+    EnginePacket P;        // PacketIn
+    HostId From = 0;       // Inject
+    netkat::Packet Header; // Inject
+    DenseBitSet Merge;     // CtrlMerge
+  };
+
+  struct TraceRec {
+    uint64_t Ticket = 0;
+    int64_t Parent = -1;
+    netkat::Packet Lp;
+    bool IsDelivery = false;
+    nes::SetId Tag = 0;
+  };
+
+  struct Shard {
+    std::unique_ptr<BoundedMpscQueue<Msg>> Q; ///< lock-free fast path
+    /// Overflow when the ring is full: producers never block (a cycle
+    /// of full bounded queues would otherwise deadlock the workers);
+    /// the owner drains the ring first, then the overflow.
+    std::mutex OverflowMu;
+    std::deque<Msg> Overflow;
+    std::vector<TraceRec> Trace;
+    std::vector<std::pair<HostId, netkat::Packet>> Delivered;
+    std::map<std::pair<SwitchId, nes::EventId>, double> LearnTimes;
+    RetireList<SwitchView> Retired;
+    std::thread Thread;
+    std::vector<netkat::Packet> Outs; ///< scratch
+    std::atomic<uint64_t> Processed{0};
+    std::atomic<uint64_t> Transitions{0};
+  };
+
+  void workerLoop(unsigned ShardIdx);
+  void controllerLoop();
+  bool drainOne(Shard &S);
+  void processMsg(Shard &S, Msg &M);
+  void handleInject(Shard &S, HostId From, netkat::Packet Header);
+  void processPacket(Shard &S, EnginePacket &P);
+  void forwardOut(Shard &S, const EnginePacket &P, netkat::Packet &&Out,
+                  const DenseBitSet &OutDigest);
+  void applyRegister(Shard &S, SwitchSlot &Sl, const DenseBitSet &NewE);
+  void sendToShard(uint32_t Target, Msg &&M);
+  int64_t logEntry(Shard &S, const netkat::Packet &Lp, int64_t Parent,
+                   bool IsDelivery, nes::SetId Tag);
+  void mergeResults();
+  static int64_t monotonicNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  double nowSec() const {
+    // StartNs is atomic: stats() may race run()'s clock reset.
+    return static_cast<double>(monotonicNs() - StartNs.load()) * 1e-9;
+  }
+
+  const nes::Nes &N;
+  const topo::Topology &Topo;
+  EngineConfig C;
+
+  SwitchIndex Idx;
+  CompiledNes Compiled;
+  std::unique_ptr<SwitchSlot[]> Slots; ///< by dense switch index
+  std::vector<std::unique_ptr<Shard>> Shards;
+
+  // Controller.
+  std::unique_ptr<BoundedMpscQueue<uint32_t>> CtrlQ;
+  std::thread CtrlThread;
+  DenseBitSet Occurred; ///< controller-thread private (R of Figure 7)
+
+  mutable EpochDomain Epochs;
+  std::atomic<uint64_t> Tickets{0};
+  std::atomic<int64_t> Pending{0};
+  std::atomic<bool> StopFlag{false};
+  std::atomic<int64_t> StartNs{0}; ///< run() start, steady-clock ns
+
+  // Counters.
+  std::atomic<uint64_t> Injected{0}, Delivered{0}, Dropped{0}, Forwarded{0},
+      Events{0};
+  std::vector<std::unique_ptr<std::atomic<int64_t>>> DetectNs; ///< per event
+  double ElapsedSec = 0;
+  std::atomic<bool> Ran{false};
+
+  // Merged results (valid after run()).
+  consistency::NetworkTrace MergedTrace;
+  std::vector<nes::SetId> MergedTags;
+  std::vector<std::pair<HostId, netkat::Packet>> MergedDeliveries;
+  std::map<std::pair<SwitchId, nes::EventId>, double> MergedLearnTimes;
+  Stats FinalStats;
+};
+
+} // namespace engine
+} // namespace eventnet
+
+#endif // EVENTNET_ENGINE_ENGINE_H

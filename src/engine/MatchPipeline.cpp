@@ -1,0 +1,201 @@
+//===- engine/MatchPipeline.cpp - Flat per-switch match pipeline ----------===//
+
+#include "engine/MatchPipeline.h"
+
+#include "fdd/Fdd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace eventnet;
+using namespace eventnet::engine;
+using eventnet::netkat::Packet;
+
+namespace {
+
+/// Binary search in the packet's sorted field vector.
+bool packetField(const Packet &Pkt, FieldId F, Value &Out) {
+  const auto &Fs = Pkt.fields();
+  auto It = std::lower_bound(
+      Fs.begin(), Fs.end(), F,
+      [](const std::pair<FieldId, Value> &A, FieldId B) { return A.first < B; });
+  if (It == Fs.end() || It->first != F)
+    return false;
+  Out = It->second;
+  return true;
+}
+
+} // namespace
+
+MatchPipeline::MatchPipeline(const flowtable::Table &T) {
+  //===------------------------------------------------------------------===//
+  // Leaf interning shared by both paths.
+  //===------------------------------------------------------------------===//
+  std::map<fdd::ActionSet, int32_t> LeafIdx;
+  auto internLeaf = [&](const fdd::ActionSet &Acts) -> int32_t {
+    auto It = LeafIdx.find(Acts);
+    if (It != LeafIdx.end())
+      return It->second;
+    LeafRec L;
+    L.First = static_cast<uint32_t>(Actions.size());
+    L.Count = static_cast<uint32_t>(Acts.size());
+    for (const flowtable::ActionSeq &A : Acts) {
+      ActionRec AR;
+      AR.First = static_cast<uint32_t>(Writes.size());
+      AR.Count = static_cast<uint32_t>(A.size());
+      for (const auto &[F, V] : A)
+        Writes.push_back({F, V});
+      Actions.push_back(AR);
+    }
+    int32_t Idx = static_cast<int32_t>(Leaves.size());
+    Leaves.push_back(L);
+    LeafIdx.emplace(Acts, Idx);
+    return Idx;
+  };
+
+  //===------------------------------------------------------------------===//
+  // FDD fast path: compile the table to a diagram, flatten the DAG.
+  //===------------------------------------------------------------------===//
+  {
+    fdd::FddManager M;
+    fdd::NodeId FRoot = M.fromTable(T);
+    std::unordered_map<fdd::NodeId, int32_t> Memo;
+    // Iterative post-order flatten (children before parents).
+    struct Frame {
+      fdd::NodeId N;
+      bool Expanded;
+    };
+    std::vector<Frame> Stack{{FRoot, false}};
+    while (!Stack.empty()) {
+      Frame Fr = Stack.back();
+      Stack.pop_back();
+      if (Memo.count(Fr.N))
+        continue;
+      if (M.isLeaf(Fr.N)) {
+        Memo[Fr.N] = ~internLeaf(M.leafActions(Fr.N));
+        continue;
+      }
+      if (!Fr.Expanded) {
+        Stack.push_back({Fr.N, true});
+        Stack.push_back({M.hi(Fr.N), false});
+        Stack.push_back({M.lo(Fr.N), false});
+        continue;
+      }
+      fdd::TestKey K = M.testKey(Fr.N);
+      NodeRec NR;
+      NR.F = K.F;
+      NR.V = K.V;
+      NR.Hi = Memo.at(M.hi(Fr.N));
+      NR.Lo = Memo.at(M.lo(Fr.N));
+      Memo[Fr.N] = static_cast<int32_t>(Nodes.size());
+      Nodes.push_back(NR);
+    }
+    Root = Memo.at(FRoot);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Scan path: flat rules plus dispatch buckets.
+  //===------------------------------------------------------------------===//
+  for (const flowtable::Rule &R : T.rules()) {
+    RuleRec RR;
+    RR.CFirst = static_cast<uint32_t>(Constraints.size());
+    RR.CCount = static_cast<uint32_t>(R.Pattern.constraints().size());
+    for (const auto &C : R.Pattern.constraints())
+      Constraints.push_back(C);
+    RR.Leaf = internLeaf(fdd::ActionSet(R.Actions.begin(), R.Actions.end()));
+    Rules.push_back(RR);
+  }
+
+  std::map<FieldId, size_t> Hist = T.constraintHistogram();
+  for (const auto &[F, Count] : Hist)
+    if (Dispatch == NoDispatchField || Count > Hist[Dispatch])
+      Dispatch = F;
+
+  if (Dispatch != NoDispatchField) {
+    // The dispatch value each rule constrains, if any (Match::require
+    // keeps at most one constraint per field).
+    auto DispatchValue = [&](const RuleRec &RR, Value &Out) {
+      for (uint32_t C = RR.CFirst; C != RR.CFirst + RR.CCount; ++C)
+        if (Constraints[C].first == Dispatch) {
+          Out = Constraints[C].second;
+          return true;
+        }
+      return false;
+    };
+    // Pass 1: create a bucket per constrained value.
+    for (const RuleRec &RR : Rules) {
+      Value V;
+      if (DispatchValue(RR, V))
+        Buckets[V];
+    }
+    // Pass 2: one sweep in first-match order — a constrained rule joins
+    // its value's bucket, a wildcard rule joins every bucket (and the
+    // wildcard-only fallback list). Linear in rules + wildcards*buckets
+    // instead of buckets*rules.
+    for (uint32_t I = 0; I != Rules.size(); ++I) {
+      Value V;
+      if (DispatchValue(Rules[I], V)) {
+        Buckets[V].push_back(I);
+      } else {
+        for (auto &[BV, Bucket] : Buckets) {
+          (void)BV;
+          Bucket.push_back(I);
+        }
+        WildcardRules.push_back(I);
+      }
+    }
+  } else {
+    for (uint32_t I = 0; I != Rules.size(); ++I)
+      WildcardRules.push_back(I);
+  }
+}
+
+void MatchPipeline::emit(const Packet &Pkt, int32_t Leaf,
+                         std::vector<Packet> &Out) const {
+  const LeafRec &L = Leaves[Leaf];
+  for (uint32_t A = L.First; A != L.First + L.Count; ++A) {
+    Packet P = Pkt;
+    const ActionRec &AR = Actions[A];
+    for (uint32_t W = AR.First; W != AR.First + AR.Count; ++W)
+      P.set(Writes[W].F, Writes[W].V);
+    Out.push_back(std::move(P));
+  }
+}
+
+void MatchPipeline::apply(const Packet &Pkt, std::vector<Packet> &Out) const {
+  int32_t N = Root;
+  while (N >= 0) {
+    const NodeRec &Nd = Nodes[N];
+    Value V;
+    bool Pass = packetField(Pkt, Nd.F, V) && V == Nd.V;
+    N = Pass ? Nd.Hi : Nd.Lo;
+  }
+  emit(Pkt, ~N, Out);
+}
+
+bool MatchPipeline::ruleMatches(const RuleRec &R, const Packet &Pkt) const {
+  for (uint32_t C = R.CFirst; C != R.CFirst + R.CCount; ++C) {
+    Value V;
+    if (!packetField(Pkt, Constraints[C].first, V) ||
+        V != Constraints[C].second)
+      return false;
+  }
+  return true;
+}
+
+void MatchPipeline::applyScan(const Packet &Pkt,
+                              std::vector<Packet> &Out) const {
+  const std::vector<uint32_t> *Candidates = &WildcardRules;
+  Value V;
+  if (Dispatch != NoDispatchField && packetField(Pkt, Dispatch, V)) {
+    auto It = Buckets.find(V);
+    if (It != Buckets.end())
+      Candidates = &It->second;
+  }
+  for (uint32_t I : *Candidates)
+    if (ruleMatches(Rules[I], Pkt)) {
+      emit(Pkt, Rules[I].Leaf, Out);
+      return;
+    }
+}

@@ -1,0 +1,125 @@
+//===- engine/Queue.h - Bounded lock-free MPSC queue ------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inter-shard packet channel: a bounded multi-producer queue after
+/// Vyukov's array-based MPMC design. Each slot carries a sequence number
+/// so producers claim cells with one fetch_add and consumers observe
+/// fully-constructed elements without locks. The engine uses one queue
+/// per shard (any shard or the controller produces; only the owner
+/// consumes — MPSC), which degenerates to SPSC wait-free hand-off when
+/// exactly one producer is active.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_ENGINE_QUEUE_H
+#define EVENTNET_ENGINE_QUEUE_H
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+
+namespace eventnet {
+namespace engine {
+
+/// Bounded lock-free queue (Vyukov bounded MPMC; used MPSC here).
+template <typename T> class BoundedMpscQueue {
+public:
+  /// \p Capacity is rounded up to a power of two.
+  explicit BoundedMpscQueue(size_t Capacity) {
+    size_t Cap = 2;
+    while (Cap < Capacity)
+      Cap <<= 1;
+    Cells = std::make_unique<Cell[]>(Cap);
+    for (size_t I = 0; I != Cap; ++I)
+      Cells[I].Seq.store(I, std::memory_order_relaxed);
+    Mask = Cap - 1;
+  }
+
+  BoundedMpscQueue(const BoundedMpscQueue &) = delete;
+  BoundedMpscQueue &operator=(const BoundedMpscQueue &) = delete;
+
+  /// Attempts to enqueue; returns false when full.
+  bool tryPush(T &&V) {
+    size_t Pos = Tail.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell &C = Cells[Pos & Mask];
+      size_t Seq = C.Seq.load(std::memory_order_acquire);
+      intptr_t Diff =
+          static_cast<intptr_t>(Seq) - static_cast<intptr_t>(Pos);
+      if (Diff == 0) {
+        if (Tail.compare_exchange_weak(Pos, Pos + 1,
+                                       std::memory_order_relaxed))
+          break;
+      } else if (Diff < 0) {
+        return false; // full
+      } else {
+        Pos = Tail.load(std::memory_order_relaxed);
+      }
+    }
+    Cell &C = Cells[Pos & Mask];
+    C.Value = std::move(V);
+    C.Seq.store(Pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Enqueues, spinning while the queue is full. \p WhileFull (if
+  /// non-null) is invoked once per failed attempt so a worker can drain
+  /// its own queue instead of deadlocking on a cycle of full queues.
+  template <typename FnT> void pushBlocking(T &&V, FnT WhileFull) {
+    while (!tryPush(std::move(V)))
+      WhileFull();
+  }
+  void pushBlocking(T &&V) {
+    pushBlocking(std::move(V), [] { std::this_thread::yield(); });
+  }
+
+  /// Attempts to dequeue; returns false when empty. Single consumer.
+  bool tryPop(T &Out) {
+    size_t Pos = Head.load(std::memory_order_relaxed);
+    Cell &C = Cells[Pos & Mask];
+    size_t Seq = C.Seq.load(std::memory_order_acquire);
+    intptr_t Diff =
+        static_cast<intptr_t>(Seq) - static_cast<intptr_t>(Pos + 1);
+    if (Diff < 0)
+      return false; // empty
+    assert(Diff == 0 && "single consumer violated");
+    Head.store(Pos + 1, std::memory_order_relaxed);
+    Out = std::move(C.Value);
+    C.Seq.store(Pos + Mask + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate number of queued elements (racy snapshot; for stats).
+  size_t sizeApprox() const {
+    size_t Ta = Tail.load(std::memory_order_relaxed);
+    size_t Hd = Head.load(std::memory_order_relaxed);
+    return Ta >= Hd ? Ta - Hd : 0;
+  }
+
+  size_t capacity() const { return Mask + 1; }
+
+private:
+  struct Cell {
+    std::atomic<size_t> Seq{0};
+    T Value;
+  };
+
+  std::unique_ptr<Cell[]> Cells;
+  size_t Mask = 0;
+  alignas(64) std::atomic<size_t> Tail{0};
+  alignas(64) std::atomic<size_t> Head{0};
+};
+
+} // namespace engine
+} // namespace eventnet
+
+#endif // EVENTNET_ENGINE_QUEUE_H

@@ -1,0 +1,158 @@
+//===- engine/Rcu.h - Epoch-based read-copy-update --------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reclamation half of the engine's atomic configuration-transition
+/// protocol. A switch's published view (tag + event register) is an
+/// atomic pointer its owning shard swaps on every register change;
+/// readers — the stats snapshot, test monitors — never lock: they enter
+/// an epoch, load the pointer, copy what they need, and exit. A swapped-
+/// out view is retired with the epoch current at the swap and freed only
+/// once every active reader has entered a later epoch, so a reader can
+/// never observe a freed (or mixed) view.
+///
+/// All atomics are seq_cst: a reader whose enter() observed epoch >= the
+/// retire epoch is, in the single total order, past the writer's
+/// fetch_add and therefore past the pointer swap that preceded it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_ENGINE_RCU_H
+#define EVENTNET_ENGINE_RCU_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace eventnet {
+namespace engine {
+
+/// A set of reader slots plus the global epoch counter.
+class EpochDomain {
+public:
+  explicit EpochDomain(unsigned MaxReaders)
+      : NumSlots(MaxReaders), Slots(std::make_unique<Slot[]>(MaxReaders)) {}
+
+  /// Claims a reader slot (spin over the fixed pool). Slots are a tiny
+  /// fixed resource; callers release promptly.
+  unsigned acquireSlot() {
+    for (;;)
+      for (unsigned I = 0; I != NumSlots; ++I) {
+        bool Expected = false;
+        if (Slots[I].Claimed.compare_exchange_strong(Expected, true))
+          return I;
+      }
+  }
+
+  void releaseSlot(unsigned Slot) {
+    assert(Slots[Slot].Epoch.load() == 0 && "release while in critical section");
+    Slots[Slot].Claimed.store(false);
+  }
+
+  /// Enters a read-side critical section on \p Slot. The slot value is
+  /// re-validated against the global epoch after publication: a writer
+  /// that advanced the epoch between our load and our store may already
+  /// have scanned past this (then-quiescent) slot, so only an epoch the
+  /// global still holds *after* the store is proven visible to every
+  /// later scan.
+  void enter(unsigned Slot) {
+    uint64_t E = Global.load();
+    for (;;) {
+      Slots[Slot].Epoch.store(E);
+      uint64_t Now = Global.load();
+      if (Now == E)
+        return;
+      E = Now;
+    }
+  }
+
+  /// Leaves the read-side critical section.
+  void exit(unsigned Slot) { Slots[Slot].Epoch.store(0); }
+
+  /// Called by a writer after unpublishing an object: returns the epoch
+  /// the retired object must outlive.
+  uint64_t retireEpoch() { return Global.fetch_add(1) + 1; }
+
+  /// The oldest epoch any active reader may still be in; objects retired
+  /// strictly before it are unreachable.
+  uint64_t minActiveEpoch() const {
+    uint64_t Min = Global.load() + 1;
+    for (unsigned I = 0; I != NumSlots; ++I) {
+      uint64_t E = Slots[I].Epoch.load();
+      if (E != 0 && E < Min)
+        Min = E;
+    }
+    return Min;
+  }
+
+  /// RAII read-side guard.
+  class ReadGuard {
+  public:
+    explicit ReadGuard(EpochDomain &D) : D(D), SlotIdx(D.acquireSlot()) {
+      D.enter(SlotIdx);
+    }
+    ~ReadGuard() {
+      D.exit(SlotIdx);
+      D.releaseSlot(SlotIdx);
+    }
+    ReadGuard(const ReadGuard &) = delete;
+    ReadGuard &operator=(const ReadGuard &) = delete;
+
+  private:
+    EpochDomain &D;
+    unsigned SlotIdx;
+  };
+
+private:
+  struct Slot {
+    std::atomic<bool> Claimed{false};
+    std::atomic<uint64_t> Epoch{0}; ///< 0 = quiescent
+  };
+
+  std::atomic<uint64_t> Global{1};
+  unsigned NumSlots;
+  std::unique_ptr<Slot[]> Slots;
+};
+
+/// A single writer's list of retired objects awaiting reclamation.
+template <typename T> class RetireList {
+public:
+  /// Takes ownership of \p Obj, to be freed once all readers pass
+  /// \p Epoch (from EpochDomain::retireEpoch). Null is ignored.
+  void retire(const T *Obj, uint64_t Epoch) {
+    if (Obj)
+      Retired.push_back({std::unique_ptr<const T>(Obj), Epoch});
+  }
+
+  /// Frees every object whose retire epoch is at or before \p MinActive
+  /// (EpochDomain::minActiveEpoch): a reader whose enter() observed the
+  /// retire epoch is already past the pointer swap, so only readers
+  /// strictly older than the retire epoch pin an object.
+  void tryReclaim(uint64_t MinActive) {
+    size_t Kept = 0;
+    for (size_t I = 0; I != Retired.size(); ++I)
+      if (Retired[I].Epoch > MinActive)
+        Retired[Kept++] = std::move(Retired[I]);
+    Retired.resize(Kept);
+  }
+
+  size_t pending() const { return Retired.size(); }
+
+private:
+  struct Entry {
+    std::unique_ptr<const T> Obj;
+    uint64_t Epoch;
+  };
+  std::vector<Entry> Retired;
+};
+
+} // namespace engine
+} // namespace eventnet
+
+#endif // EVENTNET_ENGINE_RCU_H

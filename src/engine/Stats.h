@@ -1,0 +1,63 @@
+//===- engine/Stats.h - Engine statistics snapshot --------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A point-in-time snapshot of the concurrent engine's counters:
+/// per-shard throughput and queue depth, configuration transitions, and
+/// the latency from an event's detection to each switch register
+/// learning it (the engine analogue of the Figure 16(b) discovery-time
+/// measurement).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_ENGINE_STATS_H
+#define EVENTNET_ENGINE_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace eventnet {
+namespace engine {
+
+/// Counters of one shard.
+struct ShardStats {
+  uint64_t PacketsProcessed = 0; ///< switch-hops executed by this shard
+  uint64_t QueueDepth = 0;       ///< approximate pending messages
+  uint64_t Transitions = 0;      ///< published register/view swaps
+};
+
+/// Snapshot of the whole engine.
+struct Stats {
+  double ElapsedSec = 0;         ///< run() wall time (injection to drain)
+  uint64_t PacketsInjected = 0;  ///< host emissions (incl. echo replies)
+  uint64_t PacketsProcessed = 0; ///< total switch-hops
+  uint64_t PacketsDelivered = 0; ///< packets handed to a host
+  uint64_t PacketsDropped = 0;   ///< table miss / drop rule / dangling port
+  uint64_t PacketsForwarded = 0; ///< link traversals
+  uint64_t EventsDetected = 0;   ///< distinct NES events that occurred
+  uint64_t ConfigTransitions = 0;
+
+  /// Switch-hops per wall-clock second (the headline throughput).
+  double PacketsPerSec = 0;
+  /// Delivered packets per wall-clock second.
+  double DeliveredPerSec = 0;
+
+  /// Event-detection to register-learn latency over all (switch, event)
+  /// pairs that learned (tag/digest propagation plus queueing).
+  struct TransitionLatency {
+    uint64_t Samples = 0;
+    double MeanSec = 0;
+    double MaxSec = 0;
+  } Transition;
+
+  std::vector<ShardStats> Shards;
+};
+
+} // namespace engine
+} // namespace eventnet
+
+#endif // EVENTNET_ENGINE_STATS_H

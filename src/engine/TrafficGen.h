@@ -1,0 +1,100 @@
+//===- engine/TrafficGen.h - Workload driver --------------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded workload generation for the concurrent engine. A Workload is a
+/// sequence of *phases*; the engine injects a phase's emissions
+/// concurrently, runs to quiescence, then starts the next phase — the
+/// engine-world analogue of the simulator's timestamped schedule, giving
+/// scripted scenarios (contact-before-reply orderings) a deterministic
+/// causal structure while leaving everything inside a phase maximally
+/// concurrent.
+///
+/// Headers use the sim/Wire.h application format, so traces replay
+/// through the same consistency checkers as the simulator's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_ENGINE_TRAFFICGEN_H
+#define EVENTNET_ENGINE_TRAFFICGEN_H
+
+#include "netkat/Packet.h"
+#include "support/Rng.h"
+#include "topo/Topology.h"
+
+#include <vector>
+
+namespace eventnet {
+namespace engine {
+
+/// One host emission.
+struct Injection {
+  HostId From = 0;
+  netkat::Packet Header;
+};
+
+/// Emissions injected concurrently; the engine quiesces between phases.
+struct Phase {
+  std::vector<Injection> Injections;
+};
+
+struct Workload {
+  std::vector<Phase> Phases;
+
+  size_t totalInjections() const {
+    size_t N = 0;
+    for (const Phase &P : Phases)
+      N += P.Injections.size();
+    return N;
+  }
+
+  /// Appends \p Other's phases.
+  Workload &operator+=(const Workload &Other) {
+    Phases.insert(Phases.end(), Other.Phases.begin(), Other.Phases.end());
+    return *this;
+  }
+};
+
+/// Seeded generator over a topology's hosts.
+class TrafficGen {
+public:
+  TrafficGen(const topo::Topology &Topo, uint64_t Seed);
+
+  /// \p Phases phases of \p PerPhase echo requests between distinct
+  /// random host pairs (destinations reply in-engine).
+  Workload pings(unsigned Phases, unsigned PerPhase);
+
+  /// Probe packets (probe=1, no reply) from random hosts to \p To — the
+  /// ring program's event triggers.
+  Workload probes(unsigned Phases, unsigned PerPhase, HostId To);
+
+  /// \p Packets bulk data packets From -> To, \p PerPhase at a time.
+  Workload bulk(HostId From, HostId To, uint64_t Packets, unsigned PerPhase);
+
+  /// Bulk traffic between \p Pairs random distinct host pairs at once.
+  Workload randomBulk(unsigned Pairs, uint64_t PacketsPerPair,
+                      unsigned PerPhase);
+
+  /// A single ping From -> To as its own phase (scripted scenarios).
+  Workload ping(HostId From, HostId To);
+
+  /// A single probe From -> To as its own phase.
+  Workload probe(HostId From, HostId To);
+
+private:
+  HostId randomHost();
+  std::pair<HostId, HostId> randomPair();
+
+  std::vector<HostId> Hosts;
+  Rng R;
+  uint64_t NextSeq = 1;
+};
+
+} // namespace engine
+} // namespace eventnet
+
+#endif // EVENTNET_ENGINE_TRAFFICGEN_H

@@ -403,6 +403,24 @@ NodeId FddManager::compile(const netkat::PolicyRef &P) {
   return Drop;
 }
 
+NodeId FddManager::fromTable(const flowtable::Table &T) {
+  // Fold from the lowest-priority rule upward: each rule gates its own
+  // actions on its pattern and defers to the accumulated lower rules on
+  // the complement, which is exactly first-match semantics.
+  NodeId Acc = Drop; // table miss
+  const std::vector<flowtable::Rule> &Rules = T.rules();
+  for (size_t I = Rules.size(); I-- > 0;) {
+    const flowtable::Rule &R = Rules[I];
+    NodeId P = Id;
+    for (const auto &[F, V] : R.Pattern.constraints())
+      P = mergeApply(P, makeTest(TestKey{F, V}, Id, Drop), BinOp::Intersect);
+    ActionSet Acts(R.Actions.begin(), R.Actions.end());
+    Acc = unionFdd(mergeApply(P, makeLeaf(std::move(Acts)), BinOp::Gate),
+                   mergeApply(notFdd(P), Acc, BinOp::Gate));
+  }
+  return Acc;
+}
+
 //===----------------------------------------------------------------------===//
 // Restriction
 //===----------------------------------------------------------------------===//

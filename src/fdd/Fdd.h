@@ -117,6 +117,13 @@ public:
   /// splitter first so no sw writes reach switch tables.
   NodeId compile(const netkat::PolicyRef &P);
 
+  /// Builds a diagram with exactly the first-match semantics of \p T:
+  /// evaluate(fromTable(T), Pkt) is the action set of T's first matching
+  /// rule (empty on a miss or an explicit drop). Inverse of toTable up to
+  /// equivalence; the engine's match-pipeline lowering flattens the
+  /// result into a contiguous decision tree for its lookup fast path.
+  NodeId fromTable(const flowtable::Table &T);
+
   /// Specializes \p N under the assumption field \p F == \p V, removing
   /// all tests on F.
   NodeId restrictEq(NodeId N, FieldId F, Value V);

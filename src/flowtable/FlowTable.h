@@ -20,6 +20,7 @@
 #include "netkat/Packet.h"
 #include "support/Ids.h"
 
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -115,6 +116,11 @@ public:
   /// a more general pattern shadows them; returns the number removed.
   /// (Purely a size optimization; semantics preserved.)
   size_t removeShadowed();
+
+  /// How many rules constrain each field. The engine's match-pipeline
+  /// lowering picks the most-constrained field as its bucket-dispatch
+  /// key (the same heuristic an FDD applies at its root).
+  std::map<FieldId, size_t> constraintHistogram() const;
 
   std::string str() const;
 

@@ -16,7 +16,7 @@ Nes::Nes(std::vector<netkat::Event> InEvents,
       Configs(std::move(InConfigs)), States(std::move(InStates)) {
   assert(Family.size() == Configs.size() && Family.size() == States.size() &&
          "family/config/state arity mismatch");
-  bool FoundEmpty = false;
+  [[maybe_unused]] bool FoundEmpty = false;
   for (SetId I = 0; I != Family.size(); ++I) {
     [[maybe_unused]] bool Inserted = Index.emplace(Family[I], I).second;
     assert(Inserted && "duplicate event-set in family");

@@ -11,36 +11,10 @@ using eventnet::consistency::TraceEntry;
 using eventnet::netkat::Packet;
 
 namespace {
-constexpr Value KindRequest = 0;
-constexpr Value KindReply = 1;
-constexpr Value KindData = 2;
-constexpr Value KindAck = 3;
-constexpr Value KindProbe = 4;
+// Shorthands for the shared wire-format fields (sim/Wire.h).
+FieldId ipDst() { return sim::ipDstField(); }
+FieldId probeF() { return sim::probeField(); }
 } // namespace
-
-namespace {
-FieldId ipDst() {
-  static FieldId F = fieldOf("ip_dst");
-  return F;
-}
-FieldId probeF() {
-  static FieldId F = fieldOf("probe");
-  return F;
-}
-} // namespace
-
-FieldId sim::ipSrcField() {
-  static FieldId F = fieldOf("ip_src");
-  return F;
-}
-FieldId sim::kindField() {
-  static FieldId F = fieldOf("kind");
-  return F;
-}
-FieldId sim::seqField() {
-  static FieldId F = fieldOf("seq");
-  return F;
-}
 
 double Simulation::FlowStats::goodputBps() const {
   double Dur = LastDelivery - FirstDelivery;
@@ -91,12 +65,7 @@ unsigned Simulation::overheadBytes() const {
 
 Packet Simulation::makeHeader(HostId From, HostId To, Value Kind,
                               uint64_t Seq) {
-  Packet H;
-  H.set(ipDst(), static_cast<Value>(To));
-  H.set(ipSrcField(), static_cast<Value>(From));
-  H.set(kindField(), Kind);
-  H.set(seqField(), static_cast<Value>(Seq));
-  return H;
+  return makeWireHeader(From, To, Kind, Seq);
 }
 
 //===----------------------------------------------------------------------===//

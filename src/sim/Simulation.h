@@ -40,6 +40,7 @@
 
 #include "consistency/Trace.h"
 #include "nes/Nes.h"
+#include "sim/Wire.h"
 #include "support/BitSet.h"
 #include "support/Rng.h"
 #include "topo/Topology.h"
@@ -242,10 +243,9 @@ private:
   consistency::NetworkTrace Trace;
 };
 
-/// Field ids used by the simulator's host applications.
-FieldId ipSrcField();
-FieldId kindField(); ///< 0 = request, 1 = reply/ack, 2 = bulk data
-FieldId seqField();
+// The host-application field ids and packet kinds (ipSrcField,
+// kindField, seqField, Kind*) live in sim/Wire.h, shared with the
+// concurrent engine.
 
 } // namespace sim
 } // namespace eventnet

@@ -1,0 +1,42 @@
+//===- sim/Wire.cpp - Host-application wire format ------------------------===//
+
+#include "sim/Wire.h"
+
+#include "support/Symbols.h"
+
+using namespace eventnet;
+using eventnet::netkat::Packet;
+
+FieldId sim::ipSrcField() {
+  static FieldId F = fieldOf("ip_src");
+  return F;
+}
+
+FieldId sim::ipDstField() {
+  static FieldId F = fieldOf("ip_dst");
+  return F;
+}
+
+FieldId sim::kindField() {
+  static FieldId F = fieldOf("kind");
+  return F;
+}
+
+FieldId sim::seqField() {
+  static FieldId F = fieldOf("seq");
+  return F;
+}
+
+FieldId sim::probeField() {
+  static FieldId F = fieldOf("probe");
+  return F;
+}
+
+Packet sim::makeWireHeader(HostId From, HostId To, Value Kind, uint64_t Seq) {
+  Packet H;
+  H.set(ipDstField(), static_cast<Value>(To));
+  H.set(ipSrcField(), static_cast<Value>(From));
+  H.set(kindField(), Kind);
+  H.set(seqField(), static_cast<Value>(Seq));
+  return H;
+}

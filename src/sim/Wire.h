@@ -1,0 +1,48 @@
+//===- sim/Wire.h - Host-application wire format ----------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire format of the evaluation workloads: the header fields and
+/// packet-kind values the host applications speak. Shared by the
+/// discrete-event simulator (sim::Simulation) and the concurrent
+/// data-plane engine (engine::Engine / engine::TrafficGen) so that a
+/// workload generated for one substrate replays identically on the
+/// other.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_SIM_WIRE_H
+#define EVENTNET_SIM_WIRE_H
+
+#include "netkat/Packet.h"
+#include "support/Ids.h"
+
+namespace eventnet {
+namespace sim {
+
+/// Values of the "kind" field.
+inline constexpr Value KindRequest = 0; ///< echo request (expects a reply)
+inline constexpr Value KindReply = 1;   ///< echo reply
+inline constexpr Value KindData = 2;    ///< bulk-flow payload
+inline constexpr Value KindAck = 3;     ///< bulk-flow acknowledgement
+inline constexpr Value KindProbe = 4;   ///< event-trigger probe (no reply)
+
+/// Field ids used by the host applications (interned on first use).
+FieldId ipSrcField();
+FieldId ipDstField();
+FieldId kindField(); ///< one of the Kind* values above
+FieldId seqField();
+FieldId probeField(); ///< set to 1 on event-trigger probes
+
+/// Builds a bare application header From -> To of the given kind.
+netkat::Packet makeWireHeader(HostId From, HostId To, Value Kind,
+                              uint64_t Seq);
+
+} // namespace sim
+} // namespace eventnet
+
+#endif // EVENTNET_SIM_WIRE_H

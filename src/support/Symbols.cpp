@@ -18,6 +18,7 @@ FieldTable &FieldTable::get() {
 }
 
 FieldId FieldTable::intern(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
   for (size_t I = 0; I != Names.size(); ++I)
     if (Names[I] == Name)
       return static_cast<FieldId>(I);
@@ -26,6 +27,7 @@ FieldId FieldTable::intern(const std::string &Name) {
 }
 
 FieldId FieldTable::lookup(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   for (size_t I = 0; I != Names.size(); ++I)
     if (Names[I] == Name)
       return static_cast<FieldId>(I);
@@ -33,8 +35,14 @@ FieldId FieldTable::lookup(const std::string &Name) const {
 }
 
 const std::string &FieldTable::name(FieldId Id) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   assert(Id < Names.size() && "field id was never interned");
   return Names[Id];
+}
+
+size_t FieldTable::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Names.size();
 }
 
 FieldId eventnet::fieldOf(const std::string &Name) {

@@ -22,8 +22,9 @@
 
 #include "support/Ids.h"
 
+#include <deque>
+#include <mutex>
 #include <string>
-#include <vector>
 
 namespace eventnet {
 
@@ -39,9 +40,10 @@ inline constexpr FieldId FirstUserField = 2;
 /// The table is intentionally a global: FieldIds flow through every layer
 /// of the system (ASTs, FDDs, flow tables, simulated packets) and carrying
 /// an explicit context through all of them would add noise without any
-/// benefit for a single-network-program process. All methods are cheap;
-/// the table is not thread-safe (the whole library is single-threaded by
-/// design, like the simulator it feeds).
+/// benefit for a single-network-program process. All methods are cheap and
+/// guarded by a mutex so the concurrent engine's worker threads may intern
+/// or resolve names safely; names live in a deque so references returned
+/// by name() stay valid as the table grows.
 class FieldTable {
 public:
   /// Returns the singleton table.
@@ -57,11 +59,12 @@ public:
   const std::string &name(FieldId Id) const;
 
   /// Number of interned fields (including the reserved sw/pt fields).
-  size_t size() const { return Names.size(); }
+  size_t size() const;
 
 private:
   FieldTable();
-  std::vector<std::string> Names;
+  mutable std::mutex Mu;
+  std::deque<std::string> Names;
 };
 
 /// Convenience shorthand: interns \p Name in the global table.

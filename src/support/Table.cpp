@@ -3,6 +3,7 @@
 #include "support/Table.h"
 
 #include <cassert>
+#include <cctype>
 #include <cstdio>
 #include <ostream>
 
@@ -59,6 +60,77 @@ void TextTable::printCsv(std::ostream &OS) const {
   PrintRow(Header);
   for (const auto &Row : Rows)
     PrintRow(Row);
+}
+
+void TextTable::printJson(std::ostream &OS) const {
+  // The exact JSON number grammar, -?(0|[1-9][0-9]*)(.[0-9]+)?(e...)?:
+  // strtod would admit "nan"/"inf"/hex/"+5"/"5."/".5"/"007", all of
+  // which JSON parsers reject unquoted.
+  auto IsNumeric = [](const std::string &S) {
+    size_t I = 0, N = S.size();
+    auto Digit = [&](size_t J) {
+      return J < N && isdigit(static_cast<unsigned char>(S[J]));
+    };
+    if (I != N && S[I] == '-')
+      ++I;
+    if (!Digit(I))
+      return false;
+    if (S[I] == '0')
+      ++I; // no leading zeros
+    else
+      while (Digit(I))
+        ++I;
+    if (I != N && S[I] == '.') {
+      ++I;
+      if (!Digit(I))
+        return false;
+      while (Digit(I))
+        ++I;
+    }
+    if (I != N && (S[I] == 'e' || S[I] == 'E')) {
+      ++I;
+      if (I != N && (S[I] == '-' || S[I] == '+'))
+        ++I;
+      if (!Digit(I))
+        return false;
+      while (Digit(I))
+        ++I;
+    }
+    return I == N;
+  };
+  auto PrintCell = [&](const std::string &S) {
+    if (IsNumeric(S)) {
+      OS << S;
+      return;
+    }
+    OS << '"';
+    for (char Ch : S) {
+      if (Ch == '"' || Ch == '\\') {
+        OS << '\\' << Ch;
+      } else if (static_cast<unsigned char>(Ch) < 0x20) {
+        char Buf[8];
+        snprintf(Buf, sizeof(Buf), "\\u%04x", Ch);
+        OS << Buf;
+      } else {
+        OS << Ch;
+      }
+    }
+    OS << '"';
+  };
+
+  OS << "[";
+  for (size_t R = 0; R != Rows.size(); ++R) {
+    OS << (R ? ",\n " : "\n ") << "{";
+    for (size_t C = 0; C != Header.size(); ++C) {
+      if (C)
+        OS << ", ";
+      PrintCell(Header[C]);
+      OS << ": ";
+      PrintCell(Rows[R][C]);
+    }
+    OS << "}";
+  }
+  OS << "\n]\n";
 }
 
 std::string eventnet::formatDouble(double V, int Digits) {

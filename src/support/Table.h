@@ -38,6 +38,11 @@ public:
   /// Renders the table as CSV to \p OS.
   void printCsv(std::ostream &OS) const;
 
+  /// Renders the table as a JSON array of row objects keyed by the
+  /// header; numeric-looking cells are emitted unquoted. The benchmark
+  /// harnesses use this for machine-readable results.
+  void printJson(std::ostream &OS) const;
+
   size_t numRows() const { return Rows.size(); }
 
 private:

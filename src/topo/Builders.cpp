@@ -57,3 +57,40 @@ Topology topo::ringTopology(unsigned NumSwitches, unsigned Diameter) {
   T.attachHost(HostH2, {1 + Diameter, 3});
   return T;
 }
+
+Topology topo::fatTreeTopology(unsigned K) {
+  assert(K >= 2 && K % 2 == 0 && "fat-tree arity must be even");
+  unsigned Half = K / 2;
+  unsigned NumCore = Half * Half;
+  Topology T;
+
+  // Switch numbering: core 1 .. NumCore; per pod p (0-based),
+  // aggregation NumCore + p*K + 1 .. + Half, edge the next Half ids.
+  auto CoreSw = [&](unsigned I) { return I + 1; };
+  auto AggSw = [&](unsigned Pod, unsigned I) {
+    return NumCore + Pod * K + I + 1;
+  };
+  auto EdgeSw = [&](unsigned Pod, unsigned I) {
+    return NumCore + Pod * K + Half + I + 1;
+  };
+
+  for (unsigned Pod = 0; Pod != K; ++Pod) {
+    for (unsigned A = 0; A != Half; ++A) {
+      // Aggregation ports 1..Half go up to cores, Half+1..K down to edges.
+      // Core j's port Pod+1 serves pod Pod; aggregation A owns cores
+      // A*Half .. A*Half+Half-1.
+      for (unsigned J = 0; J != Half; ++J)
+        T.addBiLink({AggSw(Pod, A), J + 1},
+                    {CoreSw(A * Half + J), Pod + 1});
+      for (unsigned E = 0; E != Half; ++E)
+        T.addBiLink({AggSw(Pod, A), Half + E + 1}, {EdgeSw(Pod, E), A + 1});
+    }
+    // Edge ports 1..Half go up (wired above); Half+1..K face hosts.
+    for (unsigned E = 0; E != Half; ++E)
+      for (unsigned H = 0; H != Half; ++H) {
+        HostId Host = Pod * Half * Half + E * Half + H + 1;
+        T.attachHost(Host, {EdgeSw(Pod, E), Half + H + 1});
+      }
+  }
+  return T;
+}

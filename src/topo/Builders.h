@@ -51,6 +51,14 @@ Topology starTopology();
 /// sit \p Diameter hops apart clockwise (1 <= Diameter < NumSwitches).
 Topology ringTopology(unsigned NumSwitches, unsigned Diameter);
 
+/// A k-ary fat-tree (Al-Fares et al., SIGCOMM 2008) for the engine's
+/// scale benchmarks; \p K must be even and >= 2. K pods of K/2 edge and
+/// K/2 aggregation switches plus (K/2)^2 core switches; one host per
+/// edge-switch port, (K/2)^2 * K hosts total, numbered from 1 in pod
+/// order. Switch numbering: cores first, then per pod aggregation then
+/// edge. Every host port is the edge switch's port K/2+1 .. K.
+Topology fatTreeTopology(unsigned K);
+
 } // namespace topo
 } // namespace eventnet
 

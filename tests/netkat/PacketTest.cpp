@@ -36,8 +36,9 @@ TEST(Packet, FieldsStaySorted) {
   P.set(fDst(), 2);
   FieldId Prev = 0;
   for (size_t I = 0; I != P.fields().size(); ++I) {
-    if (I)
+    if (I) {
       EXPECT_GT(P.fields()[I].first, Prev);
+    }
     Prev = P.fields()[I].first;
   }
 }

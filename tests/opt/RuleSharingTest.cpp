@@ -98,7 +98,8 @@ TEST(RuleSharing, ReducesRulesOnEveryCaseStudy) {
     EXPECT_LE(S.After, S.Before) << A.Name;
     // Multi-state apps genuinely share (the paper reports 11-36%
     // savings across these five).
-    if (C.N->numSets() > 2)
+    if (C.N->numSets() > 2) {
       EXPECT_LT(S.After, S.Before) << A.Name;
+    }
   }
 }

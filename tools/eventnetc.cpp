@@ -15,9 +15,16 @@
 //   --dump-tables  print every configuration's flow tables
 //   --share        report the Section 5.3 rule-sharing statistics
 //   --stats        print compile statistics (default if nothing else)
+//   --engine       run a seeded workload on the sharded concurrent
+//                  engine, print its stats, and replay the recorded
+//                  trace through the Definition 6 checker
+//   --shards N     engine worker threads (default 4)
+//   --seed S       engine workload seed (default 1)
 //
 //===----------------------------------------------------------------------===//
 
+#include "consistency/Check.h"
+#include "engine/Engine.h"
 #include "nes/Pipeline.h"
 #include "opt/RuleSharing.h"
 #include "runtime/Guarded.h"
@@ -47,9 +54,58 @@ int usage(const char *Argv0) {
   fprintf(stderr,
           "usage: %s <program.snk> --topo <topo.txt>\n"
           "          [--dump-ets] [--dump-nes] [--dump-tables] [--share]\n"
-          "          [--stats]\n",
+          "          [--stats] [--engine] [--shards N] [--seed S]\n",
           Argv0);
   return 2;
+}
+
+/// --engine: a seeded ping workload between every host pair on the
+/// concurrent engine, followed by the Definition 6 verdict.
+int runEngine(const nes::CompiledProgram &C, const topo::Topology &Topo,
+              unsigned Shards, uint64_t Seed) {
+  size_t Pairs = Topo.hosts().size() * Topo.hosts().size();
+  unsigned PerPhase = Pairs > 8 ? 8 : static_cast<unsigned>(Pairs);
+  if (PerPhase == 0) {
+    // Checked before TrafficGen's constructor, which asserts on
+    // hostless topologies.
+    fprintf(stderr, "error: topology has no hosts to generate traffic\n");
+    return 1;
+  }
+
+  engine::EngineConfig Cfg;
+  Cfg.NumShards = Shards;
+  engine::Engine E(*C.N, Topo, Cfg);
+  engine::TrafficGen G(Topo, Seed);
+  E.run(G.pings(4, PerPhase));
+
+  engine::Stats S = E.stats();
+  printf("engine run: %u shards, seed %llu\n", Shards,
+         static_cast<unsigned long long>(Seed));
+  printf("  injected:     %llu packets\n",
+         static_cast<unsigned long long>(S.PacketsInjected));
+  printf("  delivered:    %llu\n",
+         static_cast<unsigned long long>(S.PacketsDelivered));
+  printf("  dropped:      %llu\n",
+         static_cast<unsigned long long>(S.PacketsDropped));
+  printf("  switch-hops:  %llu (%.2f M hops/sec)\n",
+         static_cast<unsigned long long>(S.PacketsProcessed),
+         S.PacketsPerSec / 1e6);
+  printf("  events:       %llu detected, %llu register transitions\n",
+         static_cast<unsigned long long>(S.EventsDetected),
+         static_cast<unsigned long long>(S.ConfigTransitions));
+  if (S.Transition.Samples)
+    printf("  transition:   mean %.1f us, max %.1f us (%llu samples)\n",
+           S.Transition.MeanSec * 1e6, S.Transition.MaxSec * 1e6,
+           static_cast<unsigned long long>(S.Transition.Samples));
+
+  consistency::CheckResult R =
+      consistency::checkAgainstNes(E.trace(), Topo, *C.N);
+  printf("  definition 6: %s\n", R.Correct ? "consistent" : "VIOLATED");
+  if (!R.Correct) {
+    printf("    %s\n", R.Reason.c_str());
+    return 1;
+  }
+  return 0;
 }
 
 } // namespace
@@ -57,7 +113,9 @@ int usage(const char *Argv0) {
 int main(int argc, char **argv) {
   std::string ProgramPath, TopoPath;
   bool DumpEts = false, DumpNes = false, DumpTables = false, Share = false;
-  bool Stats = false;
+  bool Stats = false, EngineMode = false;
+  unsigned Shards = 4;
+  uint64_t Seed = 1;
 
   for (int I = 1; I != argc; ++I) {
     if (!strcmp(argv[I], "--topo")) {
@@ -74,6 +132,22 @@ int main(int argc, char **argv) {
       Share = true;
     } else if (!strcmp(argv[I], "--stats")) {
       Stats = true;
+    } else if (!strcmp(argv[I], "--engine")) {
+      EngineMode = true;
+    } else if (!strcmp(argv[I], "--shards")) {
+      if (++I == argc)
+        return usage(argv[0]);
+      int V = atoi(argv[I]);
+      if (V < 1 || V > 1024) {
+        fprintf(stderr, "error: --shards must be in [1, 1024], got '%s'\n",
+                argv[I]);
+        return 2;
+      }
+      Shards = static_cast<unsigned>(V);
+    } else if (!strcmp(argv[I], "--seed")) {
+      if (++I == argc)
+        return usage(argv[0]);
+      Seed = strtoull(argv[I], nullptr, 10);
     } else if (argv[I][0] == '-') {
       fprintf(stderr, "unknown option '%s'\n", argv[I]);
       return usage(argv[0]);
@@ -85,7 +159,7 @@ int main(int argc, char **argv) {
   }
   if (ProgramPath.empty() || TopoPath.empty())
     return usage(argv[0]);
-  if (!DumpEts && !DumpNes && !DumpTables && !Share)
+  if (!DumpEts && !DumpNes && !DumpTables && !Share && !EngineMode)
     Stats = true;
 
   std::string ProgramSrc, TopoSrc;
@@ -141,5 +215,7 @@ int main(int argc, char **argv) {
     printf("rule sharing: %zu -> %zu rules (%.1f%% saved)\n", S.Before,
            S.After, S.savings() * 100);
   }
+  if (EngineMode)
+    return runEngine(C, Topo.Topo, Shards, Seed);
   return 0;
 }
