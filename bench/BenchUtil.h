@@ -30,15 +30,15 @@ namespace bench {
 /// Compiles an App (source- or AST-based); exits the process with a
 /// message on failure (benchmarks have no recovery path).
 inline nes::CompiledProgram compileApp(const apps::App &A) {
-  nes::CompiledProgram C = A.Source.empty()
-                               ? nes::compileAst(A.Ast, A.Topo)
-                               : nes::compileSource(A.Source, A.Topo);
-  if (!C.Ok) {
+  api::Result<nes::CompiledProgram> C =
+      A.Source.empty() ? nes::compileAst(A.Ast, A.Topo)
+                       : nes::compileSource(A.Source, A.Topo);
+  if (!C.ok()) {
     fprintf(stderr, "failed to compile %s: %s\n", A.Name.c_str(),
-            C.Error.c_str());
+            C.status().str().c_str());
     exit(1);
   }
-  return C;
+  return std::move(*C);
 }
 
 /// Prints the harness banner.

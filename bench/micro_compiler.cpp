@@ -26,8 +26,8 @@ namespace {
 
 stateful::SPolRef parsedBandwidthCap(unsigned N) {
   auto R = stateful::parseProgram(apps::bandwidthCapSource(N));
-  assert(R.Ok);
-  return R.Program;
+  assert(R.ok());
+  return R->Program;
 }
 
 void BM_ParseBandwidthCap(benchmark::State &State) {
@@ -35,7 +35,7 @@ void BM_ParseBandwidthCap(benchmark::State &State) {
       static_cast<unsigned>(State.range(0)));
   for (auto _ : State) {
     auto R = stateful::parseProgram(Src);
-    benchmark::DoNotOptimize(R.Ok);
+    benchmark::DoNotOptimize(R.ok());
   }
 }
 BENCHMARK(BM_ParseBandwidthCap)->Arg(5)->Arg(20)->Arg(80);
@@ -52,7 +52,7 @@ BENCHMARK(BM_ProjectAndSplit);
 
 void BM_FddCompileFirewallState(benchmark::State &State) {
   auto R = stateful::parseProgram(apps::firewallSource());
-  netkat::PolicyRef Proj = stateful::project(R.Program, {1});
+  netkat::PolicyRef Proj = stateful::project(R->Program, {1});
   auto Split = netkat::splitAtLinks(Proj);
   for (auto _ : State) {
     fdd::FddManager M;
@@ -83,7 +83,7 @@ BENCHMARK(BM_FddUnionChain)->Arg(16)->Arg(64)->Arg(256);
 void BM_TableExtraction(benchmark::State &State) {
   apps::App A = apps::bandwidthCapApp(10);
   auto R = stateful::parseProgram(A.Source);
-  netkat::PolicyRef Proj = stateful::project(R.Program, {5});
+  netkat::PolicyRef Proj = stateful::project(R->Program, {5});
   auto Split = netkat::splitAtLinks(Proj);
   fdd::FddManager M;
   fdd::NodeId D = M.compile(Split.Local);
@@ -97,8 +97,8 @@ BENCHMARK(BM_TableExtraction);
 void BM_FullPipelineBandwidthCap(benchmark::State &State) {
   apps::App A = apps::bandwidthCapApp(static_cast<unsigned>(State.range(0)));
   for (auto _ : State) {
-    nes::CompiledProgram C = nes::compileSource(A.Source, A.Topo);
-    benchmark::DoNotOptimize(C.Ok);
+    auto C = nes::compileSource(A.Source, A.Topo);
+    benchmark::DoNotOptimize(C.ok());
   }
 }
 BENCHMARK(BM_FullPipelineBandwidthCap)->Arg(2)->Arg(10)->Arg(40);
@@ -107,15 +107,15 @@ void BM_FullPipelineRing(benchmark::State &State) {
   unsigned D = static_cast<unsigned>(State.range(0));
   apps::App A = apps::ringApp(2 * D, D);
   for (auto _ : State) {
-    nes::CompiledProgram C = nes::compileAst(A.Ast, A.Topo);
-    benchmark::DoNotOptimize(C.Ok);
+    auto C = nes::compileAst(A.Ast, A.Topo);
+    benchmark::DoNotOptimize(C.ok());
   }
 }
 BENCHMARK(BM_FullPipelineRing)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_NesEnabledEvents(benchmark::State &State) {
   apps::App A = apps::bandwidthCapApp(10);
-  nes::CompiledProgram C = nes::compileSource(A.Source, A.Topo);
+  nes::CompiledProgram C = *nes::compileSource(A.Source, A.Topo);
   DenseBitSet Half;
   for (unsigned I = 0; I != 5; ++I)
     Half.set(I);
@@ -128,7 +128,7 @@ BENCHMARK(BM_NesEnabledEvents);
 
 void BM_GuardedTableBuild(benchmark::State &State) {
   apps::App A = apps::bandwidthCapApp(10);
-  nes::CompiledProgram C = nes::compileSource(A.Source, A.Topo);
+  nes::CompiledProgram C = *nes::compileSource(A.Source, A.Topo);
   for (auto _ : State) {
     topo::Configuration G = runtime::buildGuardedConfig(*C.N, A.Topo);
     benchmark::DoNotOptimize(G.totalRules());

@@ -42,11 +42,13 @@ void scenario(const nes::CompiledProgram &C, const topo::Topology &Topo,
 
 int main() {
   apps::App A = apps::idsApp();
-  nes::CompiledProgram C = nes::compileSource(A.Source, A.Topo);
-  if (!C.Ok) {
-    std::cerr << "compile error: " << C.Error << '\n';
-    return 1;
+  api::Result<nes::CompiledProgram> Compiled =
+      nes::compileSource(A.Source, A.Topo);
+  if (!Compiled.ok()) {
+    std::cerr << Compiled.status().str() << '\n';
+    return Compiled.status().exitCode();
   }
+  nes::CompiledProgram &C = *Compiled;
 
   // Benign order: H2 first does not arm the detector.
   scenario(C, A.Topo,

@@ -20,11 +20,13 @@ using namespace eventnet;
 
 int main() {
   apps::App A = apps::authenticationApp();
-  nes::CompiledProgram C = nes::compileSource(A.Source, A.Topo);
-  if (!C.Ok) {
-    std::cerr << "compile error: " << C.Error << '\n';
-    return 1;
+  api::Result<nes::CompiledProgram> Compiled =
+      nes::compileSource(A.Source, A.Topo);
+  if (!Compiled.ok()) {
+    std::cerr << Compiled.status().str() << '\n';
+    return Compiled.status().exitCode();
   }
+  nes::CompiledProgram &C = *Compiled;
 
   std::cout << "NES (note the enabling chain e0 -> e1):\n"
             << C.N->str() << '\n';

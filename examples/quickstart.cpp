@@ -31,11 +31,12 @@ int main() {
   // 2. Compile: parse -> per-state NetKAT projections -> FDD -> flow
   //    tables; extract event-edges -> ETS -> network event structure.
   topo::Topology Topo = topo::firewallTopology();
-  nes::CompiledProgram C = nes::compileSource(Source, Topo);
-  if (!C.Ok) {
-    std::cerr << "compile error: " << C.Error << '\n';
-    return 1;
+  api::Result<nes::CompiledProgram> Compiled = nes::compileSource(Source, Topo);
+  if (!Compiled.ok()) {
+    std::cerr << Compiled.status().str() << '\n';
+    return Compiled.status().exitCode();
   }
+  nes::CompiledProgram &C = *Compiled;
   printf("compiled in %.3f ms\n\n", C.CompileSeconds * 1e3);
 
   std::cout << "=== Event-driven transition system ===\n" << C.Ets.str();

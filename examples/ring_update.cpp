@@ -22,11 +22,13 @@ using namespace eventnet;
 int main() {
   const unsigned NumSwitches = 8, Diameter = 4;
   apps::App A = apps::ringApp(NumSwitches, Diameter);
-  nes::CompiledProgram C = nes::compileAst(A.Ast, A.Topo);
-  if (!C.Ok) {
-    std::cerr << "compile error: " << C.Error << '\n';
-    return 1;
+  api::Result<nes::CompiledProgram> Compiled =
+      nes::compileAst(A.Ast, A.Topo);
+  if (!Compiled.ok()) {
+    std::cerr << Compiled.status().str() << '\n';
+    return Compiled.status().exitCode();
   }
+  nes::CompiledProgram &C = *Compiled;
   printf("ring of %u switches, hosts %u hops apart; event at switch %u\n\n",
          NumSwitches, Diameter, Diameter + 1);
 

@@ -56,11 +56,13 @@ void runMode(const nes::CompiledProgram &C, const topo::Topology &Topo,
 
 int main() {
   apps::App A = apps::firewallApp();
-  nes::CompiledProgram C = nes::compileSource(A.Source, A.Topo);
-  if (!C.Ok) {
-    std::cerr << "compile error: " << C.Error << '\n';
-    return 1;
+  api::Result<nes::CompiledProgram> Compiled =
+      nes::compileSource(A.Source, A.Topo);
+  if (!Compiled.ok()) {
+    std::cerr << Compiled.status().str() << '\n';
+    return Compiled.status().exitCode();
   }
+  nes::CompiledProgram &C = *Compiled;
 
   runMode(C, A.Topo, sim::Simulation::Mode::Nes,
           "event-driven consistent runtime (this paper)");

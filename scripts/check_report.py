@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Validates an `eventnetc run --json` report (the CI smoke check).
+
+Reads the JSON report from stdin (or a file argument), checks the shape
+the façade promises, and requires the run to have actually moved packets
+and passed the Definition 6 consistency check. Exits non-zero with a
+message on the first violation.
+
+Usage:  eventnetc run prog.snk --topo net.topo --json | check_report.py
+        check_report.py report.json [--backend engine]
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    expect_backend = None
+    if "--backend" in args:
+        i = args.index("--backend")
+        if i + 1 >= len(args):
+            fail("--backend needs a value")
+        expect_backend = args[i + 1]
+        del args[i : i + 2]
+
+    text = open(args[0]).read() if args else sys.stdin.read()
+    try:
+        r = json.loads(text)
+    except json.JSONDecodeError as e:
+        fail(f"not valid JSON: {e}")
+
+    required = [
+        "backend", "seed", "shards", "injected", "delivered", "dropped",
+        "switch_hops", "events_detected", "config_transitions",
+        "elapsed_sec", "trace_entries", "consistency",
+    ]
+    for key in required:
+        if key not in r:
+            fail(f"missing key '{key}'")
+
+    if expect_backend is not None and r["backend"] != expect_backend:
+        fail(f"backend is '{r['backend']}', expected '{expect_backend}'")
+    for key in ("injected", "delivered", "switch_hops", "trace_entries"):
+        if not isinstance(r[key], int) or r[key] <= 0:
+            fail(f"'{key}' should be a positive integer, got {r[key]!r}")
+    if r["delivered"] + r["dropped"] < r["injected"]:
+        fail(
+            f"delivered ({r['delivered']}) + dropped ({r['dropped']}) "
+            f"< injected ({r['injected']})"
+        )
+
+    c = r["consistency"]
+    if not isinstance(c, dict) or not c.get("checked"):
+        fail("consistency was not checked")
+    if not c.get("correct"):
+        fail(f"Definition 6 VIOLATED: {c.get('reason', '(no reason)')}")
+
+    print(
+        f"check_report: OK: {r['backend']} seed={r['seed']} "
+        f"injected={r['injected']} delivered={r['delivered']} "
+        f"consistent=true"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+//===- api/Api.h - The eventnet public surface ------------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Umbrella header for the library's northbound API: structured errors
+/// (api/Status.h), the one compile surface (api/Compile.h), and the one
+/// run surface over the Machine / Simulator / Engine backends
+/// (api/Run.h). Embedding programs need only:
+///
+///   #include "api/Api.h"
+///
+///   auto C = api::compile(api::CompileOptions()
+///                             .programFile("prog.snk")
+///                             .topologyFile("net.topo"));
+///   if (!C.ok()) return C.status().exitCode();
+///   auto R = api::run(*C, "engine", api::RunOptions().seed(7).shards(8));
+///   if (!R.ok()) return R.status().exitCode();
+///   std::cout << R->str();
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_API_API_H
+#define EVENTNET_API_API_H
+
+#include "api/Compile.h"
+#include "api/Run.h"
+#include "api/Status.h"
+
+#endif // EVENTNET_API_API_H

@@ -1,0 +1,112 @@
+//===- api/BackendMachine.cpp - "machine" backend -------------------------===//
+//
+// The Figure 7 nondeterministic machine behind the façade's Backend
+// interface. The driver realizes the shared workload phase by phase:
+// inject a phase's emissions, run to quiescence choosing uniformly among
+// applicable steps with the seeded Rng, then emulate the host
+// applications (echo replies to KindRequest) that the simulator and the
+// engine run natively, re-quiescing until no host owes a reply.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Run.h"
+
+#include "runtime/Machine.h"
+#include "sim/Wire.h"
+#include "support/Rng.h"
+
+using namespace eventnet;
+using namespace eventnet::api;
+
+namespace {
+
+class MachineBackend : public Backend {
+public:
+  const char *name() const override { return "machine"; }
+
+  Result<RunReport> execute(const Compilation &C, const RunOptions &O,
+                            const engine::Workload &W) override {
+    runtime::Machine M(C.structure(), C.topology());
+    Rng R(O.Seed);
+    RunReport Rep;
+
+    // Deliveries already scanned for reply emulation.
+    size_t Seen = 0;
+
+    auto quiesce = [&]() -> Status {
+      size_t Taken = 0;
+      while (Taken < O.StepBudget) {
+        std::vector<runtime::Machine::Step> Steps = M.possibleSteps();
+        if (Steps.empty())
+          break;
+        const runtime::Machine::Step &S = Steps[R.below(Steps.size())];
+        if (S.Kind == runtime::Machine::RuleKind::Switch)
+          ++Rep.SwitchHops;
+        M.apply(S);
+        ++Taken;
+      }
+      if (!M.possibleSteps().empty())
+        return Status::error(Code::RunError,
+                             "machine failed to quiesce within the step "
+                             "budget of " +
+                                 std::to_string(O.StepBudget));
+      return Status::success();
+    };
+
+    // Echo emulation: requests delivered to their addressee owe a
+    // KindReply back to the source (flooded copies do not).
+    auto emitReplies = [&]() -> size_t {
+      size_t Replies = 0;
+      const auto &Delivered = M.deliveries();
+      for (; Seen != Delivered.size(); ++Seen) {
+        const auto &[Host, Pkt] = Delivered[Seen];
+        if (Pkt.getOr(sim::kindField(), sim::KindData) != sim::KindRequest)
+          continue;
+        Value Dst = Pkt.getOr(sim::ipDstField(), -1);
+        if (Dst != static_cast<Value>(Host))
+          continue;
+        Value Src = Pkt.getOr(sim::ipSrcField(), -1);
+        if (Src < 0)
+          continue;
+        uint64_t Seq = static_cast<uint64_t>(Pkt.getOr(sim::seqField(), 0));
+        M.inject(Host, sim::makeWireHeader(Host, static_cast<HostId>(Src),
+                                           sim::KindReply, Seq));
+        ++Rep.PacketsInjected;
+        ++Replies;
+      }
+      return Replies;
+    };
+
+    for (const engine::Phase &Ph : W.Phases) {
+      for (const engine::Injection &Inj : Ph.Injections) {
+        M.inject(Inj.From, Inj.Header);
+        ++Rep.PacketsInjected;
+      }
+      do {
+        Status S = quiesce();
+        if (!S.ok())
+          return S;
+      } while (emitReplies() != 0);
+    }
+
+    Rep.PacketsDelivered = M.deliveries().size();
+    Rep.PacketsDropped = Rep.PacketsInjected > Rep.PacketsDelivered
+                             ? Rep.PacketsInjected - Rep.PacketsDelivered
+                             : 0;
+    Rep.EventsDetected = M.controller().count();
+    for (SwitchId Sw : C.topology().switches())
+      Rep.ConfigTransitions += M.switchEvents(Sw).count();
+    Rep.Trace = M.takeTrace();
+    return Rep;
+  }
+};
+
+} // namespace
+
+namespace eventnet {
+namespace api {
+std::unique_ptr<Backend> makeMachineBackend() {
+  return std::make_unique<MachineBackend>();
+}
+} // namespace api
+} // namespace eventnet

@@ -1,0 +1,172 @@
+//===- api/Compile.cpp - One compile surface ------------------------------===//
+
+#include "api/Compile.h"
+
+#include "api/Json.h"
+#include "runtime/Guarded.h"
+#include "stateful/Ast.h"
+#include "topo/Parse.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace eventnet;
+using namespace eventnet::api;
+
+Result<std::string> api::readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return Status::error(Code::IoError, "cannot read '" + Path + "'");
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// CompileOptions
+//===----------------------------------------------------------------------===//
+
+CompileOptions &CompileOptions::programSource(std::string Text) {
+  ProgramKind = Input::Source;
+  ProgramText = std::move(Text);
+  return *this;
+}
+
+CompileOptions &CompileOptions::programFile(std::string Path) {
+  ProgramKind = Input::File;
+  ProgramText = std::move(Path);
+  return *this;
+}
+
+CompileOptions &CompileOptions::programAst(stateful::SPolRef A) {
+  ProgramKind = Input::Built;
+  Ast = std::move(A);
+  return *this;
+}
+
+CompileOptions &CompileOptions::topologySource(std::string Text) {
+  TopoKind = Input::Source;
+  TopoText = std::move(Text);
+  return *this;
+}
+
+CompileOptions &CompileOptions::topologyFile(std::string Path) {
+  TopoKind = Input::File;
+  TopoText = std::move(Path);
+  return *this;
+}
+
+CompileOptions &CompileOptions::topology(topo::Topology T) {
+  TopoKind = Input::Built;
+  Topo = std::move(T);
+  return *this;
+}
+
+CompileOptions &CompileOptions::requireLocal(bool V) {
+  RequireLocal = V;
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// compile()
+//===----------------------------------------------------------------------===//
+
+Result<Compilation> api::compile(CompileOptions O) {
+  if (O.ProgramKind == CompileOptions::Input::None)
+    return Status::error(Code::InvalidArgument,
+                         "no program given (programSource / programFile / "
+                         "programAst)");
+  if (O.TopoKind == CompileOptions::Input::None)
+    return Status::error(Code::InvalidArgument,
+                         "no topology given (topologySource / topologyFile "
+                         "/ topology)");
+
+  // Resolve the topology first: program compilation needs it.
+  topo::Topology Topo;
+  if (O.TopoKind == CompileOptions::Input::Built) {
+    Topo = std::move(O.Topo);
+  } else {
+    std::string Text = O.TopoText;
+    if (O.TopoKind == CompileOptions::Input::File) {
+      Result<std::string> Read = readFile(O.TopoText);
+      if (!Read.ok())
+        return Read.status();
+      Text = std::move(*Read);
+    }
+    Result<topo::Topology> Parsed = topo::parseTopology(Text);
+    if (!Parsed.ok())
+      return Parsed.status();
+    Topo = std::move(*Parsed);
+  }
+
+  api::Result<nes::CompiledProgram> Compiled;
+  if (O.ProgramKind == CompileOptions::Input::Built) {
+    Compiled = nes::compileAst(O.Ast, Topo, O.RequireLocal);
+  } else {
+    std::string Text = O.ProgramText;
+    if (O.ProgramKind == CompileOptions::Input::File) {
+      Result<std::string> Read = readFile(O.ProgramText);
+      if (!Read.ok())
+        return Read.status();
+      Text = std::move(*Read);
+    }
+    Compiled = nes::compileSource(Text, Topo, O.RequireLocal);
+  }
+  if (!Compiled.ok())
+    return Compiled.status();
+  return Compilation(std::move(*Compiled), std::move(Topo));
+}
+
+//===----------------------------------------------------------------------===//
+// Compilation artifacts
+//===----------------------------------------------------------------------===//
+
+size_t Compilation::guardedRuleCount() const {
+  return runtime::guardedRuleCount(structure(), Topo);
+}
+
+opt::NesShareStats Compilation::shareStats() const {
+  return opt::shareRulesForNes(structure(), Topo);
+}
+
+std::string Compilation::etsText() const { return Program.Ets.str(); }
+
+std::string Compilation::nesText() const { return structure().str(); }
+
+std::string Compilation::tablesText() const {
+  std::ostringstream OS;
+  for (nes::SetId S = 0; S != structure().numSets(); ++S) {
+    OS << "=== configuration of event-set E" << S << " (state "
+       << stateful::stateVecStr(structure().stateOf(S)) << ") ===\n";
+    OS << structure().configOf(S).str();
+  }
+  return OS.str();
+}
+
+std::string Compilation::summary() const {
+  std::ostringstream OS;
+  char Buf[64];
+  snprintf(Buf, sizeof(Buf), "%.3f", compileSeconds() * 1e3);
+  OS << "compiled in " << Buf << " ms\n";
+  OS << "  states:       " << ets().vertices().size() << "\n";
+  OS << "  events:       " << structure().numEvents() << "\n";
+  OS << "  event-sets:   " << structure().numSets() << "\n";
+  OS << "  rules:        " << guardedRuleCount()
+     << " (tag-guarded, all configurations)\n";
+  OS << "  locality:     "
+     << (structure().isLocallyDetermined() ? "locally determined"
+                                           : "VIOLATED")
+     << "\n";
+  return OS.str();
+}
+
+std::string Compilation::summaryJson() const {
+  std::ostringstream OS;
+  OS << "{\"compile_ms\": " << compileSeconds() * 1e3
+     << ", \"states\": " << ets().vertices().size()
+     << ", \"events\": " << structure().numEvents()
+     << ", \"event_sets\": " << structure().numSets()
+     << ", \"rules\": " << guardedRuleCount() << ", \"locally_determined\": "
+     << (structure().isLocallyDetermined() ? "true" : "false") << "}";
+  return OS.str();
+}

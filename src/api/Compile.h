@@ -1,0 +1,117 @@
+//===- api/Compile.h - One compile surface ----------------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The façade's compile half: CompileOptions names the inputs (program
+/// source, file, or AST; topology source, file, or object) builder-style,
+/// compile() runs the whole front half of the toolchain (Stateful NetKAT
+/// -> ETS -> NES, Sections 3/4), and the resulting Compilation exposes
+/// every artifact the CLI, benchmarks, and backends consume: the AST,
+/// the ETS, the NES, per-configuration flow tables, the tag-guarded rule
+/// count, and the Section 5.3 rule-sharing statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_API_COMPILE_H
+#define EVENTNET_API_COMPILE_H
+
+#include "api/Status.h"
+#include "nes/Pipeline.h"
+#include "opt/RuleSharing.h"
+#include "topo/Topology.h"
+
+#include <string>
+
+namespace eventnet {
+namespace api {
+
+/// Reads a whole file; IoError with the path on failure.
+Result<std::string> readFile(const std::string &Path);
+
+/// Inputs to compile(), builder-style:
+///
+///   auto C = api::compile(api::CompileOptions()
+///                             .programFile("prog.snk")
+///                             .topologyFile("net.topo"));
+class CompileOptions {
+public:
+  /// Program: exactly one of source text, file path, or prebuilt AST.
+  CompileOptions &programSource(std::string Text);
+  CompileOptions &programFile(std::string Path);
+  CompileOptions &programAst(stateful::SPolRef Ast);
+
+  /// Topology: exactly one of source text, file path, or built object.
+  CompileOptions &topologySource(std::string Text);
+  CompileOptions &topologyFile(std::string Path);
+  CompileOptions &topology(topo::Topology T);
+
+  /// Whether a Section 2 locality violation is a hard error (default:
+  /// yes, like the paper's compiler).
+  CompileOptions &requireLocal(bool V);
+
+private:
+  friend Result<class Compilation> compile(CompileOptions O);
+
+  enum class Input { None, Source, File, Built };
+  Input ProgramKind = Input::None;
+  std::string ProgramText; // source or path
+  stateful::SPolRef Ast;
+  Input TopoKind = Input::None;
+  std::string TopoText; // source or path
+  topo::Topology Topo;
+  bool RequireLocal = true;
+};
+
+/// A successfully compiled program bound to its topology. Movable; the
+/// run backends keep references into it, so it must outlive any Run.
+class Compilation {
+public:
+  /// The event structure driving every runtime.
+  const nes::Nes &structure() const { return *Program.N; }
+  /// The transition system (reachable states + configurations).
+  const ets::Ets &ets() const { return Program.Ets; }
+  const topo::Topology &topology() const { return Topo; }
+  const stateful::SPolRef &ast() const { return Program.Ast; }
+  const std::map<std::string, Value> &bindings() const {
+    return Program.Bindings;
+  }
+  double compileSeconds() const { return Program.CompileSeconds; }
+
+  /// Total tag-guarded rules across all configurations (Section 4's
+  /// installed-table size).
+  size_t guardedRuleCount() const;
+  /// The Section 5.3 rule-sharing statistics (computed on demand).
+  opt::NesShareStats shareStats() const;
+
+  /// Printable artifacts (the CLI's --dump-* payloads).
+  std::string etsText() const;
+  std::string nesText() const;
+  std::string tablesText() const;
+
+  /// The human-readable compile-stats block.
+  std::string summary() const;
+  /// The same facts as a JSON object.
+  std::string summaryJson() const;
+
+private:
+  friend Result<Compilation> compile(CompileOptions O);
+  Compilation(nes::CompiledProgram P, topo::Topology T)
+      : Program(std::move(P)), Topo(std::move(T)) {}
+
+  nes::CompiledProgram Program;
+  topo::Topology Topo;
+};
+
+/// Runs the front half of the toolchain. Failure classes: IoError
+/// (unreadable file), ParseError (program), TopoError (topology),
+/// CompileError (ETS/NES/locality), InvalidArgument (no inputs given).
+Result<Compilation> compile(CompileOptions O);
+
+} // namespace api
+} // namespace eventnet
+
+#endif // EVENTNET_API_COMPILE_H

@@ -1,0 +1,59 @@
+//===- api/Json.h - Minimal JSON emission helpers ---------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String escaping for the façade's hand-rolled JSON reports (the repo
+/// deliberately has no JSON dependency; the emitted shapes are flat).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_API_JSON_H
+#define EVENTNET_API_JSON_H
+
+#include <string>
+
+namespace eventnet {
+namespace api {
+
+/// Escapes \p S for embedding in a JSON string literal.
+inline std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace api
+} // namespace eventnet
+
+#endif // EVENTNET_API_JSON_H

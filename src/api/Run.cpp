@@ -1,0 +1,189 @@
+//===- api/Run.cpp - Backend registry and the Run handle ------------------===//
+
+#include "api/Run.h"
+
+#include "api/Json.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+using namespace eventnet;
+using namespace eventnet::api;
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+// Built-in factories live in the Backend*.cpp files. They are referenced
+// here explicitly (rather than via static-initializer registration) so a
+// static-library link never dead-strips them.
+namespace eventnet {
+namespace api {
+std::unique_ptr<Backend> makeMachineBackend();
+std::unique_ptr<Backend> makeSimBackend();
+std::unique_ptr<Backend> makeEngineBackend();
+} // namespace api
+} // namespace eventnet
+
+namespace {
+
+using Factory = std::function<std::unique_ptr<Backend>()>;
+
+std::mutex &registryMu() {
+  static std::mutex Mu;
+  return Mu;
+}
+
+std::map<std::string, Factory> &registry() {
+  static std::map<std::string, Factory> R = {
+      {"machine", makeMachineBackend},
+      {"sim", makeSimBackend},
+      {"engine", makeEngineBackend},
+  };
+  return R;
+}
+
+} // namespace
+
+std::vector<std::string> api::backendNames() {
+  std::lock_guard<std::mutex> Lock(registryMu());
+  std::vector<std::string> Names;
+  for (const auto &[Name, F] : registry())
+    Names.push_back(Name);
+  return Names; // std::map iteration is already sorted
+}
+
+Result<std::unique_ptr<Backend>> api::makeBackend(const std::string &Name) {
+  Factory F;
+  {
+    std::lock_guard<std::mutex> Lock(registryMu());
+    auto It = registry().find(Name);
+    if (It != registry().end())
+      F = It->second;
+  }
+  if (!F) {
+    std::string Known;
+    for (const std::string &N : backendNames())
+      Known += (Known.empty() ? "" : ", ") + N;
+    return Status::error(Code::InvalidArgument,
+                         "unknown backend '" + Name + "' (known: " + Known +
+                             ")");
+  }
+  return F();
+}
+
+void api::registerBackend(const std::string &Name, Factory F) {
+  std::lock_guard<std::mutex> Lock(registryMu());
+  registry()[Name] = std::move(F);
+}
+
+//===----------------------------------------------------------------------===//
+// Run
+//===----------------------------------------------------------------------===//
+
+Result<Run> Run::create(const Compilation &C,
+                        const std::string &BackendName) {
+  Result<std::unique_ptr<Backend>> B = makeBackend(BackendName);
+  if (!B.ok())
+    return B.status();
+  return Run(C, std::move(*B));
+}
+
+Result<RunReport> Run::execute(const RunOptions &O) {
+  const topo::Topology &Topo = C->topology();
+  size_t NumHosts = Topo.hosts().size();
+  if (NumHosts < 2)
+    return Status::error(Code::RunError,
+                         "topology has " + std::to_string(NumHosts) +
+                             " host(s); the ping workload needs at least 2");
+  if (O.Phases == 0 || O.PingsPerPhase == 0)
+    return Status::error(Code::InvalidArgument,
+                         "phases and pings-per-phase must be positive");
+
+  // The shared workload: every backend executes the same seeded phase
+  // list over the same wire format.
+  size_t Pairs = NumHosts * NumHosts;
+  unsigned PerPhase = static_cast<unsigned>(
+      std::min<size_t>(O.PingsPerPhase, Pairs));
+  engine::TrafficGen G(Topo, O.Seed);
+  engine::Workload W = G.pings(O.Phases, PerPhase);
+
+  Result<RunReport> Report = B->execute(*C, O, W);
+  if (!Report.ok())
+    return Report;
+
+  Report->Backend = B->name();
+  Report->Seed = O.Seed;
+  if (O.CheckConsistency) {
+    Report->Checked = true;
+    Report->Consistency =
+        consistency::checkAgainstNes(Report->Trace, Topo, C->structure());
+  }
+  return Report;
+}
+
+Result<RunReport> api::run(const Compilation &C,
+                           const std::string &BackendName,
+                           const RunOptions &O) {
+  Result<Run> R = Run::create(C, BackendName);
+  if (!R.ok())
+    return R.status();
+  return R->execute(O);
+}
+
+//===----------------------------------------------------------------------===//
+// RunReport rendering
+//===----------------------------------------------------------------------===//
+
+std::string RunReport::str() const {
+  std::ostringstream OS;
+  OS << Backend << " run: seed " << Seed;
+  if (Shards > 1)
+    OS << ", " << Shards << " shards";
+  OS << "\n";
+  OS << "  injected:     " << PacketsInjected << " packets\n";
+  OS << "  delivered:    " << PacketsDelivered << "\n";
+  OS << "  dropped:      " << PacketsDropped << "\n";
+  OS << "  switch-hops:  " << SwitchHops << "\n";
+  OS << "  events:       " << EventsDetected << " detected, "
+     << ConfigTransitions << " register transitions\n";
+  if (ElapsedSec > 0) {
+    char Buf[64];
+    snprintf(Buf, sizeof(Buf), "%.3f", ElapsedSec * 1e3);
+    OS << "  elapsed:      " << Buf << " ms\n";
+  }
+  if (Checked) {
+    OS << "  definition 6: "
+       << (Consistency.Correct ? "consistent" : "VIOLATED") << "\n";
+    if (!Consistency.Correct)
+      OS << "    " << Consistency.Reason << "\n";
+  }
+  return OS.str();
+}
+
+std::string RunReport::json() const {
+  std::ostringstream OS;
+  OS << "{\"backend\": \"" << jsonEscape(Backend) << "\""
+     << ", \"seed\": " << Seed << ", \"shards\": " << Shards
+     << ", \"injected\": " << PacketsInjected
+     << ", \"delivered\": " << PacketsDelivered
+     << ", \"dropped\": " << PacketsDropped
+     << ", \"switch_hops\": " << SwitchHops
+     << ", \"events_detected\": " << EventsDetected
+     << ", \"config_transitions\": " << ConfigTransitions
+     << ", \"elapsed_sec\": " << ElapsedSec
+     << ", \"trace_entries\": " << Trace.size() << ", \"consistency\": ";
+  if (!Checked) {
+    OS << "{\"checked\": false}";
+  } else {
+    OS << "{\"checked\": true, \"correct\": "
+       << (Consistency.Correct ? "true" : "false");
+    if (!Consistency.Correct)
+      OS << ", \"reason\": \"" << jsonEscape(Consistency.Reason) << "\"";
+    OS << "}";
+  }
+  OS << "}";
+  return OS.str();
+}

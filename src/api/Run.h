@@ -1,0 +1,174 @@
+//===- api/Run.h - One run surface over three backends ----------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The façade's run half. Three execution substrates implement the same
+/// Backend interface and are looked up by name in a registry:
+///
+///   "machine"  the Figure 7 nondeterministic small-step machine
+///              (runtime::Machine), driven by a seeded Rng with echo
+///              replies emulated by the driver;
+///   "sim"      the discrete-event simulator (sim::Simulation) in Nes
+///              mode, one phase per quiescence window;
+///   "engine"   the sharded concurrent engine (engine::Engine).
+///
+/// A Run handle binds a Compilation to one backend; execute(RunOptions)
+/// realizes the *same* seeded ping workload (engine::TrafficGen over the
+/// shared sim/Wire.h format) on that backend and returns a uniform
+/// RunReport: packet/transition counters, the recorded
+/// consistency::NetworkTrace, and the Definition 6 checker verdict. One
+/// seed drives every backend's randomness, so cross-backend runs are
+/// reproducible from a single flag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_API_RUN_H
+#define EVENTNET_API_RUN_H
+
+#include "api/Compile.h"
+#include "api/Status.h"
+#include "consistency/Check.h"
+#include "consistency/Trace.h"
+#include "engine/TrafficGen.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eventnet {
+namespace api {
+
+/// Workload and execution parameters, builder-style. The same options
+/// object drives every backend; backend-specific knobs (Shards) are
+/// ignored where they do not apply.
+class RunOptions {
+public:
+  RunOptions &seed(uint64_t V) {
+    Seed = V;
+    return *this;
+  }
+  RunOptions &shards(unsigned V) {
+    Shards = V;
+    return *this;
+  }
+  RunOptions &phases(unsigned V) {
+    Phases = V;
+    return *this;
+  }
+  RunOptions &pingsPerPhase(unsigned V) {
+    PingsPerPhase = V;
+    return *this;
+  }
+  RunOptions &stepBudget(size_t V) {
+    StepBudget = V;
+    return *this;
+  }
+  RunOptions &checkConsistency(bool V) {
+    CheckConsistency = V;
+    return *this;
+  }
+
+  /// One seed for every backend's randomness: the workload generator,
+  /// the machine driver's step choices, and the simulator's SimParams.
+  uint64_t Seed = 1;
+  /// Engine worker threads (engine backend only).
+  unsigned Shards = 4;
+  /// Quiescence-separated workload phases.
+  unsigned Phases = 4;
+  /// Echo requests per phase (clamped to the topology's host-pair count).
+  unsigned PingsPerPhase = 8;
+  /// Machine backend: maximum steps per quiescence run.
+  size_t StepBudget = 100000;
+  /// Replay the recorded trace through the Definition 6 checker.
+  bool CheckConsistency = true;
+};
+
+/// The uniform result of a run on any backend.
+struct RunReport {
+  std::string Backend;
+  uint64_t Seed = 0;
+  unsigned Shards = 1; ///< 1 on the sequential backends
+
+  uint64_t PacketsInjected = 0;  ///< host emissions (incl. echo replies)
+  uint64_t PacketsDelivered = 0; ///< packets handed to a host
+  uint64_t PacketsDropped = 0;   ///< blocked / table-miss packets
+  uint64_t SwitchHops = 0;       ///< switch processing steps
+  uint64_t EventsDetected = 0;   ///< distinct NES events that occurred
+  uint64_t ConfigTransitions = 0; ///< per-switch register transitions
+  double ElapsedSec = 0;          ///< wall time (engine) / sim time (sim)
+
+  /// The recorded network trace (for replay and external checking).
+  consistency::NetworkTrace Trace;
+  /// Definition 6 verdict; only meaningful when Checked.
+  bool Checked = false;
+  consistency::CheckResult Consistency;
+
+  /// Human-readable report block (the CLI's default rendering).
+  std::string str() const;
+  /// The same facts as a flat JSON object (without the trace).
+  std::string json() const;
+};
+
+/// One execution substrate. Implementations fill every RunReport counter
+/// they can observe and record a trace; the Definition 6 replay is done
+/// by the caller (Run::execute), not per backend.
+class Backend {
+public:
+  virtual ~Backend() = default;
+  virtual const char *name() const = 0;
+  /// Executes \p W on \p C. The report's Backend/Seed/Checked fields and
+  /// the consistency verdict are filled in by the caller.
+  virtual Result<RunReport> execute(const Compilation &C,
+                                    const RunOptions &O,
+                                    const engine::Workload &W) = 0;
+};
+
+/// Registered backend names, sorted ("engine", "machine", "sim" plus any
+/// externally registered ones).
+std::vector<std::string> backendNames();
+
+/// Instantiates a registry entry; InvalidArgument for unknown names.
+Result<std::unique_ptr<Backend>> makeBackend(const std::string &Name);
+
+/// Adds a backend factory under \p Name (replacing any existing entry),
+/// so embedders and future PRs add substrates without touching the CLI.
+void registerBackend(const std::string &Name,
+                     std::function<std::unique_ptr<Backend>()> Factory);
+
+/// A Compilation bound to one backend; the reusable run handle.
+/// Keeps a reference to the Compilation, which must outlive it.
+class Run {
+public:
+  /// InvalidArgument if \p BackendName is not registered.
+  static Result<Run> create(const Compilation &C,
+                            const std::string &BackendName);
+
+  /// Builds the seeded workload, executes it, and (unless disabled)
+  /// replays the trace through the Definition 6 checker. A violated
+  /// check is reported in the RunReport, not as an error Status; RunError
+  /// is reserved for workloads the backend cannot execute at all.
+  Result<RunReport> execute(const RunOptions &O = RunOptions());
+
+  const char *backendName() const { return B->name(); }
+
+private:
+  Run(const Compilation &C, std::unique_ptr<Backend> B)
+      : C(&C), B(std::move(B)) {}
+
+  const Compilation *C;
+  std::shared_ptr<Backend> B; ///< shared so Run stays copyable in Result
+};
+
+/// One-shot convenience: create + execute.
+Result<RunReport> run(const Compilation &C, const std::string &BackendName,
+                      const RunOptions &O = RunOptions());
+
+} // namespace api
+} // namespace eventnet
+
+#endif // EVENTNET_API_RUN_H

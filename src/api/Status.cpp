@@ -1,0 +1,60 @@
+//===- api/Status.cpp - Structured error propagation ----------------------===//
+
+#include "api/Status.h"
+
+using namespace eventnet;
+using namespace eventnet::api;
+
+const char *api::codeName(Code C) {
+  switch (C) {
+  case Code::Ok:
+    return "ok";
+  case Code::InvalidArgument:
+    return "invalid-argument";
+  case Code::IoError:
+    return "io-error";
+  case Code::ParseError:
+    return "parse-error";
+  case Code::TopoError:
+    return "topology-error";
+  case Code::CompileError:
+    return "compile-error";
+  case Code::RunError:
+    return "run-error";
+  case Code::ConsistencyViolation:
+    return "consistency-violation";
+  case Code::Internal:
+    return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::str() const {
+  if (ok())
+    return "ok";
+  return std::string(codeName(C)) + ": " + Message;
+}
+
+int Status::exitCode() const {
+  switch (C) {
+  case Code::Ok:
+    return 0;
+  case Code::InvalidArgument:
+    return 2;
+  case Code::IoError:
+    return 3;
+  case Code::ParseError:
+    return 4;
+  case Code::TopoError:
+    return 5;
+  case Code::CompileError:
+    return 6;
+  case Code::RunError:
+    return 7;
+  case Code::ConsistencyViolation:
+    return 8;
+  case Code::Internal:
+    return 9;
+  }
+  return 9;
+}

@@ -1,0 +1,124 @@
+//===- api/Status.h - Structured error propagation --------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library-wide error type: a Status carries a failure class (Code)
+/// plus a human-readable message, and Result<T> pairs a Status with the
+/// value it gates. Every fallible entry point of the public surface —
+/// the Stateful NetKAT parser, the topology parser, the NES pipeline,
+/// and the api façade itself — returns these instead of bool-out-params
+/// or stderr-and-exit, so callers (the CLI, tests, embedding programs)
+/// can branch on the failure class and render the message however they
+/// like. Each Code maps to a distinct process exit code for the CLI
+/// (Status::exitCode).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_API_STATUS_H
+#define EVENTNET_API_STATUS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace eventnet {
+namespace api {
+
+/// Failure classes of the public surface. Keep exitCode() and codeName()
+/// in sync when extending.
+enum class Code {
+  Ok = 0,
+  /// Malformed request: bad option value, unknown backend, missing input.
+  InvalidArgument,
+  /// A file could not be read.
+  IoError,
+  /// The Stateful NetKAT program did not parse.
+  ParseError,
+  /// The topology description did not parse.
+  TopoError,
+  /// ETS/NES construction failed (including the locality restriction).
+  CompileError,
+  /// A backend failed to execute the workload.
+  RunError,
+  /// The recorded trace violated Definition 6.
+  ConsistencyViolation,
+  /// Anything else (default-constructed Result, internal invariants).
+  Internal,
+};
+
+/// Stable lowercase identifier for a failure class ("parse-error", ...).
+const char *codeName(Code C);
+
+/// Outcome of a fallible operation.
+class Status {
+public:
+  /// Default: success.
+  Status() = default;
+
+  static Status success() { return Status(); }
+  static Status error(Code C, std::string Message) {
+    assert(C != Code::Ok && "errors need a non-Ok code");
+    Status S;
+    S.C = C;
+    S.Message = std::move(Message);
+    return S;
+  }
+
+  bool ok() const { return C == Code::Ok; }
+  Code code() const { return C; }
+  const std::string &message() const { return Message; }
+
+  /// "<code-name>: <message>", or "ok".
+  std::string str() const;
+
+  /// The CLI exit code for this failure class: 0 ok, 2 invalid-argument
+  /// (usage-shaped), 3 io, 4 program parse, 5 topology parse, 6 compile,
+  /// 7 run, 8 consistency violation, 9 internal.
+  int exitCode() const;
+
+private:
+  Code C = Code::Ok;
+  std::string Message;
+};
+
+/// A Status plus, on success, the value it produced. Move-oriented; a
+/// default-constructed Result is an Internal error ("empty result"), so
+/// structs can hold one before it is assigned.
+template <typename T> class Result {
+public:
+  Result() : St(Status::error(Code::Internal, "empty result")) {}
+  /*implicit*/ Result(Status S) : St(std::move(S)) {
+    assert(!St.ok() && "a successful Result needs a value");
+  }
+  /*implicit*/ Result(T Value) : Val(std::move(Value)) {}
+
+  bool ok() const { return St.ok(); }
+  const Status &status() const { return St; }
+
+  T &value() {
+    assert(ok() && "value() on an error Result");
+    return *Val;
+  }
+  const T &value() const {
+    assert(ok() && "value() on an error Result");
+    return *Val;
+  }
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+private:
+  Status St;
+  std::optional<T> Val;
+};
+
+} // namespace api
+} // namespace eventnet
+
+#endif // EVENTNET_API_STATUS_H

@@ -98,6 +98,10 @@ public:
   /// was off).
   const consistency::NetworkTrace &trace() const { return MergedTrace; }
 
+  /// Moves the merged trace out (for report assembly on a dying engine;
+  /// trace() is empty afterwards).
+  consistency::NetworkTrace takeTrace() { return std::move(MergedTrace); }
+
   /// The configuration tag each trace entry's packet carried, parallel
   /// to trace().entries().
   const std::vector<nes::SetId> &traceTags() const { return MergedTags; }

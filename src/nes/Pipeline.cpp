@@ -7,58 +7,51 @@
 using namespace eventnet;
 using namespace eventnet::nes;
 
-CompiledProgram nes::compileAst(const stateful::SPolRef &Program,
-                                const topo::Topology &Topo,
-                                bool RequireLocal) {
+api::Result<CompiledProgram> nes::compileAst(const stateful::SPolRef &Program,
+                                             const topo::Topology &Topo,
+                                             bool RequireLocal) {
   CompiledProgram Out;
   Out.Ast = Program;
   auto Start = std::chrono::steady_clock::now();
 
   ets::BuildResult Built = ets::buildEts(Program, Topo);
-  if (!Built.Ok) {
-    Out.Error = Built.Error;
-    return Out;
-  }
+  if (!Built.Ok)
+    return api::Status::error(api::Code::CompileError, Built.Error);
   Out.Ets = std::move(Built.T);
 
   ConvertResult Conv = fromEts(Out.Ets);
-  if (!Conv.Ok) {
-    Out.Error = Conv.Error;
-    return Out;
-  }
-  if (RequireLocal && !Conv.N->isLocallyDetermined()) {
-    Out.Error =
+  if (!Conv.Ok)
+    return api::Status::error(api::Code::CompileError, Conv.Error);
+  if (RequireLocal && !Conv.N->isLocallyDetermined())
+    return api::Status::error(
+        api::Code::CompileError,
         "program is not locally determined: some minimally-inconsistent "
         "set of events spans multiple switches (Section 2 locality "
-        "restriction), so it cannot be implemented without synchronization";
-    return Out;
-  }
+        "restriction), so it cannot be implemented without synchronization");
   Out.N = std::move(Conv.N);
 
   auto End = std::chrono::steady_clock::now();
   Out.CompileSeconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(End - Start)
           .count();
-  Out.Ok = true;
   return Out;
 }
 
-CompiledProgram nes::compileSource(const std::string &Source,
-                                   const topo::Topology &Topo,
-                                   bool RequireLocal) {
+api::Result<CompiledProgram> nes::compileSource(const std::string &Source,
+                                                const topo::Topology &Topo,
+                                                bool RequireLocal) {
   auto Start = std::chrono::steady_clock::now();
-  stateful::ParseResult Parsed = stateful::parseProgram(Source);
-  if (!Parsed.Ok) {
-    CompiledProgram Out;
-    Out.Error = "parse error: " + Parsed.Error;
+  api::Result<stateful::Parsed> Parsed = stateful::parseProgram(Source);
+  if (!Parsed.ok())
+    return Parsed.status();
+  api::Result<CompiledProgram> Out =
+      compileAst(Parsed->Program, Topo, RequireLocal);
+  if (!Out.ok())
     return Out;
-  }
-  CompiledProgram Out = compileAst(Parsed.Program, Topo, RequireLocal);
-  Out.Bindings = std::move(Parsed.Bindings);
+  Out->Bindings = std::move(Parsed->Bindings);
   auto End = std::chrono::steady_clock::now();
-  if (Out.Ok)
-    Out.CompileSeconds =
-        std::chrono::duration_cast<std::chrono::duration<double>>(End - Start)
-            .count();
+  Out->CompileSeconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(End - Start)
+          .count();
   return Out;
 }

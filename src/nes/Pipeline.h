@@ -17,6 +17,7 @@
 #ifndef EVENTNET_NES_PIPELINE_H
 #define EVENTNET_NES_PIPELINE_H
 
+#include "api/Status.h"
 #include "ets/Ets.h"
 #include "nes/FromEts.h"
 #include "nes/Nes.h"
@@ -32,16 +33,14 @@ namespace nes {
 
 /// A fully-compiled program.
 struct CompiledProgram {
-  bool Ok = false;
-  /// Diagnostic when !Ok.
-  std::string Error;
   /// The parsed program.
   stateful::SPolRef Ast;
   /// let-bindings from the source (empty when compiled from an AST).
   std::map<std::string, Value> Bindings;
   /// The transition system (reachable states + configurations).
   ets::Ets Ets;
-  /// The event structure driving the runtime.
+  /// The event structure driving the runtime (always set on success;
+  /// optional only because Nes has no default constructor).
   std::optional<Nes> N;
   /// Wall-clock compile time in seconds (parse through NES checks).
   double CompileSeconds = 0;
@@ -50,14 +49,16 @@ struct CompiledProgram {
 /// Compiles Stateful NetKAT source against \p Topo. \p RequireLocal
 /// controls whether a locality violation (Section 2's restriction) is a
 /// hard error; the paper's compiler enforces it, so that is the default.
-CompiledProgram compileSource(const std::string &Source,
-                              const topo::Topology &Topo,
-                              bool RequireLocal = true);
+/// Failures carry api::Code::ParseError (bad source) or
+/// api::Code::CompileError (ETS/NES construction, locality).
+api::Result<CompiledProgram> compileSource(const std::string &Source,
+                                           const topo::Topology &Topo,
+                                           bool RequireLocal = true);
 
 /// Same, starting from an already-built AST.
-CompiledProgram compileAst(const stateful::SPolRef &Program,
-                           const topo::Topology &Topo,
-                           bool RequireLocal = true);
+api::Result<CompiledProgram> compileAst(const stateful::SPolRef &Program,
+                                        const topo::Topology &Topo,
+                                        bool RequireLocal = true);
 
 } // namespace nes
 } // namespace eventnet

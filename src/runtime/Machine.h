@@ -105,6 +105,10 @@ public:
   /// The recorded network trace (grows as the machine runs).
   const consistency::NetworkTrace &trace() const { return Trace; }
 
+  /// Moves the trace out (for report assembly on a dying machine;
+  /// trace() is empty afterwards).
+  consistency::NetworkTrace takeTrace() { return std::move(Trace); }
+
   /// Per-switch view of the event-set register.
   const DenseBitSet &switchEvents(SwitchId Sw) const;
 

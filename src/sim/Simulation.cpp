@@ -74,6 +74,7 @@ Packet Simulation::makeHeader(HostId From, HostId To, Value Kind,
 
 void Simulation::hostSend(HostId From, Packet Header,
                           unsigned PayloadBytes) {
+  ++Emissions;
   Location At = Topo.hostLoc(From);
   SimPacket Pk;
   Pk.Pkt = std::move(Header);
@@ -112,6 +113,7 @@ void Simulation::enterSwitch(SimPacket Pk, double At) {
 }
 
 void Simulation::processAtSwitch(SimPacket Pk) {
+  ++Hops;
   SwitchId Sw = Pk.Pkt.sw();
   SwitchSim &S = Switches[Sw];
 
@@ -396,6 +398,13 @@ void Simulation::schedulePing(double At, HostId From, HostId To,
     AwaitingReply[Seq] = Idx;
     hostSend(From, makeHeader(From, To, KindRequest, Seq), P.AckBytes);
     schedule(Now + Timeout, [this, Seq] { AwaitingReply.erase(Seq); });
+  });
+}
+
+void Simulation::scheduleInjection(double At, HostId From,
+                                   netkat::Packet Header) {
+  schedule(At, [this, From, Header = std::move(Header)]() mutable {
+    hostSend(From, std::move(Header), P.AckBytes);
   });
 }
 

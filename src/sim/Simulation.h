@@ -101,6 +101,13 @@ public:
   /// Schedules a probe packet (field probe=1, no reply expected).
   void scheduleProbe(double At, HostId From, HostId To);
 
+  /// Schedules a raw application header (sim/Wire.h format) to be
+  /// emitted by \p From at \p At. The api façade's backend-agnostic
+  /// workloads inject through this, so the simulator executes exactly
+  /// the packets the other backends do; destination hosts still run the
+  /// usual applications (echo replies to KindRequest, etc.).
+  void scheduleInjection(double At, HostId From, netkat::Packet Header);
+
   /// Constant-rate (UDP-like) flow of \p Bps application throughput.
   void scheduleUdpFlow(double Start, double End, HostId From, HostId To,
                        double Bps);
@@ -153,6 +160,16 @@ public:
 
   /// The recorded network trace, for the consistency checkers.
   const consistency::NetworkTrace &trace() const { return Trace; }
+
+  /// Moves the trace out (for report assembly on a dying simulation;
+  /// trace() is empty afterwards).
+  consistency::NetworkTrace takeTrace() { return std::move(Trace); }
+
+  /// Total host emissions (scheduled traffic, replies, acks).
+  uint64_t hostEmissions() const { return Emissions; }
+
+  /// Total switch processing steps executed.
+  uint64_t switchHops() const { return Hops; }
 
   double now() const { return Now; }
 
@@ -241,6 +258,8 @@ private:
 
   std::map<std::pair<SwitchId, nes::EventId>, double> LearnTimes;
   consistency::NetworkTrace Trace;
+  uint64_t Emissions = 0;
+  uint64_t Hops = 0;
 };
 
 // The host-application field ids and packet kinds (ipSrcField,

@@ -42,29 +42,23 @@ class Parser {
 public:
   explicit Parser(const std::string &Source) : Toks(lex(Source)) {}
 
-  ParseResult run() {
-    ParseResult R;
+  api::Result<Parsed> run() {
+    auto Err = [](std::string Msg) {
+      return api::Status::error(api::Code::ParseError, std::move(Msg));
+    };
     if (Toks.back().Kind == TokKind::Error) {
       const Token &T = Toks.back();
-      R.Error = position(T) + ": " + T.Text;
-      return R;
+      return Err(position(T) + ": " + T.Text);
     }
     parseLets();
-    if (Failed) {
-      R.Error = ErrorMsg;
-      return R;
-    }
+    if (Failed)
+      return Err(ErrorMsg);
     SPolRef P = parsePolicy();
     if (!Failed && cur().Kind != TokKind::Eof)
       fail("expected end of input, found " + tokKindName(cur().Kind));
-    if (Failed) {
-      R.Error = ErrorMsg;
-      return R;
-    }
-    R.Ok = true;
-    R.Program = std::move(P);
-    R.Bindings = Bindings;
-    return R;
+    if (Failed)
+      return Err(ErrorMsg);
+    return Parsed{std::move(P), Bindings};
   }
 
 private:
@@ -385,7 +379,7 @@ private:
 
 } // namespace
 
-ParseResult stateful::parseProgram(const std::string &Source) {
+api::Result<Parsed> stateful::parseProgram(const std::string &Source) {
   Parser P(Source);
   return P.run();
 }

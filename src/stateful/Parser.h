@@ -38,6 +38,7 @@
 #ifndef EVENTNET_STATEFUL_PARSER_H
 #define EVENTNET_STATEFUL_PARSER_H
 
+#include "api/Status.h"
 #include "stateful/Ast.h"
 
 #include <map>
@@ -46,20 +47,17 @@
 namespace eventnet {
 namespace stateful {
 
-/// Result of a parse.
-struct ParseResult {
-  bool Ok = false;
-  /// Diagnostic "line:col: message" when !Ok.
-  std::string Error;
-  /// The parsed program when Ok.
+/// A successfully parsed program.
+struct Parsed {
   SPolRef Program;
   /// let-bound names, e.g. {"H4" -> 4}; useful to callers that want to
   /// build packets with symbolic host names.
   std::map<std::string, Value> Bindings;
 };
 
-/// Parses a whole program.
-ParseResult parseProgram(const std::string &Source);
+/// Parses a whole program. Failures carry api::Code::ParseError with a
+/// "line:col: message" diagnostic.
+api::Result<Parsed> parseProgram(const std::string &Source);
 
 } // namespace stateful
 } // namespace eventnet

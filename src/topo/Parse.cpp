@@ -34,16 +34,16 @@ bool parseNum(const std::string &Tok, uint32_t &Out) {
 
 } // namespace
 
-TopoParseResult topo::parseTopology(const std::string &Source) {
-  TopoParseResult Res;
+api::Result<Topology> topo::parseTopology(const std::string &Source) {
+  Topology Topo;
   std::istringstream In(Source);
   std::string Line;
   unsigned LineNo = 0;
 
   auto Fail = [&](const std::string &Msg) {
-    Res.Ok = false;
-    Res.Error = "line " + std::to_string(LineNo) + ": " + Msg;
-    return Res;
+    return api::Result<Topology>(api::Status::error(
+        api::Code::TopoError,
+        "line " + std::to_string(LineNo) + ": " + Msg));
   };
 
   while (std::getline(In, Line)) {
@@ -64,7 +64,7 @@ TopoParseResult topo::parseTopology(const std::string &Source) {
       uint32_t Sw;
       if (Toks.size() != 2 || !parseNum(Toks[1], Sw))
         return Fail("expected: switch <id>");
-      Res.Topo.addSwitch(Sw);
+      Topo.addSwitch(Sw);
       continue;
     }
     if (Toks[0] == "host") {
@@ -73,7 +73,7 @@ TopoParseResult topo::parseTopology(const std::string &Source) {
       if (Toks.size() != 4 || !parseNum(Toks[1], H) || Toks[2] != "at" ||
           !parseLoc(Toks[3], At))
         return Fail("expected: host <id> at <sw>:<pt>");
-      Res.Topo.attachHost(H, At);
+      Topo.attachHost(H, At);
       continue;
     }
     if (Toks[0] == "link") {
@@ -81,9 +81,9 @@ TopoParseResult topo::parseTopology(const std::string &Source) {
       if (Toks.size() != 4 || !parseLoc(Toks[1], A) || !parseLoc(Toks[3], B))
         return Fail("expected: link <sw>:<pt> (- | ->) <sw>:<pt>");
       if (Toks[2] == "-")
-        Res.Topo.addBiLink(A, B);
+        Topo.addBiLink(A, B);
       else if (Toks[2] == "->")
-        Res.Topo.addLink(A, B);
+        Topo.addLink(A, B);
       else
         return Fail("expected '-' (bidirectional) or '->' (unidirectional)");
       continue;
@@ -91,6 +91,5 @@ TopoParseResult topo::parseTopology(const std::string &Source) {
     return Fail("unknown directive '" + Toks[0] + "'");
   }
 
-  Res.Ok = true;
-  return Res;
+  return Topo;
 }

@@ -21,6 +21,7 @@
 #ifndef EVENTNET_TOPO_PARSE_H
 #define EVENTNET_TOPO_PARSE_H
 
+#include "api/Status.h"
 #include "topo/Topology.h"
 
 #include <string>
@@ -28,15 +29,10 @@
 namespace eventnet {
 namespace topo {
 
-/// Result of parsing a topology description.
-struct TopoParseResult {
-  bool Ok = false;
-  std::string Error; // "line N: message" when !Ok
-  Topology Topo;
-};
-
 /// Parses the textual topology format described in the file header.
-TopoParseResult parseTopology(const std::string &Source);
+/// Failures carry api::Code::TopoError with a "line N: message"
+/// diagnostic.
+api::Result<Topology> parseTopology(const std::string &Source);
 
 } // namespace topo
 } // namespace eventnet

@@ -1,0 +1,187 @@
+//===- tests/api/StatusTest.cpp - Status/Result error paths ---------------===//
+//
+// The façade's error contract: every malformed input surfaces as a
+// structured api::Status with the right failure class and a distinct
+// exit code — never a crash, an exit(), or an empty artifact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Api.h"
+
+#include "apps/Programs.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+using namespace eventnet;
+using namespace eventnet::api;
+
+TEST(Status, DefaultIsOk) {
+  Status S;
+  EXPECT_TRUE(S.ok());
+  EXPECT_EQ(S.code(), Code::Ok);
+  EXPECT_EQ(S.exitCode(), 0);
+  EXPECT_EQ(S.str(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status S = Status::error(Code::ParseError, "3:7: boom");
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), Code::ParseError);
+  EXPECT_EQ(S.message(), "3:7: boom");
+  EXPECT_EQ(S.str(), "parse-error: 3:7: boom");
+}
+
+TEST(Status, DistinctExitCodePerFailureClass) {
+  // The CLI satellite: each failure class must be distinguishable by
+  // exit code alone, and none may collide with the usage convention's 0.
+  std::vector<Code> Errors = {
+      Code::InvalidArgument, Code::IoError,  Code::ParseError,
+      Code::TopoError,       Code::CompileError, Code::RunError,
+      Code::ConsistencyViolation, Code::Internal};
+  std::set<int> Seen;
+  for (Code C : Errors) {
+    int E = Status::error(C, "x").exitCode();
+    EXPECT_NE(E, 0) << codeName(C);
+    EXPECT_TRUE(Seen.insert(E).second) << codeName(C) << " collides";
+  }
+}
+
+TEST(Result, DefaultConstructedIsEmptyInternalError) {
+  Result<int> R;
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), Code::Internal);
+}
+
+TEST(Result, ValueRoundTrips) {
+  Result<std::string> R = std::string("hello");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(*R, "hello");
+  EXPECT_EQ(R->size(), 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// compile() error paths
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *GoodTopo = "link 1:1 - 4:1\nhost 1 at 1:2\nhost 4 at 4:2\n";
+
+} // namespace
+
+TEST(CompileErrors, NoInputsIsInvalidArgument) {
+  Result<Compilation> C = compile(CompileOptions());
+  ASSERT_FALSE(C.ok());
+  EXPECT_EQ(C.status().code(), Code::InvalidArgument);
+
+  C = compile(CompileOptions().programSource("drop"));
+  ASSERT_FALSE(C.ok());
+  EXPECT_EQ(C.status().code(), Code::InvalidArgument);
+}
+
+TEST(CompileErrors, MissingFilesAreIoErrors) {
+  Result<Compilation> C = compile(CompileOptions()
+                                      .programFile("/nonexistent/p.snk")
+                                      .topologySource(GoodTopo));
+  ASSERT_FALSE(C.ok());
+  EXPECT_EQ(C.status().code(), Code::IoError);
+  EXPECT_NE(C.status().message().find("/nonexistent/p.snk"),
+            std::string::npos);
+
+  C = compile(CompileOptions()
+                  .programSource(apps::firewallSource())
+                  .topologyFile("/nonexistent/net.topo"));
+  ASSERT_FALSE(C.ok());
+  EXPECT_EQ(C.status().code(), Code::IoError);
+}
+
+TEST(CompileErrors, BadProgramIsParseErrorWithPosition) {
+  Result<Compilation> C = compile(CompileOptions()
+                                      .programSource("pt=@")
+                                      .topologySource(GoodTopo));
+  ASSERT_FALSE(C.ok());
+  EXPECT_EQ(C.status().code(), Code::ParseError);
+  EXPECT_NE(C.status().message().find("1:"), std::string::npos)
+      << C.status().str();
+}
+
+TEST(CompileErrors, BadTopologyIsTopoErrorWithLine) {
+  Result<Compilation> C = compile(CompileOptions()
+                                      .programSource(apps::firewallSource())
+                                      .topologySource("link 1:1 = 4:1\n"));
+  ASSERT_FALSE(C.ok());
+  EXPECT_EQ(C.status().code(), Code::TopoError);
+  EXPECT_NE(C.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(CompileErrors, LocalityViolationIsCompileError) {
+  // Conflicting events detected at different switches (Section 2).
+  std::string Src = R"(
+state=[0]; pt=2; pt<-1; (1:1)->(2:1)<state<-[1]>; pt<-2
++ state=[0]; pt=3; pt<-4; (1:4)->(3:1)<state<-[2]>; pt<-2
+)";
+  topo::Topology T;
+  T.addBiLink({1, 1}, {2, 1});
+  T.addBiLink({1, 4}, {3, 1});
+  T.attachHost(1, {1, 2});
+  T.attachHost(2, {2, 2});
+  T.attachHost(3, {3, 2});
+
+  Result<Compilation> C =
+      compile(CompileOptions().programSource(Src).topology(T));
+  ASSERT_FALSE(C.ok());
+  EXPECT_EQ(C.status().code(), Code::CompileError);
+  EXPECT_NE(C.status().message().find("locally determined"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// run() error paths
+//===----------------------------------------------------------------------===//
+
+TEST(RunErrors, UnknownBackendIsInvalidArgument) {
+  Result<Compilation> C = compile(CompileOptions()
+                                      .programSource(apps::firewallSource())
+                                      .topologySource(GoodTopo));
+  ASSERT_TRUE(C.ok()) << C.status().str();
+
+  Result<RunReport> R = run(*C, "warp-drive");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), Code::InvalidArgument);
+  EXPECT_NE(R.status().message().find("warp-drive"), std::string::npos);
+  // The message lists what IS registered.
+  EXPECT_NE(R.status().message().find("engine"), std::string::npos);
+}
+
+TEST(RunErrors, BadOptionsAreInvalidArgument) {
+  Result<Compilation> C = compile(CompileOptions()
+                                      .programSource(apps::firewallSource())
+                                      .topologySource(GoodTopo));
+  ASSERT_TRUE(C.ok()) << C.status().str();
+
+  Result<RunReport> R = run(*C, "engine", RunOptions().phases(0));
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), Code::InvalidArgument);
+
+  R = run(*C, "engine", RunOptions().shards(0));
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), Code::InvalidArgument);
+}
+
+TEST(RunErrors, HostlessTopologyIsRunError) {
+  // A program over a topology with a single host cannot generate the
+  // ping workload on any backend.
+  Result<Compilation> C =
+      compile(CompileOptions()
+                  .programSource("pt=2; pt<-1; (1:1)->(4:1); pt<-2")
+                  .topologySource("link 1:1 - 4:1\nhost 1 at 1:2\n"));
+  ASSERT_TRUE(C.ok()) << C.status().str();
+  for (const std::string &B : backendNames()) {
+    Result<RunReport> R = run(*C, B);
+    ASSERT_FALSE(R.ok()) << B;
+    EXPECT_EQ(R.status().code(), Code::RunError) << B;
+  }
+}

@@ -11,15 +11,15 @@ using namespace eventnet;
 TEST(Programs, AllSourcesParse) {
   for (const apps::App &A : apps::caseStudyApps()) {
     auto R = stateful::parseProgram(A.Source);
-    EXPECT_TRUE(R.Ok) << A.Name << ": " << R.Error;
+    EXPECT_TRUE(R.ok()) << A.Name << ": " << R.status().str();
   }
 }
 
 TEST(Programs, BandwidthCapParameterized) {
   for (unsigned N : {1u, 5u, 20u}) {
     auto R = stateful::parseProgram(apps::bandwidthCapSource(N));
-    ASSERT_TRUE(R.Ok) << R.Error;
-    EXPECT_EQ(stateful::stateSize(R.Program), 1u);
+    ASSERT_TRUE(R.ok()) << R.status().str();
+    EXPECT_EQ(stateful::stateSize(R->Program), 1u);
   }
 }
 

@@ -22,7 +22,7 @@ namespace {
 
 struct Fixture {
   apps::App A = apps::firewallApp();
-  nes::CompiledProgram C;
+  api::Result<nes::CompiledProgram> C;
   FieldId Dst = apps::ipDstField();
 
   Fixture() { C = nes::compileSource(A.Source, A.Topo); }
@@ -64,7 +64,7 @@ struct Fixture {
 TEST(CheckNes, EmptyTraceIsCorrect) {
   Fixture F;
   NetworkTrace T;
-  auto R = checkAgainstNes(T, F.A.Topo, *F.C.N);
+  auto R = checkAgainstNes(T, F.A.Topo, *F.C->N);
   EXPECT_TRUE(R.Correct) << R.Reason;
 }
 
@@ -72,7 +72,7 @@ TEST(CheckNes, QuiescentC0BehaviorIsCorrect) {
   Fixture F;
   NetworkTrace T;
   F.appendInboundDropped(T); // dropped by C0, no event ever
-  auto R = checkAgainstNes(T, F.A.Topo, *F.C.N);
+  auto R = checkAgainstNes(T, F.A.Topo, *F.C->N);
   EXPECT_TRUE(R.Correct) << R.Reason;
 }
 
@@ -82,7 +82,7 @@ TEST(CheckNes, CanonicalFirewallRunIsCorrect) {
   F.appendInboundDropped(T);  // before the event: dropped
   F.appendOutbound(T);        // triggers the event at 4:1
   F.appendInboundDelivered(T); // after: delivered
-  auto R = checkAgainstNes(T, F.A.Topo, *F.C.N);
+  auto R = checkAgainstNes(T, F.A.Topo, *F.C->N);
   EXPECT_TRUE(R.Correct) << R.Reason;
 }
 
@@ -92,7 +92,7 @@ TEST(CheckNes, TooEarlyDetected) {
   // Inbound delivered although no event has occurred: the only allowed
   // sequence covering no events requires Traces(g(∅)).
   F.appendInboundDelivered(T);
-  auto R = checkAgainstNes(T, F.A.Topo, *F.C.N);
+  auto R = checkAgainstNes(T, F.A.Topo, *F.C->N);
   EXPECT_FALSE(R.Correct);
 }
 
@@ -103,7 +103,7 @@ TEST(CheckNes, TooLateDetected) {
   // This inbound packet enters at s4 *after* the event occurrence at the
   // same switch, so it must be processed by C1 — but it is dropped.
   F.appendInboundDropped(T);
-  auto R = checkAgainstNes(T, F.A.Topo, *F.C.N);
+  auto R = checkAgainstNes(T, F.A.Topo, *F.C->N);
   EXPECT_FALSE(R.Correct);
   EXPECT_NE(R.Reason.find("too late"), std::string::npos);
 }
@@ -116,7 +116,7 @@ TEST(CheckNes, MixedConfigurationPacketDetected) {
   // s1 (C0 behavior): not a complete trace of any single configuration.
   int E0 = T.append({F.in(4, 2), -1, false});
   T.append({F.in(4, 1), E0, false});
-  auto R = checkAgainstNes(T, F.A.Topo, *F.C.N);
+  auto R = checkAgainstNes(T, F.A.Topo, *F.C->N);
   EXPECT_FALSE(R.Correct);
   EXPECT_NE(R.Reason.find("single configuration"), std::string::npos);
 }
@@ -128,7 +128,7 @@ TEST(CheckNes, ConcurrentInboundMayUseEitherConfig) {
   // "entirely after" the event: C0 processing (drop) is allowed.
   F.appendInboundDropped(T);
   F.appendOutbound(T);
-  auto R = checkAgainstNes(T, F.A.Topo, *F.C.N);
+  auto R = checkAgainstNes(T, F.A.Topo, *F.C->N);
   EXPECT_TRUE(R.Correct) << R.Reason;
 }
 
@@ -139,16 +139,16 @@ TEST(CheckUpdate, ExplicitSequenceApi) {
   F.appendInboundDelivered(T);
 
   UpdateSequence U;
-  U.Configs = {&F.C.N->configOf(0), &F.C.N->configOf(1)};
+  U.Configs = {&F.C->N->configOf(0), &F.C->N->configOf(1)};
   U.EventIds = {0};
-  auto R = checkUpdateSequence(T, F.A.Topo, U, F.C.N->events(), &*F.C.N);
+  auto R = checkUpdateSequence(T, F.A.Topo, U, F.C->N->events(), &*F.C->N);
   EXPECT_TRUE(R.Correct) << R.Reason;
 
   // The empty sequence fails: the trace contains a fresh enabled match.
   UpdateSequence Empty;
-  Empty.Configs = {&F.C.N->configOf(0)};
+  Empty.Configs = {&F.C->N->configOf(0)};
   auto R2 =
-      checkUpdateSequence(T, F.A.Topo, Empty, F.C.N->events(), &*F.C.N);
+      checkUpdateSequence(T, F.A.Topo, Empty, F.C->N->events(), &*F.C->N);
   EXPECT_FALSE(R2.Correct);
   EXPECT_NE(R2.Reason.find("freshly matches"), std::string::npos);
 }
@@ -159,9 +159,9 @@ TEST(CheckUpdate, MissingEventOccurrenceFailsFO) {
   F.appendInboundDropped(T); // no outbound packet: the event never fires
 
   UpdateSequence U;
-  U.Configs = {&F.C.N->configOf(0), &F.C.N->configOf(1)};
+  U.Configs = {&F.C->N->configOf(0), &F.C->N->configOf(1)};
   U.EventIds = {0};
-  auto R = checkUpdateSequence(T, F.A.Topo, U, F.C.N->events(), &*F.C.N);
+  auto R = checkUpdateSequence(T, F.A.Topo, U, F.C->N->events(), &*F.C->N);
   EXPECT_FALSE(R.Correct);
   EXPECT_NE(R.Reason.find("FO does not exist"), std::string::npos);
 }

@@ -9,10 +9,10 @@
 
 #include "engine/Engine.h"
 
+#include "api/Api.h"
 #include "apps/Programs.h"
 #include "consistency/Check.h"
 #include "engine/TrafficGen.h"
-#include "nes/Pipeline.h"
 
 #include <gtest/gtest.h>
 
@@ -23,13 +23,24 @@ namespace {
 
 struct Scenario {
   apps::App A;
-  nes::CompiledProgram C;
+  api::Result<api::Compilation> C;
   Workload W;
 };
 
+/// Compiles through the api façade, exercising the same surface the CLI
+/// and embedding programs use.
+api::Result<api::Compilation> compileApp(const apps::App &A) {
+  api::CompileOptions O;
+  if (A.Source.empty())
+    O.programAst(A.Ast);
+  else
+    O.programSource(A.Source);
+  return api::compile(std::move(O.topology(A.Topo)));
+}
+
 Scenario firewallScenario(uint64_t Seed) {
   Scenario S{apps::firewallApp(), {}, {}};
-  S.C = nes::compileSource(S.A.Source, S.A.Topo);
+  S.C = compileApp(S.A);
   TrafficGen G(S.A.Topo, Seed);
   S.W = G.ping(topo::HostH4, topo::HostH1);
   for (int I = 0; I != 12; ++I)
@@ -40,7 +51,7 @@ Scenario firewallScenario(uint64_t Seed) {
 
 Scenario authScenario(uint64_t Seed) {
   Scenario S{apps::authenticationApp(), {}, {}};
-  S.C = nes::compileSource(S.A.Source, S.A.Topo);
+  S.C = compileApp(S.A);
   TrafficGen G(S.A.Topo, Seed);
   for (HostId To : {topo::HostH3, topo::HostH1, topo::HostH3, topo::HostH2,
                     topo::HostH3})
@@ -50,7 +61,7 @@ Scenario authScenario(uint64_t Seed) {
 
 Scenario idsScenario(uint64_t Seed) {
   Scenario S{apps::idsApp(), {}, {}};
-  S.C = nes::compileSource(S.A.Source, S.A.Topo);
+  S.C = compileApp(S.A);
   TrafficGen G(S.A.Topo, Seed);
   for (HostId To : {topo::HostH3, topo::HostH1, topo::HostH2, topo::HostH3,
                     topo::HostH3})
@@ -60,7 +71,7 @@ Scenario idsScenario(uint64_t Seed) {
 
 Scenario bwcapScenario(uint64_t Seed) {
   Scenario S{apps::bandwidthCapApp(5), {}, {}};
-  S.C = nes::compileSource(S.A.Source, S.A.Topo);
+  S.C = compileApp(S.A);
   TrafficGen G(S.A.Topo, Seed);
   for (int I = 0; I != 9; ++I)
     S.W += G.ping(topo::HostH1, topo::HostH4);
@@ -69,7 +80,7 @@ Scenario bwcapScenario(uint64_t Seed) {
 
 Scenario ringScenario(uint64_t Seed) {
   Scenario S{apps::ringApp(8, 4), {}, {}};
-  S.C = nes::compileAst(S.A.Ast, S.A.Topo);
+  S.C = compileApp(S.A);
   TrafficGen G(S.A.Topo, Seed);
   S.W = G.pings(2, 3);
   S.W += G.probe(topo::HostH1, topo::HostH2); // the update trigger
@@ -82,10 +93,11 @@ consistency::CheckResult runAndCheck(Scenario &S, unsigned Shards,
   EngineConfig Cfg;
   Cfg.NumShards = Shards;
   Cfg.CtrlBroadcast = Broadcast;
-  Engine E(*S.C.N, S.A.Topo, Cfg);
+  Engine E(S.C->structure(), S.A.Topo, Cfg);
   E.run(S.W);
   EXPECT_GT(E.trace().size(), 0u);
-  return consistency::checkAgainstNes(E.trace(), S.A.Topo, *S.C.N);
+  return consistency::checkAgainstNes(E.trace(), S.A.Topo,
+                                      S.C->structure());
 }
 
 } // namespace
@@ -98,7 +110,7 @@ TEST_P(EngineConsistency, AllAppsAllShardCounts) {
                      bwcapScenario, ringScenario}) {
     for (unsigned Shards : {1u, 2u, 4u}) {
       Scenario S = Make(GetParam());
-      ASSERT_TRUE(S.C.Ok) << S.A.Name << ": " << S.C.Error;
+      ASSERT_TRUE(S.C.ok()) << S.A.Name << ": " << S.C.status().str();
       auto R = runAndCheck(S, Shards);
       EXPECT_TRUE(R.Correct)
           << S.A.Name << " shards=" << Shards << ": " << R.Reason;
@@ -108,7 +120,7 @@ TEST_P(EngineConsistency, AllAppsAllShardCounts) {
 
 TEST_P(EngineConsistency, FirewallWithControllerBroadcast) {
   Scenario S = firewallScenario(GetParam());
-  ASSERT_TRUE(S.C.Ok) << S.C.Error;
+  ASSERT_TRUE(S.C.ok()) << S.C.status().str();
   auto R = runAndCheck(S, 4, /*Broadcast=*/true);
   EXPECT_TRUE(R.Correct) << R.Reason;
 }
@@ -148,13 +160,13 @@ TEST_P(EngineBackpressure, TinyQueuesNeverDeadlockOrDrop) {
   // fast path; producers never block, so no cycle of full queues can
   // deadlock), and nothing may be lost or reordered into inconsistency.
   apps::App A = apps::ringApp(6, 3);
-  nes::CompiledProgram C = nes::compileAst(A.Ast, A.Topo);
-  ASSERT_TRUE(C.Ok) << C.Error;
+  api::Result<api::Compilation> C = compileApp(A);
+  ASSERT_TRUE(C.ok()) << C.status().str();
 
   EngineConfig Cfg;
   Cfg.NumShards = GetParam();
   Cfg.QueueCapacity = 2;
-  Engine E(*C.N, A.Topo, Cfg);
+  Engine E(C->structure(), A.Topo, Cfg);
   TrafficGen G(A.Topo, 21);
   Workload W = G.bulk(topo::HostH1, topo::HostH2, 150, 75);
   W += G.probe(topo::HostH1, topo::HostH2); // transition under pressure
@@ -165,7 +177,8 @@ TEST_P(EngineBackpressure, TinyQueuesNeverDeadlockOrDrop) {
   EXPECT_EQ(S.PacketsInjected, 301u);
   EXPECT_EQ(S.PacketsDelivered, 301u); // bulk data plus the probe
 
-  auto R = consistency::checkAgainstNes(E.trace(), A.Topo, *C.N);
+  auto R =
+      consistency::checkAgainstNes(E.trace(), A.Topo, C->structure());
   EXPECT_TRUE(R.Correct) << R.Reason;
 }
 
@@ -176,12 +189,12 @@ TEST(EngineConsistency, EngineMatchesSimulatorDeliverySemantics) {
   // Bulk H1 -> H2 over the ring: the engine must deliver every packet
   // the static path allows, like the simulator's uncongested runs.
   apps::App A = apps::ringApp(6, 3);
-  nes::CompiledProgram C = nes::compileAst(A.Ast, A.Topo);
-  ASSERT_TRUE(C.Ok) << C.Error;
+  api::Result<api::Compilation> C = compileApp(A);
+  ASSERT_TRUE(C.ok()) << C.status().str();
 
   EngineConfig Cfg;
   Cfg.NumShards = 2;
-  Engine E(*C.N, A.Topo, Cfg);
+  Engine E(C->structure(), A.Topo, Cfg);
   TrafficGen G(A.Topo, 9);
   E.run(G.bulk(topo::HostH1, topo::HostH2, 200, 50));
 
@@ -190,6 +203,7 @@ TEST(EngineConsistency, EngineMatchesSimulatorDeliverySemantics) {
   EXPECT_EQ(S.PacketsDelivered, 200u);
   EXPECT_EQ(S.PacketsDropped, 0u);
 
-  auto R = consistency::checkAgainstNes(E.trace(), A.Topo, *C.N);
+  auto R =
+      consistency::checkAgainstNes(E.trace(), A.Topo, C->structure());
   EXPECT_TRUE(R.Correct) << R.Reason;
 }

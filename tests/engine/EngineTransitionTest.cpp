@@ -44,8 +44,9 @@ Workload firewallScript(TrafficGen &G) {
 
 TEST(EngineTransition, ConcurrentReaderNeverSeesTornView) {
   apps::App A = apps::ringApp(8, 4);
-  nes::CompiledProgram C = nes::compileAst(A.Ast, A.Topo);
-  ASSERT_TRUE(C.Ok) << C.Error;
+  api::Result<nes::CompiledProgram> CR = nes::compileAst(A.Ast, A.Topo);
+  ASSERT_TRUE(CR.ok()) << CR.status().str();
+  nes::CompiledProgram &C = *CR;
 
   EngineConfig Cfg;
   Cfg.NumShards = 4;
@@ -102,8 +103,10 @@ TEST_P(EngineMixedConfig, NoPacketObservesAMixedConfiguration) {
   auto [Shards, Seed] = GetParam();
 
   apps::App A = apps::firewallApp();
-  nes::CompiledProgram C = nes::compileSource(A.Source, A.Topo);
-  ASSERT_TRUE(C.Ok) << C.Error;
+  api::Result<nes::CompiledProgram> CR =
+      nes::compileSource(A.Source, A.Topo);
+  ASSERT_TRUE(CR.ok()) << CR.status().str();
+  nes::CompiledProgram &C = *CR;
 
   EngineConfig Cfg;
   Cfg.NumShards = Shards;
@@ -149,8 +152,10 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(EngineTransition, BroadcastPropagatesEventsToAllSwitches) {
   apps::App A = apps::firewallApp();
-  nes::CompiledProgram C = nes::compileSource(A.Source, A.Topo);
-  ASSERT_TRUE(C.Ok) << C.Error;
+  api::Result<nes::CompiledProgram> CR =
+      nes::compileSource(A.Source, A.Topo);
+  ASSERT_TRUE(CR.ok()) << CR.status().str();
+  nes::CompiledProgram &C = *CR;
 
   EngineConfig Cfg;
   Cfg.NumShards = 2;

@@ -157,10 +157,11 @@ TEST(MatchPipeline, RandomTablesAgreeWithReference) {
 TEST(MatchPipeline, CompiledAppTablesAgree) {
   Rng R(7);
   for (const apps::App &A : apps::caseStudyApps()) {
-    nes::CompiledProgram C = A.Source.empty()
-                                 ? nes::compileAst(A.Ast, A.Topo)
-                                 : nes::compileSource(A.Source, A.Topo);
-    ASSERT_TRUE(C.Ok) << A.Name << ": " << C.Error;
+    api::Result<nes::CompiledProgram> CR =
+        A.Source.empty() ? nes::compileAst(A.Ast, A.Topo)
+                         : nes::compileSource(A.Source, A.Topo);
+    ASSERT_TRUE(CR.ok()) << A.Name << ": " << CR.status().str();
+    nes::CompiledProgram &C = *CR;
 
     std::vector<FieldId> Fields = {apps::ipDstField(), apps::probeField(),
                                    runtime::tagField()};

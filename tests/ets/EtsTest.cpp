@@ -14,9 +14,9 @@ using namespace eventnet::stateful;
 
 namespace {
 SPolRef parse(const std::string &Src) {
-  ParseResult R = parseProgram(Src);
-  EXPECT_TRUE(R.Ok) << R.Error;
-  return R.Program;
+  api::Result<Parsed> R = parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << R.status().str();
+  return R->Program;
 }
 } // namespace
 

@@ -17,10 +17,11 @@ std::map<FieldId, std::vector<Value>> dstTemplate() {
 }
 
 CompiledProgram compileApp(const apps::App &A) {
-  CompiledProgram C = A.Source.empty() ? compileAst(A.Ast, A.Topo)
+  api::Result<CompiledProgram> C = A.Source.empty()
+                                       ? compileAst(A.Ast, A.Topo)
                                        : compileSource(A.Source, A.Topo);
-  EXPECT_TRUE(C.Ok) << A.Name << ": " << C.Error;
-  return C;
+  EXPECT_TRUE(C.ok()) << A.Name << ": " << C.status().str();
+  return std::move(*C);
 }
 
 } // namespace

@@ -20,8 +20,8 @@ namespace {
 
 stateful::SPolRef parse(const std::string &Src) {
   auto R = stateful::parseProgram(Src);
-  EXPECT_TRUE(R.Ok) << R.Error;
-  return R.Program;
+  EXPECT_TRUE(R.ok()) << R.status().str();
+  return R->Program;
 }
 
 /// Hand-builds an ETS with trivial configurations. \p Edges are (from,

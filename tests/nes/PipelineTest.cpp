@@ -10,13 +10,13 @@ using namespace eventnet;
 using namespace eventnet::nes;
 
 TEST(Pipeline, FirewallCompiles) {
-  CompiledProgram C =
+  api::Result<CompiledProgram> C =
       compileSource(apps::firewallSource(), topo::firewallTopology());
-  ASSERT_TRUE(C.Ok) << C.Error;
-  EXPECT_EQ(C.N->numEvents(), 1u);
-  EXPECT_EQ(C.N->numSets(), 2u);
-  EXPECT_GT(C.CompileSeconds, 0);
-  EXPECT_EQ(C.Bindings.at("H4"), 4);
+  ASSERT_TRUE(C.ok()) << C.status().str();
+  EXPECT_EQ(C->N->numEvents(), 1u);
+  EXPECT_EQ(C->N->numSets(), 2u);
+  EXPECT_GT(C->CompileSeconds, 0);
+  EXPECT_EQ(C->Bindings.at("H4"), 4);
 }
 
 TEST(Pipeline, AllCaseStudiesCompile) {
@@ -33,29 +33,33 @@ TEST(Pipeline, AllCaseStudiesCompile) {
   };
   ASSERT_EQ(Apps.size(), Want.size());
   for (size_t I = 0; I != Apps.size(); ++I) {
-    CompiledProgram C = compileSource(Apps[I].Source, Apps[I].Topo);
-    ASSERT_TRUE(C.Ok) << Apps[I].Name << ": " << C.Error;
-    EXPECT_EQ(C.N->numEvents(), Want[I].Events) << Apps[I].Name;
-    EXPECT_EQ(C.N->numSets(), Want[I].Sets) << Apps[I].Name;
-    EXPECT_TRUE(C.N->isLocallyDetermined()) << Apps[I].Name;
-    EXPECT_GT(C.Ets.vertices()[0].Config.totalRules(), 0u) << Apps[I].Name;
+    api::Result<CompiledProgram> C =
+        compileSource(Apps[I].Source, Apps[I].Topo);
+    ASSERT_TRUE(C.ok()) << Apps[I].Name << ": " << C.status().str();
+    EXPECT_EQ(C->N->numEvents(), Want[I].Events) << Apps[I].Name;
+    EXPECT_EQ(C->N->numSets(), Want[I].Sets) << Apps[I].Name;
+    EXPECT_TRUE(C->N->isLocallyDetermined()) << Apps[I].Name;
+    EXPECT_GT(C->Ets.vertices()[0].Config.totalRules(), 0u)
+        << Apps[I].Name;
   }
 }
 
 TEST(Pipeline, RingCompilesAcrossDiameters) {
   for (unsigned D = 1; D <= 4; ++D) {
     apps::App A = apps::ringApp(2 * D >= 3 ? 2 * D : 3, D);
-    CompiledProgram C = compileAst(A.Ast, A.Topo);
-    ASSERT_TRUE(C.Ok) << "diameter " << D << ": " << C.Error;
-    EXPECT_EQ(C.N->numEvents(), 1u);
-    EXPECT_EQ(C.N->numSets(), 2u);
+    api::Result<CompiledProgram> C = compileAst(A.Ast, A.Topo);
+    ASSERT_TRUE(C.ok()) << "diameter " << D << ": " << C.status().str();
+    EXPECT_EQ(C->N->numEvents(), 1u);
+    EXPECT_EQ(C->N->numSets(), 2u);
   }
 }
 
 TEST(Pipeline, ParseErrorSurfaces) {
-  CompiledProgram C = compileSource("pt=@", topo::firewallTopology());
-  EXPECT_FALSE(C.Ok);
-  EXPECT_NE(C.Error.find("parse error"), std::string::npos);
+  api::Result<CompiledProgram> C =
+      compileSource("pt=@", topo::firewallTopology());
+  EXPECT_FALSE(C.ok());
+  EXPECT_EQ(C.status().code(), api::Code::ParseError);
+  EXPECT_NE(C.status().str().find("parse-error"), std::string::npos);
 }
 
 TEST(Pipeline, SameSwitchConflictIsLocal) {
@@ -75,11 +79,12 @@ state=[0] and pt=2 and ip_dst=H2; pt<-1; (1:1)->(4:1)<state<-[1]>; pt<-2
   T.attachHost(2, {2, 2});
   T.attachHost(4, {4, 2});
 
-  CompiledProgram C = compileSource(Src, T, /*RequireLocal=*/true);
-  ASSERT_TRUE(C.Ok) << C.Error;
-  EXPECT_EQ(C.N->numEvents(), 2u);
-  EXPECT_FALSE(C.N->minimallyInconsistentSets().empty());
-  EXPECT_TRUE(C.N->isLocallyDetermined());
+  api::Result<CompiledProgram> C =
+      compileSource(Src, T, /*RequireLocal=*/true);
+  ASSERT_TRUE(C.ok()) << C.status().str();
+  EXPECT_EQ(C->N->numEvents(), 2u);
+  EXPECT_FALSE(C->N->minimallyInconsistentSets().empty());
+  EXPECT_TRUE(C->N->isLocallyDetermined());
 }
 
 TEST(Pipeline, GenuinelyNonLocalProgramRejected) {
@@ -95,11 +100,15 @@ state=[0]; pt=2; pt<-1; (1:1)->(2:1)<state<-[1]>; pt<-2
   T.attachHost(2, {2, 2});
   T.attachHost(3, {3, 2});
 
-  CompiledProgram Strict = compileSource(Src, T, /*RequireLocal=*/true);
-  EXPECT_FALSE(Strict.Ok);
-  EXPECT_NE(Strict.Error.find("locally determined"), std::string::npos);
+  api::Result<CompiledProgram> Strict =
+      compileSource(Src, T, /*RequireLocal=*/true);
+  EXPECT_FALSE(Strict.ok());
+  EXPECT_EQ(Strict.status().code(), api::Code::CompileError);
+  EXPECT_NE(Strict.status().message().find("locally determined"),
+            std::string::npos);
 
-  CompiledProgram Lax = compileSource(Src, T, /*RequireLocal=*/false);
-  ASSERT_TRUE(Lax.Ok) << Lax.Error;
-  EXPECT_FALSE(Lax.N->isLocallyDetermined());
+  api::Result<CompiledProgram> Lax =
+      compileSource(Src, T, /*RequireLocal=*/false);
+  ASSERT_TRUE(Lax.ok()) << Lax.status().str();
+  EXPECT_FALSE(Lax->N->isLocallyDetermined());
 }

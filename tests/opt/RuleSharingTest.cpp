@@ -91,14 +91,15 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RuleSharingProperty,
 
 TEST(RuleSharing, ReducesRulesOnEveryCaseStudy) {
   for (const apps::App &A : apps::caseStudyApps()) {
-    nes::CompiledProgram C = nes::compileSource(A.Source, A.Topo);
-    ASSERT_TRUE(C.Ok) << A.Name << ": " << C.Error;
-    NesShareStats S = shareRulesForNes(*C.N, A.Topo);
+    api::Result<nes::CompiledProgram> C =
+        nes::compileSource(A.Source, A.Topo);
+    ASSERT_TRUE(C.ok()) << A.Name << ": " << C.status().str();
+    NesShareStats S = shareRulesForNes(*C->N, A.Topo);
     EXPECT_GT(S.Before, 0u) << A.Name;
     EXPECT_LE(S.After, S.Before) << A.Name;
     // Multi-state apps genuinely share (the paper reports 11-36%
     // savings across these five).
-    if (C.N->numSets() > 2) {
+    if (C->N->numSets() > 2) {
       EXPECT_LT(S.After, S.Before) << A.Name;
     }
   }

@@ -42,7 +42,7 @@ pt=2 and ip_dst=H2; pt<-3; (1:3)->(3:1); pt<-3;
 
 struct Fixture {
   topo::Topology Topo = topo::fig2Topology();
-  nes::CompiledProgram C;
+  api::Result<nes::CompiledProgram> C;
   Fixture() { C = nes::compileSource(fig2Source(), Topo); }
 
   netkat::Packet toHost(HostId Dst) {
@@ -63,16 +63,16 @@ size_t deliveriesTo(const Machine &M, HostId H) {
 
 TEST(Fig2Example, CompilesWithEventAtS4) {
   Fixture F;
-  ASSERT_TRUE(F.C.Ok) << F.C.Error;
-  ASSERT_EQ(F.C.N->numEvents(), 1u);
-  EXPECT_EQ(F.C.N->event(0).Loc, (Location{4, 3}));
-  EXPECT_TRUE(F.C.N->isLocallyDetermined());
+  ASSERT_TRUE(F.C.ok()) << F.C.status().str();
+  ASSERT_EQ(F.C->N->numEvents(), 1u);
+  EXPECT_EQ(F.C->N->event(0).Loc, (Location{4, 3}));
+  EXPECT_TRUE(F.C->N->isLocallyDetermined());
 }
 
 TEST(Fig2Example, EventTrafficTeachesS2OnItsWayToH2) {
   Fixture F;
-  ASSERT_TRUE(F.C.Ok) << F.C.Error;
-  Machine M(*F.C.N, F.Topo);
+  ASSERT_TRUE(F.C.ok()) << F.C.status().str();
+  Machine M(*F.C->N, F.Topo);
   Rng R(5);
   M.inject(topo::HostH1, F.toHost(2));
   M.runToQuiescence(R);
@@ -84,19 +84,19 @@ TEST(Fig2Example, EventTrafficTeachesS2OnItsWayToH2) {
   M.inject(topo::HostH2, F.toHost(1));
   M.runToQuiescence(R);
   EXPECT_EQ(deliveriesTo(M, topo::HostH1), 1u);
-  auto Check = consistency::checkAgainstNes(M.trace(), F.Topo, *F.C.N);
+  auto Check = consistency::checkAgainstNes(M.trace(), F.Topo, *F.C->N);
   EXPECT_TRUE(Check.Correct) << Check.Reason;
 }
 
 TEST(Fig2Example, BeforeEventH2IsDropped) {
   Fixture F;
-  ASSERT_TRUE(F.C.Ok) << F.C.Error;
-  Machine M(*F.C.N, F.Topo);
+  ASSERT_TRUE(F.C.ok()) << F.C.status().str();
+  Machine M(*F.C->N, F.Topo);
   Rng R(6);
   M.inject(topo::HostH2, F.toHost(1));
   M.runToQuiescence(R);
   EXPECT_EQ(deliveriesTo(M, topo::HostH1), 0u);
-  auto Check = consistency::checkAgainstNes(M.trace(), F.Topo, *F.C.N);
+  auto Check = consistency::checkAgainstNes(M.trace(), F.Topo, *F.C->N);
   EXPECT_TRUE(Check.Correct) << Check.Reason;
 }
 
@@ -104,8 +104,8 @@ class Fig2Interleavings : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(Fig2Interleavings, AllInterleavingsAreCorrect) {
   Fixture F;
-  ASSERT_TRUE(F.C.Ok) << F.C.Error;
-  Machine M(*F.C.N, F.Topo);
+  ASSERT_TRUE(F.C.ok()) << F.C.status().str();
+  Machine M(*F.C->N, F.Topo);
   Rng R(GetParam());
   // Concurrent H1 -> H2 and H2 -> H1 traffic: depending on the
   // interleaving, H2's packets are dropped (processed in Ci) or
@@ -119,7 +119,7 @@ TEST_P(Fig2Interleavings, AllInterleavingsAreCorrect) {
   size_t Steps = M.runToQuiescence(R);
   EXPECT_GT(Steps, 10u);
   ASSERT_TRUE(M.globalSetConsistent());
-  auto Check = consistency::checkAgainstNes(M.trace(), F.Topo, *F.C.N);
+  auto Check = consistency::checkAgainstNes(M.trace(), F.Topo, *F.C->N);
   EXPECT_TRUE(Check.Correct) << Check.Reason << "\n" << M.trace().str();
 }
 

@@ -13,11 +13,11 @@ using namespace eventnet::runtime;
 
 namespace {
 nes::CompiledProgram compileApp(const apps::App &A) {
-  nes::CompiledProgram C = A.Source.empty()
-                               ? nes::compileAst(A.Ast, A.Topo)
-                               : nes::compileSource(A.Source, A.Topo);
-  EXPECT_TRUE(C.Ok) << A.Name << ": " << C.Error;
-  return C;
+  api::Result<nes::CompiledProgram> C =
+      A.Source.empty() ? nes::compileAst(A.Ast, A.Topo)
+                       : nes::compileSource(A.Source, A.Topo);
+  EXPECT_TRUE(C.ok()) << A.Name << ": " << C.status().str();
+  return std::move(*C);
 }
 } // namespace
 

@@ -8,9 +8,9 @@
 
 #include "runtime/Machine.h"
 
+#include "api/Api.h"
 #include "apps/Programs.h"
 #include "consistency/Check.h"
-#include "nes/Pipeline.h"
 
 #include <gtest/gtest.h>
 
@@ -21,13 +21,21 @@ namespace {
 
 struct Compiled {
   apps::App A;
-  nes::CompiledProgram C;
+  api::Result<api::Compilation> C;
 };
+
+/// Compiles through the api façade, exercising the same surface the CLI
+/// and embedding programs use.
+api::Result<api::Compilation> compileApp(const apps::App &A) {
+  api::CompileOptions O;
+  O.programSource(A.Source).topology(A.Topo);
+  return api::compile(std::move(O));
+}
 
 Compiled firewall() {
   Compiled Out{apps::firewallApp(), {}};
-  Out.C = nes::compileSource(Out.A.Source, Out.A.Topo);
-  EXPECT_TRUE(Out.C.Ok) << Out.C.Error;
+  Out.C = compileApp(Out.A);
+  EXPECT_TRUE(Out.C.ok()) << Out.C.status().str();
   return Out;
 }
 
@@ -48,19 +56,19 @@ size_t deliveriesTo(const Machine &M, HostId H) {
 
 TEST(Machine, FirewallBlocksBeforeEvent) {
   Compiled F = firewall();
-  Machine M(*F.C.N, F.A.Topo);
+  Machine M(F.C->structure(), F.A.Topo);
   Rng R(1);
   M.inject(topo::HostH4, toHost(1));
   M.runToQuiescence(R);
   EXPECT_EQ(deliveriesTo(M, topo::HostH1), 0u);
   EXPECT_TRUE(M.switchEvents(4).empty());
-  auto Check = consistency::checkAgainstNes(M.trace(), F.A.Topo, *F.C.N);
+  auto Check = consistency::checkAgainstNes(M.trace(), F.A.Topo, F.C->structure());
   EXPECT_TRUE(Check.Correct) << Check.Reason;
 }
 
 TEST(Machine, FirewallOpensAfterEvent) {
   Compiled F = firewall();
-  Machine M(*F.C.N, F.A.Topo);
+  Machine M(F.C->structure(), F.A.Topo);
   Rng R(2);
   // Outbound first: triggers the event at s4.
   M.inject(topo::HostH1, toHost(4));
@@ -73,13 +81,13 @@ TEST(Machine, FirewallOpensAfterEvent) {
   M.runToQuiescence(R);
   EXPECT_EQ(deliveriesTo(M, topo::HostH1), 1u);
 
-  auto Check = consistency::checkAgainstNes(M.trace(), F.A.Topo, *F.C.N);
+  auto Check = consistency::checkAgainstNes(M.trace(), F.A.Topo, F.C->structure());
   EXPECT_TRUE(Check.Correct) << Check.Reason << "\n" << M.trace().str();
 }
 
 TEST(Machine, EventPropagatesToOtherSwitchViaDigest) {
   Compiled F = firewall();
-  Machine M(*F.C.N, F.A.Topo);
+  Machine M(F.C->structure(), F.A.Topo);
   Rng R(3);
   M.inject(topo::HostH1, toHost(4));
   M.runToQuiescence(R);
@@ -93,7 +101,7 @@ TEST(Machine, EventPropagatesToOtherSwitchViaDigest) {
 
 TEST(Machine, ControllerRelayDeliversEvents) {
   Compiled F = firewall();
-  Machine M(*F.C.N, F.A.Topo);
+  Machine M(F.C->structure(), F.A.Topo);
   Rng R(4);
   M.inject(topo::HostH1, toHost(4));
   // Drive to quiescence; CTRLRECV/CTRLSEND steps are part of the step
@@ -107,7 +115,7 @@ TEST(Machine, ControllerRelayDeliversEvents) {
 
 TEST(Machine, StepStringsAreInformative) {
   Compiled F = firewall();
-  Machine M(*F.C.N, F.A.Topo);
+  Machine M(F.C->structure(), F.A.Topo);
   M.inject(topo::HostH1, toHost(4));
   auto Steps = M.possibleSteps();
   ASSERT_EQ(Steps.size(), 1u);
@@ -140,7 +148,7 @@ class MachineInterleavings : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(MachineInterleavings, FirewallTracesAreCorrect) {
   Compiled F = firewall();
-  Machine M(*F.C.N, F.A.Topo);
+  Machine M(F.C->structure(), F.A.Topo);
   Rng R(GetParam());
   // A mix of inbound and outbound packets injected up front; the driver
   // interleaves IN/SWITCH/LINK/controller steps randomly.
@@ -151,15 +159,15 @@ TEST_P(MachineInterleavings, FirewallTracesAreCorrect) {
   M.inject(topo::HostH4, toHost(1));
   runCheckingConsistency(M, R);
 
-  auto Check = consistency::checkAgainstNes(M.trace(), F.A.Topo, *F.C.N);
+  auto Check = consistency::checkAgainstNes(M.trace(), F.A.Topo, F.C->structure());
   EXPECT_TRUE(Check.Correct) << Check.Reason << "\n" << M.trace().str();
 }
 
 TEST_P(MachineInterleavings, AuthenticationTracesAreCorrect) {
   apps::App A = apps::authenticationApp();
-  nes::CompiledProgram C = nes::compileSource(A.Source, A.Topo);
-  ASSERT_TRUE(C.Ok) << C.Error;
-  Machine M(*C.N, A.Topo);
+  api::Result<api::Compilation> C = compileApp(A);
+  ASSERT_TRUE(C.ok()) << C.status().str();
+  Machine M(C->structure(), A.Topo);
   Rng R(GetParam() ^ 0x9999);
   // Knock out of order and in order.
   M.inject(topo::HostH4, toHost(3));
@@ -167,20 +175,22 @@ TEST_P(MachineInterleavings, AuthenticationTracesAreCorrect) {
   M.inject(topo::HostH4, toHost(2));
   M.inject(topo::HostH4, toHost(3));
   runCheckingConsistency(M, R);
-  auto Check = consistency::checkAgainstNes(M.trace(), A.Topo, *C.N);
+  auto Check =
+      consistency::checkAgainstNes(M.trace(), A.Topo, C->structure());
   EXPECT_TRUE(Check.Correct) << Check.Reason << "\n" << M.trace().str();
 }
 
 TEST_P(MachineInterleavings, BandwidthCapTracesAreCorrect) {
   apps::App A = apps::bandwidthCapApp(3);
-  nes::CompiledProgram C = nes::compileSource(A.Source, A.Topo);
-  ASSERT_TRUE(C.Ok) << C.Error;
-  Machine M(*C.N, A.Topo);
+  api::Result<api::Compilation> C = compileApp(A);
+  ASSERT_TRUE(C.ok()) << C.status().str();
+  Machine M(C->structure(), A.Topo);
   Rng R(GetParam() ^ 0xbc);
   for (int I = 0; I != 6; ++I)
     M.inject(topo::HostH1, toHost(4));
   runCheckingConsistency(M, R);
-  auto Check = consistency::checkAgainstNes(M.trace(), A.Topo, *C.N);
+  auto Check =
+      consistency::checkAgainstNes(M.trace(), A.Topo, C->structure());
   EXPECT_TRUE(Check.Correct) << Check.Reason << "\n" << M.trace().str();
   // The cap must have engaged: all renamed events fired in causal order.
   EXPECT_TRUE(M.switchEvents(4).test(3));

@@ -9,9 +9,9 @@
 
 #include "sim/Simulation.h"
 
+#include "api/Api.h"
 #include "apps/Programs.h"
 #include "consistency/Check.h"
-#include "nes/Pipeline.h"
 
 #include <gtest/gtest.h>
 
@@ -22,13 +22,21 @@ namespace {
 
 struct Scripted {
   apps::App A;
-  nes::CompiledProgram C;
+  api::Result<api::Compilation> C;
   std::vector<std::pair<double, std::pair<HostId, HostId>>> Pings;
 };
 
+/// Compiles through the api façade, exercising the same surface the CLI
+/// and embedding programs use.
+api::Result<api::Compilation> compileApp(const apps::App &A) {
+  api::CompileOptions O;
+  O.programSource(A.Source).topology(A.Topo);
+  return api::compile(std::move(O));
+}
+
 Scripted firewallScript() {
   Scripted S{apps::firewallApp(), {}, {}};
-  S.C = nes::compileSource(S.A.Source, S.A.Topo);
+  S.C = compileApp(S.A);
   for (int I = 0; I != 12; ++I)
     S.Pings.push_back({0.2 + 0.2 * I, {topo::HostH1, topo::HostH4}});
   S.Pings.push_back({0.1, {topo::HostH4, topo::HostH1}});
@@ -38,7 +46,7 @@ Scripted firewallScript() {
 
 Scripted authScript() {
   Scripted S{apps::authenticationApp(), {}, {}};
-  S.C = nes::compileSource(S.A.Source, S.A.Topo);
+  S.C = compileApp(S.A);
   std::vector<HostId> Order = {topo::HostH3, topo::HostH1, topo::HostH3,
                                topo::HostH2, topo::HostH3};
   for (size_t I = 0; I != Order.size(); ++I)
@@ -48,7 +56,7 @@ Scripted authScript() {
 
 Scripted idsScript() {
   Scripted S{apps::idsApp(), {}, {}};
-  S.C = nes::compileSource(S.A.Source, S.A.Topo);
+  S.C = compileApp(S.A);
   std::vector<HostId> Order = {topo::HostH3, topo::HostH1, topo::HostH2,
                                topo::HostH3, topo::HostH3};
   for (size_t I = 0; I != Order.size(); ++I)
@@ -58,7 +66,7 @@ Scripted idsScript() {
 
 Scripted bwcapScript() {
   Scripted S{apps::bandwidthCapApp(5), {}, {}};
-  S.C = nes::compileSource(S.A.Source, S.A.Topo);
+  S.C = compileApp(S.A);
   for (int I = 0; I != 9; ++I)
     S.Pings.push_back({0.2 + 0.3 * I, {topo::HostH1, topo::HostH4}});
   return S;
@@ -77,11 +85,12 @@ consistency::CheckResult runAndCheck(const Scripted &S,
   SimParams P;
   P.Seed = Seed;
   P.UncoordDelaySec = UncoordDelay;
-  Simulation Sim(*S.C.N, S.A.Topo, Mode, P);
+  Simulation Sim(S.C->structure(), S.A.Topo, Mode, P);
   for (const auto &[At, FromTo] : S.Pings)
     Sim.schedulePing(At, FromTo.first, FromTo.second);
   Sim.run(At(S) + UncoordDelay + 3.0);
-  return consistency::checkAgainstNes(Sim.trace(), S.A.Topo, *S.C.N);
+  return consistency::checkAgainstNes(Sim.trace(), S.A.Topo,
+                                      S.C->structure());
 }
 
 } // namespace
@@ -91,7 +100,7 @@ class SimConsistency : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(SimConsistency, NesModeAlwaysCorrect) {
   for (auto Make : {firewallScript, authScript, idsScript, bwcapScript}) {
     Scripted S = Make();
-    ASSERT_TRUE(S.C.Ok) << S.A.Name << ": " << S.C.Error;
+    ASSERT_TRUE(S.C.ok()) << S.A.Name << ": " << S.C.status().str();
     auto R = runAndCheck(S, Simulation::Mode::Nes, GetParam());
     EXPECT_TRUE(R.Correct) << S.A.Name << ": " << R.Reason;
   }
@@ -118,13 +127,15 @@ TEST(SimConsistency, StaticReferenceQuiescentIsCorrect) {
   // The reference mode never updates; a workload that triggers no event
   // must check out against g(∅).
   Scripted S = firewallScript();
-  ASSERT_TRUE(S.C.Ok);
+  ASSERT_TRUE(S.C.ok());
   SimParams P;
-  Simulation Sim(*S.C.N, S.A.Topo, Simulation::Mode::StaticReference, P);
+  Simulation Sim(S.C->structure(), S.A.Topo,
+                 Simulation::Mode::StaticReference, P);
   // Only blocked inbound traffic: no event fires.
   Sim.schedulePing(0.2, topo::HostH4, topo::HostH1);
   Sim.schedulePing(0.6, topo::HostH4, topo::HostH1);
   Sim.run(2.0);
-  auto R = consistency::checkAgainstNes(Sim.trace(), S.A.Topo, *S.C.N);
+  auto R = consistency::checkAgainstNes(Sim.trace(), S.A.Topo,
+                                        S.C->structure());
   EXPECT_TRUE(R.Correct) << R.Reason;
 }

@@ -9,15 +9,16 @@ using namespace eventnet::stateful;
 
 namespace {
 SPolRef parseOk(const std::string &Src) {
-  ParseResult R = parseProgram(Src);
-  EXPECT_TRUE(R.Ok) << R.Error;
-  return R.Program;
+  api::Result<Parsed> R = parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << R.status().str();
+  return R->Program;
 }
 
 std::string parseErr(const std::string &Src) {
-  ParseResult R = parseProgram(Src);
-  EXPECT_FALSE(R.Ok) << "unexpected success: " << R.Program->str();
-  return R.Error;
+  api::Result<Parsed> R = parseProgram(Src);
+  EXPECT_FALSE(R.ok()) << "unexpected success: " << R->Program->str();
+  EXPECT_EQ(R.status().code(), api::Code::ParseError);
+  return R.status().message();
 }
 } // namespace
 
@@ -35,10 +36,10 @@ TEST(Parser, NeqTest) {
 }
 
 TEST(Parser, LetBindingsResolve) {
-  ParseResult R = parseProgram("let H4 = 4;\nip_dst=H4");
-  ASSERT_TRUE(R.Ok) << R.Error;
-  EXPECT_EQ(R.Program->pred()->value(), 4);
-  EXPECT_EQ(R.Bindings.at("H4"), 4);
+  api::Result<Parsed> R = parseProgram("let H4 = 4;\nip_dst=H4");
+  ASSERT_TRUE(R.ok()) << R.status().str();
+  EXPECT_EQ(R->Program->pred()->value(), 4);
+  EXPECT_EQ(R->Bindings.at("H4"), 4);
 }
 
 TEST(Parser, UnboundValueIdentFails) {

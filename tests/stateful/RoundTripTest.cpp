@@ -70,14 +70,15 @@ SPolRef randomPol(Rng &R, unsigned Depth) {
 
 TEST(RoundTrip, ShippedApplications) {
   for (const apps::App &A : apps::caseStudyApps()) {
-    ParseResult First = parseProgram(A.Source);
-    ASSERT_TRUE(First.Ok) << A.Name << ": " << First.Error;
-    std::string Printed = First.Program->str();
-    ParseResult Second = parseProgram(Printed);
-    ASSERT_TRUE(Second.Ok) << A.Name << " reprint failed: " << Second.Error
+    api::Result<Parsed> First = parseProgram(A.Source);
+    ASSERT_TRUE(First.ok()) << A.Name << ": " << First.status().str();
+    std::string Printed = First->Program->str();
+    api::Result<Parsed> Second = parseProgram(Printed);
+    ASSERT_TRUE(Second.ok())
+        << A.Name << " reprint failed: " << Second.status().str()
                            << "\nprinted:\n"
                            << Printed;
-    EXPECT_EQ(Second.Program->str(), Printed) << A.Name;
+    EXPECT_EQ(Second->Program->str(), Printed) << A.Name;
   }
 }
 
@@ -88,9 +89,9 @@ TEST_P(RoundTripProperty, RandomAstsRoundTrip) {
   for (int Trial = 0; Trial != 40; ++Trial) {
     SPolRef P = randomPol(R, 4);
     std::string Printed = P->str();
-    ParseResult Re = parseProgram(Printed);
-    ASSERT_TRUE(Re.Ok) << Re.Error << "\nprinted:\n" << Printed;
-    EXPECT_EQ(Re.Program->str(), Printed);
+    api::Result<Parsed> Re = parseProgram(Printed);
+    ASSERT_TRUE(Re.ok()) << Re.status().str() << "\nprinted:\n" << Printed;
+    EXPECT_EQ(Re->Program->str(), Printed);
   }
 }
 

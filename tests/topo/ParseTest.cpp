@@ -8,57 +8,59 @@ using namespace eventnet;
 using namespace eventnet::topo;
 
 TEST(TopoParse, FirewallFile) {
-  TopoParseResult R = parseTopology(R"(
+  api::Result<Topology> R = parseTopology(R"(
 # the Figure 1 topology
 host 1 at 1:2
 host 4 at 4:2
 link 1:1 - 4:1
 )");
-  ASSERT_TRUE(R.Ok) << R.Error;
-  EXPECT_EQ(R.Topo.switches().size(), 2u);
-  EXPECT_EQ(R.Topo.hostLoc(1), (Location{1, 2}));
-  ASSERT_TRUE(R.Topo.linkFrom({4, 1}).has_value());
-  EXPECT_EQ(*R.Topo.linkFrom({4, 1}), (Location{1, 1}));
+  ASSERT_TRUE(R.ok()) << R.status().str();
+  EXPECT_EQ(R->switches().size(), 2u);
+  EXPECT_EQ(R->hostLoc(1), (Location{1, 2}));
+  ASSERT_TRUE(R->linkFrom({4, 1}).has_value());
+  EXPECT_EQ(*R->linkFrom({4, 1}), (Location{1, 1}));
 }
 
 TEST(TopoParse, UnidirectionalLink) {
-  TopoParseResult R = parseTopology("link 1:1 -> 2:1\n");
-  ASSERT_TRUE(R.Ok) << R.Error;
-  EXPECT_TRUE(R.Topo.linkFrom({1, 1}).has_value());
-  EXPECT_FALSE(R.Topo.linkFrom({2, 1}).has_value());
+  api::Result<Topology> R = parseTopology("link 1:1 -> 2:1\n");
+  ASSERT_TRUE(R.ok()) << R.status().str();
+  EXPECT_TRUE(R->linkFrom({1, 1}).has_value());
+  EXPECT_FALSE(R->linkFrom({2, 1}).has_value());
 }
 
 TEST(TopoParse, ExplicitSwitch) {
-  TopoParseResult R = parseTopology("switch 7\n");
-  ASSERT_TRUE(R.Ok) << R.Error;
-  EXPECT_EQ(R.Topo.switches().count(7), 1u);
+  api::Result<Topology> R = parseTopology("switch 7\n");
+  ASSERT_TRUE(R.ok()) << R.status().str();
+  EXPECT_EQ(R->switches().count(7), 1u);
 }
 
 TEST(TopoParse, EmptyAndCommentsOk) {
-  TopoParseResult R = parseTopology("\n  # nothing here\n\n");
-  EXPECT_TRUE(R.Ok) << R.Error;
+  api::Result<Topology> R = parseTopology("\n  # nothing here\n\n");
+  EXPECT_TRUE(R.ok()) << R.status().str();
 }
 
 TEST(TopoParse, Diagnostics) {
-  TopoParseResult R = parseTopology("link 1:1 = 2:1\n");
-  EXPECT_FALSE(R.Ok);
-  EXPECT_NE(R.Error.find("line 1"), std::string::npos);
+  api::Result<Topology> R = parseTopology("link 1:1 = 2:1\n");
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), api::Code::TopoError);
+  EXPECT_NE(R.status().message().find("line 1"), std::string::npos);
 
   R = parseTopology("host 1 1:2\n");
-  EXPECT_FALSE(R.Ok);
-  EXPECT_NE(R.Error.find("host"), std::string::npos);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.status().message().find("host"), std::string::npos);
 
   R = parseTopology("frobnicate\n");
-  EXPECT_FALSE(R.Ok);
-  EXPECT_NE(R.Error.find("unknown directive"), std::string::npos);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.status().message().find("unknown directive"),
+            std::string::npos);
 
   R = parseTopology("switch x\n");
-  EXPECT_FALSE(R.Ok);
+  EXPECT_FALSE(R.ok());
 }
 
 TEST(TopoParse, BadLocationRejected) {
-  EXPECT_FALSE(parseTopology("host 1 at 12\n").Ok);
-  EXPECT_FALSE(parseTopology("host 1 at :2\n").Ok);
-  EXPECT_FALSE(parseTopology("host 1 at 1:\n").Ok);
-  EXPECT_FALSE(parseTopology("host 1 at a:b\n").Ok);
+  EXPECT_FALSE(parseTopology("host 1 at 12\n").ok());
+  EXPECT_FALSE(parseTopology("host 1 at :2\n").ok());
+  EXPECT_FALSE(parseTopology("host 1 at 1:\n").ok());
+  EXPECT_FALSE(parseTopology("host 1 at a:b\n").ok());
 }

@@ -1,109 +1,204 @@
 //===- tools/eventnetc.cpp - Stateful NetKAT compiler driver --------------===//
 //
-// Command-line front end for the compiler pipeline: reads a Stateful
-// NetKAT program and a topology description, compiles to an NES, and
-// prints the requested artifacts. The moral equivalent of the paper's
-// prototype tool (minus the Mininet script generation, which the
-// simulator replaces).
+// Subcommand front end over the eventnet::api façade. The moral
+// equivalent of the paper's prototype tool (minus the Mininet script
+// generation, which the simulator replaces).
 //
 // Usage:
-//   eventnetc <program.snk> --topo <topo.txt> [options]
+//   eventnetc compile <program.snk> --topo <topo.txt>
+//             [--dump-ets] [--dump-nes] [--dump-tables] [--share]
+//             [--stats] [--json]
+//   eventnetc run <program.snk> --topo <topo.txt>
+//             [--backend machine|sim|engine] [--seed S] [--shards N]
+//             [--phases N] [--per-phase N] [--no-check] [--json]
+//   eventnetc check <program.snk> --topo <topo.txt>
+//             (run's options; reports only the Definition 6 verdict and
+//              exits 8 on violation)
+//   eventnetc backends
 //
-// Options:
-//   --dump-ets     print the event-driven transition system
-//   --dump-nes     print the network event structure
-//   --dump-tables  print every configuration's flow tables
-//   --share        report the Section 5.3 rule-sharing statistics
-//   --stats        print compile statistics (default if nothing else)
-//   --engine       run a seeded workload on the sharded concurrent
-//                  engine, print its stats, and replay the recorded
-//                  trace through the Definition 6 checker
-//   --shards N     engine worker threads (default 4)
-//   --seed S       engine workload seed (default 1)
+// Every failure class has a distinct exit code (api::Status::exitCode):
+//   0 ok, 2 usage/invalid argument, 3 unreadable file, 4 program parse
+//   error, 5 topology parse error, 6 compile error (incl. locality),
+//   7 backend run error, 8 Definition 6 violation.
 //
 //===----------------------------------------------------------------------===//
 
-#include "consistency/Check.h"
-#include "engine/Engine.h"
-#include "nes/Pipeline.h"
-#include "opt/RuleSharing.h"
-#include "runtime/Guarded.h"
-#include "topo/Parse.h"
+#include "api/Api.h"
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <iostream>
-#include <sstream>
+#include <string>
 
 using namespace eventnet;
 
 namespace {
 
-bool readFile(const std::string &Path, std::string &Out) {
-  std::ifstream In(Path);
-  if (!In)
-    return false;
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  Out = SS.str();
-  return true;
-}
-
-int usage(const char *Argv0) {
+int usage() {
   fprintf(stderr,
-          "usage: %s <program.snk> --topo <topo.txt>\n"
-          "          [--dump-ets] [--dump-nes] [--dump-tables] [--share]\n"
-          "          [--stats] [--engine] [--shards N] [--seed S]\n",
-          Argv0);
+          "usage: eventnetc <command> <program.snk> --topo <topo.txt> "
+          "[options]\n"
+          "commands:\n"
+          "  compile   compile and print artifacts\n"
+          "            [--dump-ets] [--dump-nes] [--dump-tables] [--share]\n"
+          "            [--stats] [--json]\n"
+          "  run       compile, execute a seeded ping workload, report\n"
+          "            [--backend machine|sim|engine] [--seed S]\n"
+          "            [--shards N] [--phases N] [--per-phase N]\n"
+          "            [--no-check] [--json]\n"
+          "  check     like run, but print only the Definition 6 verdict\n"
+          "  backends  list registered backends\n");
   return 2;
 }
 
-/// --engine: a seeded ping workload between every host pair on the
-/// concurrent engine, followed by the Definition 6 verdict.
-int runEngine(const nes::CompiledProgram &C, const topo::Topology &Topo,
-              unsigned Shards, uint64_t Seed) {
-  size_t Pairs = Topo.hosts().size() * Topo.hosts().size();
-  unsigned PerPhase = Pairs > 8 ? 8 : static_cast<unsigned>(Pairs);
-  if (PerPhase == 0) {
-    // Checked before TrafficGen's constructor, which asserts on
-    // hostless topologies.
-    fprintf(stderr, "error: topology has no hosts to generate traffic\n");
-    return 1;
+int fail(const api::Status &St) {
+  fprintf(stderr, "error: %s\n", St.str().c_str());
+  return St.exitCode();
+}
+
+/// Options shared by every compile-then-act command.
+struct CliArgs {
+  std::string ProgramPath, TopoPath;
+  // compile artifacts
+  bool DumpEts = false, DumpNes = false, DumpTables = false, Share = false;
+  bool Stats = false, Json = false;
+  // run workload
+  std::string Backend = "engine";
+  api::RunOptions Run;
+};
+
+/// Parses argv[2..]; returns an InvalidArgument Status on malformed
+/// input. One parser serves every command (shared positional/--topo/
+/// --json handling), but artifact flags are only accepted by `compile`
+/// and workload flags only by `run`/`check` — a flag for the wrong
+/// command is an error, not a silent no-op.
+api::Status parseArgs(int argc, char **argv, const std::string &Cmd,
+                      CliArgs &A) {
+  bool IsCompile = Cmd == "compile";
+  auto Bad = [](std::string Msg) {
+    return api::Status::error(api::Code::InvalidArgument, std::move(Msg));
+  };
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto TakeValue = [&]() -> const char * {
+      return ++I < argc ? argv[I] : nullptr;
+    };
+    auto WrongCommand = [&]() {
+      return Bad(Arg + " only applies to the " +
+                 (IsCompile ? "run/check commands" : "compile command"));
+    };
+    if (Arg == "--topo") {
+      const char *V = TakeValue();
+      if (!V)
+        return Bad("--topo needs a file argument");
+      A.TopoPath = V;
+    } else if (Arg == "--dump-ets" || Arg == "--dump-nes" ||
+               Arg == "--dump-tables" || Arg == "--share" ||
+               Arg == "--stats") {
+      if (!IsCompile)
+        return WrongCommand();
+      A.DumpEts |= Arg == "--dump-ets";
+      A.DumpNes |= Arg == "--dump-nes";
+      A.DumpTables |= Arg == "--dump-tables";
+      A.Share |= Arg == "--share";
+      A.Stats |= Arg == "--stats";
+    } else if (Arg == "--json") {
+      A.Json = true;
+    } else if (Arg == "--no-check") {
+      if (IsCompile)
+        return WrongCommand();
+      if (Cmd == "check")
+        return Bad("--no-check contradicts the check command");
+      A.Run.checkConsistency(false);
+    } else if (Arg == "--backend") {
+      if (IsCompile)
+        return WrongCommand();
+      const char *V = TakeValue();
+      if (!V)
+        return Bad("--backend needs a name argument");
+      A.Backend = V;
+    } else if (Arg == "--seed" || Arg == "--shards" || Arg == "--phases" ||
+               Arg == "--per-phase") {
+      if (IsCompile)
+        return WrongCommand();
+      const char *V = TakeValue();
+      char *End = nullptr;
+      unsigned long long N = V ? strtoull(V, &End, 10) : 0;
+      // strtoull accepts a leading '-' and wraps; reject it up front.
+      if (!V || *V == '\0' || *V == '-' || *End != '\0')
+        return Bad(Arg + " needs a non-negative numeric argument");
+      if (Arg == "--seed") {
+        A.Run.seed(N);
+      } else {
+        // The unsigned options must survive the narrowing intact.
+        if (N > 0xFFFFFFFFull)
+          return Bad(Arg + " value " + V + " is out of range");
+        if (Arg == "--shards")
+          A.Run.shards(static_cast<unsigned>(N));
+        else if (Arg == "--phases")
+          A.Run.phases(static_cast<unsigned>(N));
+        else
+          A.Run.pingsPerPhase(static_cast<unsigned>(N));
+      }
+    } else if (Arg.size() && Arg[0] == '-') {
+      return Bad("unknown option '" + Arg + "'");
+    } else if (A.ProgramPath.empty()) {
+      A.ProgramPath = Arg;
+    } else {
+      return Bad("unexpected argument '" + Arg + "'");
+    }
   }
+  if (A.ProgramPath.empty())
+    return Bad("no program file given");
+  if (A.TopoPath.empty())
+    return Bad("no topology file given (--topo <file>)");
+  if (A.Json && (A.DumpEts || A.DumpNes || A.DumpTables || A.Share))
+    return Bad("--json emits a single JSON object; it cannot be combined "
+               "with --dump-* or --share");
+  return api::Status::success();
+}
 
-  engine::EngineConfig Cfg;
-  Cfg.NumShards = Shards;
-  engine::Engine E(*C.N, Topo, Cfg);
-  engine::TrafficGen G(Topo, Seed);
-  E.run(G.pings(4, PerPhase));
+int cmdCompile(const CliArgs &A, const api::Compilation &C) {
+  bool Default = !A.DumpEts && !A.DumpNes && !A.DumpTables && !A.Share;
+  if (A.Json) {
+    printf("%s\n", C.summaryJson().c_str());
+  } else if (A.Stats || Default) {
+    printf("%s", C.summary().c_str());
+  }
+  if (A.DumpEts)
+    printf("=== ETS ===\n%s", C.etsText().c_str());
+  if (A.DumpNes)
+    printf("=== NES ===\n%s", C.nesText().c_str());
+  if (A.DumpTables)
+    printf("%s", C.tablesText().c_str());
+  if (A.Share) {
+    opt::NesShareStats S = C.shareStats();
+    printf("rule sharing: %zu -> %zu rules (%.1f%% saved)\n", S.Before,
+           S.After, S.savings() * 100);
+  }
+  return 0;
+}
 
-  engine::Stats S = E.stats();
-  printf("engine run: %u shards, seed %llu\n", Shards,
-         static_cast<unsigned long long>(Seed));
-  printf("  injected:     %llu packets\n",
-         static_cast<unsigned long long>(S.PacketsInjected));
-  printf("  delivered:    %llu\n",
-         static_cast<unsigned long long>(S.PacketsDelivered));
-  printf("  dropped:      %llu\n",
-         static_cast<unsigned long long>(S.PacketsDropped));
-  printf("  switch-hops:  %llu (%.2f M hops/sec)\n",
-         static_cast<unsigned long long>(S.PacketsProcessed),
-         S.PacketsPerSec / 1e6);
-  printf("  events:       %llu detected, %llu register transitions\n",
-         static_cast<unsigned long long>(S.EventsDetected),
-         static_cast<unsigned long long>(S.ConfigTransitions));
-  if (S.Transition.Samples)
-    printf("  transition:   mean %.1f us, max %.1f us (%llu samples)\n",
-           S.Transition.MeanSec * 1e6, S.Transition.MaxSec * 1e6,
-           static_cast<unsigned long long>(S.Transition.Samples));
+int cmdRun(const CliArgs &A, const api::Compilation &C, bool VerdictOnly) {
+  api::Result<api::RunReport> R = api::run(C, A.Backend, A.Run);
+  if (!R.ok())
+    return fail(R.status());
 
-  consistency::CheckResult R =
-      consistency::checkAgainstNes(E.trace(), Topo, *C.N);
-  printf("  definition 6: %s\n", R.Correct ? "consistent" : "VIOLATED");
-  if (!R.Correct) {
-    printf("    %s\n", R.Reason.c_str());
-    return 1;
+  if (A.Json)
+    printf("%s\n", R->json().c_str());
+  else if (VerdictOnly)
+    printf("definition 6: %s\n",
+           !R->Checked ? "not checked"
+                       : (R->Consistency.Correct ? "consistent"
+                                                 : "VIOLATED"));
+  else
+    printf("%s", R->str().c_str());
+
+  if (R->Checked && !R->Consistency.Correct) {
+    if (VerdictOnly && !A.Json)
+      printf("  %s\n", R->Consistency.Reason.c_str());
+    return api::Status::error(api::Code::ConsistencyViolation,
+                              R->Consistency.Reason)
+        .exitCode();
   }
   return 0;
 }
@@ -111,111 +206,35 @@ int runEngine(const nes::CompiledProgram &C, const topo::Topology &Topo,
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string ProgramPath, TopoPath;
-  bool DumpEts = false, DumpNes = false, DumpTables = false, Share = false;
-  bool Stats = false, EngineMode = false;
-  unsigned Shards = 4;
-  uint64_t Seed = 1;
+  if (argc < 2)
+    return usage();
+  std::string Cmd = argv[1];
 
-  for (int I = 1; I != argc; ++I) {
-    if (!strcmp(argv[I], "--topo")) {
-      if (++I == argc)
-        return usage(argv[0]);
-      TopoPath = argv[I];
-    } else if (!strcmp(argv[I], "--dump-ets")) {
-      DumpEts = true;
-    } else if (!strcmp(argv[I], "--dump-nes")) {
-      DumpNes = true;
-    } else if (!strcmp(argv[I], "--dump-tables")) {
-      DumpTables = true;
-    } else if (!strcmp(argv[I], "--share")) {
-      Share = true;
-    } else if (!strcmp(argv[I], "--stats")) {
-      Stats = true;
-    } else if (!strcmp(argv[I], "--engine")) {
-      EngineMode = true;
-    } else if (!strcmp(argv[I], "--shards")) {
-      if (++I == argc)
-        return usage(argv[0]);
-      int V = atoi(argv[I]);
-      if (V < 1 || V > 1024) {
-        fprintf(stderr, "error: --shards must be in [1, 1024], got '%s'\n",
-                argv[I]);
-        return 2;
-      }
-      Shards = static_cast<unsigned>(V);
-    } else if (!strcmp(argv[I], "--seed")) {
-      if (++I == argc)
-        return usage(argv[0]);
-      Seed = strtoull(argv[I], nullptr, 10);
-    } else if (argv[I][0] == '-') {
-      fprintf(stderr, "unknown option '%s'\n", argv[I]);
-      return usage(argv[0]);
-    } else if (ProgramPath.empty()) {
-      ProgramPath = argv[I];
-    } else {
-      return usage(argv[0]);
-    }
+  if (Cmd == "backends") {
+    for (const std::string &Name : api::backendNames())
+      printf("%s\n", Name.c_str());
+    return 0;
   }
-  if (ProgramPath.empty() || TopoPath.empty())
-    return usage(argv[0]);
-  if (!DumpEts && !DumpNes && !DumpTables && !Share && !EngineMode)
-    Stats = true;
-
-  std::string ProgramSrc, TopoSrc;
-  if (!readFile(ProgramPath, ProgramSrc)) {
-    fprintf(stderr, "error: cannot read program '%s'\n",
-            ProgramPath.c_str());
-    return 1;
-  }
-  if (!readFile(TopoPath, TopoSrc)) {
-    fprintf(stderr, "error: cannot read topology '%s'\n", TopoPath.c_str());
-    return 1;
+  if (Cmd != "compile" && Cmd != "run" && Cmd != "check") {
+    fprintf(stderr, "error: unknown command '%s'\n", Cmd.c_str());
+    return usage();
   }
 
-  topo::TopoParseResult Topo = topo::parseTopology(TopoSrc);
-  if (!Topo.Ok) {
-    fprintf(stderr, "error: %s: %s\n", TopoPath.c_str(), Topo.Error.c_str());
-    return 1;
+  CliArgs A;
+  api::Status ArgSt = parseArgs(argc, argv, Cmd, A);
+  if (!ArgSt.ok()) {
+    fprintf(stderr, "error: %s\n", ArgSt.message().c_str());
+    return usage();
   }
 
-  nes::CompiledProgram C = nes::compileSource(ProgramSrc, Topo.Topo);
-  if (!C.Ok) {
-    fprintf(stderr, "error: %s: %s\n", ProgramPath.c_str(),
-            C.Error.c_str());
-    return 1;
-  }
+  api::Result<api::Compilation> C =
+      api::compile(api::CompileOptions()
+                       .programFile(A.ProgramPath)
+                       .topologyFile(A.TopoPath));
+  if (!C.ok())
+    return fail(C.status());
 
-  if (Stats) {
-    printf("compiled %s in %.3f ms\n", ProgramPath.c_str(),
-           C.CompileSeconds * 1e3);
-    printf("  states:       %zu\n", C.Ets.vertices().size());
-    printf("  events:       %u\n", C.N->numEvents());
-    printf("  event-sets:   %u\n", C.N->numSets());
-    printf("  rules:        %zu (tag-guarded, all configurations)\n",
-           runtime::guardedRuleCount(*C.N, Topo.Topo));
-    printf("  locality:     %s\n",
-           C.N->isLocallyDetermined() ? "locally determined" : "VIOLATED");
-  }
-  if (DumpEts) {
-    printf("=== ETS ===\n%s", C.Ets.str().c_str());
-  }
-  if (DumpNes) {
-    printf("=== NES ===\n%s", C.N->str().c_str());
-  }
-  if (DumpTables) {
-    for (nes::SetId S = 0; S != C.N->numSets(); ++S) {
-      printf("=== configuration of event-set E%u (state %s) ===\n", S,
-             stateful::stateVecStr(C.N->stateOf(S)).c_str());
-      printf("%s", C.N->configOf(S).str().c_str());
-    }
-  }
-  if (Share) {
-    opt::NesShareStats S = opt::shareRulesForNes(*C.N, Topo.Topo);
-    printf("rule sharing: %zu -> %zu rules (%.1f%% saved)\n", S.Before,
-           S.After, S.savings() * 100);
-  }
-  if (EngineMode)
-    return runEngine(C, Topo.Topo, Shards, Seed);
-  return 0;
+  if (Cmd == "compile")
+    return cmdCompile(A, *C);
+  return cmdRun(A, *C, /*VerdictOnly=*/Cmd == "check");
 }
