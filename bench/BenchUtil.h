@@ -19,6 +19,7 @@
 #include "nes/Pipeline.h"
 #include "support/Table.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -26,6 +27,32 @@
 
 namespace eventnet {
 namespace bench {
+
+/// Monotonic wall-clock timing for the macro benches. Always
+/// steady_clock: system_clock/high_resolution_clock may jump under NTP
+/// adjustment and would skew ns/op numbers.
+class Stopwatch {
+public:
+  Stopwatch() : T0(std::chrono::steady_clock::now()) {}
+  /// Seconds since construction (or the last restart()).
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+        .count();
+  }
+  void restart() { T0 = std::chrono::steady_clock::now(); }
+
+private:
+  std::chrono::steady_clock::time_point T0;
+};
+
+/// Runs \p Fn \p N times untimed before a measurement — first-touch
+/// page faults, branch predictors, interned symbols, and freelist
+/// growth all happen off the clock.
+template <typename FnT> void warmupRuns(unsigned N, FnT Fn) {
+  for (unsigned I = 0; I != N; ++I)
+    Fn();
+}
 
 /// Compiles an App (source- or AST-based); exits the process with a
 /// message on failure (benchmarks have no recovery path).

@@ -1,13 +1,29 @@
 //===- bench/engine_throughput.cpp - Sharded engine throughput -----------===//
 //
-// Packets/sec of the concurrent data-plane engine vs. shard count
-// (1/2/4/8) on the Section 5.2 ring and on a 4-ary fat-tree, against the
-// single-threaded sim::Simulation Nes mode running the same offered
-// load. The engine executes the identical tag/digest runtime protocol;
-// the speedup comes from the flat match pipelines, the lock-free
-// shard hand-off, and (on multicore hosts) parallelism. A final checked
-// run replays a recorded concurrent trace through the Definition 6
-// oracle to show the fast path is still the correct protocol.
+// Packets/sec of the concurrent data-plane engine on the Section 5.2
+// ring and on a 4-ary fat-tree, comparing the two lookup paths side by
+// side per shard count (1/2/4/8):
+//
+//   fdd-walk     the flattened-FDD-walk oracle lookup (heap-allocating
+//                emission) with message-at-a-time dequeue (batch 1);
+//   classifier   the contiguous classifier program with the batched,
+//                zero-allocation hot loop (batch 32).
+//
+// Both rows run on today's engine — the recycled buffers, self-delivery
+// short-circuit, and steady-state digest path are active in both — so
+// speedup_vs_walk isolates the lookup + batching win, not the whole PR's
+// before/after (the pre-PR engine is slower than the fdd-walk rows; see
+// the README table's note). Each measurement is preceded by a warmup run
+// of the same shape (page faults, malloc pools, interned symbols; the
+// measured engine still grows its own freelists on the clock, visible
+// as freelist_growth), timed with steady_clock. A final checked run per
+// path replays a recorded concurrent trace through the Definition 6
+// oracle to show the fast path is still the correct protocol. The
+// single-threaded sim::Simulation Nes mode provides the historical
+// baseline row.
+//
+// Flags: --json (suppress the human table; emit only the JSON object),
+//        --smoke (tiny iteration counts for CI), --seed N.
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,16 +34,23 @@
 #include "sim/Simulation.h"
 #include "support/Table.h"
 
-#include <chrono>
+#include <cstring>
 #include <iostream>
+#include <map>
+#include <string>
 
 using namespace eventnet;
 using namespace eventnet::bench;
 
 namespace {
 
-constexpr uint64_t BulkPackets = 20000;
-constexpr unsigned PerPhase = 2000;
+struct BenchOpts {
+  uint64_t Seed = 1;
+  uint64_t BulkPackets = 100000;
+  unsigned PerPhase = 5000;
+  unsigned Warmup = 1;
+  bool JsonOnly = false;
+};
 
 struct SimBaseline {
   double DeliveredPerSec = 0;
@@ -37,18 +60,17 @@ struct SimBaseline {
 /// The single-threaded baseline: the same bulk load through the
 /// discrete-event simulator's Nes mode, measured in wall-clock time.
 SimBaseline simBaseline(const nes::Nes &N, const topo::Topology &Topo,
-                        HostId From, HostId To) {
+                        HostId From, HostId To, const BenchOpts &O) {
   sim::SimParams P;
   P.LinkBandwidthBps = 10e9; // uncongested: measure the software path
   sim::Simulation S(N, Topo, sim::Simulation::Mode::Nes, P);
-  double Bps = static_cast<double>(P.PayloadBytes) * 8 * BulkPackets / 2.0;
+  double Bps =
+      static_cast<double>(P.PayloadBytes) * 8 * O.BulkPackets / 2.0;
   S.scheduleUdpFlow(0.0, 2.0, From, To, Bps);
 
-  auto T0 = std::chrono::steady_clock::now();
+  Stopwatch W;
   S.run(3.0);
-  double Wall = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - T0)
-                    .count();
+  double Wall = W.seconds();
   SimBaseline B;
   B.Delivered = S.flowStats().PktsDelivered;
   B.DeliveredPerSec = Wall > 0 ? B.Delivered / Wall : 0;
@@ -56,70 +78,126 @@ SimBaseline simBaseline(const nes::Nes &N, const topo::Topology &Topo,
 }
 
 engine::Stats engineRun(const nes::Nes &N, const topo::Topology &Topo,
-                        unsigned Shards, HostId From, HostId To) {
+                        unsigned Shards, bool Classifier, HostId From,
+                        HostId To, const BenchOpts &O,
+                        uint64_t Packets) {
   engine::EngineConfig Cfg;
   Cfg.NumShards = Shards;
+  Cfg.UseClassifier = Classifier;
+  // fdd-walk rows: oracle lookup, message-at-a-time dequeue. classifier
+  // rows: the full fast path. (See the file header for what this pair
+  // does and does not isolate.)
+  Cfg.BatchSize = Classifier ? 32 : 1;
   Cfg.RecordTrace = false; // pure throughput
+  Cfg.RecordDeliveries = false;
   Cfg.EchoReplies = false;
   engine::Engine E(N, Topo, Cfg);
-  engine::TrafficGen G(Topo, 1);
-  E.run(G.bulk(From, To, BulkPackets, PerPhase));
+  engine::TrafficGen G(Topo, O.Seed);
+  E.run(G.bulk(From, To, Packets, O.PerPhase));
   return E.stats();
 }
 
 /// A smaller recorded run replayed through the Definition 6 checker.
 bool checkedRun(const nes::Nes &N, const topo::Topology &Topo,
-                unsigned Shards, HostId From, HostId To) {
+                unsigned Shards, bool Classifier, HostId From, HostId To,
+                const BenchOpts &O) {
   engine::EngineConfig Cfg;
   Cfg.NumShards = Shards;
+  Cfg.UseClassifier = Classifier;
   engine::Engine E(N, Topo, Cfg);
-  engine::TrafficGen G(Topo, 1);
+  engine::TrafficGen G(Topo, O.Seed);
   E.run(G.bulk(From, To, 200, 50));
   return consistency::checkAgainstNes(E.trace(), Topo, N).Correct;
 }
 
 void benchTopology(const char *Name, const nes::Nes &N,
                    const topo::Topology &Topo, HostId From, HostId To,
-                   TextTable &T) {
-  SimBaseline Sim = simBaseline(N, Topo, From, To);
+                   const BenchOpts &O, TextTable &T) {
+  SimBaseline Sim = simBaseline(N, Topo, From, To, O);
+  // hops/sec of the fdd-walk path per shard count, for the speedup
+  // column of the classifier rows.
+  std::map<unsigned, double> WalkHops;
+
   for (unsigned Shards : {1u, 2u, 4u, 8u}) {
-    engine::Stats S = engineRun(N, Topo, Shards, From, To);
-    bool Ok = checkedRun(N, Topo, Shards, From, To);
-    double Speedup = Sim.DeliveredPerSec > 0
+    for (bool Classifier : {false, true}) {
+      // Warmup: a shorter run of the same shape on a throwaway engine
+      // (an Engine runs one workload), then the measured run.
+      warmupRuns(O.Warmup, [&] {
+        engineRun(N, Topo, Shards, Classifier, From, To, O,
+                  O.BulkPackets / 4 + 1);
+      });
+      engine::Stats S = engineRun(N, Topo, Shards, Classifier, From, To,
+                                  O, O.BulkPackets);
+      bool Ok = checkedRun(N, Topo, Shards, Classifier, From, To, O);
+
+      const char *Path = Classifier ? "classifier" : "fdd-walk";
+      if (!Classifier)
+        WalkHops[Shards] = S.PacketsPerSec;
+      double VsWalk = !Classifier || WalkHops[Shards] <= 0
+                          ? 1.0
+                          : S.PacketsPerSec / WalkHops[Shards];
+      double VsSim = Sim.DeliveredPerSec > 0
                          ? S.DeliveredPerSec / Sim.DeliveredPerSec
                          : 0;
-    T.addRow({Name, std::to_string(Shards),
-              std::to_string(S.PacketsDelivered),
-              formatDouble(S.ElapsedSec * 1e3, 1),
-              formatDouble(S.PacketsPerSec / 1e6, 3),
-              formatDouble(S.DeliveredPerSec / 1e6, 3),
-              formatDouble(Sim.DeliveredPerSec / 1e6, 3),
-              formatDouble(Speedup, 1), Ok ? "ok" : "VIOLATION"});
+      uint64_t Hwm = 0, FreeGrow = 0;
+      for (const engine::ShardStats &SS : S.Shards) {
+        if (SS.QueueHighWater > Hwm)
+          Hwm = SS.QueueHighWater;
+        FreeGrow += SS.FreelistGrowth;
+      }
+      T.addRow({Name, std::to_string(Shards), Path,
+                std::to_string(S.PacketsDelivered),
+                formatDouble(S.ElapsedSec * 1e3, 1),
+                formatDouble(S.PacketsPerSec / 1e6, 3),
+                formatDouble(S.DeliveredPerSec / 1e6, 3),
+                formatDouble(VsWalk, 2),
+                formatDouble(VsSim, 1), std::to_string(Hwm),
+                std::to_string(FreeGrow), Ok ? "ok" : "VIOLATION"});
+    }
   }
 }
 
 } // namespace
 
-int main() {
-  banner("engine_throughput",
-         "sharded concurrent engine vs single-threaded simulator");
+int main(int argc, char **argv) {
+  BenchOpts O;
+  for (int I = 1; I != argc; ++I) {
+    if (!strcmp(argv[I], "--json")) {
+      O.JsonOnly = true;
+    } else if (!strcmp(argv[I], "--smoke")) {
+      O.BulkPackets = 400;
+      O.PerPhase = 200;
+    } else if (!strcmp(argv[I], "--seed") && I + 1 != argc) {
+      O.Seed = strtoull(argv[++I], nullptr, 10);
+    } else {
+      fprintf(stderr,
+              "usage: engine_throughput [--json] [--smoke] [--seed N]\n");
+      return 2;
+    }
+  }
 
-  TextTable T({"topology", "shards", "delivered", "elapsed_ms",
-               "hops_per_sec_M", "delivered_per_sec_M", "sim_nes_per_sec_M",
-               "speedup_vs_sim", "definition6"});
+  if (!O.JsonOnly)
+    banner("engine_throughput",
+           "classifier program vs FDD walk, per shard count");
+
+  TextTable T({"topology", "shards", "path", "delivered", "elapsed_ms",
+               "hops_per_sec_M", "delivered_per_sec_M", "speedup_vs_walk",
+               "speedup_vs_sim", "queue_hwm", "freelist_growth",
+               "definition6"});
 
   {
     apps::App A = apps::ringApp(16, 8);
     nes::CompiledProgram C = compileApp(A);
-    benchTopology("ring16", *C.N, A.Topo, topo::HostH1, topo::HostH2, T);
+    benchTopology("ring16", *C.N, A.Topo, topo::HostH1, topo::HostH2, O, T);
   }
   {
     topo::Topology Topo = topo::fatTreeTopology(4);
     nes::Nes N = apps::staticRoutingNes(Topo);
-    benchTopology("fattree4", N, Topo, 1, 16, T);
+    benchTopology("fattree4", N, Topo, 1, 16, O, T);
   }
 
-  T.print(std::cout);
+  if (!O.JsonOnly)
+    T.print(std::cout);
   printResultJson("engine_throughput", T);
   return 0;
 }

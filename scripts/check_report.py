@@ -36,9 +36,10 @@ def main() -> None:
         fail(f"not valid JSON: {e}")
 
     required = [
-        "backend", "seed", "shards", "injected", "delivered", "dropped",
-        "switch_hops", "events_detected", "config_transitions",
-        "elapsed_sec", "trace_entries", "consistency",
+        "backend", "seed", "shards", "classifier", "batch", "injected",
+        "delivered", "dropped", "switch_hops", "events_detected",
+        "config_transitions", "elapsed_sec", "trace_entries",
+        "shard_detail", "consistency",
     ]
     for key in required:
         if key not in r:
@@ -46,6 +47,19 @@ def main() -> None:
 
     if expect_backend is not None and r["backend"] != expect_backend:
         fail(f"backend is '{r['backend']}', expected '{expect_backend}'")
+
+    if not isinstance(r["shard_detail"], list):
+        fail("'shard_detail' should be a list")
+    if r["backend"] == "engine" and len(r["shard_detail"]) != r["shards"]:
+        fail(
+            f"engine report has {len(r['shard_detail'])} shard_detail "
+            f"entries for {r['shards']} shards"
+        )
+    for d in r["shard_detail"]:
+        for key in ("shard", "processed", "queue_high_water", "dropped",
+                    "transitions"):
+            if key not in d:
+                fail(f"shard_detail entry missing '{key}': {d}")
     for key in ("injected", "delivered", "switch_hops", "trace_entries"):
         if not isinstance(r[key], int) or r[key] <= 0:
             fail(f"'{key}' should be a positive integer, got {r[key]!r}")

@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Runs the perf benches with fixed seeds and merges their JSON into one
+baseline file, so future PRs optimize against numbers instead of vibes.
+
+    run_benches.py [--bin-dir build] [--out BENCH_baseline.json]
+    run_benches.py --compare [BASELINE] [--threshold 0.15]
+    run_benches.py --smoke [--bin-dir build] [--out FILE]
+
+Modes
+-----
+default   run `bench/engine_throughput --json --seed 1` and
+          `bench/micro_compiler --benchmark_format=json`, validate both
+          schemas, and write the merged baseline JSON to --out.
+--compare re-run the benches and fail (exit 1) if any engine-throughput
+          row lost more than --threshold (default 15%) hops/sec against
+          the committed baseline, or any micro benchmark's cpu_time grew
+          by more than the threshold.
+--smoke   tiny iteration counts (CI): engine_throughput --smoke, a small
+          micro_compiler subset, schema validation only — plus an
+          `eventnetc run --json` smoke on every registered backend,
+          each validated through scripts/check_report.py.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+ENGINE_ROW_KEYS = [
+    "topology", "shards", "path", "delivered", "elapsed_ms",
+    "hops_per_sec_M", "delivered_per_sec_M", "speedup_vs_walk",
+    "speedup_vs_sim", "queue_hwm", "freelist_growth", "definition6",
+]
+
+SMOKE_MICRO_FILTER = "BM_ParseBandwidthCap/5|BM_TableExtraction|BM_NesEnabledEvents"
+
+
+def fail(msg: str) -> None:
+    print(f"run_benches: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run(cmd, **kw):
+    print(f"run_benches: $ {' '.join(cmd)}", file=sys.stderr)
+    try:
+        return subprocess.run(cmd, check=True, capture_output=True,
+                              text=True, **kw)
+    except FileNotFoundError:
+        fail(f"binary not found: {cmd[0]} (build it first?)")
+    except subprocess.CalledProcessError as e:
+        fail(f"{cmd[0]} exited {e.returncode}:\n{e.stderr[-2000:]}")
+
+
+def engine_throughput(bin_dir: str, smoke: bool) -> dict:
+    cmd = [os.path.join(bin_dir, "bench", "engine_throughput"), "--json",
+           "--seed", "1"]
+    if smoke:
+        cmd.append("--smoke")
+    out = run(cmd).stdout
+    try:
+        d = json.loads(out)
+    except json.JSONDecodeError as e:
+        fail(f"engine_throughput --json is not valid JSON: {e}")
+    if d.get("bench") != "engine_throughput" or "rows" not in d:
+        fail("engine_throughput JSON missing bench/rows")
+    if not d["rows"]:
+        fail("engine_throughput produced no rows")
+    for row in d["rows"]:
+        for key in ENGINE_ROW_KEYS:
+            if key not in row:
+                fail(f"engine_throughput row missing key '{key}': {row}")
+        if row["definition6"] != "ok":
+            fail(f"engine_throughput row violates Definition 6: {row}")
+    return d
+
+
+def micro_compiler(bin_dir: str, smoke: bool) -> dict:
+    cmd = [os.path.join(bin_dir, "bench", "micro_compiler"),
+           "--benchmark_format=json"]
+    if smoke:
+        cmd.append(f"--benchmark_filter={SMOKE_MICRO_FILTER}")
+    out = run(cmd).stdout
+    try:
+        d = json.loads(out)
+    except json.JSONDecodeError as e:
+        fail(f"micro_compiler JSON output is invalid: {e}")
+    if "benchmarks" not in d or not d["benchmarks"]:
+        fail("micro_compiler JSON has no benchmarks")
+    for b in d["benchmarks"]:
+        for key in ("name", "cpu_time", "time_unit"):
+            if key not in b:
+                fail(f"micro_compiler benchmark missing '{key}': {b}")
+    return d
+
+
+def backend_smoke(bin_dir: str) -> None:
+    """`eventnetc run --json` on every backend, checked by check_report."""
+    eventnetc = os.path.join(bin_dir, "eventnetc")
+    checker = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "check_report.py")
+    prog = os.path.join("examples", "programs", "firewall.snk")
+    topo = os.path.join("examples", "programs", "firewall.topo")
+    backends = run([eventnetc, "backends"]).stdout.split()
+    if not backends:
+        fail("eventnetc lists no backends")
+    for backend in backends:
+        report = run([eventnetc, "run", prog, "--topo", topo, "--backend",
+                      backend, "--seed", "7", "--json"]).stdout
+        check = subprocess.run(
+            [sys.executable, checker, "--backend", backend],
+            input=report, capture_output=True, text=True)
+        if check.returncode != 0:
+            fail(f"check_report rejected backend '{backend}':\n"
+                 f"{check.stderr}")
+        print(f"run_benches: backend '{backend}' report ok",
+              file=sys.stderr)
+
+
+def collect(bin_dir: str, smoke: bool) -> dict:
+    return {
+        "schema": 1,
+        "seed": 1,
+        "smoke": smoke,
+        "benches": {
+            "engine_throughput": engine_throughput(bin_dir, smoke),
+            "micro_compiler": micro_compiler(bin_dir, smoke),
+        },
+    }
+
+
+def engine_key(row: dict) -> tuple:
+    return (row["topology"], row["shards"], row["path"])
+
+
+def compare(baseline: dict, fresh: dict, threshold: float) -> int:
+    failures = []
+    compared = 0
+
+    base_rows = {engine_key(r): r
+                 for r in baseline["benches"]["engine_throughput"]["rows"]}
+    fresh_rows = {engine_key(r): r
+                  for r in fresh["benches"]["engine_throughput"]["rows"]}
+    for key in sorted(set(base_rows) - set(fresh_rows)):
+        print(f"run_benches: WARNING: baseline engine row {key} no longer "
+              "produced — its regression coverage is gone", file=sys.stderr)
+    for key, row in fresh_rows.items():
+        old = base_rows.get(key)
+        if old is None:
+            print(f"run_benches: WARNING: engine row {key} has no baseline "
+                  "entry (new configuration, not compared)", file=sys.stderr)
+            continue
+        compared += 1
+        old_v, new_v = old["hops_per_sec_M"], row["hops_per_sec_M"]
+        if old_v > 0 and new_v < old_v * (1 - threshold):
+            failures.append(
+                f"engine_throughput {key}: "
+                f"{new_v:.3f} M hops/s vs baseline {old_v:.3f} "
+                f"(-{(1 - new_v / old_v) * 100:.1f}%)")
+
+    base_micro = {b["name"]: b
+                  for b in baseline["benches"]["micro_compiler"]["benchmarks"]}
+    fresh_micro = {b["name"]: b
+                   for b in fresh["benches"]["micro_compiler"]["benchmarks"]}
+    for name in sorted(set(base_micro) - set(fresh_micro)):
+        print(f"run_benches: WARNING: baseline micro benchmark '{name}' no "
+              "longer produced — its regression coverage is gone",
+              file=sys.stderr)
+    for name, b in fresh_micro.items():
+        old = base_micro.get(name)
+        if old is None:
+            print(f"run_benches: WARNING: micro benchmark '{name}' has no "
+                  "baseline entry (not compared)", file=sys.stderr)
+            continue
+        compared += 1
+        old_t, new_t = old["cpu_time"], b["cpu_time"]
+        if old_t > 0 and new_t > old_t * (1 + threshold):
+            failures.append(
+                f"micro_compiler {name}: {new_t:.0f} {b['time_unit']} "
+                f"vs baseline {old_t:.0f} "
+                f"(+{(new_t / old_t - 1) * 100:.1f}%)")
+
+    if compared == 0:
+        fail("nothing matched the baseline — the regression gate compared "
+             "zero data points (did bench names/configurations change?)")
+    if failures:
+        print("run_benches: REGRESSIONS (> "
+              f"{threshold * 100:.0f}% vs baseline):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("run_benches: no regression beyond "
+          f"{threshold * 100:.0f}% vs baseline")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bin-dir", default="build")
+    ap.add_argument("--out", default="BENCH_baseline.json")
+    ap.add_argument("--compare", nargs="?", const="BENCH_baseline.json",
+                    default=None, metavar="BASELINE")
+    ap.add_argument("--threshold", type=float, default=0.15)
+    ap.add_argument("--smoke", action="store_true")
+    args = ap.parse_args()
+
+    if args.compare is not None:
+        try:
+            with open(args.compare) as f:
+                baseline = json.load(f)
+        except OSError as e:
+            fail(f"cannot read baseline {args.compare}: {e}")
+        fresh = collect(args.bin_dir, smoke=False)
+        return compare(baseline, fresh, args.threshold)
+
+    merged = collect(args.bin_dir, args.smoke)
+    if args.smoke:
+        backend_smoke(args.bin_dir)
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=1)
+        f.write("\n")
+    print(f"run_benches: wrote {args.out} "
+          f"({len(merged['benches']['engine_throughput']['rows'])} engine "
+          f"rows, "
+          f"{len(merged['benches']['micro_compiler']['benchmarks'])} micro "
+          f"benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,12 +29,20 @@ public:
 
     engine::EngineConfig Cfg;
     Cfg.NumShards = O.Shards;
+    Cfg.UseClassifier = O.Classifier;
+    Cfg.BatchSize = O.Batch;
     engine::Engine E(C.structure(), C.topology(), Cfg);
     E.run(W);
 
     engine::Stats S = E.stats();
     RunReport R;
     R.Shards = O.Shards;
+    R.Classifier = S.ClassifierPath;
+    R.Batch = S.BatchSize;
+    for (const engine::ShardStats &SS : S.Shards)
+      R.ShardDetail.push_back(
+          {SS.PacketsProcessed, SS.QueueHighWater, SS.Dropped,
+           SS.Transitions});
     R.PacketsInjected = S.PacketsInjected;
     R.PacketsDelivered = S.PacketsDelivered;
     R.PacketsDropped = S.PacketsDropped;

@@ -142,6 +142,9 @@ std::string RunReport::str() const {
   OS << Backend << " run: seed " << Seed;
   if (Shards > 1)
     OS << ", " << Shards << " shards";
+  if (Backend == "engine")
+    OS << ", " << (Classifier ? "classifier" : "fdd-walk") << " path, batch "
+       << Batch;
   OS << "\n";
   OS << "  injected:     " << PacketsInjected << " packets\n";
   OS << "  delivered:    " << PacketsDelivered << "\n";
@@ -153,6 +156,12 @@ std::string RunReport::str() const {
     char Buf[64];
     snprintf(Buf, sizeof(Buf), "%.3f", ElapsedSec * 1e3);
     OS << "  elapsed:      " << Buf << " ms\n";
+  }
+  for (size_t I = 0; I != ShardDetail.size(); ++I) {
+    const ShardReport &D = ShardDetail[I];
+    OS << "  shard " << I << ":      " << D.Processed << " hops, queue hwm "
+       << D.QueueHighWater << ", " << D.Dropped << " dropped, "
+       << D.Transitions << " transitions\n";
   }
   if (Checked) {
     OS << "  definition 6: "
@@ -167,6 +176,8 @@ std::string RunReport::json() const {
   std::ostringstream OS;
   OS << "{\"backend\": \"" << jsonEscape(Backend) << "\""
      << ", \"seed\": " << Seed << ", \"shards\": " << Shards
+     << ", \"classifier\": " << (Classifier ? "true" : "false")
+     << ", \"batch\": " << Batch
      << ", \"injected\": " << PacketsInjected
      << ", \"delivered\": " << PacketsDelivered
      << ", \"dropped\": " << PacketsDropped
@@ -174,7 +185,16 @@ std::string RunReport::json() const {
      << ", \"events_detected\": " << EventsDetected
      << ", \"config_transitions\": " << ConfigTransitions
      << ", \"elapsed_sec\": " << ElapsedSec
-     << ", \"trace_entries\": " << Trace.size() << ", \"consistency\": ";
+     << ", \"trace_entries\": " << Trace.size() << ", \"shard_detail\": [";
+  for (size_t I = 0; I != ShardDetail.size(); ++I) {
+    const ShardReport &D = ShardDetail[I];
+    OS << (I ? ", " : "") << "{\"shard\": " << I
+       << ", \"processed\": " << D.Processed
+       << ", \"queue_high_water\": " << D.QueueHighWater
+       << ", \"dropped\": " << D.Dropped
+       << ", \"transitions\": " << D.Transitions << "}";
+  }
+  OS << "], \"consistency\": ";
   if (!Checked) {
     OS << "{\"checked\": false}";
   } else {

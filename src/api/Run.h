@@ -72,6 +72,14 @@ public:
     CheckConsistency = V;
     return *this;
   }
+  RunOptions &classifier(bool V) {
+    Classifier = V;
+    return *this;
+  }
+  RunOptions &batch(unsigned V) {
+    Batch = V;
+    return *this;
+  }
 
   /// One seed for every backend's randomness: the workload generator,
   /// the machine driver's step choices, and the simulator's SimParams.
@@ -86,6 +94,21 @@ public:
   size_t StepBudget = 100000;
   /// Replay the recorded trace through the Definition 6 checker.
   bool CheckConsistency = true;
+  /// Engine backend: classifier-program fast path (true) or the
+  /// flattened-FDD-walk oracle (false).
+  bool Classifier = true;
+  /// Engine backend: hot-loop dequeue/enqueue batch size.
+  unsigned Batch = 32;
+};
+
+/// Per-shard engine counters surfaced in the report (empty on the
+/// sequential backends). QueueHighWater and Dropped let bench runs
+/// diagnose backpressure without re-running under a profiler.
+struct ShardReport {
+  uint64_t Processed = 0;
+  uint64_t QueueHighWater = 0;
+  uint64_t Dropped = 0;
+  uint64_t Transitions = 0;
 };
 
 /// The uniform result of a run on any backend.
@@ -93,6 +116,8 @@ struct RunReport {
   std::string Backend;
   uint64_t Seed = 0;
   unsigned Shards = 1; ///< 1 on the sequential backends
+  bool Classifier = false; ///< engine: classifier fast path in use
+  unsigned Batch = 1;      ///< engine: hot-loop batch size
 
   uint64_t PacketsInjected = 0;  ///< host emissions (incl. echo replies)
   uint64_t PacketsDelivered = 0; ///< packets handed to a host
@@ -101,6 +126,9 @@ struct RunReport {
   uint64_t EventsDetected = 0;   ///< distinct NES events that occurred
   uint64_t ConfigTransitions = 0; ///< per-switch register transitions
   double ElapsedSec = 0;          ///< wall time (engine) / sim time (sim)
+
+  /// Engine per-shard counters (queue high-water marks, drops).
+  std::vector<ShardReport> ShardDetail;
 
   /// The recorded network trace (for replay and external checking).
   consistency::NetworkTrace Trace;

@@ -30,9 +30,28 @@ SwitchIndex::SwitchIndex(const topo::Topology &Topo) {
   for (auto &P : Ports)
     std::sort(P.begin(), P.end(),
               [](const auto &A, const auto &B) { return A.first < B.first; });
+
+  // Direct port tables over Ports' now-stable storage.
+  Direct.resize(Ports.size());
+  for (size_t D = 0; D != Ports.size(); ++D) {
+    size_t MaxPt = 0;
+    for (const auto &[Pt, E] : Ports[D])
+      if (static_cast<size_t>(Pt) < DirectCap && static_cast<size_t>(Pt) > MaxPt)
+        MaxPt = static_cast<size_t>(Pt);
+    if (!Ports[D].empty())
+      Direct[D].assign(MaxPt + 1, nullptr);
+    for (const auto &[Pt, E] : Ports[D])
+      if (static_cast<size_t>(Pt) < Direct[D].size())
+        Direct[D][static_cast<size_t>(Pt)] = &E;
+  }
 }
 
 const Egress *SwitchIndex::egressAt(uint32_t D, PortId Pt) const {
+  const auto &Dir = Direct[D];
+  if (static_cast<size_t>(Pt) < Dir.size())
+    return Dir[static_cast<size_t>(Pt)];
+  if (static_cast<size_t>(Pt) < DirectCap)
+    return nullptr; // within table range but beyond the largest port
   const auto &P = Ports[D];
   auto It = std::lower_bound(
       P.begin(), P.end(), Pt,

@@ -41,6 +41,11 @@ class SwitchIndex {
 public:
   explicit SwitchIndex(const topo::Topology &Topo);
 
+  // Direct holds interior pointers into Ports; a copy would point into
+  // the source object's storage.
+  SwitchIndex(const SwitchIndex &) = delete;
+  SwitchIndex &operator=(const SwitchIndex &) = delete;
+
   uint32_t numSwitches() const { return static_cast<uint32_t>(Ids.size()); }
   SwitchId idOf(uint32_t Dense) const { return Ids[Dense]; }
   uint32_t denseOf(SwitchId Sw) const { return Dense.at(Sw); }
@@ -54,6 +59,12 @@ private:
   std::unordered_map<SwitchId, uint32_t> Dense;
   /// Per dense switch: (port, egress), sorted by port.
   std::vector<std::vector<std::pair<PortId, Egress>>> Ports;
+  /// Per dense switch: egress pointer indexed directly by port (into
+  /// Ports' stable storage; null = dangling). The hot path's O(1)
+  /// replacement for the sorted-array search; ports beyond DirectCap
+  /// fall back to the binary search.
+  std::vector<std::vector<const Egress *>> Direct;
+  static constexpr size_t DirectCap = 4096;
 };
 
 /// Every event-set's configuration lowered to per-switch pipelines, plus

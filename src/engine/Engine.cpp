@@ -17,6 +17,8 @@ Engine::Engine(const nes::Nes &N, const topo::Topology &Topo,
     : N(N), Topo(Topo), C(Cfg), Idx(Topo), Compiled(N, Idx), Epochs(8) {
   if (C.NumShards == 0)
     C.NumShards = 1;
+  if (C.BatchSize == 0)
+    C.BatchSize = 1;
 
   Slots = std::make_unique<SwitchSlot[]>(Idx.numSwitches());
   for (uint32_t D = 0; D != Idx.numSwitches(); ++D) {
@@ -30,7 +32,10 @@ Engine::Engine(const nes::Nes &N, const topo::Topology &Topo,
 
   for (unsigned I = 0; I != C.NumShards; ++I) {
     auto S = std::make_unique<Shard>();
+    S->Index = I;
     S->Q = std::make_unique<BoundedMpscQueue<Msg>>(C.QueueCapacity);
+    S->Batch.resize(C.BatchSize);
+    S->OutBufs.resize(C.NumShards);
     Shards.push_back(std::move(S));
   }
   CtrlQ = std::make_unique<BoundedMpscQueue<uint32_t>>(4096);
@@ -92,7 +97,7 @@ void Engine::applyRegister(Shard &S, SwitchSlot &Sl, const DenseBitSet &NewE) {
   const SwitchView *Old = Sl.Published.load();
   Sl.Published.store(new SwitchView{Sl.Tag, Sl.E, Old->Version + 1});
   S.Retired.retire(Old, Epochs.retireEpoch());
-  S.Transitions.fetch_add(1, std::memory_order_relaxed);
+  S.Transitions.add();
 }
 
 void Engine::sendToShard(uint32_t Target, Msg &&M) {
@@ -107,24 +112,33 @@ void Engine::sendToShard(uint32_t Target, Msg &&M) {
     return;
   std::lock_guard<std::mutex> Lock(Sh.OverflowMu);
   Sh.Overflow.push_back(std::move(M));
+  // A spill means the ring is full: the true backlog is ring + overflow.
+  Sh.QueueHighWater.raiseTo(Sh.Q->capacity() + Sh.Overflow.size());
 }
 
-void Engine::forwardOut(Shard &S, const EnginePacket &P, Packet &&Out,
-                        const DenseBitSet &OutDigest) {
+void Engine::forwardOut(Shard &S, const EnginePacket &P, uint32_t AtDense,
+                        const Packet &Out, const DenseBitSet &OutDigest) {
+  // A table's actions rewrite pt (and header fields), never sw, so the
+  // output sits at the switch we just processed — whose dense index the
+  // caller already knows. Fall back to the hash only if a table ever
+  // does rewrite sw.
   Location At = Out.loc();
-  const Egress *Eg = Idx.egressAt(Idx.denseOf(At.Sw), At.Pt);
+  uint32_t D = At.Sw == Slots[AtDense].Id ? AtDense : Idx.denseOf(At.Sw);
+  const Egress *Eg = Idx.egressAt(D, At.Pt);
   if (!Eg) {
     // Dangling port: discarded, no occurrence logged (as in the
     // simulator).
-    Dropped.fetch_add(1, std::memory_order_relaxed);
+    Dropped.add();
+    S.Dropped.add();
     return;
   }
 
   if (Eg->IsHost) {
     logEntry(S, Out, P.Parent, /*IsDelivery=*/true, P.Tag);
-    Delivered.fetch_add(1, std::memory_order_relaxed);
+    Delivered.add();
     HostId H = Eg->Host;
-    S.Delivered.push_back({H, Out});
+    if (C.RecordDeliveries)
+      S.Delivered.push_back({H, Out});
 
     // Host application: answer echo requests addressed to us.
     if (C.EchoReplies &&
@@ -133,34 +147,38 @@ void Engine::forwardOut(Shard &S, const EnginePacket &P, Packet &&Out,
       Value Src = Out.getOr(sim::ipSrcField(), -1);
       if (Src >= 0) {
         uint64_t Seq = static_cast<uint64_t>(Out.getOr(sim::seqField(), 0));
-        Msg R;
+        // The replying host sits at this switch, i.e. on this shard;
+        // the reply rides the batched egress buffer like any output
+        // (flushOut does the Pending accounting for the whole batch).
+        Msg &R = S.OutBufs[Slots[D].Shard].next();
         R.K = Msg::Inject;
         R.From = H;
         R.Header = sim::makeWireHeader(H, static_cast<HostId>(Src),
                                        sim::KindReply, Seq);
-        // The replying host sits at this switch, i.e. on this shard.
-        sendToShard(Slots[Idx.denseOf(At.Sw)].Shard, std::move(R));
       }
     }
     return;
   }
 
   int64_t EgressTicket = logEntry(S, Out, P.Parent, false, P.Tag);
-  Msg M;
+  // Build the hop into a recycled egress slot (copy-assignments reuse
+  // the slot's heap capacity; nothing here allocates once warm).
+  Msg &M = S.OutBufs[Slots[Eg->DstDense].Shard].next();
   M.K = Msg::PacketIn;
-  M.P.Pkt = std::move(Out);
+  M.P.Pkt = Out;
   M.P.Pkt.setLoc(Eg->Dst);
   M.P.Tag = P.Tag;
   M.P.Digest = OutDigest;
   M.P.Parent = EgressTicket;
+  M.P.Dense = Eg->DstDense;
   M.P.IngressLogged = false;
-  Forwarded.fetch_add(1, std::memory_order_relaxed);
-  sendToShard(Slots[Eg->DstDense].Shard, std::move(M));
+  Forwarded.add();
 }
 
 void Engine::processPacket(Shard &S, EnginePacket &P) {
-  uint32_t D = Idx.denseOf(P.Pkt.sw());
+  uint32_t D = P.Dense;
   SwitchSlot &Sl = Slots[D];
+  assert(Sl.Id == P.Pkt.sw() && "stale dense index on an in-flight packet");
 
   if (!P.IngressLogged) {
     P.Parent = logEntry(S, P.Pkt, P.Parent, false, P.Tag);
@@ -168,15 +186,31 @@ void Engine::processPacket(Shard &S, EnginePacket &P) {
   }
 
   // SWITCH rule: learn the digest, then greedily-consistent fresh events
-  // (the same sharpening as runtime::Machine and sim::Simulation).
-  DenseBitSet Known = Sl.E | P.Digest;
-  DenseBitSet Fresh;
+  // (the same sharpening as runtime::Machine and sim::Simulation). The
+  // working sets live in shard-owned scratch bitsets whose capacity
+  // survives across packets — the hot loop builds no fresh DenseBitSets.
+  //
+  // Steady state (the throughput regime): the digest carries nothing the
+  // register lacks, so Known is the register itself — a subset test
+  // instead of a copy-and-union.
+  bool DigestKnown = P.Digest.isSubsetOf(Sl.E);
+  const DenseBitSet *KnownP = &Sl.E;
+  if (!DigestKnown) {
+    S.ScratchKnown = Sl.E;
+    S.ScratchKnown |= P.Digest;
+    KnownP = &S.ScratchKnown;
+  }
+  const DenseBitSet &Known = *KnownP;
+  DenseBitSet &Fresh = S.ScratchFresh;
+  Fresh.clear();
   for (nes::EventId E : Compiled.eventsAt(D)) {
     if (Known.test(E) || Fresh.test(E))
       continue;
     if (!N.event(E).matches(P.Pkt))
       continue;
-    DenseBitSet Ext = Known | Fresh;
+    DenseBitSet &Ext = S.ScratchExt;
+    Ext = Known;
+    Ext |= Fresh;
     Ext.set(E);
     if (N.enables(Known, E) && N.con(Ext)) {
       Fresh.set(E);
@@ -193,27 +227,57 @@ void Engine::processPacket(Shard &S, EnginePacket &P) {
   }
 
   // Forward with the *stamped* configuration (per-packet consistency).
-  // The scratch vector is taken by move so this function stays correct
-  // even if a callee ever processes messages re-entrantly.
-  std::vector<Packet> Outs = std::move(S.Outs);
-  Outs.clear();
-  Compiled.pipe(P.Tag, D).apply(P.Pkt, Outs);
+  const MatchPipeline &Pipe = Compiled.pipe(P.Tag, D);
 
   // Merge from the *current* register, not the Known snapshot:
-  // registers must only grow, whatever happened in between.
-  DenseBitSet NewE = Sl.E | Known | Fresh;
-  if (NewE != Sl.E)
-    applyRegister(S, Sl, NewE);
-  DenseBitSet OutDigest = P.Digest | NewE;
+  // registers must only grow, whatever happened in between. In steady
+  // state nothing was learned: the register stands and doubles as the
+  // outgoing digest (P.Digest ⊆ E, so Digest | E == E) — no unions, no
+  // transition check.
+  const DenseBitSet *OutDigestP = &Sl.E;
+  if (!DigestKnown || !Fresh.empty()) {
+    DenseBitSet &NewE = S.ScratchNew;
+    NewE = Sl.E;
+    NewE |= Known;
+    NewE |= Fresh;
+    if (NewE != Sl.E)
+      applyRegister(S, Sl, NewE);
+    DenseBitSet &OutDigest = S.ScratchDigest;
+    OutDigest = P.Digest;
+    OutDigest |= NewE;
+    OutDigestP = &OutDigest;
+  }
+  const DenseBitSet &OutDigest = *OutDigestP;
 
-  S.Processed.fetch_add(1, std::memory_order_relaxed);
+  S.Processed.add();
+  if (C.UseClassifier) {
+    // Fast path: one contiguous classifier program, outputs emitted into
+    // the shard's recycled packet buffer — allocation-free once warm.
+    S.ClsOut.reset();
+    Pipe.applyClassifier(P.Pkt, S.ClsOut);
+    if (S.ClsOut.size() == 0) {
+      Dropped.add();
+      S.Dropped.add();
+      return;
+    }
+    for (size_t I = 0; I != S.ClsOut.size(); ++I)
+      forwardOut(S, P, D, S.ClsOut[I], OutDigest);
+    return;
+  }
+
+  // Oracle path: the flattened-FDD walk (kept for differential testing;
+  // allocates its output packets).
+  std::vector<Packet> Outs = std::move(S.Outs);
+  Outs.clear();
+  Pipe.apply(P.Pkt, Outs);
   if (Outs.empty()) {
-    Dropped.fetch_add(1, std::memory_order_relaxed);
+    Dropped.add();
+    S.Dropped.add();
     S.Outs = std::move(Outs);
     return;
   }
   for (Packet &Out : Outs)
-    forwardOut(S, P, std::move(Out), OutDigest);
+    forwardOut(S, P, D, Out, OutDigest);
   S.Outs = std::move(Outs); // return the capacity for reuse
 }
 
@@ -225,13 +289,14 @@ void Engine::handleInject(Shard &S, HostId From, Packet Header) {
   EnginePacket P;
   P.Pkt = std::move(Header);
   P.Pkt.setLoc(At);
+  P.Dense = D;
   // IN rule: stamp the ingress switch's current tag. The emission is
   // logged now, at stamping time, so the trace's per-switch order places
   // it against the register state it observed.
   P.Tag = Sl.Tag;
   P.Parent = logEntry(S, P.Pkt, -1, false, P.Tag);
   P.IngressLogged = true;
-  Injected.fetch_add(1, std::memory_order_relaxed);
+  Injected.add();
   processPacket(S, P);
 }
 
@@ -259,33 +324,120 @@ void Engine::processMsg(Shard &S, Msg &M) {
     }
     break;
   }
-  Pending.fetch_sub(1);
+  // Pending accounting happens per batch (drainBatch), not per message.
 }
 
-bool Engine::drainOne(Shard &S) {
-  Msg M;
-  if (!S.Q->tryPop(M)) {
+void Engine::prefetchMsg(const Msg &M) const {
+  if (M.K != Msg::PacketIn)
+    return;
+  // Touch the next packet's classifier program (its first op) while the
+  // current one executes — the arena line is the miss worth hiding.
+  Compiled.pipe(M.P.Tag, M.P.Dense).classifier().prefetchRoot();
+}
+
+void Engine::flushOut(Shard &S) {
+  // Publish the batch's buffered egress, one tryPushBatch per target
+  // ring (a single tail CAS covers the whole prefix). Leftovers of a
+  // full ring go to the overflow deque — producers never block.
+  //
+  // One Pending increment covers every buffered message, and it happens
+  // before any of them becomes visible — consumers can only drive
+  // Pending through zero after *all* this batch's outputs are counted.
+  // OutBufs[Index] is always empty here (drained in place by
+  // drainBatch's self-delivery loop, which never touches Pending).
+  uint64_t Buffered = 0;
+  for (const MsgBuf &B : S.OutBufs)
+    Buffered += B.size();
+  if (Buffered)
+    Pending.fetch_add(static_cast<int64_t>(Buffered));
+  for (uint32_t T = 0; T != S.OutBufs.size(); ++T) {
+    MsgBuf &B = S.OutBufs[T];
+    if (B.size() == 0)
+      continue;
+    Shard &Dst = *Shards[T];
+    size_t Done = 0;
+    while (Done != B.size()) {
+      size_t Pushed =
+          Dst.Q->tryPushBatch(B.data() + Done, B.size() - Done);
+      if (Pushed == 0)
+        break;
+      Done += Pushed;
+    }
+    if (Done != B.size()) {
+      std::lock_guard<std::mutex> Lock(Dst.OverflowMu);
+      for (; Done != B.size(); ++Done)
+        Dst.Overflow.push_back(B[Done]);
+      // Spill = full ring; count the overflow into the high-water mark.
+      Dst.QueueHighWater.raiseTo(Dst.Q->capacity() + Dst.Overflow.size());
+    }
+    B.reset();
+  }
+}
+
+size_t Engine::drainBatch(Shard &S) {
+  size_t N = S.Q->tryPopBatch(S.Batch.data(), C.BatchSize);
+  if (N == 0) {
     // Ring empty: check the overflow (rare; only populated while the
     // ring was full).
     std::unique_lock<std::mutex> Lock(S.OverflowMu);
-    if (S.Overflow.empty())
-      return false;
-    M = std::move(S.Overflow.front());
-    S.Overflow.pop_front();
+    size_t Backlog = S.Overflow.size();
+    size_t Max = std::min<size_t>(C.BatchSize, Backlog);
+    for (; N != Max; ++N) {
+      S.Batch[N] = std::move(S.Overflow.front());
+      S.Overflow.pop_front();
+    }
     Lock.unlock();
+    if (N == 0)
+      return 0;
+    S.QueueHighWater.raiseTo(Backlog + S.Q->sizeApprox());
   }
-  processMsg(S, M);
-  return true;
+
+  // Queue-depth high-water mark: what was still pending after the pop,
+  // plus what we just claimed.
+  S.QueueHighWater.raiseTo(S.Q->sizeApprox() + N);
+
+  for (size_t I = 0; I != N; ++I) {
+    if (I + 1 != N)
+      prefetchMsg(S.Batch[I + 1]);
+    processMsg(S, S.Batch[I]);
+  }
+
+  // Self-delivery: hops that stay on this shard never touch the MPSC
+  // ring (no cell copies, no queue atomics, no Pending churn) — they
+  // are drained in place until every chain ends or leaves the shard.
+  // The inputs' Pending share (subtracted below) keeps the quiescence
+  // count positive for the whole drain.
+  MsgBuf &Self = S.OutBufs[S.Index];
+  while (Self.size() != 0) {
+    std::swap(S.SelfProc, Self);
+    for (size_t I = 0; I != S.SelfProc.size(); ++I) {
+      if (I + 1 != S.SelfProc.size())
+        prefetchMsg(S.SelfProc[I + 1]);
+      processMsg(S, S.SelfProc[I]);
+    }
+    S.SelfProc.reset();
+  }
+
+  // Outputs are counted into Pending (flushOut) before the inputs are
+  // retired, so Pending never dips to zero with work still in flight.
+  flushOut(S);
+  Pending.fetch_sub(static_cast<int64_t>(N));
+  return N;
 }
 
 void Engine::workerLoop(unsigned ShardIdx) {
   Shard &S = *Shards[ShardIdx];
   uint64_t Spins = 0;
+  uint64_t SinceReclaim = 0;
   while (true) {
-    if (drainOne(S)) {
+    size_t N = drainBatch(S);
+    if (N != 0) {
       Spins = 0;
-      if ((S.Processed.load(std::memory_order_relaxed) & 1023) == 0)
+      SinceReclaim += N;
+      if (SinceReclaim >= 1024) {
+        SinceReclaim = 0;
         S.Retired.tryReclaim(Epochs.minActiveEpoch());
+      }
       continue;
     }
     if (StopFlag.load())
@@ -304,7 +456,7 @@ void Engine::controllerLoop() {
       // CTRLRECV: fold the event into R once.
       if (!Occurred.test(E)) {
         Occurred.set(E);
-        Events.fetch_add(1, std::memory_order_relaxed);
+        Events.add();
         if (C.CtrlBroadcast)
           for (uint32_t I = 0; I != C.NumShards; ++I) {
             Msg M;
@@ -400,16 +552,21 @@ void Engine::mergeResults() {
   // Final stats, including the transition-latency aggregates.
   FinalStats = Stats();
   FinalStats.ElapsedSec = ElapsedSec;
-  FinalStats.PacketsInjected = Injected.load();
-  FinalStats.PacketsDelivered = Delivered.load();
-  FinalStats.PacketsDropped = Dropped.load();
-  FinalStats.PacketsForwarded = Forwarded.load();
-  FinalStats.EventsDetected = Events.load();
+  FinalStats.PacketsInjected = Injected.get();
+  FinalStats.PacketsDelivered = Delivered.get();
+  FinalStats.PacketsDropped = Dropped.get();
+  FinalStats.PacketsForwarded = Forwarded.get();
+  FinalStats.EventsDetected = Events.get();
+  FinalStats.ClassifierPath = C.UseClassifier;
+  FinalStats.BatchSize = C.BatchSize;
   for (auto &S : Shards) {
     ShardStats SS;
-    SS.PacketsProcessed = S->Processed.load();
+    SS.PacketsProcessed = S->Processed.get();
     SS.QueueDepth = 0;
-    SS.Transitions = S->Transitions.load();
+    SS.QueueHighWater = S->QueueHighWater.get();
+    SS.Dropped = S->Dropped.get();
+    SS.Transitions = S->Transitions.get();
+    SS.FreelistGrowth = freelistGrowth(*S);
     FinalStats.PacketsProcessed += SS.PacketsProcessed;
     FinalStats.ConfigTransitions += SS.Transitions;
     FinalStats.Shards.push_back(SS);
@@ -442,20 +599,24 @@ Stats Engine::stats() const {
     return FinalStats;
   Stats S;
   S.ElapsedSec = nowSec();
-  S.PacketsInjected = Injected.load();
-  S.PacketsDelivered = Delivered.load();
-  S.PacketsDropped = Dropped.load();
-  S.PacketsForwarded = Forwarded.load();
-  S.EventsDetected = Events.load();
+  S.PacketsInjected = Injected.get();
+  S.PacketsDelivered = Delivered.get();
+  S.PacketsDropped = Dropped.get();
+  S.PacketsForwarded = Forwarded.get();
+  S.EventsDetected = Events.get();
+  S.ClassifierPath = C.UseClassifier;
+  S.BatchSize = C.BatchSize;
   for (const auto &Sh : Shards) {
     ShardStats SS;
-    SS.PacketsProcessed = Sh->Processed.load();
+    SS.PacketsProcessed = Sh->Processed.get();
     SS.QueueDepth = Sh->Q->sizeApprox();
     {
       std::lock_guard<std::mutex> Lock(Sh->OverflowMu);
       SS.QueueDepth += Sh->Overflow.size();
     }
-    SS.Transitions = Sh->Transitions.load();
+    SS.QueueHighWater = Sh->QueueHighWater.get();
+    SS.Dropped = Sh->Dropped.get();
+    SS.Transitions = Sh->Transitions.get();
     S.PacketsProcessed += SS.PacketsProcessed;
     S.ConfigTransitions += SS.Transitions;
     S.Shards.push_back(SS);

@@ -74,6 +74,18 @@ struct EngineConfig {
   /// Record the network trace for the consistency checkers. Turn off
   /// for pure-throughput benchmarking.
   bool RecordTrace = true;
+  /// Record every host delivery in deliveries(). Turn off (with
+  /// RecordTrace) for pure-throughput benchmarking: recording
+  /// necessarily allocates per packet.
+  bool RecordDeliveries = true;
+  /// Look packets up with the contiguous classifier program (the batched
+  /// zero-allocation fast path). Off = the flattened-FDD walk, kept as
+  /// the differential-testing oracle.
+  bool UseClassifier = true;
+  /// Messages dequeued/enqueued per hot-loop iteration (amortizes the
+  /// MPSC queue atomics; 1 degenerates to the PR 1 message-at-a-time
+  /// loop).
+  unsigned BatchSize = 32;
 };
 
 /// A sharded multi-threaded data-plane engine executing one NES.
@@ -154,6 +166,8 @@ private:
     nes::SetId Tag = 0;
     DenseBitSet Digest;
     int64_t Parent = -1; ///< trace ticket of the producing occurrence
+    uint32_t Dense = 0;  ///< dense index of Pkt.sw() (set by the sender,
+                         ///< so the hot loop never hashes a SwitchId)
     bool IngressLogged = false;
   };
 
@@ -173,7 +187,14 @@ private:
     nes::SetId Tag = 0;
   };
 
+  /// A recycled outgoing-message buffer for one target shard: slots keep
+  /// their heap capacity across reset(), so steady-state egress batching
+  /// allocates nothing (the flush *copies* into the target ring's cells,
+  /// which are themselves recycled — see Queue.h).
+  using MsgBuf = RecyclePool<Msg>;
+
   struct Shard {
+    uint32_t Index = 0; ///< own position in Shards
     std::unique_ptr<BoundedMpscQueue<Msg>> Q; ///< lock-free fast path
     /// Overflow when the ring is full: producers never block (a cycle
     /// of full bounded queues would otherwise deadlock the workers);
@@ -185,19 +206,41 @@ private:
     std::map<std::pair<SwitchId, nes::EventId>, double> LearnTimes;
     RetireList<SwitchView> Retired;
     std::thread Thread;
-    std::vector<netkat::Packet> Outs; ///< scratch
-    std::atomic<uint64_t> Processed{0};
-    std::atomic<uint64_t> Transitions{0};
+    std::vector<netkat::Packet> Outs; ///< scratch (FDD-walk oracle path)
+    PacketBuf ClsOut;                 ///< recycled classifier outputs
+    std::vector<Msg> Batch;           ///< recycled dequeue batch slots
+    std::vector<MsgBuf> OutBufs;      ///< recycled egress, per target
+    MsgBuf SelfProc; ///< swap space for draining OutBufs[Index] in place
+    /// Scratch bitsets for the SWITCH rule (capacity-reusing; the hot
+    /// loop builds no fresh DenseBitSets).
+    DenseBitSet ScratchKnown, ScratchFresh, ScratchExt, ScratchNew,
+        ScratchDigest;
+    RelaxedCounter Processed;
+    RelaxedCounter Transitions;
+    RelaxedCounter Dropped;
+    RelaxedCounter QueueHighWater;
   };
+
+  /// Total growth events of a shard's recycled buffers (classifier
+  /// output pool + egress slots). Non-atomic reads: only valid after the
+  /// shard thread joined (mergeResults), not from concurrent stats().
+  static uint64_t freelistGrowth(const Shard &S) {
+    uint64_t G = S.ClsOut.grownCount() + S.SelfProc.grownCount();
+    for (const MsgBuf &B : S.OutBufs)
+      G += B.grownCount();
+    return G;
+  }
 
   void workerLoop(unsigned ShardIdx);
   void controllerLoop();
-  bool drainOne(Shard &S);
+  size_t drainBatch(Shard &S);
+  void flushOut(Shard &S);
+  void prefetchMsg(const Msg &M) const;
   void processMsg(Shard &S, Msg &M);
   void handleInject(Shard &S, HostId From, netkat::Packet Header);
   void processPacket(Shard &S, EnginePacket &P);
-  void forwardOut(Shard &S, const EnginePacket &P, netkat::Packet &&Out,
-                  const DenseBitSet &OutDigest);
+  void forwardOut(Shard &S, const EnginePacket &P, uint32_t AtDense,
+                  const netkat::Packet &Out, const DenseBitSet &OutDigest);
   void applyRegister(Shard &S, SwitchSlot &Sl, const DenseBitSet &NewE);
   void sendToShard(uint32_t Target, Msg &&M);
   int64_t logEntry(Shard &S, const netkat::Packet &Lp, int64_t Parent,
@@ -233,9 +276,8 @@ private:
   std::atomic<bool> StopFlag{false};
   std::atomic<int64_t> StartNs{0}; ///< run() start, steady-clock ns
 
-  // Counters.
-  std::atomic<uint64_t> Injected{0}, Delivered{0}, Dropped{0}, Forwarded{0},
-      Events{0};
+  // Counters (cache-line padded, relaxed; see Stats.h).
+  RelaxedCounter Injected, Delivered, Dropped, Forwarded, Events;
   std::vector<std::unique_ptr<std::atomic<int64_t>>> DetectNs; ///< per event
   double ElapsedSec = 0;
   std::atomic<bool> Ran{false};

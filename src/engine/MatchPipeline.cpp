@@ -30,32 +30,32 @@ bool packetField(const Packet &Pkt, FieldId F, Value &Out) {
 
 MatchPipeline::MatchPipeline(const flowtable::Table &T) {
   //===------------------------------------------------------------------===//
-  // Leaf interning shared by both paths.
+  // Leaf interning shared by every path.
   //===------------------------------------------------------------------===//
   std::map<fdd::ActionSet, int32_t> LeafIdx;
   auto internLeaf = [&](const fdd::ActionSet &Acts) -> int32_t {
     auto It = LeafIdx.find(Acts);
     if (It != LeafIdx.end())
       return It->second;
-    LeafRec L;
-    L.First = static_cast<uint32_t>(Actions.size());
+    FlatFdd::Leaf L;
+    L.First = static_cast<uint32_t>(Flat.Actions.size());
     L.Count = static_cast<uint32_t>(Acts.size());
     for (const flowtable::ActionSeq &A : Acts) {
-      ActionRec AR;
-      AR.First = static_cast<uint32_t>(Writes.size());
+      FlatFdd::Action AR;
+      AR.First = static_cast<uint32_t>(Flat.Writes.size());
       AR.Count = static_cast<uint32_t>(A.size());
       for (const auto &[F, V] : A)
-        Writes.push_back({F, V});
-      Actions.push_back(AR);
+        Flat.Writes.push_back({F, V});
+      Flat.Actions.push_back(AR);
     }
-    int32_t Idx = static_cast<int32_t>(Leaves.size());
-    Leaves.push_back(L);
+    int32_t Idx = static_cast<int32_t>(Flat.Leaves.size());
+    Flat.Leaves.push_back(L);
     LeafIdx.emplace(Acts, Idx);
     return Idx;
   };
 
   //===------------------------------------------------------------------===//
-  // FDD fast path: compile the table to a diagram, flatten the DAG.
+  // FDD oracle path: compile the table to a diagram, flatten the DAG.
   //===------------------------------------------------------------------===//
   {
     fdd::FddManager M;
@@ -83,15 +83,15 @@ MatchPipeline::MatchPipeline(const flowtable::Table &T) {
         continue;
       }
       fdd::TestKey K = M.testKey(Fr.N);
-      NodeRec NR;
+      FlatFdd::Node NR;
       NR.F = K.F;
       NR.V = K.V;
       NR.Hi = Memo.at(M.hi(Fr.N));
       NR.Lo = Memo.at(M.lo(Fr.N));
-      Memo[Fr.N] = static_cast<int32_t>(Nodes.size());
-      Nodes.push_back(NR);
+      Memo[Fr.N] = static_cast<int32_t>(Flat.Nodes.size());
+      Flat.Nodes.push_back(NR);
     }
-    Root = Memo.at(FRoot);
+    Flat.Root = Memo.at(FRoot);
   }
 
   //===------------------------------------------------------------------===//
@@ -149,24 +149,29 @@ MatchPipeline::MatchPipeline(const flowtable::Table &T) {
     for (uint32_t I = 0; I != Rules.size(); ++I)
       WildcardRules.push_back(I);
   }
+
+  //===------------------------------------------------------------------===//
+  // Final lowering: the contiguous classifier program.
+  //===------------------------------------------------------------------===//
+  Cls = Classifier(Flat);
 }
 
 void MatchPipeline::emit(const Packet &Pkt, int32_t Leaf,
                          std::vector<Packet> &Out) const {
-  const LeafRec &L = Leaves[Leaf];
+  const FlatFdd::Leaf &L = Flat.Leaves[Leaf];
   for (uint32_t A = L.First; A != L.First + L.Count; ++A) {
     Packet P = Pkt;
-    const ActionRec &AR = Actions[A];
+    const FlatFdd::Action &AR = Flat.Actions[A];
     for (uint32_t W = AR.First; W != AR.First + AR.Count; ++W)
-      P.set(Writes[W].F, Writes[W].V);
+      P.set(Flat.Writes[W].F, Flat.Writes[W].V);
     Out.push_back(std::move(P));
   }
 }
 
 void MatchPipeline::apply(const Packet &Pkt, std::vector<Packet> &Out) const {
-  int32_t N = Root;
+  int32_t N = Flat.Root;
   while (N >= 0) {
-    const NodeRec &Nd = Nodes[N];
+    const FlatFdd::Node &Nd = Flat.Nodes[N];
     Value V;
     bool Pass = packetField(Pkt, Nd.F, V) && V == Nd.V;
     N = Pass ? Nd.Hi : Nd.Lo;

@@ -9,11 +9,16 @@
 /// The engine's lowering of a flowtable::Table into contiguous arrays the
 /// hot path can walk without pointer-chasing std::map nodes:
 ///
-///  - the *FDD walk* (default lookup): the table is recompiled into a
-///    forwarding decision diagram (fdd::FddManager::fromTable) and the
-///    diagram is flattened into a flat node array; a lookup follows
-///    hi/lo indices — at most one test per (field, value) pair on the
-///    path — and lands on an interned action list.
+///  - the *classifier program* (default lookup): the flattened FDD is
+///    lowered one step further into a single arena of multi-way dispatch
+///    ops (engine/Classifier.h) — the zero-allocation batched fast path.
+///
+///  - the *FDD walk* (differential-testing oracle): the table is
+///    recompiled into a forwarding decision diagram
+///    (fdd::FddManager::fromTable) and the diagram is flattened into a
+///    flat node array; a lookup follows hi/lo indices — at most one test
+///    per (field, value) pair on the path — and lands on an interned
+///    action list.
 ///
 ///  - the *bucket scan* (reference path, also used by the agreement
 ///    tests): rules in first-match order with their constraints and
@@ -22,14 +27,16 @@
 ///    applies) so a lookup scans only the rules compatible with the
 ///    packet's value of that field.
 ///
-/// Both paths compute exactly Table::apply; MatchPipelineTest checks the
-/// three against each other on random packets.
+/// All three paths compute exactly Table::apply; MatchPipelineTest and
+/// ClassifierPropertyTest check them against each other on random
+/// packets.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef EVENTNET_ENGINE_MATCHPIPELINE_H
 #define EVENTNET_ENGINE_MATCHPIPELINE_H
 
+#include "engine/Classifier.h"
 #include "flowtable/FlowTable.h"
 #include "netkat/Packet.h"
 #include "support/Ids.h"
@@ -56,34 +63,29 @@ public:
   void apply(const netkat::Packet &Pkt,
              std::vector<netkat::Packet> &Out) const;
 
+  /// Classifier-program lookup; same semantics as apply(), emitting into
+  /// the recycled buffer (allocation-free once \p Out is warm).
+  void applyClassifier(const netkat::Packet &Pkt, PacketBuf &Out) const {
+    Cls.apply(Pkt, Out);
+  }
+  void applyClassifier(const netkat::Packet &Pkt,
+                       std::vector<netkat::Packet> &Out) const {
+    Cls.apply(Pkt, Out);
+  }
+
   /// Bucket-scan lookup; same semantics as apply().
   void applyScan(const netkat::Packet &Pkt,
                  std::vector<netkat::Packet> &Out) const;
 
+  /// The lowered classifier program (for prefetching and stats).
+  const Classifier &classifier() const { return Cls; }
+
   size_t numRules() const { return Rules.size(); }
-  size_t numNodes() const { return Nodes.size(); }
-  size_t numLeaves() const { return Leaves.size(); }
+  size_t numNodes() const { return Flat.Nodes.size(); }
+  size_t numLeaves() const { return Flat.Leaves.size(); }
   FieldId dispatchField() const { return Dispatch; }
 
 private:
-  struct WriteRec {
-    FieldId F;
-    Value V;
-  };
-  /// One action: a slice of Writes.
-  struct ActionRec {
-    uint32_t First, Count;
-  };
-  /// One leaf payload: a slice of Actions (empty = drop).
-  struct LeafRec {
-    uint32_t First, Count;
-  };
-  /// One flattened FDD test node; child < 0 encodes leaf ~child.
-  struct NodeRec {
-    FieldId F;
-    Value V;
-    int32_t Hi, Lo;
-  };
   /// One scan rule: a slice of Constraints plus its leaf.
   struct RuleRec {
     uint32_t CFirst, CCount;
@@ -94,11 +96,9 @@ private:
             std::vector<netkat::Packet> &Out) const;
   bool ruleMatches(const RuleRec &R, const netkat::Packet &Pkt) const;
 
-  std::vector<WriteRec> Writes;
-  std::vector<ActionRec> Actions;
-  std::vector<LeafRec> Leaves;
-  std::vector<NodeRec> Nodes;
-  int32_t Root = 0; ///< node index, or ~leaf when negative
+  /// The flattened FDD (walk oracle) and its final lowering.
+  FlatFdd Flat;
+  Classifier Cls;
 
   std::vector<std::pair<FieldId, Value>> Constraints;
   std::vector<RuleRec> Rules; ///< first-match order

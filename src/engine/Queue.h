@@ -82,6 +82,72 @@ public:
     pushBlocking(std::move(V), [] { std::this_thread::yield(); });
   }
 
+  /// Enqueues up to \p N elements with a single tail CAS; returns how
+  /// many were pushed (a prefix of \p Vals). Cell availability is
+  /// monotone in consumer progress, so probing forward from the tail
+  /// finds the largest claimable prefix.
+  ///
+  /// Elements are *copy*-assigned into the cells (and tryPopBatch
+  /// copy-assigns them out): a cell's element stays alive between
+  /// generations, so for heap-backed T the ring doubles as a freelist —
+  /// steady-state traffic reuses every cell's capacity and performs no
+  /// allocations. Callers likewise keep \p Vals as recycled slots.
+  size_t tryPushBatch(const T *Vals, size_t N) {
+    for (;;) {
+      size_t Pos = Tail.load(std::memory_order_relaxed);
+      size_t Claim = 0;
+      for (size_t K = 1; K <= N; ++K) {
+        Cell &C = Cells[(Pos + K - 1) & Mask];
+        intptr_t Diff = static_cast<intptr_t>(
+                            C.Seq.load(std::memory_order_acquire)) -
+                        static_cast<intptr_t>(Pos + K - 1);
+        if (Diff != 0)
+          break; // occupied (<0) or claimed by a racing producer (>0)
+        Claim = K;
+      }
+      if (Claim == 0) {
+        Cell &C = Cells[Pos & Mask];
+        intptr_t Diff = static_cast<intptr_t>(
+                            C.Seq.load(std::memory_order_acquire)) -
+                        static_cast<intptr_t>(Pos);
+        if (Diff < 0)
+          return 0; // full
+        continue;   // stale tail; retry
+      }
+      if (!Tail.compare_exchange_weak(Pos, Pos + Claim,
+                                      std::memory_order_relaxed))
+        continue;
+      for (size_t K = 0; K != Claim; ++K) {
+        Cell &C = Cells[(Pos + K) & Mask];
+        C.Value = Vals[K];
+        C.Seq.store(Pos + K + 1, std::memory_order_release);
+      }
+      return Claim;
+    }
+  }
+
+  /// Dequeues up to \p Max elements into \p Out with one head update,
+  /// copy-assigning so the cells keep their heap capacity (see
+  /// tryPushBatch). Returns the count. Single consumer.
+  size_t tryPopBatch(T *Out, size_t Max) {
+    size_t Pos = Head.load(std::memory_order_relaxed);
+    size_t N = 0;
+    while (N != Max) {
+      Cell &C = Cells[(Pos + N) & Mask];
+      size_t Seq = C.Seq.load(std::memory_order_acquire);
+      if (static_cast<intptr_t>(Seq) -
+              static_cast<intptr_t>(Pos + N + 1) <
+          0)
+        break; // not yet published
+      Out[N] = C.Value;
+      C.Seq.store(Pos + N + Mask + 1, std::memory_order_release);
+      ++N;
+    }
+    if (N)
+      Head.store(Pos + N, std::memory_order_relaxed);
+    return N;
+  }
+
   /// Attempts to dequeue; returns false when empty. Single consumer.
   bool tryPop(T &Out) {
     size_t Pos = Head.load(std::memory_order_relaxed);

@@ -7,27 +7,54 @@
 ///
 /// \file
 /// A point-in-time snapshot of the concurrent engine's counters:
-/// per-shard throughput and queue depth, configuration transitions, and
-/// the latency from an event's detection to each switch register
-/// learning it (the engine analogue of the Figure 16(b) discovery-time
-/// measurement).
+/// per-shard throughput, queue depth/high-water marks, drop counts,
+/// freelist growth, configuration transitions, and the latency from an
+/// event's detection to each switch register learning it (the engine
+/// analogue of the Figure 16(b) discovery-time measurement).
+///
+/// RelaxedCounter is the live-counter type behind the snapshot: each
+/// counter owns a full cache line so shards bumping different counters
+/// never bounce the same line, and every access is a relaxed atomic —
+/// the counters carry no synchronization, only tallies.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef EVENTNET_ENGINE_STATS_H
 #define EVENTNET_ENGINE_STATS_H
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 namespace eventnet {
 namespace engine {
 
+/// A monotone event counter padded to a cache line, accessed with
+/// relaxed atomics only (it synchronizes nothing; readers get a racy but
+/// individually-consistent tally).
+struct alignas(64) RelaxedCounter {
+  std::atomic<uint64_t> V{0};
+
+  void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t get() const { return V.load(std::memory_order_relaxed); }
+
+  /// Raises the counter to \p N if larger (high-water marks).
+  void raiseTo(uint64_t N) {
+    uint64_t Cur = V.load(std::memory_order_relaxed);
+    while (N > Cur &&
+           !V.compare_exchange_weak(Cur, N, std::memory_order_relaxed))
+      ;
+  }
+};
+
 /// Counters of one shard.
 struct ShardStats {
   uint64_t PacketsProcessed = 0; ///< switch-hops executed by this shard
   uint64_t QueueDepth = 0;       ///< approximate pending messages
+  uint64_t QueueHighWater = 0;   ///< max observed ring + overflow depth
+  uint64_t Dropped = 0;          ///< drops attributed to this shard
   uint64_t Transitions = 0;      ///< published register/view swaps
+  uint64_t FreelistGrowth = 0;   ///< recycled-buffer pool growth events
 };
 
 /// Snapshot of the whole engine.
@@ -40,6 +67,9 @@ struct Stats {
   uint64_t PacketsForwarded = 0; ///< link traversals
   uint64_t EventsDetected = 0;   ///< distinct NES events that occurred
   uint64_t ConfigTransitions = 0;
+
+  bool ClassifierPath = true; ///< classifier program vs FDD-walk lookup
+  unsigned BatchSize = 1;     ///< hot-loop dequeue/enqueue batch size
 
   /// Switch-hops per wall-clock second (the headline throughput).
   double PacketsPerSec = 0;

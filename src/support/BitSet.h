@@ -48,6 +48,10 @@ public:
     Words[Word] |= (uint64_t(1) << (Bit % 64));
   }
 
+  /// Removes every member, keeping the allocated capacity (the engine's
+  /// hot loop reuses scratch sets across packets).
+  void clear() { Words.clear(); }
+
   /// Removes \p Bit.
   void reset(unsigned Bit) {
     unsigned Word = Bit / 64;

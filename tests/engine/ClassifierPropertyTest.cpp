@@ -1,0 +1,298 @@
+//===- tests/engine/ClassifierPropertyTest.cpp - Classifier lowering ------===//
+//
+// Property tests for the final lowering (flattened FDD -> contiguous
+// classifier program):
+//
+//  - agreement: on random tables x random packets (and on every table
+//    the compiler produces for the case-study apps), the classifier
+//    program, the flattened-FDD walk, the bucket scan, and the reference
+//    Table::apply all yield the same action set;
+//  - op coverage: contiguous value ranges lower to dense jump tables,
+//    scattered ones to sorted-value binary search, and both execute
+//    correctly;
+//  - zero allocation: once the recycled PacketBuf is warm, steady-state
+//    classifier lookups perform no heap allocations (counted by a
+//    replacement global operator new).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/MatchPipeline.h"
+
+#include "apps/Programs.h"
+#include "flowtable/FlowTable.h"
+#include "nes/Pipeline.h"
+#include "runtime/Guarded.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+using namespace eventnet;
+using namespace eventnet::engine;
+using eventnet::flowtable::Rule;
+using eventnet::flowtable::Table;
+using eventnet::netkat::Packet;
+
+//===----------------------------------------------------------------------===//
+// Counting allocator hook
+//===----------------------------------------------------------------------===//
+
+// Every heap allocation in this binary bumps GAllocs; the zero-alloc
+// test snapshots the counter around a warmed lookup loop. The hooks
+// forward to malloc/free, so sanitizer interceptors still see every
+// allocation underneath.
+static std::atomic<uint64_t> GAllocs{0};
+
+static void *countedAlloc(size_t Sz) {
+  GAllocs.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Sz ? Sz : 1))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new(size_t Sz) { return countedAlloc(Sz); }
+void *operator new[](size_t Sz) { return countedAlloc(Sz); }
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, size_t) noexcept { std::free(P); }
+void operator delete[](void *P, size_t) noexcept { std::free(P); }
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Helpers (canonical output sets, random tables/packets)
+//===----------------------------------------------------------------------===//
+
+std::vector<Packet> canon(std::vector<Packet> V) {
+  std::sort(V.begin(), V.end());
+  V.erase(std::unique(V.begin(), V.end()), V.end());
+  return V;
+}
+
+std::vector<Packet> classifierOut(const MatchPipeline &M, const Packet &P) {
+  std::vector<Packet> Out;
+  M.applyClassifier(P, Out);
+  return canon(Out);
+}
+
+std::vector<Packet> fddOut(const MatchPipeline &M, const Packet &P) {
+  std::vector<Packet> Out;
+  M.apply(P, Out);
+  return canon(Out);
+}
+
+std::vector<Packet> scanOut(const MatchPipeline &M, const Packet &P) {
+  std::vector<Packet> Out;
+  M.applyScan(P, Out);
+  return canon(Out);
+}
+
+Packet randomPacket(Rng &R, const std::vector<FieldId> &Fields,
+                    int64_t MaxVal) {
+  Packet P;
+  P.setLoc({static_cast<SwitchId>(R.range(1, 4)),
+            static_cast<PortId>(R.range(1, 4))});
+  for (FieldId F : Fields)
+    if (R.chance(0.7))
+      P.set(F, R.range(0, MaxVal));
+  return P;
+}
+
+/// A random table whose constrained values are drawn from [0, MaxVal] —
+/// small MaxVal yields contiguous runs (dense ops), large MaxVal yields
+/// scattered values (sparse ops).
+Table randomTable(Rng &R, const std::vector<FieldId> &Fields,
+                  int64_t MaxVal, unsigned MaxRules) {
+  Table T;
+  unsigned NumRules = static_cast<unsigned>(R.range(0, MaxRules));
+  for (unsigned I = 0; I != NumRules; ++I) {
+    Rule Ru;
+    Ru.Priority = static_cast<int>(R.range(0, 9));
+    for (FieldId F : Fields)
+      if (R.chance(0.4))
+        Ru.Pattern.require(F, R.range(0, MaxVal));
+    unsigned NumActs = static_cast<unsigned>(R.range(0, 2)); // 0 = drop
+    for (unsigned A = 0; A != NumActs; ++A) {
+      std::vector<std::pair<FieldId, Value>> Writes;
+      Writes.push_back({FieldPt, R.range(1, 4)});
+      if (R.chance(0.5))
+        Writes.push_back({Fields[R.below(Fields.size())], R.range(0, 3)});
+      Ru.Actions.push_back(flowtable::normalizeActionSeq(Writes));
+    }
+    T.add(std::move(Ru));
+  }
+  return T;
+}
+
+void expectAllPathsAgree(const Table &T, const MatchPipeline &M,
+                         const Packet &P, const char *What) {
+  auto Ref = canon(T.apply(P));
+  ASSERT_EQ(classifierOut(M, P), Ref)
+      << What << ": classifier diverged on " << P.str() << "\ntable:\n"
+      << T.str();
+  ASSERT_EQ(fddOut(M, P), Ref) << What << ": FDD walk diverged on "
+                               << P.str() << "\ntable:\n" << T.str();
+  ASSERT_EQ(scanOut(M, P), Ref) << What << ": bucket scan diverged on "
+                                << P.str() << "\ntable:\n" << T.str();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Agreement properties
+//===----------------------------------------------------------------------===//
+
+TEST(ClassifierProperty, EmptyTableDrops) {
+  Table T;
+  MatchPipeline M(T);
+  std::vector<Packet> Out;
+  M.applyClassifier(netkat::makePacket({1, 1}, {}), Out);
+  EXPECT_TRUE(Out.empty());
+  EXPECT_GT(M.classifier().codeWords(), 0u); // the drop leaf
+}
+
+TEST(ClassifierProperty, RandomTablesAllPathsAgree) {
+  Rng R(4242);
+  std::vector<FieldId> Fields = {fieldOf("ip_dst"), fieldOf("kind"),
+                                 fieldOf("__tag")};
+  for (int Iter = 0; Iter != 200; ++Iter) {
+    Table T = randomTable(R, Fields, /*MaxVal=*/3, /*MaxRules=*/12);
+    MatchPipeline M(T);
+    for (int I = 0; I != 25; ++I)
+      expectAllPathsAgree(T, M, randomPacket(R, Fields, 3), "random");
+  }
+}
+
+TEST(ClassifierProperty, ScatteredValuesUseSparseOpsAndAgree) {
+  Rng R(99);
+  std::vector<FieldId> Fields = {fieldOf("ip_dst"), fieldOf("kind")};
+  size_t SawSparse = 0;
+  for (int Iter = 0; Iter != 50; ++Iter) {
+    // Values scattered over a 1e9 range: dense tables would be absurd,
+    // so the lowering must pick binary-search ops.
+    Table T = randomTable(R, Fields, /*MaxVal=*/1000000000, 16);
+    MatchPipeline M(T);
+    SawSparse += M.classifier().numOps() - M.classifier().numDenseOps();
+    for (int I = 0; I != 20; ++I) {
+      // Mix misses (random values) and hits (values constrained by some
+      // rule) so the binary search's equal path is exercised too.
+      Packet P = randomPacket(R, Fields, 1000000000);
+      expectAllPathsAgree(T, M, P, "sparse");
+    }
+    for (const Rule &Ru : T.rules())
+      for (const auto &[F, V] : Ru.Pattern.constraints()) {
+        Packet P = randomPacket(R, Fields, 4);
+        P.set(F, V);
+        expectAllPathsAgree(T, M, P, "sparse-hit");
+      }
+  }
+  EXPECT_GT(SawSparse, 0u) << "scattered tables never produced sparse ops";
+}
+
+TEST(ClassifierProperty, ContiguousValuesUseDenseOpsAndAgree) {
+  FieldId Dst = fieldOf("ip_dst");
+  Table T;
+  // 32 contiguous ip_dst values on one field: a canonical lo-chain the
+  // lowering should turn into one dense jump table.
+  for (int I = 0; I != 32; ++I) {
+    Rule Ru;
+    Ru.Priority = 1;
+    Ru.Pattern.require(Dst, I);
+    Ru.Actions = {flowtable::normalizeActionSeq({{FieldPt, (I % 4) + 1}})};
+    T.add(Ru);
+  }
+  MatchPipeline M(T);
+  EXPECT_GT(M.classifier().numDenseOps(), 0u);
+  Rng R(7);
+  for (int I = 0; I != 200; ++I) {
+    Packet P = netkat::makePacket(
+        {static_cast<SwitchId>(R.range(1, 4)),
+         static_cast<PortId>(R.range(1, 4))},
+        {{Dst, R.range(-4, 40)}}); // in-range hits and out-of-range misses
+    expectAllPathsAgree(T, M, P, "dense");
+  }
+}
+
+TEST(ClassifierProperty, CompiledAppTablesAgree) {
+  Rng R(17);
+  for (const apps::App &A : apps::caseStudyApps()) {
+    api::Result<nes::CompiledProgram> CR =
+        A.Source.empty() ? nes::compileAst(A.Ast, A.Topo)
+                         : nes::compileSource(A.Source, A.Topo);
+    ASSERT_TRUE(CR.ok()) << A.Name << ": " << CR.status().str();
+    nes::CompiledProgram &C = *CR;
+
+    std::vector<FieldId> Fields = {apps::ipDstField(), apps::probeField(),
+                                   runtime::tagField()};
+    for (nes::SetId S = 0; S != C.N->numSets(); ++S)
+      for (SwitchId Sw : A.Topo.switches()) {
+        const Table &T = C.N->configOf(S).tableFor(Sw);
+        MatchPipeline M(T);
+        for (int I = 0; I != 30; ++I)
+          expectAllPathsAgree(T, M, randomPacket(R, Fields, 3), A.Name.c_str());
+      }
+    // The tag-guarded union table exercises multi-field chains.
+    topo::Configuration G = runtime::buildGuardedConfig(*C.N, A.Topo);
+    for (SwitchId Sw : A.Topo.switches()) {
+      const Table &T = G.tableFor(Sw);
+      MatchPipeline M(T);
+      for (int I = 0; I != 30; ++I) {
+        Packet P = randomPacket(R, Fields, 3);
+        P.set(runtime::tagField(),
+              R.range(0, static_cast<int64_t>(C.N->numSets()) - 1));
+        expectAllPathsAgree(T, M, P, "guarded");
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Zero allocation on the warmed fast path
+//===----------------------------------------------------------------------===//
+
+TEST(ClassifierProperty, WarmLookupsAllocateNothing) {
+  Rng R(123);
+  std::vector<FieldId> Fields = {fieldOf("ip_dst"), fieldOf("kind")};
+  Table T = randomTable(R, Fields, 3, 12);
+  while (T.size() == 0) // ensure some outputs exist
+    T = randomTable(R, Fields, 3, 12);
+  MatchPipeline M(T);
+
+  std::vector<Packet> Pkts;
+  for (int I = 0; I != 64; ++I)
+    Pkts.push_back(randomPacket(R, Fields, 3));
+
+  PacketBuf Buf;
+  // Warm: the buffer grows to the table's maximal multicast width and
+  // every slot's field vector reaches its steady capacity.
+  for (const Packet &P : Pkts) {
+    Buf.reset();
+    M.applyClassifier(P, Buf);
+  }
+  uint64_t GrownWarm = Buf.grownCount();
+
+  uint64_t Before = GAllocs.load(std::memory_order_relaxed);
+  for (int Round = 0; Round != 10; ++Round)
+    for (const Packet &P : Pkts) {
+      Buf.reset();
+      M.applyClassifier(P, Buf);
+    }
+  uint64_t After = GAllocs.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(After - Before, 0u)
+      << "steady-state classifier lookups allocated";
+  EXPECT_EQ(Buf.grownCount(), GrownWarm) << "PacketBuf grew after warmup";
+}
+
+TEST(ClassifierProperty, CountingAllocatorSeesAllocations) {
+  // Sanity-check the hook itself: a fresh vector must bump the counter.
+  uint64_t Before = GAllocs.load(std::memory_order_relaxed);
+  std::vector<int> *V = new std::vector<int>(100);
+  uint64_t After = GAllocs.load(std::memory_order_relaxed);
+  delete V;
+  EXPECT_GE(After - Before, 1u);
+}

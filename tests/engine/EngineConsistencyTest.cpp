@@ -89,10 +89,15 @@ Scenario ringScenario(uint64_t Seed) {
 }
 
 consistency::CheckResult runAndCheck(Scenario &S, unsigned Shards,
+                                     bool Classifier,
                                      bool Broadcast = false) {
   EngineConfig Cfg;
   Cfg.NumShards = Shards;
   Cfg.CtrlBroadcast = Broadcast;
+  Cfg.UseClassifier = Classifier;
+  // The classifier rows also take the batched loop shape; the oracle
+  // rows re-verify the PR 1 message-at-a-time shape.
+  Cfg.BatchSize = Classifier ? 32 : 1;
   Engine E(S.C->structure(), S.A.Topo, Cfg);
   E.run(S.W);
   EXPECT_GT(E.trace().size(), 0u);
@@ -102,31 +107,40 @@ consistency::CheckResult runAndCheck(Scenario &S, unsigned Shards,
 
 } // namespace
 
-class EngineConsistency : public ::testing::TestWithParam<uint64_t> {};
+/// (seed, classifier on/off): the Definition 6 theorem must hold on the
+/// classifier fast path exactly as on the FDD-walk oracle path.
+class EngineConsistency
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {
+protected:
+  uint64_t seed() const { return std::get<0>(GetParam()); }
+  bool classifier() const { return std::get<1>(GetParam()); }
+};
 
 TEST_P(EngineConsistency, AllAppsAllShardCounts) {
   using Maker = Scenario (*)(uint64_t);
   for (Maker Make : {firewallScenario, authScenario, idsScenario,
                      bwcapScenario, ringScenario}) {
     for (unsigned Shards : {1u, 2u, 4u}) {
-      Scenario S = Make(GetParam());
+      Scenario S = Make(seed());
       ASSERT_TRUE(S.C.ok()) << S.A.Name << ": " << S.C.status().str();
-      auto R = runAndCheck(S, Shards);
+      auto R = runAndCheck(S, Shards, classifier());
       EXPECT_TRUE(R.Correct)
-          << S.A.Name << " shards=" << Shards << ": " << R.Reason;
+          << S.A.Name << " shards=" << Shards
+          << " classifier=" << classifier() << ": " << R.Reason;
     }
   }
 }
 
 TEST_P(EngineConsistency, FirewallWithControllerBroadcast) {
-  Scenario S = firewallScenario(GetParam());
+  Scenario S = firewallScenario(seed());
   ASSERT_TRUE(S.C.ok()) << S.C.status().str();
-  auto R = runAndCheck(S, 4, /*Broadcast=*/true);
+  auto R = runAndCheck(S, 4, classifier(), /*Broadcast=*/true);
   EXPECT_TRUE(R.Correct) << R.Reason;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, EngineConsistency,
-                         ::testing::Values(1, 7, 13, 42));
+INSTANTIATE_TEST_SUITE_P(SeedsByPath, EngineConsistency,
+                         ::testing::Combine(::testing::Values(1, 7, 13, 42),
+                                            ::testing::Bool()));
 
 TEST(EngineConsistency, StaticRoutingQuiescent) {
   // A zero-event NES: every packet trace must be a trace of g(∅); also

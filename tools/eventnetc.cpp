@@ -10,7 +10,8 @@
 //             [--stats] [--json]
 //   eventnetc run <program.snk> --topo <topo.txt>
 //             [--backend machine|sim|engine] [--seed S] [--shards N]
-//             [--phases N] [--per-phase N] [--no-check] [--json]
+//             [--phases N] [--per-phase N] [--classifier on|off]
+//             [--batch N] [--no-check] [--json]
 //   eventnetc check <program.snk> --topo <topo.txt>
 //             (run's options; reports only the Definition 6 verdict and
 //              exits 8 on violation)
@@ -44,6 +45,7 @@ int usage() {
           "  run       compile, execute a seeded ping workload, report\n"
           "            [--backend machine|sim|engine] [--seed S]\n"
           "            [--shards N] [--phases N] [--per-phase N]\n"
+          "            [--classifier on|off] [--batch N]\n"
           "            [--no-check] [--json]\n"
           "  check     like run, but print only the Definition 6 verdict\n"
           "  backends  list registered backends\n");
@@ -116,8 +118,15 @@ api::Status parseArgs(int argc, char **argv, const std::string &Cmd,
       if (!V)
         return Bad("--backend needs a name argument");
       A.Backend = V;
+    } else if (Arg == "--classifier") {
+      if (IsCompile)
+        return WrongCommand();
+      const char *V = TakeValue();
+      if (!V || (strcmp(V, "on") != 0 && strcmp(V, "off") != 0))
+        return Bad("--classifier needs 'on' or 'off'");
+      A.Run.classifier(strcmp(V, "on") == 0);
     } else if (Arg == "--seed" || Arg == "--shards" || Arg == "--phases" ||
-               Arg == "--per-phase") {
+               Arg == "--per-phase" || Arg == "--batch") {
       if (IsCompile)
         return WrongCommand();
       const char *V = TakeValue();
@@ -136,6 +145,8 @@ api::Status parseArgs(int argc, char **argv, const std::string &Cmd,
           A.Run.shards(static_cast<unsigned>(N));
         else if (Arg == "--phases")
           A.Run.phases(static_cast<unsigned>(N));
+        else if (Arg == "--batch")
+          A.Run.batch(static_cast<unsigned>(N));
         else
           A.Run.pingsPerPhase(static_cast<unsigned>(N));
       }
