@@ -77,8 +77,15 @@ inline void banner(const char *Artifact, const char *What) {
 
 /// Emits a benchmark's result table as a named JSON object (the shared
 /// machine-readable shape: {"bench": <name>, "rows": [...]}).
-inline void printResultJson(const char *Bench, const TextTable &T) {
-  std::cout << "{\"bench\": \"" << Bench << "\", \"rows\": ";
+/// \p ExtraFields, when non-empty, is spliced in as additional top-level
+/// members (e.g. "\"hw_threads\": 4") so benches can record the
+/// environment their numbers depend on.
+inline void printResultJson(const char *Bench, const TextTable &T,
+                            const std::string &ExtraFields = "") {
+  std::cout << "{\"bench\": \"" << Bench << "\", ";
+  if (!ExtraFields.empty())
+    std::cout << ExtraFields << ", ";
+  std::cout << "\"rows\": ";
   T.printJson(std::cout);
   std::cout << "}\n";
 }

@@ -15,15 +15,23 @@
 // before/after (the pre-PR engine is slower than the fdd-walk rows; see
 // the README table's note). Each measurement is preceded by a warmup run
 // of the same shape (page faults, malloc pools, interned symbols; the
-// measured engine still grows its own freelists on the clock, visible
-// as freelist_growth), timed with steady_clock. A final checked run per
-// path replays a recorded concurrent trace through the Definition 6
-// oracle to show the fast path is still the correct protocol. The
-// single-threaded sim::Simulation Nes mode provides the historical
-// baseline row.
+// egress freelists are pre-sized from the batch size, so steady-state
+// freelist_growth must read 0), timed with steady_clock. A final checked
+// run per path replays a recorded concurrent trace through the
+// Definition 6 oracle to show the fast path is still the correct
+// protocol. The single-threaded sim::Simulation Nes mode provides the
+// historical baseline row.
+//
+// The shard sweep doubles as the parallel-scaling measurement: every
+// row records scaling_efficiency = hops/s at N shards divided by
+// (hops/s at 1 shard × N) for its topology × path, plus the weighted
+// inter-shard edge cut the chosen partition achieved, and the JSON
+// carries hw_threads so gates can tell real scaling failures from
+// plain lack of cores.
 //
 // Flags: --json (suppress the human table; emit only the JSON object),
-//        --smoke (tiny iteration counts for CI), --seed N.
+//        --smoke (tiny iteration counts for CI), --seed N,
+//        --partition modulo|contiguous|refined (default refined).
 //
 //===----------------------------------------------------------------------===//
 
@@ -38,6 +46,7 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 
 using namespace eventnet;
 using namespace eventnet::bench;
@@ -50,6 +59,7 @@ struct BenchOpts {
   unsigned PerPhase = 5000;
   unsigned Warmup = 1;
   bool JsonOnly = false;
+  engine::PartitionStrategy Partition = engine::PartitionStrategy::Refined;
 };
 
 struct SimBaseline {
@@ -88,6 +98,7 @@ engine::Stats engineRun(const nes::Nes &N, const topo::Topology &Topo,
   // rows: the full fast path. (See the file header for what this pair
   // does and does not isolate.)
   Cfg.BatchSize = Classifier ? 32 : 1;
+  Cfg.Partition = O.Partition;
   Cfg.RecordTrace = false; // pure throughput
   Cfg.RecordDeliveries = false;
   Cfg.EchoReplies = false;
@@ -104,6 +115,7 @@ bool checkedRun(const nes::Nes &N, const topo::Topology &Topo,
   engine::EngineConfig Cfg;
   Cfg.NumShards = Shards;
   Cfg.UseClassifier = Classifier;
+  Cfg.Partition = O.Partition;
   engine::Engine E(N, Topo, Cfg);
   engine::TrafficGen G(Topo, O.Seed);
   E.run(G.bulk(From, To, 200, 50));
@@ -117,6 +129,8 @@ void benchTopology(const char *Name, const nes::Nes &N,
   // hops/sec of the fdd-walk path per shard count, for the speedup
   // column of the classifier rows.
   std::map<unsigned, double> WalkHops;
+  // hops/sec at 1 shard per path, the scaling_efficiency denominator.
+  std::map<bool, double> OneShardHops;
 
   for (unsigned Shards : {1u, 2u, 4u, 8u}) {
     for (bool Classifier : {false, true}) {
@@ -133,12 +147,20 @@ void benchTopology(const char *Name, const nes::Nes &N,
       const char *Path = Classifier ? "classifier" : "fdd-walk";
       if (!Classifier)
         WalkHops[Shards] = S.PacketsPerSec;
+      if (Shards == 1)
+        OneShardHops[Classifier] = S.PacketsPerSec;
       double VsWalk = !Classifier || WalkHops[Shards] <= 0
                           ? 1.0
                           : S.PacketsPerSec / WalkHops[Shards];
       double VsSim = Sim.DeliveredPerSec > 0
                          ? S.DeliveredPerSec / Sim.DeliveredPerSec
                          : 0;
+      // Parallel efficiency: 1.0 means N shards run N times as fast as
+      // one; beyond min(N, cores) it necessarily decays.
+      double Efficiency = OneShardHops[Classifier] > 0
+                              ? S.PacketsPerSec /
+                                    (OneShardHops[Classifier] * Shards)
+                              : 0;
       uint64_t Hwm = 0, FreeGrow = 0;
       for (const engine::ShardStats &SS : S.Shards) {
         if (SS.QueueHighWater > Hwm)
@@ -146,13 +168,17 @@ void benchTopology(const char *Name, const nes::Nes &N,
         FreeGrow += SS.FreelistGrowth;
       }
       T.addRow({Name, std::to_string(Shards), Path,
+                S.Partition.Strategy,
                 std::to_string(S.PacketsDelivered),
                 formatDouble(S.ElapsedSec * 1e3, 1),
                 formatDouble(S.PacketsPerSec / 1e6, 3),
                 formatDouble(S.DeliveredPerSec / 1e6, 3),
-                formatDouble(VsWalk, 2),
-                formatDouble(VsSim, 1), std::to_string(Hwm),
-                std::to_string(FreeGrow), Ok ? "ok" : "VIOLATION"});
+                formatDouble(VsWalk, 2), formatDouble(VsSim, 1),
+                formatDouble(Efficiency, 3),
+                std::to_string(S.Partition.CutWeight),
+                std::to_string(S.Partition.TotalWeight),
+                std::to_string(Hwm), std::to_string(FreeGrow),
+                Ok ? "ok" : "VIOLATION"});
     }
   }
 }
@@ -169,9 +195,17 @@ int main(int argc, char **argv) {
       O.PerPhase = 200;
     } else if (!strcmp(argv[I], "--seed") && I + 1 != argc) {
       O.Seed = strtoull(argv[++I], nullptr, 10);
+    } else if (!strcmp(argv[I], "--partition") && I + 1 != argc) {
+      auto S = engine::parsePartitionStrategy(argv[++I]);
+      if (!S) {
+        fprintf(stderr, "unknown partition strategy '%s'\n", argv[I]);
+        return 2;
+      }
+      O.Partition = *S;
     } else {
-      fprintf(stderr,
-              "usage: engine_throughput [--json] [--smoke] [--seed N]\n");
+      fprintf(stderr, "usage: engine_throughput [--json] [--smoke] "
+                      "[--seed N] [--partition modulo|contiguous|"
+                      "refined]\n");
       return 2;
     }
   }
@@ -180,9 +214,10 @@ int main(int argc, char **argv) {
     banner("engine_throughput",
            "classifier program vs FDD walk, per shard count");
 
-  TextTable T({"topology", "shards", "path", "delivered", "elapsed_ms",
-               "hops_per_sec_M", "delivered_per_sec_M", "speedup_vs_walk",
-               "speedup_vs_sim", "queue_hwm", "freelist_growth",
+  TextTable T({"topology", "shards", "path", "partition", "delivered",
+               "elapsed_ms", "hops_per_sec_M", "delivered_per_sec_M",
+               "speedup_vs_walk", "speedup_vs_sim", "scaling_efficiency",
+               "edge_cut", "edge_total", "queue_hwm", "freelist_growth",
                "definition6"});
 
   {
@@ -198,6 +233,10 @@ int main(int argc, char **argv) {
 
   if (!O.JsonOnly)
     T.print(std::cout);
-  printResultJson("engine_throughput", T);
+  // hw_threads lets scaling gates distinguish "the partition regressed"
+  // from "this machine has no cores to scale onto".
+  printResultJson("engine_throughput", T,
+                  "\"hw_threads\": " +
+                      std::to_string(std::thread::hardware_concurrency()));
   return 0;
 }

@@ -36,10 +36,10 @@ def main() -> None:
         fail(f"not valid JSON: {e}")
 
     required = [
-        "backend", "seed", "shards", "classifier", "batch", "injected",
-        "delivered", "dropped", "switch_hops", "events_detected",
-        "config_transitions", "elapsed_sec", "trace_entries",
-        "shard_detail", "consistency",
+        "backend", "seed", "shards", "classifier", "batch", "partition",
+        "edge_cut", "edge_total", "injected", "delivered", "dropped",
+        "switch_hops", "events_detected", "config_transitions",
+        "elapsed_sec", "trace_entries", "shard_detail", "consistency",
     ]
     for key in required:
         if key not in r:
@@ -56,10 +56,21 @@ def main() -> None:
             f"entries for {r['shards']} shards"
         )
     for d in r["shard_detail"]:
-        for key in ("shard", "processed", "queue_high_water", "dropped",
-                    "transitions"):
+        for key in ("shard", "switches", "processed", "queue_high_water",
+                    "dropped", "transitions"):
             if key not in d:
                 fail(f"shard_detail entry missing '{key}': {d}")
+    if r["backend"] == "engine":
+        if r["partition"] not in ("modulo", "contiguous", "refined"):
+            fail(f"engine report has unknown partition {r['partition']!r}")
+        placed = sum(d["switches"] for d in r["shard_detail"])
+        if placed <= 0:
+            fail("engine shard_detail places no switches on any shard")
+        if r["edge_cut"] > r["edge_total"]:
+            fail(
+                f"edge_cut ({r['edge_cut']}) exceeds edge_total "
+                f"({r['edge_total']})"
+            )
     for key in ("injected", "delivered", "switch_hops", "trace_entries"):
         if not isinstance(r[key], int) or r[key] <= 0:
             fail(f"'{key}' should be a positive integer, got {r[key]!r}")

@@ -4,21 +4,30 @@ baseline file, so future PRs optimize against numbers instead of vibes.
 
     run_benches.py [--bin-dir build] [--out BENCH_baseline.json]
     run_benches.py --compare [BASELINE] [--threshold 0.15]
-    run_benches.py --smoke [--bin-dir build] [--out FILE]
+    run_benches.py --smoke [--bin-dir build] [--out FILE] [--scaling-gate]
 
 Modes
 -----
-default   run `bench/engine_throughput --json --seed 1` and
-          `bench/micro_compiler --benchmark_format=json`, validate both
-          schemas, and write the merged baseline JSON to --out.
+default   run `bench/engine_throughput --json --seed 1 --partition
+          refined` and `bench/micro_compiler --benchmark_format=json`,
+          validate both schemas, and write the merged baseline JSON to
+          --out.
 --compare re-run the benches and fail (exit 1) if any engine-throughput
-          row lost more than --threshold (default 15%) hops/sec against
-          the committed baseline, or any micro benchmark's cpu_time grew
-          by more than the threshold.
+          row lost more than --threshold (default 15%) hops/sec OR
+          scaling efficiency against the committed baseline, or any
+          micro benchmark's cpu_time grew by more than the threshold.
 --smoke   tiny iteration counts (CI): engine_throughput --smoke, a small
           micro_compiler subset, schema validation only — plus an
           `eventnetc run --json` smoke on every registered backend,
           each validated through scripts/check_report.py.
+
+--scaling-gate (any mode) additionally fails if a multi-shard
+          configuration is slower than the 1-shard row of the same
+          topology × path beyond --scaling-tolerance (default 10%).
+          Only shard counts the machine can actually run in parallel
+          (shards <= hw_threads) are enforced; the rest, and 1-thread
+          machines, produce warnings — a scaling gate on a machine with
+          no cores to scale onto would only measure scheduler noise.
 """
 
 import argparse
@@ -28,9 +37,10 @@ import subprocess
 import sys
 
 ENGINE_ROW_KEYS = [
-    "topology", "shards", "path", "delivered", "elapsed_ms",
+    "topology", "shards", "path", "partition", "delivered", "elapsed_ms",
     "hops_per_sec_M", "delivered_per_sec_M", "speedup_vs_walk",
-    "speedup_vs_sim", "queue_hwm", "freelist_growth", "definition6",
+    "speedup_vs_sim", "scaling_efficiency", "edge_cut", "edge_total",
+    "queue_hwm", "freelist_growth", "definition6",
 ]
 
 SMOKE_MICRO_FILTER = "BM_ParseBandwidthCap/5|BM_TableExtraction|BM_NesEnabledEvents"
@@ -52,9 +62,10 @@ def run(cmd, **kw):
         fail(f"{cmd[0]} exited {e.returncode}:\n{e.stderr[-2000:]}")
 
 
-def engine_throughput(bin_dir: str, smoke: bool) -> dict:
+def engine_throughput_once(bin_dir: str, smoke: bool,
+                           partition: str) -> dict:
     cmd = [os.path.join(bin_dir, "bench", "engine_throughput"), "--json",
-           "--seed", "1"]
+           "--seed", "1", "--partition", partition]
     if smoke:
         cmd.append("--smoke")
     out = run(cmd).stdout
@@ -64,6 +75,8 @@ def engine_throughput(bin_dir: str, smoke: bool) -> dict:
         fail(f"engine_throughput --json is not valid JSON: {e}")
     if d.get("bench") != "engine_throughput" or "rows" not in d:
         fail("engine_throughput JSON missing bench/rows")
+    if "hw_threads" not in d:
+        fail("engine_throughput JSON missing hw_threads")
     if not d["rows"]:
         fail("engine_throughput produced no rows")
     for row in d["rows"]:
@@ -72,7 +85,44 @@ def engine_throughput(bin_dir: str, smoke: bool) -> dict:
                 fail(f"engine_throughput row missing key '{key}': {row}")
         if row["definition6"] != "ok":
             fail(f"engine_throughput row violates Definition 6: {row}")
+        if row["path"] == "classifier" and row["freelist_growth"] != 0:
+            fail("steady-state freelist growth on the classifier path "
+                 f"(expected 0): {row}")
     return d
+
+
+def engine_throughput(bin_dir: str, smoke: bool, partition: str = "refined",
+                      repeat: int = 1) -> dict:
+    """Runs the bench `repeat` times and keeps, per row key, the run
+    whose hops/sec is the median — each kept row stays an actually
+    observed, internally consistent measurement, but a single noisy
+    scheduler burst no longer decides the committed baseline."""
+    runs = [engine_throughput_once(bin_dir, smoke, partition)
+            for _ in range(max(1, repeat))]
+    if len(runs) == 1:
+        return runs[0]
+    by_key = {}
+    for d in runs:
+        for row in d["rows"]:
+            by_key.setdefault(engine_key(row), []).append(row)
+    merged = runs[0]
+    merged["repeat"] = len(runs)
+    merged["rows"] = [
+        sorted(rows, key=lambda r: r["hops_per_sec_M"])[len(rows) // 2]
+        for rows in by_key.values()
+    ]
+    # Each kept row's scaling_efficiency was computed against its own
+    # run's 1-shard rate; recompute it against the *merged* 1-shard row
+    # so the committed columns are mutually consistent (the gates judge
+    # efficiency and hops from the same numbers).
+    one = {(r["topology"], r["path"]): r["hops_per_sec_M"]
+           for r in merged["rows"] if r["shards"] == 1}
+    for r in merged["rows"]:
+        base = one.get((r["topology"], r["path"]), 0)
+        r["scaling_efficiency"] = (
+            round(r["hops_per_sec_M"] / (base * r["shards"]), 3)
+            if base > 0 else 0.0)
+    return merged
 
 
 def micro_compiler(bin_dir: str, smoke: bool) -> dict:
@@ -117,20 +167,68 @@ def backend_smoke(bin_dir: str) -> None:
               file=sys.stderr)
 
 
-def collect(bin_dir: str, smoke: bool) -> dict:
+def collect(bin_dir: str, smoke: bool, partition: str = "refined",
+            repeat: int = 1) -> dict:
     return {
         "schema": 1,
         "seed": 1,
         "smoke": smoke,
         "benches": {
-            "engine_throughput": engine_throughput(bin_dir, smoke),
+            "engine_throughput": engine_throughput(bin_dir, smoke,
+                                                   partition, repeat),
             "micro_compiler": micro_compiler(bin_dir, smoke),
         },
     }
 
 
 def engine_key(row: dict) -> tuple:
-    return (row["topology"], row["shards"], row["path"])
+    # Partition strategy is part of the row identity: comparing a modulo
+    # run against a refined baseline would report the inherent strategy
+    # gap as a code regression.
+    return (row["topology"], row["shards"], row["path"],
+            row.get("partition", ""))
+
+
+def scaling_gate(engine: dict, tolerance: float) -> int:
+    """Fails when a multi-shard row is slower than its 1-shard sibling.
+
+    Enforced only for shard counts the machine can genuinely run in
+    parallel (shards <= hw_threads); everything else is a warning, since
+    oversubscribed threads measure the scheduler, not the partition.
+    """
+    hw = engine.get("hw_threads", 0)
+    rows = engine["rows"]
+    one = {(r["topology"], r["path"]): r["hops_per_sec_M"]
+           for r in rows if r["shards"] == 1}
+    failures = []
+    enforced = 0
+    for r in rows:
+        if r["shards"] <= 1:
+            continue
+        base = one.get((r["topology"], r["path"]), 0)
+        if base <= 0:
+            continue
+        ratio = r["hops_per_sec_M"] / base
+        where = (f"{r['topology']} x {r['path']} @ {r['shards']} shards "
+                 f"({r['partition']}): {ratio:.2f}x the 1-shard rate")
+        if hw < 2 or r["shards"] > hw:
+            if ratio < 1 - tolerance:
+                print(f"run_benches: WARNING: {where} — not gated, only "
+                      f"{hw} hardware thread(s) for {r['shards']} shards",
+                      file=sys.stderr)
+            continue
+        enforced += 1
+        if ratio < 1 - tolerance:
+            failures.append(where)
+    if failures:
+        print("run_benches: SCALING REGRESSIONS (multi-shard slower than "
+              f"1 shard beyond {tolerance * 100:.0f}%):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"run_benches: scaling gate ok ({enforced} multi-shard "
+          f"configurations enforced, hw_threads={hw})")
+    return 0
 
 
 def compare(baseline: dict, fresh: dict, threshold: float) -> int:
@@ -157,6 +255,20 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> int:
                 f"engine_throughput {key}: "
                 f"{new_v:.3f} M hops/s vs baseline {old_v:.3f} "
                 f"(-{(1 - new_v / old_v) * 100:.1f}%)")
+        # Parallel scaling is a first-class number: losing efficiency at
+        # the same raw throughput (e.g. the 1-shard row got faster but
+        # multi-shard did not follow) is a regression too. Efficiency is
+        # a ratio of two independently-noisy throughputs, so its
+        # run-to-run variance is roughly double a single row's — gate it
+        # at twice the raw threshold.
+        eff_threshold = min(0.5, 2 * threshold)
+        old_e = old.get("scaling_efficiency", 0)
+        new_e = row.get("scaling_efficiency", 0)
+        if old_e > 0 and new_e < old_e * (1 - eff_threshold):
+            failures.append(
+                f"engine_throughput {key}: scaling efficiency "
+                f"{new_e:.3f} vs baseline {old_e:.3f} "
+                f"(-{(1 - new_e / old_e) * 100:.1f}%)")
 
     base_micro = {b["name"]: b
                   for b in baseline["benches"]["micro_compiler"]["benchmarks"]}
@@ -202,6 +314,13 @@ def main() -> int:
                     default=None, metavar="BASELINE")
     ap.add_argument("--threshold", type=float, default=0.15)
     ap.add_argument("--smoke", action="store_true")
+    ap.add_argument("--partition", default="refined",
+                    choices=["modulo", "contiguous", "refined"])
+    ap.add_argument("--scaling-gate", action="store_true")
+    ap.add_argument("--scaling-tolerance", type=float, default=0.10)
+    ap.add_argument("--repeat", type=int, default=1,
+                    help="engine_throughput runs to take row-wise "
+                         "medians over (noise robustness)")
     args = ap.parse_args()
 
     if args.compare is not None:
@@ -210,12 +329,22 @@ def main() -> int:
                 baseline = json.load(f)
         except OSError as e:
             fail(f"cannot read baseline {args.compare}: {e}")
-        fresh = collect(args.bin_dir, smoke=False)
-        return compare(baseline, fresh, args.threshold)
+        fresh = collect(args.bin_dir, smoke=False, partition=args.partition,
+                        repeat=args.repeat)
+        rc = compare(baseline, fresh, args.threshold)
+        if args.scaling_gate:
+            rc |= scaling_gate(fresh["benches"]["engine_throughput"],
+                               args.scaling_tolerance)
+        return rc
 
-    merged = collect(args.bin_dir, args.smoke)
+    merged = collect(args.bin_dir, args.smoke, partition=args.partition,
+                     repeat=args.repeat)
     if args.smoke:
         backend_smoke(args.bin_dir)
+    rc = 0
+    if args.scaling_gate:
+        rc = scaling_gate(merged["benches"]["engine_throughput"],
+                          args.scaling_tolerance)
     with open(args.out, "w") as f:
         json.dump(merged, f, indent=1)
         f.write("\n")
@@ -224,7 +353,7 @@ def main() -> int:
           f"rows, "
           f"{len(merged['benches']['micro_compiler']['benchmarks'])} micro "
           f"benchmarks)")
-    return 0
+    return rc
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@
 #include "api/Run.h"
 
 #include "engine/Engine.h"
+#include "engine/Partition.h"
 
 using namespace eventnet;
 using namespace eventnet::api;
@@ -26,11 +27,17 @@ public:
       return Status::error(Code::InvalidArgument,
                            "shards must be in [1, 1024], got " +
                                std::to_string(O.Shards));
+    auto Strategy = engine::parsePartitionStrategy(O.Partition);
+    if (!Strategy)
+      return Status::error(Code::InvalidArgument,
+                           "unknown partition strategy '" + O.Partition +
+                               "' (known: modulo, contiguous, refined)");
 
     engine::EngineConfig Cfg;
     Cfg.NumShards = O.Shards;
     Cfg.UseClassifier = O.Classifier;
     Cfg.BatchSize = O.Batch;
+    Cfg.Partition = *Strategy;
     engine::Engine E(C.structure(), C.topology(), Cfg);
     E.run(W);
 
@@ -39,10 +46,13 @@ public:
     R.Shards = O.Shards;
     R.Classifier = S.ClassifierPath;
     R.Batch = S.BatchSize;
+    R.Partition = S.Partition.Strategy;
+    R.EdgeCut = S.Partition.CutWeight;
+    R.EdgeTotal = S.Partition.TotalWeight;
     for (const engine::ShardStats &SS : S.Shards)
       R.ShardDetail.push_back(
           {SS.PacketsProcessed, SS.QueueHighWater, SS.Dropped,
-           SS.Transitions});
+           SS.Transitions, SS.Switches});
     R.PacketsInjected = S.PacketsInjected;
     R.PacketsDelivered = S.PacketsDelivered;
     R.PacketsDropped = S.PacketsDropped;

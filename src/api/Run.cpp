@@ -142,9 +142,13 @@ std::string RunReport::str() const {
   OS << Backend << " run: seed " << Seed;
   if (Shards > 1)
     OS << ", " << Shards << " shards";
-  if (Backend == "engine")
+  if (Backend == "engine") {
     OS << ", " << (Classifier ? "classifier" : "fdd-walk") << " path, batch "
        << Batch;
+    if (!Partition.empty())
+      OS << ", " << Partition << " partition (edge cut " << EdgeCut << "/"
+         << EdgeTotal << ")";
+  }
   OS << "\n";
   OS << "  injected:     " << PacketsInjected << " packets\n";
   OS << "  delivered:    " << PacketsDelivered << "\n";
@@ -159,9 +163,9 @@ std::string RunReport::str() const {
   }
   for (size_t I = 0; I != ShardDetail.size(); ++I) {
     const ShardReport &D = ShardDetail[I];
-    OS << "  shard " << I << ":      " << D.Processed << " hops, queue hwm "
-       << D.QueueHighWater << ", " << D.Dropped << " dropped, "
-       << D.Transitions << " transitions\n";
+    OS << "  shard " << I << ":      " << D.Switches << " switches, "
+       << D.Processed << " hops, queue hwm " << D.QueueHighWater << ", "
+       << D.Dropped << " dropped, " << D.Transitions << " transitions\n";
   }
   if (Checked) {
     OS << "  definition 6: "
@@ -178,6 +182,9 @@ std::string RunReport::json() const {
      << ", \"seed\": " << Seed << ", \"shards\": " << Shards
      << ", \"classifier\": " << (Classifier ? "true" : "false")
      << ", \"batch\": " << Batch
+     << ", \"partition\": \"" << jsonEscape(Partition) << "\""
+     << ", \"edge_cut\": " << EdgeCut
+     << ", \"edge_total\": " << EdgeTotal
      << ", \"injected\": " << PacketsInjected
      << ", \"delivered\": " << PacketsDelivered
      << ", \"dropped\": " << PacketsDropped
@@ -189,6 +196,7 @@ std::string RunReport::json() const {
   for (size_t I = 0; I != ShardDetail.size(); ++I) {
     const ShardReport &D = ShardDetail[I];
     OS << (I ? ", " : "") << "{\"shard\": " << I
+       << ", \"switches\": " << D.Switches
        << ", \"processed\": " << D.Processed
        << ", \"queue_high_water\": " << D.QueueHighWater
        << ", \"dropped\": " << D.Dropped

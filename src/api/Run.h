@@ -80,6 +80,10 @@ public:
     Batch = V;
     return *this;
   }
+  RunOptions &partition(std::string V) {
+    Partition = std::move(V);
+    return *this;
+  }
 
   /// One seed for every backend's randomness: the workload generator,
   /// the machine driver's step choices, and the simulator's SimParams.
@@ -99,16 +103,21 @@ public:
   bool Classifier = true;
   /// Engine backend: hot-loop dequeue/enqueue batch size.
   unsigned Batch = 32;
+  /// Engine backend: shard-placement strategy — "modulo", "contiguous",
+  /// or "refined" (engine/Partition.h).
+  std::string Partition = "refined";
 };
 
 /// Per-shard engine counters surfaced in the report (empty on the
-/// sequential backends). QueueHighWater and Dropped let bench runs
-/// diagnose backpressure without re-running under a profiler.
+/// sequential backends). QueueHighWater, Dropped, and Switches let
+/// bench runs attribute backpressure and imbalance without re-running
+/// under a profiler.
 struct ShardReport {
   uint64_t Processed = 0;
   uint64_t QueueHighWater = 0;
   uint64_t Dropped = 0;
   uint64_t Transitions = 0;
+  uint32_t Switches = 0; ///< switches the partition placed on this shard
 };
 
 /// The uniform result of a run on any backend.
@@ -118,6 +127,9 @@ struct RunReport {
   unsigned Shards = 1; ///< 1 on the sequential backends
   bool Classifier = false; ///< engine: classifier fast path in use
   unsigned Batch = 1;      ///< engine: hot-loop batch size
+  std::string Partition;   ///< engine: shard-placement strategy (else "")
+  uint64_t EdgeCut = 0;    ///< engine: weighted inter-shard edge cut
+  uint64_t EdgeTotal = 0;  ///< engine: total switch-graph edge weight
 
   uint64_t PacketsInjected = 0;  ///< host emissions (incl. echo replies)
   uint64_t PacketsDelivered = 0; ///< packets handed to a host

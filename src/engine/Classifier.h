@@ -102,6 +102,15 @@ public:
   /// Forgets the contents but keeps every slot's capacity.
   void reset() { Used = 0; }
 
+  /// Pre-sizes the pool to \p N slots up front (construction-time, not
+  /// counted as growth): a pool sized to its steady-state working set —
+  /// e.g. a full dequeue batch of egress messages — never grows on the
+  /// hot path, so grownCount() stays 0 for the whole run.
+  void reserve(size_t N) {
+    if (Slots.size() < N)
+      Slots.resize(N);
+  }
+
   size_t size() const { return Used; }
   T &operator[](size_t I) { return Slots[I]; }
   const T &operator[](size_t I) const { return Slots[I]; }

@@ -54,6 +54,13 @@ public:
   /// for a dangling port (packet discarded).
   const Egress *egressAt(uint32_t D, PortId Pt) const;
 
+  /// The whole egress table of dense switch \p D: (port, disposition)
+  /// sorted by port. The shard partitioner walks these to build the
+  /// switch adjacency graph (link multiplicities, host attachments).
+  const std::vector<std::pair<PortId, Egress>> &portsOf(uint32_t D) const {
+    return Ports[D];
+  }
+
 private:
   std::vector<SwitchId> Ids;
   std::unordered_map<SwitchId, uint32_t> Dense;

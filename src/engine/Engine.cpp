@@ -14,7 +14,10 @@ using eventnet::netkat::Packet;
 
 Engine::Engine(const nes::Nes &N, const topo::Topology &Topo,
                EngineConfig Cfg)
-    : N(N), Topo(Topo), C(Cfg), Idx(Topo), Compiled(N, Idx), Epochs(8) {
+    : N(N), Topo(Topo), C(Cfg), Idx(Topo),
+      Part(partitionSwitches(Idx, std::max(1u, Cfg.NumShards), Cfg.Partition,
+                             Cfg.ImbalanceBound)),
+      Compiled(N, Idx), Epochs(8) {
   if (C.NumShards == 0)
     C.NumShards = 1;
   if (C.BatchSize == 0)
@@ -24,7 +27,7 @@ Engine::Engine(const nes::Nes &N, const topo::Topology &Topo,
   for (uint32_t D = 0; D != Idx.numSwitches(); ++D) {
     SwitchSlot &Sl = Slots[D];
     Sl.Id = Idx.idOf(D);
-    Sl.Shard = D % C.NumShards;
+    Sl.Shard = Part.ShardOf[D];
     Sl.Tag = N.emptySet();
     Sl.E = DenseBitSet();
     Sl.Published.store(new SwitchView{Sl.Tag, Sl.E, 0});
@@ -36,6 +39,14 @@ Engine::Engine(const nes::Nes &N, const topo::Topology &Topo,
     S->Q = std::make_unique<BoundedMpscQueue<Msg>>(C.QueueCapacity);
     S->Batch.resize(C.BatchSize);
     S->OutBufs.resize(C.NumShards);
+    // Pre-size the recycled pools to their steady-state working set (a
+    // full dequeue batch can fill any one egress buffer, and the
+    // classifier emits at most a batch of outputs per packet chain), so
+    // the hot loop's freelists never grow after construction.
+    for (MsgBuf &B : S->OutBufs)
+      B.reserve(C.BatchSize);
+    S->SelfProc.reserve(C.BatchSize);
+    S->ClsOut.reserve(C.BatchSize);
     Shards.push_back(std::move(S));
   }
   CtrlQ = std::make_unique<BoundedMpscQueue<uint32_t>>(4096);
@@ -335,10 +346,30 @@ void Engine::prefetchMsg(const Msg &M) const {
   Compiled.pipe(M.P.Tag, M.P.Dense).classifier().prefetchRoot();
 }
 
+void Engine::pushBatchToShard(uint32_t Target, const Msg *Msgs, size_t N) {
+  // One tryPushBatch per retry (a single tail CAS covers the whole
+  // claimed prefix); leftovers of a full ring go to the overflow deque —
+  // producers never block. The caller has already added the messages to
+  // Pending.
+  Shard &Dst = *Shards[Target];
+  size_t Done = 0;
+  while (Done != N) {
+    size_t Pushed = Dst.Q->tryPushBatch(Msgs + Done, N - Done);
+    if (Pushed == 0)
+      break;
+    Done += Pushed;
+  }
+  if (Done != N) {
+    std::lock_guard<std::mutex> Lock(Dst.OverflowMu);
+    for (; Done != N; ++Done)
+      Dst.Overflow.push_back(Msgs[Done]);
+    // Spill = full ring; count the overflow into the high-water mark.
+    Dst.QueueHighWater.raiseTo(Dst.Q->capacity() + Dst.Overflow.size());
+  }
+}
+
 void Engine::flushOut(Shard &S) {
-  // Publish the batch's buffered egress, one tryPushBatch per target
-  // ring (a single tail CAS covers the whole prefix). Leftovers of a
-  // full ring go to the overflow deque — producers never block.
+  // Publish the batch's buffered egress, one batch push per target ring.
   //
   // One Pending increment covers every buffered message, and it happens
   // before any of them becomes visible — consumers can only drive
@@ -354,22 +385,7 @@ void Engine::flushOut(Shard &S) {
     MsgBuf &B = S.OutBufs[T];
     if (B.size() == 0)
       continue;
-    Shard &Dst = *Shards[T];
-    size_t Done = 0;
-    while (Done != B.size()) {
-      size_t Pushed =
-          Dst.Q->tryPushBatch(B.data() + Done, B.size() - Done);
-      if (Pushed == 0)
-        break;
-      Done += Pushed;
-    }
-    if (Done != B.size()) {
-      std::lock_guard<std::mutex> Lock(Dst.OverflowMu);
-      for (; Done != B.size(); ++Done)
-        Dst.Overflow.push_back(B[Done]);
-      // Spill = full ring; count the overflow into the high-water mark.
-      Dst.QueueHighWater.raiseTo(Dst.Q->capacity() + Dst.Overflow.size());
-    }
+    pushBatchToShard(T, B.data(), B.size());
     B.reset();
   }
 }
@@ -429,10 +445,12 @@ void Engine::workerLoop(unsigned ShardIdx) {
   Shard &S = *Shards[ShardIdx];
   uint64_t Spins = 0;
   uint64_t SinceReclaim = 0;
+  unsigned SleepUs = 1;
   while (true) {
     size_t N = drainBatch(S);
     if (N != 0) {
       Spins = 0;
+      SleepUs = 1;
       SinceReclaim += N;
       if (SinceReclaim >= 1024) {
         SinceReclaim = 0;
@@ -442,17 +460,32 @@ void Engine::workerLoop(unsigned ShardIdx) {
     }
     if (StopFlag.load())
       break;
-    if (++Spins > 64)
+    // Adaptive idle backoff: spin (cheap, catches back-to-back bursts),
+    // then yield (lets co-scheduled shards run), then sleep in doubling
+    // steps up to the configured cap — an underloaded shard under a good
+    // partition spends its life here instead of hammering the queue's
+    // cache lines. Any drained work resets to the spin stage.
+    ++Spins;
+    if (Spins <= 64)
+      continue;
+    if (Spins <= 256 || C.IdleSleepUs == 0) {
       std::this_thread::yield();
+      continue;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(SleepUs));
+    S.IdleSleeps.add();
+    SleepUs = std::min(SleepUs * 2, C.IdleSleepUs);
   }
 }
 
 void Engine::controllerLoop() {
   uint64_t Spins = 0;
+  unsigned SleepUs = 1;
   while (true) {
     uint32_t E;
     if (CtrlQ->tryPop(E)) {
       Spins = 0;
+      SleepUs = 1;
       // CTRLRECV: fold the event into R once.
       if (!Occurred.test(E)) {
         Occurred.set(E);
@@ -470,8 +503,17 @@ void Engine::controllerLoop() {
     }
     if (StopFlag.load())
       break;
-    if (++Spins > 64)
+    // Same idle backoff as the workers: events are rare, so the
+    // controller is the most persistently idle thread of all.
+    ++Spins;
+    if (Spins <= 64)
+      continue;
+    if (Spins <= 256 || C.IdleSleepUs == 0) {
       std::this_thread::yield();
+      continue;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(SleepUs));
+    SleepUs = std::min(SleepUs * 2, C.IdleSleepUs);
   }
 }
 
@@ -488,14 +530,28 @@ void Engine::run(const Workload &W) {
   for (unsigned I = 0; I != C.NumShards; ++I)
     Shards[I]->Thread = std::thread([this, I] { workerLoop(I); });
 
+  // Injections are grouped by the shard owning each host's ingress
+  // switch and handed over with one batch push (and one Pending add) per
+  // shard per phase — the injector never round-robins single messages
+  // through the rings. The group buffers keep their capacity across
+  // phases.
+  std::vector<std::vector<Msg>> InjBufs(C.NumShards);
   for (const Phase &Ph : W.Phases) {
+    for (auto &B : InjBufs)
+      B.clear();
     for (const Injection &In : Ph.Injections) {
       Location At = Topo.hostLoc(In.From);
       Msg M;
       M.K = Msg::Inject;
       M.From = In.From;
       M.Header = In.Header;
-      sendToShard(Slots[Idx.denseOf(At.Sw)].Shard, std::move(M));
+      InjBufs[Slots[Idx.denseOf(At.Sw)].Shard].push_back(std::move(M));
+    }
+    for (uint32_t T = 0; T != C.NumShards; ++T) {
+      if (InjBufs[T].empty())
+        continue;
+      Pending.fetch_add(static_cast<int64_t>(InjBufs[T].size()));
+      pushBatchToShard(T, InjBufs[T].data(), InjBufs[T].size());
     }
     // Quiesce: every message (packets, replies, controller work) drains.
     while (Pending.load() != 0)
@@ -559,13 +615,10 @@ void Engine::mergeResults() {
   FinalStats.EventsDetected = Events.get();
   FinalStats.ClassifierPath = C.UseClassifier;
   FinalStats.BatchSize = C.BatchSize;
+  fillPartitionStats(FinalStats);
   for (auto &S : Shards) {
-    ShardStats SS;
-    SS.PacketsProcessed = S->Processed.get();
+    ShardStats SS = baseShardStats(*S);
     SS.QueueDepth = 0;
-    SS.QueueHighWater = S->QueueHighWater.get();
-    SS.Dropped = S->Dropped.get();
-    SS.Transitions = S->Transitions.get();
     SS.FreelistGrowth = freelistGrowth(*S);
     FinalStats.PacketsProcessed += SS.PacketsProcessed;
     FinalStats.ConfigTransitions += SS.Transitions;
@@ -606,17 +659,14 @@ Stats Engine::stats() const {
   S.EventsDetected = Events.get();
   S.ClassifierPath = C.UseClassifier;
   S.BatchSize = C.BatchSize;
+  fillPartitionStats(S);
   for (const auto &Sh : Shards) {
-    ShardStats SS;
-    SS.PacketsProcessed = Sh->Processed.get();
+    ShardStats SS = baseShardStats(*Sh);
     SS.QueueDepth = Sh->Q->sizeApprox();
     {
       std::lock_guard<std::mutex> Lock(Sh->OverflowMu);
       SS.QueueDepth += Sh->Overflow.size();
     }
-    SS.QueueHighWater = Sh->QueueHighWater.get();
-    SS.Dropped = Sh->Dropped.get();
-    SS.Transitions = Sh->Transitions.get();
     S.PacketsProcessed += SS.PacketsProcessed;
     S.ConfigTransitions += SS.Transitions;
     S.Shards.push_back(SS);
@@ -626,6 +676,25 @@ Stats Engine::stats() const {
     S.DeliveredPerSec = S.PacketsDelivered / S.ElapsedSec;
   }
   return S;
+}
+
+void Engine::fillPartitionStats(Stats &S) const {
+  S.Partition.Strategy = partitionStrategyName(Part.Strategy);
+  S.Partition.CutWeight = Part.CutWeight;
+  S.Partition.TotalWeight = Part.TotalWeight;
+  S.Partition.MaxShardLoad = Part.MaxShardLoad;
+  S.Partition.MinShardLoad = Part.MinShardLoad;
+}
+
+ShardStats Engine::baseShardStats(const Shard &Sh) const {
+  ShardStats SS;
+  SS.PacketsProcessed = Sh.Processed.get();
+  SS.QueueHighWater = Sh.QueueHighWater.get();
+  SS.Dropped = Sh.Dropped.get();
+  SS.Transitions = Sh.Transitions.get();
+  SS.Switches = Part.ShardSwitches[Sh.Index];
+  SS.IdleSleeps = Sh.IdleSleeps.get();
+  return SS;
 }
 
 Engine::ViewSnapshot Engine::readView(SwitchId Sw) const {

@@ -39,6 +39,7 @@
 
 #include "consistency/Trace.h"
 #include "engine/Compiled.h"
+#include "engine/Partition.h"
 #include "engine/Queue.h"
 #include "engine/Rcu.h"
 #include "engine/Stats.h"
@@ -61,8 +62,23 @@ namespace engine {
 
 /// Engine construction parameters.
 struct EngineConfig {
-  /// Worker threads; switches are assigned round-robin by dense index.
+  /// Worker threads; switches are placed on shards by Partition.
   unsigned NumShards = 1;
+  /// How switches map to shards (engine/Partition.h). The default grows
+  /// contiguous regions and refines their boundaries so most hops stay
+  /// on their owning worker; "modulo" is the historical round-robin
+  /// placement, kept as the comparison baseline.
+  PartitionStrategy Partition = PartitionStrategy::Refined;
+  /// Multiplicative load-balance bound the refinement pass must respect
+  /// (max shard vertex-weight / ideal; see Partition.h for the exact
+  /// ceiling).
+  double ImbalanceBound = 1.25;
+  /// Longest sleep (microseconds) of the adaptive idle backoff: a worker
+  /// that drains nothing spins briefly, then yields, then sleeps in
+  /// doubling steps up to this cap, so underloaded shards stop burning
+  /// the memory bus polling their queue. 0 disables sleeping (spin/yield
+  /// only, the historical behavior).
+  unsigned IdleSleepUs = 128;
   /// Per-shard queue capacity (rounded up to a power of two).
   size_t QueueCapacity = 1 << 15;
   /// Controller re-broadcasts its event set to every switch (CTRLSEND),
@@ -143,6 +159,10 @@ public:
   const nes::Nes &structure() const { return N; }
   const topo::Topology &topology() const { return Topo; }
 
+  /// The shard placement this engine runs under (chosen at
+  /// construction; immutable afterwards).
+  const PartitionResult &partition() const { return Part; }
+
 private:
   /// The immutable state a switch publishes at every transition.
   struct SwitchView {
@@ -219,6 +239,7 @@ private:
     RelaxedCounter Transitions;
     RelaxedCounter Dropped;
     RelaxedCounter QueueHighWater;
+    RelaxedCounter IdleSleeps;
   };
 
   /// Total growth events of a shard's recycled buffers (classifier
@@ -243,9 +264,16 @@ private:
                   const netkat::Packet &Out, const DenseBitSet &OutDigest);
   void applyRegister(Shard &S, SwitchSlot &Sl, const DenseBitSet &NewE);
   void sendToShard(uint32_t Target, Msg &&M);
+  /// Pushes \p N already-Pending-counted messages into \p Target's ring
+  /// (batch CAS), spilling leftovers to the overflow deque.
+  void pushBatchToShard(uint32_t Target, const Msg *Msgs, size_t N);
   int64_t logEntry(Shard &S, const netkat::Packet &Lp, int64_t Parent,
                    bool IsDelivery, nes::SetId Tag);
   void mergeResults();
+  /// The partition summary and per-shard counters shared by stats() and
+  /// mergeResults() (one source of truth for both report shapes).
+  void fillPartitionStats(Stats &S) const;
+  ShardStats baseShardStats(const Shard &Sh) const;
   static int64_t monotonicNs() {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
                std::chrono::steady_clock::now().time_since_epoch())
@@ -261,6 +289,7 @@ private:
   EngineConfig C;
 
   SwitchIndex Idx;
+  PartitionResult Part; ///< dense switch -> shard placement + quality
   CompiledNes Compiled;
   std::unique_ptr<SwitchSlot[]> Slots; ///< by dense switch index
   std::vector<std::unique_ptr<Shard>> Shards;

@@ -1,0 +1,310 @@
+//===- engine/Partition.cpp - Topology-aware shard placement --------------===//
+
+#include "engine/Partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+
+using namespace eventnet;
+using namespace eventnet::engine;
+
+const char *engine::partitionStrategyName(PartitionStrategy S) {
+  switch (S) {
+  case PartitionStrategy::Modulo:
+    return "modulo";
+  case PartitionStrategy::Contiguous:
+    return "contiguous";
+  case PartitionStrategy::Refined:
+    return "refined";
+  }
+  return "?";
+}
+
+std::optional<PartitionStrategy>
+engine::parsePartitionStrategy(const std::string &S) {
+  if (S == "modulo")
+    return PartitionStrategy::Modulo;
+  if (S == "contiguous")
+    return PartitionStrategy::Contiguous;
+  if (S == "refined")
+    return PartitionStrategy::Refined;
+  return std::nullopt;
+}
+
+namespace {
+
+/// The switch graph the placement works on: vertex weights are
+/// 1 + attached hosts, edge weights are link multiplicities (both
+/// directions of a bidirectional link counted — the weight is the number
+/// of unidirectional hops that stay intra-shard if the edge does).
+struct SwitchGraph {
+  uint32_t N = 0;
+  std::vector<uint64_t> VertexW;
+  /// Per vertex: (neighbor, weight), sorted by neighbor.
+  std::vector<std::vector<std::pair<uint32_t, uint64_t>>> Adj;
+  uint64_t TotalEdgeW = 0;
+  uint64_t MaxVertexW = 1;
+};
+
+SwitchGraph buildGraph(const SwitchIndex &Idx) {
+  SwitchGraph G;
+  G.N = Idx.numSwitches();
+  G.VertexW.assign(G.N, 1);
+  G.Adj.resize(G.N);
+
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> Edges;
+  for (uint32_t D = 0; D != G.N; ++D) {
+    for (const auto &[Pt, E] : Idx.portsOf(D)) {
+      (void)Pt;
+      if (E.IsHost) {
+        ++G.VertexW[D]; // traffic source/sink: the switch is heavier
+        continue;
+      }
+      if (E.DstDense == D)
+        continue; // self loops never cross a boundary
+      uint32_t A = std::min(D, E.DstDense), B = std::max(D, E.DstDense);
+      ++Edges[{A, B}];
+    }
+  }
+  for (const auto &[AB, W] : Edges) {
+    G.Adj[AB.first].push_back({AB.second, W});
+    G.Adj[AB.second].push_back({AB.first, W});
+    G.TotalEdgeW += W;
+  }
+  for (auto &A : G.Adj)
+    std::sort(A.begin(), A.end());
+  for (uint64_t W : G.VertexW)
+    G.MaxVertexW = std::max(G.MaxVertexW, W);
+  return G;
+}
+
+uint64_t balanceLimit(const SwitchGraph &G, unsigned NumShards,
+                      double Bound) {
+  uint64_t Total = 0;
+  for (uint64_t W : G.VertexW)
+    Total += W;
+  double Ideal = static_cast<double>(Total) / NumShards;
+  uint64_t Mult = static_cast<uint64_t>(std::ceil(Ideal * Bound));
+  // Vertices are atomic: a shard may always need to hold one more whole
+  // vertex than the fractional ideal.
+  uint64_t Add = static_cast<uint64_t>(std::ceil(Ideal)) + G.MaxVertexW;
+  return std::max(Mult, Add);
+}
+
+/// Farthest-point seed selection: the first seed is the heaviest vertex
+/// (ties to the smallest index), each further seed maximizes the BFS hop
+/// distance to all previous seeds — spreading regions across the
+/// topology before growth starts.
+std::vector<uint32_t> pickSeeds(const SwitchGraph &G, unsigned K) {
+  std::vector<uint32_t> Seeds;
+  uint32_t First = 0;
+  for (uint32_t V = 1; V != G.N; ++V)
+    if (G.VertexW[V] > G.VertexW[First])
+      First = V;
+  Seeds.push_back(First);
+
+  std::vector<uint32_t> Dist(G.N);
+  std::deque<uint32_t> Q;
+  while (Seeds.size() < K) {
+    const uint32_t Inf = G.N + 1;
+    Dist.assign(G.N, Inf);
+    Q.clear();
+    for (uint32_t S : Seeds) {
+      Dist[S] = 0;
+      Q.push_back(S);
+    }
+    while (!Q.empty()) {
+      uint32_t V = Q.front();
+      Q.pop_front();
+      for (const auto &[U, W] : G.Adj[V]) {
+        (void)W;
+        if (Dist[U] > Dist[V] + 1) {
+          Dist[U] = Dist[V] + 1;
+          Q.push_back(U);
+        }
+      }
+    }
+    uint32_t Best = ~0u;
+    for (uint32_t V = 0; V != G.N; ++V) {
+      if (Dist[V] == 0)
+        continue; // already a seed
+      if (Best == ~0u || Dist[V] > Dist[Best] ||
+          (Dist[V] == Dist[Best] && G.VertexW[V] > G.VertexW[Best]))
+        Best = V;
+    }
+    if (Best == ~0u)
+      break; // fewer distinct vertices than shards
+    Seeds.push_back(Best);
+  }
+  return Seeds;
+}
+
+/// Greedy balanced BFS growth from the seeds: every step grows the
+/// globally lightest region, claiming the unassigned vertex most
+/// strongly connected to it — or, when the region is landlocked (all
+/// its neighbors taken, e.g. a spoke region whose hub another region
+/// claimed), the smallest-index unassigned vertex, sacrificing
+/// contiguity rather than balance. Growing the minimum-load region
+/// every time bounds every load by ideal + max vertex weight, which is
+/// within BalanceLimit by construction.
+std::vector<uint32_t> growContiguous(const SwitchGraph &G,
+                                     unsigned NumShards) {
+  const uint32_t Unassigned = ~0u;
+  std::vector<uint32_t> ShardOf(G.N, Unassigned);
+  unsigned K = std::min<unsigned>(NumShards, G.N);
+  if (K == 0)
+    return ShardOf;
+
+  std::vector<uint32_t> Seeds = pickSeeds(G, K);
+  std::vector<uint64_t> Load(NumShards, 0);
+  for (uint32_t I = 0; I != Seeds.size(); ++I) {
+    ShardOf[Seeds[I]] = I;
+    Load[I] = G.VertexW[Seeds[I]];
+  }
+
+  uint32_t Assigned = static_cast<uint32_t>(Seeds.size());
+  // O(N^2) over a full growth; topologies are tens to a few hundred
+  // switches, and this runs once per engine construction.
+  while (Assigned != G.N) {
+    uint32_t Shard = 0;
+    for (uint32_t S = 1; S != Seeds.size(); ++S)
+      if (Load[S] < Load[Shard])
+        Shard = S;
+    // The unassigned vertex most strongly connected to that region
+    // (ties to the smallest index; zero connection only if landlocked).
+    uint32_t BestVertex = Unassigned;
+    uint64_t BestConn = 0;
+    for (uint32_t V = 0; V != G.N; ++V) {
+      if (ShardOf[V] != Unassigned)
+        continue;
+      uint64_t C = 0;
+      for (const auto &[U, W] : G.Adj[V])
+        if (ShardOf[U] == Shard)
+          C += W;
+      if (BestVertex == Unassigned || C > BestConn) {
+        BestConn = C;
+        BestVertex = V;
+      }
+    }
+    ShardOf[BestVertex] = Shard;
+    Load[Shard] += G.VertexW[BestVertex];
+    ++Assigned;
+  }
+  return ShardOf;
+}
+
+/// One greedy KL-style pass structure: repeatedly apply the single best
+/// cut-improving boundary move that keeps every shard within \p Limit
+/// and nonempty. Strictly-improving moves only, so termination is by
+/// cut monotonicity.
+void refineBoundary(const SwitchGraph &G, unsigned NumShards,
+                    std::vector<uint32_t> &ShardOf, uint64_t Limit) {
+  std::vector<uint64_t> Load(NumShards, 0);
+  std::vector<uint32_t> Count(NumShards, 0);
+  for (uint32_t V = 0; V != G.N; ++V) {
+    Load[ShardOf[V]] += G.VertexW[V];
+    ++Count[ShardOf[V]];
+  }
+
+  std::vector<uint64_t> Conn(NumShards);
+  for (;;) {
+    int64_t BestGain = 0;
+    uint32_t BestVertex = ~0u, BestTarget = ~0u;
+    for (uint32_t V = 0; V != G.N; ++V) {
+      uint32_t Own = ShardOf[V];
+      if (Count[Own] <= 1)
+        continue; // moving would empty the shard
+      std::fill(Conn.begin(), Conn.end(), 0);
+      bool Boundary = false;
+      for (const auto &[U, W] : G.Adj[V]) {
+        Conn[ShardOf[U]] += W;
+        Boundary |= ShardOf[U] != Own;
+      }
+      if (!Boundary)
+        continue;
+      for (uint32_t T = 0; T != NumShards; ++T) {
+        if (T == Own || Conn[T] == 0)
+          continue;
+        if (Load[T] + G.VertexW[V] > Limit)
+          continue; // imbalance bound
+        int64_t Gain = static_cast<int64_t>(Conn[T]) -
+                       static_cast<int64_t>(Conn[Own]);
+        // Strictly-greater keeps the first (smallest-index) vertex on
+        // ties, since V ascends.
+        if (Gain > BestGain) {
+          BestGain = Gain;
+          BestVertex = V;
+          BestTarget = T;
+        }
+      }
+    }
+    if (BestGain <= 0)
+      return;
+    uint32_t Own = ShardOf[BestVertex];
+    Load[Own] -= G.VertexW[BestVertex];
+    --Count[Own];
+    Load[BestTarget] += G.VertexW[BestVertex];
+    ++Count[BestTarget];
+    ShardOf[BestVertex] = BestTarget;
+  }
+}
+
+uint64_t cutWeight(const SwitchGraph &G,
+                   const std::vector<uint32_t> &ShardOf) {
+  uint64_t Cut = 0;
+  for (uint32_t V = 0; V != G.N; ++V)
+    for (const auto &[U, W] : G.Adj[V])
+      if (U > V && ShardOf[U] != ShardOf[V])
+        Cut += W;
+  return Cut;
+}
+
+} // namespace
+
+PartitionResult engine::partitionSwitches(const SwitchIndex &Idx,
+                                          unsigned NumShards,
+                                          PartitionStrategy S,
+                                          double ImbalanceBound) {
+  if (NumShards == 0)
+    NumShards = 1;
+  if (ImbalanceBound < 1.0)
+    ImbalanceBound = 1.0;
+
+  SwitchGraph G = buildGraph(Idx);
+  PartitionResult R;
+  R.Strategy = S;
+  R.NumShards = NumShards;
+  R.ImbalanceBound = ImbalanceBound;
+  R.BalanceLimit = G.N ? balanceLimit(G, NumShards, ImbalanceBound) : 0;
+  R.ShardOf.resize(G.N);
+
+  switch (S) {
+  case PartitionStrategy::Modulo:
+    for (uint32_t V = 0; V != G.N; ++V)
+      R.ShardOf[V] = V % NumShards;
+    break;
+  case PartitionStrategy::Contiguous:
+    R.ShardOf = growContiguous(G, NumShards);
+    break;
+  case PartitionStrategy::Refined:
+    R.ShardOf = growContiguous(G, NumShards);
+    refineBoundary(G, NumShards, R.ShardOf, R.BalanceLimit);
+    break;
+  }
+
+  R.ShardSwitches.assign(NumShards, 0);
+  std::vector<uint64_t> Load(NumShards, 0);
+  for (uint32_t V = 0; V != G.N; ++V) {
+    ++R.ShardSwitches[R.ShardOf[V]];
+    Load[R.ShardOf[V]] += G.VertexW[V];
+  }
+  R.CutWeight = cutWeight(G, R.ShardOf);
+  R.TotalWeight = G.TotalEdgeW;
+  if (!Load.empty()) {
+    R.MaxShardLoad = *std::max_element(Load.begin(), Load.end());
+    R.MinShardLoad = *std::min_element(Load.begin(), Load.end());
+  }
+  return R;
+}

@@ -55,6 +55,19 @@ struct ShardStats {
   uint64_t Dropped = 0;          ///< drops attributed to this shard
   uint64_t Transitions = 0;      ///< published register/view swaps
   uint64_t FreelistGrowth = 0;   ///< recycled-buffer pool growth events
+  uint32_t Switches = 0;         ///< switches placed on this shard
+  uint64_t IdleSleeps = 0;       ///< idle-backoff sleeps taken by the worker
+};
+
+/// What the shard partitioner achieved for this run (see
+/// engine/Partition.h); lets bench and CLI output attribute scaling
+/// behavior to placement quality without a profiler.
+struct PartitionSummary {
+  const char *Strategy = "modulo"; ///< static strategy name
+  uint64_t CutWeight = 0;   ///< edge weight crossing shard boundaries
+  uint64_t TotalWeight = 0; ///< total edge weight of the switch graph
+  uint64_t MaxShardLoad = 0;
+  uint64_t MinShardLoad = 0;
 };
 
 /// Snapshot of the whole engine.
@@ -70,6 +83,9 @@ struct Stats {
 
   bool ClassifierPath = true; ///< classifier program vs FDD-walk lookup
   unsigned BatchSize = 1;     ///< hot-loop dequeue/enqueue batch size
+
+  /// The shard placement this run executed under.
+  PartitionSummary Partition;
 
   /// Switch-hops per wall-clock second (the headline throughput).
   double PacketsPerSec = 0;

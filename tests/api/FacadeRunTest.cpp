@@ -112,6 +112,51 @@ TEST_P(FacadeBackends, ReportRendersTextAndJson) {
 INSTANTIATE_TEST_SUITE_P(Backends, FacadeBackends,
                          ::testing::Values("machine", "sim", "engine"));
 
+TEST(Facade, EnginePartitionStrategiesRunAndReport) {
+  apps::App A = apps::ringApp(6, 3);
+  Result<Compilation> C =
+      compile(CompileOptions().programAst(A.Ast).topology(A.Topo));
+  ASSERT_TRUE(C.ok()) << C.status().str();
+
+  for (const char *P : {"modulo", "contiguous", "refined"}) {
+    Result<RunReport> R = run(
+        *C, "engine",
+        RunOptions().seed(5).shards(2).phases(3).pingsPerPhase(2).partition(
+            P));
+    ASSERT_TRUE(R.ok()) << P << ": " << R.status().str();
+    EXPECT_EQ(R->Partition, P);
+    EXPECT_LE(R->EdgeCut, R->EdgeTotal) << P;
+    uint32_t Placed = 0;
+    for (const ShardReport &D : R->ShardDetail)
+      Placed += D.Switches;
+    EXPECT_EQ(Placed, A.Topo.switches().size()) << P;
+    ASSERT_TRUE(R->Checked);
+    EXPECT_TRUE(R->Consistency.Correct) << P << ": "
+                                        << R->Consistency.Reason;
+    EXPECT_NE(R->json().find("\"partition\": \"" + std::string(P) + "\""),
+              std::string::npos);
+    EXPECT_NE(R->json().find("\"switches\": "), std::string::npos);
+  }
+  // The ring's contiguous placement must beat round-robin on edge cut.
+  Result<RunReport> Mod =
+      run(*C, "engine", RunOptions().seed(5).shards(2).partition("modulo"));
+  Result<RunReport> Ref = run(*C, "engine",
+                              RunOptions().seed(5).shards(2).partition(
+                                  "refined"));
+  ASSERT_TRUE(Mod.ok() && Ref.ok());
+  EXPECT_LT(Ref->EdgeCut, Mod->EdgeCut);
+}
+
+TEST(Facade, UnknownPartitionStrategyIsInvalidArgument) {
+  Result<Compilation> C = compileFirewall();
+  ASSERT_TRUE(C.ok()) << C.status().str();
+  Result<RunReport> R =
+      run(*C, "engine", RunOptions().partition("round-robin"));
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), Code::InvalidArgument);
+  EXPECT_NE(R.status().message().find("round-robin"), std::string::npos);
+}
+
 TEST(Facade, OneSeedReproducesSequentialBackends) {
   // The uniform-seeding satellite: a single RunOptions::Seed drives the
   // workload generator and every backend's own randomness, so the

@@ -12,13 +12,17 @@
 //    correctly;
 //  - zero allocation: once the recycled PacketBuf is warm, steady-state
 //    classifier lookups perform no heap allocations (counted by a
-//    replacement global operator new).
+//    replacement global operator new);
+//  - zero freelist growth: a full engine run on the classifier path
+//    never grows its recycled egress/output pools — they are pre-sized
+//    from EngineConfig::BatchSize at construction.
 //
 //===----------------------------------------------------------------------===//
 
 #include "engine/MatchPipeline.h"
 
 #include "apps/Programs.h"
+#include "engine/Engine.h"
 #include "flowtable/FlowTable.h"
 #include "nes/Pipeline.h"
 #include "runtime/Guarded.h"
@@ -286,6 +290,35 @@ TEST(ClassifierProperty, WarmLookupsAllocateNothing) {
   EXPECT_EQ(After - Before, 0u)
       << "steady-state classifier lookups allocated";
   EXPECT_EQ(Buf.grownCount(), GrownWarm) << "PacketBuf grew after warmup";
+}
+
+TEST(ClassifierProperty, EngineFreelistsNeverGrow) {
+  // The engine pre-sizes every recycled pool (classifier outputs,
+  // per-target egress buffers, the self-delivery swap space) from
+  // EngineConfig::BatchSize, so a steady-state classifier run reports
+  // zero freelist growth — from the very first packet, not just "once
+  // warm".
+  apps::App A = apps::ringApp(8, 4);
+  api::Result<nes::CompiledProgram> C = nes::compileAst(A.Ast, A.Topo);
+  ASSERT_TRUE(C.ok()) << C.status().str();
+
+  for (unsigned Shards : {1u, 2u, 4u}) {
+    engine::EngineConfig Cfg;
+    Cfg.NumShards = Shards;
+    Cfg.UseClassifier = true;
+    Cfg.BatchSize = 32;
+    Cfg.RecordTrace = false; // the throughput-benchmark shape
+    Cfg.RecordDeliveries = false;
+    Cfg.EchoReplies = false;
+    engine::Engine E(*C->N, A.Topo, Cfg);
+    engine::TrafficGen G(A.Topo, 3);
+    E.run(G.bulk(topo::HostH1, topo::HostH2, 2000, 500));
+
+    engine::Stats S = E.stats();
+    ASSERT_GT(S.PacketsDelivered, 0u);
+    for (const engine::ShardStats &SS : S.Shards)
+      EXPECT_EQ(SS.FreelistGrowth, 0u) << "shards=" << Shards;
+  }
 }
 
 TEST(ClassifierProperty, CountingAllocatorSeesAllocations) {

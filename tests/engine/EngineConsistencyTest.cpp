@@ -90,6 +90,7 @@ Scenario ringScenario(uint64_t Seed) {
 
 consistency::CheckResult runAndCheck(Scenario &S, unsigned Shards,
                                      bool Classifier,
+                                     PartitionStrategy Partition,
                                      bool Broadcast = false) {
   EngineConfig Cfg;
   Cfg.NumShards = Shards;
@@ -98,6 +99,7 @@ consistency::CheckResult runAndCheck(Scenario &S, unsigned Shards,
   // The classifier rows also take the batched loop shape; the oracle
   // rows re-verify the PR 1 message-at-a-time shape.
   Cfg.BatchSize = Classifier ? 32 : 1;
+  Cfg.Partition = Partition;
   Engine E(S.C->structure(), S.A.Topo, Cfg);
   E.run(S.W);
   EXPECT_GT(E.trace().size(), 0u);
@@ -107,13 +109,17 @@ consistency::CheckResult runAndCheck(Scenario &S, unsigned Shards,
 
 } // namespace
 
-/// (seed, classifier on/off): the Definition 6 theorem must hold on the
-/// classifier fast path exactly as on the FDD-walk oracle path.
+/// (seed, classifier on/off, partition strategy): the Definition 6
+/// theorem must hold on the classifier fast path exactly as on the
+/// FDD-walk oracle path, under every shard placement — the tag/digest
+/// protocol cannot care *where* a switch's owner thread runs.
 class EngineConsistency
-    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {
+    : public ::testing::TestWithParam<
+          std::tuple<uint64_t, bool, PartitionStrategy>> {
 protected:
   uint64_t seed() const { return std::get<0>(GetParam()); }
   bool classifier() const { return std::get<1>(GetParam()); }
+  PartitionStrategy partition() const { return std::get<2>(GetParam()); }
 };
 
 TEST_P(EngineConsistency, AllAppsAllShardCounts) {
@@ -123,10 +129,12 @@ TEST_P(EngineConsistency, AllAppsAllShardCounts) {
     for (unsigned Shards : {1u, 2u, 4u}) {
       Scenario S = Make(seed());
       ASSERT_TRUE(S.C.ok()) << S.A.Name << ": " << S.C.status().str();
-      auto R = runAndCheck(S, Shards, classifier());
+      auto R = runAndCheck(S, Shards, classifier(), partition());
       EXPECT_TRUE(R.Correct)
           << S.A.Name << " shards=" << Shards
-          << " classifier=" << classifier() << ": " << R.Reason;
+          << " classifier=" << classifier()
+          << " partition=" << partitionStrategyName(partition()) << ": "
+          << R.Reason;
     }
   }
 }
@@ -134,13 +142,17 @@ TEST_P(EngineConsistency, AllAppsAllShardCounts) {
 TEST_P(EngineConsistency, FirewallWithControllerBroadcast) {
   Scenario S = firewallScenario(seed());
   ASSERT_TRUE(S.C.ok()) << S.C.status().str();
-  auto R = runAndCheck(S, 4, classifier(), /*Broadcast=*/true);
+  auto R = runAndCheck(S, 4, classifier(), partition(),
+                       /*Broadcast=*/true);
   EXPECT_TRUE(R.Correct) << R.Reason;
 }
 
-INSTANTIATE_TEST_SUITE_P(SeedsByPath, EngineConsistency,
-                         ::testing::Combine(::testing::Values(1, 7, 13, 42),
-                                            ::testing::Bool()));
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByPath, EngineConsistency,
+    ::testing::Combine(::testing::Values(1, 7, 13, 42), ::testing::Bool(),
+                       ::testing::Values(PartitionStrategy::Modulo,
+                                         PartitionStrategy::Contiguous,
+                                         PartitionStrategy::Refined)));
 
 TEST(EngineConsistency, StaticRoutingQuiescent) {
   // A zero-event NES: every packet trace must be a trace of g(∅); also

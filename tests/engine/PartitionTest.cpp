@@ -1,0 +1,246 @@
+//===- tests/engine/PartitionTest.cpp - Shard placement properties --------===//
+//
+// Properties of the topology-aware shard partitioner:
+//
+//  - totality: every switch is assigned to exactly one shard, every
+//    shard is nonempty whenever there are enough switches, and the
+//    per-shard counts the result reports match the assignment;
+//  - balance: contiguous and refined placements keep every shard's
+//    vertex-weight load within the advertised BalanceLimit;
+//  - quality: on rings, fat-trees, and random connected graphs, the
+//    weighted edge cut improves monotonically
+//        refined <= contiguous <= modulo,
+//    and on the ring the refined cut is exactly the optimum (one
+//    boundary pair per arc);
+//  - determinism: the same topology and parameters always produce the
+//    same placement (the engine's placement must be reproducible from a
+//    seed for the consistency sweeps to mean anything).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Partition.h"
+
+#include "support/Rng.h"
+#include "topo/Builders.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace eventnet;
+using namespace eventnet::engine;
+
+namespace {
+
+/// A random connected topology: a spanning chain plus \p ExtraLinks
+/// random bidirectional links, with \p Hosts hosts attached at random
+/// switches. Port numbers are allocated sequentially per switch.
+topo::Topology randomTopology(uint64_t Seed, unsigned Switches,
+                              unsigned ExtraLinks, unsigned Hosts) {
+  Rng R(Seed);
+  topo::Topology T;
+  std::map<SwitchId, PortId> NextPort;
+  auto Port = [&](SwitchId Sw) { return Location{Sw, ++NextPort[Sw]}; };
+  for (unsigned S = 1; S <= Switches; ++S)
+    T.addSwitch(static_cast<SwitchId>(S));
+  for (unsigned S = 1; S < Switches; ++S)
+    T.addBiLink(Port(static_cast<SwitchId>(S)),
+                Port(static_cast<SwitchId>(S + 1)));
+  for (unsigned L = 0; L != ExtraLinks; ++L) {
+    SwitchId A = static_cast<SwitchId>(R.range(1, Switches));
+    SwitchId B = static_cast<SwitchId>(R.range(1, Switches));
+    if (A == B)
+      continue;
+    T.addBiLink(Port(A), Port(B));
+  }
+  for (unsigned H = 1; H <= Hosts; ++H)
+    T.attachHost(static_cast<HostId>(H),
+                 Port(static_cast<SwitchId>(R.range(1, Switches))));
+  return T;
+}
+
+struct NamedTopo {
+  const char *Name;
+  topo::Topology Topo;
+};
+
+/// A hub with \p Spokes host-attached spoke switches — the worst case
+/// for region growth: one region claims the hub and every other region
+/// is immediately landlocked.
+topo::Topology hubTopology(unsigned Spokes) {
+  topo::Topology T;
+  const SwitchId Hub = 1;
+  for (unsigned S = 0; S != Spokes; ++S) {
+    SwitchId Spoke = static_cast<SwitchId>(2 + S);
+    T.addBiLink({Hub, static_cast<PortId>(1 + S)}, {Spoke, 1});
+    T.attachHost(static_cast<HostId>(1 + S), {Spoke, 2});
+  }
+  return T;
+}
+
+std::vector<NamedTopo> testTopologies() {
+  std::vector<NamedTopo> V;
+  V.push_back({"ring16", topo::ringTopology(16, 8)});
+  V.push_back({"fattree4", topo::fatTreeTopology(4)});
+  V.push_back({"random", randomTopology(11, 24, 20, 6)});
+  V.push_back({"hub8", hubTopology(8)});
+  return V;
+}
+
+constexpr PartitionStrategy AllStrategies[] = {PartitionStrategy::Modulo,
+                                               PartitionStrategy::Contiguous,
+                                               PartitionStrategy::Refined};
+
+} // namespace
+
+TEST(Partition, StrategyNamesRoundTrip) {
+  for (PartitionStrategy S : AllStrategies) {
+    auto Parsed = parsePartitionStrategy(partitionStrategyName(S));
+    ASSERT_TRUE(Parsed.has_value()) << partitionStrategyName(S);
+    EXPECT_EQ(*Parsed, S);
+  }
+  EXPECT_FALSE(parsePartitionStrategy("round-robin").has_value());
+  EXPECT_FALSE(parsePartitionStrategy("").has_value());
+}
+
+TEST(Partition, EverySwitchAssignedExactlyOnce) {
+  for (const NamedTopo &NT : testTopologies()) {
+    SwitchIndex Idx(NT.Topo);
+    for (unsigned Shards : {1u, 2u, 3u, 4u, 8u}) {
+      for (PartitionStrategy S : AllStrategies) {
+        PartitionResult R = partitionSwitches(Idx, Shards, S);
+        ASSERT_EQ(R.ShardOf.size(), Idx.numSwitches()) << NT.Name;
+        ASSERT_EQ(R.ShardSwitches.size(), Shards) << NT.Name;
+        std::vector<uint32_t> Count(Shards, 0);
+        for (uint32_t Shard : R.ShardOf) {
+          ASSERT_LT(Shard, Shards) << NT.Name;
+          ++Count[Shard];
+        }
+        // The reported per-shard switch counts are the assignment's.
+        for (unsigned I = 0; I != Shards; ++I)
+          EXPECT_EQ(Count[I], R.ShardSwitches[I])
+              << NT.Name << " " << partitionStrategyName(S) << " shard "
+              << I;
+        // With enough switches no shard may be starved: an empty shard
+        // is a wasted worker thread.
+        if (Shards <= Idx.numSwitches()) {
+          for (unsigned I = 0; I != Shards; ++I) {
+            EXPECT_GT(Count[I], 0u)
+                << NT.Name << " " << partitionStrategyName(S)
+                << " shards=" << Shards;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Partition, BalanceWithinAdvertisedLimit) {
+  for (const NamedTopo &NT : testTopologies()) {
+    SwitchIndex Idx(NT.Topo);
+    for (unsigned Shards : {2u, 3u, 4u, 8u}) {
+      for (PartitionStrategy S :
+           {PartitionStrategy::Contiguous, PartitionStrategy::Refined}) {
+        PartitionResult R = partitionSwitches(Idx, Shards, S, 1.25);
+        EXPECT_LE(R.MaxShardLoad, R.BalanceLimit)
+            << NT.Name << " " << partitionStrategyName(S)
+            << " shards=" << Shards;
+        EXPECT_GT(R.MinShardLoad, 0u)
+            << NT.Name << " " << partitionStrategyName(S)
+            << " shards=" << Shards;
+      }
+    }
+  }
+}
+
+TEST(Partition, CutImprovesMonotonically) {
+  // The point of the whole exercise: topology-aware placement must not
+  // lose to round-robin, and refinement must not lose to plain growth.
+  for (const NamedTopo &NT : testTopologies()) {
+    SwitchIndex Idx(NT.Topo);
+    for (unsigned Shards : {2u, 4u, 8u}) {
+      PartitionResult Mod =
+          partitionSwitches(Idx, Shards, PartitionStrategy::Modulo);
+      PartitionResult Con =
+          partitionSwitches(Idx, Shards, PartitionStrategy::Contiguous);
+      PartitionResult Ref =
+          partitionSwitches(Idx, Shards, PartitionStrategy::Refined);
+      EXPECT_EQ(Mod.TotalWeight, Con.TotalWeight) << NT.Name;
+      EXPECT_EQ(Mod.TotalWeight, Ref.TotalWeight) << NT.Name;
+      EXPECT_LE(Con.CutWeight, Mod.CutWeight)
+          << NT.Name << " shards=" << Shards;
+      EXPECT_LE(Ref.CutWeight, Con.CutWeight)
+          << NT.Name << " shards=" << Shards;
+    }
+  }
+}
+
+TEST(Partition, RingCutIsOptimal) {
+  // Splitting a 16-ring into K contiguous arcs cuts exactly K
+  // bidirectional boundaries (weight 2 each); no balanced placement
+  // does better. Modulo, by contrast, cuts every single edge.
+  topo::Topology Ring = topo::ringTopology(16, 8);
+  SwitchIndex Idx(Ring);
+  for (unsigned Shards : {2u, 4u, 8u}) {
+    PartitionResult Ref =
+        partitionSwitches(Idx, Shards, PartitionStrategy::Refined);
+    EXPECT_EQ(Ref.CutWeight, 2ull * Shards) << "shards=" << Shards;
+    PartitionResult Mod =
+        partitionSwitches(Idx, Shards, PartitionStrategy::Modulo);
+    EXPECT_EQ(Mod.CutWeight, Mod.TotalWeight) << "shards=" << Shards;
+  }
+}
+
+TEST(Partition, DeterministicAcrossCalls) {
+  for (const NamedTopo &NT : testTopologies()) {
+    SwitchIndex Idx(NT.Topo);
+    for (PartitionStrategy S : AllStrategies) {
+      PartitionResult A = partitionSwitches(Idx, 4, S);
+      PartitionResult B = partitionSwitches(Idx, 4, S);
+      EXPECT_EQ(A.ShardOf, B.ShardOf)
+          << NT.Name << " " << partitionStrategyName(S);
+      EXPECT_EQ(A.CutWeight, B.CutWeight);
+    }
+  }
+}
+
+TEST(Partition, LandlockedRegionsStillBalance) {
+  // Hub-and-spoke: whichever region claims the hub landlocks every
+  // other region. The partitioner must sacrifice contiguity, not
+  // balance — the old "grow only regions with a frontier" rule piled
+  // every spoke onto the hub's shard.
+  SwitchIndex Idx(hubTopology(8)); // 9 switches, hub weight 1, spokes 2
+  for (unsigned Shards : {2u, 3u, 4u}) {
+    for (PartitionStrategy S :
+         {PartitionStrategy::Contiguous, PartitionStrategy::Refined}) {
+      PartitionResult R = partitionSwitches(Idx, Shards, S, 1.25);
+      EXPECT_LE(R.MaxShardLoad, R.BalanceLimit)
+          << partitionStrategyName(S) << " shards=" << Shards;
+      for (unsigned I = 0; I != Shards; ++I)
+        EXPECT_GT(R.ShardSwitches[I], 0u)
+            << partitionStrategyName(S) << " shards=" << Shards
+            << " shard " << I;
+    }
+  }
+}
+
+TEST(Partition, DegenerateShapes) {
+  // One shard: everything on it, zero cut.
+  topo::Topology Ring = topo::ringTopology(8, 4);
+  SwitchIndex Idx(Ring);
+  for (PartitionStrategy S : AllStrategies) {
+    PartitionResult R = partitionSwitches(Idx, 1, S);
+    EXPECT_EQ(R.CutWeight, 0u);
+    EXPECT_EQ(R.cutFraction(), 0.0);
+    EXPECT_EQ(R.ShardSwitches[0], Idx.numSwitches());
+  }
+  // More shards than switches: still total, loads bounded, no crash.
+  for (PartitionStrategy S : AllStrategies) {
+    PartitionResult R = partitionSwitches(Idx, 32, S);
+    EXPECT_EQ(R.ShardOf.size(), Idx.numSwitches());
+    uint32_t Placed = 0;
+    for (uint32_t C : R.ShardSwitches)
+      Placed += C;
+    EXPECT_EQ(Placed, Idx.numSwitches());
+  }
+}

@@ -11,7 +11,8 @@
 //   eventnetc run <program.snk> --topo <topo.txt>
 //             [--backend machine|sim|engine] [--seed S] [--shards N]
 //             [--phases N] [--per-phase N] [--classifier on|off]
-//             [--batch N] [--no-check] [--json]
+//             [--batch N] [--partition modulo|contiguous|refined]
+//             [--no-check] [--json]
 //   eventnetc check <program.snk> --topo <topo.txt>
 //             (run's options; reports only the Definition 6 verdict and
 //              exits 8 on violation)
@@ -25,6 +26,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "api/Api.h"
+#include "engine/Partition.h"
 
 #include <cstdio>
 #include <cstring>
@@ -46,6 +48,7 @@ int usage() {
           "            [--backend machine|sim|engine] [--seed S]\n"
           "            [--shards N] [--phases N] [--per-phase N]\n"
           "            [--classifier on|off] [--batch N]\n"
+          "            [--partition modulo|contiguous|refined]\n"
           "            [--no-check] [--json]\n"
           "  check     like run, but print only the Definition 6 verdict\n"
           "  backends  list registered backends\n");
@@ -125,6 +128,15 @@ api::Status parseArgs(int argc, char **argv, const std::string &Cmd,
       if (!V || (strcmp(V, "on") != 0 && strcmp(V, "off") != 0))
         return Bad("--classifier needs 'on' or 'off'");
       A.Run.classifier(strcmp(V, "on") == 0);
+    } else if (Arg == "--partition") {
+      if (IsCompile)
+        return WrongCommand();
+      const char *V = TakeValue();
+      // One source of truth for the strategy names: the engine's parser
+      // (the backend re-validates the same way).
+      if (!V || !engine::parsePartitionStrategy(V))
+        return Bad("--partition needs 'modulo', 'contiguous', or 'refined'");
+      A.Run.partition(V);
     } else if (Arg == "--seed" || Arg == "--shards" || Arg == "--phases" ||
                Arg == "--per-phase" || Arg == "--batch") {
       if (IsCompile)
