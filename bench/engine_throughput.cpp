@@ -108,6 +108,30 @@ engine::Stats engineRun(const nes::Nes &N, const topo::Topology &Topo,
   return E.stats();
 }
 
+/// A small config-churn run measuring the event-detection to
+/// register-learn latency digest: pings, a probe (the ring program's
+/// update trigger), more pings. Topologies without events (the fat-tree
+/// static-routing Nes) report zero samples, rendered as 0.
+engine::LatencyDigest updateLatencyRun(const nes::Nes &N,
+                                       const topo::Topology &Topo,
+                                       unsigned Shards, bool Classifier,
+                                       const BenchOpts &O) {
+  engine::EngineConfig Cfg;
+  Cfg.NumShards = Shards;
+  Cfg.UseClassifier = Classifier;
+  Cfg.BatchSize = Classifier ? 32 : 1;
+  Cfg.Partition = O.Partition;
+  Cfg.RecordTrace = false;
+  Cfg.RecordDeliveries = false;
+  engine::Engine E(N, Topo, Cfg);
+  engine::TrafficGen G(Topo, O.Seed);
+  engine::Workload W = G.pings(1, 8);
+  W += G.probe(topo::HostH1, topo::HostH2);
+  W += G.pings(3, 8);
+  E.run(W);
+  return E.stats().Transition;
+}
+
 /// A smaller recorded run replayed through the Definition 6 checker.
 bool checkedRun(const nes::Nes &N, const topo::Topology &Topo,
                 unsigned Shards, bool Classifier, HostId From, HostId To,
@@ -142,6 +166,8 @@ void benchTopology(const char *Name, const nes::Nes &N,
       });
       engine::Stats S = engineRun(N, Topo, Shards, Classifier, From, To,
                                   O, O.BulkPackets);
+      engine::LatencyDigest Lat =
+          updateLatencyRun(N, Topo, Shards, Classifier, O);
       bool Ok = checkedRun(N, Topo, Shards, Classifier, From, To, O);
 
       const char *Path = Classifier ? "classifier" : "fdd-walk";
@@ -168,7 +194,7 @@ void benchTopology(const char *Name, const nes::Nes &N,
         FreeGrow += SS.FreelistGrowth;
       }
       T.addRow({Name, std::to_string(Shards), Path,
-                S.Partition.Strategy,
+                engine::partitionStrategyName(S.Partition.Strategy),
                 std::to_string(S.PacketsDelivered),
                 formatDouble(S.ElapsedSec * 1e3, 1),
                 formatDouble(S.PacketsPerSec / 1e6, 3),
@@ -178,6 +204,8 @@ void benchTopology(const char *Name, const nes::Nes &N,
                 std::to_string(S.Partition.CutWeight),
                 std::to_string(S.Partition.TotalWeight),
                 std::to_string(Hwm), std::to_string(FreeGrow),
+                formatDouble(Lat.P50Sec * 1e6, 1),
+                formatDouble(Lat.P99Sec * 1e6, 1),
                 Ok ? "ok" : "VIOLATION"});
     }
   }
@@ -218,7 +246,7 @@ int main(int argc, char **argv) {
                "elapsed_ms", "hops_per_sec_M", "delivered_per_sec_M",
                "speedup_vs_walk", "speedup_vs_sim", "scaling_efficiency",
                "edge_cut", "edge_total", "queue_hwm", "freelist_growth",
-               "definition6"});
+               "update_lat_p50_us", "update_lat_p99_us", "definition6"});
 
   {
     apps::App A = apps::ringApp(16, 8);

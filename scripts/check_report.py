@@ -40,10 +40,38 @@ def main() -> None:
         "edge_cut", "edge_total", "injected", "delivered", "dropped",
         "switch_hops", "events_detected", "config_transitions",
         "elapsed_sec", "trace_entries", "shard_detail", "consistency",
+        "update_lat_samples", "update_lat_p50", "update_lat_p90",
+        "update_lat_p99", "update_lat_max", "queue_dwell",
+        "batch_occupancy", "drop_audit", "obs_trace_recorded",
+        "obs_trace_dropped",
     ]
     for key in required:
         if key not in r:
             fail(f"missing key '{key}'")
+
+    audit = r["drop_audit"]
+    for key in ("injected", "delivered", "dropped", "silent_loss", "ok"):
+        if key not in audit:
+            fail(f"drop_audit missing '{key}'")
+    if audit["silent_loss"] > 0 or not audit["ok"]:
+        fail(
+            f"drop audit: {audit['silent_loss']} packet(s) silently lost "
+            f"(injected={audit['injected']} delivered={audit['delivered']} "
+            f"dropped={audit['dropped']})"
+        )
+
+    for block in ("queue_dwell", "batch_occupancy"):
+        b = r[block]
+        for key in ("samples", "mean", "p50", "p90", "p99", "max"):
+            if key not in b:
+                fail(f"{block} missing '{key}'")
+        if b["samples"] > 0 and b["max"] + 1e-12 < b["p99"]:
+            fail(f"{block}: max ({b['max']}) below p99 ({b['p99']})")
+    if r["update_lat_samples"] > 0 and (
+        r["update_lat_max"] + 1e-12 < r["update_lat_p99"]
+        or r["update_lat_p99"] + 1e-12 < r["update_lat_p50"]
+    ):
+        fail("update latency percentiles are not monotone")
 
     if expect_backend is not None and r["backend"] != expect_backend:
         fail(f"backend is '{r['backend']}', expected '{expect_backend}'")

@@ -40,7 +40,8 @@ ENGINE_ROW_KEYS = [
     "topology", "shards", "path", "partition", "delivered", "elapsed_ms",
     "hops_per_sec_M", "delivered_per_sec_M", "speedup_vs_walk",
     "speedup_vs_sim", "scaling_efficiency", "edge_cut", "edge_total",
-    "queue_hwm", "freelist_growth", "definition6",
+    "queue_hwm", "freelist_growth", "update_lat_p50_us",
+    "update_lat_p99_us", "definition6",
 ]
 
 SMOKE_MICRO_FILTER = "BM_ParseBandwidthCap/5|BM_TableExtraction|BM_NesEnabledEvents"
@@ -234,6 +235,7 @@ def scaling_gate(engine: dict, tolerance: float) -> int:
 def compare(baseline: dict, fresh: dict, threshold: float) -> int:
     failures = []
     compared = 0
+    hw = fresh["benches"]["engine_throughput"].get("hw_threads", 0)
 
     base_rows = {engine_key(r): r
                  for r in baseline["benches"]["engine_throughput"]["rows"]}
@@ -269,6 +271,31 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> int:
                 f"engine_throughput {key}: scaling efficiency "
                 f"{new_e:.3f} vs baseline {old_e:.3f} "
                 f"(-{(1 - new_e / old_e) * 100:.1f}%)")
+        # Update latency (event detection -> register learn). Tail
+        # percentiles of a microsecond-scale quantity are far noisier
+        # than throughput means — and on an oversubscribed machine
+        # (shards > hw_threads) they measure when the scheduler ran the
+        # controller, not the update path. So: gate only rows the
+        # machine can genuinely parallelize, whose baseline has samples
+        # (p50 > 0), at double the raw threshold, and never below 250us
+        # of absolute movement (the gate exists to catch the update path
+        # regressing to milliseconds, not scheduler jitter).
+        for lat_key in ("update_lat_p50_us", "update_lat_p99_us"):
+            old_l = old.get(lat_key, 0)
+            new_l = row.get(lat_key, 0)
+            if not (old_l > 0
+                    and new_l > old_l * (1 + 2 * threshold)
+                    and new_l - old_l > 250.0):
+                continue
+            where = (f"engine_throughput {key}: {lat_key} {new_l:.1f}us "
+                     f"vs baseline {old_l:.1f}us "
+                     f"(+{(new_l / old_l - 1) * 100:.1f}%)")
+            if hw < 2 or row["shards"] > hw:
+                print(f"run_benches: WARNING: {where} — not gated, only "
+                      f"{hw} hardware thread(s) for {row['shards']} "
+                      "shard(s)", file=sys.stderr)
+            else:
+                failures.append(where)
 
     base_micro = {b["name"]: b
                   for b in baseline["benches"]["micro_compiler"]["benchmarks"]}

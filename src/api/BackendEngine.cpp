@@ -11,11 +11,20 @@
 
 #include "engine/Engine.h"
 #include "engine/Partition.h"
+#include "obs/Metrics.h"
+#include "obs/Sampler.h"
+
+#include <fstream>
+#include <iostream>
 
 using namespace eventnet;
 using namespace eventnet::api;
 
 namespace {
+
+LatencyReport toReport(const engine::LatencyDigest &D) {
+  return {D.Samples, D.MeanSec, D.P50Sec, D.P90Sec, D.P99Sec, D.MaxSec};
+}
 
 class EngineBackend : public Backend {
 public:
@@ -38,15 +47,40 @@ public:
     Cfg.UseClassifier = O.Classifier;
     Cfg.BatchSize = O.Batch;
     Cfg.Partition = *Strategy;
+    Cfg.LatencyHistograms = O.LatencyHistograms;
+    Cfg.TraceEventCapacity = O.TraceCapacity;
     engine::Engine E(C.structure(), C.topology(), Cfg);
+
+    // Optional periodic metrics sampler: JSON-lines counter snapshots to
+    // a file or stderr while the run is live.
+    std::ofstream MetricsFile;
+    std::unique_ptr<obs::MetricsSampler> Sampler;
+    if (O.MetricsIntervalMs > 0) {
+      std::ostream *Sink = &std::cerr;
+      if (!O.MetricsPath.empty()) {
+        MetricsFile.open(O.MetricsPath);
+        if (!MetricsFile)
+          return Status::error(Code::RunError,
+                               "cannot open metrics path '" + O.MetricsPath +
+                                   "'");
+        Sink = &MetricsFile;
+      }
+      Sampler = std::make_unique<obs::MetricsSampler>(
+          O.MetricsIntervalMs,
+          [&E] { return obs::metricsJsonLine(E.stats()); }, *Sink);
+      Sampler->start();
+    }
+
     E.run(W);
+    if (Sampler)
+      Sampler->stop(); // emits one final post-run sample
 
     engine::Stats S = E.stats();
     RunReport R;
     R.Shards = O.Shards;
     R.Classifier = S.ClassifierPath;
     R.Batch = S.BatchSize;
-    R.Partition = S.Partition.Strategy;
+    R.Partition = engine::partitionStrategyName(S.Partition.Strategy);
     R.EdgeCut = S.Partition.CutWeight;
     R.EdgeTotal = S.Partition.TotalWeight;
     for (const engine::ShardStats &SS : S.Shards)
@@ -60,6 +94,12 @@ public:
     R.EventsDetected = S.EventsDetected;
     R.ConfigTransitions = S.ConfigTransitions;
     R.ElapsedSec = S.ElapsedSec;
+    R.UpdateLatency = toReport(S.Transition);
+    R.QueueDwell = toReport(S.QueueDwell);
+    R.BatchOccupancy = toReport(S.BatchOccupancy);
+    R.TraceRecorded = S.TraceRecorded;
+    R.TraceDropped = S.TraceDropped;
+    R.ObsTrace = E.takeObsTrace();
     R.Trace = E.takeTrace();
     return R;
   }

@@ -5,6 +5,7 @@
 #include "api/Json.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -116,6 +117,18 @@ Result<RunReport> Run::execute(const RunOptions &O) {
 
   Report->Backend = B->name();
   Report->Seed = O.Seed;
+
+  // Packet-conservation audit (backend-agnostic): every injection must
+  // end in a delivery or a counted drop. Multicast can only add terminal
+  // outcomes, so injected > delivered + dropped means silent loss.
+  DropAudit &A = Report->Audit;
+  A.Injected = Report->PacketsInjected;
+  A.Delivered = Report->PacketsDelivered;
+  A.Dropped = Report->PacketsDropped;
+  uint64_t Accounted = A.Delivered + A.Dropped;
+  A.SilentLoss = A.Injected > Accounted ? A.Injected - Accounted : 0;
+  A.Ok = A.SilentLoss == 0;
+
   if (O.CheckConsistency) {
     Report->Checked = true;
     Report->Consistency =
@@ -136,6 +149,30 @@ Result<RunReport> api::run(const Compilation &C,
 //===----------------------------------------------------------------------===//
 // RunReport rendering
 //===----------------------------------------------------------------------===//
+
+namespace {
+
+/// "12.345 us" style rendering for latency values given in seconds.
+std::string fmtLatency(double Sec) {
+  char Buf[64];
+  if (Sec >= 1.0)
+    snprintf(Buf, sizeof(Buf), "%.3f s", Sec);
+  else if (Sec >= 1e-3)
+    snprintf(Buf, sizeof(Buf), "%.3f ms", Sec * 1e3);
+  else
+    snprintf(Buf, sizeof(Buf), "%.3f us", Sec * 1e6);
+  return Buf;
+}
+
+void latencyJson(std::ostringstream &OS, const char *Key,
+                 const LatencyReport &L) {
+  OS << ", \"" << Key << "\": {\"samples\": " << L.Samples
+     << ", \"mean\": " << L.MeanSec << ", \"p50\": " << L.P50Sec
+     << ", \"p90\": " << L.P90Sec << ", \"p99\": " << L.P99Sec
+     << ", \"max\": " << L.MaxSec << "}";
+}
+
+} // namespace
 
 std::string RunReport::str() const {
   std::ostringstream OS;
@@ -161,6 +198,31 @@ std::string RunReport::str() const {
     snprintf(Buf, sizeof(Buf), "%.3f", ElapsedSec * 1e3);
     OS << "  elapsed:      " << Buf << " ms\n";
   }
+  if (UpdateLatency.Samples > 0)
+    OS << "  update lat:   p50 " << fmtLatency(UpdateLatency.P50Sec)
+       << ", p99 " << fmtLatency(UpdateLatency.P99Sec) << ", max "
+       << fmtLatency(UpdateLatency.MaxSec) << " ("
+       << UpdateLatency.Samples << " learns)\n";
+  if (QueueDwell.Samples > 0)
+    OS << "  queue dwell:  p50 " << fmtLatency(QueueDwell.P50Sec)
+       << ", p99 " << fmtLatency(QueueDwell.P99Sec) << ", max "
+       << fmtLatency(QueueDwell.MaxSec) << " (" << QueueDwell.Samples
+       << " hops)\n";
+  if (BatchOccupancy.Samples > 0) {
+    char Buf[64];
+    snprintf(Buf, sizeof(Buf), "%.1f", BatchOccupancy.MeanSec);
+    OS << "  batch occ:    mean " << Buf << ", p99 "
+       << static_cast<uint64_t>(BatchOccupancy.P99Sec) << ", max "
+       << static_cast<uint64_t>(BatchOccupancy.MaxSec) << " msgs/batch\n";
+  }
+  if (TraceRecorded > 0 || TraceDropped > 0)
+    OS << "  obs trace:    " << TraceRecorded << " events recorded, "
+       << TraceDropped << " dropped\n";
+  if (!Audit.Ok)
+    OS << "  DROP AUDIT:   FAILED — " << Audit.SilentLoss
+       << " packet(s) silently lost (" << Audit.Injected << " injected, "
+       << Audit.Delivered << " delivered, " << Audit.Dropped
+       << " counted drops)\n";
   for (size_t I = 0; I != ShardDetail.size(); ++I) {
     const ShardReport &D = ShardDetail[I];
     OS << "  shard " << I << ":      " << D.Switches << " switches, "
@@ -192,6 +254,21 @@ std::string RunReport::json() const {
      << ", \"events_detected\": " << EventsDetected
      << ", \"config_transitions\": " << ConfigTransitions
      << ", \"elapsed_sec\": " << ElapsedSec
+     << ", \"update_lat_samples\": " << UpdateLatency.Samples
+     << ", \"update_lat_mean\": " << UpdateLatency.MeanSec
+     << ", \"update_lat_p50\": " << UpdateLatency.P50Sec
+     << ", \"update_lat_p90\": " << UpdateLatency.P90Sec
+     << ", \"update_lat_p99\": " << UpdateLatency.P99Sec
+     << ", \"update_lat_max\": " << UpdateLatency.MaxSec;
+  latencyJson(OS, "queue_dwell", QueueDwell);
+  latencyJson(OS, "batch_occupancy", BatchOccupancy);
+  OS << ", \"drop_audit\": {\"injected\": " << Audit.Injected
+     << ", \"delivered\": " << Audit.Delivered
+     << ", \"dropped\": " << Audit.Dropped
+     << ", \"silent_loss\": " << Audit.SilentLoss
+     << ", \"ok\": " << (Audit.Ok ? "true" : "false") << "}"
+     << ", \"obs_trace_recorded\": " << TraceRecorded
+     << ", \"obs_trace_dropped\": " << TraceDropped
      << ", \"trace_entries\": " << Trace.size() << ", \"shard_detail\": [";
   for (size_t I = 0; I != ShardDetail.size(); ++I) {
     const ShardReport &D = ShardDetail[I];

@@ -34,6 +34,7 @@
 #include "consistency/Check.h"
 #include "consistency/Trace.h"
 #include "engine/TrafficGen.h"
+#include "obs/TraceRing.h"
 
 #include <functional>
 #include <memory>
@@ -84,6 +85,22 @@ public:
     Partition = std::move(V);
     return *this;
   }
+  RunOptions &latencyHistograms(bool V) {
+    LatencyHistograms = V;
+    return *this;
+  }
+  RunOptions &traceEvents(size_t CapacityPerShard) {
+    TraceCapacity = CapacityPerShard;
+    return *this;
+  }
+  RunOptions &metricsIntervalMs(unsigned V) {
+    MetricsIntervalMs = V;
+    return *this;
+  }
+  RunOptions &metricsPath(std::string V) {
+    MetricsPath = std::move(V);
+    return *this;
+  }
 
   /// One seed for every backend's randomness: the workload generator,
   /// the machine driver's step choices, and the simulator's SimParams.
@@ -106,6 +123,42 @@ public:
   /// Engine backend: shard-placement strategy — "modulo", "contiguous",
   /// or "refined" (engine/Partition.h).
   std::string Partition = "refined";
+  /// Engine backend: record per-hop queue-dwell and batch-occupancy
+  /// histograms (obs/Histogram.h). Off by default — when off the hot
+  /// loop takes no timestamps.
+  bool LatencyHistograms = false;
+  /// Engine backend: per-shard obs trace-ring capacity in events
+  /// (obs/TraceRing.h); 0 (default) disables event tracing.
+  size_t TraceCapacity = 0;
+  /// Engine backend: periodic metrics-sampler interval in milliseconds;
+  /// 0 (default) disables the sampler (obs/Sampler.h).
+  unsigned MetricsIntervalMs = 0;
+  /// Where sampler JSON-lines go: a file path, or "" for stderr.
+  std::string MetricsPath;
+};
+
+/// Percentile summary of one recorded latency dimension, in seconds
+/// (BatchOccupancy reuses the shape with dimensionless counts).
+struct LatencyReport {
+  uint64_t Samples = 0;
+  double MeanSec = 0;
+  double P50Sec = 0;
+  double P90Sec = 0;
+  double P99Sec = 0;
+  double MaxSec = 0;
+};
+
+/// End-of-run packet-conservation audit: every injected packet must end
+/// in a delivery or a *counted* drop. SilentLoss > 0 means the run lost
+/// packets without accounting for them (queue overflow, a protocol bug)
+/// — a throughput or consistency "pass" over such a run is meaningless,
+/// so reports render it loudly and scripts/check_report.py fails on it.
+struct DropAudit {
+  uint64_t Injected = 0;
+  uint64_t Delivered = 0;
+  uint64_t Dropped = 0;
+  uint64_t SilentLoss = 0; ///< injected - delivered - dropped, if positive
+  bool Ok = true;          ///< SilentLoss == 0
 };
 
 /// Per-shard engine counters surfaced in the report (empty on the
@@ -141,6 +194,26 @@ struct RunReport {
 
   /// Engine per-shard counters (queue high-water marks, drops).
   std::vector<ShardReport> ShardDetail;
+
+  /// Event-detection to register-learn latency percentiles (the update
+  /// latency; engine backend, zero Samples elsewhere).
+  LatencyReport UpdateLatency;
+  /// Per-hop queue-dwell percentiles (engine backend with
+  /// RunOptions::LatencyHistograms; zero Samples otherwise).
+  LatencyReport QueueDwell;
+  /// Messages per non-empty hot-loop drain batch (same gating; the
+  /// *Sec fields carry dimensionless counts).
+  LatencyReport BatchOccupancy;
+
+  /// Packet-conservation audit, filled for every backend.
+  DropAudit Audit;
+
+  /// obs event-trace totals and the merged timeline (engine backend
+  /// with RunOptions::TraceCapacity; else empty). Export with
+  /// obs::writePerfettoTrace.
+  uint64_t TraceRecorded = 0;
+  uint64_t TraceDropped = 0;
+  std::vector<obs::TraceEvent> ObsTrace;
 
   /// The recorded network trace (for replay and external checking).
   consistency::NetworkTrace Trace;

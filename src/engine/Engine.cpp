@@ -12,6 +12,24 @@ using namespace eventnet;
 using namespace eventnet::engine;
 using eventnet::netkat::Packet;
 
+namespace {
+
+/// Histogram snapshot -> report digest. \p Scale converts the recorded
+/// unit into the digest's (1e-9 for nanosecond histograms, 1 for raw
+/// counts like batch occupancy).
+LatencyDigest digestFrom(const obs::HistogramSnapshot &H, double Scale) {
+  LatencyDigest D;
+  D.Samples = H.TotalCount;
+  D.MeanSec = H.mean() * Scale;
+  D.P50Sec = static_cast<double>(H.percentile(0.50)) * Scale;
+  D.P90Sec = static_cast<double>(H.percentile(0.90)) * Scale;
+  D.P99Sec = static_cast<double>(H.percentile(0.99)) * Scale;
+  D.MaxSec = static_cast<double>(H.Max) * Scale;
+  return D;
+}
+
+} // namespace
+
 Engine::Engine(const nes::Nes &N, const topo::Topology &Topo,
                EngineConfig Cfg)
     : N(N), Topo(Topo), C(Cfg), Idx(Topo),
@@ -47,6 +65,13 @@ Engine::Engine(const nes::Nes &N, const topo::Topology &Topo,
       B.reserve(C.BatchSize);
     S->SelfProc.reserve(C.BatchSize);
     S->ClsOut.reserve(C.BatchSize);
+    // Observability state is allocated only when asked for: a disabled
+    // run carries null pointers and the recording sites reduce to one
+    // predictable branch.
+    if (C.TraceEventCapacity)
+      S->ObsRing = std::make_unique<obs::TraceRing>(C.TraceEventCapacity);
+    if (C.LatencyHistograms)
+      S->Lat = std::make_unique<ShardLatency>();
     Shards.push_back(std::move(S));
   }
   CtrlQ = std::make_unique<BoundedMpscQueue<uint32_t>>(4096);
@@ -97,8 +122,11 @@ void Engine::applyRegister(Shard &S, SwitchSlot &Sl, const DenseBitSet &NewE) {
 
   double Now = nowSec();
   NewE.forEach([&](unsigned E) {
-    if (!Sl.E.test(E))
+    if (!Sl.E.test(E)) {
       S.LearnTimes.try_emplace({Sl.Id, static_cast<nes::EventId>(E)}, Now);
+      obsRecord(S, obs::TraceKind::RegisterLearn,
+                static_cast<uint32_t>(Sl.Id), E);
+    }
   });
 
   Sl.E = NewE;
@@ -109,6 +137,8 @@ void Engine::applyRegister(Shard &S, SwitchSlot &Sl, const DenseBitSet &NewE) {
   Sl.Published.store(new SwitchView{Sl.Tag, Sl.E, Old->Version + 1});
   S.Retired.retire(Old, Epochs.retireEpoch());
   S.Transitions.add();
+  obsRecord(S, obs::TraceKind::ConfigSwap, static_cast<uint32_t>(Sl.Id),
+            static_cast<uint32_t>(Old->Version + 1));
 }
 
 void Engine::sendToShard(uint32_t Target, Msg &&M) {
@@ -118,6 +148,8 @@ void Engine::sendToShard(uint32_t Target, Msg &&M) {
   // every producer wait-free, and total in-flight traffic is bounded by
   // the phase protocol.
   Pending.fetch_add(1);
+  if (C.LatencyHistograms)
+    M.EnqNs = monotonicNs();
   Shard &Sh = *Shards[Target];
   if (Sh.Q->tryPush(std::move(M)))
     return;
@@ -141,6 +173,8 @@ void Engine::forwardOut(Shard &S, const EnginePacket &P, uint32_t AtDense,
     // simulator).
     Dropped.add();
     S.Dropped.add();
+    obsRecord(S, obs::TraceKind::Drop, static_cast<uint32_t>(At.Sw),
+              /*reason: dangling port*/ 1);
     return;
   }
 
@@ -195,6 +229,8 @@ void Engine::processPacket(Shard &S, EnginePacket &P) {
     P.Parent = logEntry(S, P.Pkt, P.Parent, false, P.Tag);
     P.IngressLogged = true;
   }
+  obsRecord(S, obs::TraceKind::Hop, static_cast<uint32_t>(Sl.Id),
+            static_cast<uint32_t>(P.Tag));
 
   // SWITCH rule: learn the digest, then greedily-consistent fresh events
   // (the same sharpening as runtime::Machine and sim::Simulation). The
@@ -229,6 +265,8 @@ void Engine::processPacket(Shard &S, EnginePacket &P) {
       int64_t Expected = -1;
       DetectNs[E]->compare_exchange_strong(
           Expected, static_cast<int64_t>(nowSec() * 1e9));
+      obsRecord(S, obs::TraceKind::EventDetect, E,
+                static_cast<uint32_t>(Sl.Id));
       Pending.fetch_add(1);
       // CtrlQ is sized far beyond the event count (each event is
       // detected once) and the controller always drains, so a plain
@@ -269,6 +307,8 @@ void Engine::processPacket(Shard &S, EnginePacket &P) {
     if (S.ClsOut.size() == 0) {
       Dropped.add();
       S.Dropped.add();
+      obsRecord(S, obs::TraceKind::Drop, static_cast<uint32_t>(Sl.Id),
+                /*reason: table miss / drop rule*/ 0);
       return;
     }
     for (size_t I = 0; I != S.ClsOut.size(); ++I)
@@ -284,6 +324,8 @@ void Engine::processPacket(Shard &S, EnginePacket &P) {
   if (Outs.empty()) {
     Dropped.add();
     S.Dropped.add();
+    obsRecord(S, obs::TraceKind::Drop, static_cast<uint32_t>(Sl.Id),
+              /*reason: table miss / drop rule*/ 0);
     S.Outs = std::move(Outs);
     return;
   }
@@ -308,6 +350,8 @@ void Engine::handleInject(Shard &S, HostId From, Packet Header) {
   P.Parent = logEntry(S, P.Pkt, -1, false, P.Tag);
   P.IngressLogged = true;
   Injected.add();
+  obsRecord(S, obs::TraceKind::Inject, static_cast<uint32_t>(From),
+            static_cast<uint32_t>(At.Sw));
   processPacket(S, P);
 }
 
@@ -346,11 +390,18 @@ void Engine::prefetchMsg(const Msg &M) const {
   Compiled.pipe(M.P.Tag, M.P.Dense).classifier().prefetchRoot();
 }
 
-void Engine::pushBatchToShard(uint32_t Target, const Msg *Msgs, size_t N) {
+void Engine::pushBatchToShard(uint32_t Target, Msg *Msgs, size_t N) {
   // One tryPushBatch per retry (a single tail CAS covers the whole
   // claimed prefix); leftovers of a full ring go to the overflow deque —
   // producers never block. The caller has already added the messages to
   // Pending.
+  if (C.LatencyHistograms) {
+    // One clock read covers the whole batch: dwell is measured from the
+    // hand-off point, and the batch is handed off at once.
+    int64_t Now = monotonicNs();
+    for (size_t I = 0; I != N; ++I)
+      Msgs[I].EnqNs = Now;
+  }
   Shard &Dst = *Shards[Target];
   size_t Done = 0;
   while (Done != N) {
@@ -385,6 +436,8 @@ void Engine::flushOut(Shard &S) {
     MsgBuf &B = S.OutBufs[T];
     if (B.size() == 0)
       continue;
+    obsRecord(S, obs::TraceKind::CrossShardPush, T,
+              static_cast<uint32_t>(B.size()));
     pushBatchToShard(T, B.data(), B.size());
     B.reset();
   }
@@ -411,6 +464,18 @@ size_t Engine::drainBatch(Shard &S) {
   // Queue-depth high-water mark: what was still pending after the pop,
   // plus what we just claimed.
   S.QueueHighWater.raiseTo(S.Q->sizeApprox() + N);
+
+  if (ShardLatency *L = S.Lat.get()) {
+    // One clock read per batch; each message's dwell is measured against
+    // it. Self-delivered hops never ride the ring, so every message here
+    // carries a stamp.
+    int64_t Now = monotonicNs();
+    for (size_t I = 0; I != N; ++I) {
+      int64_t Dwell = Now - S.Batch[I].EnqNs;
+      L->DwellNs.record(Dwell > 0 ? static_cast<uint64_t>(Dwell) : 0);
+    }
+    L->Occupancy.record(N);
+  }
 
   for (size_t I = 0; I != N; ++I) {
     if (I + 1 != N)
@@ -605,6 +670,19 @@ void Engine::mergeResults() {
     MergedLearnTimes.insert(S->LearnTimes.begin(), S->LearnTimes.end());
   }
 
+  // Obs timeline: concatenate the per-shard rings (post-join, so every
+  // slot write happens-before this read) and sort into one time base.
+  for (auto &S : Shards) {
+    if (!S->ObsRing)
+      continue;
+    std::vector<obs::TraceEvent> Evs = S->ObsRing->events();
+    MergedObsTrace.insert(MergedObsTrace.end(), Evs.begin(), Evs.end());
+  }
+  std::sort(MergedObsTrace.begin(), MergedObsTrace.end(),
+            [](const obs::TraceEvent &A, const obs::TraceEvent &B) {
+              return A.TsNs < B.TsNs;
+            });
+
   // Final stats, including the transition-latency aggregates.
   FinalStats = Stats();
   FinalStats.ElapsedSec = ElapsedSec;
@@ -616,6 +694,7 @@ void Engine::mergeResults() {
   FinalStats.ClassifierPath = C.UseClassifier;
   FinalStats.BatchSize = C.BatchSize;
   fillPartitionStats(FinalStats);
+  fillObsStats(FinalStats);
   for (auto &S : Shards) {
     ShardStats SS = baseShardStats(*S);
     SS.QueueDepth = 0;
@@ -628,23 +707,18 @@ void Engine::mergeResults() {
     FinalStats.PacketsPerSec = FinalStats.PacketsProcessed / ElapsedSec;
     FinalStats.DeliveredPerSec = FinalStats.PacketsDelivered / ElapsedSec;
   }
-  double Sum = 0, Max = 0;
-  uint64_t Samples = 0;
+  // Update latency (detection -> each register learn) through an obs
+  // histogram, so the digest carries percentiles, not just mean/max.
+  // Post-run cost only: the samples are by-products of the protocol.
+  obs::LogHistogram UpdateNs;
   for (const auto &[Key, LearnAt] : MergedLearnTimes) {
     int64_t Ns = DetectNs[Key.second]->load();
     if (Ns < 0)
       continue;
-    double Lat = LearnAt - static_cast<double>(Ns) * 1e-9;
-    if (Lat < 0)
-      Lat = 0;
-    Sum += Lat;
-    if (Lat > Max)
-      Max = Lat;
-    ++Samples;
+    double Lat = LearnAt * 1e9 - static_cast<double>(Ns);
+    UpdateNs.record(Lat > 0 ? static_cast<uint64_t>(Lat) : 0);
   }
-  FinalStats.Transition.Samples = Samples;
-  FinalStats.Transition.MaxSec = Max;
-  FinalStats.Transition.MeanSec = Samples ? Sum / Samples : 0;
+  FinalStats.Transition = digestFrom(UpdateNs.snapshot(), 1e-9);
 }
 
 Stats Engine::stats() const {
@@ -660,6 +734,7 @@ Stats Engine::stats() const {
   S.ClassifierPath = C.UseClassifier;
   S.BatchSize = C.BatchSize;
   fillPartitionStats(S);
+  fillObsStats(S);
   for (const auto &Sh : Shards) {
     ShardStats SS = baseShardStats(*Sh);
     SS.QueueDepth = Sh->Q->sizeApprox();
@@ -679,11 +754,30 @@ Stats Engine::stats() const {
 }
 
 void Engine::fillPartitionStats(Stats &S) const {
-  S.Partition.Strategy = partitionStrategyName(Part.Strategy);
+  S.Partition.Strategy = Part.Strategy;
   S.Partition.CutWeight = Part.CutWeight;
   S.Partition.TotalWeight = Part.TotalWeight;
   S.Partition.MaxShardLoad = Part.MaxShardLoad;
   S.Partition.MinShardLoad = Part.MinShardLoad;
+}
+
+void Engine::fillObsStats(Stats &S) const {
+  // Lock-free merge: histogram snapshots are relaxed copies and the ring
+  // counters are monotone, so this is safe concurrently with run()
+  // (stats() live path) and exact once the workers joined.
+  obs::HistogramSnapshot Dwell, Occupancy;
+  for (const auto &Sh : Shards) {
+    if (Sh->Lat) {
+      Dwell.merge(Sh->Lat->DwellNs.snapshot());
+      Occupancy.merge(Sh->Lat->Occupancy.snapshot());
+    }
+    if (Sh->ObsRing) {
+      S.TraceRecorded += Sh->ObsRing->recordedCount();
+      S.TraceDropped += Sh->ObsRing->droppedCount();
+    }
+  }
+  S.QueueDwell = digestFrom(Dwell, 1e-9);
+  S.BatchOccupancy = digestFrom(Occupancy, 1.0);
 }
 
 ShardStats Engine::baseShardStats(const Shard &Sh) const {
@@ -694,6 +788,10 @@ ShardStats Engine::baseShardStats(const Shard &Sh) const {
   SS.Transitions = Sh.Transitions.get();
   SS.Switches = Part.ShardSwitches[Sh.Index];
   SS.IdleSleeps = Sh.IdleSleeps.get();
+  if (Sh.ObsRing) {
+    SS.TraceRecorded = Sh.ObsRing->recordedCount();
+    SS.TraceDropped = Sh.ObsRing->droppedCount();
+  }
   return SS;
 }
 

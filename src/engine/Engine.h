@@ -45,6 +45,8 @@
 #include "engine/Stats.h"
 #include "engine/TrafficGen.h"
 #include "nes/Nes.h"
+#include "obs/Histogram.h"
+#include "obs/TraceRing.h"
 #include "support/BitSet.h"
 #include "topo/Topology.h"
 
@@ -102,6 +104,13 @@ struct EngineConfig {
   /// MPSC queue atomics; 1 degenerates to the PR 1 message-at-a-time
   /// loop).
   unsigned BatchSize = 32;
+  /// Record per-hop queue-dwell and batch-occupancy histograms (obs/).
+  /// Off by default: when off, the hot loop takes no timestamps and the
+  /// recording calls reduce to a null-pointer test.
+  bool LatencyHistograms = false;
+  /// Per-shard obs trace-ring capacity in events (obs/TraceRing.h);
+  /// 0 disables tracing entirely (no ring is even allocated).
+  size_t TraceEventCapacity = 0;
 };
 
 /// A sharded multi-threaded data-plane engine executing one NES.
@@ -137,6 +146,13 @@ public:
   /// Packets handed to hosts, in per-shard processing order (merged).
   const std::vector<std::pair<HostId, netkat::Packet>> &deliveries() const {
     return MergedDeliveries;
+  }
+
+  /// The merged obs event timeline, sorted by timestamp (valid after
+  /// run; empty unless EngineConfig::TraceEventCapacity was set). Moves
+  /// the events out; subsequent calls return empty.
+  std::vector<obs::TraceEvent> takeObsTrace() {
+    return std::move(MergedObsTrace);
   }
 
   /// Seconds after run() start at which each switch first learned each
@@ -197,6 +213,7 @@ private:
     HostId From = 0;       // Inject
     netkat::Packet Header; // Inject
     DenseBitSet Merge;     // CtrlMerge
+    int64_t EnqNs = 0; ///< ring-enqueue stamp (only when LatencyHistograms)
   };
 
   struct TraceRec {
@@ -205,6 +222,13 @@ private:
     netkat::Packet Lp;
     bool IsDelivery = false;
     nes::SetId Tag = 0;
+  };
+
+  /// The per-shard latency-histogram pair (heap-allocated only when
+  /// EngineConfig::LatencyHistograms is on; ~15 KB each).
+  struct ShardLatency {
+    obs::LogHistogram DwellNs;    ///< ring enqueue -> owner dequeue, ns
+    obs::LogHistogram Occupancy;  ///< messages per non-empty drain batch
   };
 
   /// A recycled outgoing-message buffer for one target shard: slots keep
@@ -240,6 +264,11 @@ private:
     RelaxedCounter Dropped;
     RelaxedCounter QueueHighWater;
     RelaxedCounter IdleSleeps;
+    /// Observability (obs/): both null when the corresponding
+    /// EngineConfig knob is off — recording calls then cost one
+    /// predictable null test and the hot loop takes no timestamps.
+    std::unique_ptr<obs::TraceRing> ObsRing;
+    std::unique_ptr<ShardLatency> Lat;
   };
 
   /// Total growth events of a shard's recycled buffers (classifier
@@ -265,14 +294,25 @@ private:
   void applyRegister(Shard &S, SwitchSlot &Sl, const DenseBitSet &NewE);
   void sendToShard(uint32_t Target, Msg &&M);
   /// Pushes \p N already-Pending-counted messages into \p Target's ring
-  /// (batch CAS), spilling leftovers to the overflow deque.
-  void pushBatchToShard(uint32_t Target, const Msg *Msgs, size_t N);
+  /// (batch CAS), spilling leftovers to the overflow deque. Stamps each
+  /// message's EnqNs when latency histograms are on (hence non-const).
+  void pushBatchToShard(uint32_t Target, Msg *Msgs, size_t N);
+  /// Records one obs trace event on \p S's ring; a null test when
+  /// tracing is off.
+  void obsRecord(Shard &S, obs::TraceKind K, uint32_t A, uint32_t B) {
+    if (obs::TraceRing *R = S.ObsRing.get())
+      R->record({monotonicNs() - StartNs.load(std::memory_order_relaxed),
+                 A, B, K, static_cast<uint8_t>(S.Index)});
+  }
   int64_t logEntry(Shard &S, const netkat::Packet &Lp, int64_t Parent,
                    bool IsDelivery, nes::SetId Tag);
   void mergeResults();
   /// The partition summary and per-shard counters shared by stats() and
   /// mergeResults() (one source of truth for both report shapes).
   void fillPartitionStats(Stats &S) const;
+  /// Latency-histogram digests and trace-ring totals (lock-free; exact
+  /// after join, racy-but-consistent during run for the sampler).
+  void fillObsStats(Stats &S) const;
   ShardStats baseShardStats(const Shard &Sh) const;
   static int64_t monotonicNs() {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -316,6 +356,7 @@ private:
   std::vector<nes::SetId> MergedTags;
   std::vector<std::pair<HostId, netkat::Packet>> MergedDeliveries;
   std::map<std::pair<SwitchId, nes::EventId>, double> MergedLearnTimes;
+  std::vector<obs::TraceEvent> MergedObsTrace;
   Stats FinalStats;
 };
 

@@ -8,9 +8,11 @@
 /// \file
 /// A point-in-time snapshot of the concurrent engine's counters:
 /// per-shard throughput, queue depth/high-water marks, drop counts,
-/// freelist growth, configuration transitions, and the latency from an
-/// event's detection to each switch register learning it (the engine
-/// analogue of the Figure 16(b) discovery-time measurement).
+/// freelist growth, configuration transitions, and latency digests from
+/// the obs/ histograms — update latency (event detection to each
+/// switch's register learning it, the engine analogue of the Figure
+/// 16(b) discovery-time measurement), per-hop queue dwell, and hot-loop
+/// batch occupancy, each surfaced as p50/p90/p99/max.
 ///
 /// RelaxedCounter is the live-counter type behind the snapshot: each
 /// counter owns a full cache line so shards bumping different counters
@@ -28,6 +30,10 @@
 
 namespace eventnet {
 namespace engine {
+
+/// Defined in engine/Partition.h; declared opaquely here so the stats
+/// snapshot can carry the enum without pulling the partitioner in.
+enum class PartitionStrategy : uint8_t;
 
 /// A monotone event counter padded to a cache line, accessed with
 /// relaxed atomics only (it synchronizes nothing; readers get a racy but
@@ -57,17 +63,33 @@ struct ShardStats {
   uint64_t FreelistGrowth = 0;   ///< recycled-buffer pool growth events
   uint32_t Switches = 0;         ///< switches placed on this shard
   uint64_t IdleSleeps = 0;       ///< idle-backoff sleeps taken by the worker
+  uint64_t TraceRecorded = 0;    ///< obs trace-ring records that landed
+  uint64_t TraceDropped = 0;     ///< obs trace-ring records refused (full)
 };
 
 /// What the shard partitioner achieved for this run (see
 /// engine/Partition.h); lets bench and CLI output attribute scaling
 /// behavior to placement quality without a profiler.
 struct PartitionSummary {
-  const char *Strategy = "modulo"; ///< static strategy name
+  /// Static strategy, rendered via partitionStrategyName(). Value-
+  /// initialized to 0 == Modulo (the enum is opaque here).
+  PartitionStrategy Strategy{};
   uint64_t CutWeight = 0;   ///< edge weight crossing shard boundaries
   uint64_t TotalWeight = 0; ///< total edge weight of the switch graph
   uint64_t MaxShardLoad = 0;
   uint64_t MinShardLoad = 0;
+};
+
+/// Percentile summary of one obs/Histogram.h latency histogram, in
+/// seconds (percentile error is bounded by the histogram's sub-bucket
+/// resolution, ~3%; Max is exact).
+struct LatencyDigest {
+  uint64_t Samples = 0;
+  double MeanSec = 0;
+  double P50Sec = 0;
+  double P90Sec = 0;
+  double P99Sec = 0;
+  double MaxSec = 0;
 };
 
 /// Snapshot of the whole engine.
@@ -93,12 +115,23 @@ struct Stats {
   double DeliveredPerSec = 0;
 
   /// Event-detection to register-learn latency over all (switch, event)
-  /// pairs that learned (tag/digest propagation plus queueing).
-  struct TransitionLatency {
-    uint64_t Samples = 0;
-    double MeanSec = 0;
-    double MaxSec = 0;
-  } Transition;
+  /// pairs that learned (tag/digest propagation plus queueing) — the
+  /// update latency. Always populated after run() (the samples are
+  /// by-products of the protocol, so no hot-path cost).
+  LatencyDigest Transition;
+
+  /// Per-hop queue dwell: enqueue on a producing shard to dequeue by the
+  /// owner. Only populated when EngineConfig::LatencyHistograms is on.
+  LatencyDigest QueueDwell;
+
+  /// Messages per non-empty hot-loop drain batch. Dimensionless counts
+  /// stored in the *Sec fields (no scaling); only populated when
+  /// EngineConfig::LatencyHistograms is on.
+  LatencyDigest BatchOccupancy;
+
+  /// obs trace-ring totals across shards (zero when tracing is off).
+  uint64_t TraceRecorded = 0;
+  uint64_t TraceDropped = 0;
 
   std::vector<ShardStats> Shards;
 };

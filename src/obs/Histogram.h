@@ -1,0 +1,172 @@
+//===- obs/Histogram.h - Lock-free log-bucket latency histogram -*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size HDR-style histogram for hot-path latency recording: the
+/// value range [0, 2^63) is covered by exponential major buckets, each
+/// split into 2^SubBits linear sub-buckets, so any recorded value lands
+/// in a bucket whose width is at most value / 2^SubBits — percentile
+/// estimates carry a bounded relative error of 1/2^SubBits (~3% at the
+/// default SubBits = 5) regardless of the distribution's spread.
+///
+/// record() is one relaxed atomic increment on a fixed-address counter:
+/// no allocation, no locks, no CAS loops (the max tracker is the one
+/// exception and only loops while a new maximum races another). Each
+/// engine shard owns a private histogram, so recording never contends;
+/// snapshot() copies the counters out and snapshots merge additively,
+/// which is exact because buckets are positional.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_OBS_HISTOGRAM_H
+#define EVENTNET_OBS_HISTOGRAM_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace eventnet {
+namespace obs {
+
+/// A merged, queryable copy of a LogHistogram's counters.
+struct HistogramSnapshot {
+  std::vector<uint64_t> Counts; ///< positional bucket counts
+  uint64_t TotalCount = 0;
+  uint64_t Sum = 0; ///< sum of recorded values (saturating in practice)
+  uint64_t Max = 0; ///< largest recorded value, exact
+
+  bool empty() const { return TotalCount == 0; }
+  double mean() const {
+    return TotalCount ? static_cast<double>(Sum) / TotalCount : 0;
+  }
+
+  /// The smallest bucket upper edge v such that at least Q of the
+  /// recorded values are <= v (Q in [0, 1]). The true max is substituted
+  /// for the top bucket's edge so percentile(1.0) == Max exactly.
+  uint64_t percentile(double Q) const;
+
+  /// Additive merge (both sides must come from same-shaped histograms).
+  void merge(const HistogramSnapshot &Other);
+};
+
+/// The live recording side (see file header).
+class LogHistogram {
+public:
+  /// Linear sub-buckets per power of two: 2^SubBits.
+  static constexpr unsigned SubBits = 5;
+  static constexpr uint64_t SubBuckets = 1ull << SubBits;
+  /// Values 0..SubBuckets-1 are exact; every further power of two
+  /// contributes SubBuckets buckets up to exponent 62 (int64 range).
+  static constexpr unsigned NumBuckets =
+      static_cast<unsigned>(SubBuckets + (63 - SubBits) * SubBuckets);
+
+  LogHistogram() : Buckets(new std::atomic<uint64_t>[NumBuckets]) {
+    for (unsigned I = 0; I != NumBuckets; ++I)
+      Buckets[I].store(0, std::memory_order_relaxed);
+  }
+
+  LogHistogram(const LogHistogram &) = delete;
+  LogHistogram &operator=(const LogHistogram &) = delete;
+
+  /// Which bucket \p V lands in. Exposed for the property tests.
+  static unsigned bucketIndex(uint64_t V) {
+    if (V < SubBuckets)
+      return static_cast<unsigned>(V);
+    unsigned E = 63 - static_cast<unsigned>(__builtin_clzll(V));
+    if (E > 62) // clamp int64-overflowing values into the top group
+      E = 62;
+    unsigned Shift = E - SubBits;
+    uint64_t Off = (V >> Shift) - SubBuckets;
+    if (Off >= SubBuckets) // only reachable via the E clamp above
+      Off = SubBuckets - 1;
+    return static_cast<unsigned>((E - SubBits + 1) * SubBuckets + Off);
+  }
+
+  /// The inclusive upper edge of bucket \p I (every value recorded into
+  /// the bucket is <= this).
+  static uint64_t bucketUpperEdge(unsigned I) {
+    if (I < SubBuckets)
+      return I;
+    unsigned Group = I / static_cast<unsigned>(SubBuckets);
+    uint64_t Off = I % SubBuckets;
+    unsigned E = Group + SubBits - 1;
+    return ((SubBuckets + Off + 1) << (E - SubBits)) - 1;
+  }
+
+  /// Records one value: a relaxed increment plus a max update.
+  void record(uint64_t V) {
+    Buckets[bucketIndex(V)].fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Total.fetch_add(V, std::memory_order_relaxed);
+    uint64_t Cur = MaxV.load(std::memory_order_relaxed);
+    while (V > Cur &&
+           !MaxV.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+      ;
+  }
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+
+  /// A racy-but-consistent-enough copy for reporting (exact once the
+  /// recording threads have joined).
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot S;
+    S.Counts.resize(NumBuckets);
+    for (unsigned I = 0; I != NumBuckets; ++I)
+      S.Counts[I] = Buckets[I].load(std::memory_order_relaxed);
+    S.TotalCount = Count.load(std::memory_order_relaxed);
+    S.Sum = Total.load(std::memory_order_relaxed);
+    S.Max = MaxV.load(std::memory_order_relaxed);
+    return S;
+  }
+
+private:
+  std::unique_ptr<std::atomic<uint64_t>[]> Buckets;
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Total{0};
+  std::atomic<uint64_t> MaxV{0};
+};
+
+inline uint64_t HistogramSnapshot::percentile(double Q) const {
+  if (TotalCount == 0)
+    return 0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  // Rank: the ceil(Q * N)-th recorded value (1-based), at least the 1st.
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(TotalCount));
+  if (static_cast<double>(Rank) < Q * static_cast<double>(TotalCount))
+    ++Rank;
+  if (Rank == 0)
+    Rank = 1;
+  uint64_t Seen = 0;
+  for (unsigned I = 0; I != Counts.size(); ++I) {
+    Seen += Counts[I];
+    if (Seen >= Rank) {
+      uint64_t Edge = LogHistogram::bucketUpperEdge(I);
+      return Edge > Max ? Max : Edge;
+    }
+  }
+  return Max;
+}
+
+inline void HistogramSnapshot::merge(const HistogramSnapshot &Other) {
+  if (Counts.size() < Other.Counts.size())
+    Counts.resize(Other.Counts.size());
+  for (size_t I = 0; I != Other.Counts.size(); ++I)
+    Counts[I] += Other.Counts[I];
+  TotalCount += Other.TotalCount;
+  Sum += Other.Sum;
+  if (Other.Max > Max)
+    Max = Other.Max;
+}
+
+} // namespace obs
+} // namespace eventnet
+
+#endif // EVENTNET_OBS_HISTOGRAM_H

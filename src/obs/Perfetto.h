@@ -1,0 +1,41 @@
+//===- obs/Perfetto.h - Chrome/Perfetto trace_event export ------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes a merged engine event trace into the Chrome trace_event
+/// JSON format (the "JSON Array Format" with a top-level traceEvents
+/// member), loadable by chrome://tracing and ui.perfetto.dev: one
+/// timeline track per shard (thread metadata events name them), instant
+/// events for every recorded TraceKind, and a trailing metadata object
+/// carrying the drop audit so a truncated ring is visible in the file
+/// itself, not only in the run report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_OBS_PERFETTO_H
+#define EVENTNET_OBS_PERFETTO_H
+
+#include "obs/TraceRing.h"
+
+#include <ostream>
+#include <vector>
+
+namespace eventnet {
+namespace obs {
+
+/// Writes \p Events (merged, any order; typically ts-sorted) as
+/// Chrome/Perfetto trace JSON. \p NumShards names that many timeline
+/// tracks; \p DroppedEvents is the ring-overflow count recorded into the
+/// trace metadata.
+void writePerfettoTrace(std::ostream &OS,
+                        const std::vector<TraceEvent> &Events,
+                        unsigned NumShards, uint64_t DroppedEvents);
+
+} // namespace obs
+} // namespace eventnet
+
+#endif // EVENTNET_OBS_PERFETTO_H

@@ -1,0 +1,81 @@
+//===- obs/Sampler.cpp - Periodic metrics sampler -------------------------===//
+
+#include "obs/Sampler.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace eventnet;
+using namespace eventnet::obs;
+
+MetricsSampler::MetricsSampler(unsigned IntervalMs,
+                               std::function<std::string()> Sample,
+                               std::ostream &OS)
+    : IntervalMs(IntervalMs ? IntervalMs : 1), Sample(std::move(Sample)),
+      OS(OS) {}
+
+MetricsSampler::~MetricsSampler() { stop(); }
+
+void MetricsSampler::start() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Started)
+      return;
+    Started = true;
+    Stopping = false;
+  }
+  // Synchronous initial sample: the begin state is on record even if
+  // stop() lands before the thread's first tick.
+  emitOnce();
+  std::lock_guard<std::mutex> Lock(Mu);
+  Thread = std::thread([this] { loop(); });
+}
+
+void MetricsSampler::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!Started)
+      return;
+    Stopping = true;
+  }
+  Cv.notify_all();
+  Thread.join();
+  std::lock_guard<std::mutex> Lock(Mu);
+  Started = false;
+}
+
+void MetricsSampler::emitOnce() {
+  // Wall-clock stamp: samples from different runs/machines line up in
+  // log aggregation, unlike the engine's run-relative steady clock.
+  double Now = std::chrono::duration<double>(
+                   std::chrono::system_clock::now().time_since_epoch())
+                   .count();
+  char Stamp[64];
+  snprintf(Stamp, sizeof(Stamp), "{\"ts\": %.6f", Now);
+  // One line per sample: writers downstream (files, pipes) see whole
+  // JSON objects. The sample callback returns "{...}"; splice our
+  // timestamp into its opening brace (no comma for an empty object).
+  std::string Body = Sample();
+  if (!Body.empty() && Body.front() == '{')
+    Body = std::string(Stamp) + (Body[1] == '}' ? "" : ", ") +
+           Body.substr(1);
+  OS << Body << "\n";
+  OS.flush();
+  ++Emitted;
+}
+
+void MetricsSampler::loop() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    Cv.wait_for(Lock, std::chrono::milliseconds(IntervalMs),
+                [this] { return Stopping; });
+    if (Stopping)
+      break;
+    // Emit outside the lock so a slow Sample() never blocks stop().
+    Lock.unlock();
+    emitOnce();
+    Lock.lock();
+  }
+  Lock.unlock();
+  emitOnce(); // final snapshot: short runs still record their end state
+}

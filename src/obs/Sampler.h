@@ -1,0 +1,74 @@
+//===- obs/Sampler.h - Periodic metrics sampler -----------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An optional background thread that emits timestamped counter
+/// snapshots as JSON-lines while a run executes — the soak-run
+/// monitoring channel. The sampler owns nothing but a callback: the
+/// caller supplies a function producing one JSON object line (the
+/// engine backend feeds it lock-free Engine::stats() snapshots), and the
+/// sampler writes it with a wall-clock timestamp at each tick plus one
+/// final tick at stop() so short runs still produce a sample.
+///
+/// Lifecycle: construct, start(), stop() (idempotent; the destructor
+/// stops too). The tick wait is a condition variable, so stop() returns
+/// promptly instead of sleeping out the interval.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_OBS_SAMPLER_H
+#define EVENTNET_OBS_SAMPLER_H
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+namespace eventnet {
+namespace obs {
+
+/// Periodic JSON-lines metrics emission (see file header).
+class MetricsSampler {
+public:
+  /// \p Sample must be callable from the sampler thread for the whole
+  /// start()..stop() window and return one JSON object (no newline).
+  /// Lines go to \p OS, which must outlive the sampler.
+  MetricsSampler(unsigned IntervalMs, std::function<std::string()> Sample,
+                 std::ostream &OS);
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler &) = delete;
+  MetricsSampler &operator=(const MetricsSampler &) = delete;
+
+  void start();
+  /// Stops the thread after one final sample; idempotent.
+  void stop();
+
+  /// Lines emitted so far (including the final stop() sample).
+  uint64_t samplesEmitted() const { return Emitted; }
+
+private:
+  void loop();
+  void emitOnce();
+
+  unsigned IntervalMs;
+  std::function<std::string()> Sample;
+  std::ostream &OS;
+
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Stopping = false;
+  bool Started = false;
+  uint64_t Emitted = 0;
+  std::thread Thread;
+};
+
+} // namespace obs
+} // namespace eventnet
+
+#endif // EVENTNET_OBS_SAMPLER_H

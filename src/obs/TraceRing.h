@@ -1,0 +1,116 @@
+//===- obs/TraceRing.h - Bounded lock-free binary event trace ---*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded, drop-counting binary trace of typed engine events. A
+/// record is a 24-byte POD; recording claims a slot with one relaxed
+/// fetch_add and writes it in place — wait-free, no locks, no
+/// allocation, and writers to distinct slots never touch the same
+/// memory, so concurrent producers are race-free by construction.
+///
+/// The ring is *bounded, not circular*: once the capacity is exhausted,
+/// further records are counted as dropped rather than overwriting the
+/// earliest ones. An execution timeline that silently loses its *head*
+/// is worthless (everything downstream dangles); one that loses its
+/// tail and says how much is an honest partial view. droppedCount() is
+/// part of every export for exactly that reason.
+///
+/// Readers call events() only after the recording threads have quiesced
+/// (the engine reads post-join, which orders every slot write before the
+/// read); droppedCount()/recordedCount() are safe from any thread at any
+/// time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_OBS_TRACERING_H
+#define EVENTNET_OBS_TRACERING_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace eventnet {
+namespace obs {
+
+/// What happened. Values are stable (they appear in exported traces).
+enum class TraceKind : uint8_t {
+  Inject = 0,        ///< host emission entered the engine (A=host, B=switch)
+  Hop = 1,           ///< a switch processed a packet (A=switch, B=tag)
+  CrossShardPush = 2, ///< egress batch pushed to another shard (A=target, B=n)
+  EventDetect = 3,   ///< first detection of an NES event (A=event, B=switch)
+  RegisterLearn = 4, ///< a switch register learned an event (A=switch, B=event)
+  ConfigSwap = 5,    ///< published view swapped (A=switch, B=version)
+  Drop = 6,          ///< packet dropped (A=switch, B=reason: 0 miss, 1 port)
+};
+
+/// Canonical lowercase name for exports ("inject", "hop", ...).
+const char *traceKindName(TraceKind K);
+
+/// One fixed-size binary record. TsNs is nanoseconds since the run's
+/// start (the engine's steady clock), so merged multi-shard timelines
+/// share one time base.
+struct TraceEvent {
+  int64_t TsNs = 0;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  TraceKind Kind = TraceKind::Hop;
+  uint8_t Shard = 0;
+};
+
+/// The bounded trace (see file header). One instance per engine shard;
+/// any thread may record.
+class TraceRing {
+public:
+  /// \p Capacity slots are allocated up front (never on record()).
+  explicit TraceRing(size_t Capacity)
+      : Cap(Capacity), Slots(new TraceEvent[Capacity ? Capacity : 1]) {}
+
+  TraceRing(const TraceRing &) = delete;
+  TraceRing &operator=(const TraceRing &) = delete;
+
+  /// Claims a slot and writes \p E; returns false (counting a drop) when
+  /// the ring is full. Wait-free.
+  bool record(const TraceEvent &E) {
+    uint64_t I = Next.fetch_add(1, std::memory_order_relaxed);
+    if (I >= Cap)
+      return false;
+    Slots[I] = E;
+    return true;
+  }
+
+  size_t capacity() const { return Cap; }
+
+  /// Records that landed in the ring.
+  uint64_t recordedCount() const {
+    uint64_t N = Next.load(std::memory_order_relaxed);
+    return N < Cap ? N : Cap;
+  }
+
+  /// Records refused because the ring was full.
+  uint64_t droppedCount() const {
+    uint64_t N = Next.load(std::memory_order_relaxed);
+    return N > Cap ? N - Cap : 0;
+  }
+
+  /// The recorded prefix. Only meaningful after every recording thread
+  /// has quiesced (e.g. post-join).
+  std::vector<TraceEvent> events() const {
+    return std::vector<TraceEvent>(Slots.get(),
+                                   Slots.get() + recordedCount());
+  }
+
+private:
+  const uint64_t Cap;
+  std::unique_ptr<TraceEvent[]> Slots;
+  std::atomic<uint64_t> Next{0};
+};
+
+} // namespace obs
+} // namespace eventnet
+
+#endif // EVENTNET_OBS_TRACERING_H

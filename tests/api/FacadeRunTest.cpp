@@ -74,6 +74,12 @@ TEST_P(FacadeBackends, FirewallRunIsConsistent) {
   EXPECT_GT(R->Trace.size(), 0u);
   ASSERT_TRUE(R->Checked);
   EXPECT_TRUE(R->Consistency.Correct) << R->Consistency.Reason;
+
+  // Packet conservation holds on every backend; the audit proves it.
+  EXPECT_TRUE(R->Audit.Ok)
+      << R->Audit.SilentLoss << " packets silently lost";
+  EXPECT_EQ(R->Audit.Injected, R->PacketsInjected);
+  EXPECT_EQ(R->Audit.SilentLoss, 0u);
 }
 
 TEST_P(FacadeBackends, RingRunIsConsistent) {
@@ -107,6 +113,14 @@ TEST_P(FacadeBackends, ReportRendersTextAndJson) {
   EXPECT_NE(Json.find("\"consistency\": {\"checked\": true, "
                       "\"correct\": true}"),
             std::string::npos);
+  // The observability keys are part of the schema on every backend
+  // (zero-valued where the backend records nothing).
+  for (const char *Key :
+       {"\"update_lat_p50\"", "\"update_lat_p99\"", "\"queue_dwell\"",
+        "\"batch_occupancy\"", "\"drop_audit\"", "\"silent_loss\"",
+        "\"obs_trace_recorded\""})
+    EXPECT_NE(Json.find(Key), std::string::npos) << Key;
+  EXPECT_NE(Json.find("\"ok\": true"), std::string::npos);
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, FacadeBackends,
@@ -145,6 +159,62 @@ TEST(Facade, EnginePartitionStrategiesRunAndReport) {
                                   "refined"));
   ASSERT_TRUE(Mod.ok() && Ref.ok());
   EXPECT_LT(Ref->EdgeCut, Mod->EdgeCut);
+}
+
+TEST(Facade, EngineObservabilityEndToEnd) {
+  // The full observability stack through the façade: latency
+  // histograms, the obs trace ring, and the metrics sampler all on at
+  // once, with counters that cross-check the run's own report.
+  Result<Compilation> C = compileFirewall();
+  ASSERT_TRUE(C.ok()) << C.status().str();
+
+  Result<RunReport> R =
+      run(*C, "engine",
+          RunOptions().seed(9).shards(2).phases(3).pingsPerPhase(3)
+              .latencyHistograms(true)
+              .traceEvents(1 << 14)
+              .metricsIntervalMs(1)
+              .metricsPath("/dev/null"));
+  ASSERT_TRUE(R.ok()) << R.status().str();
+  ASSERT_TRUE(R->Checked);
+  EXPECT_TRUE(R->Consistency.Correct) << R->Consistency.Reason;
+  EXPECT_TRUE(R->Audit.Ok);
+
+  // Histograms: every switch hop dwelt in some queue, every dequeue
+  // batch had occupancy >= 1.
+  EXPECT_GT(R->QueueDwell.Samples, 0u);
+  EXPECT_GE(R->QueueDwell.MaxSec, R->QueueDwell.P50Sec);
+  EXPECT_GT(R->BatchOccupancy.Samples, 0u);
+  EXPECT_GE(R->BatchOccupancy.MeanSec, 1.0);
+
+  // Trace ring: events were recorded, none dropped at this capacity,
+  // and the merged timeline is time-ordered with injects and hops.
+  EXPECT_GT(R->TraceRecorded, 0u);
+  EXPECT_EQ(R->TraceDropped, 0u);
+  ASSERT_EQ(R->ObsTrace.size(), R->TraceRecorded);
+  bool SawInject = false, SawHop = false;
+  for (size_t I = 0; I != R->ObsTrace.size(); ++I) {
+    const obs::TraceEvent &E = R->ObsTrace[I];
+    SawInject |= E.Kind == obs::TraceKind::Inject;
+    SawHop |= E.Kind == obs::TraceKind::Hop;
+    EXPECT_LT(E.Shard, 2u);
+    if (I)
+      EXPECT_LE(R->ObsTrace[I - 1].TsNs, E.TsNs) << "unsorted at " << I;
+  }
+  EXPECT_TRUE(SawInject);
+  EXPECT_TRUE(SawHop);
+
+  // Off by default: the same run without the options records nothing.
+  Result<RunReport> Off =
+      run(*C, "engine",
+          RunOptions().seed(9).shards(2).phases(3).pingsPerPhase(3));
+  ASSERT_TRUE(Off.ok()) << Off.status().str();
+  EXPECT_EQ(Off->QueueDwell.Samples, 0u);
+  EXPECT_EQ(Off->TraceRecorded, 0u);
+  EXPECT_TRUE(Off->ObsTrace.empty());
+  // ...but the update-latency digest is a protocol by-product and is
+  // populated either way (the ring app's probe flips its config).
+  EXPECT_GT(Off->ConfigTransitions, 0u);
 }
 
 TEST(Facade, UnknownPartitionStrategyIsInvalidArgument) {

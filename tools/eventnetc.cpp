@@ -13,10 +13,14 @@
 //             [--phases N] [--per-phase N] [--classifier on|off]
 //             [--batch N] [--partition modulo|contiguous|refined]
 //             [--no-check] [--json]
+//             [--trace out.json] [--latency-hist]
+//             [--metrics-interval MS] [--metrics-out FILE]
 //   eventnetc check <program.snk> --topo <topo.txt>
 //             (run's options; reports only the Definition 6 verdict and
 //              exits 8 on violation)
 //   eventnetc backends
+//
+// --quiet suppresses stderr notes/warnings; -v adds progress notes.
 //
 // Every failure class has a distinct exit code (api::Status::exitCode):
 //   0 ok, 2 usage/invalid argument, 3 unreadable file, 4 program parse
@@ -27,9 +31,12 @@
 
 #include "api/Api.h"
 #include "engine/Partition.h"
+#include "obs/Perfetto.h"
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 using namespace eventnet;
@@ -50,9 +57,28 @@ int usage() {
           "            [--classifier on|off] [--batch N]\n"
           "            [--partition modulo|contiguous|refined]\n"
           "            [--no-check] [--json]\n"
+          "            [--trace out.json] [--latency-hist]\n"
+          "            [--metrics-interval MS] [--metrics-out FILE]\n"
           "  check     like run, but print only the Definition 6 verdict\n"
-          "  backends  list registered backends\n");
+          "  backends  list registered backends\n"
+          "global: --quiet (no stderr notes), -v (progress notes)\n");
   return 2;
+}
+
+/// Stderr verbosity: 0 with --quiet, 1 by default, 2 with -v. Level-1
+/// notes are warnings worth seeing unprompted (dropped trace events);
+/// level-2 notes narrate progress.
+int Verbosity = 1;
+
+void note(int Level, const char *Fmt, ...) {
+  if (Verbosity < Level)
+    return;
+  va_list Ap;
+  va_start(Ap, Fmt);
+  fprintf(stderr, "eventnetc: ");
+  vfprintf(stderr, Fmt, Ap);
+  fprintf(stderr, "\n");
+  va_end(Ap);
 }
 
 int fail(const api::Status &St) {
@@ -69,6 +95,8 @@ struct CliArgs {
   // run workload
   std::string Backend = "engine";
   api::RunOptions Run;
+  // observability outputs
+  std::string TracePath; ///< Perfetto JSON destination ("" = no trace)
 };
 
 /// Parses argv[2..]; returns an InvalidArgument Status on malformed
@@ -137,8 +165,34 @@ api::Status parseArgs(int argc, char **argv, const std::string &Cmd,
       if (!V || !engine::parsePartitionStrategy(V))
         return Bad("--partition needs 'modulo', 'contiguous', or 'refined'");
       A.Run.partition(V);
+    } else if (Arg == "--quiet") {
+      Verbosity = 0;
+    } else if (Arg == "-v") {
+      Verbosity = 2;
+    } else if (Arg == "--trace") {
+      if (IsCompile)
+        return WrongCommand();
+      const char *V = TakeValue();
+      if (!V)
+        return Bad("--trace needs an output file argument");
+      A.TracePath = V;
+      // 256K events per shard; the ring counts (not silently hides)
+      // anything beyond that.
+      A.Run.traceEvents(1u << 18);
+    } else if (Arg == "--latency-hist") {
+      if (IsCompile)
+        return WrongCommand();
+      A.Run.latencyHistograms(true);
+    } else if (Arg == "--metrics-out") {
+      if (IsCompile)
+        return WrongCommand();
+      const char *V = TakeValue();
+      if (!V)
+        return Bad("--metrics-out needs a file argument");
+      A.Run.metricsPath(V);
     } else if (Arg == "--seed" || Arg == "--shards" || Arg == "--phases" ||
-               Arg == "--per-phase" || Arg == "--batch") {
+               Arg == "--per-phase" || Arg == "--batch" ||
+               Arg == "--metrics-interval") {
       if (IsCompile)
         return WrongCommand();
       const char *V = TakeValue();
@@ -159,6 +213,8 @@ api::Status parseArgs(int argc, char **argv, const std::string &Cmd,
           A.Run.phases(static_cast<unsigned>(N));
         else if (Arg == "--batch")
           A.Run.batch(static_cast<unsigned>(N));
+        else if (Arg == "--metrics-interval")
+          A.Run.metricsIntervalMs(static_cast<unsigned>(N));
         else
           A.Run.pingsPerPhase(static_cast<unsigned>(N));
       }
@@ -202,9 +258,32 @@ int cmdCompile(const CliArgs &A, const api::Compilation &C) {
 }
 
 int cmdRun(const CliArgs &A, const api::Compilation &C, bool VerdictOnly) {
+  note(2, "running backend %s (seed %llu, %u shards)", A.Backend.c_str(),
+       static_cast<unsigned long long>(A.Run.Seed), A.Run.Shards);
   api::Result<api::RunReport> R = api::run(C, A.Backend, A.Run);
   if (!R.ok())
     return fail(R.status());
+
+  if (!A.TracePath.empty()) {
+    if (A.Backend != "engine" && R->ObsTrace.empty())
+      note(1, "--trace: the %s backend records no obs events; writing an "
+              "empty trace", A.Backend.c_str());
+    std::ofstream OS(A.TracePath);
+    if (!OS)
+      return fail(api::Status::error(api::Code::RunError,
+                                     "cannot open trace file '" +
+                                         A.TracePath + "'"));
+    obs::writePerfettoTrace(OS, R->ObsTrace, R->Shards, R->TraceDropped);
+    note(2, "wrote %zu trace events to %s", R->ObsTrace.size(),
+         A.TracePath.c_str());
+    if (R->TraceDropped > 0)
+      note(1, "obs trace ring dropped %llu events (per-shard capacity "
+              "exceeded); the timeline keeps its head",
+           static_cast<unsigned long long>(R->TraceDropped));
+  }
+  if (!R->Audit.Ok)
+    note(1, "drop audit FAILED: %llu packet(s) silently lost",
+         static_cast<unsigned long long>(R->Audit.SilentLoss));
 
   if (A.Json)
     printf("%s\n", R->json().c_str());
