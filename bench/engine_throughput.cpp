@@ -263,8 +263,11 @@ int main(int argc, char **argv) {
     T.print(std::cout);
   // hw_threads lets scaling gates distinguish "the partition regressed"
   // from "this machine has no cores to scale onto".
+  // "faults": "off" lets the regression gate assert it is comparing the
+  // fault-free hot path: the injection hooks must stay null-pointer-gated
+  // zero-cost when no plan is armed.
   printResultJson("engine_throughput", T,
-                  "\"hw_threads\": " +
+                  "\"faults\": \"off\", \"hw_threads\": " +
                       std::to_string(std::thread::hardware_concurrency()));
   return 0;
 }

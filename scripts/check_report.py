@@ -7,7 +7,11 @@ and passed the Definition 6 consistency check. Exits non-zero with a
 message on the first violation.
 
 Usage:  eventnetc run prog.snk --topo net.topo --json | check_report.py
-        check_report.py report.json [--backend engine]
+        check_report.py report.json [--backend engine] [--faults]
+
+--faults additionally requires the report's fault block to be enabled
+(the chaos sweep passes it so a typo'd --faults flag can't silently
+validate a fault-free run).
 """
 
 import json
@@ -28,6 +32,9 @@ def main() -> None:
             fail("--backend needs a value")
         expect_backend = args[i + 1]
         del args[i : i + 2]
+    expect_faults = "--faults" in args
+    if expect_faults:
+        args.remove("--faults")
 
     text = open(args[0]).read() if args else sys.stdin.read()
     try:
@@ -43,7 +50,7 @@ def main() -> None:
         "update_lat_samples", "update_lat_p50", "update_lat_p90",
         "update_lat_p99", "update_lat_max", "queue_dwell",
         "batch_occupancy", "drop_audit", "obs_trace_recorded",
-        "obs_trace_dropped",
+        "obs_trace_dropped", "overload", "faults",
     ]
     for key in required:
         if key not in r:
@@ -59,6 +66,40 @@ def main() -> None:
             f"(injected={audit['injected']} delivered={audit['delivered']} "
             f"dropped={audit['dropped']})"
         )
+
+    if r["overload"] not in ("block", "shed-oldest", "shed-newest", ""):
+        fail(f"unknown overload policy {r['overload']!r}")
+
+    faults = r["faults"]
+    fault_keys = ("enabled", "drops", "dups", "delays", "shed", "stalls",
+                  "storms", "dup_delivered", "dup_dropped", "ledger_entries",
+                  "ledger_sha")
+    for key in fault_keys:
+        if key not in faults:
+            fail(f"faults block missing '{key}'")
+    if expect_faults and not faults["enabled"]:
+        fail("expected a fault-injected run but faults.enabled is false")
+    if not faults["enabled"]:
+        for key in fault_keys[1:-1]:
+            if faults[key] != 0:
+                fail(f"faults disabled but faults.{key} = {faults[key]}")
+    else:
+        # Every ledgered link fault is one record; the engine additionally
+        # ledgers controller storm events, so >= rather than ==.
+        floor = faults["drops"] + faults["dups"] + faults["delays"]
+        if faults["ledger_entries"] < floor:
+            fail(
+                f"ledger has {faults['ledger_entries']} entries but "
+                f"{floor} ledgered faults were injected"
+            )
+        if faults["ledger_entries"] > 0 and not faults["ledger_sha"]:
+            fail("non-empty fault ledger but empty ledger_sha")
+        if faults["dup_delivered"] + faults["dup_dropped"] > faults["dups"]:
+            fail(
+                f"dup outcomes ({faults['dup_delivered']} delivered + "
+                f"{faults['dup_dropped']} dropped) exceed injected dups "
+                f"({faults['dups']})"
+            )
 
     for block in ("queue_dwell", "batch_occupancy"):
         b = r[block]
@@ -85,7 +126,7 @@ def main() -> None:
         )
     for d in r["shard_detail"]:
         for key in ("shard", "switches", "processed", "queue_high_water",
-                    "dropped", "transitions"):
+                    "dropped", "transitions", "shed"):
             if key not in d:
                 fail(f"shard_detail entry missing '{key}': {d}")
     if r["backend"] == "engine":

@@ -16,6 +16,9 @@ default   run `bench/engine_throughput --json --seed 1 --partition
           row lost more than --threshold (default 15%) hops/sec OR
           scaling efficiency against the committed baseline, or any
           micro benchmark's cpu_time grew by more than the threshold.
+          The fresh run must attest `"faults": "off"` — the gate is
+          specifically the promise that the disarmed fault-injection
+          hooks cost nothing on the hot path.
 --smoke   tiny iteration counts (CI): engine_throughput --smoke, a small
           micro_compiler subset, schema validation only — plus an
           `eventnetc run --json` smoke on every registered backend,
@@ -78,6 +81,11 @@ def engine_throughput_once(bin_dir: str, smoke: bool,
         fail("engine_throughput JSON missing bench/rows")
     if "hw_threads" not in d:
         fail("engine_throughput JSON missing hw_threads")
+    # The throughput numbers gate the fault-free hot path; a bench that
+    # somehow ran with injection armed would compare apples to chaos.
+    if d.get("faults") != "off":
+        fail("engine_throughput JSON does not attest 'faults': 'off' — "
+             "the regression gate only judges the fault-free path")
     if not d["rows"]:
         fail("engine_throughput produced no rows")
     for row in d["rows"]:

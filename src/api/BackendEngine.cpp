@@ -41,6 +41,14 @@ public:
       return Status::error(Code::InvalidArgument,
                            "unknown partition strategy '" + O.Partition +
                                "' (known: modulo, contiguous, refined)");
+    auto Overload = engine::parseOverloadPolicy(O.Overload);
+    if (!Overload)
+      return Status::error(Code::InvalidArgument,
+                           "unknown overload policy '" + O.Overload +
+                               "' (known: block, shed-oldest, shed-newest)");
+    std::optional<faults::Injector> Inj;
+    if (O.Faults && O.Faults->enabled())
+      Inj.emplace(*O.Faults);
 
     engine::EngineConfig Cfg;
     Cfg.NumShards = O.Shards;
@@ -49,6 +57,9 @@ public:
     Cfg.Partition = *Strategy;
     Cfg.LatencyHistograms = O.LatencyHistograms;
     Cfg.TraceEventCapacity = O.TraceCapacity;
+    Cfg.Overload = *Overload;
+    if (Inj)
+      Cfg.Faults = &*Inj;
     engine::Engine E(C.structure(), C.topology(), Cfg);
 
     // Optional periodic metrics sampler: JSON-lines counter snapshots to
@@ -83,10 +94,11 @@ public:
     R.Partition = engine::partitionStrategyName(S.Partition.Strategy);
     R.EdgeCut = S.Partition.CutWeight;
     R.EdgeTotal = S.Partition.TotalWeight;
+    R.Overload = engine::overloadPolicyName(*Overload);
     for (const engine::ShardStats &SS : S.Shards)
       R.ShardDetail.push_back(
           {SS.PacketsProcessed, SS.QueueHighWater, SS.Dropped,
-           SS.Transitions, SS.Switches});
+           SS.Transitions, SS.Switches, SS.Shed});
     R.PacketsInjected = S.PacketsInjected;
     R.PacketsDelivered = S.PacketsDelivered;
     R.PacketsDropped = S.PacketsDropped;
@@ -99,6 +111,22 @@ public:
     R.BatchOccupancy = toReport(S.BatchOccupancy);
     R.TraceRecorded = S.TraceRecorded;
     R.TraceDropped = S.TraceDropped;
+    if (Inj) {
+      R.Faults.Enabled = true;
+      R.Faults.Drops = S.FaultDrops;
+      R.Faults.Dups = S.FaultDups;
+      R.Faults.Delays = S.FaultDelays;
+      R.Faults.Shed = S.FaultSheds;
+      R.Faults.Stalls = S.FaultStalls;
+      R.Faults.Storms = S.FaultStorms;
+      R.Faults.DupDelivered = S.DupDelivered;
+      R.Faults.DupDropped = S.DupDropped;
+      faults::FaultLedger L = E.takeFaultLedger();
+      R.Faults.LedgerEntries = L.Records.size();
+      R.Faults.Ledger = L.canonical();
+      R.FaultCtx.ExcusedEntries = std::move(L.ExcusedEntries);
+      R.FaultCtx.DupEntries = std::move(L.DupEntries);
+    }
     R.ObsTrace = E.takeObsTrace();
     R.Trace = E.takeTrace();
     return R;

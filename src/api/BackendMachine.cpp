@@ -26,6 +26,10 @@ public:
 
   Result<RunReport> execute(const Compilation &C, const RunOptions &O,
                             const engine::Workload &W) override {
+    if (O.Faults && O.Faults->enabled())
+      return Status::error(Code::InvalidArgument,
+                           "the machine backend has no fault-injection "
+                           "sites; run the plan on 'engine' or 'sim'");
     runtime::Machine M(C.structure(), C.topology());
     Rng R(O.Seed);
     RunReport Rep;

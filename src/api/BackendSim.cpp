@@ -13,6 +13,8 @@
 
 #include "sim/Simulation.h"
 
+#include <optional>
+
 using namespace eventnet;
 using namespace eventnet::api;
 
@@ -33,6 +35,11 @@ public:
     P.Seed = O.Seed;
     sim::Simulation Sim(C.structure(), C.topology(),
                         sim::Simulation::Mode::Nes, P);
+    std::optional<faults::Injector> Inj;
+    if (O.Faults && O.Faults->enabled()) {
+      Inj.emplace(*O.Faults);
+      Sim.setFaults(&*Inj);
+    }
 
     double At = 0.05;
     for (const engine::Phase &Ph : W.Phases) {
@@ -46,9 +53,28 @@ public:
     R.PacketsInjected = Sim.hostEmissions();
     for (const auto &[Host, Loc] : C.topology().hosts())
       R.PacketsDelivered += Sim.deliveriesTo(Host).size();
-    R.PacketsDropped = R.PacketsInjected > R.PacketsDelivered
-                           ? R.PacketsInjected - R.PacketsDelivered
+    // The sim counts drops residually (it has no per-drop counter), so
+    // deliveries descending from injected duplicates are discounted here
+    // — they are outcomes no injection owns.
+    const sim::Simulation::FaultCounters &FC = Sim.faultCounters();
+    uint64_t EffDelivered = R.PacketsDelivered > FC.DupDelivered
+                                ? R.PacketsDelivered - FC.DupDelivered
+                                : 0;
+    R.PacketsDropped = R.PacketsInjected > EffDelivered
+                           ? R.PacketsInjected - EffDelivered
                            : 0;
+    if (Inj) {
+      R.Faults.Enabled = true;
+      R.Faults.Drops = FC.Drops;
+      R.Faults.Dups = FC.Dups;
+      R.Faults.Delays = FC.Delays;
+      R.Faults.DupDelivered = FC.DupDelivered;
+      faults::FaultLedger L = Sim.takeFaultLedger();
+      R.Faults.LedgerEntries = L.Records.size();
+      R.Faults.Ledger = L.canonical();
+      R.FaultCtx.ExcusedEntries = std::move(L.ExcusedEntries);
+      R.FaultCtx.DupEntries = std::move(L.DupEntries);
+    }
     R.SwitchHops = Sim.switchHops();
     for (nes::EventId E = 0; E != C.structure().numEvents(); ++E)
       R.EventsDetected += Sim.eventTime(E) >= 0;

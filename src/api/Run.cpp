@@ -121,18 +121,28 @@ Result<RunReport> Run::execute(const RunOptions &O) {
   // Packet-conservation audit (backend-agnostic): every injection must
   // end in a delivery or a counted drop. Multicast can only add terminal
   // outcomes, so injected > delivered + dropped means silent loss.
+  // Injected duplicates add terminal outcomes that no injection owns, so
+  // their deliveries/drops are discounted before the comparison.
   DropAudit &A = Report->Audit;
   A.Injected = Report->PacketsInjected;
   A.Delivered = Report->PacketsDelivered;
   A.Dropped = Report->PacketsDropped;
-  uint64_t Accounted = A.Delivered + A.Dropped;
+  uint64_t EffDelivered =
+      A.Delivered > Report->Faults.DupDelivered
+          ? A.Delivered - Report->Faults.DupDelivered
+          : 0;
+  uint64_t EffDropped = A.Dropped > Report->Faults.DupDropped
+                            ? A.Dropped - Report->Faults.DupDropped
+                            : 0;
+  uint64_t Accounted = EffDelivered + EffDropped;
   A.SilentLoss = A.Injected > Accounted ? A.Injected - Accounted : 0;
   A.Ok = A.SilentLoss == 0;
 
   if (O.CheckConsistency) {
     Report->Checked = true;
-    Report->Consistency =
-        consistency::checkAgainstNes(Report->Trace, Topo, C->structure());
+    Report->Consistency = consistency::checkAgainstNes(
+        Report->Trace, Topo, C->structure(),
+        Report->Faults.Enabled ? &Report->FaultCtx : nullptr);
   }
   return Report;
 }
@@ -164,6 +174,22 @@ std::string fmtLatency(double Sec) {
   return Buf;
 }
 
+/// Short stable digest of the canonical ledger (FNV-1a 64), so JSON
+/// consumers can compare ledgers across runs without the full text.
+std::string ledgerDigest(const std::string &Ledger) {
+  if (Ledger.empty())
+    return "";
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char Ch : Ledger) {
+    H ^= Ch;
+    H *= 1099511628211ull;
+  }
+  char Buf[32];
+  snprintf(Buf, sizeof(Buf), "%016llx",
+           static_cast<unsigned long long>(H));
+  return Buf;
+}
+
 void latencyJson(std::ostringstream &OS, const char *Key,
                  const LatencyReport &L) {
   OS << ", \"" << Key << "\": {\"samples\": " << L.Samples
@@ -185,6 +211,8 @@ std::string RunReport::str() const {
     if (!Partition.empty())
       OS << ", " << Partition << " partition (edge cut " << EdgeCut << "/"
          << EdgeTotal << ")";
+    if (!Overload.empty())
+      OS << ", " << Overload << " overload";
   }
   OS << "\n";
   OS << "  injected:     " << PacketsInjected << " packets\n";
@@ -223,11 +251,24 @@ std::string RunReport::str() const {
        << " packet(s) silently lost (" << Audit.Injected << " injected, "
        << Audit.Delivered << " delivered, " << Audit.Dropped
        << " counted drops)\n";
+  if (Faults.Enabled) {
+    OS << "  faults:       " << Faults.Drops << " dropped, " << Faults.Dups
+       << " duplicated, " << Faults.Delays << " delayed, " << Faults.Shed
+       << " shed, " << Faults.Stalls << " stalls, " << Faults.Storms
+       << " storm broadcasts (" << Faults.LedgerEntries
+       << " ledger entries)\n";
+    if (Faults.DupDelivered || Faults.DupDropped)
+      OS << "  dup outcomes: " << Faults.DupDelivered << " delivered, "
+         << Faults.DupDropped << " dropped (discounted from the audit)\n";
+  }
   for (size_t I = 0; I != ShardDetail.size(); ++I) {
     const ShardReport &D = ShardDetail[I];
     OS << "  shard " << I << ":      " << D.Switches << " switches, "
        << D.Processed << " hops, queue hwm " << D.QueueHighWater << ", "
-       << D.Dropped << " dropped, " << D.Transitions << " transitions\n";
+       << D.Dropped << " dropped, " << D.Transitions << " transitions";
+    if (D.Shed)
+      OS << ", " << D.Shed << " shed";
+    OS << "\n";
   }
   if (Checked) {
     OS << "  definition 6: "
@@ -247,6 +288,7 @@ std::string RunReport::json() const {
      << ", \"partition\": \"" << jsonEscape(Partition) << "\""
      << ", \"edge_cut\": " << EdgeCut
      << ", \"edge_total\": " << EdgeTotal
+     << ", \"overload\": \"" << jsonEscape(Overload) << "\""
      << ", \"injected\": " << PacketsInjected
      << ", \"delivered\": " << PacketsDelivered
      << ", \"dropped\": " << PacketsDropped
@@ -267,6 +309,16 @@ std::string RunReport::json() const {
      << ", \"dropped\": " << Audit.Dropped
      << ", \"silent_loss\": " << Audit.SilentLoss
      << ", \"ok\": " << (Audit.Ok ? "true" : "false") << "}"
+     << ", \"faults\": {\"enabled\": " << (Faults.Enabled ? "true" : "false")
+     << ", \"drops\": " << Faults.Drops << ", \"dups\": " << Faults.Dups
+     << ", \"delays\": " << Faults.Delays << ", \"shed\": " << Faults.Shed
+     << ", \"stalls\": " << Faults.Stalls
+     << ", \"storms\": " << Faults.Storms
+     << ", \"dup_delivered\": " << Faults.DupDelivered
+     << ", \"dup_dropped\": " << Faults.DupDropped
+     << ", \"ledger_entries\": " << Faults.LedgerEntries
+     << ", \"ledger_sha\": \"" << jsonEscape(ledgerDigest(Faults.Ledger))
+     << "\"}"
      << ", \"obs_trace_recorded\": " << TraceRecorded
      << ", \"obs_trace_dropped\": " << TraceDropped
      << ", \"trace_entries\": " << Trace.size() << ", \"shard_detail\": [";
@@ -277,7 +329,8 @@ std::string RunReport::json() const {
        << ", \"processed\": " << D.Processed
        << ", \"queue_high_water\": " << D.QueueHighWater
        << ", \"dropped\": " << D.Dropped
-       << ", \"transitions\": " << D.Transitions << "}";
+       << ", \"transitions\": " << D.Transitions
+       << ", \"shed\": " << D.Shed << "}";
   }
   OS << "], \"consistency\": ";
   if (!Checked) {

@@ -34,6 +34,7 @@
 #include "consistency/Check.h"
 #include "consistency/Trace.h"
 #include "engine/TrafficGen.h"
+#include "faults/FaultPlan.h"
 #include "obs/TraceRing.h"
 
 #include <functional>
@@ -101,6 +102,14 @@ public:
     MetricsPath = std::move(V);
     return *this;
   }
+  RunOptions &overload(std::string V) {
+    Overload = std::move(V);
+    return *this;
+  }
+  RunOptions &faults(std::shared_ptr<const faults::FaultPlan> V) {
+    Faults = std::move(V);
+    return *this;
+  }
 
   /// One seed for every backend's randomness: the workload generator,
   /// the machine driver's step choices, and the simulator's SimParams.
@@ -135,6 +144,14 @@ public:
   unsigned MetricsIntervalMs = 0;
   /// Where sampler JSON-lines go: a file path, or "" for stderr.
   std::string MetricsPath;
+  /// Engine backend: overload policy when a shard's input ring and
+  /// overflow fill up — "block" (bounded backoff, lossless), "shed-oldest"
+  /// or "shed-newest" (drop data-plane messages with full accounting).
+  std::string Overload = "block";
+  /// Fault-injection plan (faults/FaultPlan.h); null disables. The engine
+  /// honors every plan element; the simulator honors the link faults; the
+  /// machine backend rejects plans (no injection sites).
+  std::shared_ptr<const faults::FaultPlan> Faults;
 };
 
 /// Percentile summary of one recorded latency dimension, in seconds
@@ -171,6 +188,26 @@ struct ShardReport {
   uint64_t Dropped = 0;
   uint64_t Transitions = 0;
   uint32_t Switches = 0; ///< switches the partition placed on this shard
+  uint64_t Shed = 0;     ///< messages shed by the overload policy
+};
+
+/// Fault-injection summary: what the plan actually did to the run. Drops,
+/// dups, and delays are content-addressed and ledgered (same seed + same
+/// plan => byte-identical Ledger); sheds, stalls, and storms are
+/// timing-dependent and appear as counts only.
+struct FaultReport {
+  bool Enabled = false;
+  uint64_t Drops = 0;        ///< packets dropped by the plan
+  uint64_t Dups = 0;         ///< packets duplicated by the plan
+  uint64_t Delays = 0;       ///< packets delayed by the plan
+  uint64_t Shed = 0;         ///< messages shed by the overload policy
+  uint64_t Stalls = 0;       ///< worker stalls taken
+  uint64_t Storms = 0;       ///< controller storm re-broadcasts
+  uint64_t DupDelivered = 0; ///< deliveries descending from a duplicate
+  uint64_t DupDropped = 0;   ///< drops descending from a duplicate
+  uint64_t LedgerEntries = 0; ///< deterministic ledger record count
+  /// The canonical (sorted, newline-separated) fault ledger.
+  std::string Ledger;
 };
 
 /// The uniform result of a run on any backend.
@@ -183,6 +220,7 @@ struct RunReport {
   std::string Partition;   ///< engine: shard-placement strategy (else "")
   uint64_t EdgeCut = 0;    ///< engine: weighted inter-shard edge cut
   uint64_t EdgeTotal = 0;  ///< engine: total switch-graph edge weight
+  std::string Overload;    ///< engine: overload policy name (else "")
 
   uint64_t PacketsInjected = 0;  ///< host emissions (incl. echo replies)
   uint64_t PacketsDelivered = 0; ///< packets handed to a host
@@ -205,8 +243,16 @@ struct RunReport {
   /// *Sec fields carry dimensionless counts).
   LatencyReport BatchOccupancy;
 
-  /// Packet-conservation audit, filled for every backend.
+  /// Packet-conservation audit, filled for every backend. Under a fault
+  /// plan the math discounts duplicate-descended outcomes, so injected
+  /// faults never mask (or manufacture) silent loss.
   DropAudit Audit;
+
+  /// Fault-injection summary (Enabled false when no plan was active).
+  FaultReport Faults;
+  /// Ledger annotations for the Definition 6 checker (excused and
+  /// duplicate trace entries); consumed by Run::execute.
+  consistency::FaultContext FaultCtx;
 
   /// obs event-trace totals and the merged timeline (engine backend
   /// with RunOptions::TraceCapacity; else empty). Export with

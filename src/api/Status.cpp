@@ -25,6 +25,8 @@ const char *api::codeName(Code C) {
     return "consistency-violation";
   case Code::Internal:
     return "internal";
+  case Code::DropAuditFailure:
+    return "drop-audit-failure";
   }
   return "unknown";
 }
@@ -55,6 +57,8 @@ int Status::exitCode() const {
     return 8;
   case Code::Internal:
     return 9;
+  case Code::DropAuditFailure:
+    return 10;
   }
   return 9;
 }

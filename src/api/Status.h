@@ -49,6 +49,9 @@ enum class Code {
   ConsistencyViolation,
   /// Anything else (default-constructed Result, internal invariants).
   Internal,
+  /// The run's packet-conservation audit found silent loss and the
+  /// caller asked to fail on it (eventnetc run --fail-on-drop).
+  DropAuditFailure,
 };
 
 /// Stable lowercase identifier for a failure class ("parse-error", ...).
@@ -78,7 +81,7 @@ public:
 
   /// The CLI exit code for this failure class: 0 ok, 2 invalid-argument
   /// (usage-shaped), 3 io, 4 program parse, 5 topology parse, 6 compile,
-  /// 7 run, 8 consistency violation, 9 internal.
+  /// 7 run, 8 consistency violation, 9 internal, 10 drop-audit failure.
   int exitCode() const;
 
 private:

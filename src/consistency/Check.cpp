@@ -38,10 +38,27 @@ std::vector<Packet> chainPackets(const NetworkTrace &Tr,
 
 } // namespace
 
+namespace {
+
+/// True if every consecutive pair of \p Lps is related under \p C — the
+/// chain is a (not necessarily maximal) trace prefix of the
+/// configuration. Used for chains a ledgered fault cut short.
+bool isTracePrefix(const topo::Configuration &C, const topo::Topology &Topo,
+                   const std::vector<Packet> &Lps) {
+  if (Lps.empty())
+    return false;
+  for (size_t I = 0; I + 1 < Lps.size(); ++I)
+    if (!C.related(Topo, Lps[I], Lps[I + 1]))
+      return false;
+  return true;
+}
+
+} // namespace
+
 CheckResult consistency::checkUpdateSequence(
     const NetworkTrace &Tr, const topo::Topology &Topo,
     const UpdateSequence &U, const std::vector<Event> &AllEvents,
-    const nes::Nes *EnablingNes) {
+    const nes::Nes *EnablingNes, const std::vector<bool> *ExcusedLeaves) {
   size_t N = U.EventIds.size();
   assert(U.Configs.size() == N + 1 && "update sequence arity mismatch");
   const auto &Entries = Tr.entries();
@@ -76,14 +93,24 @@ CheckResult consistency::checkUpdateSequence(
             "trace continues past the update sequence: entry " +
             std::to_string(J) + " freshly matches " + AllEvents[Id].str());
 
-  // Packet traces and their single-configuration memberships.
+  // Packet traces and their single-configuration memberships. A chain
+  // whose leaf is excused (a ledgered fault ended it) is held to prefix
+  // membership: the surviving hops must follow one configuration, but
+  // maximality is waived because the fault, not the table, stopped it.
   std::vector<std::vector<int>> Chains = Tr.packetTraces();
   std::vector<std::vector<size_t>> Memberships(Chains.size());
   for (size_t C = 0; C != Chains.size(); ++C) {
     std::vector<Packet> Lps = chainPackets(Tr, Chains[C]);
-    for (size_t Ci = 0; Ci != U.Configs.size(); ++Ci)
-      if (U.Configs[Ci]->isCompleteTrace(Topo, Lps))
+    bool Excused = ExcusedLeaves && !Chains[C].empty() &&
+                   static_cast<size_t>(Chains[C].back()) <
+                       ExcusedLeaves->size() &&
+                   (*ExcusedLeaves)[Chains[C].back()];
+    for (size_t Ci = 0; Ci != U.Configs.size(); ++Ci) {
+      bool In = Excused ? isTracePrefix(*U.Configs[Ci], Topo, Lps)
+                        : U.Configs[Ci]->isCompleteTrace(Topo, Lps);
+      if (In)
         Memberships[C].push_back(Ci);
+    }
   }
 
   // FO bullet 3: each event must be triggered by a packet processed in
@@ -155,9 +182,58 @@ CheckResult consistency::checkUpdateSequence(
   return CheckResult::ok();
 }
 
+namespace {
+
+CheckResult checkAgainstNesImpl(const NetworkTrace &Tr,
+                                const topo::Topology &Topo,
+                                const nes::Nes &N,
+                                const std::vector<bool> *ExcusedLeaves);
+
+} // namespace
+
 CheckResult consistency::checkAgainstNes(const NetworkTrace &Tr,
                                          const topo::Topology &Topo,
-                                         const nes::Nes &N) {
+                                         const nes::Nes &N,
+                                         const FaultContext *Faults) {
+  if (!Faults || Faults->empty())
+    return checkAgainstNesImpl(Tr, Topo, N, nullptr);
+
+  // Prune injected-duplicate subtrees: a dup entry and everything that
+  // descends from it are the fault's copies, not the program's behavior.
+  // Parents always precede children, so one forward pass suffices.
+  const auto &Entries = Tr.entries();
+  std::vector<bool> Pruned(Entries.size(), false);
+  for (int I : Faults->DupEntries)
+    if (I >= 0 && static_cast<size_t>(I) < Pruned.size())
+      Pruned[I] = true;
+  for (size_t I = 0; I != Entries.size(); ++I)
+    if (!Pruned[I] && Entries[I].Parent >= 0 && Pruned[Entries[I].Parent])
+      Pruned[I] = true;
+
+  NetworkTrace Surviving;
+  std::vector<int> Remap(Entries.size(), -1);
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    if (Pruned[I])
+      continue;
+    TraceEntry E = Entries[I];
+    E.Parent = E.Parent >= 0 ? Remap[E.Parent] : -1;
+    Remap[I] = Surviving.append(std::move(E));
+  }
+
+  std::vector<bool> Excused(Surviving.size(), false);
+  for (int I : Faults->ExcusedEntries)
+    if (I >= 0 && static_cast<size_t>(I) < Remap.size() && Remap[I] >= 0)
+      Excused[Remap[I]] = true;
+
+  return checkAgainstNesImpl(Surviving, Topo, N, &Excused);
+}
+
+namespace {
+
+CheckResult checkAgainstNesImpl(const NetworkTrace &Tr,
+                                const topo::Topology &Topo,
+                                const nes::Nes &N,
+                                const std::vector<bool> *ExcusedLeaves) {
   // Operational extraction: replay the trace against the structure to
   // find the sequence of fresh enabled matches; this is the sequence the
   // Figure 7 machine would produce and almost always the witness.
@@ -191,8 +267,8 @@ CheckResult consistency::checkAgainstNes(const NetworkTrace &Tr,
   UpdateSequence Primary;
   CheckResult PrimaryResult = CheckResult::fail("no candidate sequence");
   if (BuildUpdate(Extracted, Primary)) {
-    PrimaryResult =
-        checkUpdateSequence(Tr, Topo, Primary, N.events(), &N);
+    PrimaryResult = checkUpdateSequence(Tr, Topo, Primary, N.events(), &N,
+                                        ExcusedLeaves);
     if (PrimaryResult.Correct)
       return PrimaryResult;
   }
@@ -204,7 +280,8 @@ CheckResult consistency::checkAgainstNes(const NetworkTrace &Tr,
     UpdateSequence U;
     if (!BuildUpdate(Seq, U))
       continue;
-    if (checkUpdateSequence(Tr, Topo, U, N.events(), &N).Correct)
+    if (checkUpdateSequence(Tr, Topo, U, N.events(), &N, ExcusedLeaves)
+            .Correct)
       return CheckResult::ok();
   }
 
@@ -213,3 +290,5 @@ CheckResult consistency::checkAgainstNes(const NetworkTrace &Tr,
                            "witness failed with: " +
                            PrimaryResult.Reason);
 }
+
+} // namespace

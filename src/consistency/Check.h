@@ -52,6 +52,22 @@ struct CheckResult {
   static CheckResult fail(std::string Why) { return {false, std::move(Why)}; }
 };
 
+/// Trace annotations from a fault-injection ledger (faults/FaultPlan.h),
+/// letting the checkers verify Definition 6 on the *surviving* trace:
+/// duplicate subtrees are pruned before checking, and chains truncated by
+/// a ledgered drop/shed are held to prefix membership instead of maximal
+/// membership. Unledgered truncations still fail — that is the point:
+/// injected loss is excused, silent loss is not.
+struct FaultContext {
+  /// Trace-entry indices after which the packet trace may legitimately
+  /// end (the entry's egress was dropped or its message shed).
+  std::vector<int> ExcusedEntries;
+  /// Trace-entry indices that root an injected duplicate subtree.
+  std::vector<int> DupEntries;
+
+  bool empty() const { return ExcusedEntries.empty() && DupEntries.empty(); }
+};
+
 /// An update sequence U = C0 -e0-> C1 -e1-> ... -en-> Cn+1. Events are
 /// given as indices into the ambient event vector E (AllEvents below),
 /// which the trailing-condition check ranges over.
@@ -66,17 +82,25 @@ struct UpdateSequence {
 /// \p AllEvents is the ambient event set E used by the trailing-condition
 /// check; \p EnablingNes, when non-null, scopes "fresh, enabled" to the
 /// structure (see the header comment); when null every non-occurred event
-/// is considered enabled.
+/// is considered enabled. \p ExcusedLeaves, when non-null, is indexed by
+/// trace-entry index; a chain ending at an excused entry is held to
+/// prefix membership (consecutive entries related, maximality waived)
+/// because a ledgered fault cut it short.
 CheckResult checkUpdateSequence(const NetworkTrace &Tr,
                                 const topo::Topology &Topo,
                                 const UpdateSequence &U,
                                 const std::vector<netkat::Event> &AllEvents,
-                                const nes::Nes *EnablingNes = nullptr);
+                                const nes::Nes *EnablingNes = nullptr,
+                                const std::vector<bool> *ExcusedLeaves =
+                                    nullptr);
 
 /// Checks Definition 6: the trace is correct w.r.t. \p N if some allowed
-/// event sequence makes it an event-driven consistent update.
+/// event sequence makes it an event-driven consistent update. With a
+/// \p Faults ledger, duplicates are pruned and ledgered truncations
+/// excused first (see FaultContext).
 CheckResult checkAgainstNes(const NetworkTrace &Tr,
-                            const topo::Topology &Topo, const nes::Nes &N);
+                            const topo::Topology &Topo, const nes::Nes &N,
+                            const FaultContext *Faults = nullptr);
 
 } // namespace consistency
 } // namespace eventnet

@@ -30,6 +30,29 @@ LatencyDigest digestFrom(const obs::HistogramSnapshot &H, double Scale) {
 
 } // namespace
 
+const char *engine::overloadPolicyName(OverloadPolicy P) {
+  switch (P) {
+  case OverloadPolicy::Block:
+    return "block";
+  case OverloadPolicy::ShedOldest:
+    return "shed-oldest";
+  case OverloadPolicy::ShedNewest:
+    return "shed-newest";
+  }
+  return "?";
+}
+
+std::optional<OverloadPolicy>
+engine::parseOverloadPolicy(const std::string &Name) {
+  if (Name == "block")
+    return OverloadPolicy::Block;
+  if (Name == "shed-oldest")
+    return OverloadPolicy::ShedOldest;
+  if (Name == "shed-newest")
+    return OverloadPolicy::ShedNewest;
+  return std::nullopt;
+}
+
 Engine::Engine(const nes::Nes &N, const topo::Topology &Topo,
                EngineConfig Cfg)
     : N(N), Topo(Topo), C(Cfg), Idx(Topo),
@@ -40,6 +63,10 @@ Engine::Engine(const nes::Nes &N, const topo::Topology &Topo,
     C.NumShards = 1;
   if (C.BatchSize == 0)
     C.BatchSize = 1;
+  if (C.Faults && C.Faults->plan().QueueCapacityClamp)
+    C.QueueCapacity = std::min(
+        C.QueueCapacity,
+        static_cast<size_t>(C.Faults->plan().QueueCapacityClamp));
 
   Slots = std::make_unique<SwitchSlot[]>(Idx.numSwitches());
   for (uint32_t D = 0; D != Idx.numSwitches(); ++D) {
@@ -72,9 +99,22 @@ Engine::Engine(const nes::Nes &N, const topo::Topology &Topo,
       S->ObsRing = std::make_unique<obs::TraceRing>(C.TraceEventCapacity);
     if (C.LatencyHistograms)
       S->Lat = std::make_unique<ShardLatency>();
+    if (C.Faults) {
+      if (const faults::StallRule *R = C.Faults->stallFor(I)) {
+        S->StallEvery = R->EveryBatches;
+        S->StallUs = R->StallUs;
+      }
+    }
     Shards.push_back(std::move(S));
   }
   CtrlQ = std::make_unique<BoundedMpscQueue<uint32_t>>(4096);
+
+  // Per-switch fault gate, resolved once: the hot loop's hook is one
+  // vector<bool> test instead of a rule scan.
+  FaultArmed.assign(Idx.numSwitches(), false);
+  if (C.Faults && C.Faults->hasLinkRules())
+    for (uint32_t D = 0; D != Idx.numSwitches(); ++D)
+      FaultArmed[D] = C.Faults->armsSwitch(Idx.idOf(D));
 
   DetectNs.reserve(N.numEvents());
   for (unsigned E = 0; E != N.numEvents(); ++E)
@@ -144,19 +184,66 @@ void Engine::applyRegister(Shard &S, SwitchSlot &Sl, const DenseBitSet &NewE) {
 void Engine::sendToShard(uint32_t Target, Msg &&M) {
   // Never block: a cycle of full bounded queues with blocking producers
   // (who are also the consumers) would deadlock. The ring is the
-  // lock-free common case; the overflow deque bounds nothing but keeps
-  // every producer wait-free, and total in-flight traffic is bounded by
-  // the phase protocol.
+  // lock-free common case; what happens beyond it is the overload
+  // policy's call (overflowMsg).
   Pending.fetch_add(1);
   if (C.LatencyHistograms)
     M.EnqNs = monotonicNs();
   Shard &Sh = *Shards[Target];
   if (Sh.Q->tryPush(std::move(M)))
     return;
-  std::lock_guard<std::mutex> Lock(Sh.OverflowMu);
-  Sh.Overflow.push_back(std::move(M));
+  overflowMsg(Sh, std::move(M));
+}
+
+void Engine::shedLocked(Shard &Dst, Msg &M) {
+  // The message is retired unprocessed. Its Pending share is released
+  // and it is tallied as a (shed) drop, so delivered + dropped ==
+  // injected still holds and the audit can tell policy loss from
+  // silent loss. An unstarted injection is counted injected-and-dropped
+  // for the same reason; its emission was never trace-logged, so the
+  // checker sees nothing to excuse.
+  Pending.fetch_sub(1);
+  Dst.Shed.add();
+  Dst.Dropped.add();
+  Dropped.add();
+  FaultSheds.add();
+  if (M.K == Msg::PacketIn) {
+    if (M.P.FromDup)
+      DupDropped.add();
+    // The hop's egress entry is now a chain leaf; excuse it.
+    if (M.P.Parent >= 0)
+      Dst.ShedTickets.push_back(M.P.Parent);
+  } else if (M.K == Msg::Inject) {
+    Injected.add();
+  }
+  obsRecord(Dst, obs::TraceKind::Shed, Dst.Index,
+            static_cast<uint32_t>(M.K));
+}
+
+void Engine::overflowMsg(Shard &Dst, Msg &&M) {
+  std::lock_guard<std::mutex> Lock(Dst.OverflowMu);
+  if (C.Overload != OverloadPolicy::Block && M.K != Msg::CtrlMerge &&
+      Dst.Overflow.size() >= Dst.Q->capacity()) {
+    // Backlog bound reached: shed a data-plane message. Control
+    // messages are never shed (dropping a CTRLSEND would wedge event
+    // propagation, not degrade it).
+    if (C.Overload == OverloadPolicy::ShedNewest) {
+      shedLocked(Dst, M);
+      return;
+    }
+    for (auto It = Dst.Overflow.begin(); It != Dst.Overflow.end(); ++It) {
+      if (It->K == Msg::CtrlMerge)
+        continue;
+      shedLocked(Dst, *It);
+      Dst.Overflow.erase(It);
+      break;
+    }
+    // If the whole backlog was control traffic (rare), admit anyway:
+    // the bound is a degradation target, not a correctness invariant.
+  }
+  Dst.Overflow.push_back(std::move(M));
   // A spill means the ring is full: the true backlog is ring + overflow.
-  Sh.QueueHighWater.raiseTo(Sh.Q->capacity() + Sh.Overflow.size());
+  Dst.QueueHighWater.raiseTo(Dst.Q->capacity() + Dst.Overflow.size());
 }
 
 void Engine::forwardOut(Shard &S, const EnginePacket &P, uint32_t AtDense,
@@ -173,6 +260,8 @@ void Engine::forwardOut(Shard &S, const EnginePacket &P, uint32_t AtDense,
     // simulator).
     Dropped.add();
     S.Dropped.add();
+    if (P.FromDup)
+      DupDropped.add();
     obsRecord(S, obs::TraceKind::Drop, static_cast<uint32_t>(At.Sw),
               /*reason: dangling port*/ 1);
     return;
@@ -181,6 +270,8 @@ void Engine::forwardOut(Shard &S, const EnginePacket &P, uint32_t AtDense,
   if (Eg->IsHost) {
     logEntry(S, Out, P.Parent, /*IsDelivery=*/true, P.Tag);
     Delivered.add();
+    if (P.FromDup)
+      DupDelivered.add();
     HostId H = Eg->Host;
     if (C.RecordDeliveries)
       S.Delivered.push_back({H, Out});
@@ -205,19 +296,84 @@ void Engine::forwardOut(Shard &S, const EnginePacket &P, uint32_t AtDense,
     return;
   }
 
+  // Fault hook: switch-to-switch links are the lossy medium. The
+  // verdict is a pure content hash (faults/Injector.h), so the same
+  // packet at the same egress faults identically in every run.
+  faults::Action FA = faults::Action::None;
+  if (C.Faults && FaultArmed[D])
+    FA = C.Faults->decide(At.Sw, At.Pt, Out);
+
+  if (FA == faults::Action::Drop) {
+    // The egress occurrence never happens: the chain ends at P.Parent,
+    // which the ledger excuses for the checker.
+    S.FaultRecs.push_back(
+        faults::Injector::recordAt(faults::FaultKind::Drop, At.Sw, At.Pt, Out));
+    if (P.Parent >= 0)
+      S.ExcusedTickets.push_back(P.Parent);
+    Dropped.add();
+    S.Dropped.add();
+    FaultDrops.add();
+    if (P.FromDup)
+      DupDropped.add();
+    obsRecord(S, obs::TraceKind::FaultDrop, static_cast<uint32_t>(At.Sw),
+              At.Pt);
+    return;
+  }
+
   int64_t EgressTicket = logEntry(S, Out, P.Parent, false, P.Tag);
+  uint32_t DstShard = Slots[Eg->DstDense].Shard;
+  auto FillHop = [&](Msg &M, int64_t ParentTicket, bool FromDup) {
+    M.K = Msg::PacketIn;
+    M.P.Pkt = Out;
+    M.P.Pkt.setLoc(Eg->Dst);
+    M.P.Tag = P.Tag;
+    M.P.Digest = OutDigest;
+    M.P.Parent = ParentTicket;
+    M.P.Dense = Eg->DstDense;
+    M.P.IngressLogged = false;
+    M.P.FromDup = FromDup;
+  };
+
+  if (FA == faults::Action::Delay) {
+    // Hold the hop back for DelayPolls drain iterations instead of
+    // buffering it: later traffic overtakes it (reordering). Its
+    // Pending share is taken here because flushOut will never see it.
+    Shard::DelayedMsg DM;
+    DM.Target = DstShard;
+    DM.ReleaseAt =
+        S.DrainPolls + std::max(1u, C.Faults->plan().DelayPolls);
+    FillHop(DM.M, EgressTicket, P.FromDup);
+    Pending.fetch_add(1);
+    S.Delayed.push_back(std::move(DM));
+    S.FaultRecs.push_back(faults::Injector::recordAt(faults::FaultKind::Delay,
+                                                     At.Sw, At.Pt, Out));
+    FaultDelays.add();
+    Forwarded.add();
+    obsRecord(S, obs::TraceKind::FaultDelay, static_cast<uint32_t>(At.Sw),
+              At.Pt);
+    return;
+  }
+
   // Build the hop into a recycled egress slot (copy-assignments reuse
   // the slot's heap capacity; nothing here allocates once warm).
-  Msg &M = S.OutBufs[Slots[Eg->DstDense].Shard].next();
-  M.K = Msg::PacketIn;
-  M.P.Pkt = Out;
-  M.P.Pkt.setLoc(Eg->Dst);
-  M.P.Tag = P.Tag;
-  M.P.Digest = OutDigest;
-  M.P.Parent = EgressTicket;
-  M.P.Dense = Eg->DstDense;
-  M.P.IngressLogged = false;
+  FillHop(S.OutBufs[DstShard].next(), EgressTicket, P.FromDup);
   Forwarded.add();
+
+  if (FA == faults::Action::Dup) {
+    // Second copy with its own egress entry (the trace stays a tree);
+    // the ledger marks that entry so the checker prunes the duplicate
+    // subtree before verifying Definition 6.
+    int64_t DupTicket = logEntry(S, Out, P.Parent, false, P.Tag);
+    if (DupTicket >= 0)
+      S.DupTickets.push_back(DupTicket);
+    FillHop(S.OutBufs[DstShard].next(), DupTicket, /*FromDup=*/true);
+    S.FaultRecs.push_back(
+        faults::Injector::recordAt(faults::FaultKind::Dup, At.Sw, At.Pt, Out));
+    FaultDups.add();
+    Forwarded.add();
+    obsRecord(S, obs::TraceKind::FaultDup, static_cast<uint32_t>(At.Sw),
+              At.Pt);
+  }
 }
 
 void Engine::processPacket(Shard &S, EnginePacket &P) {
@@ -307,6 +463,8 @@ void Engine::processPacket(Shard &S, EnginePacket &P) {
     if (S.ClsOut.size() == 0) {
       Dropped.add();
       S.Dropped.add();
+      if (P.FromDup)
+        DupDropped.add();
       obsRecord(S, obs::TraceKind::Drop, static_cast<uint32_t>(Sl.Id),
                 /*reason: table miss / drop rule*/ 0);
       return;
@@ -324,6 +482,8 @@ void Engine::processPacket(Shard &S, EnginePacket &P) {
   if (Outs.empty()) {
     Dropped.add();
     S.Dropped.add();
+    if (P.FromDup)
+      DupDropped.add();
     obsRecord(S, obs::TraceKind::Drop, static_cast<uint32_t>(Sl.Id),
               /*reason: table miss / drop rule*/ 0);
     S.Outs = std::move(Outs);
@@ -410,12 +570,28 @@ void Engine::pushBatchToShard(uint32_t Target, Msg *Msgs, size_t N) {
       break;
     Done += Pushed;
   }
-  if (Done != N) {
-    std::lock_guard<std::mutex> Lock(Dst.OverflowMu);
-    for (; Done != N; ++Done)
-      Dst.Overflow.push_back(Msgs[Done]);
-    // Spill = full ring; count the overflow into the high-water mark.
-    Dst.QueueHighWater.raiseTo(Dst.Q->capacity() + Dst.Overflow.size());
+  if (Done != N && C.Overload == OverloadPolicy::Block) {
+    // Bounded spin -> yield -> backoff retry before spilling: the
+    // consumer usually frees cells quickly, and a short wait keeps the
+    // backlog on the lock-free ring instead of the mutexed deque. The
+    // bound matters — an unbounded wait on a cycle of full rings whose
+    // owners are all producing would deadlock.
+    uint32_t SleepUs = 1;
+    for (unsigned Attempt = 1; Done != N && Attempt <= 320; ++Attempt) {
+      if (Attempt > 256) {
+        std::this_thread::sleep_for(std::chrono::microseconds(SleepUs));
+        SleepUs = std::min(SleepUs * 2, 64u);
+      } else if (Attempt > 64) {
+        std::this_thread::yield();
+      }
+      Done += Dst.Q->tryPushBatch(Msgs + Done, N - Done);
+    }
+  }
+  for (; Done != N; ++Done) {
+    // Copy out of the caller's recycled slot; the overload policy
+    // decides the message's fate.
+    Msg Spill = Msgs[Done];
+    overflowMsg(Dst, std::move(Spill));
   }
 }
 
@@ -443,7 +619,55 @@ void Engine::flushOut(Shard &S) {
   }
 }
 
+void Engine::drainSelf(Shard &S) {
+  // Self-delivery: hops that stay on this shard never touch the MPSC
+  // ring (no cell copies, no queue atomics, no Pending churn) — they
+  // are drained in place until every chain ends or leaves the shard.
+  MsgBuf &Self = S.OutBufs[S.Index];
+  while (Self.size() != 0) {
+    std::swap(S.SelfProc, Self);
+    for (size_t I = 0; I != S.SelfProc.size(); ++I) {
+      if (I + 1 != S.SelfProc.size())
+        prefetchMsg(S.SelfProc[I + 1]);
+      processMsg(S, S.SelfProc[I]);
+    }
+    S.SelfProc.reset();
+  }
+}
+
+void Engine::releaseDelayed(Shard &S) {
+  // DelayPolls is one constant per plan, so the stash is ordered by
+  // ReleaseAt and the due prefix sits at the front. Releases can stash
+  // new delayed hops (push_back with a strictly later deadline), which
+  // the loop condition leaves alone.
+  while (!S.Delayed.empty() && S.Delayed.front().ReleaseAt <= S.DrainPolls) {
+    Shard::DelayedMsg DM = std::move(S.Delayed.front());
+    S.Delayed.pop_front();
+    if (DM.Target != S.Index) {
+      // Pending was counted at stash time; hand the message over.
+      pushBatchToShard(DM.Target, &DM.M, 1);
+      continue;
+    }
+    // A held intra-shard hop: process in place. Outputs are counted
+    // into Pending (flushOut) before this message's own share retires,
+    // preserving the quiescence invariant.
+    processMsg(S, DM.M);
+    drainSelf(S);
+    flushOut(S);
+    Pending.fetch_sub(1);
+  }
+}
+
 size_t Engine::drainBatch(Shard &S) {
+  if (C.Faults) {
+    // The poll counter ticks on every call — including empty ones — so
+    // a delayed message still releases when it is the only pending work
+    // (the quiescence barrier would otherwise never clear).
+    ++S.DrainPolls;
+    if (!S.Delayed.empty())
+      releaseDelayed(S);
+  }
+
   size_t N = S.Q->tryPopBatch(S.Batch.data(), C.BatchSize);
   if (N == 0) {
     // Ring empty: check the overflow (rare; only populated while the
@@ -483,26 +707,23 @@ size_t Engine::drainBatch(Shard &S) {
     processMsg(S, S.Batch[I]);
   }
 
-  // Self-delivery: hops that stay on this shard never touch the MPSC
-  // ring (no cell copies, no queue atomics, no Pending churn) — they
-  // are drained in place until every chain ends or leaves the shard.
   // The inputs' Pending share (subtracted below) keeps the quiescence
-  // count positive for the whole drain.
-  MsgBuf &Self = S.OutBufs[S.Index];
-  while (Self.size() != 0) {
-    std::swap(S.SelfProc, Self);
-    for (size_t I = 0; I != S.SelfProc.size(); ++I) {
-      if (I + 1 != S.SelfProc.size())
-        prefetchMsg(S.SelfProc[I + 1]);
-      processMsg(S, S.SelfProc[I]);
-    }
-    S.SelfProc.reset();
-  }
+  // count positive for the whole self-delivery drain.
+  drainSelf(S);
 
   // Outputs are counted into Pending (flushOut) before the inputs are
   // retired, so Pending never dips to zero with work still in flight.
   flushOut(S);
   Pending.fetch_sub(static_cast<int64_t>(N));
+
+  if (S.StallEvery && ++S.NonEmptyBatches % S.StallEvery == 0) {
+    // Fault-plan stall: the worker goes dark for StallUs while its ring
+    // keeps filling — backpressure for the overload policy to absorb.
+    S.Stalls.add();
+    FaultStalls.add();
+    obsRecord(S, obs::TraceKind::FaultStall, S.Index, S.StallUs);
+    std::this_thread::sleep_for(std::chrono::microseconds(S.StallUs));
+  }
   return N;
 }
 
@@ -562,6 +783,27 @@ void Engine::controllerLoop() {
             M.Merge = Occurred;
             sendToShard(I, std::move(M));
           }
+        if (C.Faults && C.Faults->plan().CtrlStormRepeat) {
+          // Controller event storm: re-broadcast the merged set to every
+          // shard CtrlStormRepeat extra times. Semantically idempotent
+          // (registers only grow), so the storm stresses the queues and
+          // the overload policy without changing the reachable configs.
+          uint32_t Reps = C.Faults->plan().CtrlStormRepeat;
+          for (uint32_t R = 0; R != Reps; ++R)
+            for (uint32_t I = 0; I != C.NumShards; ++I) {
+              Msg M;
+              M.K = Msg::CtrlMerge;
+              M.Merge = Occurred;
+              sendToShard(I, std::move(M));
+            }
+          FaultStorms.add(static_cast<uint64_t>(Reps) * C.NumShards);
+          faults::FaultRecord SR;
+          SR.K = faults::FaultKind::Storm;
+          SR.Sw = static_cast<int64_t>(E);
+          SR.Pt = static_cast<int64_t>(Reps);
+          StormRecs.push_back(SR);
+          obsRecord(*Shards[0], obs::TraceKind::CtrlStorm, E, Reps);
+        }
       }
       Pending.fetch_sub(1);
       continue;
@@ -670,6 +912,34 @@ void Engine::mergeResults() {
     MergedLearnTimes.insert(S->LearnTimes.begin(), S->LearnTimes.end());
   }
 
+  // Fault ledger: collect the per-shard records (owner-written, read
+  // post-join) and remap the excused/duplicate tickets into merged
+  // trace indices for the checker. The record multiset is content-
+  // addressed, so its canonical form reproduces run to run; the index
+  // lists are run-local annotations.
+  if (C.Faults) {
+    for (auto &S : Shards) {
+      Ledger.Records.insert(Ledger.Records.end(), S->FaultRecs.begin(),
+                            S->FaultRecs.end());
+      for (int64_t T : S->ExcusedTickets)
+        Ledger.ExcusedEntries.push_back(
+            IndexOf.at(static_cast<uint64_t>(T)));
+      for (int64_t T : S->ShedTickets)
+        Ledger.ExcusedEntries.push_back(
+            IndexOf.at(static_cast<uint64_t>(T)));
+      for (int64_t T : S->DupTickets)
+        Ledger.DupEntries.push_back(IndexOf.at(static_cast<uint64_t>(T)));
+    }
+    Ledger.Records.insert(Ledger.Records.end(), StormRecs.begin(),
+                          StormRecs.end());
+    auto Uniq = [](std::vector<int> &V) {
+      std::sort(V.begin(), V.end());
+      V.erase(std::unique(V.begin(), V.end()), V.end());
+    };
+    Uniq(Ledger.ExcusedEntries);
+    Uniq(Ledger.DupEntries);
+  }
+
   // Obs timeline: concatenate the per-shard rings (post-join, so every
   // slot write happens-before this read) and sort into one time base.
   for (auto &S : Shards) {
@@ -695,6 +965,7 @@ void Engine::mergeResults() {
   FinalStats.BatchSize = C.BatchSize;
   fillPartitionStats(FinalStats);
   fillObsStats(FinalStats);
+  fillFaultStats(FinalStats);
   for (auto &S : Shards) {
     ShardStats SS = baseShardStats(*S);
     SS.QueueDepth = 0;
@@ -735,6 +1006,7 @@ Stats Engine::stats() const {
   S.BatchSize = C.BatchSize;
   fillPartitionStats(S);
   fillObsStats(S);
+  fillFaultStats(S);
   for (const auto &Sh : Shards) {
     ShardStats SS = baseShardStats(*Sh);
     SS.QueueDepth = Sh->Q->sizeApprox();
@@ -759,6 +1031,17 @@ void Engine::fillPartitionStats(Stats &S) const {
   S.Partition.TotalWeight = Part.TotalWeight;
   S.Partition.MaxShardLoad = Part.MaxShardLoad;
   S.Partition.MinShardLoad = Part.MinShardLoad;
+}
+
+void Engine::fillFaultStats(Stats &S) const {
+  S.FaultDrops = FaultDrops.get();
+  S.FaultDups = FaultDups.get();
+  S.FaultDelays = FaultDelays.get();
+  S.FaultSheds = FaultSheds.get();
+  S.FaultStalls = FaultStalls.get();
+  S.FaultStorms = FaultStorms.get();
+  S.DupDelivered = DupDelivered.get();
+  S.DupDropped = DupDropped.get();
 }
 
 void Engine::fillObsStats(Stats &S) const {
@@ -788,6 +1071,8 @@ ShardStats Engine::baseShardStats(const Shard &Sh) const {
   SS.Transitions = Sh.Transitions.get();
   SS.Switches = Part.ShardSwitches[Sh.Index];
   SS.IdleSleeps = Sh.IdleSleeps.get();
+  SS.Shed = Sh.Shed.get();
+  SS.Stalls = Sh.Stalls.get();
   if (Sh.ObsRing) {
     SS.TraceRecorded = Sh.ObsRing->recordedCount();
     SS.TraceDropped = Sh.ObsRing->droppedCount();

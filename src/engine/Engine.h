@@ -44,6 +44,7 @@
 #include "engine/Rcu.h"
 #include "engine/Stats.h"
 #include "engine/TrafficGen.h"
+#include "faults/Injector.h"
 #include "nes/Nes.h"
 #include "obs/Histogram.h"
 #include "obs/TraceRing.h"
@@ -56,11 +57,36 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 namespace eventnet {
 namespace engine {
+
+/// What a producer does when a shard's bounded ring is full and the
+/// backlog keeps growing.
+enum class OverloadPolicy : uint8_t {
+  /// Bounded spin -> yield -> exponential backoff retry on the ring,
+  /// then spill to the unbounded overflow deque. Lossless; producers
+  /// still never block indefinitely (a cycle of full rings with
+  /// blocking producers-who-are-consumers would deadlock).
+  Block,
+  /// Bound the backlog at ring capacity; beyond it, shed the *oldest*
+  /// buffered data-plane message to admit the new one. Control messages
+  /// are never shed; every shed is accounted (per-shard counter, drop
+  /// tally, excused trace ticket) so the audit stays exact.
+  ShedOldest,
+  /// Bound the backlog at ring capacity; beyond it, refuse the incoming
+  /// data-plane message. Same accounting as ShedOldest.
+  ShedNewest,
+};
+
+/// Stable lowercase name: "block", "shed-oldest", "shed-newest".
+const char *overloadPolicyName(OverloadPolicy P);
+
+/// Inverse of overloadPolicyName; nullopt for unknown names.
+std::optional<OverloadPolicy> parseOverloadPolicy(const std::string &Name);
 
 /// Engine construction parameters.
 struct EngineConfig {
@@ -111,6 +137,12 @@ struct EngineConfig {
   /// Per-shard obs trace-ring capacity in events (obs/TraceRing.h);
   /// 0 disables tracing entirely (no ring is even allocated).
   size_t TraceEventCapacity = 0;
+  /// Behavior when a shard's ring overflows (see OverloadPolicy).
+  OverloadPolicy Overload = OverloadPolicy::Block;
+  /// Compiled fault plan, or null for no injection (the hooks then cost
+  /// one predictable null/flag test, like the obs layer). The Injector
+  /// must outlive the engine; it may clamp QueueCapacity.
+  const faults::Injector *Faults = nullptr;
 };
 
 /// A sharded multi-threaded data-plane engine executing one NES.
@@ -142,6 +174,15 @@ public:
   /// The configuration tag each trace entry's packet carried, parallel
   /// to trace().entries().
   const std::vector<nes::SetId> &traceTags() const { return MergedTags; }
+
+  /// The fault ledger assembled by run(): the deterministic record
+  /// multiset (drops/dups/delays/storms) plus the merged-trace indices
+  /// the consistency checker needs to excuse ledgered damage. Empty
+  /// when no plan was active.
+  const faults::FaultLedger &faultLedger() const { return Ledger; }
+
+  /// Moves the ledger out (for report assembly on a dying engine).
+  faults::FaultLedger takeFaultLedger() { return std::move(Ledger); }
 
   /// Packets handed to hosts, in per-shard processing order (merged).
   const std::vector<std::pair<HostId, netkat::Packet>> &deliveries() const {
@@ -205,6 +246,10 @@ private:
     uint32_t Dense = 0;  ///< dense index of Pkt.sw() (set by the sender,
                          ///< so the hot loop never hashes a SwitchId)
     bool IngressLogged = false;
+    /// Descends from a fault-plan duplicate: its terminal outcome is
+    /// tallied separately (DupDelivered/DupDropped) so the drop audit
+    /// can net duplicates out of delivered + dropped == injected.
+    bool FromDup = false;
   };
 
   struct Msg {
@@ -264,6 +309,25 @@ private:
     RelaxedCounter Dropped;
     RelaxedCounter QueueHighWater;
     RelaxedCounter IdleSleeps;
+    RelaxedCounter Shed;   ///< messages shed here by the overload policy
+    RelaxedCounter Stalls; ///< fault-plan stalls taken by this worker
+
+    /// Fault-injection state; only touched when a plan is active.
+    /// Owner-thread unless noted.
+    struct DelayedMsg {
+      uint32_t Target = 0;   ///< destination shard
+      uint64_t ReleaseAt = 0; ///< DrainPolls threshold for release
+      Msg M;
+    };
+    std::deque<DelayedMsg> Delayed;        ///< held hops (delay faults)
+    uint64_t DrainPolls = 0;               ///< drainBatch calls, incl. empty
+    uint64_t NonEmptyBatches = 0;          ///< stall cadence counter
+    uint64_t StallEvery = 0;               ///< resolved stall rule; 0 = none
+    uint32_t StallUs = 0;
+    std::vector<faults::FaultRecord> FaultRecs; ///< ledgered link faults
+    std::vector<int64_t> ExcusedTickets; ///< parents of fault-dropped hops
+    std::vector<int64_t> DupTickets;     ///< duplicate egress tickets
+    std::vector<int64_t> ShedTickets;    ///< parents of shed msgs (OverflowMu)
     /// Observability (obs/): both null when the corresponding
     /// EngineConfig knob is off — recording calls then cost one
     /// predictable null test and the hot loop takes no timestamps.
@@ -284,6 +348,17 @@ private:
   void workerLoop(unsigned ShardIdx);
   void controllerLoop();
   size_t drainBatch(Shard &S);
+  /// Drains OutBufs[S.Index] in place (self-delivered hops never touch
+  /// the ring or Pending) until every chain ends or leaves the shard.
+  void drainSelf(Shard &S);
+  /// Releases delay-held messages whose poll deadline passed.
+  void releaseDelayed(Shard &S);
+  /// Admits \p M to \p Dst's overflow under the configured overload
+  /// policy (spill, or bounded-backlog shedding with full accounting).
+  void overflowMsg(Shard &Dst, Msg &&M);
+  /// Retires \p M unprocessed: Pending release, drop/shed tallies,
+  /// excused-ticket ledgering. Caller holds Dst.OverflowMu.
+  void shedLocked(Shard &Dst, Msg &M);
   void flushOut(Shard &S);
   void prefetchMsg(const Msg &M) const;
   void processMsg(Shard &S, Msg &M);
@@ -310,6 +385,8 @@ private:
   /// The partition summary and per-shard counters shared by stats() and
   /// mergeResults() (one source of truth for both report shapes).
   void fillPartitionStats(Stats &S) const;
+  /// Fault-injection counter totals (relaxed reads; live-safe).
+  void fillFaultStats(Stats &S) const;
   /// Latency-histogram digests and trace-ring totals (lock-free; exact
   /// after join, racy-but-consistent during run for the sampler).
   void fillObsStats(Stats &S) const;
@@ -347,6 +424,14 @@ private:
 
   // Counters (cache-line padded, relaxed; see Stats.h).
   RelaxedCounter Injected, Delivered, Dropped, Forwarded, Events;
+
+  // Fault injection. FaultArmed is per dense switch, read-only after
+  // construction; StormRecs is controller-thread private until join.
+  std::vector<bool> FaultArmed;
+  std::vector<faults::FaultRecord> StormRecs;
+  RelaxedCounter FaultDrops, FaultDups, FaultDelays, FaultSheds,
+      FaultStalls, FaultStorms, DupDelivered, DupDropped;
+  faults::FaultLedger Ledger; ///< assembled by mergeResults()
   std::vector<std::unique_ptr<std::atomic<int64_t>>> DetectNs; ///< per event
   double ElapsedSec = 0;
   std::atomic<bool> Ran{false};

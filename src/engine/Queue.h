@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -71,15 +72,34 @@ public:
     return true;
   }
 
-  /// Enqueues, spinning while the queue is full. \p WhileFull (if
+  /// Enqueues, retrying while the queue is full. \p WhileFull (if
   /// non-null) is invoked once per failed attempt so a worker can drain
   /// its own queue instead of deadlocking on a cycle of full queues.
   template <typename FnT> void pushBlocking(T &&V, FnT WhileFull) {
     while (!tryPush(std::move(V)))
       WhileFull();
   }
+
+  /// Default retry discipline: a short spin (the consumer usually frees
+  /// a cell within nanoseconds), then yields, then exponentially longer
+  /// sleeps capped at 256µs. A saturated consumer costs the producer
+  /// scheduler-visible sleeps instead of a core-burning busy loop, and
+  /// the cap bounds added latency once the queue drains.
   void pushBlocking(T &&V) {
-    pushBlocking(std::move(V), [] { std::this_thread::yield(); });
+    unsigned Attempt = 0;
+    uint32_t SleepUs = 1;
+    pushBlocking(std::move(V), [&] {
+      ++Attempt;
+      if (Attempt <= 64)
+        return; // spin: full window is transient in the common case
+      if (Attempt <= 256) {
+        std::this_thread::yield();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(SleepUs));
+      if (SleepUs < 256)
+        SleepUs <<= 1;
+    });
   }
 
   /// Enqueues up to \p N elements with a single tail CAS; returns how

@@ -65,6 +65,8 @@ struct ShardStats {
   uint64_t IdleSleeps = 0;       ///< idle-backoff sleeps taken by the worker
   uint64_t TraceRecorded = 0;    ///< obs trace-ring records that landed
   uint64_t TraceDropped = 0;     ///< obs trace-ring records refused (full)
+  uint64_t Shed = 0;             ///< messages shed by the overload policy
+  uint64_t Stalls = 0;           ///< fault-plan stalls taken by the worker
 };
 
 /// What the shard partitioner achieved for this run (see
@@ -132,6 +134,18 @@ struct Stats {
   /// obs trace-ring totals across shards (zero when tracing is off).
   uint64_t TraceRecorded = 0;
   uint64_t TraceDropped = 0;
+
+  /// Fault-injection tallies (all zero when no plan is active). Drops,
+  /// dups, and delays are ledgered (deterministic); sheds, stalls, and
+  /// storms are timing-dependent and counted here only.
+  uint64_t FaultDrops = 0;   ///< packets dropped by the fault plan
+  uint64_t FaultDups = 0;    ///< packets duplicated by the fault plan
+  uint64_t FaultDelays = 0;  ///< packets delayed by the fault plan
+  uint64_t FaultSheds = 0;   ///< messages shed by the overload policy
+  uint64_t FaultStalls = 0;  ///< worker stalls taken
+  uint64_t FaultStorms = 0;  ///< controller storm re-broadcasts sent
+  uint64_t DupDelivered = 0; ///< deliveries descending from a duplicate
+  uint64_t DupDropped = 0;   ///< drops descending from a duplicate
 
   std::vector<ShardStats> Shards;
 };

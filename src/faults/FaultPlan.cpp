@@ -1,0 +1,466 @@
+//===- faults/FaultPlan.cpp - Plan JSON round-trip + ledger ---------------===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "faults/FaultPlan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+using namespace eventnet;
+using namespace eventnet::faults;
+
+//===----------------------------------------------------------------------===//
+// Minimal JSON reader
+//===----------------------------------------------------------------------===//
+//
+// Plans are small hand-written files, and the container bakes in no JSON
+// dependency, so this is a ~100-line recursive-descent parser for the
+// subset plans need: objects, arrays, numbers, strings (no escapes
+// beyond \" \\ / \n \t), true/false/null. Errors carry a byte offset.
+
+namespace {
+
+struct JsonValue {
+  enum Kind { Null, Bool, Num, Str, Arr, Obj } K = Null;
+  bool B = false;
+  double N = 0.0;
+  std::string S;
+  std::vector<JsonValue> Items;
+  std::vector<std::pair<std::string, JsonValue>> Fields;
+
+  const JsonValue *find(const std::string &Key) const {
+    for (const auto &[K_, V] : Fields)
+      if (K_ == Key)
+        return &V;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(const std::string &Text) : T(Text) {}
+
+  api::Result<JsonValue> parse() {
+    JsonValue V;
+    if (api::Status S = value(V); !S.ok())
+      return S;
+    skipWs();
+    if (Pos != T.size())
+      return err("trailing characters after JSON value");
+    return V;
+  }
+
+private:
+  const std::string &T;
+  size_t Pos = 0;
+
+  api::Status err(const std::string &Msg) const {
+    return api::Status::error(api::Code::InvalidArgument,
+                              "fault plan JSON, byte " + std::to_string(Pos) +
+                                  ": " + Msg);
+  }
+  void skipWs() {
+    while (Pos < T.size() && (T[Pos] == ' ' || T[Pos] == '\t' ||
+                              T[Pos] == '\n' || T[Pos] == '\r'))
+      ++Pos;
+  }
+  bool eat(char C) {
+    skipWs();
+    if (Pos < T.size() && T[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  api::Status value(JsonValue &Out) {
+    skipWs();
+    if (Pos >= T.size())
+      return err("unexpected end of input");
+    char C = T[Pos];
+    if (C == '{')
+      return object(Out);
+    if (C == '[')
+      return array(Out);
+    if (C == '"') {
+      Out.K = JsonValue::Str;
+      return string(Out.S);
+    }
+    if (C == 't' || C == 'f')
+      return boolean(Out);
+    if (C == 'n') {
+      if (T.compare(Pos, 4, "null") != 0)
+        return err("expected 'null'");
+      Pos += 4;
+      Out.K = JsonValue::Null;
+      return api::Status::success();
+    }
+    return number(Out);
+  }
+
+  api::Status object(JsonValue &Out) {
+    Out.K = JsonValue::Obj;
+    ++Pos; // '{'
+    if (eat('}'))
+      return api::Status::success();
+    for (;;) {
+      skipWs();
+      if (Pos >= T.size() || T[Pos] != '"')
+        return err("expected object key string");
+      std::string Key;
+      if (api::Status S = string(Key); !S.ok())
+        return S;
+      if (!eat(':'))
+        return err("expected ':' after object key");
+      JsonValue V;
+      if (api::Status S = value(V); !S.ok())
+        return S;
+      Out.Fields.emplace_back(std::move(Key), std::move(V));
+      if (eat(','))
+        continue;
+      if (eat('}'))
+        return api::Status::success();
+      return err("expected ',' or '}' in object");
+    }
+  }
+
+  api::Status array(JsonValue &Out) {
+    Out.K = JsonValue::Arr;
+    ++Pos; // '['
+    if (eat(']'))
+      return api::Status::success();
+    for (;;) {
+      JsonValue V;
+      if (api::Status S = value(V); !S.ok())
+        return S;
+      Out.Items.push_back(std::move(V));
+      if (eat(','))
+        continue;
+      if (eat(']'))
+        return api::Status::success();
+      return err("expected ',' or ']' in array");
+    }
+  }
+
+  api::Status string(std::string &Out) {
+    ++Pos; // '"'
+    Out.clear();
+    while (Pos < T.size()) {
+      char C = T[Pos++];
+      if (C == '"')
+        return api::Status::success();
+      if (C == '\\') {
+        if (Pos >= T.size())
+          break;
+        char E = T[Pos++];
+        switch (E) {
+        case '"': Out += '"'; break;
+        case '\\': Out += '\\'; break;
+        case '/': Out += '/'; break;
+        case 'n': Out += '\n'; break;
+        case 't': Out += '\t'; break;
+        default:
+          return err(std::string("unsupported escape '\\") + E + "'");
+        }
+        continue;
+      }
+      Out += C;
+    }
+    return err("unterminated string");
+  }
+
+  api::Status boolean(JsonValue &Out) {
+    Out.K = JsonValue::Bool;
+    if (T.compare(Pos, 4, "true") == 0) {
+      Out.B = true;
+      Pos += 4;
+      return api::Status::success();
+    }
+    if (T.compare(Pos, 5, "false") == 0) {
+      Out.B = false;
+      Pos += 5;
+      return api::Status::success();
+    }
+    return err("expected 'true' or 'false'");
+  }
+
+  api::Status number(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < T.size() && T[Pos] == '-')
+      ++Pos;
+    while (Pos < T.size() &&
+           (isdigit(static_cast<unsigned char>(T[Pos])) || T[Pos] == '.' ||
+            T[Pos] == 'e' || T[Pos] == 'E' || T[Pos] == '+' || T[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return err("expected a value");
+    try {
+      Out.N = std::stod(T.substr(Start, Pos - Start));
+    } catch (...) {
+      return err("malformed number '" + T.substr(Start, Pos - Start) + "'");
+    }
+    Out.K = JsonValue::Num;
+    return api::Status::success();
+  }
+};
+
+api::Status wrongType(const std::string &Key, const char *Want) {
+  return api::Status::error(api::Code::InvalidArgument,
+                            "fault plan: key '" + Key + "' must be " + Want);
+}
+
+api::Status getNum(const JsonValue &O, const std::string &Key, double &Out,
+                   bool &Seen) {
+  const JsonValue *V = O.find(Key);
+  if (!V)
+    return api::Status::success();
+  if (V->K != JsonValue::Num)
+    return wrongType(Key, "a number");
+  Out = V->N;
+  Seen = true;
+  return api::Status::success();
+}
+
+template <typename IntT>
+api::Status getInt(const JsonValue &O, const std::string &Key, IntT &Out) {
+  double D = 0;
+  bool Seen = false;
+  if (api::Status S = getNum(O, Key, D, Seen); !S.ok())
+    return S;
+  if (!Seen)
+    return api::Status::success();
+  if (D != std::floor(D))
+    return wrongType(Key, "an integer");
+  Out = static_cast<IntT>(D);
+  return api::Status::success();
+}
+
+api::Status getProb(const JsonValue &O, const std::string &Key, double &Out) {
+  bool Seen = false;
+  if (api::Status S = getNum(O, Key, Out, Seen); !S.ok())
+    return S;
+  if (Out < 0.0 || Out > 1.0)
+    return api::Status::error(api::Code::InvalidArgument,
+                              "fault plan: key '" + Key +
+                                  "' must be a probability in [0, 1]");
+  return api::Status::success();
+}
+
+api::Status checkKeys(const JsonValue &O, const char *What,
+                      std::initializer_list<const char *> Allowed) {
+  for (const auto &[K, V] : O.Fields) {
+    (void)V;
+    bool Known = false;
+    for (const char *A : Allowed)
+      if (K == A)
+        Known = true;
+    if (!Known)
+      return api::Status::error(api::Code::InvalidArgument,
+                                std::string("fault plan: unknown ") + What +
+                                    " key '" + K + "'");
+  }
+  return api::Status::success();
+}
+
+// Renders a double with enough precision to round-trip probabilities,
+// trimming trailing zeros so committed plans stay readable.
+std::string numStr(double D) {
+  if (D == std::floor(D) && std::abs(D) < 1e15)
+    return std::to_string(static_cast<long long>(D));
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.12g", D);
+  return Buf;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// FaultPlan
+//===----------------------------------------------------------------------===//
+
+std::string FaultPlan::json() const {
+  std::ostringstream OS;
+  OS << "{\"seed\": " << Seed;
+  OS << ", \"links\": [";
+  for (size_t I = 0; I < Links.size(); ++I) {
+    const LinkRule &R = Links[I];
+    OS << (I ? ", " : "") << "{\"switch\": " << R.Sw << ", \"port\": " << R.Pt
+       << ", \"drop_p\": " << numStr(R.DropP)
+       << ", \"dup_p\": " << numStr(R.DupP)
+       << ", \"delay_p\": " << numStr(R.DelayP)
+       << ", \"from_seq\": " << R.FromSeq << ", \"to_seq\": " << R.ToSeq
+       << "}";
+  }
+  OS << "], \"stalls\": [";
+  for (size_t I = 0; I < Stalls.size(); ++I) {
+    const StallRule &R = Stalls[I];
+    OS << (I ? ", " : "") << "{\"shard\": " << R.Shard
+       << ", \"every_batches\": " << R.EveryBatches
+       << ", \"stall_us\": " << R.StallUs << "}";
+  }
+  OS << "], \"queue_capacity_clamp\": " << QueueCapacityClamp
+     << ", \"ctrl_storm_repeat\": " << CtrlStormRepeat
+     << ", \"delay_polls\": " << DelayPolls
+     << ", \"delay_extra_sec\": " << numStr(DelayExtraSec) << "}";
+  return OS.str();
+}
+
+api::Result<FaultPlan> FaultPlan::fromJson(const std::string &Text) {
+  api::Result<JsonValue> Root = JsonParser(Text).parse();
+  if (!Root.ok())
+    return Root.status();
+  if (Root->K != JsonValue::Obj)
+    return api::Status::error(api::Code::InvalidArgument,
+                              "fault plan: top level must be a JSON object");
+  if (api::Status S = checkKeys(
+          *Root, "plan",
+          {"seed", "links", "stalls", "queue_capacity_clamp",
+           "ctrl_storm_repeat", "delay_polls", "delay_extra_sec"});
+      !S.ok())
+    return S;
+
+  FaultPlan P;
+  if (api::Status S = getInt(*Root, "seed", P.Seed); !S.ok())
+    return S;
+  if (api::Status S = getInt(*Root, "queue_capacity_clamp",
+                             P.QueueCapacityClamp);
+      !S.ok())
+    return S;
+  if (api::Status S = getInt(*Root, "ctrl_storm_repeat", P.CtrlStormRepeat);
+      !S.ok())
+    return S;
+  if (api::Status S = getInt(*Root, "delay_polls", P.DelayPolls); !S.ok())
+    return S;
+  bool Seen = false;
+  if (api::Status S = getNum(*Root, "delay_extra_sec", P.DelayExtraSec, Seen);
+      !S.ok())
+    return S;
+  if (P.DelayExtraSec < 0)
+    return api::Status::error(api::Code::InvalidArgument,
+                              "fault plan: 'delay_extra_sec' must be >= 0");
+
+  if (const JsonValue *Links = Root->find("links")) {
+    if (Links->K != JsonValue::Arr)
+      return wrongType("links", "an array");
+    for (const JsonValue &L : Links->Items) {
+      if (L.K != JsonValue::Obj)
+        return wrongType("links[]", "an object");
+      if (api::Status S = checkKeys(L, "link rule",
+                                    {"switch", "port", "drop_p", "dup_p",
+                                     "delay_p", "from_seq", "to_seq"});
+          !S.ok())
+        return S;
+      LinkRule R;
+      if (api::Status S = getInt(L, "switch", R.Sw); !S.ok())
+        return S;
+      if (api::Status S = getInt(L, "port", R.Pt); !S.ok())
+        return S;
+      if (api::Status S = getProb(L, "drop_p", R.DropP); !S.ok())
+        return S;
+      if (api::Status S = getProb(L, "dup_p", R.DupP); !S.ok())
+        return S;
+      if (api::Status S = getProb(L, "delay_p", R.DelayP); !S.ok())
+        return S;
+      if (api::Status S = getInt(L, "from_seq", R.FromSeq); !S.ok())
+        return S;
+      if (api::Status S = getInt(L, "to_seq", R.ToSeq); !S.ok())
+        return S;
+      P.Links.push_back(R);
+    }
+  }
+
+  if (const JsonValue *Stalls = Root->find("stalls")) {
+    if (Stalls->K != JsonValue::Arr)
+      return wrongType("stalls", "an array");
+    for (const JsonValue &St : Stalls->Items) {
+      if (St.K != JsonValue::Obj)
+        return wrongType("stalls[]", "an object");
+      if (api::Status S = checkKeys(St, "stall rule",
+                                    {"shard", "every_batches", "stall_us"});
+          !S.ok())
+        return S;
+      StallRule R;
+      if (api::Status S = getInt(St, "shard", R.Shard); !S.ok())
+        return S;
+      if (api::Status S = getInt(St, "every_batches", R.EveryBatches); !S.ok())
+        return S;
+      if (api::Status S = getInt(St, "stall_us", R.StallUs); !S.ok())
+        return S;
+      if (R.EveryBatches == 0)
+        return api::Status::error(api::Code::InvalidArgument,
+                                  "fault plan: 'every_batches' must be >= 1");
+      P.Stalls.push_back(R);
+    }
+  }
+  return P;
+}
+
+api::Result<FaultPlan> FaultPlan::fromFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return api::Status::error(api::Code::IoError,
+                              "cannot read fault plan '" + Path + "'");
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return fromJson(SS.str());
+}
+
+//===----------------------------------------------------------------------===//
+// FaultRecord / FaultLedger
+//===----------------------------------------------------------------------===//
+
+const char *eventnet::faults::faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::Drop:
+    return "drop";
+  case FaultKind::Dup:
+    return "dup";
+  case FaultKind::Delay:
+    return "delay";
+  case FaultKind::Storm:
+    return "storm";
+  }
+  return "?";
+}
+
+namespace eventnet {
+namespace faults {
+
+bool operator<(const FaultRecord &A, const FaultRecord &B) {
+  return std::tie(A.K, A.Sw, A.Pt, A.Src, A.Dst, A.Seq, A.Kind) <
+         std::tie(B.K, B.Sw, B.Pt, B.Src, B.Dst, B.Seq, B.Kind);
+}
+
+bool operator==(const FaultRecord &A, const FaultRecord &B) {
+  return std::tie(A.K, A.Sw, A.Pt, A.Src, A.Dst, A.Seq, A.Kind) ==
+         std::tie(B.K, B.Sw, B.Pt, B.Src, B.Dst, B.Seq, B.Kind);
+}
+
+} // namespace faults
+} // namespace eventnet
+
+std::string FaultRecord::line() const {
+  std::ostringstream OS;
+  OS << faultKindName(K) << " sw=" << Sw << " pt=" << Pt << " src=" << Src
+     << " dst=" << Dst << " seq=" << Seq << " kind=" << Kind;
+  return OS.str();
+}
+
+std::string FaultLedger::canonical() const {
+  std::vector<FaultRecord> Sorted = Records;
+  std::sort(Sorted.begin(), Sorted.end());
+  std::string Out;
+  for (const FaultRecord &R : Sorted) {
+    Out += R.line();
+    Out += '\n';
+  }
+  return Out;
+}

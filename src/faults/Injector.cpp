@@ -1,0 +1,91 @@
+//===- faults/Injector.cpp - Content-addressed fault decisions ------------===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "faults/Injector.h"
+
+#include "sim/Wire.h"
+
+using namespace eventnet;
+using namespace eventnet::faults;
+
+namespace {
+
+// SplitMix64 finalizer (same constants as support/Rng.h). Used as a
+// stateless hash here: the decision for a packet at a site must not
+// depend on how many decisions were made before it.
+inline uint64_t mix64(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  return X;
+}
+
+inline double unitDraw(uint64_t H) {
+  return static_cast<double>(H >> 11) * 0x1.0p-53;
+}
+
+// Distinct salts keep the drop/dup/delay draws for one packet
+// independent of each other.
+constexpr uint64_t DropSalt = 0x7fb5d329728ea185ULL;
+constexpr uint64_t DupSalt = 0x81dadef4bc2dd44dULL;
+constexpr uint64_t DelaySalt = 0x99bcf6822b23ca35ULL;
+
+struct WireKey {
+  Value Src, Dst, Seq, Kind;
+};
+
+WireKey wireKey(const netkat::Packet &P) {
+  return {P.getOr(sim::ipSrcField(), -1), P.getOr(sim::ipDstField(), -1),
+          P.getOr(sim::seqField(), -1), P.getOr(sim::kindField(), -1)};
+}
+
+uint64_t siteHash(uint64_t Seed, SwitchId Sw, PortId Pt, const WireKey &K) {
+  uint64_t H = mix64(Seed ^ 0x9e3779b97f4a7c15ULL);
+  H = mix64(H ^ static_cast<uint64_t>(Sw));
+  H = mix64(H ^ static_cast<uint64_t>(Pt));
+  H = mix64(H ^ static_cast<uint64_t>(K.Src + 2));
+  H = mix64(H ^ static_cast<uint64_t>(K.Dst + 2));
+  H = mix64(H ^ static_cast<uint64_t>(K.Seq + 2));
+  H = mix64(H ^ static_cast<uint64_t>(K.Kind + 2));
+  return H;
+}
+
+} // namespace
+
+Action Injector::decide(SwitchId Sw, PortId Pt,
+                        const netkat::Packet &Out) const {
+  WireKey K = wireKey(Out);
+  for (const LinkRule &R : P.Links) {
+    if (!R.matchesSite(Sw, Pt) || !R.inWindow(K.Seq))
+      continue;
+    uint64_t H = siteHash(P.Seed, Sw, Pt, K);
+    if (R.DropP > 0 && unitDraw(mix64(H ^ DropSalt)) < R.DropP)
+      return Action::Drop;
+    if (R.DupP > 0 && unitDraw(mix64(H ^ DupSalt)) < R.DupP)
+      return Action::Dup;
+    if (R.DelayP > 0 && unitDraw(mix64(H ^ DelaySalt)) < R.DelayP)
+      return Action::Delay;
+    return Action::None; // first matching rule shadows the rest
+  }
+  return Action::None;
+}
+
+FaultRecord Injector::recordAt(FaultKind K, SwitchId Sw, PortId Pt,
+                               const netkat::Packet &Out) {
+  WireKey W = wireKey(Out);
+  FaultRecord R;
+  R.K = K;
+  R.Sw = static_cast<int64_t>(Sw);
+  R.Pt = static_cast<int64_t>(Pt);
+  R.Src = W.Src;
+  R.Dst = W.Dst;
+  R.Seq = W.Seq;
+  R.Kind = W.Kind;
+  return R;
+}

@@ -1,0 +1,77 @@
+//===- faults/Injector.h - Compiled fault-plan triggers ---------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Injector is a FaultPlan compiled for the hot path: the substrates
+/// (engine shards, the simulator) hold a `const Injector *` that is null
+/// when no plan is active — the same null-pointer gating the obs layer
+/// uses, so a disabled harness costs one predictable branch.
+///
+/// Link decisions are pure functions: `decide(Sw, Pt, Pkt)` hashes the
+/// plan seed with the egress site and the packet's wire header fields
+/// (SplitMix64 finalizer chain) and compares salted uniform draws
+/// against the first matching rule's probabilities. No state, no
+/// per-thread RNG — identical inputs give identical verdicts on every
+/// run and both substrates, which is what makes the fault ledger
+/// reproducible under the engine's nondeterministic thread scheduling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_FAULTS_INJECTOR_H
+#define EVENTNET_FAULTS_INJECTOR_H
+
+#include "faults/FaultPlan.h"
+#include "netkat/Packet.h"
+
+namespace eventnet {
+namespace faults {
+
+/// What `decide` tells a substrate to do with one packet at one egress.
+/// Drop takes precedence over Dup over Delay when several draws hit.
+enum class Action : uint8_t { None, Drop, Dup, Delay };
+
+class Injector {
+public:
+  explicit Injector(FaultPlan Plan) : P(std::move(Plan)) {}
+
+  const FaultPlan &plan() const { return P; }
+  bool hasLinkRules() const { return !P.Links.empty(); }
+
+  /// True when some link rule can ever fire at switch `Sw` — lets the
+  /// engine precompute a per-switch gate at build time.
+  bool armsSwitch(SwitchId Sw) const {
+    for (const LinkRule &R : P.Links)
+      if (R.Sw < 0 || R.Sw == static_cast<int64_t>(Sw))
+        return true;
+    return false;
+  }
+
+  /// Content-addressed verdict for packet `Out` leaving `Sw` via `Pt`.
+  /// The first rule matching the site and the packet's seq window rolls
+  /// the dice; later rules are shadowed (document plans accordingly).
+  Action decide(SwitchId Sw, PortId Pt, const netkat::Packet &Out) const;
+
+  /// Ledger record for an applied link action at a site.
+  static FaultRecord recordAt(FaultKind K, SwitchId Sw, PortId Pt,
+                              const netkat::Packet &Out);
+
+  /// The stall rule governing engine shard `Shard`, or nullptr.
+  const StallRule *stallFor(uint32_t Shard) const {
+    for (const StallRule &R : P.Stalls)
+      if (R.Shard < 0 || R.Shard == static_cast<int64_t>(Shard))
+        return &R;
+    return nullptr;
+  }
+
+private:
+  FaultPlan P;
+};
+
+} // namespace faults
+} // namespace eventnet
+
+#endif // EVENTNET_FAULTS_INJECTOR_H

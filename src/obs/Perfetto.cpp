@@ -24,6 +24,18 @@ const char *obs::traceKindName(TraceKind K) {
     return "config_swap";
   case TraceKind::Drop:
     return "drop";
+  case TraceKind::FaultDrop:
+    return "fault_drop";
+  case TraceKind::FaultDup:
+    return "fault_dup";
+  case TraceKind::FaultDelay:
+    return "fault_delay";
+  case TraceKind::FaultStall:
+    return "fault_stall";
+  case TraceKind::Shed:
+    return "shed";
+  case TraceKind::CtrlStorm:
+    return "ctrl_storm";
   }
   return "unknown";
 }
@@ -61,6 +73,24 @@ void argNames(TraceKind K, const char *&A, const char *&B) {
   case TraceKind::Drop:
     A = "switch";
     B = "reason";
+    return;
+  case TraceKind::FaultDrop:
+  case TraceKind::FaultDup:
+  case TraceKind::FaultDelay:
+    A = "switch";
+    B = "port";
+    return;
+  case TraceKind::FaultStall:
+    A = "shard";
+    B = "stall_us";
+    return;
+  case TraceKind::Shed:
+    A = "shard";
+    B = "msg_kind";
+    return;
+  case TraceKind::CtrlStorm:
+    A = "event";
+    B = "repeats";
     return;
   }
   A = "a";

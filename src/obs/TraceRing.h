@@ -46,6 +46,12 @@ enum class TraceKind : uint8_t {
   RegisterLearn = 4, ///< a switch register learned an event (A=switch, B=event)
   ConfigSwap = 5,    ///< published view swapped (A=switch, B=version)
   Drop = 6,          ///< packet dropped (A=switch, B=reason: 0 miss, 1 port)
+  FaultDrop = 7,     ///< plan dropped a packet at egress (A=switch, B=port)
+  FaultDup = 8,      ///< plan duplicated a packet at egress (A=switch, B=port)
+  FaultDelay = 9,    ///< plan delayed a packet at egress (A=switch, B=port)
+  FaultStall = 10,   ///< plan stalled a worker (A=shard, B=stall µs)
+  Shed = 11,         ///< overload policy shed a message (A=shard, B=msg kind)
+  CtrlStorm = 12,    ///< plan re-broadcast an event (A=event, B=repeats)
 };
 
 /// Canonical lowercase name for exports ("inject", "hop", ...).

@@ -215,6 +215,22 @@ void Simulation::egress(SimPacket Pk) {
   if (!Dst)
     return; // dangling port: discard
 
+  // Fault hook: the same content-addressed verdict the engine computes
+  // at this site for this packet (faults/Injector.h).
+  faults::Action FA = faults::Action::None;
+  if (Faults)
+    FA = Faults->decide(At.Sw, At.Pt, Pk.Pkt);
+  if (FA == faults::Action::Drop) {
+    // The egress occurrence never happens; the chain ends at the
+    // processing entry, which the ledger excuses for the checker.
+    Ledger.Records.push_back(faults::Injector::recordAt(
+        faults::FaultKind::Drop, At.Sw, At.Pt, Pk.Pkt));
+    if (Pk.TraceParent >= 0)
+      Ledger.ExcusedEntries.push_back(Pk.TraceParent);
+    ++FC.Drops;
+    return;
+  }
+
   LinkSim &L = Links[At];
   double Tx = static_cast<double>(Pk.WireBytes) * 8.0 / P.LinkBandwidthBps;
   double Start = std::max(Now, L.BusyUntil);
@@ -222,12 +238,20 @@ void Simulation::egress(SimPacket Pk) {
     return; // drop-tail: queue is full (no egress occurrence logged)
   L.BusyUntil = Start + Tx;
 
+  int ChainParent = Pk.TraceParent;
   TraceEntry Entry;
   Entry.Lp = Pk.Pkt;
-  Entry.Parent = Pk.TraceParent;
+  Entry.Parent = ChainParent;
   Pk.TraceParent = Trace.append(std::move(Entry));
 
   double Arrive = Start + Tx + P.LinkLatencySec;
+  if (FA == faults::Action::Delay) {
+    // Held back on the wire: later traffic overtakes it (reordering).
+    Arrive += Faults->plan().DelayExtraSec;
+    Ledger.Records.push_back(faults::Injector::recordAt(
+        faults::FaultKind::Delay, At.Sw, At.Pt, Pk.Pkt));
+    ++FC.Delays;
+  }
   Location To = *Dst;
   Pk.IngressLogged = false; // the arrival is logged at processing time
   auto Shared = std::make_shared<SimPacket>(std::move(Pk));
@@ -235,6 +259,31 @@ void Simulation::egress(SimPacket Pk) {
     Shared->Pkt.setLoc(To);
     enterSwitch(std::move(*Shared), Now);
   });
+
+  if (FA == faults::Action::Dup) {
+    // Duplicate copy: its own egress entry rooted at the same parent
+    // (the trace stays a tree); the ledger marks that entry so the
+    // checker prunes the duplicate subtree. The copy consumes its own
+    // transmission slot right behind the original.
+    SimPacket DupPk = *Shared;
+    DupPk.FromDup = true;
+    TraceEntry DupEntry;
+    DupEntry.Lp = DupPk.Pkt;
+    DupEntry.Parent = ChainParent;
+    DupPk.TraceParent = Trace.append(std::move(DupEntry));
+    Ledger.DupEntries.push_back(DupPk.TraceParent);
+    Ledger.Records.push_back(faults::Injector::recordAt(
+        faults::FaultKind::Dup, At.Sw, At.Pt, DupPk.Pkt));
+    ++FC.Dups;
+    double DupStart = std::max(Now, L.BusyUntil);
+    L.BusyUntil = DupStart + Tx;
+    double DupArrive = DupStart + Tx + P.LinkLatencySec;
+    auto DupShared = std::make_shared<SimPacket>(std::move(DupPk));
+    schedule(DupArrive, [this, To, DupShared] {
+      DupShared->Pkt.setLoc(To);
+      enterSwitch(std::move(*DupShared), Now);
+    });
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -312,6 +361,8 @@ double Simulation::eventTime(nes::EventId E) const {
 
 void Simulation::deliverToHost(HostId H, SimPacket Pk) {
   Delivered[H].push_back({Now, Pk.Pkt});
+  if (Pk.FromDup)
+    ++FC.DupDelivered;
 
   Value Kind = Pk.Pkt.getOr(kindField(), KindData);
   Value Dst = Pk.Pkt.getOr(ipDst(), -1);

@@ -39,6 +39,7 @@
 #define EVENTNET_SIM_SIMULATION_H
 
 #include "consistency/Trace.h"
+#include "faults/Injector.h"
 #include "nes/Nes.h"
 #include "sim/Wire.h"
 #include "support/BitSet.h"
@@ -119,6 +120,26 @@ public:
   /// Runs the event loop until \p Until (simulated seconds).
   void run(double Until);
 
+  /// Activates a compiled fault plan: link egress drop/dup/delay, the
+  /// same content-addressed decisions the engine makes (faults/). The
+  /// engine-only plan elements (worker stalls, queue clamps, controller
+  /// storms) are no-ops here — the simulator has no worker threads or
+  /// bounded rings. \p FI must outlive the simulation; null disables.
+  void setFaults(const faults::Injector *FI) { Faults = FI; }
+
+  /// Fault-injection tallies (all zero when no plan is active).
+  struct FaultCounters {
+    uint64_t Drops = 0;        ///< packets dropped by the plan
+    uint64_t Dups = 0;         ///< packets duplicated by the plan
+    uint64_t Delays = 0;       ///< packets delayed by the plan
+    uint64_t DupDelivered = 0; ///< deliveries descending from a duplicate
+  };
+  const FaultCounters &faultCounters() const { return FC; }
+
+  /// The fault ledger (records + trace annotations for the checker).
+  const faults::FaultLedger &faultLedger() const { return Ledger; }
+  faults::FaultLedger takeFaultLedger() { return std::move(Ledger); }
+
   //===--------------------------------------------------------------------===//
   // Results
   //===--------------------------------------------------------------------===//
@@ -183,6 +204,7 @@ private:
     unsigned PayloadBytes = 0;
     unsigned WireBytes = 0;
     uint64_t FlowSeq = 0; ///< for the bulk-flow apps
+    bool FromDup = false; ///< descends from a fault-plan duplicate
   };
 
   struct SwitchSim {
@@ -260,6 +282,13 @@ private:
   consistency::NetworkTrace Trace;
   uint64_t Emissions = 0;
   uint64_t Hops = 0;
+
+  // Fault injection (null/empty when no plan is active). The sim's
+  // trace indices are final, so the ledger's excused/dup entries are
+  // recorded directly — no ticket remap as in the engine.
+  const faults::Injector *Faults = nullptr;
+  FaultCounters FC;
+  faults::FaultLedger Ledger;
 };
 
 // The host-application field ids and packet kinds (ipSrcField,

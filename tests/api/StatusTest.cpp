@@ -40,13 +40,16 @@ TEST(Status, DistinctExitCodePerFailureClass) {
   std::vector<Code> Errors = {
       Code::InvalidArgument, Code::IoError,  Code::ParseError,
       Code::TopoError,       Code::CompileError, Code::RunError,
-      Code::ConsistencyViolation, Code::Internal};
+      Code::ConsistencyViolation, Code::Internal, Code::DropAuditFailure};
   std::set<int> Seen;
   for (Code C : Errors) {
     int E = Status::error(C, "x").exitCode();
     EXPECT_NE(E, 0) << codeName(C);
     EXPECT_TRUE(Seen.insert(E).second) << codeName(C) << " collides";
   }
+  // The --fail-on-drop contract: silent loss exits 10.
+  EXPECT_EQ(Status::error(Code::DropAuditFailure, "x").exitCode(), 10);
+  EXPECT_STREQ(codeName(Code::DropAuditFailure), "drop-audit-failure");
 }
 
 TEST(Result, DefaultConstructedIsEmptyInternalError) {

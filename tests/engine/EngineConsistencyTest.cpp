@@ -13,6 +13,8 @@
 #include "apps/Programs.h"
 #include "consistency/Check.h"
 #include "engine/TrafficGen.h"
+#include "faults/FaultPlan.h"
+#include "faults/Injector.h"
 
 #include <gtest/gtest.h>
 
@@ -210,6 +212,90 @@ TEST_P(EngineBackpressure, TinyQueuesNeverDeadlockOrDrop) {
 
 INSTANTIATE_TEST_SUITE_P(Shards, EngineBackpressure,
                          ::testing::Values(1u, 3u));
+
+namespace {
+
+/// Named fault plans for the Definition 6 sweep below.
+faults::FaultPlan namedPlan(const std::string &Name) {
+  faults::FaultPlan P;
+  P.Seed = 19;
+  if (Name == "drop")
+    P.Links.push_back({-1, -1, 0.1, 0, 0, 0, -1});
+  else if (Name == "dup")
+    P.Links.push_back({-1, -1, 0, 0.1, 0, 0, -1});
+  else if (Name == "delay")
+    P.Links.push_back({-1, -1, 0, 0, 0.15, 0, -1});
+  else { // "mixed": everything at once plus overload pressure
+    P.Links.push_back({-1, -1, 0.05, 0.05, 0.1, 0, -1});
+    P.Stalls.push_back({-1, 8, 100});
+    P.QueueCapacityClamp = 4;
+    P.CtrlStormRepeat = 2;
+  }
+  return P;
+}
+
+} // namespace
+
+/// The PR's acceptance sweep: Definition 6 must hold on the surviving
+/// trace with silent_loss == 0 for every (fault plan, overload policy)
+/// pair — injected damage is excused via the ledger, and the overload
+/// machinery never loses a packet without a ticket.
+class EngineFaultConsistency
+    : public ::testing::TestWithParam<
+          std::tuple<const char *, OverloadPolicy>> {};
+
+TEST_P(EngineFaultConsistency, DefinitionSixHoldsWithZeroSilentLoss) {
+  auto [PlanName, Policy] = GetParam();
+  faults::FaultPlan Plan = namedPlan(PlanName);
+  faults::Injector Inj(Plan);
+
+  for (auto Make : {firewallScenario, ringScenario}) {
+    Scenario S = Make(23);
+    ASSERT_TRUE(S.C.ok()) << S.A.Name << ": " << S.C.status().str();
+
+    EngineConfig Cfg;
+    Cfg.NumShards = 3;
+    Cfg.Overload = Policy;
+    Cfg.Faults = &Inj;
+    Engine E(S.C->structure(), S.A.Topo, Cfg);
+    E.run(S.W);
+
+    // Exact conservation: dup-descended outcomes discounted, every
+    // remaining injection delivered or drop-ticketed.
+    Stats St = E.stats();
+    uint64_t EffDelivered = St.PacketsDelivered - St.DupDelivered;
+    uint64_t EffDropped = St.PacketsDropped - St.DupDropped;
+    EXPECT_EQ(EffDelivered + EffDropped, St.PacketsInjected)
+        << S.A.Name << " plan=" << PlanName << " policy="
+        << overloadPolicyName(Policy) << ": silent loss";
+
+    faults::FaultLedger L = E.takeFaultLedger();
+    consistency::FaultContext Ctx;
+    Ctx.ExcusedEntries = std::move(L.ExcusedEntries);
+    Ctx.DupEntries = std::move(L.DupEntries);
+    auto R = consistency::checkAgainstNes(E.trace(), S.A.Topo,
+                                          S.C->structure(), &Ctx);
+    EXPECT_TRUE(R.Correct)
+        << S.A.Name << " plan=" << PlanName
+        << " policy=" << overloadPolicyName(Policy) << ": " << R.Reason;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlansByPolicy, EngineFaultConsistency,
+    ::testing::Combine(::testing::Values("drop", "dup", "delay", "mixed"),
+                       ::testing::Values(OverloadPolicy::Block,
+                                         OverloadPolicy::ShedOldest,
+                                         OverloadPolicy::ShedNewest)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<const char *, OverloadPolicy>> &I) {
+      std::string N = std::string(std::get<0>(I.param)) + "_" +
+                      overloadPolicyName(std::get<1>(I.param));
+      for (char &C : N)
+        if (C == '-')
+          C = '_';
+      return N;
+    });
 
 TEST(EngineConsistency, EngineMatchesSimulatorDeliverySemantics) {
   // Bulk H1 -> H2 over the ring: the engine must deliver every packet

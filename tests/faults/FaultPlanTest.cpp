@@ -1,0 +1,205 @@
+//===- tests/faults/FaultPlanTest.cpp - Plan parsing and decisions --------===//
+//
+// The deterministic core of the fault harness in isolation: JSON
+// round-trips, loud rejection of malformed plans, content-addressed
+// decision stability, and byte-stable canonical ledgers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "faults/FaultPlan.h"
+#include "faults/Injector.h"
+
+#include "sim/Wire.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+using namespace eventnet;
+using namespace eventnet::faults;
+
+namespace {
+
+FaultPlan samplePlan() {
+  FaultPlan P;
+  P.Seed = 42;
+  P.Links.push_back({3, 1, 0.25, 0.1, 0.05, 10, 100});
+  P.Links.push_back({-1, -1, 0.0, 0.0, 0.5, 0, -1});
+  P.Stalls.push_back({2, 32, 150});
+  P.QueueCapacityClamp = 16;
+  P.CtrlStormRepeat = 3;
+  P.DelayPolls = 48;
+  P.DelayExtraSec = 0.002;
+  return P;
+}
+
+} // namespace
+
+TEST(FaultPlan, JsonRoundTrip) {
+  FaultPlan P = samplePlan();
+  std::string Text = P.json();
+  api::Result<FaultPlan> Q = FaultPlan::fromJson(Text);
+  ASSERT_TRUE(Q.ok()) << Q.status().str();
+  EXPECT_EQ(Q->json(), Text);
+  EXPECT_EQ(Q->Seed, 42u);
+  ASSERT_EQ(Q->Links.size(), 2u);
+  EXPECT_EQ(Q->Links[0].Sw, 3);
+  EXPECT_EQ(Q->Links[0].Pt, 1);
+  EXPECT_DOUBLE_EQ(Q->Links[0].DropP, 0.25);
+  EXPECT_EQ(Q->Links[0].FromSeq, 10);
+  EXPECT_EQ(Q->Links[0].ToSeq, 100);
+  EXPECT_EQ(Q->Links[1].Sw, -1);
+  ASSERT_EQ(Q->Stalls.size(), 1u);
+  EXPECT_EQ(Q->Stalls[0].Shard, 2);
+  EXPECT_EQ(Q->Stalls[0].EveryBatches, 32u);
+  EXPECT_EQ(Q->Stalls[0].StallUs, 150u);
+  EXPECT_EQ(Q->QueueCapacityClamp, 16u);
+  EXPECT_EQ(Q->CtrlStormRepeat, 3u);
+  EXPECT_EQ(Q->DelayPolls, 48u);
+  EXPECT_DOUBLE_EQ(Q->DelayExtraSec, 0.002);
+  EXPECT_TRUE(Q->enabled());
+}
+
+TEST(FaultPlan, DefaultPlanIsDisabled) {
+  FaultPlan P;
+  EXPECT_FALSE(P.enabled());
+  api::Result<FaultPlan> Q = FaultPlan::fromJson("{}");
+  ASSERT_TRUE(Q.ok()) << Q.status().str();
+  EXPECT_FALSE(Q->enabled());
+}
+
+TEST(FaultPlan, UnknownKeysAreRejected) {
+  // Typos in a chaos plan must fail loudly, not silently test nothing.
+  for (const char *Text :
+       {"{\"sead\": 3}", "{\"links\": [{\"drpo_p\": 0.5}]}",
+        "{\"stalls\": [{\"shards\": 1}]}"}) {
+    api::Result<FaultPlan> Q = FaultPlan::fromJson(Text);
+    ASSERT_FALSE(Q.ok()) << Text;
+    EXPECT_EQ(Q.status().code(), api::Code::InvalidArgument) << Text;
+    EXPECT_NE(Q.status().message().find("unknown"), std::string::npos)
+        << Q.status().str();
+  }
+}
+
+TEST(FaultPlan, MalformedPlansAreRejected) {
+  for (const char *Text :
+       {"", "[1,2]", "{\"seed\": }", "{\"links\": [{\"drop_p\": 1.5}]}",
+        "{\"links\": [{\"dup_p\": -0.1}]}", "{\"delay_extra_sec\": -1}",
+        "{\"stalls\": [{\"every_batches\": 0}]}"}) {
+    api::Result<FaultPlan> Q = FaultPlan::fromJson(Text);
+    EXPECT_FALSE(Q.ok()) << "accepted: " << Text;
+  }
+}
+
+TEST(FaultPlan, FromFileMissingIsIoError) {
+  api::Result<FaultPlan> Q = FaultPlan::fromFile("/nonexistent/plan.json");
+  ASSERT_FALSE(Q.ok());
+  EXPECT_EQ(Q.status().code(), api::Code::IoError);
+}
+
+TEST(FaultPlan, LinkRuleMatchingAndWindows) {
+  LinkRule R{3, 1, 0.5, 0, 0, 10, 20};
+  EXPECT_TRUE(R.matchesSite(3, 1));
+  EXPECT_FALSE(R.matchesSite(3, 2));
+  EXPECT_FALSE(R.matchesSite(4, 1));
+  EXPECT_TRUE(R.inWindow(10));
+  EXPECT_TRUE(R.inWindow(19));
+  EXPECT_FALSE(R.inWindow(9));
+  EXPECT_FALSE(R.inWindow(20));
+
+  LinkRule Wild; // all defaults: every site, always in window
+  Wild.DropP = 1.0;
+  EXPECT_TRUE(Wild.matchesSite(7, 7));
+  EXPECT_TRUE(Wild.inWindow(0));
+  EXPECT_TRUE(Wild.inWindow(1 << 30));
+}
+
+TEST(Injector, DecisionsAreContentAddressed) {
+  FaultPlan P;
+  P.Seed = 9;
+  P.Links.push_back({-1, -1, 0.3, 0.3, 0.3, 0, -1});
+  Injector A(P), B(P);
+
+  // Same plan, same site, same packet => same verdict, across instances
+  // and across repeated queries (no hidden state).
+  std::map<int, Action> Verdicts;
+  for (int Seq = 0; Seq != 200; ++Seq) {
+    netkat::Packet Pkt = sim::makeWireHeader(1, 4, sim::KindData, Seq);
+    Action VA = A.decide(2, 1, Pkt);
+    EXPECT_EQ(VA, B.decide(2, 1, Pkt)) << "seq " << Seq;
+    EXPECT_EQ(VA, A.decide(2, 1, Pkt)) << "seq " << Seq;
+    Verdicts[Seq] = VA;
+  }
+  // With 30%/30%/30% rates over 200 packets, every verdict (including
+  // None) appears; a degenerate all-None hash would be a bug.
+  int Counts[4] = {0, 0, 0, 0};
+  for (auto &[Seq, V] : Verdicts)
+    ++Counts[static_cast<int>(V)];
+  EXPECT_GT(Counts[static_cast<int>(Action::None)], 0);
+  EXPECT_GT(Counts[static_cast<int>(Action::Drop)], 0);
+  EXPECT_GT(Counts[static_cast<int>(Action::Dup)], 0);
+  EXPECT_GT(Counts[static_cast<int>(Action::Delay)], 0);
+
+  // A different seed reshuffles the verdicts.
+  FaultPlan P2 = P;
+  P2.Seed = 10;
+  Injector C(P2);
+  bool AnyDiffer = false;
+  for (int Seq = 0; Seq != 200; ++Seq) {
+    netkat::Packet Pkt = sim::makeWireHeader(1, 4, sim::KindData, Seq);
+    AnyDiffer |= C.decide(2, 1, Pkt) != Verdicts[Seq];
+  }
+  EXPECT_TRUE(AnyDiffer);
+}
+
+TEST(Injector, SiteScopingAndArming) {
+  FaultPlan P;
+  P.Seed = 5;
+  P.Links.push_back({3, -1, 1.0, 0, 0, 0, -1}); // drop everything at sw 3
+  Injector I(P);
+
+  netkat::Packet Pkt = sim::makeWireHeader(1, 4, sim::KindData, 1);
+  EXPECT_EQ(I.decide(3, 1, Pkt), Action::Drop);
+  EXPECT_EQ(I.decide(3, 9, Pkt), Action::Drop);
+  EXPECT_EQ(I.decide(4, 1, Pkt), Action::None);
+
+  EXPECT_TRUE(I.armsSwitch(3));
+  EXPECT_FALSE(I.armsSwitch(4));
+  EXPECT_TRUE(I.hasLinkRules());
+
+  const StallRule *S = I.stallFor(0);
+  EXPECT_EQ(S, nullptr);
+}
+
+TEST(Injector, StallRuleResolution) {
+  FaultPlan P;
+  P.Stalls.push_back({1, 8, 50});
+  P.Stalls.push_back({-1, 16, 100});
+  Injector I(P);
+  ASSERT_NE(I.stallFor(1), nullptr);
+  EXPECT_EQ(I.stallFor(1)->EveryBatches, 8u); // first match wins
+  ASSERT_NE(I.stallFor(0), nullptr);
+  EXPECT_EQ(I.stallFor(0)->EveryBatches, 16u); // wildcard fallback
+}
+
+TEST(FaultLedger, CanonicalIsSortedAndStable) {
+  netkat::Packet A = sim::makeWireHeader(1, 4, sim::KindData, 7);
+  netkat::Packet B = sim::makeWireHeader(4, 1, sim::KindReply, 3);
+
+  FaultLedger L1, L2;
+  L1.Records.push_back(Injector::recordAt(FaultKind::Drop, 2, 1, A));
+  L1.Records.push_back(Injector::recordAt(FaultKind::Dup, 3, 2, B));
+  // Same multiset, opposite insertion order (as different thread
+  // interleavings would produce).
+  L2.Records.push_back(Injector::recordAt(FaultKind::Dup, 3, 2, B));
+  L2.Records.push_back(Injector::recordAt(FaultKind::Drop, 2, 1, A));
+
+  EXPECT_EQ(L1.canonical(), L2.canonical());
+  EXPECT_NE(L1.canonical().find("drop"), std::string::npos);
+  EXPECT_NE(L1.canonical().find("dup"), std::string::npos);
+
+  FaultLedger Empty;
+  EXPECT_TRUE(Empty.empty());
+  EXPECT_EQ(Empty.canonical(), "");
+}

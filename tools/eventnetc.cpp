@@ -15,6 +15,8 @@
 //             [--no-check] [--json]
 //             [--trace out.json] [--latency-hist]
 //             [--metrics-interval MS] [--metrics-out FILE]
+//             [--faults plan.json] [--overload block|shed-oldest|shed-newest]
+//             [--fail-on-drop]
 //   eventnetc check <program.snk> --topo <topo.txt>
 //             (run's options; reports only the Definition 6 verdict and
 //              exits 8 on violation)
@@ -25,12 +27,15 @@
 // Every failure class has a distinct exit code (api::Status::exitCode):
 //   0 ok, 2 usage/invalid argument, 3 unreadable file, 4 program parse
 //   error, 5 topology parse error, 6 compile error (incl. locality),
-//   7 backend run error, 8 Definition 6 violation.
+//   7 backend run error, 8 Definition 6 violation, 10 silent loss under
+//   --fail-on-drop.
 //
 //===----------------------------------------------------------------------===//
 
 #include "api/Api.h"
+#include "engine/Engine.h"
 #include "engine/Partition.h"
+#include "faults/FaultPlan.h"
 #include "obs/Perfetto.h"
 
 #include <cstdarg>
@@ -59,6 +64,9 @@ int usage() {
           "            [--no-check] [--json]\n"
           "            [--trace out.json] [--latency-hist]\n"
           "            [--metrics-interval MS] [--metrics-out FILE]\n"
+          "            [--faults plan.json]\n"
+          "            [--overload block|shed-oldest|shed-newest]\n"
+          "            [--fail-on-drop]\n"
           "  check     like run, but print only the Definition 6 verdict\n"
           "  backends  list registered backends\n"
           "global: --quiet (no stderr notes), -v (progress notes)\n");
@@ -97,6 +105,9 @@ struct CliArgs {
   api::RunOptions Run;
   // observability outputs
   std::string TracePath; ///< Perfetto JSON destination ("" = no trace)
+  // fault injection / robustness gates
+  std::string FaultsPath; ///< fault plan JSON ("" = no plan)
+  bool FailOnDrop = false; ///< exit 10 if the drop audit finds silent loss
 };
 
 /// Parses argv[2..]; returns an InvalidArgument Status on malformed
@@ -183,6 +194,27 @@ api::Status parseArgs(int argc, char **argv, const std::string &Cmd,
       if (IsCompile)
         return WrongCommand();
       A.Run.latencyHistograms(true);
+    } else if (Arg == "--faults") {
+      if (IsCompile)
+        return WrongCommand();
+      const char *V = TakeValue();
+      if (!V)
+        return Bad("--faults needs a plan file argument");
+      A.FaultsPath = V;
+    } else if (Arg == "--overload") {
+      if (IsCompile)
+        return WrongCommand();
+      const char *V = TakeValue();
+      // One source of truth for the policy names: the engine's parser
+      // (the backend re-validates the same way).
+      if (!V || !engine::parseOverloadPolicy(V))
+        return Bad("--overload needs 'block', 'shed-oldest', or "
+                   "'shed-newest'");
+      A.Run.overload(V);
+    } else if (Arg == "--fail-on-drop") {
+      if (IsCompile)
+        return WrongCommand();
+      A.FailOnDrop = true;
     } else if (Arg == "--metrics-out") {
       if (IsCompile)
         return WrongCommand();
@@ -284,6 +316,14 @@ int cmdRun(const CliArgs &A, const api::Compilation &C, bool VerdictOnly) {
   if (!R->Audit.Ok)
     note(1, "drop audit FAILED: %llu packet(s) silently lost",
          static_cast<unsigned long long>(R->Audit.SilentLoss));
+  if (R->Faults.Enabled)
+    note(2, "fault plan: %llu dropped, %llu duplicated, %llu delayed, "
+            "%llu shed (%llu ledger entries)",
+         static_cast<unsigned long long>(R->Faults.Drops),
+         static_cast<unsigned long long>(R->Faults.Dups),
+         static_cast<unsigned long long>(R->Faults.Delays),
+         static_cast<unsigned long long>(R->Faults.Shed),
+         static_cast<unsigned long long>(R->Faults.LedgerEntries));
 
   if (A.Json)
     printf("%s\n", R->json().c_str());
@@ -302,6 +342,11 @@ int cmdRun(const CliArgs &A, const api::Compilation &C, bool VerdictOnly) {
                               R->Consistency.Reason)
         .exitCode();
   }
+  if (A.FailOnDrop && !R->Audit.Ok)
+    return fail(api::Status::error(
+        api::Code::DropAuditFailure,
+        std::to_string(R->Audit.SilentLoss) +
+            " packet(s) silently lost (--fail-on-drop)"));
   return 0;
 }
 
@@ -327,6 +372,17 @@ int main(int argc, char **argv) {
   if (!ArgSt.ok()) {
     fprintf(stderr, "error: %s\n", ArgSt.message().c_str());
     return usage();
+  }
+
+  if (!A.FaultsPath.empty()) {
+    api::Result<faults::FaultPlan> Plan =
+        faults::FaultPlan::fromFile(A.FaultsPath);
+    if (!Plan.ok())
+      return fail(Plan.status());
+    A.Run.faults(std::make_shared<faults::FaultPlan>(std::move(*Plan)));
+    note(2, "loaded fault plan %s (%zu link rules, %zu stall rules)",
+         A.FaultsPath.c_str(), A.Run.Faults->Links.size(),
+         A.Run.Faults->Stalls.size());
   }
 
   api::Result<api::Compilation> C =
