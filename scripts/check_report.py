@@ -50,7 +50,7 @@ def main() -> None:
         "update_lat_samples", "update_lat_p50", "update_lat_p90",
         "update_lat_p99", "update_lat_max", "queue_dwell",
         "batch_occupancy", "drop_audit", "obs_trace_recorded",
-        "obs_trace_dropped", "overload", "faults",
+        "obs_trace_dropped", "overload", "faults", "net",
     ]
     for key in required:
         if key not in r:
@@ -100,6 +100,49 @@ def main() -> None:
                 f"{faults['dup_dropped']} dropped) exceed injected dups "
                 f"({faults['dups']})"
             )
+
+    net = r["net"]
+    net_keys = ("enabled", "poller", "udp", "port", "connections",
+                "accepted", "closed", "protocol_errors", "frames_in",
+                "frames_out", "bytes_in", "bytes_out", "frames_injected",
+                "delivery_frames", "replies_out", "reassembly_partial",
+                "backpressure_shed", "ring_shed", "delivery_unroutable",
+                "non_net_deliveries", "barriers_acked", "udp_datagrams",
+                "client_delivers", "client_replies", "rtt_samples")
+    for key in net_keys:
+        if key not in net:
+            fail(f"net block missing '{key}'")
+    if r["backend"] == "net" and not net["enabled"]:
+        fail("net backend report has net.enabled false")
+    if net["enabled"]:
+        if net["frames_injected"] <= 0:
+            fail("net run injected no frames through the socket path")
+        # Inbound traffic can never undercount the echoes the server
+        # produced from it (Hello/Barrier/Bye frames only add to it).
+        if net["frames_in"] < net["replies_out"]:
+            fail(
+                f"net frames_in ({net['frames_in']}) below replies_out "
+                f"({net['replies_out']}) — the server echoed more than "
+                "it ever received"
+            )
+        if net["port"] <= 0 or not net["poller"]:
+            fail("net block missing bound port / poller name")
+        # Delivery conservation: every engine delivery is routed to a
+        # session, shed at the ring, unroutable, or non-net — on every
+        # overload policy (sheds are counted, not silent).
+        routed = (net["delivery_frames"] + net["ring_shed"]
+                  + net["delivery_unroutable"] + net["non_net_deliveries"])
+        if routed != r["delivered"]:
+            fail(
+                f"net delivery conservation broken: {routed} accounted "
+                f"(routed+shed+unroutable+non_net) vs {r['delivered']} "
+                "delivered by the engine"
+            )
+    else:
+        for key in ("frames_in", "frames_out", "frames_injected",
+                    "delivery_frames", "accepted"):
+            if net[key] != 0:
+                fail(f"net disabled but net.{key} = {net[key]}")
 
     for block in ("queue_dwell", "batch_occupancy"):
         b = r[block]

@@ -47,6 +47,12 @@ ENGINE_ROW_KEYS = [
     "update_lat_p99_us", "definition6",
 ]
 
+NET_ROW_KEYS = [
+    "transport", "connections", "frames_per_conn", "injects", "replies",
+    "elapsed_ms", "injects_per_sec_M", "hops_per_sec_M", "rtt_p50_us",
+    "rtt_p99_us", "silent_loss", "definition6",
+]
+
 SMOKE_MICRO_FILTER = "BM_ParseBandwidthCap/5|BM_TableExtraction|BM_NesEnabledEvents"
 
 
@@ -153,6 +159,37 @@ def micro_compiler(bin_dir: str, smoke: bool) -> dict:
     return d
 
 
+def net_throughput(bin_dir: str, smoke: bool) -> dict:
+    cmd = [os.path.join(bin_dir, "bench", "net_throughput"), "--json",
+           "--seed", "1"]
+    if smoke:
+        cmd.append("--smoke")
+    out = run(cmd).stdout
+    try:
+        d = json.loads(out)
+    except json.JSONDecodeError as e:
+        fail(f"net_throughput --json is not valid JSON: {e}")
+    if d.get("bench") != "net_throughput" or not d.get("rows"):
+        fail("net_throughput JSON missing bench/rows")
+    if d.get("faults") != "off":
+        fail("net_throughput JSON does not attest 'faults': 'off'")
+    for row in d["rows"]:
+        for key in NET_ROW_KEYS:
+            if key not in row:
+                fail(f"net_throughput row missing key '{key}': {row}")
+        if row["definition6"] != "ok":
+            fail(f"net_throughput row failed its correctness sidecar "
+                 f"(Definition 6 / conservation / loadgen validation): "
+                 f"{row}")
+        if row["silent_loss"] != 0:
+            fail(f"net_throughput row lost packets silently: {row}")
+    return d
+
+
+def net_key(row: dict) -> tuple:
+    return (row["transport"], row["connections"], row["frames_per_conn"])
+
+
 def backend_smoke(bin_dir: str) -> None:
     """`eventnetc run --json` on every backend, checked by check_report."""
     eventnetc = os.path.join(bin_dir, "eventnetc")
@@ -186,6 +223,7 @@ def collect(bin_dir: str, smoke: bool, partition: str = "refined",
             "engine_throughput": engine_throughput(bin_dir, smoke,
                                                    partition, repeat),
             "micro_compiler": micro_compiler(bin_dir, smoke),
+            "net_throughput": net_throughput(bin_dir, smoke),
         },
     }
 
@@ -304,6 +342,44 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> int:
                       "shard(s)", file=sys.stderr)
             else:
                 failures.append(where)
+
+    # The socket rows: client-visible throughput through the real wire.
+    # Loopback rates ride the scheduler (client thread vs server loop vs
+    # shard workers time-slicing the same cores): measured run-to-run
+    # spread on a 1-hw-thread container is ~2x on the TCP shapes (UDP
+    # rows are stable). The gate exists to catch collapses — a broken
+    # event loop, an accidental busy-wait — not scheduler jitter, so it
+    # fires only past half the baseline rate (or looser if the raw
+    # threshold is itself loose).
+    base_net = baseline["benches"].get("net_throughput")
+    if base_net is None:
+        print("run_benches: WARNING: baseline has no net_throughput block "
+              "(pre-net-backend baseline; socket rows not compared)",
+              file=sys.stderr)
+    else:
+        net_threshold = max(0.5, 2 * threshold)
+        base_rows = {net_key(r): r for r in base_net["rows"]}
+        fresh_rows = {net_key(r): r
+                      for r in fresh["benches"]["net_throughput"]["rows"]}
+        for key in sorted(set(base_rows) - set(fresh_rows)):
+            print(f"run_benches: WARNING: baseline net row {key} no longer "
+                  "produced — its regression coverage is gone",
+                  file=sys.stderr)
+        for key, row in fresh_rows.items():
+            old = base_rows.get(key)
+            if old is None:
+                print(f"run_benches: WARNING: net row {key} has no "
+                      "baseline entry (new configuration, not compared)",
+                      file=sys.stderr)
+                continue
+            compared += 1
+            old_v = old["injects_per_sec_M"]
+            new_v = row["injects_per_sec_M"]
+            if old_v > 0 and new_v < old_v * (1 - net_threshold):
+                failures.append(
+                    f"net_throughput {key}: "
+                    f"{new_v:.3f} M injects/s vs baseline {old_v:.3f} "
+                    f"(-{(1 - new_v / old_v) * 100:.1f}%)")
 
     base_micro = {b["name"]: b
                   for b in baseline["benches"]["micro_compiler"]["benchmarks"]}

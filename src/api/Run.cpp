@@ -25,6 +25,7 @@ namespace api {
 std::unique_ptr<Backend> makeMachineBackend();
 std::unique_ptr<Backend> makeSimBackend();
 std::unique_ptr<Backend> makeEngineBackend();
+std::unique_ptr<Backend> makeNetBackend();
 } // namespace api
 } // namespace eventnet
 
@@ -42,6 +43,7 @@ std::map<std::string, Factory> &registry() {
       {"machine", makeMachineBackend},
       {"sim", makeSimBackend},
       {"engine", makeEngineBackend},
+      {"net", makeNetBackend},
   };
   return R;
 }
@@ -246,6 +248,31 @@ std::string RunReport::str() const {
   if (TraceRecorded > 0 || TraceDropped > 0)
     OS << "  obs trace:    " << TraceRecorded << " events recorded, "
        << TraceDropped << " dropped\n";
+  if (Net.Enabled) {
+    OS << "  net:          " << (Net.Udp ? "udp" : "tcp") << " over "
+       << Net.Poller << " port " << Net.Port << ", " << Net.Connections
+       << " client conns ("
+       << Net.Accepted << " accepted, " << Net.Closed << " closed, "
+       << Net.ProtocolErrors << " protocol errors)\n";
+    OS << "  net frames:   " << Net.FramesIn << " in (" << Net.FramesInjected
+       << " injected), " << Net.FramesOut << " out (" << Net.DeliveryFrames
+       << " deliveries, " << Net.RepliesOut << " replies, "
+       << Net.BarriersAcked << " barrier acks)\n";
+    OS << "  net bytes:    " << Net.BytesIn << " in, " << Net.BytesOut
+       << " out, " << Net.ReassemblyPartial << " partial reads";
+    if (Net.UdpDatagrams)
+      OS << ", " << Net.UdpDatagrams << " datagrams";
+    OS << "\n";
+    if (Net.BackpressureShed || Net.DeliveryUnroutable)
+      OS << "  net shed:     " << Net.BackpressureShed << " backpressure ("
+         << Net.RingShed << " at the ring), " << Net.DeliveryUnroutable
+         << " unroutable\n";
+    if (Net.Rtt.Samples > 0)
+      OS << "  net rtt:      p50 " << fmtLatency(Net.Rtt.P50Sec) << ", p99 "
+         << fmtLatency(Net.Rtt.P99Sec) << ", max "
+         << fmtLatency(Net.Rtt.MaxSec) << " (" << Net.Rtt.Samples
+         << " samples)\n";
+  }
   if (!Audit.Ok)
     OS << "  DROP AUDIT:   FAILED — " << Audit.SilentLoss
        << " packet(s) silently lost (" << Audit.Injected << " injected, "
@@ -319,6 +346,33 @@ std::string RunReport::json() const {
      << ", \"ledger_entries\": " << Faults.LedgerEntries
      << ", \"ledger_sha\": \"" << jsonEscape(ledgerDigest(Faults.Ledger))
      << "\"}"
+     << ", \"net\": {\"enabled\": " << (Net.Enabled ? "true" : "false")
+     << ", \"poller\": \"" << jsonEscape(Net.Poller) << "\""
+     << ", \"udp\": " << (Net.Udp ? "true" : "false")
+     << ", \"port\": " << Net.Port
+     << ", \"connections\": " << Net.Connections
+     << ", \"accepted\": " << Net.Accepted << ", \"closed\": " << Net.Closed
+     << ", \"protocol_errors\": " << Net.ProtocolErrors
+     << ", \"frames_in\": " << Net.FramesIn
+     << ", \"frames_out\": " << Net.FramesOut
+     << ", \"bytes_in\": " << Net.BytesIn
+     << ", \"bytes_out\": " << Net.BytesOut
+     << ", \"frames_injected\": " << Net.FramesInjected
+     << ", \"delivery_frames\": " << Net.DeliveryFrames
+     << ", \"replies_out\": " << Net.RepliesOut
+     << ", \"reassembly_partial\": " << Net.ReassemblyPartial
+     << ", \"backpressure_shed\": " << Net.BackpressureShed
+     << ", \"ring_shed\": " << Net.RingShed
+     << ", \"delivery_unroutable\": " << Net.DeliveryUnroutable
+     << ", \"non_net_deliveries\": " << Net.NonNetDeliveries
+     << ", \"barriers_acked\": " << Net.BarriersAcked
+     << ", \"udp_datagrams\": " << Net.UdpDatagrams
+     << ", \"client_delivers\": " << Net.ClientDelivers
+     << ", \"client_replies\": " << Net.ClientReplies
+     << ", \"rtt_samples\": " << Net.Rtt.Samples
+     << ", \"rtt_p50\": " << Net.Rtt.P50Sec
+     << ", \"rtt_p99\": " << Net.Rtt.P99Sec
+     << ", \"rtt_max\": " << Net.Rtt.MaxSec << "}"
      << ", \"obs_trace_recorded\": " << TraceRecorded
      << ", \"obs_trace_dropped\": " << TraceDropped
      << ", \"trace_entries\": " << Trace.size() << ", \"shard_detail\": [";

@@ -14,7 +14,11 @@
 ///              replies emulated by the driver;
 ///   "sim"      the discrete-event simulator (sim::Simulation) in Nes
 ///              mode, one phase per quiescence window;
-///   "engine"   the sharded concurrent engine (engine::Engine).
+///   "engine"   the sharded concurrent engine (engine::Engine);
+///   "net"      the engine behind a real socket front-end (net/Server.h)
+///              — the workload is replayed by in-process clients over
+///              loopback TCP (or UDP), Wire-framed, through the full
+///              session/delivery path.
 ///
 /// A Run handle binds a Compilation to one backend; execute(RunOptions)
 /// realizes the *same* seeded ping workload (engine::TrafficGen over the
@@ -37,6 +41,7 @@
 #include "faults/FaultPlan.h"
 #include "obs/TraceRing.h"
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -110,6 +115,18 @@ public:
     Faults = std::move(V);
     return *this;
   }
+  RunOptions &netConnections(unsigned V) {
+    NetConnections = V;
+    return *this;
+  }
+  RunOptions &netUdp(bool V) {
+    NetUdp = V;
+    return *this;
+  }
+  RunOptions &stopFlag(const std::atomic<bool> *V) {
+    StopFlag = V;
+    return *this;
+  }
 
   /// One seed for every backend's randomness: the workload generator,
   /// the machine driver's step choices, and the simulator's SimParams.
@@ -152,6 +169,13 @@ public:
   /// honors every plan element; the simulator honors the link faults; the
   /// machine backend rejects plans (no injection sites).
   std::shared_ptr<const faults::FaultPlan> Faults;
+  /// Net backend: loopback client connections replaying the workload.
+  unsigned NetConnections = 4;
+  /// Net backend: replay over UDP instead of TCP.
+  bool NetUdp = false;
+  /// Cooperative cancellation (e.g. net/Signal.h): when set, the run
+  /// stops injecting, drains, and returns a complete report early.
+  const std::atomic<bool> *StopFlag = nullptr;
 };
 
 /// Percentile summary of one recorded latency dimension, in seconds
@@ -210,6 +234,41 @@ struct FaultReport {
   std::string Ledger;
 };
 
+/// Socket-layer summary of a net-backend run: the server's session and
+/// framing counters (net/Server.h) plus the replay clients' view.
+/// Enabled only on the "net" backend; zeroed elsewhere. Conservation
+/// invariant in Block mode (checked by scripts/check_report.py):
+/// DeliveryFrames + RingShed + DeliveryUnroutable + NonNetDeliveries ==
+/// the engine's PacketsDelivered.
+struct NetReport {
+  bool Enabled = false;
+  std::string Poller; ///< readiness backend ("epoll" or "poll")
+  bool Udp = false;
+  uint16_t Port = 0; ///< bound TCP port (resolves an ephemeral request)
+  uint64_t Connections = 0; ///< replay client connections
+  uint64_t Accepted = 0;    ///< TCP accepts + distinct UDP peers
+  uint64_t Closed = 0;
+  uint64_t ProtocolErrors = 0;
+  uint64_t FramesIn = 0;  ///< complete frames the server decoded
+  uint64_t FramesOut = 0; ///< frames the server serialized back
+  uint64_t BytesIn = 0;
+  uint64_t BytesOut = 0;
+  uint64_t FramesInjected = 0; ///< Inject frames handed to the engine
+  uint64_t DeliveryFrames = 0; ///< deliveries routed to a session
+  uint64_t RepliesOut = 0;     ///< of those, echo replies (KindReply)
+  uint64_t ReassemblyPartial = 0;
+  uint64_t BackpressureShed = 0; ///< egress + delivery-ring sheds
+  uint64_t RingShed = 0;         ///< of those, shed at the delivery ring
+  uint64_t DeliveryUnroutable = 0; ///< conn tag of a dead session
+  uint64_t NonNetDeliveries = 0;   ///< deliveries without a conn tag
+  uint64_t BarriersAcked = 0;
+  uint64_t UdpDatagrams = 0;
+  uint64_t ClientDelivers = 0; ///< Deliver frames the clients received
+  uint64_t ClientReplies = 0;  ///< of those, echo replies
+  /// Client-observed round trip (request sent to echo reply received).
+  LatencyReport Rtt;
+};
+
 /// The uniform result of a run on any backend.
 struct RunReport {
   std::string Backend;
@@ -247,6 +306,9 @@ struct RunReport {
   /// plan the math discounts duplicate-descended outcomes, so injected
   /// faults never mask (or manufacture) silent loss.
   DropAudit Audit;
+
+  /// Socket-layer summary (net backend; Enabled false elsewhere).
+  NetReport Net;
 
   /// Fault-injection summary (Enabled false when no plan was active).
   FaultReport Faults;
@@ -326,6 +388,27 @@ private:
 /// One-shot convenience: create + execute.
 Result<RunReport> run(const Compilation &C, const std::string &BackendName,
                       const RunOptions &O = RunOptions());
+
+/// Where api::serveNet listens (the eventnetc serve command).
+struct ServeNetOptions {
+  std::string BindAddr = "127.0.0.1"; ///< "0.0.0.0" serves off-box
+  uint16_t Port = 9000;               ///< 0 binds an ephemeral port
+  bool Udp = true; ///< also bind a UDP socket on the same port
+  /// Called once the listeners are bound, with the resolved TCP port —
+  /// how callers learn an ephemeral bind before the loop blocks.
+  std::function<void(uint16_t)> OnListening;
+};
+
+/// Serves real clients: binds the net front-end (net/Server.h) over a
+/// live engine and runs until \p O.StopFlag is set (e.g. net/Signal.h
+/// on SIGINT/SIGTERM), then drains sessions and the engine and returns
+/// a complete RunReport — engine counters, the socket-layer Net block,
+/// the drop audit, and (unless disabled) the Definition 6 verdict over
+/// the recorded trace. Unlike run(), the workload comes from whatever
+/// connects; RunOptions' workload knobs (Seed, Phases, PingsPerPhase)
+/// are ignored.
+Result<RunReport> serveNet(const Compilation &C, const RunOptions &O,
+                           const ServeNetOptions &S = ServeNetOptions());
 
 } // namespace api
 } // namespace eventnet

@@ -130,6 +130,7 @@ Engine::Engine(const nes::Nes &N, const topo::Topology &Topo,
   sim::kindField();
   sim::seqField();
   sim::probeField();
+  sim::connField();
 }
 
 Engine::~Engine() {
@@ -275,6 +276,8 @@ void Engine::forwardOut(Shard &S, const EnginePacket &P, uint32_t AtDense,
     HostId H = Eg->Host;
     if (C.RecordDeliveries)
       S.Delivered.push_back({H, Out});
+    if (C.DeliverySink)
+      C.DeliverySink(H, Out);
 
     // Host application: answer echo requests addressed to us.
     if (C.EchoReplies &&
@@ -291,6 +294,11 @@ void Engine::forwardOut(Shard &S, const EnginePacket &P, uint32_t AtDense,
         R.From = H;
         R.Header = sim::makeWireHeader(H, static_cast<HostId>(Src),
                                        sim::KindReply, Seq);
+        // The session tag rides the round trip: the reply must route
+        // back to the connection that emitted the request.
+        Value Conn = Out.getOr(sim::connField(), -1);
+        if (Conn >= 0)
+          R.Header.set(sim::connField(), Conn);
       }
     }
     return;
@@ -828,43 +836,55 @@ void Engine::controllerLoop() {
 // Orchestration
 //===----------------------------------------------------------------------===//
 
-void Engine::run(const Workload &W) {
-  assert(!Ran.load() && "an Engine runs one workload");
+void Engine::start() {
+  assert(!Ran.load() && "an Engine runs once");
+  assert(!Started && "start() already ran");
   StartNs.store(monotonicNs());
   StopFlag.store(false);
+  InjBufs.resize(C.NumShards);
 
   CtrlThread = std::thread([this] { controllerLoop(); });
   for (unsigned I = 0; I != C.NumShards; ++I)
     Shards[I]->Thread = std::thread([this, I] { workerLoop(I); });
+  Started = true;
+}
 
+void Engine::injectBatch(const Injection *Inj, size_t N) {
+  assert(Started && "injectBatch() before start()");
   // Injections are grouped by the shard owning each host's ingress
   // switch and handed over with one batch push (and one Pending add) per
-  // shard per phase — the injector never round-robins single messages
-  // through the rings. The group buffers keep their capacity across
-  // phases.
-  std::vector<std::vector<Msg>> InjBufs(C.NumShards);
-  for (const Phase &Ph : W.Phases) {
-    for (auto &B : InjBufs)
-      B.clear();
-    for (const Injection &In : Ph.Injections) {
-      Location At = Topo.hostLoc(In.From);
-      Msg M;
-      M.K = Msg::Inject;
-      M.From = In.From;
-      M.Header = In.Header;
-      InjBufs[Slots[Idx.denseOf(At.Sw)].Shard].push_back(std::move(M));
-    }
-    for (uint32_t T = 0; T != C.NumShards; ++T) {
-      if (InjBufs[T].empty())
-        continue;
-      Pending.fetch_add(static_cast<int64_t>(InjBufs[T].size()));
-      pushBatchToShard(T, InjBufs[T].data(), InjBufs[T].size());
-    }
-    // Quiesce: every message (packets, replies, controller work) drains.
-    while (Pending.load() != 0)
-      std::this_thread::yield();
+  // shard — the injector never round-robins single messages through the
+  // rings. The group buffers keep their capacity across calls.
+  for (auto &B : InjBufs)
+    B.clear();
+  for (size_t I = 0; I != N; ++I) {
+    const Injection &In = Inj[I];
+    Location At = Topo.hostLoc(In.From);
+    Msg M;
+    M.K = Msg::Inject;
+    M.From = In.From;
+    M.Header = In.Header;
+    InjBufs[Slots[Idx.denseOf(At.Sw)].Shard].push_back(std::move(M));
   }
+  for (uint32_t T = 0; T != C.NumShards; ++T) {
+    if (InjBufs[T].empty())
+      continue;
+    Pending.fetch_add(static_cast<int64_t>(InjBufs[T].size()));
+    pushBatchToShard(T, InjBufs[T].data(), InjBufs[T].size());
+  }
+}
 
+void Engine::awaitQuiescence() {
+  // Every message (packets, replies, controller work) drains. Outputs
+  // are always counted into Pending before their inputs retire, so zero
+  // really means quiet.
+  while (Pending.load() != 0)
+    std::this_thread::yield();
+}
+
+void Engine::finish() {
+  if (!Started || Ran.load())
+    return;
   ElapsedSec = nowSec();
   StopFlag.store(true);
   for (auto &S : Shards)
@@ -876,6 +896,20 @@ void Engine::run(const Workload &W) {
 
   mergeResults();
   Ran.store(true);
+}
+
+void Engine::run(const Workload &W) {
+  start();
+  for (const Phase &Ph : W.Phases) {
+    // An external stop (signal handler) takes effect at the phase
+    // boundary: the current phase still quiesces, so the trace and the
+    // audit are complete for everything that was injected.
+    if (C.StopRequested && C.StopRequested->load())
+      break;
+    injectBatch(Ph.Injections.data(), Ph.Injections.size());
+    awaitQuiescence();
+  }
+  finish();
 }
 
 void Engine::mergeResults() {

@@ -54,6 +54,7 @@
 #include <atomic>
 #include <chrono>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -143,6 +144,17 @@ struct EngineConfig {
   /// one predictable null/flag test, like the obs layer). The Injector
   /// must outlive the engine; it may clamp QueueCapacity.
   const faults::Injector *Faults = nullptr;
+  /// Called on the *owning shard's worker thread* for every host
+  /// delivery, after the delivery is trace-logged and counted. The sink
+  /// must be fast and lock-light (it runs inside the hot loop) and
+  /// thread-safe across shards. Empty = no sink, and the hook reduces
+  /// to one predictable branch, like the obs layer.
+  std::function<void(HostId, const netkat::Packet &)> DeliverySink;
+  /// External stop request (e.g. a signal handler's flag). run() checks
+  /// it between phases and stops injecting early; in-flight work still
+  /// quiesces, so the trace and the audit stay complete for whatever was
+  /// injected. Null = never stop early.
+  const std::atomic<bool> *StopRequested = nullptr;
 };
 
 /// A sharded multi-threaded data-plane engine executing one NES.
@@ -156,8 +168,39 @@ public:
   Engine &operator=(const Engine &) = delete;
 
   /// Executes \p W phase by phase (quiescing between phases) and shuts
-  /// the threads down. One workload per Engine.
+  /// the threads down. One workload per Engine. Implemented on the
+  /// streaming surface below: start(); per phase injectBatch() +
+  /// awaitQuiescence(); finish().
   void run(const Workload &W);
+
+  //===--------------------------------------------------------------------===//
+  // Streaming mode (the net backend's surface)
+  //===--------------------------------------------------------------------===//
+  //
+  // An external driver — one thread at a time — can run the engine
+  // open-ended instead of handing it a whole Workload: start() spins the
+  // threads up, injectBatch() feeds traffic as it arrives (batched by
+  // ingress shard, one Pending add per shard), awaitQuiescence() blocks
+  // until everything in flight has drained, and finish() joins the
+  // threads and merges results exactly as run() does. start/injectBatch/
+  // awaitQuiescence/finish must all be called from the same thread.
+
+  /// Spins up the worker and controller threads. Call once.
+  void start();
+  /// Hands \p N injections to their ingress shards. Caller must have
+  /// called start(). Never blocks indefinitely (full rings spill to the
+  /// overflow deque under the overload policy).
+  void injectBatch(const Injection *Inj, size_t N);
+  /// Blocks until every in-flight message (packets, echo replies,
+  /// controller work) has drained.
+  void awaitQuiescence();
+  /// Nonblocking quiescence probe. Monotone for the single external
+  /// driver: once true, only the driver's own injectBatch() can make it
+  /// false again.
+  bool quiescent() const { return Pending.load() == 0; }
+  /// Stops and joins the threads, merges traces/stats. Idempotent; the
+  /// engine is read-only afterwards.
+  void finish();
 
   /// Counter snapshot; callable concurrently with run() from another
   /// thread (latency aggregates are only populated once run returned).
@@ -421,6 +464,10 @@ private:
   std::atomic<int64_t> Pending{0};
   std::atomic<bool> StopFlag{false};
   std::atomic<int64_t> StartNs{0}; ///< run() start, steady-clock ns
+  bool Started = false; ///< start() ran (driver-thread private)
+  /// Injection group buffers, one per shard; keep their capacity across
+  /// injectBatch() calls (driver-thread private).
+  std::vector<std::vector<Msg>> InjBufs;
 
   // Counters (cache-line padded, relaxed; see Stats.h).
   RelaxedCounter Injected, Delivered, Dropped, Forwarded, Events;

@@ -1,0 +1,136 @@
+//===- net/Poller.cpp - Readiness multiplexer (epoll / poll) --------------===//
+
+#include "net/Poller.h"
+
+#if EVENTNET_HAVE_EPOLL
+#include <sys/epoll.h>
+#include <unistd.h>
+#else
+#include <poll.h>
+#endif
+
+using namespace eventnet;
+using namespace eventnet::net;
+
+#if EVENTNET_HAVE_EPOLL
+
+Poller::Poller() { Ep = ::epoll_create1(0); }
+
+Poller::~Poller() {
+  if (Ep >= 0)
+    ::close(Ep);
+}
+
+bool Poller::valid() const { return Ep >= 0; }
+
+const char *Poller::backendName() { return "epoll"; }
+
+namespace {
+epoll_event makeEvent(uint64_t Token, bool Read, bool Write) {
+  epoll_event Ev;
+  Ev.events = 0;
+  if (Read)
+    Ev.events |= EPOLLIN;
+  if (Write)
+    Ev.events |= EPOLLOUT;
+  Ev.data.u64 = Token;
+  return Ev;
+}
+} // namespace
+
+bool Poller::add(int Fd, uint64_t Token, bool Read, bool Write) {
+  epoll_event Ev = makeEvent(Token, Read, Write);
+  return ::epoll_ctl(Ep, EPOLL_CTL_ADD, Fd, &Ev) == 0;
+}
+
+bool Poller::mod(int Fd, uint64_t Token, bool Read, bool Write) {
+  epoll_event Ev = makeEvent(Token, Read, Write);
+  return ::epoll_ctl(Ep, EPOLL_CTL_MOD, Fd, &Ev) == 0;
+}
+
+void Poller::del(int Fd) { ::epoll_ctl(Ep, EPOLL_CTL_DEL, Fd, nullptr); }
+
+int Poller::wait(std::vector<Ready> &Out, int TimeoutMs) {
+  Out.clear();
+  epoll_event Evs[256];
+  int N = ::epoll_wait(Ep, Evs, 256, TimeoutMs);
+  if (N <= 0)
+    return N;
+  Out.reserve(static_cast<size_t>(N));
+  for (int I = 0; I != N; ++I) {
+    Ready R;
+    R.Token = Evs[I].data.u64;
+    R.Readable = (Evs[I].events & EPOLLIN) != 0;
+    R.Writable = (Evs[I].events & EPOLLOUT) != 0;
+    R.Error = (Evs[I].events & (EPOLLERR | EPOLLHUP)) != 0;
+    Out.push_back(R);
+  }
+  return N;
+}
+
+#else // poll(2) fallback
+
+Poller::Poller() = default;
+Poller::~Poller() = default;
+
+bool Poller::valid() const { return true; }
+
+const char *Poller::backendName() { return "poll"; }
+
+bool Poller::add(int Fd, uint64_t Token, bool Read, bool Write) {
+  Entries.push_back({Fd, Token, Read, Write});
+  return true;
+}
+
+bool Poller::mod(int Fd, uint64_t Token, bool Read, bool Write) {
+  for (Entry &E : Entries)
+    if (E.Fd == Fd) {
+      E.Token = Token;
+      E.Read = Read;
+      E.Write = Write;
+      return true;
+    }
+  return false;
+}
+
+void Poller::del(int Fd) {
+  for (size_t I = 0; I != Entries.size(); ++I)
+    if (Entries[I].Fd == Fd) {
+      Entries[I] = Entries.back();
+      Entries.pop_back();
+      return;
+    }
+}
+
+int Poller::wait(std::vector<Ready> &Out, int TimeoutMs) {
+  Out.clear();
+  std::vector<pollfd> Pfds;
+  Pfds.reserve(Entries.size());
+  for (const Entry &E : Entries) {
+    pollfd P;
+    P.fd = E.Fd;
+    P.events = 0;
+    if (E.Read)
+      P.events |= POLLIN;
+    if (E.Write)
+      P.events |= POLLOUT;
+    P.revents = 0;
+    Pfds.push_back(P);
+  }
+  int N = ::poll(Pfds.data(), Pfds.size(), TimeoutMs);
+  if (N <= 0)
+    return N;
+  for (size_t I = 0; I != Pfds.size(); ++I) {
+    if (!Pfds[I].revents)
+      continue;
+    Ready R;
+    R.Token = Entries[I].Token;
+    R.Readable = (Pfds[I].revents & POLLIN) != 0;
+    R.Writable = (Pfds[I].revents & POLLOUT) != 0;
+    R.Error = (Pfds[I].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    Out.push_back(R);
+  }
+  return N;
+}
+
+#endif

@@ -1,0 +1,83 @@
+//===- net/Poller.h - Readiness multiplexer (epoll / poll) ------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The readiness backend of the net event loops: epoll where the
+/// platform has it (Linux), a portable poll(2) fallback elsewhere. One
+/// loop thread owns a Poller; fds are registered with an opaque u64
+/// token that comes back on every readiness event, so the loop never
+/// keeps an fd-to-object side table in the hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_NET_POLLER_H
+#define EVENTNET_NET_POLLER_H
+
+#include <cstdint>
+#include <vector>
+
+#if defined(__linux__)
+#define EVENTNET_HAVE_EPOLL 1
+#else
+#define EVENTNET_HAVE_EPOLL 0
+#endif
+
+namespace eventnet {
+namespace net {
+
+/// A readiness event: the registered token plus what the fd can do.
+struct Ready {
+  uint64_t Token = 0;
+  bool Readable = false;
+  bool Writable = false;
+  /// Error or hangup; the owner should tear the fd down after draining.
+  bool Error = false;
+};
+
+class Poller {
+public:
+  Poller();
+  ~Poller();
+
+  Poller(const Poller &) = delete;
+  Poller &operator=(const Poller &) = delete;
+
+  bool valid() const;
+  /// "epoll" or "poll" — which backend this build selected.
+  static const char *backendName();
+
+  /// Registers \p Fd with interest in reads and/or writes.
+  bool add(int Fd, uint64_t Token, bool Read, bool Write);
+  /// Updates interest (and token) for a registered fd.
+  bool mod(int Fd, uint64_t Token, bool Read, bool Write);
+  /// Deregisters \p Fd.
+  void del(int Fd);
+
+  /// Blocks up to \p TimeoutMs (-1 = forever, 0 = poll) and appends
+  /// ready events to \p Out (cleared first). Returns the event count,
+  /// 0 on timeout, -1 on error.
+  int wait(std::vector<Ready> &Out, int TimeoutMs);
+
+private:
+#if EVENTNET_HAVE_EPOLL
+  int Ep = -1;
+#else
+  struct Entry {
+    int Fd = -1;
+    uint64_t Token = 0;
+    bool Read = false;
+    bool Write = false;
+  };
+  std::vector<Entry> Entries; ///< registration order; linear del is fine
+                              ///< at fallback scale
+#endif
+};
+
+} // namespace net
+} // namespace eventnet
+
+#endif // EVENTNET_NET_POLLER_H

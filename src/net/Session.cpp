@@ -1,0 +1,145 @@
+//===- net/Session.cpp - Per-connection framing state machine -------------===//
+
+#include "net/Session.h"
+
+using namespace eventnet;
+using namespace eventnet::net;
+using sim::WireFrame;
+
+Session::Session(uint64_t Conn, SessionConfig Cfg) : Conn(Conn), C(Cfg) {
+  if (C.EgressCapacity == 0)
+    C.EgressCapacity = 1;
+}
+
+bool Session::ingest(const uint8_t *Data, size_t Len, FrameHandler &H) {
+  if (St == State::Closed)
+    return false;
+  Ct.BytesIn += Len;
+
+  // Fast path: no partial frame buffered — decode straight out of the
+  // caller's read buffer and only copy the (sub-frame-sized) leftover.
+  const uint8_t *Buf = Data;
+  size_t Avail = Len;
+  bool FromRx = !Rx.empty();
+  if (FromRx) {
+    Rx.insert(Rx.end(), Data, Data + Len);
+    Buf = Rx.data();
+    Avail = Rx.size();
+  }
+
+  size_t Off = 0;
+  bool Bad = false;
+  while (!Bad) {
+    WireFrame F;
+    size_t Used = 0;
+    sim::FrameDecode R = sim::decodeFrame(Buf + Off, Avail - Off, F, Used);
+    if (R == sim::FrameDecode::NeedMore)
+      break;
+    if (R == sim::FrameDecode::Malformed) {
+      Bad = true;
+      break;
+    }
+    Off += Used;
+    ++Ct.FramesIn;
+
+    // Handshake ordering. The handler performs the open() transition on
+    // a valid greeting; the session only enforces that frames arrive in
+    // a legal state for its role.
+    bool ClientRole = C.Role == SessionRole::Client;
+    uint8_t Greeting = ClientRole ? WireFrame::HelloAck : WireFrame::Hello;
+    if (St == State::AwaitHello && F.T != Greeting) {
+      Bad = true;
+      break;
+    }
+    if (St != State::AwaitHello && F.T == Greeting) {
+      Bad = true; // duplicate greeting
+      break;
+    }
+    if (St == State::Draining && !ClientRole) {
+      Bad = true; // traffic after Bye
+      break;
+    }
+    if (!H.onFrame(*this, F)) {
+      Bad = true;
+      break;
+    }
+    if (F.T == WireFrame::Bye && !ClientRole && St != State::Closed)
+      St = State::Draining;
+  }
+
+  if (Bad) {
+    close();
+    Rx.clear();
+    return false;
+  }
+
+  // Keep the unconsumed tail (always smaller than one frame) for the
+  // next read.
+  size_t Left = Avail - Off;
+  if (Left == 0) {
+    Rx.clear();
+  } else {
+    ++Ct.ReassemblyPartial;
+    if (FromRx)
+      Rx.erase(Rx.begin(), Rx.begin() + static_cast<ptrdiff_t>(Off));
+    else
+      Rx.assign(Buf + Off, Buf + Avail);
+  }
+  return true;
+}
+
+bool Session::enqueue(const WireFrame &F) {
+  if (St == State::Closed)
+    return false;
+  if (C.Overload != engine::OverloadPolicy::Block &&
+      Egress.size() >= C.EgressCapacity) {
+    ++Ct.EgressShed;
+    if (C.Overload == engine::OverloadPolicy::ShedNewest)
+      return false;
+    // ShedOldest: retire the stalest queued frame to admit the new one.
+    Egress.pop_front();
+    Egress.push_back(F);
+    return true;
+  }
+  Egress.push_back(F);
+  return true;
+}
+
+bool Session::wantsBackpressure() const {
+  // Frames already serialized into TxBuf are still unacknowledged
+  // backlog — count them, or fillTx() would launder the queue past the
+  // bound before the server ever sees the signal.
+  size_t Serialized = (TxBuf.size() - TxOff) / sim::WireFrameBytes;
+  return C.Overload == engine::OverloadPolicy::Block &&
+         Egress.size() + Serialized >= C.EgressCapacity;
+}
+
+bool Session::fillTx() {
+  if (TxOff == TxBuf.size()) {
+    TxBuf.clear();
+    TxOff = 0;
+  } else if (TxOff > (1u << 16)) {
+    TxBuf.erase(TxBuf.begin(), TxBuf.begin() + static_cast<ptrdiff_t>(TxOff));
+    TxOff = 0;
+  }
+  // Bound the serialized backlog per call; the rest stays as frames (a
+  // shed policy can still act on them).
+  constexpr size_t MaxPendingBytes = 256 * 1024;
+  while (!Egress.empty() && TxBuf.size() - TxOff < MaxPendingBytes) {
+    uint8_t Tmp[sim::WireFrameBytes];
+    sim::encodeFrame(Egress.front(), Tmp);
+    TxBuf.insert(TxBuf.end(), Tmp, Tmp + sim::WireFrameBytes);
+    Egress.pop_front();
+    ++Ct.FramesOut;
+  }
+  return txPending() != 0;
+}
+
+void Session::txConsume(size_t N) {
+  TxOff += N;
+  Ct.BytesOut += N;
+  if (TxOff == TxBuf.size()) {
+    TxBuf.clear();
+    TxOff = 0;
+  }
+}

@@ -1,0 +1,27 @@
+//===- net/Signal.cpp - Graceful-shutdown signal plumbing -----------------===//
+
+#include "net/Signal.h"
+
+#include <csignal>
+
+using namespace eventnet;
+
+static std::atomic<bool> ShutdownFlag{false};
+
+std::atomic<bool> &net::shutdownRequested() { return ShutdownFlag; }
+
+namespace {
+
+void onShutdownSignal(int Sig) {
+  ShutdownFlag.store(true, std::memory_order_relaxed);
+  // Second signal: give up on graceful drain. Restoring the default
+  // disposition means the next delivery terminates the process.
+  std::signal(Sig, SIG_DFL);
+}
+
+} // namespace
+
+void net::installShutdownHandlers() {
+  std::signal(SIGINT, onShutdownSignal);
+  std::signal(SIGTERM, onShutdownSignal);
+}

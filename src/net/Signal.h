@@ -1,0 +1,36 @@
+//===- net/Signal.h - Graceful-shutdown signal plumbing ---------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One process-wide shutdown flag and the SIGINT/SIGTERM handlers that
+/// set it. The handlers do nothing but an atomic store (async-signal-
+/// safe); the serving loops poll the flag and drain gracefully — the
+/// run report and the drop audit are still emitted on Ctrl-C.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_NET_SIGNAL_H
+#define EVENTNET_NET_SIGNAL_H
+
+#include <atomic>
+
+namespace eventnet {
+namespace net {
+
+/// The process-wide shutdown request. Readable from any thread; set by
+/// the installed handlers (or by tests, directly).
+std::atomic<bool> &shutdownRequested();
+
+/// Installs SIGINT and SIGTERM handlers that set shutdownRequested().
+/// Idempotent. A second signal after the first restores the default
+/// disposition, so a stuck drain can still be killed with one more ^C.
+void installShutdownHandlers();
+
+} // namespace net
+} // namespace eventnet
+
+#endif // EVENTNET_NET_SIGNAL_H

@@ -1,0 +1,156 @@
+//===- net/Socket.cpp - Nonblocking socket helpers ------------------------===//
+
+#include "net/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace eventnet;
+using namespace eventnet::net;
+
+void Fd::reset(int NewRaw) {
+  if (Raw >= 0)
+    ::close(Raw);
+  Raw = NewRaw;
+}
+
+bool net::setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0)
+    return false;
+  return ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+void net::setNoDelay(int Fd) {
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+}
+
+namespace {
+
+bool fillAddr(const std::string &Addr, uint16_t Port, sockaddr_in &Sa,
+              std::string &Err) {
+  std::memset(&Sa, 0, sizeof(Sa));
+  Sa.sin_family = AF_INET;
+  Sa.sin_port = htons(Port);
+  if (Addr.empty() || Addr == "0.0.0.0") {
+    Sa.sin_addr.s_addr = htonl(INADDR_ANY);
+    return true;
+  }
+  if (::inet_pton(AF_INET, Addr.c_str(), &Sa.sin_addr) != 1) {
+    Err = "bad IPv4 address: " + Addr;
+    return false;
+  }
+  return true;
+}
+
+int boundSocket(int Type, const std::string &Addr, uint16_t Port,
+                std::string &Err) {
+  sockaddr_in Sa;
+  if (!fillAddr(Addr, Port, Sa, Err))
+    return -1;
+  int S = ::socket(AF_INET, Type, 0);
+  if (S < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(S, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(S, reinterpret_cast<sockaddr *>(&Sa), sizeof(Sa)) != 0) {
+    Err = std::string("bind: ") + std::strerror(errno);
+    ::close(S);
+    return -1;
+  }
+  if (!setNonBlocking(S)) {
+    Err = std::string("fcntl: ") + std::strerror(errno);
+    ::close(S);
+    return -1;
+  }
+  return S;
+}
+
+} // namespace
+
+int net::listenTcp(const std::string &Addr, uint16_t Port, std::string &Err) {
+  int S = boundSocket(SOCK_STREAM, Addr, Port, Err);
+  if (S < 0)
+    return -1;
+  if (::listen(S, SOMAXCONN) != 0) {
+    Err = std::string("listen: ") + std::strerror(errno);
+    ::close(S);
+    return -1;
+  }
+  return S;
+}
+
+int net::bindUdp(const std::string &Addr, uint16_t Port, std::string &Err) {
+  return boundSocket(SOCK_DGRAM, Addr, Port, Err);
+}
+
+namespace {
+
+int connectedSocket(int Type, const std::string &Addr, uint16_t Port,
+                    std::string &Err) {
+  sockaddr_in Sa;
+  if (!fillAddr(Addr.empty() ? "127.0.0.1" : Addr, Port, Sa, Err))
+    return -1;
+  int S = ::socket(AF_INET, Type, 0);
+  if (S < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (!setNonBlocking(S)) {
+    Err = std::string("fcntl: ") + std::strerror(errno);
+    ::close(S);
+    return -1;
+  }
+  if (::connect(S, reinterpret_cast<sockaddr *>(&Sa), sizeof(Sa)) != 0 &&
+      errno != EINPROGRESS) {
+    Err = std::string("connect: ") + std::strerror(errno);
+    ::close(S);
+    return -1;
+  }
+  return S;
+}
+
+} // namespace
+
+int net::connectTcp(const std::string &Addr, uint16_t Port, std::string &Err) {
+  int S = connectedSocket(SOCK_STREAM, Addr, Port, Err);
+  if (S >= 0)
+    setNoDelay(S);
+  return S;
+}
+
+int net::connectUdp(const std::string &Addr, uint16_t Port, std::string &Err) {
+  return connectedSocket(SOCK_DGRAM, Addr, Port, Err);
+}
+
+uint64_t net::raiseFdLimit() {
+  rlimit R;
+  if (::getrlimit(RLIMIT_NOFILE, &R) != 0)
+    return 0;
+  if (R.rlim_cur < R.rlim_max) {
+    rlimit N = R;
+    N.rlim_cur = R.rlim_max;
+    if (::setrlimit(RLIMIT_NOFILE, &N) == 0)
+      return static_cast<uint64_t>(N.rlim_cur);
+  }
+  return static_cast<uint64_t>(R.rlim_cur);
+}
+
+uint16_t net::localPort(int Fd) {
+  sockaddr_in Sa;
+  socklen_t Len = sizeof(Sa);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Sa), &Len) != 0)
+    return 0;
+  return ntohs(Sa.sin_port);
+}

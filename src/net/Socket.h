@@ -1,0 +1,95 @@
+//===- net/Socket.h - Nonblocking socket helpers ----------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin POSIX socket helpers for the net backend: RAII fd ownership and
+/// the handful of nonblocking setup calls the server and load generator
+/// need. Everything returns plain fds (or -1 with an error string) —
+/// the event-loop layers above own all policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_NET_SOCKET_H
+#define EVENTNET_NET_SOCKET_H
+
+#include <cstdint>
+#include <string>
+
+namespace eventnet {
+namespace net {
+
+/// Owns one file descriptor; closes it on destruction.
+class Fd {
+public:
+  Fd() = default;
+  explicit Fd(int Raw) : Raw(Raw) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd &) = delete;
+  Fd &operator=(const Fd &) = delete;
+  Fd(Fd &&O) noexcept : Raw(O.Raw) { O.Raw = -1; }
+  Fd &operator=(Fd &&O) noexcept {
+    if (this != &O) {
+      reset();
+      Raw = O.Raw;
+      O.Raw = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return Raw; }
+  bool valid() const { return Raw >= 0; }
+  /// Closes the held fd (if any).
+  void reset(int NewRaw = -1);
+  /// Releases ownership without closing.
+  int release() {
+    int R = Raw;
+    Raw = -1;
+    return R;
+  }
+
+private:
+  int Raw = -1;
+};
+
+/// Puts \p Fd into nonblocking mode.
+bool setNonBlocking(int Fd);
+
+/// Creates a nonblocking TCP listener bound to \p Addr:\p Port
+/// (SO_REUSEADDR, TCP_NODELAY inherited per-connection at accept).
+/// \p Port 0 binds an ephemeral port (query with localPort). Returns
+/// -1 and fills \p Err on failure.
+int listenTcp(const std::string &Addr, uint16_t Port, std::string &Err);
+
+/// Creates a nonblocking UDP socket bound to \p Addr:\p Port.
+int bindUdp(const std::string &Addr, uint16_t Port, std::string &Err);
+
+/// Starts a nonblocking TCP connect to \p Addr:\p Port. On return the
+/// connect is either complete or in progress (poll for writability).
+/// Returns -1 and fills \p Err on immediate failure.
+int connectTcp(const std::string &Addr, uint16_t Port, std::string &Err);
+
+/// Creates a nonblocking UDP socket "connected" to \p Addr:\p Port
+/// (datagrams go via send/recv, and the kernel filters the peer).
+int connectUdp(const std::string &Addr, uint16_t Port, std::string &Err);
+
+/// The locally bound port of \p Fd (0 on error) — how callers discover
+/// an ephemeral bind.
+uint16_t localPort(int Fd);
+
+/// Raises RLIMIT_NOFILE to its hard limit (best effort) and returns the
+/// resulting soft limit — thousands of concurrent connections need more
+/// than the usual 1024-fd default.
+uint64_t raiseFdLimit();
+
+/// Disables Nagle on a TCP socket (best effort).
+void setNoDelay(int Fd);
+
+} // namespace net
+} // namespace eventnet
+
+#endif // EVENTNET_NET_SOCKET_H

@@ -20,6 +20,11 @@
 //   eventnetc check <program.snk> --topo <topo.txt>
 //             (run's options; reports only the Definition 6 verdict and
 //              exits 8 on violation)
+//   eventnetc serve <program.snk> --topo <topo.txt>
+//             [--port N] [--bind ADDR] [--udp on|off] [--shards N]
+//             (engine options; serves real Wire-framed TCP/UDP clients
+//              until SIGINT/SIGTERM, then drains and reports — exit 0 on
+//              a clean drain, 10 on silent loss)
 //   eventnetc backends
 //
 // --quiet suppresses stderr notes/warnings; -v adds progress notes.
@@ -36,6 +41,7 @@
 #include "engine/Engine.h"
 #include "engine/Partition.h"
 #include "faults/FaultPlan.h"
+#include "net/Signal.h"
 #include "obs/Perfetto.h"
 
 #include <cstdarg>
@@ -57,8 +63,9 @@ int usage() {
           "            [--dump-ets] [--dump-nes] [--dump-tables] [--share]\n"
           "            [--stats] [--json]\n"
           "  run       compile, execute a seeded ping workload, report\n"
-          "            [--backend machine|sim|engine] [--seed S]\n"
+          "            [--backend machine|sim|engine|net] [--seed S]\n"
           "            [--shards N] [--phases N] [--per-phase N]\n"
+          "            [--net-connections N] [--net-udp]\n"
           "            [--classifier on|off] [--batch N]\n"
           "            [--partition modulo|contiguous|refined]\n"
           "            [--no-check] [--json]\n"
@@ -68,6 +75,10 @@ int usage() {
           "            [--overload block|shed-oldest|shed-newest]\n"
           "            [--fail-on-drop]\n"
           "  check     like run, but print only the Definition 6 verdict\n"
+          "  serve     serve real Wire-framed TCP/UDP clients until\n"
+          "            SIGINT/SIGTERM, then drain and report\n"
+          "            [--port N] [--bind ADDR] [--udp on|off]\n"
+          "            (+ run's engine options; exit 10 on silent loss)\n"
           "  backends  list registered backends\n"
           "global: --quiet (no stderr notes), -v (progress notes)\n");
   return 2;
@@ -103,6 +114,8 @@ struct CliArgs {
   // run workload
   std::string Backend = "engine";
   api::RunOptions Run;
+  // serve listeners
+  api::ServeNetOptions Serve;
   // observability outputs
   std::string TracePath; ///< Perfetto JSON destination ("" = no trace)
   // fault injection / robustness gates
@@ -118,6 +131,7 @@ struct CliArgs {
 api::Status parseArgs(int argc, char **argv, const std::string &Cmd,
                       CliArgs &A) {
   bool IsCompile = Cmd == "compile";
+  bool IsServe = Cmd == "serve";
   auto Bad = [](std::string Msg) {
     return api::Status::error(api::Code::InvalidArgument, std::move(Msg));
   };
@@ -127,8 +141,7 @@ api::Status parseArgs(int argc, char **argv, const std::string &Cmd,
       return ++I < argc ? argv[I] : nullptr;
     };
     auto WrongCommand = [&]() {
-      return Bad(Arg + " only applies to the " +
-                 (IsCompile ? "run/check commands" : "compile command"));
+      return Bad(Arg + " does not apply to the " + Cmd + " command");
     };
     if (Arg == "--topo") {
       const char *V = TakeValue();
@@ -154,12 +167,49 @@ api::Status parseArgs(int argc, char **argv, const std::string &Cmd,
         return Bad("--no-check contradicts the check command");
       A.Run.checkConsistency(false);
     } else if (Arg == "--backend") {
-      if (IsCompile)
+      if (IsCompile || IsServe)
         return WrongCommand();
       const char *V = TakeValue();
       if (!V)
         return Bad("--backend needs a name argument");
       A.Backend = V;
+    } else if (Arg == "--net-udp") {
+      if (IsCompile || IsServe)
+        return WrongCommand();
+      A.Run.netUdp(true);
+    } else if (Arg == "--net-connections") {
+      if (IsCompile || IsServe)
+        return WrongCommand();
+      const char *V = TakeValue();
+      char *End = nullptr;
+      unsigned long long N = V ? strtoull(V, &End, 10) : 0;
+      if (!V || *V == '\0' || *V == '-' || *End != '\0' || N < 1 ||
+          N > 65536)
+        return Bad("--net-connections needs a count in [1, 65536]");
+      A.Run.netConnections(static_cast<unsigned>(N));
+    } else if (Arg == "--port") {
+      if (!IsServe)
+        return WrongCommand();
+      const char *V = TakeValue();
+      char *End = nullptr;
+      unsigned long long N = V ? strtoull(V, &End, 10) : 0;
+      if (!V || *V == '\0' || *V == '-' || *End != '\0' || N > 65535)
+        return Bad("--port needs a port number in [0, 65535]");
+      A.Serve.Port = static_cast<uint16_t>(N);
+    } else if (Arg == "--bind") {
+      if (!IsServe)
+        return WrongCommand();
+      const char *V = TakeValue();
+      if (!V)
+        return Bad("--bind needs an address argument");
+      A.Serve.BindAddr = V;
+    } else if (Arg == "--udp") {
+      if (!IsServe)
+        return WrongCommand();
+      const char *V = TakeValue();
+      if (!V || (strcmp(V, "on") != 0 && strcmp(V, "off") != 0))
+        return Bad("--udp needs 'on' or 'off'");
+      A.Serve.Udp = strcmp(V, "on") == 0;
     } else if (Arg == "--classifier") {
       if (IsCompile)
         return WrongCommand();
@@ -226,6 +276,11 @@ api::Status parseArgs(int argc, char **argv, const std::string &Cmd,
                Arg == "--per-phase" || Arg == "--batch" ||
                Arg == "--metrics-interval") {
       if (IsCompile)
+        return WrongCommand();
+      // serve has no generated workload, so the workload knobs are
+      // rejected rather than silently ignored.
+      if (IsServe && (Arg == "--seed" || Arg == "--phases" ||
+                      Arg == "--per-phase"))
         return WrongCommand();
       const char *V = TakeValue();
       char *End = nullptr;
@@ -350,6 +405,39 @@ int cmdRun(const CliArgs &A, const api::Compilation &C, bool VerdictOnly) {
   return 0;
 }
 
+int cmdServe(CliArgs &A, const api::Compilation &C) {
+  // SIGINT/SIGTERM request a graceful drain; a second signal kills.
+  net::installShutdownHandlers();
+  A.Run.stopFlag(&net::shutdownRequested());
+  A.Serve.OnListening = [&A](uint16_t Port) {
+    note(1, "serving %s on %s:%u (udp %s, %u shards) — SIGINT drains",
+         A.ProgramPath.c_str(), A.Serve.BindAddr.c_str(), Port,
+         A.Serve.Udp ? "on" : "off", A.Run.Shards);
+  };
+
+  api::Result<api::RunReport> R = api::serveNet(C, A.Run, A.Serve);
+  if (!R.ok())
+    return fail(R.status());
+
+  if (A.Json)
+    printf("%s\n", R->json().c_str());
+  else
+    printf("%s", R->str().c_str());
+
+  if (R->Checked && !R->Consistency.Correct)
+    return api::Status::error(api::Code::ConsistencyViolation,
+                              R->Consistency.Reason)
+        .exitCode();
+  // A drain that lost packets is not a clean shutdown: exit 10 so
+  // supervisors can tell "stopped" from "stopped and dropped traffic".
+  if (!R->Audit.Ok)
+    return fail(api::Status::error(
+        api::Code::DropAuditFailure,
+        std::to_string(R->Audit.SilentLoss) +
+            " packet(s) silently lost during serve/drain"));
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -362,7 +450,8 @@ int main(int argc, char **argv) {
       printf("%s\n", Name.c_str());
     return 0;
   }
-  if (Cmd != "compile" && Cmd != "run" && Cmd != "check") {
+  if (Cmd != "compile" && Cmd != "run" && Cmd != "check" &&
+      Cmd != "serve") {
     fprintf(stderr, "error: unknown command '%s'\n", Cmd.c_str());
     return usage();
   }
@@ -394,5 +483,7 @@ int main(int argc, char **argv) {
 
   if (Cmd == "compile")
     return cmdCompile(A, *C);
+  if (Cmd == "serve")
+    return cmdServe(A, *C);
   return cmdRun(A, *C, /*VerdictOnly=*/Cmd == "check");
 }
