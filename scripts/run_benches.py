@@ -9,13 +9,18 @@ baseline file, so future PRs optimize against numbers instead of vibes.
 Modes
 -----
 default   run `bench/engine_throughput --json --seed 1 --partition
-          refined` and `bench/micro_compiler --benchmark_format=json`,
-          validate both schemas, and write the merged baseline JSON to
-          --out.
+          refined`, `bench/micro_compiler --benchmark_format=json`,
+          `bench/net_throughput --json`, and `bench/update_churn
+          --json`, validate their schemas, and write the merged
+          baseline JSON to --out.
 --compare re-run the benches and fail (exit 1) if any engine-throughput
           row lost more than --threshold (default 15%) hops/sec OR
-          scaling efficiency against the committed baseline, or any
-          micro benchmark's cpu_time grew by more than the threshold.
+          scaling efficiency against the committed baseline, any
+          micro benchmark's cpu_time grew by more than the threshold,
+          or an update_churn storm row's p50/p99 update latency
+          regressed past double the threshold and 250us of absolute
+          movement (hw-thread-gated, like the engine update-lat
+          columns).
           The fresh run must attest `"faults": "off"` — the gate is
           specifically the promise that the disarmed fault-injection
           hooks cost nothing on the hot path.
@@ -51,6 +56,12 @@ NET_ROW_KEYS = [
     "transport", "connections", "frames_per_conn", "injects", "replies",
     "elapsed_ms", "injects_per_sec_M", "hops_per_sec_M", "rtt_p50_us",
     "rtt_p99_us", "silent_loss", "definition6",
+]
+
+CHURN_ROW_KEYS = [
+    "pipeline", "shards", "reps", "storm_packets", "learns", "fast_learns",
+    "ctrl_deltas", "hops_per_sec_M", "update_storm_lat_p50_us",
+    "update_storm_lat_p99_us", "p99_speedup_vs_broadcast", "definition6",
 ]
 
 SMOKE_MICRO_FILTER = "BM_ParseBandwidthCap/5|BM_TableExtraction|BM_NesEnabledEvents"
@@ -190,6 +201,39 @@ def net_key(row: dict) -> tuple:
     return (row["transport"], row["connections"], row["frames_per_conn"])
 
 
+def update_churn(bin_dir: str, smoke: bool, partition: str) -> dict:
+    cmd = [os.path.join(bin_dir, "bench", "update_churn"), "--json",
+           "--seed", "1", "--partition", partition]
+    if smoke:
+        cmd.append("--smoke")
+    out = run(cmd).stdout
+    try:
+        d = json.loads(out)
+    except json.JSONDecodeError as e:
+        fail(f"update_churn --json is not valid JSON: {e}")
+    if d.get("bench") != "update_churn" or not d.get("rows"):
+        fail("update_churn JSON missing bench/rows")
+    if "hw_threads" not in d:
+        fail("update_churn JSON missing hw_threads")
+    if d.get("faults") != "off":
+        fail("update_churn JSON does not attest 'faults': 'off'")
+    for row in d["rows"]:
+        for key in CHURN_ROW_KEYS:
+            if key not in row:
+                fail(f"update_churn row missing key '{key}': {row}")
+        if row["definition6"] != "ok":
+            fail(f"update_churn row violates Definition 6: {row}")
+        # Zero learns means the storm never fired the app's event — the
+        # latency columns would silently gate nothing.
+        if row["learns"] == 0:
+            fail(f"update_churn row recorded no register learns: {row}")
+    return d
+
+
+def churn_key(row: dict) -> tuple:
+    return (row["pipeline"], row["shards"])
+
+
 def backend_smoke(bin_dir: str) -> None:
     """`eventnetc run --json` on every backend, checked by check_report."""
     eventnetc = os.path.join(bin_dir, "eventnetc")
@@ -224,6 +268,7 @@ def collect(bin_dir: str, smoke: bool, partition: str = "refined",
                                                    partition, repeat),
             "micro_compiler": micro_compiler(bin_dir, smoke),
             "net_throughput": net_throughput(bin_dir, smoke),
+            "update_churn": update_churn(bin_dir, smoke, partition),
         },
     }
 
@@ -381,6 +426,62 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> int:
                     f"{new_v:.3f} M injects/s vs baseline {old_v:.3f} "
                     f"(-{(1 - new_v / old_v) * 100:.1f}%)")
 
+    # The event-storm update-latency rows. Same reasoning as the
+    # engine-throughput update-lat columns: microsecond-scale tail
+    # percentiles are noisy and, on an oversubscribed machine, measure
+    # the scheduler — so the latency gate applies only to rows the
+    # machine can genuinely parallelize, at double the raw threshold,
+    # and never below 250us of absolute movement. Throughput under the
+    # storm gets the loose collapse-only gate (the bench measures
+    # latency; hops/s is a sanity sidecar).
+    base_churn = baseline["benches"].get("update_churn")
+    if base_churn is None:
+        print("run_benches: WARNING: baseline has no update_churn block "
+              "(pre-update-pipeline baseline; storm rows not compared)",
+              file=sys.stderr)
+    else:
+        churn_hw = fresh["benches"]["update_churn"].get("hw_threads", 0)
+        base_rows = {churn_key(r): r for r in base_churn["rows"]}
+        fresh_rows = {churn_key(r): r
+                      for r in fresh["benches"]["update_churn"]["rows"]}
+        for key in sorted(set(base_rows) - set(fresh_rows)):
+            print(f"run_benches: WARNING: baseline churn row {key} no "
+                  "longer produced — its regression coverage is gone",
+                  file=sys.stderr)
+        for key, row in fresh_rows.items():
+            old = base_rows.get(key)
+            if old is None:
+                print(f"run_benches: WARNING: churn row {key} has no "
+                      "baseline entry (new configuration, not compared)",
+                      file=sys.stderr)
+                continue
+            compared += 1
+            for lat_key in ("update_storm_lat_p50_us",
+                            "update_storm_lat_p99_us"):
+                old_l = old.get(lat_key, 0)
+                new_l = row.get(lat_key, 0)
+                if not (old_l > 0
+                        and new_l > old_l * (1 + 2 * threshold)
+                        and new_l - old_l > 250.0):
+                    continue
+                where = (f"update_churn {key}: {lat_key} {new_l:.1f}us "
+                         f"vs baseline {old_l:.1f}us "
+                         f"(+{(new_l / old_l - 1) * 100:.1f}%)")
+                if churn_hw < 2 or row["shards"] > churn_hw:
+                    print(f"run_benches: WARNING: {where} — not gated, "
+                          f"only {churn_hw} hardware thread(s) for "
+                          f"{row['shards']} shard(s)", file=sys.stderr)
+                else:
+                    failures.append(where)
+            old_v = old["hops_per_sec_M"]
+            new_v = row["hops_per_sec_M"]
+            storm_threshold = max(0.5, 2 * threshold)
+            if old_v > 0 and new_v < old_v * (1 - storm_threshold):
+                failures.append(
+                    f"update_churn {key}: {new_v:.3f} M hops/s vs "
+                    f"baseline {old_v:.3f} "
+                    f"(-{(1 - new_v / old_v) * 100:.1f}%)")
+
     base_micro = {b["name"]: b
                   for b in baseline["benches"]["micro_compiler"]["benchmarks"]}
     fresh_micro = {b["name"]: b
@@ -463,7 +564,8 @@ def main() -> int:
           f"({len(merged['benches']['engine_throughput']['rows'])} engine "
           f"rows, "
           f"{len(merged['benches']['micro_compiler']['benchmarks'])} micro "
-          f"benchmarks)")
+          f"benchmarks, "
+          f"{len(merged['benches']['update_churn']['rows'])} storm rows)")
     return rc
 
 

@@ -121,12 +121,17 @@ public:
       R.Faults.Storms = S.FaultStorms;
       R.Faults.DupDelivered = S.DupDelivered;
       R.Faults.DupDropped = S.DupDropped;
-      faults::FaultLedger L = E.takeFaultLedger();
+    }
+    // The checker context rides along even without a fault plan: a shed
+    // overload policy retires chains under plain pressure, and those
+    // tickets must be excusable for Definition 6 verification.
+    faults::FaultLedger L = E.takeFaultLedger();
+    if (Inj) {
       R.Faults.LedgerEntries = L.Records.size();
       R.Faults.Ledger = L.canonical();
-      R.FaultCtx.ExcusedEntries = std::move(L.ExcusedEntries);
-      R.FaultCtx.DupEntries = std::move(L.DupEntries);
     }
+    R.FaultCtx.ExcusedEntries = std::move(L.ExcusedEntries);
+    R.FaultCtx.DupEntries = std::move(L.DupEntries);
     R.ObsTrace = E.takeObsTrace();
     R.Trace = E.takeTrace();
     return R;

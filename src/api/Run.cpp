@@ -111,7 +111,18 @@ Result<RunReport> Run::execute(const RunOptions &O) {
   unsigned PerPhase = static_cast<unsigned>(
       std::min<size_t>(O.PingsPerPhase, Pairs));
   engine::TrafficGen G(Topo, O.Seed);
-  engine::Workload W = G.pings(O.Phases, PerPhase);
+  engine::Workload W;
+  if (O.Workload == "ping") {
+    W = G.pings(O.Phases, PerPhase);
+  } else if (O.Workload == "churn") {
+    // Event-storm shape: distinct-flow data packets (no echo replies
+    // owed) with rotating probe triggers scattered through each phase.
+    W = G.churn(O.Phases, O.PingsPerPhase, O.ChurnRate);
+  } else {
+    return Status::error(Code::InvalidArgument,
+                         "unknown workload '" + O.Workload +
+                             "' (known: ping, churn)");
+  }
 
   Result<RunReport> Report = B->execute(*C, O, W);
   if (!Report.ok())
@@ -119,6 +130,7 @@ Result<RunReport> Run::execute(const RunOptions &O) {
 
   Report->Backend = B->name();
   Report->Seed = O.Seed;
+  Report->Workload = O.Workload;
 
   // Packet-conservation audit (backend-agnostic): every injection must
   // end in a delivery or a counted drop. Multicast can only add terminal
@@ -141,10 +153,15 @@ Result<RunReport> Run::execute(const RunOptions &O) {
   A.Ok = A.SilentLoss == 0;
 
   if (O.CheckConsistency) {
+    // The excusal context matters beyond fault plans: a shed overload
+    // policy ledgers the chains it retired under plain pressure too.
+    bool HasCtx = Report->Faults.Enabled ||
+                  !Report->FaultCtx.ExcusedEntries.empty() ||
+                  !Report->FaultCtx.DupEntries.empty();
     Report->Checked = true;
     Report->Consistency = consistency::checkAgainstNes(
         Report->Trace, Topo, C->structure(),
-        Report->Faults.Enabled ? &Report->FaultCtx : nullptr);
+        HasCtx ? &Report->FaultCtx : nullptr);
   }
   return Report;
 }
@@ -205,6 +222,8 @@ void latencyJson(std::ostringstream &OS, const char *Key,
 std::string RunReport::str() const {
   std::ostringstream OS;
   OS << Backend << " run: seed " << Seed;
+  if (!Workload.empty() && Workload != "ping")
+    OS << ", " << Workload << " workload";
   if (Shards > 1)
     OS << ", " << Shards << " shards";
   if (Backend == "engine") {
@@ -309,6 +328,8 @@ std::string RunReport::str() const {
 std::string RunReport::json() const {
   std::ostringstream OS;
   OS << "{\"backend\": \"" << jsonEscape(Backend) << "\""
+     << ", \"workload\": \""
+     << jsonEscape(Workload.empty() ? "ping" : Workload) << "\""
      << ", \"seed\": " << Seed << ", \"shards\": " << Shards
      << ", \"classifier\": " << (Classifier ? "true" : "false")
      << ", \"batch\": " << Batch

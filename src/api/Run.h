@@ -71,6 +71,14 @@ public:
     PingsPerPhase = V;
     return *this;
   }
+  RunOptions &workload(std::string V) {
+    Workload = std::move(V);
+    return *this;
+  }
+  RunOptions &churnRate(unsigned V) {
+    ChurnRate = V;
+    return *this;
+  }
   RunOptions &stepBudget(size_t V) {
     StepBudget = V;
     return *this;
@@ -137,6 +145,13 @@ public:
   unsigned Phases = 4;
   /// Echo requests per phase (clamped to the topology's host-pair count).
   unsigned PingsPerPhase = 8;
+  /// Workload model: "ping" (the historical seeded echo workload) or
+  /// "churn" (TrafficGen::churn — distinct-flow storm phases with
+  /// ChurnRate rotating probe triggers per phase, the high-churn update
+  /// bench's traffic shape).
+  std::string Workload = "ping";
+  /// Probe triggers per phase of the churn workload (ignored elsewhere).
+  unsigned ChurnRate = 4;
   /// Machine backend: maximum steps per quiescence run.
   size_t StepBudget = 100000;
   /// Replay the recorded trace through the Definition 6 checker.
@@ -273,6 +288,7 @@ struct NetReport {
 struct RunReport {
   std::string Backend;
   uint64_t Seed = 0;
+  std::string Workload; ///< workload model the run executed ("ping", ...)
   unsigned Shards = 1; ///< 1 on the sequential backends
   bool Classifier = false; ///< engine: classifier fast path in use
   unsigned Batch = 1;      ///< engine: hot-loop batch size

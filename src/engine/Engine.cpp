@@ -120,6 +120,9 @@ Engine::Engine(const nes::Nes &N, const topo::Topology &Topo,
   for (unsigned E = 0; E != N.numEvents(); ++E)
     DetectNs.push_back(std::make_unique<std::atomic<int64_t>>(-1));
 
+  if (C.FastUpdates)
+    buildSubscriptions();
+
   // A sane clock base for stats() calls that precede run().
   StartNs.store(monotonicNs());
 
@@ -136,6 +139,61 @@ Engine::Engine(const nes::Nes &N, const topo::Topology &Topo,
 Engine::~Engine() {
   for (uint32_t D = 0; D != Idx.numSwitches(); ++D)
     delete Slots[D].Published.load();
+}
+
+void Engine::buildSubscriptions() {
+  unsigned NE = N.numEvents();
+  SubSwitches.assign(static_cast<size_t>(NE) * C.NumShards, {});
+  SubShards.assign(NE, {});
+  OwnedDense.assign(C.NumShards, {});
+  for (uint32_t D = 0; D != Idx.numSwitches(); ++D)
+    OwnedDense[Slots[D].Shard].push_back(D);
+
+  // Does event E's arrival matter to dense switch D? Two ways:
+  //  - config dependence: adding E to some family set changes D's
+  //    table, so learning E sooner means reconfiguring sooner;
+  //  - detection relevance: E shares a family set with an event
+  //    detectable at D, so D's register content (enables/con inputs of
+  //    the SWITCH rule) can gate a future local detection.
+  // The family and event counts are small (NESes compiled from programs
+  // are tiny), so the quadratic sweep is construction noise.
+  std::vector<char> Sub(Idx.numSwitches());
+  for (unsigned E = 0; E != NE; ++E) {
+    std::fill(Sub.begin(), Sub.end(), 0);
+    for (nes::SetId S = 0; S != N.numSets(); ++S) {
+      const DenseBitSet &Bits = N.setBits(S);
+      if (Bits.test(E)) {
+        // Detection relevance: every switch detecting a co-member.
+        for (uint32_t D = 0; D != Idx.numSwitches(); ++D) {
+          if (Sub[D])
+            continue;
+          for (nes::EventId F : Compiled.eventsAt(D))
+            if (Bits.test(F)) {
+              Sub[D] = 1;
+              break;
+            }
+        }
+        continue;
+      }
+      DenseBitSet With = Bits;
+      With.set(E);
+      auto S2 = N.setIndex(With);
+      if (!S2)
+        continue;
+      const topo::Configuration &A = N.configOf(S);
+      const topo::Configuration &B = N.configOf(*S2);
+      for (uint32_t D = 0; D != Idx.numSwitches(); ++D)
+        if (!Sub[D] && !(A.tableFor(Slots[D].Id) == B.tableFor(Slots[D].Id)))
+          Sub[D] = 1;
+    }
+    for (uint32_t D = 0; D != Idx.numSwitches(); ++D)
+      if (Sub[D])
+        SubSwitches[static_cast<size_t>(E) * C.NumShards + Slots[D].Shard]
+            .push_back(D);
+    for (uint32_t S = 0; S != C.NumShards; ++S)
+      if (!SubSwitches[static_cast<size_t>(E) * C.NumShards + S].empty())
+        SubShards[E].push_back(S);
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -161,10 +219,13 @@ void Engine::applyRegister(Shard &S, SwitchSlot &Sl, const DenseBitSet &NewE) {
   if (!TagOpt)
     return;
 
-  double Now = nowSec();
+  // One monotonic clock for the whole update-latency measurement:
+  // DetectNs and LearnNs are both raw monotonicNs(), so the Transition
+  // digest is a pure difference on one time base.
+  int64_t Now = monotonicNs();
   NewE.forEach([&](unsigned E) {
     if (!Sl.E.test(E)) {
-      S.LearnTimes.try_emplace({Sl.Id, static_cast<nes::EventId>(E)}, Now);
+      S.LearnNs.try_emplace({Sl.Id, static_cast<nes::EventId>(E)}, Now);
       obsRecord(S, obs::TraceKind::RegisterLearn,
                 static_cast<uint32_t>(Sl.Id), E);
     }
@@ -191,6 +252,16 @@ void Engine::sendToShard(uint32_t Target, Msg &&M) {
   if (C.LatencyHistograms)
     M.EnqNs = monotonicNs();
   Shard &Sh = *Shards[Target];
+  if (M.K == Msg::CtrlDelta) {
+    // Priority lane: a delta that queued behind a storm's worth of data
+    // packets would defeat the fast pipeline, so it never enters the
+    // ring at all — the owner drains this lane ahead of every batch.
+    std::lock_guard<std::mutex> Lock(Sh.CtrlMu);
+    Sh.CtrlLane.push_back(std::move(M));
+    Sh.CtrlLaneSize.store(static_cast<uint32_t>(Sh.CtrlLane.size()),
+                          std::memory_order_release);
+    return;
+  }
   if (Sh.Q->tryPush(std::move(M)))
     return;
   overflowMsg(Sh, std::move(M));
@@ -223,7 +294,7 @@ void Engine::shedLocked(Shard &Dst, Msg &M) {
 
 void Engine::overflowMsg(Shard &Dst, Msg &&M) {
   std::lock_guard<std::mutex> Lock(Dst.OverflowMu);
-  if (C.Overload != OverloadPolicy::Block && M.K != Msg::CtrlMerge &&
+  if (C.Overload != OverloadPolicy::Block && !isCtrlMsg(M) &&
       Dst.Overflow.size() >= Dst.Q->capacity()) {
     // Backlog bound reached: shed a data-plane message. Control
     // messages are never shed (dropping a CTRLSEND would wedge event
@@ -233,7 +304,7 @@ void Engine::overflowMsg(Shard &Dst, Msg &&M) {
       return;
     }
     for (auto It = Dst.Overflow.begin(); It != Dst.Overflow.end(); ++It) {
-      if (It->K == Msg::CtrlMerge)
+      if (isCtrlMsg(*It))
         continue;
       shedLocked(Dst, *It);
       Dst.Overflow.erase(It);
@@ -427,8 +498,7 @@ void Engine::processPacket(Shard &S, EnginePacket &P) {
       Fresh.set(E);
       // First (and only) detection: the event's location is this switch.
       int64_t Expected = -1;
-      DetectNs[E]->compare_exchange_strong(
-          Expected, static_cast<int64_t>(nowSec() * 1e9));
+      DetectNs[E]->compare_exchange_strong(Expected, monotonicNs());
       obsRecord(S, obs::TraceKind::EventDetect, E,
                 static_cast<uint32_t>(Sl.Id));
       Pending.fetch_add(1);
@@ -436,6 +506,18 @@ void Engine::processPacket(Shard &S, EnginePacket &P) {
       // detected once) and the controller always drains, so a plain
       // yield on the full path cannot deadlock.
       CtrlQ->pushBlocking(static_cast<uint32_t>(E));
+      if (C.FastUpdates) {
+        // Shard-local fast path: every subscribed switch this shard
+        // owns transitions now, one function call after detection —
+        // no queue hop, no controller wake on the critical path. Ext
+        // (this detection's consistent extension: register + digest +
+        // fresh events + E, all occurred) rides along as the causal
+        // context for switches whose registers lack E's causes. The
+        // wake comes second: notifying first can hand an oversubscribed
+        // core to the controller ahead of the fan-out.
+        fanOutLocal(S, E, D, S.ScratchExt);
+        CtrlWake.notify();
+      }
     }
   }
 
@@ -502,6 +584,40 @@ void Engine::processPacket(Shard &S, EnginePacket &P) {
   S.Outs = std::move(Outs); // return the capacity for reuse
 }
 
+void Engine::mergeEventInto(Shard &S, uint32_t Dense, unsigned E,
+                            const DenseBitSet &Ctx) {
+  SwitchSlot &Sl = Slots[Dense];
+  if (Sl.E.test(E))
+    return;
+  DenseBitSet &NewE = S.ScratchFan;
+  NewE = Sl.E;
+  NewE.set(E);
+  if (!N.setIndex(NewE)) {
+    // The single-event union left the family: this switch has not yet
+    // heard one of E's *causes* (detection checked enables() against the
+    // detector's knowledge, not this register). Merge the sender's
+    // context instead — a set of occurred events containing E's enabling
+    // chain, so this is the same union a gossip digest carrying that
+    // context would have applied.
+    NewE |= Ctx;
+  }
+  applyRegister(S, Sl, NewE);
+}
+
+void Engine::fanOutLocal(Shard &S, unsigned E, uint32_t DetectDense,
+                         const DenseBitSet &Ctx) {
+  const auto &Subs =
+      SubSwitches[static_cast<size_t>(E) * C.NumShards + S.Index];
+  for (uint32_t D : Subs) {
+    if (D == DetectDense)
+      continue; // the detector merges via its own Fresh set
+    if (Slots[D].E.test(E))
+      continue;
+    mergeEventInto(S, D, E, Ctx);
+    S.FastLearns.add();
+  }
+}
+
 void Engine::handleInject(Shard &S, HostId From, Packet Header) {
   Location At = Topo.hostLoc(From);
   uint32_t D = Idx.denseOf(At.Sw);
@@ -544,6 +660,25 @@ void Engine::processMsg(Shard &S, Msg &M) {
       DenseBitSet NewE = Sl.E | M.Merge;
       if (NewE != Sl.E)
         applyRegister(S, Sl, NewE);
+    }
+    break;
+  case Msg::CtrlDelta:
+    // CTRLSEND, delta form: one event id, merged as a single-event
+    // union in the common case; M.Merge (the controller's occurred set)
+    // is the causal fallback for registers that lack the event's
+    // enabling chain. Under explicit broadcast every owned register
+    // learns it (the historical contract); otherwise only the
+    // subscribed switches do — the rest would not change their table or
+    // detection behavior, so routing past them only removes queue
+    // traffic.
+    if (C.CtrlBroadcast) {
+      for (uint32_t D : OwnedDense[S.Index])
+        mergeEventInto(S, D, M.Event, M.Merge);
+    } else {
+      const auto &Subs =
+          SubSwitches[static_cast<size_t>(M.Event) * C.NumShards + S.Index];
+      for (uint32_t D : Subs)
+        mergeEventInto(S, D, M.Event, M.Merge);
     }
     break;
   }
@@ -666,7 +801,29 @@ void Engine::releaseDelayed(Shard &S) {
   }
 }
 
+size_t Engine::drainCtrlLane(Shard &S) {
+  // Move the lane out under the lock, merge outside it (the merges do
+  // RCU publication work; the controller must never wait on that).
+  std::deque<Msg> Lane;
+  {
+    std::lock_guard<std::mutex> Lock(S.CtrlMu);
+    Lane.swap(S.CtrlLane);
+    S.CtrlLaneSize.store(0, std::memory_order_relaxed);
+  }
+  for (Msg &M : Lane) {
+    processMsg(S, M);
+    Pending.fetch_sub(1);
+  }
+  return Lane.size();
+}
+
 size_t Engine::drainBatch(Shard &S) {
+  // Control deltas jump the data backlog: drain the priority lane
+  // before touching the ring. One relaxed load when the lane is empty.
+  size_t Ctrl = S.CtrlLaneSize.load(std::memory_order_acquire) != 0
+                    ? drainCtrlLane(S)
+                    : 0;
+
   if (C.Faults) {
     // The poll counter ticks on every call — including empty ones — so
     // a delayed message still releases when it is the only pending work
@@ -689,7 +846,7 @@ size_t Engine::drainBatch(Shard &S) {
     }
     Lock.unlock();
     if (N == 0)
-      return 0;
+      return Ctrl;
     S.QueueHighWater.raiseTo(Backlog + S.Q->sizeApprox());
   }
 
@@ -732,7 +889,7 @@ size_t Engine::drainBatch(Shard &S) {
     obsRecord(S, obs::TraceKind::FaultStall, S.Index, S.StallUs);
     std::this_thread::sleep_for(std::chrono::microseconds(S.StallUs));
   }
-  return N;
+  return N + Ctrl;
 }
 
 void Engine::workerLoop(unsigned ShardIdx) {
@@ -784,7 +941,30 @@ void Engine::controllerLoop() {
       if (!Occurred.test(E)) {
         Occurred.set(E);
         Events.add();
-        if (C.CtrlBroadcast)
+        if (C.FastUpdates) {
+          // CTRLSEND, delta form: one event id per shard that hosts a
+          // subscriber (or per shard, under explicit broadcast) instead
+          // of O(NumShards) full-bitset copies — independent concurrent
+          // updates pipeline instead of serializing on set merges.
+          auto SendDelta = [&](uint32_t I) {
+            Msg M;
+            M.K = Msg::CtrlDelta;
+            M.Event = E;
+            // Occurred rides along as the causal-fallback context: a
+            // register missing one of E's causes merges the full set
+            // (exactly what the legacy CtrlMerge would have applied)
+            // instead of leaving the NES family.
+            M.Merge = Occurred;
+            sendToShard(I, std::move(M));
+            CtrlDeltas.add();
+          };
+          if (C.CtrlBroadcast)
+            for (uint32_t I = 0; I != C.NumShards; ++I)
+              SendDelta(I);
+          else
+            for (uint32_t I : SubShards[E])
+              SendDelta(I);
+        } else if (C.CtrlBroadcast)
           for (uint32_t I = 0; I != C.NumShards; ++I) {
             Msg M;
             M.K = Msg::CtrlMerge;
@@ -818,8 +998,18 @@ void Engine::controllerLoop() {
     }
     if (StopFlag.load())
       break;
-    // Same idle backoff as the workers: events are rare, so the
-    // controller is the most persistently idle thread of all.
+    if (C.FastUpdates) {
+      // Event-driven wake: block until a worker notifies (it does so
+      // right after every CtrlQ push), then re-drain. No backoff floor
+      // under propagation latency; the timeout is only a shutdown
+      // safety net (finish() also notifies after raising StopFlag).
+      CtrlWake.wait(/*TimeoutUs=*/50000);
+      continue;
+    }
+    // Legacy idle backoff, same as the workers: events are rare, so the
+    // controller is the most persistently idle thread of all. The sleep
+    // cap is also a floor on event propagation latency — the reason the
+    // FastUpdates path above exists.
     ++Spins;
     if (Spins <= 64)
       continue;
@@ -887,6 +1077,7 @@ void Engine::finish() {
     return;
   ElapsedSec = nowSec();
   StopFlag.store(true);
+  CtrlWake.notify(); // rouse a controller blocked in its event wait
   for (auto &S : Shards)
     S->Thread.join();
   CtrlThread.join();
@@ -940,39 +1131,46 @@ void Engine::mergeResults() {
     MergedTags.push_back(R->Tag);
   }
 
+  // Learn times: merge the per-shard monotonic stamps and derive the
+  // Figure 16(b) seconds-after-start map on the same clock.
+  int64_t Base = StartNs.load();
   for (auto &S : Shards) {
     MergedDeliveries.insert(MergedDeliveries.end(), S->Delivered.begin(),
                             S->Delivered.end());
-    MergedLearnTimes.insert(S->LearnTimes.begin(), S->LearnTimes.end());
+    for (const auto &[Key, LearnAt] : S->LearnNs)
+      MergedLearnTimes.emplace(
+          Key, static_cast<double>(LearnAt - Base) * 1e-9);
   }
 
   // Fault ledger: collect the per-shard records (owner-written, read
   // post-join) and remap the excused/duplicate tickets into merged
   // trace indices for the checker. The record multiset is content-
   // addressed, so its canonical form reproduces run to run; the index
-  // lists are run-local annotations.
-  if (C.Faults) {
-    for (auto &S : Shards) {
+  // lists are run-local annotations. Shed tickets are ledgered even
+  // without a fault plan: a shed overload policy retires chains under
+  // plain pressure too, and the checker needs their excusal context
+  // either way.
+  for (auto &S : Shards) {
+    if (C.Faults) {
       Ledger.Records.insert(Ledger.Records.end(), S->FaultRecs.begin(),
                             S->FaultRecs.end());
       for (int64_t T : S->ExcusedTickets)
         Ledger.ExcusedEntries.push_back(
             IndexOf.at(static_cast<uint64_t>(T)));
-      for (int64_t T : S->ShedTickets)
-        Ledger.ExcusedEntries.push_back(
-            IndexOf.at(static_cast<uint64_t>(T)));
       for (int64_t T : S->DupTickets)
         Ledger.DupEntries.push_back(IndexOf.at(static_cast<uint64_t>(T)));
     }
-    Ledger.Records.insert(Ledger.Records.end(), StormRecs.begin(),
-                          StormRecs.end());
-    auto Uniq = [](std::vector<int> &V) {
-      std::sort(V.begin(), V.end());
-      V.erase(std::unique(V.begin(), V.end()), V.end());
-    };
-    Uniq(Ledger.ExcusedEntries);
-    Uniq(Ledger.DupEntries);
+    for (int64_t T : S->ShedTickets)
+      Ledger.ExcusedEntries.push_back(IndexOf.at(static_cast<uint64_t>(T)));
   }
+  Ledger.Records.insert(Ledger.Records.end(), StormRecs.begin(),
+                        StormRecs.end());
+  auto Uniq = [](std::vector<int> &V) {
+    std::sort(V.begin(), V.end());
+    V.erase(std::unique(V.begin(), V.end()), V.end());
+  };
+  Uniq(Ledger.ExcusedEntries);
+  Uniq(Ledger.DupEntries);
 
   // Obs timeline: concatenate the per-shard rings (post-join, so every
   // slot write happens-before this read) and sort into one time base.
@@ -995,6 +1193,7 @@ void Engine::mergeResults() {
   FinalStats.PacketsDropped = Dropped.get();
   FinalStats.PacketsForwarded = Forwarded.get();
   FinalStats.EventsDetected = Events.get();
+  FinalStats.CtrlDeltas = CtrlDeltas.get();
   FinalStats.ClassifierPath = C.UseClassifier;
   FinalStats.BatchSize = C.BatchSize;
   fillPartitionStats(FinalStats);
@@ -1006,6 +1205,7 @@ void Engine::mergeResults() {
     SS.FreelistGrowth = freelistGrowth(*S);
     FinalStats.PacketsProcessed += SS.PacketsProcessed;
     FinalStats.ConfigTransitions += SS.Transitions;
+    FinalStats.FastPathLearns += SS.FastLearns;
     FinalStats.Shards.push_back(SS);
   }
   if (ElapsedSec > 0) {
@@ -1014,15 +1214,18 @@ void Engine::mergeResults() {
   }
   // Update latency (detection -> each register learn) through an obs
   // histogram, so the digest carries percentiles, not just mean/max.
-  // Post-run cost only: the samples are by-products of the protocol.
+  // Post-run cost only: the samples are by-products of the protocol,
+  // and both stamps come from monotonicNs() — no wall-clock skew.
   obs::LogHistogram UpdateNs;
-  for (const auto &[Key, LearnAt] : MergedLearnTimes) {
-    int64_t Ns = DetectNs[Key.second]->load();
-    if (Ns < 0)
-      continue;
-    double Lat = LearnAt * 1e9 - static_cast<double>(Ns);
-    UpdateNs.record(Lat > 0 ? static_cast<uint64_t>(Lat) : 0);
-  }
+  for (auto &S : Shards)
+    for (const auto &[Key, LearnAt] : S->LearnNs) {
+      int64_t Ns = DetectNs[Key.second]->load();
+      if (Ns < 0)
+        continue;
+      int64_t Lat = LearnAt - Ns;
+      TransitionNs.push_back(Lat > 0 ? Lat : 0);
+      UpdateNs.record(Lat > 0 ? static_cast<uint64_t>(Lat) : 0);
+    }
   FinalStats.Transition = digestFrom(UpdateNs.snapshot(), 1e-9);
 }
 
@@ -1036,6 +1239,7 @@ Stats Engine::stats() const {
   S.PacketsDropped = Dropped.get();
   S.PacketsForwarded = Forwarded.get();
   S.EventsDetected = Events.get();
+  S.CtrlDeltas = CtrlDeltas.get();
   S.ClassifierPath = C.UseClassifier;
   S.BatchSize = C.BatchSize;
   fillPartitionStats(S);
@@ -1050,6 +1254,7 @@ Stats Engine::stats() const {
     }
     S.PacketsProcessed += SS.PacketsProcessed;
     S.ConfigTransitions += SS.Transitions;
+    S.FastPathLearns += SS.FastLearns;
     S.Shards.push_back(SS);
   }
   if (S.ElapsedSec > 0) {
@@ -1107,6 +1312,7 @@ ShardStats Engine::baseShardStats(const Shard &Sh) const {
   SS.IdleSleeps = Sh.IdleSleeps.get();
   SS.Shed = Sh.Shed.get();
   SS.Stalls = Sh.Stalls.get();
+  SS.FastLearns = Sh.FastLearns.get();
   if (Sh.ObsRing) {
     SS.TraceRecorded = Sh.ObsRing->recordedCount();
     SS.TraceDropped = Sh.ObsRing->droppedCount();

@@ -44,6 +44,7 @@
 #include "engine/Rcu.h"
 #include "engine/Stats.h"
 #include "engine/TrafficGen.h"
+#include "engine/Wake.h"
 #include "faults/Injector.h"
 #include "nes/Nes.h"
 #include "obs/Histogram.h"
@@ -114,6 +115,25 @@ struct EngineConfig {
   /// accelerating discovery beyond digest gossip. Off by default, like
   /// the simulator.
   bool CtrlBroadcast = false;
+  /// The low-latency update pipeline: (a) a shard that detects an event
+  /// applies the transition to its own subscribed switches immediately
+  /// (the per-switch RCU view swap publishes each register
+  /// independently, so no controller round-trip is needed); (b) the
+  /// controller propagates event-id deltas routed by a load-time
+  /// event->shard subscription index instead of full-bitset broadcasts,
+  /// delivered over a per-shard priority lane that bypasses the data
+  /// ring (a delta never queues behind a storm backlog);
+  /// (c) the controller sleeps on an eventfd/self-pipe wake instead of
+  /// the spin->yield->sleep backoff (whose IdleSleepUs cap is otherwise
+  /// a built-in latency floor). Off = the historical controller path,
+  /// kept so benches can measure both pipelines in one binary. Either
+  /// way, merging a detected event into a register is the same
+  /// union-with-occurred-events step CtrlBroadcast has always taken
+  /// (single-event unions that would leave the NES family — the target
+  /// register missing one of the event's causes — fall back to merging
+  /// the sender's occurred-event context), so Definition 6 is
+  /// unaffected.
+  bool FastUpdates = true;
   /// Hosts answer echo requests in-engine (KindRequest -> KindReply).
   bool EchoReplies = true;
   /// Record the network trace for the consistency checkers. Turn off
@@ -240,10 +260,19 @@ public:
   }
 
   /// Seconds after run() start at which each switch first learned each
-  /// event (valid after run) — the Figure 16(b) measurement.
+  /// event (valid after run) — the Figure 16(b) measurement. Derived
+  /// from the monotonic per-shard learn stamps at merge time.
   const std::map<std::pair<SwitchId, nes::EventId>, double> &
   learnTimes() const {
     return MergedLearnTimes;
+  }
+
+  /// Raw event-detection -> register-learn latencies in nanoseconds,
+  /// one sample per (switch, event) learn (valid after run) — what the
+  /// Transition digest summarizes. Exposed raw so benches can merge
+  /// percentiles across repeated runs.
+  const std::vector<int64_t> &transitionLatenciesNs() const {
+    return TransitionNs;
   }
 
   /// An RCU read of a switch's published view: tag, register, and the
@@ -296,13 +325,21 @@ private:
   };
 
   struct Msg {
-    enum Kind : uint8_t { PacketIn, Inject, CtrlMerge } K = PacketIn;
+    enum Kind : uint8_t { PacketIn, Inject, CtrlMerge, CtrlDelta } K =
+        PacketIn;
     EnginePacket P;        // PacketIn
     HostId From = 0;       // Inject
     netkat::Packet Header; // Inject
-    DenseBitSet Merge;     // CtrlMerge
+    DenseBitSet Merge;     // CtrlMerge; CtrlDelta causal-fallback context
+    uint32_t Event = 0;    // CtrlDelta: one event id
     int64_t EnqNs = 0; ///< ring-enqueue stamp (only when LatencyHistograms)
   };
+
+  /// Control messages must never be shed (dropping a CTRLSEND would
+  /// wedge event propagation, not degrade it).
+  static bool isCtrlMsg(const Msg &M) {
+    return M.K == Msg::CtrlMerge || M.K == Msg::CtrlDelta;
+  }
 
   struct TraceRec {
     uint64_t Ticket = 0;
@@ -333,9 +370,22 @@ private:
     /// the owner drains the ring first, then the overflow.
     std::mutex OverflowMu;
     std::deque<Msg> Overflow;
+    /// Priority control lane (FastUpdates): CtrlDelta messages bypass
+    /// the data ring entirely, so an update is never stuck behind a
+    /// storm backlog of data packets — the owner drains this lane ahead
+    /// of every ring batch. Single producer (the controller thread),
+    /// single consumer (the owner); Size is the owner's cheap
+    /// emptiness probe, so the common empty case costs one relaxed
+    /// load, no lock.
+    std::mutex CtrlMu;
+    std::deque<Msg> CtrlLane;
+    std::atomic<uint32_t> CtrlLaneSize{0};
     std::vector<TraceRec> Trace;
     std::vector<std::pair<HostId, netkat::Packet>> Delivered;
-    std::map<std::pair<SwitchId, nes::EventId>, double> LearnTimes;
+    /// First-learn stamp per (switch, event), raw monotonicNs() — the
+    /// same clock as DetectNs, so the Transition digest is a pure
+    /// monotonic difference (no wall-clock skew can enter it).
+    std::map<std::pair<SwitchId, nes::EventId>, int64_t> LearnNs;
     RetireList<SwitchView> Retired;
     std::thread Thread;
     std::vector<netkat::Packet> Outs; ///< scratch (FDD-walk oracle path)
@@ -347,6 +397,10 @@ private:
     /// loop builds no fresh DenseBitSets).
     DenseBitSet ScratchKnown, ScratchFresh, ScratchExt, ScratchNew,
         ScratchDigest;
+    /// Scratch register for the fast-update paths (shard-local fan-out
+    /// and CtrlDelta merges); separate from the SWITCH-rule scratch so a
+    /// mid-detection fan-out cannot clobber the Known/Fresh sets.
+    DenseBitSet ScratchFan;
     RelaxedCounter Processed;
     RelaxedCounter Transitions;
     RelaxedCounter Dropped;
@@ -354,6 +408,7 @@ private:
     RelaxedCounter IdleSleeps;
     RelaxedCounter Shed;   ///< messages shed here by the overload policy
     RelaxedCounter Stalls; ///< fault-plan stalls taken by this worker
+    RelaxedCounter FastLearns; ///< registers advanced by the local fast path
 
     /// Fault-injection state; only touched when a plan is active.
     /// Owner-thread unless noted.
@@ -390,6 +445,26 @@ private:
 
   void workerLoop(unsigned ShardIdx);
   void controllerLoop();
+  /// Builds the event->switch subscription index (FastUpdates): which
+  /// dense switches care about each event, grouped by owning shard, plus
+  /// the per-event list of shards with at least one subscriber.
+  void buildSubscriptions();
+  /// Shard-local fast path: the detecting shard applies \p E to its own
+  /// subscribed switches immediately (one RCU swap each), before the
+  /// controller round-trip. \p DetectDense learns via the SWITCH rule's
+  /// own Fresh merge and is skipped here. \p Ctx is the detection's
+  /// consistent extension — occurred events covering \p E's causes.
+  void fanOutLocal(Shard &S, unsigned E, uint32_t DetectDense,
+                   const DenseBitSet &Ctx);
+  /// Merges the single event \p E into \p Dense's register if new. When
+  /// the single-event union is not an NES family member (the register
+  /// lacks one of \p E's causes), merges \p Ctx — a set of occurred
+  /// events containing \p E's enabling chain — instead.
+  void mergeEventInto(Shard &S, uint32_t Dense, unsigned E,
+                      const DenseBitSet &Ctx);
+  /// Drains \p S's priority control lane (CtrlDelta messages); returns
+  /// how many it processed.
+  size_t drainCtrlLane(Shard &S);
   size_t drainBatch(Shard &S);
   /// Drains OutBufs[S.Index] in place (self-delivered hops never touch
   /// the ring or Pending) until every chain ends or leaves the shard.
@@ -458,6 +533,22 @@ private:
   std::unique_ptr<BoundedMpscQueue<uint32_t>> CtrlQ;
   std::thread CtrlThread;
   DenseBitSet Occurred; ///< controller-thread private (R of Figure 7)
+  /// Event-driven controller wake (FastUpdates): workers notify after
+  /// pushing to CtrlQ, finish() notifies after raising StopFlag.
+  ControllerWake CtrlWake;
+
+  // Update-pipeline routing (built once at construction when
+  // FastUpdates; all read-only afterwards).
+  /// Dense switches subscribed to event E and owned by shard S, at
+  /// [E * NumShards + S]. A switch subscribes to an event iff adding it
+  /// to some family set changes the switch's table, or the event shares
+  /// a family set with an event detectable at the switch (so its arrival
+  /// can gate a future local detection via enables/con).
+  std::vector<std::vector<uint32_t>> SubSwitches;
+  /// Shards with at least one subscriber, per event (delta routing).
+  std::vector<std::vector<uint32_t>> SubShards;
+  /// Dense switches owned by each shard (explicit-broadcast deltas).
+  std::vector<std::vector<uint32_t>> OwnedDense;
 
   mutable EpochDomain Epochs;
   std::atomic<uint64_t> Tickets{0};
@@ -471,6 +562,7 @@ private:
 
   // Counters (cache-line padded, relaxed; see Stats.h).
   RelaxedCounter Injected, Delivered, Dropped, Forwarded, Events;
+  RelaxedCounter CtrlDeltas; ///< delta messages routed by the controller
 
   // Fault injection. FaultArmed is per dense switch, read-only after
   // construction; StormRecs is controller-thread private until join.
@@ -488,6 +580,7 @@ private:
   std::vector<nes::SetId> MergedTags;
   std::vector<std::pair<HostId, netkat::Packet>> MergedDeliveries;
   std::map<std::pair<SwitchId, nes::EventId>, double> MergedLearnTimes;
+  std::vector<int64_t> TransitionNs; ///< detect->learn samples, ns
   std::vector<obs::TraceEvent> MergedObsTrace;
   Stats FinalStats;
 };

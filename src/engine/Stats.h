@@ -67,6 +67,7 @@ struct ShardStats {
   uint64_t TraceDropped = 0;     ///< obs trace-ring records refused (full)
   uint64_t Shed = 0;             ///< messages shed by the overload policy
   uint64_t Stalls = 0;           ///< fault-plan stalls taken by the worker
+  uint64_t FastLearns = 0;       ///< registers advanced by the local fast path
 };
 
 /// What the shard partitioner achieved for this run (see
@@ -104,6 +105,13 @@ struct Stats {
   uint64_t PacketsForwarded = 0; ///< link traversals
   uint64_t EventsDetected = 0;   ///< distinct NES events that occurred
   uint64_t ConfigTransitions = 0;
+
+  /// Fast-update pipeline tallies (zero when EngineConfig::FastUpdates
+  /// is off): registers advanced by the detecting shard's local fan-out
+  /// before any controller round-trip, and event-id delta messages the
+  /// controller routed in place of full-set broadcasts.
+  uint64_t FastPathLearns = 0;
+  uint64_t CtrlDeltas = 0;
 
   bool ClassifierPath = true; ///< classifier program vs FDD-walk lookup
   unsigned BatchSize = 1;     ///< hot-loop dequeue/enqueue batch size

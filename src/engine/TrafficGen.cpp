@@ -61,6 +61,37 @@ Workload TrafficGen::probes(unsigned Phases, unsigned PerPhase, HostId To) {
   return W;
 }
 
+Workload TrafficGen::churn(unsigned Phases, unsigned PerPhase,
+                           unsigned ChurnRate) {
+  Workload W;
+  size_t NextProbeDst = 0;
+  for (unsigned P = 0; P != Phases; ++P) {
+    Phase Ph;
+    Ph.Injections.reserve(PerPhase + ChurnRate);
+    for (unsigned I = 0; I != PerPhase; ++I) {
+      auto [From, To] = randomPair();
+      Ph.Injections.push_back(
+          {From, sim::makeWireHeader(From, To, sim::KindData, NextSeq++)});
+    }
+    for (unsigned I = 0; I != ChurnRate; ++I) {
+      // Rotate probe destinations over every host so location-guarded
+      // events fire wherever they live, not just at one lucky switch.
+      HostId To = Hosts[NextProbeDst++ % Hosts.size()];
+      HostId From = randomHost();
+      Packet H = sim::makeWireHeader(From, To, sim::KindProbe, NextSeq++);
+      H.set(sim::probeField(), 1);
+      // Scatter the triggers through the storm instead of appending
+      // them after it, so transitions race sustained traffic.
+      size_t At = Ph.Injections.empty()
+                      ? 0
+                      : R.below(Ph.Injections.size() + 1);
+      Ph.Injections.insert(Ph.Injections.begin() + At, {From, std::move(H)});
+    }
+    W.Phases.push_back(std::move(Ph));
+  }
+  return W;
+}
+
 Workload TrafficGen::bulk(HostId From, HostId To, uint64_t Packets,
                           unsigned PerPhase) {
   assert(PerPhase > 0 && "empty bulk phase");

@@ -72,6 +72,15 @@ public:
   /// ring program's event triggers.
   Workload probes(unsigned Phases, unsigned PerPhase, HostId To);
 
+  /// An event-storm workload: \p Phases phases, each of \p PerPhase
+  /// distinct-flow data packets between random pairs (fresh seq per
+  /// emission — maximal flow diversity, no replies) interleaved with
+  /// \p ChurnRate probe packets whose destinations rotate over every
+  /// host, so every probe-triggered app event (ring flips, knock
+  /// sequences) keeps firing while the storm is in full flight.
+  /// ChurnRate 0 = pure storm, no triggers.
+  Workload churn(unsigned Phases, unsigned PerPhase, unsigned ChurnRate);
+
   /// \p Packets bulk data packets From -> To, \p PerPhase at a time.
   Workload bulk(HostId From, HostId To, uint64_t Packets, unsigned PerPhase);
 

@@ -1,0 +1,144 @@
+//===- engine/Wake.h - Event-driven thread wake -----------------*- C++ -*-===//
+//
+// Part of the eventnet project (PLDI 2016 "Event-Driven Network
+// Programming" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deduplicated cross-thread wake for a single sleeper: producers call
+/// notify() (cheap, lock-free, at most one syscall per sleep cycle) and
+/// the sleeper blocks in wait() until notified or a safety-net timeout
+/// elapses. Backed by an eventfd on Linux and a nonblocking self-pipe
+/// elsewhere — the same pattern the net server uses to interrupt its
+/// poll loop (net/Server.cpp), lifted here so the engine's controller
+/// thread can sleep without putting a fixed backoff floor under event
+/// propagation latency.
+///
+/// The dedup protocol makes lost wakeups impossible when the sleeper
+/// rechecks its work source after every wait():
+///
+///   producer: publish work; if (!Pending.exchange(true)) write(fd)
+///   sleeper:  poll(fd); read(fd); Pending.store(false); drain work
+///
+/// A producer that publishes after the sleeper's drain finds Pending
+/// false again and writes the fd, so the next wait() returns
+/// immediately.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EVENTNET_ENGINE_WAKE_H
+#define EVENTNET_ENGINE_WAKE_H
+
+#include <atomic>
+#include <cstdint>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/eventfd.h>
+#endif
+
+namespace eventnet {
+namespace engine {
+
+class ControllerWake {
+public:
+  ControllerWake() {
+#if defined(__linux__)
+    int Fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (Fd >= 0) {
+      Rd = Wr = Fd;
+      EventFd = true;
+      return;
+    }
+#endif
+    int P[2] = {-1, -1};
+    if (::pipe(P) == 0) {
+      Rd = P[0];
+      Wr = P[1];
+      ::fcntl(Rd, F_SETFL, ::fcntl(Rd, F_GETFL, 0) | O_NONBLOCK);
+      ::fcntl(Wr, F_SETFL, ::fcntl(Wr, F_GETFL, 0) | O_NONBLOCK);
+    }
+  }
+
+  ~ControllerWake() {
+    if (Rd >= 0)
+      ::close(Rd);
+    if (!EventFd && Wr >= 0)
+      ::close(Wr);
+  }
+
+  ControllerWake(const ControllerWake &) = delete;
+  ControllerWake &operator=(const ControllerWake &) = delete;
+
+  /// Wakes the sleeper. Callable from any thread; one syscall per sleep
+  /// cycle (further notifies before the sleeper drains are coalesced by
+  /// the Pending flag).
+  void notify() {
+    if (Pending.exchange(true, std::memory_order_acq_rel))
+      return;
+    if (Wr < 0)
+      return;
+#if defined(__linux__)
+    if (EventFd) {
+      uint64_t One = 1;
+      [[maybe_unused]] ssize_t N = ::write(Wr, &One, sizeof(One));
+      return;
+    }
+#endif
+    char B = 1;
+    [[maybe_unused]] ssize_t N = ::write(Wr, &B, 1);
+  }
+
+  /// Blocks until notify() or \p TimeoutUs microseconds elapse (the
+  /// timeout is a safety net for shutdown, not a latency budget), then
+  /// drains the fd and clears the dedup flag. The caller must recheck
+  /// its work source after every return.
+  void wait(unsigned TimeoutUs) {
+    if (Rd < 0) {
+      // Construction failed (fd exhaustion): degrade to a bounded sleep.
+      ::usleep(TimeoutUs);
+      Pending.store(false, std::memory_order_release);
+      return;
+    }
+    struct pollfd P;
+    P.fd = Rd;
+    P.events = POLLIN;
+    P.revents = 0;
+    int TimeoutMs = static_cast<int>((TimeoutUs + 999) / 1000);
+    ::poll(&P, 1, TimeoutMs > 0 ? TimeoutMs : 1);
+    drain();
+  }
+
+  /// Nonblocking drain (used on shutdown so a stale token never leaks
+  /// into a later wait).
+  void drain() {
+    if (Rd < 0)
+      return;
+#if defined(__linux__)
+    if (EventFd) {
+      uint64_t Tok;
+      while (::read(Rd, &Tok, sizeof(Tok)) > 0)
+        ;
+      Pending.store(false, std::memory_order_release);
+      return;
+    }
+#endif
+    char Buf[64];
+    while (::read(Rd, Buf, sizeof(Buf)) > 0)
+      ;
+    Pending.store(false, std::memory_order_release);
+  }
+
+private:
+  int Rd = -1, Wr = -1;
+  bool EventFd = false;
+  std::atomic<bool> Pending{false};
+};
+
+} // namespace engine
+} // namespace eventnet
+
+#endif // EVENTNET_ENGINE_WAKE_H

@@ -18,6 +18,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 using namespace eventnet;
 using namespace eventnet::engine;
 
@@ -296,6 +298,127 @@ INSTANTIATE_TEST_SUITE_P(
           C = '_';
       return N;
     });
+
+/// The event-storm sweep: the churn workload (distinct-flow data storm
+/// with probe triggers scattered through it, so transitions race
+/// sustained traffic) must hold Definition 6 across both update
+/// pipelines, shard counts, partition strategies, and overload
+/// policies. The queues are kept tiny so the shed policies genuinely
+/// retire chains under plain pressure — no fault plan is armed, which
+/// is the point: shed tickets must be ledgered and handed to the
+/// checker as excusal context even without one.
+class EngineStormConsistency
+    : public ::testing::TestWithParam<
+          std::tuple<bool, unsigned, PartitionStrategy, OverloadPolicy>> {
+};
+
+TEST_P(EngineStormConsistency, ChurnStormHoldsDefinitionSix) {
+  auto [FastUpdates, Shards, Partition, Policy] = GetParam();
+  apps::App A = apps::ringApp(8, 4);
+  api::Result<api::Compilation> C = compileApp(A);
+  ASSERT_TRUE(C.ok()) << C.status().str();
+
+  EngineConfig Cfg;
+  Cfg.NumShards = Shards;
+  Cfg.Partition = Partition;
+  Cfg.Overload = Policy;
+  Cfg.FastUpdates = FastUpdates;
+  Cfg.QueueCapacity = 8; // keep the storm pressing on the policy
+  Engine E(C->structure(), A.Topo, Cfg);
+  TrafficGen G(A.Topo, 31);
+  E.run(G.churn(3, 40, 4));
+
+  // Exact conservation: a shed is an accounted drop, never silent loss.
+  Stats St = E.stats();
+  EXPECT_EQ(St.PacketsDelivered + St.PacketsDropped, St.PacketsInjected)
+      << "fast=" << FastUpdates << " shards=" << Shards
+      << " policy=" << overloadPolicyName(Policy) << ": silent loss";
+
+  faults::FaultLedger L = E.takeFaultLedger();
+  consistency::FaultContext Ctx;
+  Ctx.ExcusedEntries = std::move(L.ExcusedEntries);
+  Ctx.DupEntries = std::move(L.DupEntries);
+  bool HasCtx = !Ctx.ExcusedEntries.empty() || !Ctx.DupEntries.empty();
+  auto R = consistency::checkAgainstNes(E.trace(), A.Topo,
+                                        C->structure(),
+                                        HasCtx ? &Ctx : nullptr);
+  EXPECT_TRUE(R.Correct)
+      << "fast=" << FastUpdates << " shards=" << Shards
+      << " partition=" << partitionStrategyName(Partition)
+      << " policy=" << overloadPolicyName(Policy) << ": " << R.Reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PipelinesByPressure, EngineStormConsistency,
+    ::testing::Combine(::testing::Bool(), ::testing::Values(1u, 3u),
+                       ::testing::Values(PartitionStrategy::Modulo,
+                                         PartitionStrategy::Refined),
+                       ::testing::Values(OverloadPolicy::Block,
+                                         OverloadPolicy::ShedOldest,
+                                         OverloadPolicy::ShedNewest)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<bool, unsigned, PartitionStrategy, OverloadPolicy>>
+           &I) {
+      std::string N =
+          std::string(std::get<0>(I.param) ? "fast" : "legacy") + "_s" +
+          std::to_string(std::get<1>(I.param)) + "_" +
+          partitionStrategyName(std::get<2>(I.param)) + "_" +
+          overloadPolicyName(std::get<3>(I.param));
+      for (char &C : N)
+        if (C == '-')
+          C = '_';
+      return N;
+    });
+
+TEST(EngineUpdatePipeline, FastAndControllerPathsConvergeToSameViews) {
+  // The same workload through the fast pipeline (shard-local fan-out +
+  // priority-lane deltas) and the historical controller pipeline
+  // (full-bitset CtrlMerge broadcast) must leave every switch in the
+  // *identical* published state: same tag, same register, and — because
+  // the ring fires exactly one event, so each switch transitions
+  // exactly once — the same view version. Independent per-switch
+  // publication changes when registers advance, never what they
+  // converge to.
+  apps::App A = apps::ringApp(8, 4);
+  api::Result<api::Compilation> C = compileApp(A);
+  ASSERT_TRUE(C.ok()) << C.status().str();
+
+  auto finalViews = [&](bool FastUpdates) {
+    EngineConfig Cfg;
+    Cfg.NumShards = 3;
+    Cfg.FastUpdates = FastUpdates;
+    Cfg.CtrlBroadcast = true; // both pipelines must reach every switch
+    Engine E(C->structure(), A.Topo, Cfg);
+    TrafficGen G(A.Topo, 11);
+    Workload W = G.pings(1, 4);
+    W += G.probe(topo::HostH1, topo::HostH2);
+    W += G.pings(2, 4);
+    E.run(W);
+    Stats St = E.stats();
+    EXPECT_EQ(St.EventsDetected, 1u);
+    if (FastUpdates) {
+      EXPECT_GT(St.FastPathLearns + St.CtrlDeltas, 0u)
+          << "fast pipeline was configured but never exercised";
+    } else {
+      EXPECT_EQ(St.FastPathLearns, 0u);
+      EXPECT_EQ(St.CtrlDeltas, 0u);
+    }
+    std::map<SwitchId, Engine::ViewSnapshot> V;
+    for (SwitchId Sw : A.Topo.switches())
+      V[Sw] = E.readView(Sw);
+    return V;
+  };
+
+  auto FastV = finalViews(true);
+  auto CtrlV = finalViews(false);
+  ASSERT_EQ(FastV.size(), CtrlV.size());
+  for (auto &[Sw, F] : FastV) {
+    const Engine::ViewSnapshot &L = CtrlV[Sw];
+    EXPECT_EQ(F.Tag, L.Tag) << "switch " << Sw;
+    EXPECT_TRUE(F.E == L.E) << "switch " << Sw << ": registers differ";
+    EXPECT_EQ(F.Version, L.Version) << "switch " << Sw;
+  }
+}
 
 TEST(EngineConsistency, EngineMatchesSimulatorDeliverySemantics) {
   // Bulk H1 -> H2 over the ring: the engine must deliver every packet

@@ -1,0 +1,97 @@
+//===- tests/engine/WakeTest.cpp - ControllerWake protocol ----------------===//
+//
+// The deduplicated cross-thread wake behind the controller's
+// event-driven sleep: no lost wakeups when the sleeper rechecks its
+// work source after every wait(), coalesced notifies, and a timeout
+// that is a safety net rather than a latency floor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Wake.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+using namespace eventnet::engine;
+
+namespace {
+
+double secondsOf(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       T0)
+      .count();
+}
+
+} // namespace
+
+TEST(ControllerWake, WaitTimesOutWithoutNotify) {
+  ControllerWake W;
+  auto T0 = std::chrono::steady_clock::now();
+  W.wait(/*TimeoutUs=*/5000);
+  // Returned (no hang) and actually slept rather than spinning through
+  // a stale token. Generous upper bound: CI schedulers are coarse.
+  double S = secondsOf(T0);
+  EXPECT_GE(S, 0.0005);
+  EXPECT_LT(S, 2.0);
+}
+
+TEST(ControllerWake, NotifyBeforeWaitReturnsImmediately) {
+  ControllerWake W;
+  W.notify();
+  auto T0 = std::chrono::steady_clock::now();
+  W.wait(/*TimeoutUs=*/2000000);
+  // A pre-posted token must satisfy the wait without the 2s timeout.
+  EXPECT_LT(secondsOf(T0), 1.0);
+}
+
+TEST(ControllerWake, NotifiesCoalesceIntoOneWake) {
+  ControllerWake W;
+  for (int I = 0; I != 100; ++I)
+    W.notify(); // one token however many producers raced this cycle
+  auto T0 = std::chrono::steady_clock::now();
+  W.wait(/*TimeoutUs=*/2000000);
+  EXPECT_LT(secondsOf(T0), 1.0);
+  // The wait drained the (single) token and cleared the dedup flag: a
+  // second wait must time out, not consume a stale wakeup.
+  T0 = std::chrono::steady_clock::now();
+  W.wait(/*TimeoutUs=*/5000);
+  EXPECT_GE(secondsOf(T0), 0.0005);
+}
+
+TEST(ControllerWake, CrossThreadWakeIsPrompt) {
+  // The engine's actual shape: a sleeper blocking in wait() while a
+  // producer publishes work and notifies. The sleeper must observe the
+  // flag well before the 2s safety-net timeout.
+  ControllerWake W;
+  std::atomic<bool> Work{false};
+  std::atomic<double> Waited{-1.0};
+
+  std::thread Sleeper([&] {
+    auto T0 = std::chrono::steady_clock::now();
+    while (!Work.load(std::memory_order_acquire))
+      W.wait(/*TimeoutUs=*/2000000);
+    Waited.store(secondsOf(T0));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Work.store(true, std::memory_order_release);
+  W.notify();
+  Sleeper.join();
+
+  EXPECT_GE(Waited.load(), 0.0);
+  EXPECT_LT(Waited.load(), 1.5);
+}
+
+TEST(ControllerWake, NotifyAfterDrainRearmsTheNextWait) {
+  // The dedup protocol's re-arm: once the sleeper drained, a fresh
+  // notify writes the fd again and the next wait returns immediately.
+  ControllerWake W;
+  W.notify();
+  W.wait(/*TimeoutUs=*/2000000); // consume + drain + clear flag
+  W.notify();                    // must re-arm, not coalesce into the past
+  auto T0 = std::chrono::steady_clock::now();
+  W.wait(/*TimeoutUs=*/2000000);
+  EXPECT_LT(secondsOf(T0), 1.0);
+}

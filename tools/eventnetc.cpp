@@ -10,6 +10,7 @@
 //             [--stats] [--json]
 //   eventnetc run <program.snk> --topo <topo.txt>
 //             [--backend machine|sim|engine] [--seed S] [--shards N]
+//             [--workload ping|churn] [--churn-rate N]
 //             [--phases N] [--per-phase N] [--classifier on|off]
 //             [--batch N] [--partition modulo|contiguous|refined]
 //             [--no-check] [--json]
@@ -62,8 +63,9 @@ int usage() {
           "  compile   compile and print artifacts\n"
           "            [--dump-ets] [--dump-nes] [--dump-tables] [--share]\n"
           "            [--stats] [--json]\n"
-          "  run       compile, execute a seeded ping workload, report\n"
+          "  run       compile, execute a seeded workload, report\n"
           "            [--backend machine|sim|engine|net] [--seed S]\n"
+          "            [--workload ping|churn] [--churn-rate N]\n"
           "            [--shards N] [--phases N] [--per-phase N]\n"
           "            [--net-connections N] [--net-udp]\n"
           "            [--classifier on|off] [--batch N]\n"
@@ -261,6 +263,23 @@ api::Status parseArgs(int argc, char **argv, const std::string &Cmd,
         return Bad("--overload needs 'block', 'shed-oldest', or "
                    "'shed-newest'");
       A.Run.overload(V);
+    } else if (Arg == "--workload") {
+      if (IsCompile || IsServe)
+        return WrongCommand();
+      const char *V = TakeValue();
+      if (!V || (strcmp(V, "ping") != 0 && strcmp(V, "churn") != 0))
+        return Bad("--workload needs 'ping' or 'churn'");
+      A.Run.workload(V);
+    } else if (Arg == "--churn-rate") {
+      if (IsCompile || IsServe)
+        return WrongCommand();
+      const char *V = TakeValue();
+      char *End = nullptr;
+      unsigned long long N = V ? strtoull(V, &End, 10) : 0;
+      if (!V || *V == '\0' || *V == '-' || *End != '\0' ||
+          N > 0xFFFFFFFFull)
+        return Bad("--churn-rate needs a non-negative numeric argument");
+      A.Run.churnRate(static_cast<unsigned>(N));
     } else if (Arg == "--fail-on-drop") {
       if (IsCompile)
         return WrongCommand();
