@@ -8,10 +8,21 @@ message on the first violation.
 
 Usage:  eventnetc run prog.snk --topo net.topo --json | check_report.py
         check_report.py report.json [--backend engine] [--faults]
+        check_report.py report.json --streaming
 
 --faults additionally requires the report's fault block to be enabled
 (the chaos sweep passes it so a typo'd --faults flag can't silently
 validate a fault-free run).
+
+--streaming requires the streaming Definition 6 checker to have run
+(the CI soak passes it after `eventnetc serve --duration ...
+--stream-check`): the streaming_check block must be enabled, must have
+ingested entries, must attest bounded state (peak_window <= window,
+peak_resident_bytes recorded), and its verdict must be "ok" or an
+inconclusive that names its cause — never "violated", never an
+unexplained inconclusive. A streaming-only run retains no batch trace
+and skips the batch oracle, so --streaming relaxes the trace_entries /
+consistency.checked requirements that batch reports must meet.
 """
 
 import json
@@ -35,6 +46,9 @@ def main() -> None:
     expect_faults = "--faults" in args
     if expect_faults:
         args.remove("--faults")
+    expect_streaming = "--streaming" in args
+    if expect_streaming:
+        args.remove("--streaming")
 
     text = open(args[0]).read() if args else sys.stdin.read()
     try:
@@ -51,6 +65,7 @@ def main() -> None:
         "update_lat_p99", "update_lat_max", "queue_dwell",
         "batch_occupancy", "drop_audit", "obs_trace_recorded",
         "obs_trace_dropped", "overload", "faults", "net",
+        "streaming_check",
     ]
     for key in required:
         if key not in r:
@@ -183,7 +198,13 @@ def main() -> None:
                 f"edge_cut ({r['edge_cut']}) exceeds edge_total "
                 f"({r['edge_total']})"
             )
-    for key in ("injected", "delivered", "switch_hops", "trace_entries"):
+    # A streaming-only run deliberately retains no batch trace (that is
+    # the point: O(window) memory over an unbounded horizon), so
+    # trace_entries may legitimately be 0 under --streaming.
+    positive = ["injected", "delivered", "switch_hops"]
+    if not expect_streaming:
+        positive.append("trace_entries")
+    for key in positive:
         if not isinstance(r[key], int) or r[key] <= 0:
             fail(f"'{key}' should be a positive integer, got {r[key]!r}")
     if r["delivered"] + r["dropped"] < r["injected"]:
@@ -192,16 +213,67 @@ def main() -> None:
             f"< injected ({r['injected']})"
         )
 
+    sc = r["streaming_check"]
+    if not isinstance(sc, dict) or "enabled" not in sc:
+        fail("streaming_check block is malformed")
+    if expect_streaming and not sc["enabled"]:
+        fail("expected a streaming-checked run but streaming_check.enabled "
+             "is false")
+    if sc["enabled"]:
+        sc_keys = ("verdict", "reason", "window", "entries_ingested",
+                   "entries_checked", "entries_pruned", "trees_retired",
+                   "chains_retired", "events_observed", "peak_window",
+                   "peak_resident_bytes", "stream_shed",
+                   "differential_ran", "differential_matched")
+        for key in sc_keys:
+            if key not in sc:
+                fail(f"streaming_check missing '{key}'")
+        verdict = sc["verdict"]
+        if verdict == "violated":
+            fail(f"streaming Definition 6 VIOLATED: "
+                 f"{sc.get('reason') or '(no reason)'}")
+        if verdict == "inconclusive" and not sc["reason"]:
+            fail("streaming verdict is inconclusive without a cause — an "
+                 "unexplained non-answer must never pass CI")
+        if verdict not in ("ok", "inconclusive"):
+            fail(f"unknown streaming verdict {verdict!r}")
+        # The boundedness attestation: the live window respected its cap
+        # and the checker measured its own footprint.
+        if sc["window"] <= 0 or sc["peak_window"] > sc["window"]:
+            fail(f"streaming live window {sc['peak_window']} exceeds its "
+                 f"cap {sc['window']}")
+        if sc["entries_checked"] > sc["entries_ingested"]:
+            fail("streaming checked more entries than it ingested")
+        if sc["entries_checked"] > 0 and sc["peak_resident_bytes"] <= 0:
+            fail("streaming checker checked entries but recorded no peak "
+                 "resident bytes")
+        # Shed stream items mean the checker saw a gappy trace; a clean
+        # pass over a gappy trace is a contradiction.
+        if sc["stream_shed"] > 0 and verdict == "ok":
+            fail(f"{sc['stream_shed']} stream items were shed but the "
+                 "verdict is a clean pass")
+        if expect_streaming and sc["entries_checked"] <= 0:
+            fail("streaming checker ingested no entries — the soak "
+                 "produced no checkable traffic")
+        if sc["differential_ran"] and not sc["differential_matched"]:
+            fail("streaming and batch Definition 6 verdicts disagree")
+
     c = r["consistency"]
-    if not isinstance(c, dict) or not c.get("checked"):
-        fail("consistency was not checked")
-    if not c.get("correct"):
+    if not isinstance(c, dict):
+        fail("consistency block is malformed")
+    if not c.get("checked"):
+        # Only a streaming-checked run may skip the batch oracle.
+        if not (expect_streaming and sc["enabled"]):
+            fail("consistency was not checked")
+    elif not c.get("correct"):
         fail(f"Definition 6 VIOLATED: {c.get('reason', '(no reason)')}")
 
+    how = (f"streaming={sc['verdict']}" if sc.get("enabled")
+           else "consistent=true")
     print(
         f"check_report: OK: {r['backend']} seed={r['seed']} "
         f"injected={r['injected']} delivered={r['delivered']} "
-        f"consistent=true"
+        f"{how}"
     )
 
 

@@ -10,9 +10,13 @@ Modes
 -----
 default   run `bench/engine_throughput --json --seed 1 --partition
           refined`, `bench/micro_compiler --benchmark_format=json`,
-          `bench/net_throughput --json`, and `bench/update_churn
-          --json`, validate their schemas, and write the merged
-          baseline JSON to --out.
+          `bench/net_throughput --json`, `bench/update_churn --json`,
+          and `bench/soak --json`, validate their schemas, and write
+          the merged baseline JSON to --out. The soak rows carry their
+          own absolute attestations (streaming verdict never a
+          violation, live window bounded by its cap, retirement active
+          over multi-window horizons, checker overhead <15% when the
+          machine has a spare hardware thread for the collector).
 --compare re-run the benches and fail (exit 1) if any engine-throughput
           row lost more than --threshold (default 15%) hops/sec OR
           scaling efficiency against the committed baseline, any
@@ -62,6 +66,13 @@ CHURN_ROW_KEYS = [
     "pipeline", "shards", "reps", "storm_packets", "learns", "fast_learns",
     "ctrl_deltas", "hops_per_sec_M", "update_storm_lat_p50_us",
     "update_storm_lat_p99_us", "p99_speedup_vs_broadcast", "definition6",
+]
+
+SOAK_ROW_KEYS = [
+    "shards", "duration_s", "batches", "window", "hops_per_sec_M",
+    "base_hops_per_sec_M", "checker_overhead_pct", "entries_checked",
+    "chains_retired", "retired_per_sec", "events_observed", "peak_window",
+    "peak_checker_kb", "definition6",
 ]
 
 SMOKE_MICRO_FILTER = "BM_ParseBandwidthCap/5|BM_TableExtraction|BM_NesEnabledEvents"
@@ -234,6 +245,67 @@ def churn_key(row: dict) -> tuple:
     return (row["pipeline"], row["shards"])
 
 
+def soak(bin_dir: str, smoke: bool) -> dict:
+    cmd = [os.path.join(bin_dir, "bench", "soak"), "--json", "--seed", "1"]
+    if smoke:
+        cmd.append("--smoke")
+    out = run(cmd).stdout
+    try:
+        d = json.loads(out)
+    except json.JSONDecodeError as e:
+        fail(f"soak --json is not valid JSON: {e}")
+    if d.get("bench") != "soak" or not d.get("rows"):
+        fail("soak JSON missing bench/rows")
+    if "hw_threads" not in d:
+        fail("soak JSON missing hw_threads")
+    if d.get("faults") != "off":
+        fail("soak JSON does not attest 'faults': 'off'")
+    hw = d["hw_threads"]
+    for row in d["rows"]:
+        for key in SOAK_ROW_KEYS:
+            if key not in row:
+                fail(f"soak row missing key '{key}': {row}")
+        verdict = str(row["definition6"])
+        # Inconclusive-with-cause is an honest answer on a lossy run;
+        # a violation, or an inconclusive with no recorded cause, is not.
+        if verdict.startswith("VIOLATION"):
+            fail(f"soak row violates Definition 6: {row}")
+        if verdict.startswith("inconclusive") and ":" not in verdict:
+            fail(f"soak row is inconclusive without a cause: {row}")
+        if row["entries_checked"] == 0:
+            fail(f"soak row streamed nothing through the checker: {row}")
+        # The boundedness attestations: the live window never exceeded
+        # its configured cap, and on any horizon longer than one window
+        # retirement actually pruned state (a full-horizon window would
+        # mean memory grows with soak length).
+        if row["peak_window"] > row["window"]:
+            fail(f"soak row's live window exceeded its cap: {row}")
+        if (row["entries_checked"] > row["window"]
+                and row["chains_retired"] == 0):
+            fail(f"soak row retired nothing over a multi-window horizon "
+                 f"(checker state grew with the trace): {row}")
+        # The overhead gate. The collector + checker ride a dedicated
+        # thread; on a machine with a spare hardware thread for it the
+        # streaming check must cost <15% of hops/s. With fewer cores
+        # than engine shards + collector + controller the "overhead" is
+        # really core contention (a 1-thread container time-slices the
+        # checker against the engine), so it only warns.
+        overhead = row["checker_overhead_pct"]
+        if overhead > 15.0:
+            where = (f"soak @ {row['shards']} shard(s): streaming checker "
+                     f"costs {overhead:.1f}% hops/s (gate: 15%)")
+            if hw >= row["shards"] + 2:
+                fail(where)
+            print(f"run_benches: WARNING: {where} — not gated, only {hw} "
+                  f"hardware thread(s) for {row['shards']} shard(s) + "
+                  "collector", file=sys.stderr)
+    return d
+
+
+def soak_key(row: dict) -> tuple:
+    return (row["shards"],)
+
+
 def backend_smoke(bin_dir: str) -> None:
     """`eventnetc run --json` on every backend, checked by check_report."""
     eventnetc = os.path.join(bin_dir, "eventnetc")
@@ -269,6 +341,7 @@ def collect(bin_dir: str, smoke: bool, partition: str = "refined",
             "micro_compiler": micro_compiler(bin_dir, smoke),
             "net_throughput": net_throughput(bin_dir, smoke),
             "update_churn": update_churn(bin_dir, smoke, partition),
+            "soak": soak(bin_dir, smoke),
         },
     }
 
@@ -482,6 +555,52 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> int:
                     f"baseline {old_v:.3f} "
                     f"(-{(1 - new_v / old_v) * 100:.1f}%)")
 
+    # The soak rows: long-horizon throughput with the streaming checker
+    # attached, plus the checker's peak memory. Throughput gets the
+    # collapse-only gate (duration-bounded loopback runs are scheduler-
+    # noisy); peak memory gets a growth gate — the streaming checker's
+    # whole point is O(window) state, so its peak doubling at the same
+    # window size means retirement regressed, regardless of hw threads.
+    # (The absolute overhead/boundedness attestations live in soak()
+    # itself and run in every mode.)
+    base_soak = baseline["benches"].get("soak")
+    if base_soak is None:
+        print("run_benches: WARNING: baseline has no soak block "
+              "(pre-streaming-checker baseline; soak rows not compared)",
+              file=sys.stderr)
+    else:
+        soak_threshold = max(0.5, 2 * threshold)
+        base_rows = {soak_key(r): r for r in base_soak["rows"]}
+        fresh_rows = {soak_key(r): r
+                      for r in fresh["benches"]["soak"]["rows"]}
+        for key in sorted(set(base_rows) - set(fresh_rows)):
+            print(f"run_benches: WARNING: baseline soak row {key} no "
+                  "longer produced — its regression coverage is gone",
+                  file=sys.stderr)
+        for key, row in fresh_rows.items():
+            old = base_rows.get(key)
+            if old is None:
+                print(f"run_benches: WARNING: soak row {key} has no "
+                      "baseline entry (new configuration, not compared)",
+                      file=sys.stderr)
+                continue
+            compared += 1
+            old_v = old["hops_per_sec_M"]
+            new_v = row["hops_per_sec_M"]
+            if old_v > 0 and new_v < old_v * (1 - soak_threshold):
+                failures.append(
+                    f"soak {key}: {new_v:.3f} M hops/s with checker vs "
+                    f"baseline {old_v:.3f} "
+                    f"(-{(1 - new_v / old_v) * 100:.1f}%)")
+            old_kb = old["peak_checker_kb"]
+            new_kb = row["peak_checker_kb"]
+            if (old["window"] == row["window"] and old_kb > 0
+                    and new_kb > old_kb * 2 and new_kb - old_kb > 1024):
+                failures.append(
+                    f"soak {key}: peak checker memory {new_kb} KiB vs "
+                    f"baseline {old_kb} KiB at the same window "
+                    "(retirement regressed?)")
+
     base_micro = {b["name"]: b
                   for b in baseline["benches"]["micro_compiler"]["benchmarks"]}
     fresh_micro = {b["name"]: b
@@ -565,7 +684,8 @@ def main() -> int:
           f"rows, "
           f"{len(merged['benches']['micro_compiler']['benchmarks'])} micro "
           f"benchmarks, "
-          f"{len(merged['benches']['update_churn']['rows'])} storm rows)")
+          f"{len(merged['benches']['update_churn']['rows'])} storm rows, "
+          f"{len(merged['benches']['soak']['rows'])} soak rows)")
     return rc
 
 

@@ -9,6 +9,7 @@
 
 #include "api/Run.h"
 
+#include "api/StreamCollect.h"
 #include "engine/Engine.h"
 #include "engine/Partition.h"
 #include "obs/Metrics.h"
@@ -58,9 +59,23 @@ public:
     Cfg.LatencyHistograms = O.LatencyHistograms;
     Cfg.TraceEventCapacity = O.TraceCapacity;
     Cfg.Overload = *Overload;
+    // Streaming verification trades the O(run) merged trace for the
+    // O(window) online checker; differential mode keeps both so the two
+    // verdicts can be compared.
+    Cfg.StreamTrace = O.StreamingCheck;
+    Cfg.RecordTrace = !O.StreamingCheck || O.CheckDifferential;
     if (Inj)
       Cfg.Faults = &*Inj;
     engine::Engine E(C.structure(), C.topology(), Cfg);
+
+    consistency::StreamOptions SO;
+    SO.Window = std::max<size_t>(1, O.CheckWindow);
+    // Quiet-horizon retirement must outlast fault-plan delays and deep
+    // shard backlogs (ticket gaps), or healthy chains get cut.
+    SO.QuietHorizon = std::max<uint64_t>(8192, SO.Window / 2);
+    std::optional<detail::StreamCollector> Col;
+    if (O.StreamingCheck)
+      Col.emplace(E, C.structure(), C.topology(), SO);
 
     // Optional periodic metrics sampler: JSON-lines counter snapshots to
     // a file or stderr while the run is live.
@@ -134,6 +149,12 @@ public:
     R.FaultCtx.DupEntries = std::move(L.DupEntries);
     R.ObsTrace = E.takeObsTrace();
     R.Trace = E.takeTrace();
+    if (Col) {
+      R.StreamCheck.Enabled = true;
+      R.StreamCheck.Window = SO.Window;
+      R.StreamCheck.Result = Col->finalize(S.TraceDropped);
+      R.StreamCheck.StreamShed = Col->lagShed();
+    }
     return R;
   }
 };

@@ -12,6 +12,7 @@
 
 #include "api/Run.h"
 
+#include "api/StreamCollect.h"
 #include "engine/Engine.h"
 #include "engine/Partition.h"
 #include "net/Poller.h"
@@ -395,6 +396,16 @@ LatencyReport toReport(const engine::LatencyDigest &D) {
   return {D.Samples, D.MeanSec, D.P50Sec, D.P90Sec, D.P99Sec, D.MaxSec};
 }
 
+/// Streaming-check knobs shared by the run backend and serveNet.
+consistency::StreamOptions streamOptions(const RunOptions &O) {
+  consistency::StreamOptions SO;
+  SO.Window = std::max<size_t>(1, O.CheckWindow);
+  // Quiet-horizon retirement must outlast fault-plan delays and deep
+  // shard backlogs (ticket gaps), or healthy chains get cut.
+  SO.QuietHorizon = std::max<uint64_t>(8192, SO.Window / 2);
+  return SO;
+}
+
 /// Engine-side report fields shared by the run backend and serveNet:
 /// counters, latency digests, fault summary, obs trace, network trace.
 void fillEngineSide(RunReport &R, engine::Engine &E, unsigned Shards,
@@ -525,9 +536,15 @@ public:
     Cfg.TraceEventCapacity = O.TraceCapacity;
     Cfg.Overload = *Overload;
     Cfg.DeliverySink = Srv.deliverySink();
+    Cfg.StreamTrace = O.StreamingCheck;
+    Cfg.RecordTrace = !O.StreamingCheck || O.CheckDifferential;
     if (Inj)
       Cfg.Faults = &*Inj;
     engine::Engine E(C.structure(), C.topology(), Cfg);
+    consistency::StreamOptions SO = streamOptions(O);
+    std::optional<detail::StreamCollector> Col;
+    if (O.StreamingCheck)
+      Col.emplace(E, C.structure(), C.topology(), SO);
     Srv.attach(E);
     E.start();
 
@@ -548,6 +565,12 @@ public:
 
     RunReport R;
     fillEngineSide(R, E, O.Shards, *Overload, Inj.has_value());
+    if (Col) {
+      R.StreamCheck.Enabled = true;
+      R.StreamCheck.Window = SO.Window;
+      R.StreamCheck.Result = Col->finalize(R.TraceDropped);
+      R.StreamCheck.StreamShed = Col->lagShed();
+    }
     fillNetSide(R.Net, Srv.stats(), O.NetUdp);
     R.Net.Port = Srv.port();
     R.Net.Connections = RR.Connected;
@@ -612,23 +635,53 @@ Result<RunReport> serveNet(const Compilation &C, const RunOptions &O,
   Cfg.TraceEventCapacity = O.TraceCapacity;
   Cfg.Overload = *Overload;
   Cfg.DeliverySink = Srv.deliverySink();
+  Cfg.StreamTrace = O.StreamingCheck;
+  Cfg.RecordTrace = !O.StreamingCheck || O.CheckDifferential;
   if (Inj)
     Cfg.Faults = &*Inj;
   engine::Engine E(C.structure(), C.topology(), Cfg);
+  consistency::StreamOptions SO = streamOptions(O);
+  std::optional<api::detail::StreamCollector> Col;
+  if (O.StreamingCheck)
+    Col.emplace(E, C.structure(), C.topology(), SO);
   Srv.attach(E);
   E.start();
 
   // Without a stop flag the loop runs until the process dies; with one
   // (net/Signal.h) a SIGINT/SIGTERM drains sessions and the engine
-  // before we get here.
+  // before we get here. A duration composes with the flag: a watchdog
+  // thread trips the serve loop at the deadline or when the caller's
+  // flag fires, whichever is first — the soak harness's bounded-run
+  // mode.
   static const std::atomic<bool> Never{false};
-  Srv.serve(O.StopFlag ? *O.StopFlag : Never);
+  const std::atomic<bool> &UserStop = O.StopFlag ? *O.StopFlag : Never;
+  if (S.DurationSec > 0) {
+    std::atomic<bool> StopServe{false};
+    std::thread Watchdog([&] {
+      auto Deadline = std::chrono::steady_clock::now() +
+                      std::chrono::seconds(S.DurationSec);
+      while (std::chrono::steady_clock::now() < Deadline &&
+             !UserStop.load(std::memory_order_relaxed))
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      StopServe.store(true, std::memory_order_release);
+    });
+    Srv.serve(StopServe);
+    Watchdog.join();
+  } else {
+    Srv.serve(UserStop);
+  }
   E.finish();
 
   RunReport R;
   R.Backend = "net";
   R.Seed = O.Seed;
   fillEngineSide(R, E, O.Shards, *Overload, Inj.has_value());
+  if (Col) {
+    R.StreamCheck.Enabled = true;
+    R.StreamCheck.Window = SO.Window;
+    R.StreamCheck.Result = Col->finalize(R.TraceDropped);
+    R.StreamCheck.StreamShed = Col->lagShed();
+  }
   fillNetSide(R.Net, Srv.stats(), S.Udp);
   R.Net.Port = Srv.port();
   R.Net.Connections = R.Net.Accepted;
@@ -646,11 +699,20 @@ Result<RunReport> serveNet(const Compilation &C, const RunOptions &O,
   A.SilentLoss = A.Injected > Accounted ? A.Injected - Accounted : 0;
   A.Ok = A.SilentLoss == 0;
 
-  if (O.CheckConsistency) {
+  // Streaming-only runs keep no merged trace (the batch replay would
+  // pass vacuously); in differential mode both run and are compared.
+  if (O.CheckConsistency && (!R.StreamCheck.Enabled || O.CheckDifferential)) {
     R.Checked = true;
     R.Consistency = consistency::checkAgainstNes(
         R.Trace, C.topology(), C.structure(),
         R.Faults.Enabled ? &R.FaultCtx : nullptr);
+    if (R.StreamCheck.Enabled) {
+      R.StreamCheck.DifferentialRan = true;
+      if (R.StreamCheck.Result.Verdict !=
+          consistency::StreamVerdict::Inconclusive)
+        R.StreamCheck.DifferentialMatched =
+            R.StreamCheck.Result.ok() == R.Consistency.Correct;
+    }
   }
   return R;
 }

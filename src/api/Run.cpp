@@ -152,7 +152,13 @@ Result<RunReport> Run::execute(const RunOptions &O) {
   A.SilentLoss = A.Injected > Accounted ? A.Injected - Accounted : 0;
   A.Ok = A.SilentLoss == 0;
 
-  if (O.CheckConsistency) {
+  // Streaming-only runs keep no merged trace: replaying the (empty)
+  // trace through the batch checker would pass vacuously, so the batch
+  // replay runs only when a trace was actually recorded — always
+  // without streaming, and in differential mode alongside it.
+  bool BatchCheck = O.CheckConsistency &&
+                    (!Report->StreamCheck.Enabled || O.CheckDifferential);
+  if (BatchCheck) {
     // The excusal context matters beyond fault plans: a shed overload
     // policy ledgers the chains it retired under plain pressure too.
     bool HasCtx = Report->Faults.Enabled ||
@@ -162,6 +168,14 @@ Result<RunReport> Run::execute(const RunOptions &O) {
     Report->Consistency = consistency::checkAgainstNes(
         Report->Trace, Topo, C->structure(),
         HasCtx ? &Report->FaultCtx : nullptr);
+  }
+  if (Report->StreamCheck.Enabled && Report->Checked) {
+    StreamCheckReport &SC = Report->StreamCheck;
+    SC.DifferentialRan = true;
+    // An inconclusive streaming verdict makes no pass/fail claim, so
+    // there is nothing to disagree with.
+    if (SC.Result.Verdict != consistency::StreamVerdict::Inconclusive)
+      SC.DifferentialMatched = SC.Result.ok() == Report->Consistency.Correct;
   }
   return Report;
 }
@@ -322,6 +336,27 @@ std::string RunReport::str() const {
     if (!Consistency.Correct)
       OS << "    " << Consistency.Reason << "\n";
   }
+  if (StreamCheck.Enabled) {
+    const consistency::StreamResult &SR = StreamCheck.Result;
+    std::string Verdict = consistency::streamVerdictName(SR.Verdict);
+    if (SR.violated())
+      Verdict = "VIOLATED";
+    OS << "  streaming d6: " << Verdict << " (" << SR.Stats.EntriesChecked
+       << " entries, " << SR.Stats.ChainsRetired << " chains, "
+       << SR.Stats.EventsObserved << " events, peak window "
+       << SR.Stats.PeakWindow << "/" << StreamCheck.Window << ", peak "
+       << (SR.Stats.PeakResidentBytes + 1023) / 1024 << " KiB)\n";
+    if (!SR.Reason.empty())
+      OS << "    " << SR.Reason << "\n";
+    if (StreamCheck.StreamShed > 0)
+      OS << "    " << StreamCheck.StreamShed
+         << " stream items shed (collector lagged the data path)\n";
+    if (StreamCheck.DifferentialRan)
+      OS << "    differential: "
+         << (StreamCheck.DifferentialMatched ? "verdicts agree"
+                                             : "VERDICTS DISAGREE")
+         << "\n";
+  }
   return OS.str();
 }
 
@@ -416,6 +451,29 @@ std::string RunReport::json() const {
     if (!Consistency.Correct)
       OS << ", \"reason\": \"" << jsonEscape(Consistency.Reason) << "\"";
     OS << "}";
+  }
+  OS << ", \"streaming_check\": ";
+  if (!StreamCheck.Enabled) {
+    OS << "{\"enabled\": false}";
+  } else {
+    const consistency::StreamResult &SR = StreamCheck.Result;
+    OS << "{\"enabled\": true, \"verdict\": \""
+       << consistency::streamVerdictName(SR.Verdict) << "\""
+       << ", \"reason\": \"" << jsonEscape(SR.Reason) << "\""
+       << ", \"window\": " << StreamCheck.Window
+       << ", \"entries_ingested\": " << SR.Stats.EntriesIngested
+       << ", \"entries_checked\": " << SR.Stats.EntriesChecked
+       << ", \"entries_pruned\": " << SR.Stats.EntriesPruned
+       << ", \"trees_retired\": " << SR.Stats.TreesRetired
+       << ", \"chains_retired\": " << SR.Stats.ChainsRetired
+       << ", \"events_observed\": " << SR.Stats.EventsObserved
+       << ", \"peak_window\": " << SR.Stats.PeakWindow
+       << ", \"peak_resident_bytes\": " << SR.Stats.PeakResidentBytes
+       << ", \"stream_shed\": " << StreamCheck.StreamShed
+       << ", \"differential_ran\": "
+       << (StreamCheck.DifferentialRan ? "true" : "false")
+       << ", \"differential_matched\": "
+       << (StreamCheck.DifferentialMatched ? "true" : "false") << "}";
   }
   OS << "}";
   return OS.str();

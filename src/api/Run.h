@@ -36,6 +36,7 @@
 #include "api/Compile.h"
 #include "api/Status.h"
 #include "consistency/Check.h"
+#include "consistency/StreamCheck.h"
 #include "consistency/Trace.h"
 #include "engine/TrafficGen.h"
 #include "faults/FaultPlan.h"
@@ -85,6 +86,18 @@ public:
   }
   RunOptions &checkConsistency(bool V) {
     CheckConsistency = V;
+    return *this;
+  }
+  RunOptions &streamingCheck(bool V) {
+    StreamingCheck = V;
+    return *this;
+  }
+  RunOptions &checkWindow(size_t V) {
+    CheckWindow = V;
+    return *this;
+  }
+  RunOptions &checkDifferential(bool V) {
+    CheckDifferential = V;
     return *this;
   }
   RunOptions &classifier(bool V) {
@@ -156,6 +169,20 @@ public:
   size_t StepBudget = 100000;
   /// Replay the recorded trace through the Definition 6 checker.
   bool CheckConsistency = true;
+  /// Engine-based backends ("engine", "net", serveNet): verify Definition
+  /// 6 *online* with the windowed streaming checker (consistency/
+  /// StreamCheck.h) instead of the end-of-run batch replay. The full
+  /// trace is no longer retained (O(window) memory), so the batch check
+  /// is skipped unless CheckDifferential also runs it.
+  bool StreamingCheck = false;
+  /// Streaming checker window: hard cap on live (unretired) trace
+  /// entries. Exceeding it degrades the verdict to inconclusive rather
+  /// than growing without bound.
+  size_t CheckWindow = 1 << 16;
+  /// With StreamingCheck: ALSO record the full trace and run the batch
+  /// checker, then report whether the two verdicts agree — the
+  /// end-to-end differential harness for the streaming checker.
+  bool CheckDifferential = false;
   /// Engine backend: classifier-program fast path (true) or the
   /// flattened-FDD-walk oracle (false).
   bool Classifier = true;
@@ -284,6 +311,27 @@ struct NetReport {
   LatencyReport Rtt;
 };
 
+/// Streaming Definition 6 verdict (RunOptions::StreamingCheck): the
+/// online checker's three-valued result plus its resource attestation —
+/// PeakWindow / PeakResidentBytes are the soak harness's evidence that
+/// verification memory stayed bounded over the whole run.
+struct StreamCheckReport {
+  bool Enabled = false;
+  size_t Window = 0; ///< configured live-entry cap
+  /// Verdict, reason, and resource stats from the streaming checker.
+  consistency::StreamResult Result;
+  /// Stream items the engine shed because the checker's collector fell
+  /// behind (EngineConfig::StreamBufCap). Nonzero forces the verdict to
+  /// inconclusive ("stream_backlog").
+  uint64_t StreamShed = 0;
+  /// CheckDifferential: the batch checker also ran on the full trace.
+  bool DifferentialRan = false;
+  /// Streaming verdict agreed with the batch verdict (pass<->pass); only
+  /// meaningful when DifferentialRan and the streaming verdict was
+  /// conclusive.
+  bool DifferentialMatched = true;
+};
+
 /// The uniform result of a run on any backend.
 struct RunReport {
   std::string Backend;
@@ -344,6 +392,9 @@ struct RunReport {
   /// Definition 6 verdict; only meaningful when Checked.
   bool Checked = false;
   consistency::CheckResult Consistency;
+  /// Streaming Definition 6 verdict (Enabled false unless
+  /// RunOptions::StreamingCheck on an engine-based backend).
+  StreamCheckReport StreamCheck;
 
   /// Human-readable report block (the CLI's default rendering).
   std::string str() const;
@@ -410,6 +461,11 @@ struct ServeNetOptions {
   std::string BindAddr = "127.0.0.1"; ///< "0.0.0.0" serves off-box
   uint16_t Port = 9000;               ///< 0 binds an ephemeral port
   bool Udp = true; ///< also bind a UDP socket on the same port
+  /// Stop serving after this many seconds (0 = only RunOptions::StopFlag
+  /// or process death ends the loop). The deadline composes with the
+  /// stop flag: whichever fires first drains the run. This is the soak
+  /// harness's knob: `eventnetc serve --duration 300 --stream-check`.
+  unsigned DurationSec = 0;
   /// Called once the listeners are bound, with the resolved TCP port —
   /// how callers learn an ephemeral bind before the loop blocks.
   std::function<void(uint16_t)> OnListening;

@@ -1,0 +1,629 @@
+//===- consistency/StreamCheck.cpp - Streaming Definition 6 checker -------===//
+
+#include "consistency/StreamCheck.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace eventnet;
+using namespace eventnet::consistency;
+using eventnet::netkat::Packet;
+
+const char *consistency::streamVerdictName(StreamVerdict V) {
+  switch (V) {
+  case StreamVerdict::Ok:
+    return "ok";
+  case StreamVerdict::Violated:
+    return "violated";
+  case StreamVerdict::Inconclusive:
+    return "inconclusive";
+  }
+  return "?";
+}
+
+StreamChecker::StreamChecker(const nes::Nes &N, const topo::Topology &Topo,
+                             StreamOptions O)
+    : N(N), Topo(Topo), O(O) {
+  GuardQ.resize(N.numEvents());
+  GuardQOverflow.assign(N.numEvents(), false);
+  FOWanted.assign(N.numEvents(), false);
+  // C0 = g(∅).
+  auto S0 = N.setIndex(Occurred);
+  if (S0) {
+    Configs.push_back(&N.configOf(*S0));
+  } else {
+    // A structure whose family lacks ∅ is malformed; never claim a pass.
+    inconclusive("unsupported");
+    Configs.push_back(nullptr);
+  }
+  AllConfigMask = 1;
+  if (this->O.Window == 0)
+    this->O.Window = 1;
+}
+
+StreamChecker::~StreamChecker() = default;
+
+void StreamChecker::violate(std::string Reason) {
+  // A known-gappy feed (noteGap) can fake every violation class: a shed
+  // tail truncates a chain into one "not processed by any single
+  // configuration", a shed witness fakes a missing FO trigger. A
+  // violation is an actionable alarm that must never be wrong — once
+  // gappy, degrade instead. Violations recorded before the gap stand.
+  if (Gappy) {
+    inconclusive(GapCause.c_str());
+    return;
+  }
+  if (CurVerdict == StreamVerdict::Violated)
+    return;
+  CurVerdict = StreamVerdict::Violated;
+  ViolationReason = std::move(Reason);
+}
+
+void StreamChecker::inconclusive(const char *Cause) {
+  if (std::find(Causes.begin(), Causes.end(), Cause) == Causes.end())
+    Causes.push_back(Cause);
+  if (CurVerdict == StreamVerdict::Ok)
+    CurVerdict = StreamVerdict::Inconclusive;
+}
+
+void StreamChecker::noteCause(const std::string &Cause) {
+  if (std::find(Causes.begin(), Causes.end(), Cause) == Causes.end())
+    Causes.push_back(Cause);
+  if (CurVerdict == StreamVerdict::Ok)
+    CurVerdict = StreamVerdict::Inconclusive;
+}
+
+void StreamChecker::noteGap(const std::string &Cause) {
+  if (Finished)
+    return;
+  Gappy = true;
+  GapCause = Cause;
+  noteCause(Cause);
+}
+
+uint32_t StreamChecker::denseSwitch(SwitchId Sw) {
+  auto [It, Inserted] = SwDense.emplace(Sw, (uint32_t)SwDense.size());
+  if (Inserted) {
+    SwCount.push_back(0);
+    SwLastVC.emplace_back();
+  }
+  return It->second;
+}
+
+uint64_t StreamChecker::nodeBytes(const Node &Nd) const {
+  return sizeof(Node) + Nd.VC.capacity() * sizeof(uint32_t) +
+         Nd.Lp.fields().capacity() *
+             sizeof(std::pair<FieldId, Value>);
+}
+
+void StreamChecker::trackPeaks() {
+  St.PeakWindow = std::max<uint64_t>(St.PeakWindow, NodeOf.size());
+  uint64_t B = CurNodeBytes;
+  B += Heap.size() * (sizeof(PendItem) + 64);
+  B += NodeOf.size() * 48;                    // hash-map node overhead
+  B += GuardQTotal * sizeof(GuardMatch);
+  B += (Pruned.size() + PendingExcuse.size()) * 32;
+  for (const auto &VC : SwLastVC)
+    B += VC.capacity() * sizeof(uint32_t);
+  St.PeakResidentBytes = std::max(St.PeakResidentBytes, B);
+}
+
+void StreamChecker::feedEntry(uint64_t Ticket, int64_t Parent,
+                              const Packet &Lp, bool IsDelivery,
+                              bool IsDup) {
+  if (Finished)
+    return;
+  ++St.EntriesIngested;
+  Heap.push(PendItem{Ticket, Parent, Lp, IsDelivery, IsDup});
+}
+
+void StreamChecker::feedExcuse(uint64_t Ticket) {
+  if (Finished)
+    return;
+  auto F = NodeOf.find(Ticket);
+  if (F != NodeOf.end()) {
+    Live.at(F->second.first).Nodes[F->second.second].Excused = true;
+    return;
+  }
+  if ((int64_t)Ticket > LastCommitted) {
+    PendingExcuse.insert(Ticket);
+    return;
+  }
+  if (Pruned.count(Ticket))
+    return; // an excused hop inside a pruned duplicate subtree
+  // The excused entry already retired (or was cut by the window): its
+  // chain was finalized under maximal membership instead of prefix
+  // membership, so the verdict may be too strict — degrade, never guess.
+  inconclusive("window_exceeded");
+}
+
+void StreamChecker::advance(uint64_t Watermark) {
+  if (Finished)
+    return;
+  while (!Heap.empty() && Heap.top().Ticket <= Watermark) {
+    PendItem It = Heap.top();
+    Heap.pop();
+    commit(It);
+  }
+  trackPeaks();
+}
+
+void StreamChecker::commit(PendItem &It) {
+  if ((int64_t)It.Ticket <= LastCommitted) {
+    // Behind the commit frontier: the feed broke ticket order (or
+    // duplicated a ticket); everything downstream of this entry is
+    // unverifiable.
+    inconclusive("out_of_order");
+    return;
+  }
+  LastCommitted = (int64_t)It.Ticket;
+  ++St.EntriesChecked;
+
+  // A violation is terminal (the batch oracle also reports the first):
+  // keep counting, stop maintaining state.
+  if (CurVerdict == StreamVerdict::Violated)
+    return;
+
+  // Ledgered-duplicate subtrees are excluded from the surviving trace —
+  // from the chains, the per-switch order, and the witness extraction —
+  // exactly as checkAgainstNes prunes before checking.
+  bool ParentPruned =
+      It.Parent >= 0 && Pruned.count((uint64_t)It.Parent) != 0;
+  if (It.IsDup || ParentPruned) {
+    Pruned.insert(It.Ticket);
+    PrunedOrder.push_back(It.Ticket);
+    PendingExcuse.erase(It.Ticket);
+    ++St.EntriesPruned;
+    return;
+  }
+
+  // Locate the parent; a missing parent means the window already evicted
+  // it (chain split) — degrade and exclude the fragment, which could
+  // otherwise only produce spurious violations.
+  uint64_t Root = It.Ticket;
+  int32_t ParentIdx = -1;
+  Tree *T = nullptr;
+  if (It.Parent < 0) {
+    T = &Live[Root];
+  } else {
+    auto F = NodeOf.find((uint64_t)It.Parent);
+    if (F == NodeOf.end()) {
+      inconclusive("window_exceeded");
+      Pruned.insert(It.Ticket);
+      PrunedOrder.push_back(It.Ticket);
+      PendingExcuse.erase(It.Ticket);
+      return;
+    }
+    Root = F->second.first;
+    T = &Live.at(Root);
+    ParentIdx = (int32_t)F->second.second;
+  }
+
+  // Vector clock over switches: VC = max(parent VC, predecessor-at-
+  // switch VC), own component = the new per-switch position. This is
+  // Definition 1's happens-before exactly: A hb B iff VC(B)[sw(A)] >=
+  // pos(A) (per-switch total order plus packet-tree order, closed).
+  uint32_t SwIdx = denseSwitch(It.Lp.sw());
+  if (SwCount[SwIdx] == UINT32_MAX) {
+    inconclusive("unsupported"); // per-switch position would wrap
+    return;
+  }
+  uint32_t SwPos = (uint32_t)++SwCount[SwIdx];
+  std::vector<uint32_t> VC = SwLastVC[SwIdx];
+  if (ParentIdx >= 0) {
+    const std::vector<uint32_t> &PV = T->Nodes[ParentIdx].VC;
+    if (VC.size() < PV.size())
+      VC.resize(PV.size(), 0);
+    for (size_t I = 0; I != PV.size(); ++I)
+      VC[I] = std::max(VC[I], PV[I]);
+  }
+  if (VC.size() <= SwIdx)
+    VC.resize(SwIdx + 1, 0);
+  VC[SwIdx] = SwPos;
+  SwLastVC[SwIdx] = VC;
+
+  Node Nd;
+  Nd.Ticket = It.Ticket;
+  Nd.Parent = ParentIdx;
+  Nd.SwIdx = SwIdx;
+  Nd.SwPos = SwPos;
+  Nd.IsDelivery = It.IsDelivery;
+  Nd.PrefixMask =
+      ParentIdx < 0
+          ? AllConfigMask
+          : relatedMask(T->Nodes[ParentIdx].Lp, It.Lp,
+                        T->Nodes[ParentIdx].PrefixMask);
+  Nd.Excused = PendingExcuse.erase(It.Ticket) != 0;
+  Nd.Lp = It.Lp;
+  Nd.VC = std::move(VC);
+  CurNodeBytes += nodeBytes(Nd);
+  T->Nodes.push_back(std::move(Nd));
+  uint32_t NodeIdx = (uint32_t)(T->Nodes.size() - 1);
+  if (ParentIdx >= 0)
+    ++T->Nodes[ParentIdx].Children;
+  T->LastActivity = It.Ticket;
+  NodeOf.emplace(It.Ticket, std::make_pair(Root, NodeIdx));
+
+  // Guard-match queues feed FO resolution: collect matches of every
+  // event that has not occurred (its FO is in the future) or whose FO is
+  // still unresolved.
+  for (unsigned Id = 0; Id != N.numEvents(); ++Id) {
+    if (Occurred.test(Id) && !FOWanted[Id])
+      continue;
+    if (!N.event(Id).matches(It.Lp))
+      continue;
+    if (GuardQ[Id].size() >= O.GuardQueueCap) {
+      GuardQOverflow[Id] = true;
+      continue;
+    }
+    GuardQ[Id].push_back(GuardMatch{It.Ticket});
+    ++GuardQTotal;
+  }
+
+  // Witness extraction, the batch checker's exact rule: event ids in
+  // order against the evolving occurred set.
+  for (unsigned Id = 0; Id != N.numEvents(); ++Id) {
+    if (Occurred.test(Id) || !N.event(Id).matches(It.Lp))
+      continue;
+    if (!N.enables(Occurred, Id))
+      continue;
+    DenseBitSet Ext = Occurred;
+    Ext.set(Id);
+    if (!N.con(Ext))
+      continue;
+    Occurred.set(Id);
+    onFresh(Id);
+    if (CurVerdict == StreamVerdict::Violated)
+      return;
+  }
+  resolvePendingFOs();
+
+  if (++CommitsSinceSweep >= 256) {
+    CommitsSinceSweep = 0;
+    retireQuietTrees();
+  }
+  enforceWindow();
+}
+
+void StreamChecker::onFresh(unsigned EventId) {
+  ++St.EventsObserved;
+  EventRec R;
+  R.EventId = EventId;
+  EventRecs.push_back(std::move(R));
+  PendingFO.push_back((unsigned)(EventRecs.size() - 1));
+  FOWanted[EventId] = true;
+
+  // The new configuration C_{i+1} = g(occurred set).
+  if (Configs.size() >= 64) {
+    inconclusive("unsupported"); // config mask width exhausted
+    return;
+  }
+  auto S = N.setIndex(Occurred);
+  if (!S) {
+    // Extraction only adds consistent enabled events, so the set is a
+    // family member by construction; a miss means the structure and the
+    // trace disagree in a way the streaming form cannot arbitrate.
+    inconclusive("unsupported");
+    return;
+  }
+  Configs.push_back(&N.configOf(*S));
+  AllConfigMask = Configs.size() >= 64
+                      ? ~uint64_t(0)
+                      : ((uint64_t(1) << Configs.size()) - 1);
+  extendMasksForNewConfig();
+}
+
+void StreamChecker::resolvePendingFOs() {
+  while (!PendingFO.empty()) {
+    unsigned WIdx = PendingFO.front();
+    EventRec &R = EventRecs[WIdx];
+    std::deque<GuardMatch> &Q = GuardQ[R.EventId];
+    while (!Q.empty() && (int64_t)Q.front().Ticket <= FOFrontier) {
+      Q.pop_front();
+      --GuardQTotal;
+    }
+    if (Q.empty())
+      return; // the FO is a future entry; try again on the next commit
+    R.Resolved = true;
+    R.KTicket = Q.front().Ticket;
+    FOFrontier = (int64_t)R.KTicket;
+    FOWanted[R.EventId] = false;
+    PendingFO.pop_front();
+
+    if (AnyRetired && R.KTicket <= MaxRetiredTicket) {
+      // Entries newer than this FO already retired: their AllAfter /
+      // bullet-3 obligations against it were never evaluated.
+      inconclusive("window_exceeded");
+    }
+    auto F = NodeOf.find(R.KTicket);
+    if (F != NodeOf.end()) {
+      Tree &T = Live.at(F->second.first);
+      Node &Nd = T.Nodes[F->second.second];
+      R.Usable = true;
+      R.KSwIdx = Nd.SwIdx;
+      R.KSwPos = Nd.SwPos;
+      R.KVC = Nd.VC;
+      // FO bullet 3: some chain through the FO entry must be processed
+      // by the configuration preceding the event, i.e. C_i for witness
+      // index i.
+      Nd.ReqConfig = (int16_t)WIdx;
+    } else {
+      inconclusive("window_exceeded");
+    }
+
+    // The frontier moved: matches at or before it can never be an FO.
+    for (std::deque<GuardMatch> &GQ : GuardQ)
+      while (!GQ.empty() && (int64_t)GQ.front().Ticket <= FOFrontier) {
+        GQ.pop_front();
+        --GuardQTotal;
+      }
+  }
+}
+
+uint64_t StreamChecker::relatedMask(const Packet &From, const Packet &To,
+                                    uint64_t ParentMask) const {
+  uint64_t Out = 0;
+  uint64_t M = ParentMask & AllConfigMask;
+  while (M) {
+    unsigned Ci = (unsigned)__builtin_ctzll(M);
+    M &= M - 1;
+    const topo::Configuration *C = Configs[Ci];
+    if (C && C->related(Topo, From, To))
+      Out |= uint64_t(1) << Ci;
+  }
+  return Out;
+}
+
+void StreamChecker::extendMasksForNewConfig() {
+  uint64_t Bit = uint64_t(1) << (Configs.size() - 1);
+  const topo::Configuration *C = Configs.back();
+  if (!C)
+    return;
+  for (auto &[Root, T] : Live) {
+    (void)Root;
+    for (Node &Nd : T.Nodes) { // insertion order: parents first
+      if (Nd.Parent < 0)
+        Nd.PrefixMask |= Bit;
+      else if ((T.Nodes[Nd.Parent].PrefixMask & Bit) &&
+               C->related(Topo, T.Nodes[Nd.Parent].Lp, Nd.Lp))
+        Nd.PrefixMask |= Bit;
+    }
+  }
+}
+
+void StreamChecker::retireTree(uint64_t RootTicket, bool Forced) {
+  auto LI = Live.find(RootTicket);
+  if (LI == Live.end())
+    return;
+  std::vector<Node> &Ns = LI->second.Nodes;
+
+  // A forced (window-cap) retirement may cut chains that are still in
+  // flight: an empty membership then means "cut", not "inconsistent",
+  // and every conclusion that would rest on those chains degrades to
+  // inconclusive instead of violated.
+  bool AnyCutChain = false;
+
+  std::vector<uint32_t> Path;
+  for (uint32_t L = 0; L != Ns.size(); ++L) {
+    if (Ns[L].Children != 0)
+      continue; // internal node; chains end at leaves
+    Path.clear();
+    for (int32_t I = (int32_t)L; I >= 0; I = Ns[I].Parent)
+      Path.push_back((uint32_t)I);
+    ++St.ChainsRetired;
+
+    // Single-configuration membership: the leaf's prefix mask restricted
+    // by the batch checker's exact maximality rule — unless a ledgered
+    // fault excused the leaf, which waives maximality (prefix trace).
+    const Node &Leaf = Ns[L];
+    uint64_t Member = 0;
+    if (Leaf.Excused) {
+      Member = Leaf.PrefixMask;
+    } else {
+      bool Delivered = Leaf.Parent >= 0 &&
+                       Topo.isHostPort(Leaf.Lp.loc()) &&
+                       !Topo.linkFrom(Leaf.Lp.loc());
+      uint64_t M = Leaf.PrefixMask;
+      while (M) {
+        unsigned Ci = (unsigned)__builtin_ctzll(M);
+        M &= M - 1;
+        if (Delivered ||
+            (Configs[Ci] && Configs[Ci]->step(Topo, Leaf.Lp).empty()))
+          Member |= uint64_t(1) << Ci;
+      }
+    }
+
+    if (Member == 0) {
+      if (Forced) {
+        AnyCutChain = true;
+        inconclusive("window_exceeded");
+        continue; // no conclusions can rest on a cut chain
+      }
+      std::ostringstream OS;
+      OS << "packet trace ending at ticket " << Leaf.Ticket
+         << " is not processed by any single configuration";
+      violate(OS.str());
+    }
+
+    // Definition 2's window conditions against every resolved FO. A
+    // retired chain can never violate these against a *future* event:
+    // its member indices all precede any future index (HasEarly), and a
+    // future FO cannot happen-before retired entries unless it is older
+    // than the retirement frontier — which resolvePendingFOs flags.
+    for (size_t I = 0; I != EventRecs.size(); ++I) {
+      const EventRec &R = EventRecs[I];
+      if (!R.Resolved || !R.Usable)
+        continue;
+      bool AllBefore = true, AllAfter = true;
+      for (uint32_t PI : Path) {
+        const Node &A = Ns[PI];
+        if (A.Ticket == R.KTicket) {
+          AllBefore = AllAfter = false;
+          break;
+        }
+        if (!(A.SwIdx < R.KVC.size() && R.KVC[A.SwIdx] >= A.SwPos))
+          AllBefore = false;
+        if (!(R.KSwIdx < A.VC.size() && A.VC[R.KSwIdx] >= R.KSwPos))
+          AllAfter = false;
+        if (!AllBefore && !AllAfter)
+          break;
+      }
+      uint64_t EarlyBits = I + 1 >= 64 ? ~uint64_t(0)
+                                       : ((uint64_t(1) << (I + 1)) - 1);
+      if (AllBefore && !(Member & EarlyBits)) {
+        std::ostringstream OS;
+        OS << "update happened too early: a packet trace entirely "
+              "before "
+           << N.event(R.EventId).str()
+           << " is only consistent with a later configuration";
+        violate(OS.str());
+      }
+      if (AllAfter && !(Member & ~EarlyBits)) {
+        std::ostringstream OS;
+        OS << "update happened too late: a packet trace entirely after "
+           << N.event(R.EventId).str()
+           << " is only consistent with an earlier configuration";
+        violate(OS.str());
+      }
+    }
+
+    for (uint32_t PI : Path)
+      if (Ns[PI].ReqConfig >= 0)
+        Ns[PI].SeenMemberMask |= Member;
+  }
+
+  for (const Node &Nd : Ns) {
+    if (Nd.ReqConfig >= 0 &&
+        !(Nd.SeenMemberMask & (uint64_t(1) << Nd.ReqConfig))) {
+      // Bullet 3 is existential over chains through the node; if a cut
+      // chain could have been the witness, absence is not a violation.
+      if (AnyCutChain) {
+        inconclusive("window_exceeded");
+      } else {
+        std::ostringstream OS;
+        OS << "event "
+           << N.event(EventRecs[Nd.ReqConfig].EventId).str()
+           << " (ticket " << Nd.Ticket
+           << ") was not triggered by a packet of the preceding "
+              "configuration";
+        violate(OS.str());
+      }
+    }
+    CurNodeBytes -= std::min(CurNodeBytes, nodeBytes(Nd));
+    NodeOf.erase(Nd.Ticket);
+    MaxRetiredTicket = std::max(MaxRetiredTicket, Nd.Ticket);
+    AnyRetired = true;
+  }
+  ++St.TreesRetired;
+  Live.erase(LI);
+}
+
+void StreamChecker::retireQuietTrees() {
+  uint64_t Frontier =
+      LastCommitted < 0 ? 0 : (uint64_t)LastCommitted;
+  std::vector<uint64_t> Quiet;
+  for (const auto &[Root, T] : Live)
+    if (T.LastActivity + O.QuietHorizon < Frontier)
+      Quiet.push_back(Root);
+  // Lenient: a quiet tree with an open chain is either silent loss (the
+  // drop audit's job) or a ticket-gap straggler — inconclusive, not
+  // violated. Only finish() may treat an open chain as a violation.
+  for (uint64_t Root : Quiet)
+    retireTree(Root, /*Forced=*/true);
+
+  while (!PrunedOrder.empty() &&
+         PrunedOrder.front() + O.QuietHorizon < Frontier) {
+    Pruned.erase(PrunedOrder.front());
+    PrunedOrder.pop_front();
+  }
+}
+
+void StreamChecker::enforceWindow() {
+  while (NodeOf.size() > O.Window && !Live.empty()) {
+    // Force-retire the quietest tree. The retirement itself is sound
+    // (everything checkable so far is checked), but the cap was the
+    // reason — report inconclusive rather than let a cut chain pass
+    // silently.
+    inconclusive("window_exceeded");
+    auto Oldest = Live.begin();
+    for (auto It = Live.begin(); It != Live.end(); ++It)
+      if (It->second.LastActivity < Oldest->second.LastActivity)
+        Oldest = It;
+    retireTree(Oldest->first, /*Forced=*/true);
+  }
+}
+
+StreamResult StreamChecker::finish() {
+  StreamResult Res;
+  if (!Finished) {
+    while (!Heap.empty()) {
+      PendItem It = Heap.top();
+      Heap.pop();
+      commit(It);
+    }
+    // Unresolved first occurrences: the batch oracle fails its FO
+    // search the same way — unless the guard queue overflowed, in which
+    // case the FO may simply have been dropped.
+    for (unsigned WIdx : PendingFO) {
+      const EventRec &R = EventRecs[WIdx];
+      if (GuardQOverflow[R.EventId]) {
+        inconclusive("window_exceeded");
+      } else {
+        violate("FO does not exist: event " + N.event(R.EventId).str() +
+                " never occurs after its predecessor's first occurrence");
+      }
+    }
+    if (!PendingExcuse.empty())
+      inconclusive("window_exceeded"); // excusal of an entry never seen
+    std::vector<uint64_t> Roots;
+    Roots.reserve(Live.size());
+    for (const auto &KV : Live)
+      Roots.push_back(KV.first);
+    for (uint64_t Root : Roots)
+      retireTree(Root);
+    trackPeaks();
+    Finished = true;
+  }
+  Res.Verdict = CurVerdict;
+  if (CurVerdict == StreamVerdict::Violated) {
+    Res.Reason = ViolationReason;
+  } else {
+    std::string Joined;
+    for (const std::string &C : Causes) {
+      if (!Joined.empty())
+        Joined += ",";
+      Joined += C;
+    }
+    Res.Reason = Joined;
+  }
+  Res.Stats = St;
+  return Res;
+}
+
+StreamResult consistency::streamCheckTrace(const NetworkTrace &Tr,
+                                           const topo::Topology &Topo,
+                                           const nes::Nes &N,
+                                           const FaultContext *Faults,
+                                           StreamOptions O) {
+  StreamChecker C(N, Topo, O);
+  const auto &Entries = Tr.entries();
+  std::vector<bool> Dup(Entries.size(), false);
+  std::vector<bool> Exc(Entries.size(), false);
+  if (Faults) {
+    for (int I : Faults->DupEntries)
+      if (I >= 0 && (size_t)I < Dup.size())
+        Dup[I] = true;
+    for (int I : Faults->ExcusedEntries)
+      if (I >= 0 && (size_t)I < Exc.size())
+        Exc[I] = true;
+  }
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    C.feedEntry(I, Entries[I].Parent, Entries[I].Lp,
+                Entries[I].IsDelivery, Dup[I]);
+    if (Exc[I])
+      C.feedExcuse(I);
+    C.advance(I); // commit as we go: exercises the online path
+  }
+  return C.finish();
+}

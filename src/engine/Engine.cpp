@@ -202,11 +202,62 @@ void Engine::buildSubscriptions() {
 
 int64_t Engine::logEntry(Shard &S, const Packet &Lp, int64_t Parent,
                          bool IsDelivery, nes::SetId Tag) {
-  if (!C.RecordTrace)
+  if (!C.RecordTrace && !C.StreamTrace)
     return -1;
   uint64_t Ticket = Tickets.fetch_add(1);
-  S.Trace.push_back({Ticket, Parent, Lp, IsDelivery, Tag});
+  if (C.RecordTrace)
+    S.Trace.push_back({Ticket, Parent, Lp, IsDelivery, Tag});
+  if (C.StreamTrace)
+    S.StreamPending.push_back(
+        {StreamItem::Entry, Ticket, Parent, Lp, IsDelivery, false});
   return static_cast<int64_t>(Ticket);
+}
+
+uint64_t Engine::drainTraceStream(std::vector<StreamItem> &Out) {
+  // Watermarks first, buffers second: a shard flushes its pending items
+  // *before* publishing a watermark, so every entry below the minimum
+  // read here is already in some StreamBuf by the time we drain it —
+  // the caller may commit up to W - 1 after this drain, never before.
+  uint64_t W = UINT64_MAX;
+  for (auto &S : Shards)
+    W = std::min(W, S->StreamWatermark.load(std::memory_order_acquire));
+  for (auto &S : Shards) {
+    {
+      std::lock_guard<std::mutex> Lock(S->StreamMu);
+      Out.insert(Out.end(),
+                 std::make_move_iterator(S->StreamBuf.begin()),
+                 std::make_move_iterator(S->StreamBuf.end()));
+      S->StreamBuf.clear();
+    }
+    {
+      // Shed excusals are written by arbitrary producer threads under
+      // the overflow lock; surface them as Excuse items.
+      std::lock_guard<std::mutex> Lock(S->OverflowMu);
+      for (int64_t T : S->ShedStream)
+        Out.push_back({StreamItem::Excuse, static_cast<uint64_t>(T), -1,
+                       Packet(), false, false});
+      S->ShedStream.clear();
+    }
+  }
+  return W == UINT64_MAX ? 0 : W;
+}
+
+uint64_t Engine::streamLagShed() {
+  uint64_t Shed = 0;
+  for (auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->StreamMu);
+    Shed += S->StreamLagShed;
+  }
+  return Shed;
+}
+
+uint64_t Engine::streamBacklog() {
+  uint64_t Backlog = 0;
+  for (auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->StreamMu);
+    Backlog += S->StreamBuf.size();
+  }
+  return Backlog;
 }
 
 //===----------------------------------------------------------------------===//
@@ -283,8 +334,11 @@ void Engine::shedLocked(Shard &Dst, Msg &M) {
     if (M.P.FromDup)
       DupDropped.add();
     // The hop's egress entry is now a chain leaf; excuse it.
-    if (M.P.Parent >= 0)
+    if (M.P.Parent >= 0) {
       Dst.ShedTickets.push_back(M.P.Parent);
+      if (C.StreamTrace)
+        Dst.ShedStream.push_back(M.P.Parent);
+    }
   } else if (M.K == Msg::Inject) {
     Injected.add();
   }
@@ -387,8 +441,13 @@ void Engine::forwardOut(Shard &S, const EnginePacket &P, uint32_t AtDense,
     // which the ledger excuses for the checker.
     S.FaultRecs.push_back(
         faults::Injector::recordAt(faults::FaultKind::Drop, At.Sw, At.Pt, Out));
-    if (P.Parent >= 0)
+    if (P.Parent >= 0) {
       S.ExcusedTickets.push_back(P.Parent);
+      if (C.StreamTrace)
+        S.StreamPending.push_back({StreamItem::Excuse,
+                                   static_cast<uint64_t>(P.Parent), -1,
+                                   Packet(), false, false});
+    }
     Dropped.add();
     S.Dropped.add();
     FaultDrops.add();
@@ -443,8 +502,11 @@ void Engine::forwardOut(Shard &S, const EnginePacket &P, uint32_t AtDense,
     // the ledger marks that entry so the checker prunes the duplicate
     // subtree before verifying Definition 6.
     int64_t DupTicket = logEntry(S, Out, P.Parent, false, P.Tag);
-    if (DupTicket >= 0)
+    if (DupTicket >= 0) {
       S.DupTickets.push_back(DupTicket);
+      if (C.StreamTrace)
+        S.StreamPending.back().IsDup = true; // the entry just logged
+    }
     FillHop(S.OutBufs[DstShard].next(), DupTicket, /*FromDup=*/true);
     S.FaultRecs.push_back(
         faults::Injector::recordAt(faults::FaultKind::Dup, At.Sw, At.Pt, Out));
@@ -897,7 +959,37 @@ void Engine::workerLoop(unsigned ShardIdx) {
   uint64_t Spins = 0;
   uint64_t SinceReclaim = 0;
   unsigned SleepUs = 1;
+  // Streaming sink: publish this iteration's trace entries, then promise
+  // a watermark. The order is load-bearing — the flush precedes the
+  // store with no logging in between, and any future logEntry on this
+  // thread draws a ticket >= the stored value, so "no entry below the
+  // watermark is still unpublished by this shard" holds by construction.
+  auto FlushStream = [&] {
+    if (!S.StreamPending.empty()) {
+      std::lock_guard<std::mutex> Lock(S.StreamMu);
+      // Bounded hand-off: a lagging collector must cost shed entries
+      // (counted, verdict-degrading), never memory that grows with the
+      // horizon or a data path blocked on verification. The watermark
+      // below still advances over shed tickets — the checker prunes
+      // their orphaned subtrees and reports inconclusive.
+      size_t Room = S.StreamBuf.size() < C.StreamBufCap
+                        ? C.StreamBufCap - S.StreamBuf.size()
+                        : 0;
+      size_t Take = std::min(Room, S.StreamPending.size());
+      S.StreamBuf.insert(
+          S.StreamBuf.end(), std::make_move_iterator(S.StreamPending.begin()),
+          std::make_move_iterator(S.StreamPending.begin() +
+                                  static_cast<ptrdiff_t>(Take)));
+      S.StreamLagShed += S.StreamPending.size() - Take;
+      S.StreamPending.clear();
+    }
+    uint64_t T = Tickets.load(std::memory_order_relaxed);
+    if (T != S.StreamWatermark.load(std::memory_order_relaxed))
+      S.StreamWatermark.store(T, std::memory_order_release);
+  };
   while (true) {
+    if (C.StreamTrace)
+      FlushStream();
     size_t N = drainBatch(S);
     if (N != 0) {
       Spins = 0;
@@ -926,6 +1018,12 @@ void Engine::workerLoop(unsigned ShardIdx) {
     std::this_thread::sleep_for(std::chrono::microseconds(SleepUs));
     S.IdleSleeps.add();
     SleepUs = std::min(SleepUs * 2, C.IdleSleepUs);
+  }
+  if (C.StreamTrace) {
+    // This shard will never log again: flush the tail and lift the
+    // shard's watermark out of every future min.
+    FlushStream();
+    S.StreamWatermark.store(UINT64_MAX, std::memory_order_release);
   }
 }
 
@@ -1151,9 +1249,15 @@ void Engine::mergeResults() {
   // plain pressure too, and the checker needs their excusal context
   // either way.
   for (auto &S : Shards) {
-    if (C.Faults) {
+    if (C.Faults)
       Ledger.Records.insert(Ledger.Records.end(), S->FaultRecs.begin(),
                             S->FaultRecs.end());
+    // The index lists translate tickets into merged-trace positions;
+    // without a merged trace (stream-only mode) there is nothing to
+    // translate into — the stream items carried the excusals already.
+    if (!C.RecordTrace)
+      continue;
+    if (C.Faults) {
       for (int64_t T : S->ExcusedTickets)
         Ledger.ExcusedEntries.push_back(
             IndexOf.at(static_cast<uint64_t>(T)));

@@ -139,6 +139,23 @@ struct EngineConfig {
   /// Record the network trace for the consistency checkers. Turn off
   /// for pure-throughput benchmarking.
   bool RecordTrace = true;
+  /// Stream trace entries to an external collector during the run
+  /// (drainTraceStream) instead of — or, for differential testing, in
+  /// addition to — accumulating the merged trace. The streaming
+  /// Definition 6 checker rides this: verification memory stays
+  /// O(window) no matter how long the run is. With RecordTrace off and
+  /// StreamTrace on, mergeResults keeps no trace and the fault ledger's
+  /// merged-trace indices stay empty (stream items carry the excusals).
+  bool StreamTrace = false;
+  /// Per-shard cap on buffered stream items awaiting the collector
+  /// (StreamBuf). A collector that falls behind the data path (e.g. the
+  /// single-threaded streaming checker on an oversubscribed machine)
+  /// must not grow the buffer with the horizon: past the cap the shard
+  /// sheds the overflow, counts it (streamLagShed), and the checker
+  /// reports inconclusive — the run's memory and exit latency stay
+  /// bounded, the verdict degrades honestly, and the data path never
+  /// blocks on verification.
+  size_t StreamBufCap = 1 << 16;
   /// Record every host delivery in deliveries(). Turn off (with
   /// RecordTrace) for pure-throughput benchmarking: recording
   /// necessarily allocates per packet.
@@ -221,6 +238,41 @@ public:
   /// Stops and joins the threads, merges traces/stats. Idempotent; the
   /// engine is read-only afterwards.
   void finish();
+
+  /// One element of the streaming trace feed (EngineConfig::StreamTrace):
+  /// either a trace entry or an excusal (a ledgered drop/shed whose
+  /// chain may legitimately end at Ticket). Parent is the producing
+  /// occurrence's ticket, -1 for a root.
+  struct StreamItem {
+    enum Kind : uint8_t { Entry, Excuse } K = Entry;
+    uint64_t Ticket = 0;
+    int64_t Parent = -1;
+    netkat::Packet Lp;
+    bool IsDelivery = false;
+    bool IsDup = false;
+  };
+
+  /// Drains every shard's buffered stream items into \p Out (appended;
+  /// per-shard ticket order, unordered across shards) and returns the
+  /// commit watermark W: no shard will ever again produce an entry with
+  /// ticket < W, so a checker may commit everything <= W - 1. Returns 0
+  /// until every shard has published a first watermark. One collector
+  /// thread at a time; callable concurrently with the run.
+  uint64_t drainTraceStream(std::vector<StreamItem> &Out);
+
+  /// Stream items shed because a shard's StreamBuf sat at
+  /// EngineConfig::StreamBufCap when the shard tried to flush (the
+  /// collector was not keeping up). Nonzero means the streaming checker
+  /// saw a gappy trace and its verdict must not be a clean pass.
+  /// Callable concurrently with the run.
+  uint64_t streamLagShed();
+
+  /// Stream items currently buffered and awaiting the collector (sum of
+  /// per-shard StreamBuf sizes; excludes worker-local pending items). A
+  /// closed-loop producer can poll this between batches and yield until
+  /// the checker catches up, keeping the hand-off below StreamBufCap so
+  /// nothing is shed. Callable concurrently with the run.
+  uint64_t streamBacklog();
 
   /// Counter snapshot; callable concurrently with run() from another
   /// thread (latency aggregates are only populated once run returned).
@@ -426,6 +478,17 @@ private:
     std::vector<int64_t> ExcusedTickets; ///< parents of fault-dropped hops
     std::vector<int64_t> DupTickets;     ///< duplicate egress tickets
     std::vector<int64_t> ShedTickets;    ///< parents of shed msgs (OverflowMu)
+    /// Streaming trace sink (EngineConfig::StreamTrace). StreamPending
+    /// is owner-private; the owner flushes it to StreamBuf (StreamMu)
+    /// once per loop iteration and then publishes StreamWatermark — a
+    /// promise that this shard will never again log a ticket below it.
+    /// ShedStream mirrors ShedTickets for producers (OverflowMu).
+    std::vector<StreamItem> StreamPending;
+    std::mutex StreamMu;
+    std::vector<StreamItem> StreamBuf;
+    uint64_t StreamLagShed = 0; ///< items shed at StreamBufCap (StreamMu)
+    std::atomic<uint64_t> StreamWatermark{0};
+    std::vector<int64_t> ShedStream;
     /// Observability (obs/): both null when the corresponding
     /// EngineConfig knob is off — recording calls then cost one
     /// predictable null test and the hot loop takes no timestamps.

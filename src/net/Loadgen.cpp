@@ -49,6 +49,8 @@ private:
     HostId To = 0;
     uint64_t Sent = 0;        ///< injects sent (also the seq counter)
     uint64_t PhaseTarget = 0; ///< cumulative inject target this phase
+    unsigned ConnectAttempts = 0; ///< failed attempts so far
+    int64_t NextConnectNs = 0;    ///< earliest time for the next attempt
     bool Connected = false;
     bool Handshaken = false;
     bool BarrierSent = false;
@@ -64,6 +66,8 @@ private:
   bool onFrame(Session &S, const WireFrame &F) override;
 
   void startConnect(size_t Idx);
+  bool scheduleRetry(size_t Idx);
+  void retryPending();
   void drive();
   void advancePhase();
   void flushClient(size_t Idx);
@@ -82,6 +86,7 @@ private:
   unsigned Phase = 0;
   bool AllPhasesDone = false;
   bool DidWork = false;
+  int64_t ConnectDeadlineNs = 0;
 };
 
 void Loadgen::startConnect(size_t Idx) {
@@ -90,8 +95,10 @@ void Loadgen::startConnect(size_t Idx) {
   int Fd = C.Udp ? connectUdp(C.Host, C.Port, Err)
                  : connectTcp(C.Host, C.Port, Err);
   if (Fd < 0) {
-    ++St.ConnectFailed;
-    Cl.Dead = true;
+    if (!scheduleRetry(Idx)) {
+      ++St.ConnectFailed;
+      Cl.Dead = true;
+    }
     return;
   }
   Cl.Sock.reset(Fd);
@@ -103,6 +110,39 @@ void Loadgen::startConnect(size_t Idx) {
   // Write interest reports connect completion (TCP); UDP is ready now.
   Poll.add(Fd, Idx, /*Read=*/true, /*Write=*/true);
   Cl.WriteArmed = true;
+}
+
+/// One connect attempt failed (immediately, or asynchronously via
+/// SO_ERROR). Backs the client off for another try — 25 ms doubling to
+/// an 800 ms cap — unless the connect budget is spent; returns false
+/// when the caller should give up (ConnectFailed) instead.
+bool Loadgen::scheduleRetry(size_t Idx) {
+  Client &Cl = Clients[Idx];
+  int64_t Now = nowNs();
+  if (Now >= ConnectDeadlineNs)
+    return false;
+  if (Cl.Sock.valid()) {
+    Poll.del(Cl.Sock.get());
+    Cl.Sock.reset();
+  }
+  Cl.S.reset();
+  Cl.Connected = false;
+  Cl.WriteArmed = false;
+  int64_t BackoffNs = 25ll * 1000000 << std::min(Cl.ConnectAttempts, 5u);
+  Cl.NextConnectNs = Now + BackoffNs;
+  ++Cl.ConnectAttempts;
+  ++St.ConnectRetries;
+  return true;
+}
+
+/// Re-attempts every backed-off client whose wait has elapsed.
+void Loadgen::retryPending() {
+  int64_t Now = nowNs();
+  for (size_t I = 0; I != Clients.size(); ++I) {
+    Client &Cl = Clients[I];
+    if (!Cl.Dead && !Cl.Sock.valid() && Now >= Cl.NextConnectNs)
+      startConnect(I);
+  }
 }
 
 bool Loadgen::onFrame(Session &S, const WireFrame &F) {
@@ -297,8 +337,12 @@ void Loadgen::handleEvent(const Ready &Ev) {
     socklen_t Len = sizeof(SoErr);
     ::getsockopt(Cl.Sock.get(), SOL_SOCKET, SO_ERROR, &SoErr, &Len);
     if (SoErr != 0) {
-      ++St.ConnectFailed;
-      teardown(Idx);
+      // The usual "loadgen raced the server's listener" shape: the
+      // refusal arrives asynchronously. Retry under the same budget.
+      if (!scheduleRetry(Idx)) {
+        ++St.ConnectFailed;
+        teardown(Idx);
+      }
       return;
     }
     Cl.Connected = true;
@@ -349,6 +393,8 @@ LoadgenStats Loadgen::run() {
   raiseFdLimit();
   int64_t Start = nowNs();
   int64_t Deadline = Start + static_cast<int64_t>(C.TimeoutMs) * 1000000;
+  ConnectDeadlineNs =
+      Start + static_cast<int64_t>(C.ConnectTimeoutMs) * 1000000;
 
   Clients.resize(C.Connections);
   for (size_t I = 0; I != Clients.size(); ++I)
@@ -368,6 +414,7 @@ LoadgenStats Loadgen::run() {
       St.TimedOut = nowNs() > Deadline;
       break;
     }
+    retryPending();
     drive();
     int TimeoutMs = DidWork ? 0 : 2;
     DidWork = false;

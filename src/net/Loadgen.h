@@ -52,11 +52,18 @@ struct LoadgenConfig {
   unsigned RttSampleEvery = 16;
   /// Abort (TimedOut) if the run has not finished within this budget.
   unsigned TimeoutMs = 60000;
+  /// Per-run budget for establishing connections. A refused or failed
+  /// connect is retried with exponential backoff (25 ms doubling to a
+  /// 800 ms cap) until this deadline; only then does the connection
+  /// count as ConnectFailed. Absorbs the race of starting the load
+  /// generator before the server's listener is up.
+  unsigned ConnectTimeoutMs = 5000;
 };
 
 struct LoadgenStats {
   uint64_t Connected = 0;
-  uint64_t ConnectFailed = 0;
+  uint64_t ConnectFailed = 0;  ///< gave up after the connect budget
+  uint64_t ConnectRetries = 0; ///< backoff retries taken (any outcome)
   uint64_t InjectsSent = 0; ///< echo requests sent
   uint64_t FramesSent = 0;  ///< all frames (injects + barriers + byes...)
   uint64_t Delivers = 0;    ///< Deliver frames received (any kind)

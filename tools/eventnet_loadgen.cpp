@@ -40,6 +40,8 @@ int usage() {
           "  --rtt-every N    sample every Nth round trip (default 16, "
           "0 off)\n"
           "  --timeout-ms N   abort after N ms (default 60000)\n"
+          "  --connect-timeout-ms N  retry refused connects with backoff\n"
+          "                   for up to N ms before failing (default 5000)\n"
           "  --json           machine-readable output\n");
   return 2;
 }
@@ -86,6 +88,9 @@ int main(int argc, char **argv) {
       C.RttSampleEvery = static_cast<unsigned>(N);
     } else if (Arg == "--timeout-ms" && parseU64(Val(), N) && N >= 1) {
       C.TimeoutMs = static_cast<unsigned>(N);
+    } else if (Arg == "--connect-timeout-ms" && parseU64(Val(), N) &&
+               N >= 1) {
+      C.ConnectTimeoutMs = static_cast<unsigned>(N);
     } else if (Arg == "--json") {
       Json = true;
     } else {
@@ -101,7 +106,8 @@ int main(int argc, char **argv) {
 
   double Rate = S.ElapsedSec > 0 ? S.InjectsSent / S.ElapsedSec : 0;
   if (Json) {
-    printf("{\"connections\": %llu, \"connect_failed\": %llu, "
+    printf("{\"connections\": %llu, \"connect_retries\": %llu, "
+           "\"connect_failed\": %llu, "
            "\"injects_sent\": %llu, \"frames_sent\": %llu, "
            "\"delivers\": %llu, \"replies\": %llu, "
            "\"barrier_acks\": %llu, \"seq_mismatches\": %llu, "
@@ -111,6 +117,7 @@ int main(int argc, char **argv) {
            "\"rtt_samples\": %llu, \"rtt_p50_us\": %.3f, "
            "\"rtt_p99_us\": %.3f, \"rtt_max_us\": %.3f, \"ok\": %s}\n",
            (unsigned long long)S.Connected,
+           (unsigned long long)S.ConnectRetries,
            (unsigned long long)S.ConnectFailed,
            (unsigned long long)S.InjectsSent,
            (unsigned long long)S.FramesSent, (unsigned long long)S.Delivers,
@@ -127,6 +134,10 @@ int main(int argc, char **argv) {
     printf("loadgen: %llu/%u connections %s, %u phase(s)\n",
            (unsigned long long)S.Connected, C.Connections,
            C.Udp ? "udp" : "tcp", C.Phases);
+    if (S.ConnectRetries)
+      printf("  connect:  %llu retr%s with backoff (budget %u ms)\n",
+             (unsigned long long)S.ConnectRetries,
+             S.ConnectRetries == 1 ? "y" : "ies", C.ConnectTimeoutMs);
     printf("  sent:     %llu injects (%llu frames, %llu bytes)\n",
            (unsigned long long)S.InjectsSent,
            (unsigned long long)S.FramesSent,
@@ -143,9 +154,10 @@ int main(int argc, char **argv) {
              S.RttNs.percentile(0.5) / 1e3, S.RttNs.percentile(0.99) / 1e3,
              S.RttNs.Max / 1e3, (unsigned long long)S.RttNs.TotalCount);
     if (S.ConnectFailed || S.ProtocolErrors || S.SeqMismatches || S.TimedOut)
-      printf("  FAILED:   %llu connect failures, %llu protocol errors, "
-             "%llu seq mismatches%s\n",
+      printf("  FAILED:   %llu connect failures (after %llu retries over "
+             "%u ms), %llu protocol errors, %llu seq mismatches%s\n",
              (unsigned long long)S.ConnectFailed,
+             (unsigned long long)S.ConnectRetries, C.ConnectTimeoutMs,
              (unsigned long long)S.ProtocolErrors,
              (unsigned long long)S.SeqMismatches,
              S.TimedOut ? ", timed out" : "");

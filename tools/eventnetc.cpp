@@ -14,6 +14,7 @@
 //             [--phases N] [--per-phase N] [--classifier on|off]
 //             [--batch N] [--partition modulo|contiguous|refined]
 //             [--no-check] [--json]
+//             [--stream-check] [--check-window N] [--check-differential]
 //             [--trace out.json] [--latency-hist]
 //             [--metrics-interval MS] [--metrics-out FILE]
 //             [--faults plan.json] [--overload block|shed-oldest|shed-newest]
@@ -23,9 +24,11 @@
 //              exits 8 on violation)
 //   eventnetc serve <program.snk> --topo <topo.txt>
 //             [--port N] [--bind ADDR] [--udp on|off] [--shards N]
+//             [--duration SEC] [--stream-check] [--check-window N]
 //             (engine options; serves real Wire-framed TCP/UDP clients
-//              until SIGINT/SIGTERM, then drains and reports — exit 0 on
-//              a clean drain, 10 on silent loss)
+//              until SIGINT/SIGTERM — or for --duration seconds — then
+//              drains and reports — exit 0 on a clean drain, 10 on
+//              silent loss)
 //   eventnetc backends
 //
 // --quiet suppresses stderr notes/warnings; -v adds progress notes.
@@ -71,6 +74,8 @@ int usage() {
           "            [--classifier on|off] [--batch N]\n"
           "            [--partition modulo|contiguous|refined]\n"
           "            [--no-check] [--json]\n"
+          "            [--stream-check] [--check-window N]\n"
+          "            [--check-differential]\n"
           "            [--trace out.json] [--latency-hist]\n"
           "            [--metrics-interval MS] [--metrics-out FILE]\n"
           "            [--faults plan.json]\n"
@@ -78,8 +83,10 @@ int usage() {
           "            [--fail-on-drop]\n"
           "  check     like run, but print only the Definition 6 verdict\n"
           "  serve     serve real Wire-framed TCP/UDP clients until\n"
-          "            SIGINT/SIGTERM, then drain and report\n"
+          "            SIGINT/SIGTERM (or --duration SEC), then drain\n"
+          "            and report\n"
           "            [--port N] [--bind ADDR] [--udp on|off]\n"
+          "            [--duration SEC] [--stream-check] [--check-window N]\n"
           "            (+ run's engine options; exit 10 on silent loss)\n"
           "  backends  list registered backends\n"
           "global: --quiet (no stderr notes), -v (progress notes)\n");
@@ -212,6 +219,34 @@ api::Status parseArgs(int argc, char **argv, const std::string &Cmd,
       if (!V || (strcmp(V, "on") != 0 && strcmp(V, "off") != 0))
         return Bad("--udp needs 'on' or 'off'");
       A.Serve.Udp = strcmp(V, "on") == 0;
+    } else if (Arg == "--stream-check") {
+      if (IsCompile)
+        return WrongCommand();
+      A.Run.streamingCheck(true);
+    } else if (Arg == "--check-differential") {
+      if (IsCompile)
+        return WrongCommand();
+      A.Run.checkDifferential(true);
+    } else if (Arg == "--check-window") {
+      if (IsCompile)
+        return WrongCommand();
+      const char *V = TakeValue();
+      char *End = nullptr;
+      unsigned long long N = V ? strtoull(V, &End, 10) : 0;
+      if (!V || *V == '\0' || *V == '-' || *End != '\0' || N < 1 ||
+          N > (1ull << 30))
+        return Bad("--check-window needs an entry count in [1, 2^30]");
+      A.Run.checkWindow(static_cast<size_t>(N));
+    } else if (Arg == "--duration") {
+      if (!IsServe)
+        return WrongCommand();
+      const char *V = TakeValue();
+      char *End = nullptr;
+      unsigned long long N = V ? strtoull(V, &End, 10) : 0;
+      if (!V || *V == '\0' || *V == '-' || *End != '\0' ||
+          N > 0xFFFFFFFFull)
+        return Bad("--duration needs a seconds count in [0, 2^32)");
+      A.Serve.DurationSec = static_cast<unsigned>(N);
     } else if (Arg == "--classifier") {
       if (IsCompile)
         return WrongCommand();
@@ -399,15 +434,19 @@ int cmdRun(const CliArgs &A, const api::Compilation &C, bool VerdictOnly) {
          static_cast<unsigned long long>(R->Faults.Shed),
          static_cast<unsigned long long>(R->Faults.LedgerEntries));
 
-  if (A.Json)
+  if (A.Json) {
     printf("%s\n", R->json().c_str());
-  else if (VerdictOnly)
+  } else if (VerdictOnly) {
     printf("definition 6: %s\n",
            !R->Checked ? "not checked"
                        : (R->Consistency.Correct ? "consistent"
                                                  : "VIOLATED"));
-  else
+    if (R->StreamCheck.Enabled)
+      printf("streaming: %s\n",
+             consistency::streamVerdictName(R->StreamCheck.Result.Verdict));
+  } else {
     printf("%s", R->str().c_str());
+  }
 
   if (R->Checked && !R->Consistency.Correct) {
     if (VerdictOnly && !A.Json)
@@ -416,6 +455,15 @@ int cmdRun(const CliArgs &A, const api::Compilation &C, bool VerdictOnly) {
                               R->Consistency.Reason)
         .exitCode();
   }
+  if (R->StreamCheck.Enabled && R->StreamCheck.Result.violated())
+    return api::Status::error(api::Code::ConsistencyViolation,
+                              R->StreamCheck.Result.Reason)
+        .exitCode();
+  if (R->StreamCheck.DifferentialRan && !R->StreamCheck.DifferentialMatched)
+    return api::Status::error(api::Code::ConsistencyViolation,
+                              "streaming and batch Definition 6 verdicts "
+                              "disagree")
+        .exitCode();
   if (A.FailOnDrop && !R->Audit.Ok)
     return fail(api::Status::error(
         api::Code::DropAuditFailure,
@@ -429,9 +477,15 @@ int cmdServe(CliArgs &A, const api::Compilation &C) {
   net::installShutdownHandlers();
   A.Run.stopFlag(&net::shutdownRequested());
   A.Serve.OnListening = [&A](uint16_t Port) {
-    note(1, "serving %s on %s:%u (udp %s, %u shards) — SIGINT drains",
-         A.ProgramPath.c_str(), A.Serve.BindAddr.c_str(), Port,
-         A.Serve.Udp ? "on" : "off", A.Run.Shards);
+    if (A.Serve.DurationSec > 0)
+      note(1, "serving %s on %s:%u (udp %s, %u shards) for %u s — SIGINT "
+              "drains early",
+           A.ProgramPath.c_str(), A.Serve.BindAddr.c_str(), Port,
+           A.Serve.Udp ? "on" : "off", A.Run.Shards, A.Serve.DurationSec);
+    else
+      note(1, "serving %s on %s:%u (udp %s, %u shards) — SIGINT drains",
+           A.ProgramPath.c_str(), A.Serve.BindAddr.c_str(), Port,
+           A.Serve.Udp ? "on" : "off", A.Run.Shards);
   };
 
   api::Result<api::RunReport> R = api::serveNet(C, A.Run, A.Serve);
@@ -446,6 +500,10 @@ int cmdServe(CliArgs &A, const api::Compilation &C) {
   if (R->Checked && !R->Consistency.Correct)
     return api::Status::error(api::Code::ConsistencyViolation,
                               R->Consistency.Reason)
+        .exitCode();
+  if (R->StreamCheck.Enabled && R->StreamCheck.Result.violated())
+    return api::Status::error(api::Code::ConsistencyViolation,
+                              R->StreamCheck.Result.Reason)
         .exitCode();
   // A drain that lost packets is not a clean shutdown: exit 10 so
   // supervisors can tell "stopped" from "stopped and dropped traffic".
